@@ -1,0 +1,78 @@
+// Section 5's cost analysis of the two cube strategies:
+//
+//   "If the base table has cardinality T, the 2^N-algorithm invokes the
+//    Iter() function T x 2^N times. It is often faster to compute the
+//    super-aggregates from the core GROUP BY, reducing the number of calls
+//    by approximately a factor of T."
+//
+// Measures both algorithms, exporting Iter()/Merge() counters so the T x 2^N
+// vs T + merges arithmetic is directly visible alongside wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace datacube;
+using bench_util::Dims;
+using bench_util::Must;
+using bench_util::WithAlgorithm;
+
+void RunCube(benchmark::State& state, CubeAlgorithm algorithm) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t rows = static_cast<size_t>(state.range(1));
+  CubeInputOptions options;
+  options.num_rows = rows;
+  options.num_dims = n;
+  options.cardinality = 8;
+  Table t = Must(GenerateCubeInput(options), "input");
+  for (auto _ : state) {
+    CubeResult cube = Must(Cube(t, Dims(n), {Agg("sum", "x", "s")},
+                                WithAlgorithm(algorithm)),
+                           "cube");
+    benchmark::DoNotOptimize(cube.table);
+    state.counters["iter_calls"] = static_cast<double>(cube.stats.iter_calls);
+    state.counters["merge_calls"] =
+        static_cast<double>(cube.stats.merge_calls);
+    state.counters["iter_per_row"] =
+        static_cast<double>(cube.stats.iter_calls) / static_cast<double>(rows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+}
+
+void BM_Naive2N(benchmark::State& state) {
+  RunCube(state, CubeAlgorithm::kNaive2N);
+}
+void BM_FromCore(benchmark::State& state) {
+  RunCube(state, CubeAlgorithm::kFromCore);
+}
+// Section 5's other core organization: sort instead of hash, then the same
+// lattice cascade.
+void BM_SortFromCore(benchmark::State& state) {
+  RunCube(state, CubeAlgorithm::kSortFromCore);
+}
+
+BENCHMARK(BM_Naive2N)
+    ->ArgsProduct({{2, 3, 4, 5}, {5000, 50000}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FromCore)
+    ->ArgsProduct({{2, 3, 4, 5}, {5000, 50000}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortFromCore)
+    ->ArgsProduct({{2, 3, 4, 5}, {5000, 50000}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Section 5 claim: the 2^N-algorithm performs T x 2^N Iter calls\n"
+      "(iter_per_row = 2^N); computing super-aggregates from the core\n"
+      "reduces Iter calls to T (iter_per_row = 1) plus cheap merges.\n"
+      "args: {N dims, T rows}\n\n");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

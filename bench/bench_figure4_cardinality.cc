@@ -1,0 +1,132 @@
+// Section 5's cube-size analysis and Figure 4's cardinality identity:
+//
+//   "an N-dimensional cube of N attributes each with cardinality C_i will
+//    have Π(C_i+1) [cells]. If each C_i = 4 then a 4D CUBE is 2.4 times
+//    larger than the base GROUP BY. We expect the C_i to be large (tens or
+//    hundreds) so that the CUBE will be only a little larger than the
+//    GROUP BY."
+//
+// Verifies the Π(C_i+1) formula on complete cross products (including
+// Figure 4's 18 rows -> 48 cells), prints the cube/GROUP-BY size ratio as
+// C_i grows, and times cube computation as dimensionality rises.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace datacube;
+using bench_util::Dims;
+using bench_util::Must;
+using bench_util::WithAlgorithm;
+
+// Builds the complete C^n cross product so the formula is exact.
+Table CompleteCross(size_t n, size_t c) {
+  CubeInputOptions options;
+  options.num_dims = n;
+  options.cardinality = c;
+  options.num_rows = 0;
+  Table t = Must(GenerateCubeInput(options), "cross");
+  std::vector<size_t> coord(n, 0);
+  while (true) {
+    std::vector<Value> row;
+    for (size_t d = 0; d < n; ++d) {
+      row.push_back(Value::String("v" + std::to_string(coord[d])));
+    }
+    row.push_back(Value::Int64(1));
+    row.push_back(Value::Float64(1.0));
+    (void)t.AppendRow(row);
+    size_t pos = 0;
+    for (; pos < n; ++pos) {
+      if (++coord[pos] < c) break;
+      coord[pos] = 0;
+    }
+    if (pos == n) break;
+  }
+  return t;
+}
+
+int PrintFormulaTable() {
+  std::printf("cube size = PRODUCT(C_i + 1); ratio vs GROUP BY = ((C+1)/C)^N\n");
+  std::printf("%4s %6s %12s %12s %12s %8s\n", "N", "C_i", "group_by",
+              "cube_cells", "formula", "ratio");
+  int failures = 0;
+  struct Case {
+    size_t n, c;
+  };
+  for (Case kase : {Case{2, 3}, Case{3, 3}, Case{3, 4}, Case{4, 4},
+                    Case{2, 10}, Case{3, 10}, Case{2, 100}}) {
+    Table t = CompleteCross(kase.n, kase.c);
+    CubeResult cube = Must(Cube(t, Dims(kase.n), {Agg("sum", "x", "s")},
+                                WithAlgorithm(CubeAlgorithm::kFromCore)),
+                           "cube");
+    size_t formula = 1;
+    for (size_t d = 0; d < kase.n; ++d) formula *= kase.c + 1;
+    double ratio = static_cast<double>(cube.table.num_rows()) /
+                   static_cast<double>(t.num_rows());
+    std::printf("%4zu %6zu %12zu %12zu %12zu %8.3f\n", kase.n, kase.c,
+                t.num_rows(), cube.table.num_rows(), formula, ratio);
+    if (cube.table.num_rows() != formula) ++failures;
+    // The paper's headline instance: C_i = 4, N = 4 -> 2.4x.
+    if (kase.n == 4 && kase.c == 4 && std::abs(ratio - 2.44) > 0.01) {
+      ++failures;
+    }
+  }
+  // Figure 4: 2 x 3 x 3 = 18 rows -> 3 x 4 x 4 = 48 cells.
+  {
+    Table fig4(Schema{{Field{"d0", DataType::kString},
+                       Field{"d1", DataType::kString},
+                       Field{"d2", DataType::kString},
+                       Field{"x", DataType::kInt64}}});
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 3; ++b) {
+        for (int c = 0; c < 3; ++c) {
+          (void)fig4.AppendRow({Value::String("m" + std::to_string(a)),
+                                Value::String("y" + std::to_string(b)),
+                                Value::String("c" + std::to_string(c)),
+                                Value::Int64(1)});
+        }
+      }
+    }
+    CubeResult cube =
+        Must(Cube(fig4, Dims(3), {Agg("sum", "x", "s")}), "fig4 cube");
+    std::printf("Figure 4 shape: 2x3x3 = %zu rows -> cube %zu cells "
+                "(paper: 48)\n",
+                fig4.num_rows(), cube.table.num_rows());
+    if (cube.table.num_rows() != 48) ++failures;
+  }
+  std::printf("%s\n\n",
+              failures == 0 ? "formula holds" : "FORMULA MISMATCH");
+  return failures;
+}
+
+void BM_CubeByDims(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  CubeInputOptions options;
+  options.num_rows = 20000;
+  options.num_dims = n;
+  options.cardinality = 8;
+  Table t = Must(GenerateCubeInput(options), "input");
+  for (auto _ : state) {
+    CubeResult cube = Must(Cube(t, Dims(n), {Agg("sum", "x", "s")},
+                                WithAlgorithm(CubeAlgorithm::kFromCore)),
+                           "cube");
+    benchmark::DoNotOptimize(cube.table);
+    state.counters["cells"] = static_cast<double>(cube.stats.output_cells);
+  }
+}
+BENCHMARK(BM_CubeByDims)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = PrintFormulaTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return failures == 0 ? 0 : 1;
+}

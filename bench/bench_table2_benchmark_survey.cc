@@ -1,0 +1,84 @@
+// Table 2: "SQL Aggregates in Standard Benchmarks".
+//
+// The paper counts queries, aggregate functions and GROUP BY clauses in six
+// standard benchmark query sets. We reproduce the table by running
+// structural paraphrases of those query sets (see
+// workload/benchmark_queries.cc for the substitution rationale) through this
+// library's SQL parser and counting with sql::Analyze — the same code path a
+// user's CUBE queries take. Also times the parser over the whole corpus.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "datacube/sql/engine.h"
+#include "datacube/sql/parser.h"
+#include "datacube/workload/benchmark_queries.h"
+
+namespace {
+
+using namespace datacube;
+
+int PrintTable2() {
+  std::printf("Table 2: SQL Aggregates in Standard Benchmarks\n");
+  std::printf("%-12s  %21s  %21s  %21s\n", "", "Queries", "Aggregates",
+              "GROUP BYs");
+  std::printf("%-12s  %10s %10s  %10s %10s  %10s %10s\n", "Benchmark", "paper",
+              "measured", "paper", "measured", "paper", "measured");
+  int failures = 0;
+  for (const BenchmarkSuite& suite : Table2Suites()) {
+    int aggregates = 0;
+    int group_bys = 0;
+    int parsed = 0;
+    for (const std::string& query : suite.queries) {
+      Result<sql::SelectStatement> stmt = sql::ParseSelect(query);
+      if (!stmt.ok()) {
+        std::fprintf(stderr, "parse error in %s: %s\n  %s\n",
+                     suite.name.c_str(), stmt.status().ToString().c_str(),
+                     query.c_str());
+        ++failures;
+        continue;
+      }
+      ++parsed;
+      sql::QueryStats stats = sql::Analyze(*stmt);
+      aggregates += stats.num_aggregates;
+      group_bys += stats.has_group_by ? 1 : 0;
+    }
+    std::printf("%-12s  %10d %10d  %10d %10d  %10d %10d\n", suite.name.c_str(),
+                suite.paper_queries, parsed, suite.paper_aggregates,
+                aggregates, suite.paper_group_bys, group_bys);
+    if (parsed != suite.paper_queries || aggregates != suite.paper_aggregates ||
+        group_bys != suite.paper_group_bys) {
+      ++failures;
+    }
+  }
+  std::printf("%s\n\n", failures == 0 ? "all rows match the paper"
+                                      : "MISMATCH against the paper");
+  return failures;
+}
+
+void BM_ParseCorpus(benchmark::State& state) {
+  std::vector<BenchmarkSuite> suites = Table2Suites();
+  size_t queries = 0;
+  for (auto& suite : suites) queries += suite.queries.size();
+  for (auto _ : state) {
+    for (const BenchmarkSuite& suite : suites) {
+      for (const std::string& query : suite.queries) {
+        auto stmt = sql::ParseSelect(query);
+        benchmark::DoNotOptimize(stmt);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * queries));
+}
+BENCHMARK(BM_ParseCorpus);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = PrintTable2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return failures == 0 ? 0 : 1;
+}

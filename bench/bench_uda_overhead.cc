@@ -1,0 +1,135 @@
+// Figure 7 / Section 1.2: the user-defined aggregate mechanism. "System
+// defined and user defined aggregate functions are initialized with a
+// start() call ... the next() call is invoked for each value ... the end()
+// call computes the aggregate."
+//
+// Measures the cost of that virtual Init/Iter/Final protocol: a built-in
+// SUM, a user-registered SUM clone going through the same registry path,
+// and a two-argument algebraic UDA (center_of_mass), plus a full cube
+// computed with a user-defined aggregate to show UDAs are first-class in
+// the operator.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "datacube/agg/registry.h"
+
+namespace {
+
+using namespace datacube;
+using bench_util::Dims;
+using bench_util::Must;
+
+// A user-defined geometric-mean aggregate, registered like a plugin.
+struct GeoMeanState : AggState {
+  double log_sum = 0;
+  int64_t n = 0;
+};
+
+class GeoMeanFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "geo_mean";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kAlgebraic; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  Result<DataType> ResultType(const std::vector<DataType>&) const override {
+    return DataType::kFloat64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<GeoMeanState>(); }
+  void Iter(AggState* s, const Value* args, size_t) const override {
+    if (args[0].is_special() || args[0].AsDouble() <= 0) return;
+    auto* st = static_cast<GeoMeanState*>(s);
+    st->log_sum += std::log(args[0].AsDouble());
+    ++st->n;
+  }
+  Value Final(const AggState* s) const override {
+    const auto* st = static_cast<const GeoMeanState*>(s);
+    if (st->n == 0) return Value::Null();
+    return Value::Float64(std::exp(st->log_sum / static_cast<double>(st->n)));
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    auto* d = static_cast<GeoMeanState*>(dst);
+    const auto* s = static_cast<const GeoMeanState*>(src);
+    d->log_sum += s->log_sum;
+    d->n += s->n;
+    return Status::OK();
+  }
+  AggStatePtr Clone(const AggState* s) const override {
+    return std::make_unique<GeoMeanState>(
+        *static_cast<const GeoMeanState*>(s));
+  }
+};
+
+void EnsureRegistered() {
+  static bool done = [] {
+    (void)AggregateRegistry::Global().Register(
+        "geo_mean",
+        [](const std::vector<Value>&) -> Result<AggregateFunctionPtr> {
+          return AggregateFunctionPtr(std::make_shared<GeoMeanFunction>());
+        });
+    return true;
+  }();
+  (void)done;
+}
+
+void RunProtocol(benchmark::State& state, const char* fn_name) {
+  EnsureRegistered();
+  AggregateFunctionPtr fn =
+      Must(AggregateRegistry::Global().Make(fn_name), "make");
+  std::vector<Value> values;
+  values.reserve(10000);
+  for (int i = 0; i < 10000; ++i) values.push_back(Value::Int64(i % 97 + 1));
+  for (auto _ : state) {
+    AggStatePtr s = fn->Init();
+    for (const Value& v : values) fn->Iter1(s.get(), v);
+    Value result = fn->Final(s.get());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * values.size()));
+}
+
+void BM_BuiltinSum(benchmark::State& state) { RunProtocol(state, "sum"); }
+void BM_UserGeoMean(benchmark::State& state) { RunProtocol(state, "geo_mean"); }
+void BM_BuiltinAvg(benchmark::State& state) { RunProtocol(state, "avg"); }
+void BM_HolisticMedian(benchmark::State& state) {
+  RunProtocol(state, "median");
+}
+
+void BM_CubeWithUda(benchmark::State& state) {
+  EnsureRegistered();
+  CubeInputOptions input;
+  input.num_rows = 20000;
+  input.num_dims = 3;
+  input.cardinality = 8;
+  Table t = Must(GenerateCubeInput(input), "input");
+  for (auto _ : state) {
+    CubeResult cube =
+        Must(Cube(t, Dims(3), {Agg("geo_mean", "x", "g")}), "cube");
+    benchmark::DoNotOptimize(cube.table);
+  }
+}
+
+BENCHMARK(BM_BuiltinSum);
+BENCHMARK(BM_BuiltinAvg);
+BENCHMARK(BM_UserGeoMean);
+BENCHMARK(BM_HolisticMedian);
+BENCHMARK(BM_CubeWithUda)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Figure 7: the Init/Iter/Final (+ Iter_super) UDA protocol. User\n"
+      "aggregates pay the same per-row virtual dispatch as built-ins and\n"
+      "compose with the cube operator (BM_CubeWithUda cascades geo_mean\n"
+      "scratchpads through the lattice).\n\n");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef DATACUBE_BENCH_BENCH_UTIL_H_
+#define DATACUBE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark harness.
+
+#include <string>
+#include <vector>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube::bench_util {
+
+/// Grouping columns d0..d{n-1} of a GenerateCubeInput table.
+inline std::vector<GroupExpr> Dims(size_t n) {
+  std::vector<GroupExpr> dims;
+  dims.reserve(n);
+  for (size_t d = 0; d < n; ++d) {
+    dims.push_back(GroupCol("d" + std::to_string(d)));
+  }
+  return dims;
+}
+
+inline CubeOptions WithAlgorithm(CubeAlgorithm algorithm) {
+  CubeOptions options;
+  options.algorithm = algorithm;
+  options.sort_result = false;  // measure computation, not presentation
+  return options;
+}
+
+/// Aborts the benchmark binary on setup errors (these are programming
+/// errors in the harness, not measured conditions).
+template <typename T>
+T Must(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace datacube::bench_util
+
+#endif  // DATACUBE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,133 @@
+// OLAP reporting: reproduces the paper's Tables 3.a, 3.b, 4, 5 and 6 from
+// the sales-summary data, then demonstrates the star/snowflake dimension
+// machinery of Section 3.6 and the Red Brick ordered aggregates of
+// Section 1.2.
+
+#include <iostream>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/olap/crosstab.h"
+#include "datacube/olap/reports.h"
+#include "datacube/olap/window.h"
+#include "datacube/schema/star.h"
+#include "datacube/table/print.h"
+#include "datacube/workload/sales.h"
+
+namespace {
+
+int Fail(const datacube::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace datacube;
+
+  Table sales = Table3SalesTable().value();
+
+  // Chevy slice used by Tables 3, 5 and 6.a.
+  std::vector<bool> chevy_mask(sales.num_rows());
+  for (size_t r = 0; r < sales.num_rows(); ++r) {
+    chevy_mask[r] = sales.GetValue(r, 0) == Value::String("Chevy");
+  }
+  Table chevy = sales.FilterRows(chevy_mask).value();
+
+  // --- Table 3.a: roll-up report with sub-total rows -------------------
+  Result<CubeResult> rollup =
+      Rollup(chevy, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+             {Agg("sum", "Units", "Sales")});
+  if (!rollup.ok()) return Fail(rollup.status());
+  Result<std::string> t3a = FormatRollupReport(rollup->table, 3, 3);
+  if (!t3a.ok()) return Fail(t3a.status());
+  std::cout << "=== Table 3.a: Sales Roll Up by Model by Year by Color ===\n"
+            << *t3a << "\n";
+
+  // --- Table 3.b: Chris Date's relational alternative ------------------
+  Result<std::string> t3b = FormatDateReport(rollup->table, 3, 3);
+  if (!t3b.ok()) return Fail(t3b.status());
+  std::cout << "=== Table 3.b: the same data, Date-style ===\n" << *t3b << "\n";
+
+  // --- Table 5.a: the ALL-value relational representation --------------
+  std::cout << "=== Table 5.a: Sales Summary (rollup rows with ALL) ===\n"
+            << FormatTable(rollup->table) << "\n";
+
+  // --- Table 6: cross tabs ---------------------------------------------
+  Result<CubeResult> chevy_cube =
+      Cube(chevy, {GroupCol("Year"), GroupCol("Color")},
+           {Agg("sum", "Units", "Units")});
+  if (!chevy_cube.ok()) return Fail(chevy_cube.status());
+  CrossTabOptions xtab;
+  xtab.corner_label = "Chevy";
+  Result<std::string> t6a = FormatCrossTab(chevy_cube->table, 1, 0, 2, xtab);
+  if (!t6a.ok()) return Fail(t6a.status());
+  std::cout << "=== Table 6.a: Chevy Sales Cross Tab ===\n" << *t6a << "\n";
+
+  // --- Table 4: Excel-style pivot over the full 3D cube ----------------
+  Result<CubeResult> full_cube =
+      Cube(sales, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+           {Agg("sum", "Units", "Sales")});
+  if (!full_cube.ok()) return Fail(full_cube.status());
+  CrossTabOptions pivot;
+  pivot.corner_label = "Sum Sales";
+  Result<std::string> t4 = FormatPivot(full_cube->table, 0, 1, 2, 3, pivot);
+  if (!t4.ok()) return Fail(t4.status());
+  std::cout << "=== Table 4: pivot with Ford sales included ===\n" << *t4
+            << "\n";
+
+  // --- Section 3.6: star schema with a dealer geography dimension ------
+  Result<Table> fact = GenerateSales(
+      {.num_rows = 1000, .num_models = 3, .num_years = 2, .num_colors = 3,
+       .num_dealers = 3, .skew = 0.3, .seed = 17});
+  if (!fact.ok()) return Fail(fact.status());
+  TableBuilder dim_builder({Field{"Dealer", DataType::kString},
+                            Field{"District", DataType::kString},
+                            Field{"Region", DataType::kString}});
+  dim_builder.Row({Value::String("dealer0"), Value::String("NorCal"),
+                   Value::String("West")});
+  dim_builder.Row({Value::String("dealer1"), Value::String("SoCal"),
+                   Value::String("West")});
+  dim_builder.Row({Value::String("dealer2"), Value::String("Empire"),
+                   Value::String("East")});
+  Table dealer_dim = std::move(dim_builder).Build().value();
+
+  StarSchema star(*fact);
+  Result<DimensionTable> dim =
+      DimensionTable::Create("dealer", dealer_dim, "Dealer");
+  if (!dim.ok()) return Fail(dim.status());
+  if (Status st = star.AddDimension("Dealer", std::move(*dim)); !st.ok()) {
+    return Fail(st);
+  }
+  if (Status st = star.AddHierarchy(
+          Hierarchy{"geography", {"Dealer", "District", "Region"}});
+      !st.ok()) {
+    return Fail(st);
+  }
+  Result<Table> wide = star.Denormalize();
+  if (!wide.ok()) return Fail(wide.status());
+  Result<CubeSpec> geo_spec =
+      star.HierarchyRollupSpec("geography", {Agg("sum", "Units", "Units")});
+  if (!geo_spec.ok()) return Fail(geo_spec.status());
+  Result<CubeResult> geo = ExecuteCube(*wide, *geo_spec);
+  if (!geo.ok()) return Fail(geo.status());
+  std::cout << "=== Geography hierarchy rollup (Region > District > Dealer) ===\n"
+            << FormatTable(geo->table, {.max_rows = 15}) << "\n";
+
+  // --- Section 1.2: Red Brick ordered aggregates -----------------------
+  Result<CubeResult> by_model =
+      GroupBy(*fact, {GroupCol("Model")}, {Agg("sum", "Units", "Units")});
+  if (!by_model.ok()) return Fail(by_model.status());
+  Result<Table> ranked = AddRank(by_model->table, 1, "rank");
+  if (!ranked.ok()) return Fail(ranked.status());
+  Result<Table> with_share = AddRatioToTotal(*ranked, 1, "share");
+  if (!with_share.ok()) return Fail(with_share.status());
+  WindowOptions cume_options;
+  cume_options.order_by = {SortKey{1, false}};
+  Result<Table> with_cume =
+      AddCumulative(*with_share, 1, "cumulative", cume_options);
+  if (!with_cume.ok()) return Fail(with_cume.status());
+  std::cout << "=== Rank / Ratio_To_Total / Cumulative by model ===\n"
+            << FormatTable(*with_cume) << "\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Interactive mini-SQL shell over CSV files, speaking the paper's dialect.
+//
+// Usage:
+//   sql_shell [name=path.csv ...]
+//
+// Tables named on the command line are loaded from CSV; the built-in
+// demonstration tables `sales` (Tables 3-6 data), `fig4` (Figure 4 data) and
+// `weather` (Table 1 shape) are always available. Commands:
+//
+//   .tables            list registered tables
+//   .schema NAME       show a table's columns
+//   .mode all|null     toggle Section 3.3 ALL tokens vs 3.4 NULL+GROUPING
+//   .quit              exit
+//   SELECT ...;        any supported query, e.g.
+//     SELECT Model, Year, SUM(Units) FROM sales GROUP BY ROLLUP Model, Year;
+
+#include <iostream>
+#include <string>
+
+#include "datacube/common/str_util.h"
+#include "datacube/sql/engine.h"
+#include "datacube/table/csv.h"
+#include "datacube/table/print.h"
+#include "datacube/workload/sales.h"
+#include "datacube/workload/weather.h"
+
+namespace {
+
+using namespace datacube;
+
+void ShowTables(const sql::Catalog& catalog) {
+  for (const std::string& name : catalog.Names()) {
+    Result<const Table*> t = catalog.Get(name);
+    std::cout << "  " << name << " (" << (*t)->num_rows() << " rows, "
+              << (*t)->num_columns() << " columns)\n";
+  }
+}
+
+void ShowSchema(const sql::Catalog& catalog, const std::string& name) {
+  Result<const Table*> t = catalog.Get(name);
+  if (!t.ok()) {
+    std::cout << t.status().ToString() << "\n";
+    return;
+  }
+  for (const Field& f : (*t)->schema().fields()) {
+    std::cout << "  " << f.name << " " << DataTypeName(f.type) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sql::Catalog catalog;
+  (void)catalog.Register("sales", Table3SalesTable().value());
+  (void)catalog.Register("fig4", Figure4SalesTable().value());
+  (void)catalog.Register("weather",
+                         GenerateWeather({.num_rows = 500, .num_days = 7,
+                                          .seed = 42})
+                             .value());
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "expected name=path.csv, got: " << arg << "\n";
+      return 1;
+    }
+    Result<Table> table = ReadCsvFile(arg.substr(eq + 1));
+    if (!table.ok()) {
+      std::cerr << "cannot load " << arg << ": " << table.status().ToString()
+                << "\n";
+      return 1;
+    }
+    if (Status st = catalog.Register(arg.substr(0, eq), std::move(*table));
+        !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  sql::EngineOptions options;
+  std::cout << "datacube sql shell — the paper's GROUP BY CUBE/ROLLUP dialect\n"
+            << "type .tables to list tables, .quit to exit\n";
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "cube> " : "  ... ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed = Trim(line);
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '.') {
+      if (trimmed == ".quit" || trimmed == ".exit") break;
+      if (trimmed == ".tables") {
+        ShowTables(catalog);
+      } else if (trimmed.rfind(".schema ", 0) == 0) {
+        ShowSchema(catalog, Trim(trimmed.substr(8)));
+      } else if (trimmed == ".mode all") {
+        options.all_mode = AllMode::kAllToken;
+        std::cout << "super-aggregates shown as ALL\n";
+      } else if (trimmed == ".mode null") {
+        options.all_mode = AllMode::kNullWithGrouping;
+        std::cout << "super-aggregates shown as NULL (use GROUPING())\n";
+      } else {
+        std::cout << "unknown command: " << trimmed << "\n";
+      }
+      continue;
+    }
+    buffer += line + "\n";
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    Result<Table> result = sql::ExecuteSql(buffer, catalog, options);
+    buffer.clear();
+    if (!result.ok()) {
+      std::cout << result.status().ToString() << "\n";
+      continue;
+    }
+    std::cout << FormatTable(*result, {.max_rows = 100})
+              << "(" << result->num_rows() << " rows)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+#ifndef DATACUBE_AGG_AGGREGATE_H_
+#define DATACUBE_AGG_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/common/value.h"
+
+namespace datacube {
+
+/// The paper's Section 5 taxonomy of aggregate functions, which determines
+/// how super-aggregates can be computed:
+///  * Distributive — F({Xij}) = G({F(column j)}); super-aggregates can be
+///    computed from sub-aggregate *results* (COUNT, SUM, MIN, MAX).
+///  * Algebraic — an M-tuple scratchpad summarizes a sub-aggregation and a
+///    final H() produces the result (AVG via (sum, count), stddev, MaxN).
+///  * Holistic — no constant-size scratchpad exists (MEDIAN, MODE, RANK);
+///    super-aggregates require the 2^N algorithm over base data.
+enum class AggClass {
+  kDistributive,
+  kAlgebraic,
+  kHolistic,
+};
+
+/// The paper's Section 6 *orthogonal* hierarchy for maintenance: a function
+/// can be cheap for SELECT/INSERT but expensive for DELETE. "max is
+/// distributive for SELECT and INSERT, but it is holistic for DELETE."
+enum class DeleteClass {
+  /// Remove() is supported: deleting a row updates the scratchpad in O(1)
+  /// amortized (SUM, COUNT, AVG, VAR; also MEDIAN/MODE with counted state).
+  kDeletable,
+  /// Deleting a contributing row may require recomputing the cell from base
+  /// data (MIN, MAX).
+  kDeleteHolistic,
+};
+
+const char* AggClassName(AggClass c);
+
+/// Opaque per-cell scratchpad ("handle" in the paper's Figure 7 / Informix
+/// Init/Iter/Final description). Each AggregateFunction defines its own
+/// concrete state type.
+struct AggState {
+  virtual ~AggState() = default;
+};
+
+using AggStatePtr = std::unique_ptr<AggState>;
+
+/// A (user-definable) aggregate function following the paper's extended
+/// protocol:
+///
+///   Init()               "start(&handle)"  — allocate the scratchpad
+///   Iter(state, args)    "next(&handle,v)" — fold one input row in
+///   Merge(dst, src)      "Iter_super(&handle,&handle)" — fold a
+///                        sub-aggregate's scratchpad into a super-aggregate's
+///   Final(state)         "end(&handle)"    — produce the result value
+///   Remove(state, args)  Section 6 delete maintenance (kDeletable only)
+///
+/// Implementations are immutable/stateless and therefore shareable across
+/// threads; all mutation happens on AggState objects owned by the caller.
+///
+/// NULL/ALL semantics (Section 3.3): "ALL, like NULL, does not participate
+/// in any aggregate except COUNT()" — i.e. COUNT(*) counts every row, while
+/// value aggregates skip NULL/ALL inputs. Iter() receives every row and each
+/// function applies that rule itself (count_star overrides it).
+class AggregateFunction {
+ public:
+  virtual ~AggregateFunction() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual AggClass agg_class() const = 0;
+  virtual DeleteClass delete_class() const { return DeleteClass::kDeleteHolistic; }
+
+  /// Number of input argument columns (0 for count_star, 2 for
+  /// center_of_mass(position, mass), else 1).
+  virtual int num_args() const { return 1; }
+
+  /// Result type given the input argument types.
+  virtual Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const = 0;
+
+  virtual AggStatePtr Init() const = 0;
+  virtual void Iter(AggState* state, const Value* args, size_t nargs) const = 0;
+  virtual Value Final(const AggState* state) const = 0;
+
+  /// Whether Merge() is usable. Defaults to the paper's rule — distributive
+  /// and algebraic functions have constant-size mergeable scratchpads,
+  /// holistic ones do not ("we know of no more efficient way of computing
+  /// super-aggregates of holistic functions" than recomputing from base
+  /// data). A holistic function with an unbounded-but-mergeable state (e.g.
+  /// MODE's value→count map) may override this to true; planners then trade
+  /// memory for scans.
+  virtual bool supports_merge() const {
+    return agg_class() != AggClass::kHolistic;
+  }
+
+  /// Folds `src` into `dst`. Supported when supports_merge() is true;
+  /// otherwise returns NotImplemented, which forces cube computation onto
+  /// the 2^N / from-base path.
+  virtual Status Merge(AggState* dst, const AggState* src) const {
+    (void)dst;
+    (void)src;
+    return Status::NotImplemented("Merge not supported for holistic " + name());
+  }
+
+  /// Un-applies one input row (Section 6 maintenance). Only meaningful when
+  /// delete_class() == kDeletable.
+  virtual Status Remove(AggState* state, const Value* args, size_t nargs) const {
+    (void)state;
+    (void)args;
+    (void)nargs;
+    return Status::NotImplemented("Remove not supported for " + name());
+  }
+
+  /// Maintenance hint (Section 6): can folding `args` into `state` change
+  /// the aggregate's result? MAX answers false when the new value "loses the
+  /// competition" — and the paper observes it then loses in all lower
+  /// dimensions, enabling the insert short-circuit. Conservative default:
+  /// always true.
+  virtual bool InsertMightChange(const AggState* state, const Value* args,
+                                 size_t nargs) const {
+    (void)state;
+    (void)args;
+    (void)nargs;
+    return true;
+  }
+
+  /// Maintenance hint (Section 6): can removing `args` change the result?
+  /// MAX answers true only when the deleted value ties the current maximum —
+  /// the delete-holistic recompute can be skipped otherwise. Conservative
+  /// default: always true.
+  virtual bool RemoveMightChange(const AggState* state, const Value* args,
+                                 size_t nargs) const {
+    (void)state;
+    (void)args;
+    (void)nargs;
+    return true;
+  }
+
+  /// Deep copy of a scratchpad (used by materialized cubes and parallel
+  /// merge trees).
+  virtual AggStatePtr Clone(const AggState* state) const = 0;
+
+  /// Serializes the scratchpad for cube persistence (the Section 6
+  /// customers who "compute and store the cube"). Built-ins implement this;
+  /// user-defined aggregates may leave the default NotImplemented, in which
+  /// case cubes using them cannot be checkpointed.
+  virtual Status SerializeState(const AggState* state, std::string* out) const {
+    (void)state;
+    (void)out;
+    return Status::NotImplemented("SerializeState not supported for " + name());
+  }
+
+  /// Reconstructs a scratchpad serialized by SerializeState, consuming from
+  /// `data` at *pos.
+  virtual Result<AggStatePtr> DeserializeState(const std::string& data,
+                                               size_t* pos) const {
+    (void)data;
+    (void)pos;
+    return Status::NotImplemented("DeserializeState not supported for " +
+                                  name());
+  }
+
+  /// Convenience for the common single-argument case.
+  void Iter1(AggState* state, const Value& v) const { Iter(state, &v, 1); }
+};
+
+using AggregateFunctionPtr = std::shared_ptr<const AggregateFunction>;
+
+}  // namespace datacube
+
+#endif  // DATACUBE_AGG_AGGREGATE_H_

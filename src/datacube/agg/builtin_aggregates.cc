@@ -1,0 +1,1019 @@
+#include "datacube/agg/builtin_aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "datacube/common/codec.h"
+#include "datacube/common/str_util.h"
+
+namespace datacube {
+
+namespace {
+
+// Shared downcast helper; state types are private to this file, so a
+// mismatched cast indicates an internal bug.
+template <typename T>
+T* As(AggState* s) {
+  return static_cast<T*>(s);
+}
+template <typename T>
+const T* As(const AggState* s) {
+  return static_cast<const T*>(s);
+}
+
+// ---------------------------------------------------------------- COUNT(*)
+
+struct CountState : AggState {
+  int64_t n = 0;
+};
+
+class CountStarFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "count_star";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kDistributive; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  int num_args() const override { return 0; }
+  Result<DataType> ResultType(const std::vector<DataType>&) const override {
+    return DataType::kInt64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<CountState>(); }
+  void Iter(AggState* state, const Value*, size_t) const override {
+    ++As<CountState>(state)->n;
+  }
+  Value Final(const AggState* state) const override {
+    return Value::Int64(As<CountState>(state)->n);
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    // COUNT is the one distributive function whose G differs from F: counts
+    // combine with SUM (Section 5).
+    As<CountState>(dst)->n += As<CountState>(src)->n;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value*, size_t) const override {
+    --As<CountState>(state)->n;
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    EncodeValue(Value::Int64(As<CountState>(state)->n), out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    DATACUBE_ASSIGN_OR_RETURN(Value n, DecodeValue(data, pos));
+    auto s = std::make_unique<CountState>();
+    s->n = n.int64_value();
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<CountState>(*As<CountState>(state));
+  }
+};
+
+// ---------------------------------------------------------------- COUNT(x)
+
+class CountFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "count";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kDistributive; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  Result<DataType> ResultType(const std::vector<DataType>&) const override {
+    return DataType::kInt64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<CountState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (!args[0].is_special()) ++As<CountState>(state)->n;
+  }
+  Value Final(const AggState* state) const override {
+    return Value::Int64(As<CountState>(state)->n);
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    As<CountState>(dst)->n += As<CountState>(src)->n;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (!args[0].is_special()) --As<CountState>(state)->n;
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    EncodeValue(Value::Int64(As<CountState>(state)->n), out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    DATACUBE_ASSIGN_OR_RETURN(Value n, DecodeValue(data, pos));
+    auto s = std::make_unique<CountState>();
+    s->n = n.int64_value();
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<CountState>(*As<CountState>(state));
+  }
+};
+
+// -------------------------------------------------------------------- SUM
+
+struct SumState : AggState {
+  int64_t sum_i = 0;
+  double sum_d = 0.0;
+  int64_t n = 0;  // non-null inputs; 0 yields SQL NULL
+};
+
+class SumFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "sum";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kDistributive; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1 || !IsNumeric(arg_types[0])) {
+      return Status::TypeError("sum requires one numeric argument");
+    }
+    return arg_types[0];
+  }
+  AggStatePtr Init() const override { return std::make_unique<SumState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    auto* s = As<SumState>(state);
+    if (args[0].kind() == Value::Kind::kInt64) {
+      s->sum_i += args[0].int64_value();
+    }
+    s->sum_d += args[0].AsDouble();
+    ++s->n;
+  }
+  Value Final(const AggState* state) const override {
+    const auto* s = As<SumState>(state);
+    if (s->n == 0) return Value::Null();
+    // If every input was an exact int64, report the exact integer sum.
+    if (s->sum_d == static_cast<double>(s->sum_i)) return Value::Int64(s->sum_i);
+    return Value::Float64(s->sum_d);
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    auto* d = As<SumState>(dst);
+    const auto* s = As<SumState>(src);
+    d->sum_i += s->sum_i;
+    d->sum_d += s->sum_d;
+    d->n += s->n;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return Status::OK();
+    auto* s = As<SumState>(state);
+    if (args[0].kind() == Value::Kind::kInt64) {
+      s->sum_i -= args[0].int64_value();
+    }
+    s->sum_d -= args[0].AsDouble();
+    --s->n;
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    const auto* s = As<SumState>(state);
+    EncodeValue(Value::Int64(s->sum_i), out);
+    EncodeValue(Value::Float64(s->sum_d), out);
+    EncodeValue(Value::Int64(s->n), out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    auto s = std::make_unique<SumState>();
+    DATACUBE_ASSIGN_OR_RETURN(Value sum_i, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value sum_d, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n, DecodeValue(data, pos));
+    s->sum_i = sum_i.int64_value();
+    s->sum_d = sum_d.float64_value();
+    s->n = n.int64_value();
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<SumState>(*As<SumState>(state));
+  }
+};
+
+// ---------------------------------------------------------------- MIN/MAX
+
+struct ExtremeState : AggState {
+  Value best;  // NULL when empty
+  bool has_value = false;
+};
+
+// MIN/MAX: distributive for SELECT and INSERT, holistic for DELETE — the
+// paper's Section 6 example of the orthogonal maintenance hierarchy.
+class ExtremeFunction : public AggregateFunction {
+ public:
+  explicit ExtremeFunction(bool is_max)
+      : is_max_(is_max), name_(is_max ? "max" : "min") {}
+  const std::string& name() const override { return name_; }
+  AggClass agg_class() const override { return AggClass::kDistributive; }
+  DeleteClass delete_class() const override {
+    return DeleteClass::kDeleteHolistic;
+  }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1) {
+      return Status::TypeError(name_ + " requires one argument");
+    }
+    return arg_types[0];
+  }
+  AggStatePtr Init() const override { return std::make_unique<ExtremeState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    auto* s = As<ExtremeState>(state);
+    if (!s->has_value || Better(args[0], s->best)) {
+      s->best = args[0];
+      s->has_value = true;
+    }
+  }
+  Value Final(const AggState* state) const override {
+    const auto* s = As<ExtremeState>(state);
+    return s->has_value ? s->best : Value::Null();
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    const auto* s = As<ExtremeState>(src);
+    if (s->has_value) Iter1(dst, s->best);
+    return Status::OK();
+  }
+  bool InsertMightChange(const AggState* state, const Value* args,
+                         size_t) const override {
+    if (args[0].is_special()) return false;
+    const auto* s = As<ExtremeState>(state);
+    return !s->has_value || Better(args[0], s->best);
+  }
+  bool RemoveMightChange(const AggState* state, const Value* args,
+                         size_t) const override {
+    if (args[0].is_special()) return false;
+    const auto* s = As<ExtremeState>(state);
+    // Only deleting the incumbent extreme can change the result.
+    return s->has_value && args[0].Compare(s->best) == 0;
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    const auto* s = As<ExtremeState>(state);
+    EncodeValue(s->has_value ? s->best : Value::Null(), out);
+    EncodeValue(Value::Bool(s->has_value), out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    auto s = std::make_unique<ExtremeState>();
+    DATACUBE_ASSIGN_OR_RETURN(s->best, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value has, DecodeValue(data, pos));
+    s->has_value = has.bool_value();
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<ExtremeState>(*As<ExtremeState>(state));
+  }
+
+  /// True if candidate `a` beats incumbent `b`. Exposed so the maintenance
+  /// layer can apply the paper's "loses one competition ⇒ loses in all lower
+  /// dimensions" insert short-circuit.
+  bool Better(const Value& a, const Value& b) const {
+    int cmp = a.Compare(b);
+    return is_max_ ? cmp > 0 : cmp < 0;
+  }
+
+ private:
+  bool is_max_;
+  std::string name_;
+};
+
+// -------------------------------------------------------------------- AVG
+
+struct AvgState : AggState {
+  double sum = 0.0;
+  int64_t n = 0;
+};
+
+// The paper's canonical algebraic function: scratchpad is the (sum, count)
+// pair; H() divides.
+class AvgFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "avg";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kAlgebraic; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1 || !IsNumeric(arg_types[0])) {
+      return Status::TypeError("avg requires one numeric argument");
+    }
+    return DataType::kFloat64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<AvgState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    auto* s = As<AvgState>(state);
+    s->sum += args[0].AsDouble();
+    ++s->n;
+  }
+  Value Final(const AggState* state) const override {
+    const auto* s = As<AvgState>(state);
+    if (s->n == 0) return Value::Null();
+    return Value::Float64(s->sum / static_cast<double>(s->n));
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    auto* d = As<AvgState>(dst);
+    const auto* s = As<AvgState>(src);
+    d->sum += s->sum;
+    d->n += s->n;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return Status::OK();
+    auto* s = As<AvgState>(state);
+    s->sum -= args[0].AsDouble();
+    --s->n;
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    const auto* s = As<AvgState>(state);
+    EncodeValue(Value::Float64(s->sum), out);
+    EncodeValue(Value::Int64(s->n), out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    auto s = std::make_unique<AvgState>();
+    DATACUBE_ASSIGN_OR_RETURN(Value sum, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n, DecodeValue(data, pos));
+    s->sum = sum.float64_value();
+    s->n = n.int64_value();
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<AvgState>(*As<AvgState>(state));
+  }
+};
+
+// --------------------------------------------------------- VAR / STDDEV
+
+struct VarState : AggState {
+  // Sum/sum-of-squares form: exact merge and remove, adequate numerically
+  // for the value ranges in this library's workloads.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int64_t n = 0;
+};
+
+class VarianceFunction : public AggregateFunction {
+ public:
+  explicit VarianceFunction(bool stddev)
+      : stddev_(stddev), name_(stddev ? "stddev_pop" : "var_pop") {}
+  const std::string& name() const override { return name_; }
+  AggClass agg_class() const override { return AggClass::kAlgebraic; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1 || !IsNumeric(arg_types[0])) {
+      return Status::TypeError(name_ + " requires one numeric argument");
+    }
+    return DataType::kFloat64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<VarState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    auto* s = As<VarState>(state);
+    double x = args[0].AsDouble();
+    s->sum += x;
+    s->sum_sq += x * x;
+    ++s->n;
+  }
+  Value Final(const AggState* state) const override {
+    const auto* s = As<VarState>(state);
+    if (s->n == 0) return Value::Null();
+    double mean = s->sum / static_cast<double>(s->n);
+    double var = s->sum_sq / static_cast<double>(s->n) - mean * mean;
+    if (var < 0) var = 0;  // numeric guard
+    return Value::Float64(stddev_ ? std::sqrt(var) : var);
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    auto* d = As<VarState>(dst);
+    const auto* s = As<VarState>(src);
+    d->sum += s->sum;
+    d->sum_sq += s->sum_sq;
+    d->n += s->n;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return Status::OK();
+    auto* s = As<VarState>(state);
+    double x = args[0].AsDouble();
+    s->sum -= x;
+    s->sum_sq -= x * x;
+    --s->n;
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    const auto* s = As<VarState>(state);
+    EncodeValue(Value::Float64(s->sum), out);
+    EncodeValue(Value::Float64(s->sum_sq), out);
+    EncodeValue(Value::Int64(s->n), out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    auto s = std::make_unique<VarState>();
+    DATACUBE_ASSIGN_OR_RETURN(Value sum, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value sum_sq, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n, DecodeValue(data, pos));
+    s->sum = sum.float64_value();
+    s->sum_sq = sum_sq.float64_value();
+    s->n = n.int64_value();
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<VarState>(*As<VarState>(state));
+  }
+
+ private:
+  bool stddev_;
+  std::string name_;
+};
+
+// ----------------------------------------------------------------- MEDIAN
+
+struct MedianState : AggState {
+  std::vector<double> values;
+};
+
+// Shared (de)serialization of the value-list scratchpad used by MEDIAN and
+// PERCENTILE.
+Status SerializeMedianState(const AggState* state, std::string* out) {
+  const auto& values = As<MedianState>(state)->values;
+  EncodeCount(values.size(), out);
+  for (double v : values) EncodeValue(Value::Float64(v), out);
+  return Status::OK();
+}
+
+Result<AggStatePtr> DeserializeMedianState(const std::string& data,
+                                           size_t* pos) {
+  auto s = std::make_unique<MedianState>();
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t n, DecodeCount(data, pos));
+  s->values.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DATACUBE_ASSIGN_OR_RETURN(Value v, DecodeValue(data, pos));
+    s->values.push_back(v.float64_value());
+  }
+  return AggStatePtr(std::move(s));
+}
+
+// Holistic: "no constant bound on the size of the storage needed to describe
+// a sub-aggregate" (Section 5). supports_merge() stays false, so cube
+// planners recompute median cells from base data.
+class MedianFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "median";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kHolistic; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1 || !IsNumeric(arg_types[0])) {
+      return Status::TypeError("median requires one numeric argument");
+    }
+    return DataType::kFloat64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<MedianState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    As<MedianState>(state)->values.push_back(args[0].AsDouble());
+  }
+  Value Final(const AggState* state) const override {
+    std::vector<double> v = As<MedianState>(state)->values;
+    if (v.empty()) return Value::Null();
+    size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    if (v.size() % 2 == 1) return Value::Float64(v[mid]);
+    double hi = v[mid];
+    double lo = *std::max_element(v.begin(), v.begin() + mid);
+    return Value::Float64((lo + hi) / 2.0);
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return Status::OK();
+    auto& v = As<MedianState>(state)->values;
+    auto it = std::find(v.begin(), v.end(), args[0].AsDouble());
+    if (it == v.end()) {
+      return Status::InvalidArgument("median: removing absent value");
+    }
+    *it = v.back();
+    v.pop_back();
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    return SerializeMedianState(state, out);
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    return DeserializeMedianState(data, pos);
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<MedianState>(*As<MedianState>(state));
+  }
+};
+
+// ------------------------------------------------------------------- MODE
+
+struct ModeState : AggState {
+  std::map<Value, int64_t> counts;
+};
+
+// Shared (de)serialization of the value->count scratchpad used by MODE and
+// COUNT DISTINCT.
+Status SerializeModeState(const AggState* state, std::string* out) {
+  const auto& counts = As<ModeState>(state)->counts;
+  EncodeCount(counts.size(), out);
+  for (const auto& [v, c] : counts) {
+    EncodeValue(v, out);
+    EncodeValue(Value::Int64(c), out);
+  }
+  return Status::OK();
+}
+
+Result<AggStatePtr> DeserializeModeState(const std::string& data,
+                                         size_t* pos) {
+  auto s = std::make_unique<ModeState>();
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t n, DecodeCount(data, pos));
+  for (uint64_t i = 0; i < n; ++i) {
+    DATACUBE_ASSIGN_OR_RETURN(Value v, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value c, DecodeValue(data, pos));
+    s->counts.emplace(std::move(v), c.int64_value());
+  }
+  return AggStatePtr(std::move(s));
+}
+
+// MostFrequent / Mode: holistic by the paper's classification, but its
+// value→count map *is* mergeable (memory proportional to distinct values),
+// so supports_merge() is overridden — planners may trade memory for scans.
+class ModeFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "mode";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kHolistic; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  bool supports_merge() const override { return true; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1) {
+      return Status::TypeError("mode requires one argument");
+    }
+    return arg_types[0];
+  }
+  AggStatePtr Init() const override { return std::make_unique<ModeState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    ++As<ModeState>(state)->counts[args[0]];
+  }
+  Value Final(const AggState* state) const override {
+    const auto& counts = As<ModeState>(state)->counts;
+    Value best = Value::Null();
+    int64_t best_count = 0;
+    for (const auto& [v, c] : counts) {
+      if (c > best_count) {  // ties resolve to the smallest value (map order)
+        best = v;
+        best_count = c;
+      }
+    }
+    return best;
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    auto* d = As<ModeState>(dst);
+    for (const auto& [v, c] : As<ModeState>(src)->counts) d->counts[v] += c;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return Status::OK();
+    auto& counts = As<ModeState>(state)->counts;
+    auto it = counts.find(args[0]);
+    if (it == counts.end()) {
+      return Status::InvalidArgument("mode: removing absent value");
+    }
+    if (--it->second == 0) counts.erase(it);
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    return SerializeModeState(state, out);
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    return DeserializeModeState(data, pos);
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<ModeState>(*As<ModeState>(state));
+  }
+};
+
+// --------------------------------------------------------- COUNT DISTINCT
+
+class CountDistinctFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "count_distinct";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kHolistic; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  bool supports_merge() const override { return true; }
+  Result<DataType> ResultType(const std::vector<DataType>&) const override {
+    return DataType::kInt64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<ModeState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    ++As<ModeState>(state)->counts[args[0]];
+  }
+  Value Final(const AggState* state) const override {
+    return Value::Int64(
+        static_cast<int64_t>(As<ModeState>(state)->counts.size()));
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    auto* d = As<ModeState>(dst);
+    for (const auto& [v, c] : As<ModeState>(src)->counts) d->counts[v] += c;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return Status::OK();
+    auto& counts = As<ModeState>(state)->counts;
+    auto it = counts.find(args[0]);
+    if (it == counts.end()) {
+      return Status::InvalidArgument("count_distinct: removing absent value");
+    }
+    if (--it->second == 0) counts.erase(it);
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    return SerializeModeState(state, out);
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    return DeserializeModeState(data, pos);
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<ModeState>(*As<ModeState>(state));
+  }
+};
+
+// ------------------------------------------------------------ MaxN / MinN
+
+struct TopNState : AggState {
+  std::vector<Value> values;  // kept sorted best-first, size <= n
+};
+
+// The paper's other canonical algebraic examples: "the key to algebraic
+// functions is that a fixed size result (an M-tuple) can summarize the
+// sub-aggregation" — here the M-tuple is the current top-N list.
+class TopNFunction : public AggregateFunction {
+ public:
+  TopNFunction(bool is_max, int n)
+      : is_max_(is_max),
+        n_(n),
+        name_((is_max ? "max_n" : "min_n")) {}
+  const std::string& name() const override { return name_; }
+  AggClass agg_class() const override { return AggClass::kAlgebraic; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1) {
+      return Status::TypeError(name_ + " requires one argument");
+    }
+    return DataType::kString;  // comma-joined top-N list
+  }
+  AggStatePtr Init() const override { return std::make_unique<TopNState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    auto& v = As<TopNState>(state)->values;
+    auto pos = std::lower_bound(v.begin(), v.end(), args[0],
+                                [this](const Value& a, const Value& b) {
+                                  int cmp = a.Compare(b);
+                                  return is_max_ ? cmp > 0 : cmp < 0;
+                                });
+    v.insert(pos, args[0]);
+    if (v.size() > static_cast<size_t>(n_)) v.pop_back();
+  }
+  Value Final(const AggState* state) const override {
+    const auto& v = As<TopNState>(state)->values;
+    if (v.empty()) return Value::Null();
+    std::vector<std::string> parts;
+    parts.reserve(v.size());
+    for (const Value& x : v) parts.push_back(x.ToString());
+    return Value::String(Join(parts, ","));
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    for (const Value& v : As<TopNState>(src)->values) Iter1(dst, v);
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    const auto& values = As<TopNState>(state)->values;
+    EncodeCount(values.size(), out);
+    for (const Value& v : values) EncodeValue(v, out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    auto s = std::make_unique<TopNState>();
+    DATACUBE_ASSIGN_OR_RETURN(uint64_t n, DecodeCount(data, pos));
+    for (uint64_t i = 0; i < n; ++i) {
+      DATACUBE_ASSIGN_OR_RETURN(Value v, DecodeValue(data, pos));
+      s->values.push_back(std::move(v));
+    }
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<TopNState>(*As<TopNState>(state));
+  }
+
+ private:
+  bool is_max_;
+  int n_;
+  std::string name_;
+};
+
+// ---------------------------------------------------------- BOOL AND / OR
+
+struct BoolState : AggState {
+  int64_t true_count = 0;
+  int64_t false_count = 0;
+};
+
+// Distributive; keeping both counters (not just the current verdict) makes
+// the function deletable — another instance of Section 6's point that a
+// richer scratchpad buys cheap maintenance.
+class BoolCombineFunction : public AggregateFunction {
+ public:
+  explicit BoolCombineFunction(bool is_and)
+      : is_and_(is_and), name_(is_and ? "bool_and" : "bool_or") {}
+  const std::string& name() const override { return name_; }
+  AggClass agg_class() const override { return AggClass::kDistributive; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1 || arg_types[0] != DataType::kBool) {
+      return Status::TypeError(name_ + " requires one boolean argument");
+    }
+    return DataType::kBool;
+  }
+  AggStatePtr Init() const override { return std::make_unique<BoolState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    auto* s = As<BoolState>(state);
+    if (args[0].bool_value()) {
+      ++s->true_count;
+    } else {
+      ++s->false_count;
+    }
+  }
+  Value Final(const AggState* state) const override {
+    const auto* s = As<BoolState>(state);
+    if (s->true_count + s->false_count == 0) return Value::Null();
+    return Value::Bool(is_and_ ? s->false_count == 0 : s->true_count > 0);
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    auto* d = As<BoolState>(dst);
+    const auto* s = As<BoolState>(src);
+    d->true_count += s->true_count;
+    d->false_count += s->false_count;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return Status::OK();
+    auto* s = As<BoolState>(state);
+    if (args[0].bool_value()) {
+      --s->true_count;
+    } else {
+      --s->false_count;
+    }
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    const auto* s = As<BoolState>(state);
+    EncodeValue(Value::Int64(s->true_count), out);
+    EncodeValue(Value::Int64(s->false_count), out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    auto s = std::make_unique<BoolState>();
+    DATACUBE_ASSIGN_OR_RETURN(Value t, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value f, DecodeValue(data, pos));
+    s->true_count = t.int64_value();
+    s->false_count = f.int64_value();
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<BoolState>(*As<BoolState>(state));
+  }
+
+ private:
+  bool is_and_;
+  std::string name_;
+};
+
+// -------------------------------------------------------------- PERCENTILE
+
+// Holistic: needs all values. p = 50 is the median; quartiles are p = 25 /
+// 75 — the family the paper says practitioners approximate rather than
+// maintain exactly (Section 6).
+class PercentileFunction : public AggregateFunction {
+ public:
+  explicit PercentileFunction(double p) : p_(p) {}
+  const std::string& name() const override {
+    static const std::string kName = "percentile";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kHolistic; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 1 || !IsNumeric(arg_types[0])) {
+      return Status::TypeError("percentile requires one numeric argument");
+    }
+    return DataType::kFloat64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<MedianState>(); }
+  void Iter(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return;
+    As<MedianState>(state)->values.push_back(args[0].AsDouble());
+  }
+  Value Final(const AggState* state) const override {
+    std::vector<double> v = As<MedianState>(state)->values;
+    if (v.empty()) return Value::Null();
+    std::sort(v.begin(), v.end());
+    // Linear interpolation between closest ranks.
+    double rank = p_ / 100.0 * static_cast<double>(v.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, v.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return Value::Float64(v[lo] + (v[hi] - v[lo]) * frac);
+  }
+  Status Remove(AggState* state, const Value* args, size_t) const override {
+    if (args[0].is_special()) return Status::OK();
+    auto& v = As<MedianState>(state)->values;
+    auto it = std::find(v.begin(), v.end(), args[0].AsDouble());
+    if (it == v.end()) {
+      return Status::InvalidArgument("percentile: removing absent value");
+    }
+    *it = v.back();
+    v.pop_back();
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    return SerializeMedianState(state, out);
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    return DeserializeMedianState(data, pos);
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<MedianState>(*As<MedianState>(state));
+  }
+
+ private:
+  double p_;
+};
+
+// ---------------------------------------------------------- CENTER OF MASS
+
+struct ComState : AggState {
+  double moment = 0.0;
+  double mass = 0.0;
+};
+
+// center_of_mass(position, mass): two-argument algebraic aggregate; the
+// scratchpad is the (Σ p·m, Σ m) pair.
+class CenterOfMassFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "center_of_mass";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kAlgebraic; }
+  DeleteClass delete_class() const override { return DeleteClass::kDeletable; }
+  int num_args() const override { return 2; }
+  Result<DataType> ResultType(
+      const std::vector<DataType>& arg_types) const override {
+    if (arg_types.size() != 2 || !IsNumeric(arg_types[0]) ||
+        !IsNumeric(arg_types[1])) {
+      return Status::TypeError(
+          "center_of_mass requires two numeric arguments (position, mass)");
+    }
+    return DataType::kFloat64;
+  }
+  AggStatePtr Init() const override { return std::make_unique<ComState>(); }
+  void Iter(AggState* state, const Value* args, size_t nargs) const override {
+    if (nargs < 2 || args[0].is_special() || args[1].is_special()) return;
+    auto* s = As<ComState>(state);
+    double m = args[1].AsDouble();
+    s->moment += args[0].AsDouble() * m;
+    s->mass += m;
+  }
+  Value Final(const AggState* state) const override {
+    const auto* s = As<ComState>(state);
+    if (s->mass == 0.0) return Value::Null();
+    return Value::Float64(s->moment / s->mass);
+  }
+  Status Merge(AggState* dst, const AggState* src) const override {
+    auto* d = As<ComState>(dst);
+    const auto* s = As<ComState>(src);
+    d->moment += s->moment;
+    d->mass += s->mass;
+    return Status::OK();
+  }
+  Status Remove(AggState* state, const Value* args, size_t nargs) const override {
+    if (nargs < 2 || args[0].is_special() || args[1].is_special()) {
+      return Status::OK();
+    }
+    auto* s = As<ComState>(state);
+    double m = args[1].AsDouble();
+    s->moment -= args[0].AsDouble() * m;
+    s->mass -= m;
+    return Status::OK();
+  }
+  Status SerializeState(const AggState* state, std::string* out) const override {
+    const auto* s = As<ComState>(state);
+    EncodeValue(Value::Float64(s->moment), out);
+    EncodeValue(Value::Float64(s->mass), out);
+    return Status::OK();
+  }
+  Result<AggStatePtr> DeserializeState(const std::string& data,
+                                       size_t* pos) const override {
+    auto s = std::make_unique<ComState>();
+    DATACUBE_ASSIGN_OR_RETURN(Value moment, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value mass, DecodeValue(data, pos));
+    s->moment = moment.float64_value();
+    s->mass = mass.float64_value();
+    return AggStatePtr(std::move(s));
+  }
+  AggStatePtr Clone(const AggState* state) const override {
+    return std::make_unique<ComState>(*As<ComState>(state));
+  }
+};
+
+}  // namespace
+
+const char* AggClassName(AggClass c) {
+  switch (c) {
+    case AggClass::kDistributive:
+      return "distributive";
+    case AggClass::kAlgebraic:
+      return "algebraic";
+    case AggClass::kHolistic:
+      return "holistic";
+  }
+  return "unknown";
+}
+
+AggregateFunctionPtr MakeCountStar() {
+  return std::make_shared<CountStarFunction>();
+}
+AggregateFunctionPtr MakeCount() { return std::make_shared<CountFunction>(); }
+AggregateFunctionPtr MakeSum() { return std::make_shared<SumFunction>(); }
+AggregateFunctionPtr MakeMin() {
+  return std::make_shared<ExtremeFunction>(/*is_max=*/false);
+}
+AggregateFunctionPtr MakeMax() {
+  return std::make_shared<ExtremeFunction>(/*is_max=*/true);
+}
+AggregateFunctionPtr MakeAvg() { return std::make_shared<AvgFunction>(); }
+AggregateFunctionPtr MakeVarPop() {
+  return std::make_shared<VarianceFunction>(/*stddev=*/false);
+}
+AggregateFunctionPtr MakeStdDevPop() {
+  return std::make_shared<VarianceFunction>(/*stddev=*/true);
+}
+AggregateFunctionPtr MakeMedian() { return std::make_shared<MedianFunction>(); }
+AggregateFunctionPtr MakeMode() { return std::make_shared<ModeFunction>(); }
+AggregateFunctionPtr MakeCountDistinctAgg() {
+  return std::make_shared<CountDistinctFunction>();
+}
+AggregateFunctionPtr MakeMaxN(int n) {
+  return std::make_shared<TopNFunction>(/*is_max=*/true, n);
+}
+AggregateFunctionPtr MakeMinN(int n) {
+  return std::make_shared<TopNFunction>(/*is_max=*/false, n);
+}
+AggregateFunctionPtr MakeCenterOfMass() {
+  return std::make_shared<CenterOfMassFunction>();
+}
+AggregateFunctionPtr MakePercentile(double p) {
+  return std::make_shared<PercentileFunction>(p);
+}
+AggregateFunctionPtr MakeBoolAnd() {
+  return std::make_shared<BoolCombineFunction>(/*is_and=*/true);
+}
+AggregateFunctionPtr MakeBoolOr() {
+  return std::make_shared<BoolCombineFunction>(/*is_and=*/false);
+}
+
+}  // namespace datacube

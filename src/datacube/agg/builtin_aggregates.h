@@ -1,0 +1,41 @@
+#ifndef DATACUBE_AGG_BUILTIN_AGGREGATES_H_
+#define DATACUBE_AGG_BUILTIN_AGGREGATES_H_
+
+#include "datacube/agg/aggregate.h"
+
+namespace datacube {
+
+/// Factory helpers for the built-in aggregate functions. These are also
+/// available by name through AggregateRegistry ("count_star", "count",
+/// "sum", "min", "max", "avg", "var_pop", "stddev_pop", "median", "mode",
+/// "count_distinct", "max_n", "min_n", "center_of_mass").
+AggregateFunctionPtr MakeCountStar();
+AggregateFunctionPtr MakeCount();
+AggregateFunctionPtr MakeSum();
+AggregateFunctionPtr MakeMin();
+AggregateFunctionPtr MakeMax();
+AggregateFunctionPtr MakeAvg();
+AggregateFunctionPtr MakeVarPop();
+AggregateFunctionPtr MakeStdDevPop();
+AggregateFunctionPtr MakeMedian();
+AggregateFunctionPtr MakeMode();
+AggregateFunctionPtr MakeCountDistinctAgg();
+/// The N largest (MaxN) / smallest (MinN) values, rendered as a
+/// comma-joined string — the paper's canonical algebraic examples whose
+/// scratchpad is an M-tuple.
+AggregateFunctionPtr MakeMaxN(int n);
+AggregateFunctionPtr MakeMinN(int n);
+/// center_of_mass(position, mass) — two-argument algebraic aggregate.
+AggregateFunctionPtr MakeCenterOfMass();
+/// percentile(x, p) with p in [0, 100]: the p-th percentile by linear
+/// interpolation. Holistic, like median (its p = 50 special case) — the
+/// Section 6 "medians and quartiles" family.
+AggregateFunctionPtr MakePercentile(double p);
+/// bool_and / bool_or over a boolean column (distributive; deletable via
+/// true/false counters).
+AggregateFunctionPtr MakeBoolAnd();
+AggregateFunctionPtr MakeBoolOr();
+
+}  // namespace datacube
+
+#endif  // DATACUBE_AGG_BUILTIN_AGGREGATES_H_

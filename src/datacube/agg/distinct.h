@@ -1,0 +1,17 @@
+#ifndef DATACUBE_AGG_DISTINCT_H_
+#define DATACUBE_AGG_DISTINCT_H_
+
+#include "datacube/agg/aggregate.h"
+
+namespace datacube {
+
+/// Wraps any aggregate so that it sees each distinct argument tuple once —
+/// SQL's `agg(DISTINCT x)`. The scratchpad keeps the set of seen argument
+/// tuples (with multiplicities, so Remove works), making the wrapper
+/// holistic regardless of the inner function's class; the set is mergeable,
+/// so supports_merge() stays true.
+AggregateFunctionPtr MakeDistinct(AggregateFunctionPtr inner);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_AGG_DISTINCT_H_

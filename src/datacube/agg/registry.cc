@@ -1,0 +1,116 @@
+#include "datacube/agg/registry.h"
+
+#include <algorithm>
+
+#include "datacube/agg/builtin_aggregates.h"
+#include "datacube/common/str_util.h"
+
+namespace datacube {
+
+namespace {
+
+AggregateRegistry::Factory NoParams(AggregateFunctionPtr (*make)()) {
+  return [make](const std::vector<Value>& params)
+             -> Result<AggregateFunctionPtr> {
+    if (!params.empty()) {
+      return Status::InvalidArgument("aggregate takes no parameters");
+    }
+    return make();
+  };
+}
+
+Result<int> SingleIntParam(const std::vector<Value>& params, const char* fn) {
+  if (params.size() != 1 || params[0].kind() != Value::Kind::kInt64) {
+    return Status::InvalidArgument(std::string(fn) +
+                                   " requires one integer parameter");
+  }
+  int64_t n = params[0].int64_value();
+  if (n < 1 || n > 1'000'000) {
+    return Status::OutOfRange(std::string(fn) + ": parameter out of range");
+  }
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+AggregateRegistry& AggregateRegistry::Global() {
+  static AggregateRegistry* registry = [] {
+    auto* r = new AggregateRegistry();
+    (void)r->Register("count_star", NoParams(&MakeCountStar));
+    (void)r->Register("count", NoParams(&MakeCount));
+    (void)r->Register("sum", NoParams(&MakeSum));
+    (void)r->Register("min", NoParams(&MakeMin));
+    (void)r->Register("max", NoParams(&MakeMax));
+    (void)r->Register("avg", NoParams(&MakeAvg));
+    (void)r->Register("var_pop", NoParams(&MakeVarPop));
+    (void)r->Register("stddev_pop", NoParams(&MakeStdDevPop));
+    (void)r->Register("median", NoParams(&MakeMedian));
+    (void)r->Register("mode", NoParams(&MakeMode));
+    (void)r->Register("count_distinct", NoParams(&MakeCountDistinctAgg));
+    (void)r->Register("center_of_mass", NoParams(&MakeCenterOfMass));
+    (void)r->Register("bool_and", NoParams(&MakeBoolAnd));
+    (void)r->Register("bool_or", NoParams(&MakeBoolOr));
+    (void)r->Register(
+        "max_n", [](const std::vector<Value>& params)
+                     -> Result<AggregateFunctionPtr> {
+          DATACUBE_ASSIGN_OR_RETURN(int n, SingleIntParam(params, "max_n"));
+          return MakeMaxN(n);
+        });
+    (void)r->Register(
+        "min_n", [](const std::vector<Value>& params)
+                     -> Result<AggregateFunctionPtr> {
+          DATACUBE_ASSIGN_OR_RETURN(int n, SingleIntParam(params, "min_n"));
+          return MakeMinN(n);
+        });
+    (void)r->Register(
+        "percentile", [](const std::vector<Value>& params)
+                          -> Result<AggregateFunctionPtr> {
+          if (params.size() != 1 || !params[0].is_numeric()) {
+            return Status::InvalidArgument(
+                "percentile requires one numeric parameter");
+          }
+          double p = params[0].AsDouble();
+          if (p < 0 || p > 100) {
+            return Status::OutOfRange("percentile parameter must be 0..100");
+          }
+          return MakePercentile(p);
+        });
+    return r;
+  }();
+  return *registry;
+}
+
+Status AggregateRegistry::Register(const std::string& name, Factory factory) {
+  for (const auto& [existing, _] : factories_) {
+    if (EqualsIgnoreCase(existing, name)) {
+      return Status::AlreadyExists("aggregate already registered: " + name);
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+  return Status::OK();
+}
+
+Result<AggregateFunctionPtr> AggregateRegistry::Make(
+    const std::string& name, const std::vector<Value>& params) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (EqualsIgnoreCase(existing, name)) return factory(params);
+  }
+  return Status::NotFound("no aggregate function named " + name);
+}
+
+bool AggregateRegistry::Contains(const std::string& name) const {
+  for (const auto& [existing, _] : factories_) {
+    if (EqualsIgnoreCase(existing, name)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> AggregateRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace datacube

@@ -1,0 +1,47 @@
+#ifndef DATACUBE_AGG_REGISTRY_H_
+#define DATACUBE_AGG_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datacube/agg/aggregate.h"
+#include "datacube/common/result.h"
+
+namespace datacube {
+
+/// Process-wide registry of aggregate functions, keyed by case-insensitive
+/// name. This is the paper's user-defined aggregate extension point
+/// (Section 1.2's Informix Init/Iter/Final callbacks, Figure 7): register a
+/// factory and the function becomes available to the cube operator and the
+/// SQL front end.
+class AggregateRegistry {
+ public:
+  /// A factory builds a function instance from constant parameters (e.g.
+  /// max_n(x, 3) passes params = {3}).
+  using Factory = std::function<Result<AggregateFunctionPtr>(
+      const std::vector<Value>& params)>;
+
+  /// The singleton registry with built-ins pre-registered.
+  static AggregateRegistry& Global();
+
+  /// Registers `factory` under `name`; fails if taken.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates the function `name` with `params`.
+  Result<AggregateFunctionPtr> Make(
+      const std::string& name, const std::vector<Value>& params = {}) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Sorted names of registered functions.
+  std::vector<std::string> Names() const;
+
+ private:
+  AggregateRegistry() = default;
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+}  // namespace datacube
+
+#endif  // DATACUBE_AGG_REGISTRY_H_

@@ -1,0 +1,117 @@
+#include "datacube/common/date.h"
+
+#include <cstdio>
+
+namespace datacube {
+
+namespace {
+
+// Howard Hinnant's days_from_civil: days since 1970-01-01 for a proleptic
+// Gregorian date.
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                   // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+// Inverse of DaysFromCivil.
+CivilDate CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                                // [0, 146096]
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                              // [0, 11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;                      // [1, 31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                           // [1, 12]
+  CivilDate civil;
+  civil.year = static_cast<int32_t>(y + (m <= 2));
+  civil.month = static_cast<int32_t>(m);
+  civil.day = static_cast<int32_t>(d);
+  return civil;
+}
+
+}  // namespace
+
+Date DateFromCivil(int32_t year, int32_t month, int32_t day) {
+  return Date{static_cast<int32_t>(DaysFromCivil(year, month, day))};
+}
+
+CivilDate CivilFromDate(Date date) { return CivilFromDays(date.days_since_epoch); }
+
+bool IsLeapYear(int32_t year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int32_t DaysInMonth(int32_t year, int32_t month) {
+  static constexpr int32_t kDays[] = {31, 28, 31, 30, 31, 30,
+                                      31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+Result<Date> MakeDate(int32_t year, int32_t month, int32_t day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  return DateFromCivil(year, month, day);
+}
+
+Result<Date> ParseDate(const std::string& text) {
+  int year = 0, month = 0, day = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &year, &month, &day) != 3 &&
+      std::sscanf(text.c_str(), "%d/%d/%d", &year, &month, &day) != 3) {
+    return Status::ParseError("cannot parse date: '" + text + "'");
+  }
+  return MakeDate(year, month, day);
+}
+
+std::string FormatDate(Date date) {
+  CivilDate c = CivilFromDate(date);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+int32_t DateYear(Date date) { return CivilFromDate(date).year; }
+int32_t DateMonth(Date date) { return CivilFromDate(date).month; }
+int32_t DateDay(Date date) { return CivilFromDate(date).day; }
+int32_t DateQuarter(Date date) { return (DateMonth(date) - 1) / 3 + 1; }
+
+int32_t DateWeekday(Date date) {
+  // 1970-01-01 was a Thursday (weekday index 3 with Monday = 0).
+  int64_t z = date.days_since_epoch;
+  return static_cast<int32_t>(((z % 7) + 7 + 3) % 7);
+}
+
+bool DateIsWeekend(Date date) { return DateWeekday(date) >= 5; }
+
+namespace {
+
+// The Thursday of the ISO week containing `date` determines both the ISO
+// week-numbering year and, via day-count arithmetic, the week number.
+Date IsoWeekThursday(Date date) {
+  int32_t wd = DateWeekday(date);  // 0 = Monday
+  return Date{date.days_since_epoch + (3 - wd)};
+}
+
+}  // namespace
+
+int32_t DateIsoWeekYear(Date date) { return DateYear(IsoWeekThursday(date)); }
+
+int32_t DateIsoWeek(Date date) {
+  Date thursday = IsoWeekThursday(date);
+  int32_t year = DateYear(thursday);
+  Date jan1 = DateFromCivil(year, 1, 1);
+  return (thursday.days_since_epoch - jan1.days_since_epoch) / 7 + 1;
+}
+
+}  // namespace datacube

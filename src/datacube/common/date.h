@@ -1,0 +1,66 @@
+#ifndef DATACUBE_COMMON_DATE_H_
+#define DATACUBE_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datacube/common/result.h"
+
+namespace datacube {
+
+/// Calendar date stored as days since the Unix epoch (1970-01-01).
+/// Uses the proleptic Gregorian calendar (Howard Hinnant's civil-date
+/// algorithms), valid far beyond any workload in this library.
+struct Date {
+  int32_t days_since_epoch = 0;
+
+  friend bool operator==(const Date& a, const Date& b) = default;
+  friend auto operator<=>(const Date& a, const Date& b) = default;
+};
+
+/// Broken-down calendar fields of a Date.
+struct CivilDate {
+  int32_t year = 1970;
+  int32_t month = 1;  // 1..12
+  int32_t day = 1;    // 1..31
+};
+
+/// Converts calendar fields to a Date. Fields are not range-checked beyond
+/// month normalization; use MakeDate for validated construction.
+Date DateFromCivil(int32_t year, int32_t month, int32_t day);
+
+/// Converts a Date back to calendar fields.
+CivilDate CivilFromDate(Date date);
+
+/// Validated construction: month must be 1..12, day valid for that month.
+Result<Date> MakeDate(int32_t year, int32_t month, int32_t day);
+
+/// Parses "YYYY-MM-DD" (also accepts "YYYY/MM/DD").
+Result<Date> ParseDate(const std::string& text);
+
+/// Formats as "YYYY-MM-DD".
+std::string FormatDate(Date date);
+
+/// Extraction functions used as grouping functions (histograms, Section 2 of
+/// the paper: "group times into days, weeks, or months").
+int32_t DateYear(Date date);
+int32_t DateMonth(Date date);    // 1..12
+int32_t DateDay(Date date);      // day of month, 1..31
+int32_t DateQuarter(Date date);  // 1..4
+/// ISO 8601 week number (1..53). Weeks straddle year boundaries — the paper's
+/// Section 3.6 point that "weeks do not nest in months or quarters or years".
+int32_t DateIsoWeek(Date date);
+/// ISO week-numbering year (differs from calendar year near Jan 1 / Dec 31).
+int32_t DateIsoWeekYear(Date date);
+/// Day of week: 0 = Monday .. 6 = Sunday.
+int32_t DateWeekday(Date date);
+/// True for Saturday/Sunday.
+bool DateIsWeekend(Date date);
+/// Number of days in the given month of the given year.
+int32_t DaysInMonth(int32_t year, int32_t month);
+/// True if `year` is a Gregorian leap year.
+bool IsLeapYear(int32_t year);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_COMMON_DATE_H_

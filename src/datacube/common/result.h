@@ -1,0 +1,72 @@
+#ifndef DATACUBE_COMMON_RESULT_H_
+#define DATACUBE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "datacube/common/status.h"
+
+namespace datacube {
+
+/// Holds either a value of type T or an error Status. The library's
+/// exception-free analogue of `absl::StatusOr<T>` / `arrow::Result<T>`.
+///
+/// Usage:
+///   Result<Table> r = ReadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define DATACUBE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define DATACUBE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define DATACUBE_ASSIGN_OR_RETURN_NAME(a, b) \
+  DATACUBE_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define DATACUBE_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  DATACUBE_ASSIGN_OR_RETURN_IMPL(                                             \
+      DATACUBE_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace datacube
+
+#endif  // DATACUBE_COMMON_RESULT_H_

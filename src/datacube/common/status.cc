@@ -1,0 +1,39 @@
+#include "datacube/common/status.h"
+
+namespace datacube {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace datacube

@@ -1,0 +1,75 @@
+#include "datacube/common/str_util.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace datacube {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(const std::string& text) {
+  std::string out = text;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string ToUpper(const std::string& text) {
+  std::string out = text;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Pad(const std::string& text, size_t width, bool right_align) {
+  if (text.size() >= width) return text;
+  std::string spaces(width - text.size(), ' ');
+  return right_align ? spaces + text : text + spaces;
+}
+
+}  // namespace datacube

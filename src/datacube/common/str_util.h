@@ -1,0 +1,34 @@
+#ifndef DATACUBE_COMMON_STR_UTIL_H_
+#define DATACUBE_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace datacube {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `text` on `sep` (single character). An empty input yields one
+/// empty field, matching CSV semantics.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(const std::string& text);
+
+/// ASCII lower-casing.
+std::string ToLower(const std::string& text);
+
+/// ASCII upper-casing.
+std::string ToUpper(const std::string& text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Left-pads (`right_align = true`) or right-pads `text` with spaces to
+/// `width`; never truncates.
+std::string Pad(const std::string& text, size_t width, bool right_align = false);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_COMMON_STR_UTIL_H_

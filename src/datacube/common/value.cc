@@ -1,0 +1,204 @@
+#include "datacube/common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+namespace datacube {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kFloat64:
+      return "FLOAT64";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kFloat64;
+}
+
+Result<DataType> Value::type() const {
+  switch (kind_) {
+    case Kind::kBool:
+      return DataType::kBool;
+    case Kind::kInt64:
+      return DataType::kInt64;
+    case Kind::kFloat64:
+      return DataType::kFloat64;
+    case Kind::kString:
+      return DataType::kString;
+    case Kind::kDate:
+      return DataType::kDate;
+    case Kind::kNull:
+    case Kind::kAll:
+      return Status::TypeError("NULL/ALL has no concrete type");
+  }
+  return Status::Internal("corrupt Value kind");
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_special()) return *this;
+  switch (target) {
+    case DataType::kBool:
+      if (kind_ == Kind::kBool) return *this;
+      if (kind_ == Kind::kInt64) return Value::Bool(int64_value() != 0);
+      break;
+    case DataType::kInt64:
+      if (kind_ == Kind::kInt64) return *this;
+      if (kind_ == Kind::kBool) return Value::Int64(bool_value() ? 1 : 0);
+      if (kind_ == Kind::kFloat64) {
+        return Value::Int64(static_cast<int64_t>(std::llround(float64_value())));
+      }
+      if (kind_ == Kind::kString) {
+        char* end = nullptr;
+        const std::string& s = string_value();
+        long long v = std::strtoll(s.c_str(), &end, 10);
+        if (end != s.c_str() && *end == '\0') return Value::Int64(v);
+      }
+      break;
+    case DataType::kFloat64:
+      if (kind_ == Kind::kFloat64) return *this;
+      if (kind_ == Kind::kInt64) {
+        return Value::Float64(static_cast<double>(int64_value()));
+      }
+      if (kind_ == Kind::kBool) return Value::Float64(bool_value() ? 1.0 : 0.0);
+      if (kind_ == Kind::kString) {
+        char* end = nullptr;
+        const std::string& s = string_value();
+        double v = std::strtod(s.c_str(), &end);
+        if (end != s.c_str() && *end == '\0') return Value::Float64(v);
+      }
+      break;
+    case DataType::kString:
+      return Value::String(ToString());
+    case DataType::kDate:
+      if (kind_ == Kind::kDate) return *this;
+      if (kind_ == Kind::kString) {
+        DATACUBE_ASSIGN_OR_RETURN(Date d, ParseDate(string_value()));
+        return Value::FromDate(d);
+      }
+      break;
+  }
+  return Status::TypeError(std::string("cannot cast ") + ToString() + " to " +
+                           DataTypeName(target));
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kAll:
+      return "ALL";
+    case Kind::kBool:
+      return bool_value() ? "true" : "false";
+    case Kind::kInt64:
+      return std::to_string(int64_value());
+    case Kind::kFloat64: {
+      double d = float64_value();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        // Integral doubles print without a trailing ".000000".
+        return std::to_string(static_cast<int64_t>(d));
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", d);
+      return buf;
+    }
+    case Kind::kString:
+      return string_value();
+    case Kind::kDate:
+      return FormatDate(date_value());
+  }
+  return "corrupt";
+}
+
+namespace {
+
+// Rank used to order Values of different kinds; numerics share a rank so
+// they compare by magnitude.
+int KindRank(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::kNull:
+      return 0;
+    case Value::Kind::kAll:
+      return 1;
+    case Value::Kind::kBool:
+      return 2;
+    case Value::Kind::kInt64:
+    case Value::Kind::kFloat64:
+      return 3;
+    case Value::Kind::kDate:
+      return 4;
+    case Value::Kind::kString:
+      return 5;
+  }
+  return 6;
+}
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = KindRank(kind_), rb = KindRank(other.kind_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (kind_) {
+    case Kind::kNull:
+    case Kind::kAll:
+      return 0;
+    case Kind::kBool:
+      return Cmp(bool_value(), other.bool_value());
+    case Kind::kInt64:
+      if (other.kind_ == Kind::kInt64) {
+        return Cmp(int64_value(), other.int64_value());
+      }
+      return Cmp(AsDouble(), other.AsDouble());
+    case Kind::kFloat64:
+      return Cmp(AsDouble(), other.AsDouble());
+    case Kind::kString:
+      return Cmp(string_value(), other.string_value());
+    case Kind::kDate:
+      return Cmp(date_value().days_since_epoch,
+                 other.date_value().days_since_epoch);
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return 0x6e756c6cULL;
+    case Kind::kAll:
+      return 0x616c6cULL;
+    case Kind::kBool:
+      return std::hash<bool>()(bool_value()) ^ 0xb0;
+    case Kind::kInt64:
+      return std::hash<double>()(static_cast<double>(int64_value()));
+    case Kind::kFloat64:
+      // Integral doubles hash identically to the equal int64 (Compare treats
+      // them as equal, so Hash must agree).
+      return std::hash<double>()(float64_value());
+    case Kind::kString:
+      return std::hash<std::string>()(string_value());
+    case Kind::kDate:
+      return std::hash<int32_t>()(date_value().days_since_epoch) ^ 0xda7e;
+  }
+  return 0;
+}
+
+}  // namespace datacube

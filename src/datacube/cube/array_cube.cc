@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <map>
+
+#include "datacube/cube/cube_internal.h"
+
+namespace datacube {
+namespace cube_internal {
+
+namespace {
+
+// Per-dimension dictionary: sorted distinct key values → dense codes
+// 0..C-1, with code C reserved for ALL. This is Graefe's technique quoted in
+// Section 5: "keep a hashed symbol table that maps each string to an integer
+// so that ... the aggregates can be stored as an N-dimensional array".
+struct Dimension {
+  std::vector<Value> values;            // code -> value
+  std::map<Value, size_t> codes;        // value -> code
+  size_t size_with_all() const { return values.size() + 1; }
+  size_t all_code() const { return values.size(); }
+};
+
+}  // namespace
+
+// Section 5's dense-array strategy for distributive/algebraic aggregates:
+// materialize the core as an N-dimensional array with each dimension of size
+// C_i + 1 (the extra slot is ALL), then compute the N-1 dimensional slabs by
+// projecting one dimension at a time — always collapsing the dimension with
+// the smallest C_i first ("pick the * with the smallest C_i").
+//
+// Only meaningful for the full cube; other grouping-set shapes, holistic
+// aggregates, or an array bigger than options.array_max_cells fall back to
+// the from-core strategy.
+Result<SetMaps> ComputeArrayCube(const CubeContext& ctx,
+                                 const CubeOptions& options, CubeStats* stats) {
+  bool is_full_cube =
+      ctx.sets.size() == (1ULL << ctx.num_keys) && ctx.num_keys > 0;
+  if (!ctx.all_mergeable || !is_full_cube) {
+    return ComputeFromCore(ctx, stats);
+  }
+
+  // Build dictionaries.
+  std::vector<Dimension> dims(ctx.num_keys);
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    for (const Value& v : ctx.key_columns[k]) dims[k].codes.emplace(v, 0);
+    for (auto& [v, code] : dims[k].codes) {
+      code = dims[k].values.size();
+      dims[k].values.push_back(v);
+    }
+  }
+
+  // Strides for linearizing coordinates; check the Π(C_i + 1) bound.
+  std::vector<size_t> stride(ctx.num_keys);
+  size_t total_cells = 1;
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    stride[k] = total_cells;
+    size_t dim = dims[k].size_with_all();
+    if (dim != 0 && total_cells > options.array_max_cells / dim) {
+      return ComputeFromCore(ctx, stats);  // would exceed the dense budget
+    }
+    total_cells *= dim;
+  }
+
+  // The dense array. Cells with empty `states` are untouched (sparse holes).
+  std::vector<Cell> array(total_cells);
+  auto touch = [&](size_t idx) -> Cell* {
+    if (array[idx].states.empty()) array[idx] = ctx.NewCell();
+    return &array[idx];
+  };
+
+  // Fill the core.
+  std::vector<size_t> coord(ctx.num_keys);
+  for (size_t row = 0; row < ctx.num_rows(); ++row) {
+    size_t idx = 0;
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      idx += dims[k].codes.at(ctx.key_columns[k][row]) * stride[k];
+    }
+    ctx.IterRow(touch(idx), row, stats);
+  }
+  if (stats != nullptr) ++stats->input_scans;
+
+  // Project one dimension at a time. For each grouping set (finest first),
+  // pick the collapsed dimension with the smallest cardinality among those
+  // whose single re-introduction yields an already-computed parent — in a
+  // full cube that is every cleared bit, so the smallest-C_i rule applies
+  // directly.
+  GroupingSet full = FullSet(ctx.num_keys);
+  for (GroupingSet set : ctx.sets) {
+    if (set == full) continue;
+    size_t best_d = ctx.num_keys;
+    for (size_t d = 0; d < ctx.num_keys; ++d) {
+      if (IsGrouped(set, d)) continue;
+      if (best_d == ctx.num_keys ||
+          dims[d].values.size() < dims[best_d].values.size()) {
+        best_d = d;
+      }
+    }
+    GroupingSet parent = set | (1ULL << best_d);
+    // Enumerate the parent's cells with an odometer over its grouped dims
+    // (ALL in the rest), merging each into the child cell at coord[d]=ALL.
+    std::vector<size_t> grouped_dims;
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      if (IsGrouped(parent, k)) grouped_dims.push_back(k);
+    }
+    std::fill(coord.begin(), coord.end(), 0);
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      if (!IsGrouped(parent, k)) coord[k] = dims[k].all_code();
+    }
+    while (true) {
+      size_t parent_idx = 0;
+      for (size_t k = 0; k < ctx.num_keys; ++k) {
+        parent_idx += coord[k] * stride[k];
+      }
+      if (!array[parent_idx].states.empty()) {
+        size_t child_idx =
+            parent_idx +
+            (dims[best_d].all_code() - coord[best_d]) * stride[best_d];
+        DATACUBE_RETURN_IF_ERROR(
+            ctx.MergeCell(touch(child_idx), array[parent_idx], stats));
+      }
+      // Advance the odometer.
+      size_t pos = 0;
+      for (; pos < grouped_dims.size(); ++pos) {
+        size_t k = grouped_dims[pos];
+        if (++coord[k] < dims[k].values.size()) break;
+        coord[k] = 0;
+      }
+      if (pos == grouped_dims.size()) break;
+    }
+  }
+
+  // Export the array into per-set cell maps.
+  SetMaps maps(ctx.sets.size());
+  for (size_t s = 0; s < ctx.sets.size(); ++s) {
+    GroupingSet set = ctx.sets[s];
+    std::vector<size_t> grouped_dims;
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      if (IsGrouped(set, k)) grouped_dims.push_back(k);
+    }
+    std::fill(coord.begin(), coord.end(), 0);
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      if (!IsGrouped(set, k)) coord[k] = dims[k].all_code();
+    }
+    while (true) {
+      size_t idx = 0;
+      for (size_t k = 0; k < ctx.num_keys; ++k) idx += coord[k] * stride[k];
+      if (!array[idx].states.empty()) {
+        std::vector<Value> key(ctx.num_keys, Value::All());
+        for (size_t k : grouped_dims) key[k] = dims[k].values[coord[k]];
+        maps[s].emplace(std::move(key), std::move(array[idx]));
+        array[idx] = Cell{};  // each cell belongs to exactly one set
+      }
+      size_t pos = 0;
+      for (; pos < grouped_dims.size(); ++pos) {
+        size_t k = grouped_dims[pos];
+        if (++coord[k] < dims[k].values.size()) break;
+        coord[k] = 0;
+      }
+      if (pos == grouped_dims.size()) break;
+    }
+  }
+  return maps;
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

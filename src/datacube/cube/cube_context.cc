@@ -1,0 +1,241 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "datacube/agg/distinct.h"
+#include "datacube/agg/registry.h"
+#include "datacube/cube/cube_internal.h"
+
+namespace datacube {
+namespace cube_internal {
+
+std::vector<Value> CubeContext::MaskedKey(size_t row, GroupingSet set) const {
+  std::vector<Value> key(num_keys, Value::All());
+  for (size_t k = 0; k < num_keys; ++k) {
+    if (IsGrouped(set, k)) key[k] = key_columns[k][row];
+  }
+  return key;
+}
+
+std::vector<Value> CubeContext::ProjectKey(const std::vector<Value>& key,
+                                           GroupingSet set) const {
+  std::vector<Value> out(num_keys, Value::All());
+  for (size_t k = 0; k < num_keys; ++k) {
+    if (IsGrouped(set, k)) out[k] = key[k];
+  }
+  return out;
+}
+
+Cell CubeContext::NewCell() const {
+  Cell cell;
+  cell.states.reserve(aggs.size());
+  for (const AggregateFunctionPtr& agg : aggs) {
+    cell.states.push_back(agg->Init());
+  }
+  return cell;
+}
+
+void CubeContext::IterRow(Cell* cell, size_t row, CubeStats* stats) const {
+  if (!cell->has_repr) {
+    cell->repr_row = row;
+    cell->has_repr = true;
+  }
+  ++cell->count;
+  Value argv[8];
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const auto& arg_columns = agg_args[a];
+    size_t nargs = arg_columns.size();
+    for (size_t i = 0; i < nargs; ++i) argv[i] = arg_columns[i][row];
+    aggs[a]->Iter(cell->states[a].get(), argv, nargs);
+  }
+  if (stats != nullptr) stats->iter_calls += aggs.size();
+}
+
+Status CubeContext::RemoveRow(Cell* cell, size_t row) const {
+  Value argv[8];
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const auto& arg_columns = agg_args[a];
+    size_t nargs = arg_columns.size();
+    for (size_t i = 0; i < nargs; ++i) argv[i] = arg_columns[i][row];
+    DATACUBE_RETURN_IF_ERROR(
+        aggs[a]->Remove(cell->states[a].get(), argv, nargs));
+  }
+  return Status::OK();
+}
+
+Status CubeContext::MergeCell(Cell* dst, const Cell& src,
+                              CubeStats* stats) const {
+  if (!dst->has_repr && src.has_repr) {
+    dst->repr_row = src.repr_row;
+    dst->has_repr = true;
+  }
+  dst->count += src.count;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    DATACUBE_RETURN_IF_ERROR(
+        aggs[a]->Merge(dst->states[a].get(), src.states[a].get()));
+  }
+  if (stats != nullptr) stats->merge_calls += aggs.size();
+  return Status::OK();
+}
+
+Cell CubeContext::CloneCell(const Cell& cell) const {
+  Cell out;
+  out.count = cell.count;
+  out.repr_row = cell.repr_row;
+  out.has_repr = cell.has_repr;
+  out.states.reserve(cell.states.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    out.states.push_back(aggs[a]->Clone(cell.states[a].get()));
+  }
+  return out;
+}
+
+Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec) {
+  CubeContext ctx;
+  ctx.input = &input;
+  ctx.spec = &spec;
+
+  std::vector<GroupExpr> group_exprs = spec.AllGroupExprs();
+  ctx.num_keys = group_exprs.size();
+  if (ctx.num_keys >= 64) {
+    return Status::InvalidArgument("at most 63 grouping columns supported");
+  }
+  // Evaluate grouping expressions.
+  std::unordered_set<std::string> used_names;
+  for (GroupExpr& g : group_exprs) {
+    if (g.expr == nullptr) {
+      return Status::InvalidArgument("null grouping expression");
+    }
+    DATACUBE_RETURN_IF_ERROR(g.expr->Bind(input.schema()));
+    std::string name = g.name.empty() ? g.expr->ToString() : g.name;
+    if (!used_names.insert(name).second) {
+      return Status::AlreadyExists("duplicate grouping column name: " + name);
+    }
+    ctx.key_names.push_back(name);
+    ctx.key_types.push_back(g.expr->output_type());
+    DATACUBE_ASSIGN_OR_RETURN(std::vector<Value> col,
+                              g.expr->EvaluateAll(input));
+    ctx.key_columns.push_back(std::move(col));
+  }
+
+  // Instantiate aggregates and evaluate their argument expressions.
+  if (spec.aggregates.empty()) {
+    return Status::InvalidArgument("cube spec has no aggregates");
+  }
+  for (const AggregateSpec& a : spec.aggregates) {
+    DATACUBE_ASSIGN_OR_RETURN(
+        AggregateFunctionPtr fn,
+        AggregateRegistry::Global().Make(a.function, a.params));
+    if (a.args.size() > 8) {
+      return Status::InvalidArgument("aggregates take at most 8 arguments");
+    }
+    if (fn->num_args() != static_cast<int>(a.args.size())) {
+      return Status::InvalidArgument(
+          a.function + " expects " + std::to_string(fn->num_args()) +
+          " argument(s), got " + std::to_string(a.args.size()));
+    }
+    std::vector<DataType> arg_types;
+    std::vector<std::vector<Value>> arg_columns;
+    for (const ExprPtr& arg : a.args) {
+      DATACUBE_RETURN_IF_ERROR(arg->Bind(input.schema()));
+      arg_types.push_back(arg->output_type());
+      DATACUBE_ASSIGN_OR_RETURN(std::vector<Value> col,
+                                arg->EvaluateAll(input));
+      arg_columns.push_back(std::move(col));
+    }
+    DATACUBE_ASSIGN_OR_RETURN(DataType result_type, fn->ResultType(arg_types));
+    if (a.distinct) fn = MakeDistinct(std::move(fn));
+    ctx.all_mergeable = ctx.all_mergeable && fn->supports_merge();
+    ctx.aggs.push_back(std::move(fn));
+    ctx.agg_result_types.push_back(result_type);
+    ctx.agg_args.push_back(std::move(arg_columns));
+  }
+
+  // Bind decorations and validate determinants.
+  for (const Decoration& d : spec.decorations) {
+    if (d.expr == nullptr) {
+      return Status::InvalidArgument("null decoration expression");
+    }
+    DATACUBE_RETURN_IF_ERROR(d.expr->Bind(input.schema()));
+    if (d.determinant >> ctx.num_keys) {
+      return Status::InvalidArgument(
+          "decoration determinant references unknown grouping column");
+    }
+  }
+
+  ctx.sets = spec.GroupingSets();
+  if (ctx.sets.empty()) {
+    return Status::InvalidArgument("cube spec has no grouping sets");
+  }
+  GroupingSet full = FullSet(ctx.num_keys);
+  for (size_t i = 0; i < ctx.sets.size(); ++i) {
+    if (ctx.sets[i] >> ctx.num_keys) {
+      return Status::InvalidArgument(
+          "grouping set references unknown grouping column");
+    }
+    if (ctx.sets[i] == full) ctx.full_set_index = static_cast<int>(i);
+  }
+  return ctx;
+}
+
+CellMap HashGroupBy(const CubeContext& ctx, GroupingSet set, CubeStats* stats) {
+  CellMap cells;
+  for (size_t row = 0; row < ctx.num_rows(); ++row) {
+    std::vector<Value> key = ctx.MaskedKey(row, set);
+    auto [it, inserted] = cells.try_emplace(std::move(key));
+    if (inserted) it->second = ctx.NewCell();
+    ctx.IterRow(&it->second, row, stats);
+  }
+  if (stats != nullptr) ++stats->input_scans;
+  return cells;
+}
+
+std::vector<size_t> KeyCardinalities(const CubeContext& ctx) {
+  std::vector<size_t> cards;
+  cards.reserve(ctx.num_keys);
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    std::unordered_set<Value, ValueHash> distinct;
+    for (const Value& v : ctx.key_columns[k]) distinct.insert(v);
+    cards.push_back(std::max<size_t>(1, distinct.size()));
+  }
+  return cards;
+}
+
+LatticePlan PlanLattice(const std::vector<GroupingSet>& sets,
+                        const std::vector<size_t>& column_cardinalities,
+                        ParentPolicy policy) {
+  LatticePlan plan;
+  std::vector<GroupingSet> ordered = NormalizeSets(sets);
+  auto estimate = [&](GroupingSet s) {
+    double est = 1.0;
+    for (size_t k = 0; k < column_cardinalities.size(); ++k) {
+      if (IsGrouped(s, k)) est *= static_cast<double>(column_cardinalities[k]);
+    }
+    return est;
+  };
+  for (GroupingSet s : ordered) {
+    LatticePlan::Node node;
+    node.set = s;
+    node.est_cells = estimate(s);
+    // Choose the already-planned strict superset with the fewest estimated
+    // cells (Section 5: aggregate from the smallest available parent) — or,
+    // under the ablation policy, the largest one.
+    double best = 0;
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+      const LatticePlan::Node& cand = plan.nodes[i];
+      bool superset = (cand.set & s) == s && cand.set != s;
+      if (!superset) continue;
+      bool better = policy == ParentPolicy::kSmallestParent
+                        ? cand.est_cells < best
+                        : cand.est_cells > best;
+      if (node.parent < 0 || better) {
+        node.parent = static_cast<int>(i);
+        best = cand.est_cells;
+      }
+    }
+    plan.nodes.push_back(node);
+  }
+  return plan;
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

@@ -1,0 +1,302 @@
+#include "datacube/cube/cube_operator.h"
+
+#include <algorithm>
+
+#include "datacube/cube/cube_internal.h"
+#include "datacube/table/sort.h"
+
+namespace datacube {
+
+using cube_internal::BuildCubeContext;
+using cube_internal::Cell;
+using cube_internal::CellMap;
+using cube_internal::CubeContext;
+using cube_internal::SetMaps;
+
+const char* CubeAlgorithmName(CubeAlgorithm a) {
+  switch (a) {
+    case CubeAlgorithm::kAuto:
+      return "auto";
+    case CubeAlgorithm::kNaive2N:
+      return "naive_2n";
+    case CubeAlgorithm::kUnionGroupBy:
+      return "union_groupby";
+    case CubeAlgorithm::kFromCore:
+      return "from_core";
+    case CubeAlgorithm::kArrayCube:
+      return "array_cube";
+    case CubeAlgorithm::kSortRollup:
+      return "sort_rollup";
+    case CubeAlgorithm::kSortFromCore:
+      return "sort_from_core";
+  }
+  return "?";
+}
+
+namespace {
+
+// True if `sets` is a containment chain (rollup shape), which SortRollup
+// handles in one sorted scan.
+bool IsChainShape(const std::vector<GroupingSet>& sets) {
+  for (size_t i = 1; i < sets.size(); ++i) {
+    if ((sets[i - 1] & sets[i]) != sets[i]) return false;
+  }
+  return true;
+}
+
+CubeAlgorithm ChooseAlgorithm(const CubeContext& ctx) {
+  if (IsChainShape(ctx.sets)) return CubeAlgorithm::kSortRollup;
+  if (ctx.all_mergeable) return CubeAlgorithm::kFromCore;
+  return CubeAlgorithm::kUnionGroupBy;
+}
+
+}  // namespace
+
+namespace cube_internal {
+
+// Assembles the result relation from per-set cell maps (Section 3's
+// relational representation: one row per cube cell, ALL marking
+// super-aggregates).
+Result<Table> AssembleResult(const CubeContext& ctx, SetMaps& maps,
+                             CubeStats* stats) {
+  const CubeSpec& spec = *ctx.spec;
+
+  // SQL semantics: the empty grouping set produces exactly one row even for
+  // empty input (the aggregate over the empty set).
+  for (size_t s = 0; s < ctx.sets.size(); ++s) {
+    if (ctx.sets[s] == 0 && maps[s].empty()) {
+      maps[s].emplace(std::vector<Value>(ctx.num_keys, Value::All()),
+                      ctx.NewCell());
+    }
+  }
+
+  // Result schema.
+  std::vector<Field> fields;
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    fields.push_back(Field{ctx.key_names[k], ctx.key_types[k],
+                           /*nullable=*/true, /*allow_all=*/true});
+  }
+  for (const Decoration& d : spec.decorations) {
+    fields.push_back(Field{d.name, d.expr->output_type(), /*nullable=*/true,
+                           /*allow_all=*/false});
+  }
+  for (size_t a = 0; a < ctx.aggs.size(); ++a) {
+    std::string name = spec.aggregates[a].output_name.empty()
+                           ? spec.aggregates[a].function
+                           : spec.aggregates[a].output_name;
+    fields.push_back(Field{std::move(name), ctx.agg_result_types[a],
+                           /*nullable=*/true, /*allow_all=*/false});
+  }
+  if (spec.add_grouping_columns) {
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      fields.push_back(Field{"grouping_" + ctx.key_names[k], DataType::kBool,
+                             /*nullable=*/false, /*allow_all=*/false});
+    }
+  }
+  if (spec.add_grouping_id) {
+    fields.push_back(Field{"grouping_id", DataType::kInt64,
+                           /*nullable=*/false, /*allow_all=*/false});
+  }
+  Table out{Schema{std::move(fields)}};
+
+  size_t total_cells = 0;
+  for (const CellMap& m : maps) total_cells += m.size();
+  out.Reserve(total_cells);
+  if (stats != nullptr) stats->output_cells = total_cells;
+
+  for (size_t s = 0; s < ctx.sets.size(); ++s) {
+    GroupingSet set = ctx.sets[s];
+    for (auto& [key, cell] : maps[s]) {
+      std::vector<Value> row;
+      row.reserve(out.num_columns());
+      // Grouping columns: ALL (or NULL under the minimalist Section 3.4
+      // design) in aggregated-away positions.
+      for (size_t k = 0; k < ctx.num_keys; ++k) {
+        if (IsGrouped(set, k)) {
+          row.push_back(key[k]);
+        } else {
+          row.push_back(spec.all_mode == AllMode::kAllToken ? Value::All()
+                                                            : Value::Null());
+        }
+      }
+      // Decorations: value when the grouping set functionally determines it
+      // (covers the determinant), else NULL — Table 7's continent rule.
+      for (const Decoration& d : spec.decorations) {
+        bool determined = (set & d.determinant) == d.determinant;
+        if (determined && cell.has_repr) {
+          DATACUBE_ASSIGN_OR_RETURN(
+              Value v, d.expr->Evaluate(*ctx.input, cell.repr_row));
+          row.push_back(std::move(v));
+        } else {
+          row.push_back(Value::Null());
+        }
+      }
+      // Aggregates.
+      for (size_t a = 0; a < ctx.aggs.size(); ++a) {
+        row.push_back(ctx.aggs[a]->Final(cell.states[a].get()));
+        if (stats != nullptr) ++stats->final_calls;
+      }
+      // GROUPING() discriminators (Section 3.3/3.4): TRUE where the column
+      // is an ALL value.
+      if (spec.add_grouping_columns) {
+        for (size_t k = 0; k < ctx.num_keys; ++k) {
+          row.push_back(Value::Bool(!IsGrouped(set, k)));
+        }
+      }
+      if (spec.add_grouping_id) {
+        int64_t id = 0;
+        for (size_t k = 0; k < ctx.num_keys; ++k) {
+          if (!IsGrouped(set, k)) id |= (1LL << k);
+        }
+        row.push_back(Value::Int64(id));
+      }
+      DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace cube_internal
+
+Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
+                               const CubeOptions& options) {
+  DATACUBE_ASSIGN_OR_RETURN(CubeContext ctx, BuildCubeContext(input, spec));
+
+  CubeStats stats;
+  CubeAlgorithm algorithm = options.algorithm == CubeAlgorithm::kAuto
+                                ? ChooseAlgorithm(ctx)
+                                : options.algorithm;
+  stats.algorithm_used = algorithm;
+
+  Result<SetMaps> maps = [&]() -> Result<SetMaps> {
+    if (options.num_threads > 1) {
+      return cube_internal::ComputeParallel(ctx, options, &stats);
+    }
+    switch (algorithm) {
+      case CubeAlgorithm::kNaive2N:
+        return cube_internal::ComputeNaive2N(ctx, &stats);
+      case CubeAlgorithm::kUnionGroupBy:
+        return cube_internal::ComputeUnionGroupBy(ctx, &stats);
+      case CubeAlgorithm::kFromCore:
+        return cube_internal::ComputeFromCore(ctx, &stats);
+      case CubeAlgorithm::kArrayCube:
+        return cube_internal::ComputeArrayCube(ctx, options, &stats);
+      case CubeAlgorithm::kSortRollup:
+        return cube_internal::ComputeSortRollup(ctx, &stats);
+      case CubeAlgorithm::kSortFromCore:
+        return cube_internal::ComputeSortFromCore(ctx, &stats);
+      case CubeAlgorithm::kAuto:
+        break;
+    }
+    return Status::Internal("unresolved cube algorithm");
+  }();
+  if (!maps.ok()) return maps.status();
+
+  DATACUBE_ASSIGN_OR_RETURN(
+      Table table, cube_internal::AssembleResult(ctx, maps.value(), &stats));
+  if (options.sort_result) {
+    std::vector<SortKey> keys;
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      keys.push_back(SortKey{k, /*ascending=*/true});
+    }
+    DATACUBE_ASSIGN_OR_RETURN(table, SortTable(table, keys));
+  }
+  return CubeResult{std::move(table), stats};
+}
+
+Result<std::string> ExplainCube(const Table& input, const CubeSpec& spec,
+                                const CubeOptions& options) {
+  DATACUBE_ASSIGN_OR_RETURN(CubeContext ctx,
+                            BuildCubeContext(input, spec));
+  CubeAlgorithm algorithm = options.algorithm == CubeAlgorithm::kAuto
+                                ? ChooseAlgorithm(ctx)
+                                : options.algorithm;
+  std::vector<size_t> cards = cube_internal::KeyCardinalities(ctx);
+  cube_internal::LatticePlan plan = cube_internal::PlanLattice(ctx.sets, cards);
+
+  std::string out;
+  out += "cube plan over " + std::to_string(input.num_rows()) + " rows, " +
+         std::to_string(ctx.num_keys) + " grouping columns, " +
+         std::to_string(ctx.sets.size()) + " grouping sets\n";
+  out += "algorithm: " + std::string(CubeAlgorithmName(algorithm));
+  if (options.num_threads > 1) {
+    out += " (partition-parallel x" + std::to_string(options.num_threads) + ")";
+  }
+  out += "\ncolumn cardinalities:";
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    out += " " + ctx.key_names[k] + "=" + std::to_string(cards[k]);
+  }
+  out += "\n";
+  bool cascades = algorithm == CubeAlgorithm::kFromCore ||
+                  algorithm == CubeAlgorithm::kSortFromCore ||
+                  algorithm == CubeAlgorithm::kArrayCube;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const cube_internal::LatticePlan::Node& node = plan.nodes[i];
+    out += "  " + GroupingSetToString(node.set, ctx.key_names);
+    out += "  est_cells=" + std::to_string(static_cast<uint64_t>(node.est_cells));
+    if (cascades && ctx.all_mergeable) {
+      if (node.parent < 0) {
+        out += "  <- base scan";
+      } else {
+        out += "  <- merge from " +
+               GroupingSetToString(
+                   plan.nodes[static_cast<size_t>(node.parent)].set,
+                   ctx.key_names);
+      }
+    } else {
+      out += "  <- base scan";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<CubeResult> GroupBy(const Table& input, std::vector<GroupExpr> group_by,
+                           std::vector<AggregateSpec> aggregates,
+                           const CubeOptions& options) {
+  CubeSpec spec;
+  spec.group_by = std::move(group_by);
+  spec.aggregates = std::move(aggregates);
+  return ExecuteCube(input, spec, options);
+}
+
+Result<CubeResult> Cube(const Table& input, std::vector<GroupExpr> cube,
+                        std::vector<AggregateSpec> aggregates,
+                        const CubeOptions& options) {
+  CubeSpec spec;
+  spec.cube = std::move(cube);
+  spec.aggregates = std::move(aggregates);
+  return ExecuteCube(input, spec, options);
+}
+
+Result<CubeResult> Rollup(const Table& input, std::vector<GroupExpr> rollup,
+                          std::vector<AggregateSpec> aggregates,
+                          const CubeOptions& options) {
+  CubeSpec spec;
+  spec.rollup = std::move(rollup);
+  spec.aggregates = std::move(aggregates);
+  return ExecuteCube(input, spec, options);
+}
+
+GroupExpr GroupCol(const std::string& column) {
+  return GroupExpr{Expr::Column(column), column};
+}
+
+AggregateSpec Agg(const std::string& function, const std::string& column,
+                  const std::string& output_name) {
+  AggregateSpec spec;
+  spec.function = function;
+  spec.args = {Expr::Column(column)};
+  spec.output_name =
+      output_name.empty() ? function + "_" + column : output_name;
+  return spec;
+}
+
+AggregateSpec CountStar(const std::string& output_name) {
+  AggregateSpec spec;
+  spec.function = "count_star";
+  spec.output_name = output_name;
+  return spec;
+}
+
+}  // namespace datacube

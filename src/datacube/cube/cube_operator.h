@@ -1,0 +1,69 @@
+#ifndef DATACUBE_CUBE_CUBE_OPERATOR_H_
+#define DATACUBE_CUBE_CUBE_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "datacube/cube/cube_spec.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// The cube operator's output: the result relation plus execution
+/// instrumentation.
+struct CubeResult {
+  Table table;
+  CubeStats stats;
+};
+
+/// Executes the CUBE / ROLLUP / GROUP BY operator described by `spec` over
+/// `input` — the paper's
+///   SELECT <groups>, <aggs> FROM input
+///   GROUP BY <g> ROLLUP <r> CUBE <c>
+///
+/// The result schema is:
+///   [grouping columns] [decorations] [aggregates] [GROUPING(col) columns?]
+/// Super-aggregate rows carry the ALL token (or NULL + GROUPING = TRUE in
+/// AllMode::kNullWithGrouping) in aggregated-away grouping columns.
+Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
+                               const CubeOptions& options = {});
+
+/// Renders the execution plan the operator would use for `spec` over
+/// `input` without computing the cube: the chosen algorithm, each grouping
+/// set with its estimated cell count, and — for lattice-cascading
+/// strategies — which parent each super-aggregate folds from (the
+/// Section 5 smallest-parent order). Useful for understanding and debugging
+/// big cubes before paying for them.
+Result<std::string> ExplainCube(const Table& input, const CubeSpec& spec,
+                                const CubeOptions& options = {});
+
+/// Convenience: plain GROUP BY (the degenerate form of the operator).
+Result<CubeResult> GroupBy(const Table& input,
+                           std::vector<GroupExpr> group_by,
+                           std::vector<AggregateSpec> aggregates,
+                           const CubeOptions& options = {});
+
+/// Convenience: full CUBE over the given columns.
+Result<CubeResult> Cube(const Table& input, std::vector<GroupExpr> cube,
+                        std::vector<AggregateSpec> aggregates,
+                        const CubeOptions& options = {});
+
+/// Convenience: ROLLUP over the given columns.
+Result<CubeResult> Rollup(const Table& input, std::vector<GroupExpr> rollup,
+                          std::vector<AggregateSpec> aggregates,
+                          const CubeOptions& options = {});
+
+/// Helper to build a GroupExpr from a plain column name.
+GroupExpr GroupCol(const std::string& column);
+
+/// Helper to build a one-argument AggregateSpec, e.g.
+/// Agg("sum", "Units", "TotalUnits").
+AggregateSpec Agg(const std::string& function, const std::string& column,
+                  const std::string& output_name = "");
+
+/// Helper for COUNT(*).
+AggregateSpec CountStar(const std::string& output_name = "count");
+
+}  // namespace datacube
+
+#endif  // DATACUBE_CUBE_CUBE_OPERATOR_H_

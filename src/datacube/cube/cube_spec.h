@@ -1,0 +1,155 @@
+#ifndef DATACUBE_CUBE_CUBE_SPEC_H_
+#define DATACUBE_CUBE_CUBE_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datacube/cube/grouping_set.h"
+#include "datacube/expr/expr.h"
+
+namespace datacube {
+
+/// One grouping column: an expression over the input (a plain column or a
+/// computed category per the paper's histogram extension, e.g. Day(Time))
+/// plus its output name.
+struct GroupExpr {
+  ExprPtr expr;
+  std::string name;
+};
+
+/// One aggregate in the select list: a function from AggregateRegistry, its
+/// argument expressions (empty for count_star), optional constant parameters
+/// (e.g. max_n(x, 3) → params {3}), optional DISTINCT, and the output
+/// column name.
+struct AggregateSpec {
+  std::string function;
+  std::vector<ExprPtr> args;
+  std::vector<Value> params;
+  bool distinct = false;
+  std::string output_name;
+};
+
+/// A decoration column (Section 3.5): an expression functionally dependent
+/// on some of the grouping columns. `determinant` is the bitmask of grouping
+/// columns that determine it; the decoration value appears in an output row
+/// only when the row's grouping set covers the determinant, otherwise it is
+/// NULL — exactly the Table 7 continent rule.
+struct Decoration {
+  ExprPtr expr;
+  std::string name;
+  GroupingSet determinant = 0;
+};
+
+/// How super-aggregate rows mark aggregated-away columns.
+enum class AllMode {
+  /// The paper's Section 3.3 design: a distinct ALL token.
+  kAllToken,
+  /// The Section 3.4 minimalist design (SQL Server 6.5 / ISO SQL): NULL in
+  /// the data column, discriminated by GROUPING() columns.
+  kNullWithGrouping,
+};
+
+/// Which algorithm computes the cube (Section 5). kAuto picks SortRollup for
+/// pure rollups, FromCore when every aggregate supports Merge, and
+/// UnionGroupBy otherwise.
+enum class CubeAlgorithm {
+  kAuto,
+  /// The paper's "2^N-algorithm": every input row Iters into all 2^N
+  /// matching cells. Works for holistic functions.
+  kNaive2N,
+  /// The Section 2 baseline: one independent GROUP BY scan per grouping
+  /// set, unioned ("64 scans of the data, 64 sorts or hashes, and a long
+  /// wait").
+  kUnionGroupBy,
+  /// Compute the GROUP BY core once; cascade scratchpads through the
+  /// lattice with Merge (Iter_super), each node from its smallest computed
+  /// parent. Requires supports_merge() on every aggregate.
+  kFromCore,
+  /// Dense N-dimensional array with dictionary-encoded dimensions; projects
+  /// one dimension at a time, smallest cardinality first (Section 5's array
+  /// technique). Requires merge support and bounded Π(C_i+1).
+  kArrayCube,
+  /// Sort-based pipelined ROLLUP (Section 5: "sorting is especially
+  /// convenient for ROLLUP"). Only for rollup-shaped specs.
+  kSortRollup,
+  /// Compute the core by sorting instead of hashing — Section 5's "use
+  /// sorting or hybrid hashing to organize the data by value and then
+  /// aggregate with a sequential scan of the sorted data" — then cascade
+  /// the lattice as kFromCore does. No hash table is built for the core,
+  /// so peak memory is the sort permutation plus one open cell.
+  kSortFromCore,
+};
+
+const char* CubeAlgorithmName(CubeAlgorithm a);
+
+/// The cube operator's full specification — the programmatic form of
+///   SELECT <groups>, <aggregates> FROM t
+///   GROUP BY <group_by...> ROLLUP <rollup...> CUBE <cube...>
+/// (the paper's Section 3.2 syntax). The grouping columns are the
+/// concatenation group_by ++ rollup ++ cube, and the grouping sets are the
+/// Section 3.1 compound algebra unless `explicit_sets` (GROUPING SETS) is
+/// given.
+struct CubeSpec {
+  std::vector<GroupExpr> group_by;
+  std::vector<GroupExpr> rollup;
+  std::vector<GroupExpr> cube;
+  std::vector<AggregateSpec> aggregates;
+  std::vector<Decoration> decorations;
+
+  /// Explicit GROUPING SETS over the concatenated grouping columns;
+  /// overrides the compound algebra when set.
+  std::optional<std::vector<GroupingSet>> explicit_sets;
+
+  AllMode all_mode = AllMode::kAllToken;
+  /// Emit one boolean GROUPING(<col>) column per grouping column (the
+  /// paper's Section 3.3/3.4 discriminator function).
+  bool add_grouping_columns = false;
+  /// Emit a single INT64 "grouping_id" column encoding the whole grouping
+  /// set as a bitmask (bit k set when grouping column k is aggregated away)
+  /// — the ISO SQL GROUPING_ID companion to GROUPING().
+  bool add_grouping_id = false;
+
+  /// All grouping columns in output order.
+  std::vector<GroupExpr> AllGroupExprs() const {
+    std::vector<GroupExpr> out = group_by;
+    out.insert(out.end(), rollup.begin(), rollup.end());
+    out.insert(out.end(), cube.begin(), cube.end());
+    return out;
+  }
+
+  /// The grouping sets this spec produces (normalized).
+  std::vector<GroupingSet> GroupingSets() const {
+    if (explicit_sets.has_value()) return NormalizeSets(*explicit_sets);
+    return ComposeGroupingSets(group_by.size(), rollup.size(), cube.size());
+  }
+};
+
+/// Execution options.
+struct CubeOptions {
+  CubeAlgorithm algorithm = CubeAlgorithm::kAuto;
+  /// Partition-parallel execution (Section 5's parallel note): > 1 splits
+  /// the input, cubes each partition, and merges scratchpads. Requires
+  /// merge support; falls back to serial otherwise.
+  int num_threads = 1;
+  /// Sort the result on the grouping columns for deterministic output.
+  bool sort_result = true;
+  /// Safety cap for kArrayCube's dense allocation (cells = Π(C_i+1)).
+  size_t array_max_cells = 1ULL << 26;
+};
+
+/// Instrumentation reported with each execution; the units of the paper's
+/// Section 5 cost claims (T×2^N Iter calls, scan counts, etc.).
+struct CubeStats {
+  uint64_t iter_calls = 0;      // AggregateFunction::Iter invocations
+  uint64_t merge_calls = 0;     // Merge (Iter_super) invocations
+  uint64_t final_calls = 0;     // Final invocations
+  uint64_t input_scans = 0;     // full passes over the input table
+  uint64_t output_cells = 0;    // cube cells produced
+  CubeAlgorithm algorithm_used = CubeAlgorithm::kAuto;
+  int threads_used = 1;
+};
+
+}  // namespace datacube
+
+#endif  // DATACUBE_CUBE_CUBE_SPEC_H_

@@ -1,0 +1,63 @@
+#include <optional>
+
+#include "datacube/cube/cube_internal.h"
+
+namespace datacube {
+namespace cube_internal {
+
+// Shared cascade over the smallest-parent lattice plan. If `core` is
+// provided it seeds the full grouping set (used by the parallel path, which
+// computes the core by merging per-partition cores); any node without a
+// computed parent is grouped directly from base data.
+Result<SetMaps> CascadeFromCore(const CubeContext& ctx,
+                                std::optional<CellMap> core,
+                                CubeStats* stats) {
+  LatticePlan plan = PlanLattice(ctx.sets, KeyCardinalities(ctx));
+  // PlanLattice normalizes to the same canonical order as ctx.sets, so node
+  // i corresponds to ctx.sets[i].
+  SetMaps maps(ctx.sets.size());
+  GroupingSet full = FullSet(ctx.num_keys);
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const LatticePlan::Node& node = plan.nodes[i];
+    if (node.set == full && core.has_value()) {
+      maps[i] = std::move(*core);
+      core.reset();
+      continue;
+    }
+    if (node.parent < 0) {
+      maps[i] = HashGroupBy(ctx, node.set, stats);
+      continue;
+    }
+    const CellMap& parent_cells = maps[node.parent];
+    CellMap& cells = maps[i];
+    for (const auto& [parent_key, parent_cell] : parent_cells) {
+      std::vector<Value> key = ctx.ProjectKey(parent_key, node.set);
+      auto [it, inserted] = cells.try_emplace(std::move(key));
+      if (inserted) it->second = ctx.NewCell();
+      DATACUBE_RETURN_IF_ERROR(ctx.MergeCell(&it->second, parent_cell, stats));
+    }
+  }
+  return maps;
+}
+
+// Section 5's recommended strategy for distributive and algebraic
+// aggregates: compute the GROUP BY core once, then compute each
+// super-aggregate by folding scratchpads ("Iter_super") upward through the
+// lattice, choosing for each node the smallest already-computed parent
+// ("the algorithm will be most efficient if it aggregates the smaller of
+// the two"). This reduces Iter calls from T×2^N to T, plus merges roughly
+// proportional to the core size.
+//
+// If any aggregate does not support Merge (holistic), the whole computation
+// falls back to per-set scans, matching the paper's trichotomy ("we know of
+// no more efficient way of computing super-aggregates of holistic
+// functions").
+Result<SetMaps> ComputeFromCore(const CubeContext& ctx, CubeStats* stats) {
+  if (!ctx.all_mergeable) {
+    return ComputeUnionGroupBy(ctx, stats);
+  }
+  return CascadeFromCore(ctx, std::nullopt, stats);
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

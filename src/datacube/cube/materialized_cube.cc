@@ -1,0 +1,597 @@
+#include "datacube/cube/materialized_cube.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "datacube/common/codec.h"
+
+namespace datacube {
+
+using cube_internal::Cell;
+using cube_internal::CellMap;
+using cube_internal::CubeContext;
+using cube_internal::SetMaps;
+
+Result<std::unique_ptr<MaterializedCube>> MaterializedCube::Build(
+    const Table& input, const CubeSpec& spec, const CubeOptions& options) {
+  auto cube = std::unique_ptr<MaterializedCube>(new MaterializedCube());
+  cube->base_ = std::make_unique<Table>(input);
+  cube->spec_ = std::make_unique<CubeSpec>(spec);
+  DATACUBE_ASSIGN_OR_RETURN(
+      cube->ctx_, cube_internal::BuildCubeContext(*cube->base_, *cube->spec_));
+
+  CubeStats build_stats;
+  Result<SetMaps> maps = [&]() -> Result<SetMaps> {
+    switch (options.algorithm) {
+      case CubeAlgorithm::kNaive2N:
+        return cube_internal::ComputeNaive2N(cube->ctx_, &build_stats);
+      case CubeAlgorithm::kUnionGroupBy:
+        return cube_internal::ComputeUnionGroupBy(cube->ctx_, &build_stats);
+      case CubeAlgorithm::kArrayCube:
+        return cube_internal::ComputeArrayCube(cube->ctx_, options,
+                                               &build_stats);
+      case CubeAlgorithm::kSortRollup:
+        return cube_internal::ComputeSortRollup(cube->ctx_, &build_stats);
+      case CubeAlgorithm::kAuto:
+      case CubeAlgorithm::kFromCore:
+      default:
+        return cube_internal::ComputeFromCore(cube->ctx_, &build_stats);
+    }
+  }();
+  if (!maps.ok()) return maps.status();
+  cube->maps_ = std::move(maps).value();
+
+  cube->tombstone_.assign(input.num_rows(), false);
+  cube->live_rows_ = input.num_rows();
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    cube->row_index_.emplace(input.GetRow(r), r);
+  }
+  return cube;
+}
+
+Status MaterializedCube::EvaluateRow(size_t row) {
+  std::vector<GroupExpr> group_exprs = spec_->AllGroupExprs();
+  for (size_t k = 0; k < ctx_.num_keys; ++k) {
+    DATACUBE_ASSIGN_OR_RETURN(Value v,
+                              group_exprs[k].expr->Evaluate(*base_, row));
+    ctx_.key_columns[k].push_back(std::move(v));
+  }
+  for (size_t a = 0; a < spec_->aggregates.size(); ++a) {
+    const AggregateSpec& agg = spec_->aggregates[a];
+    for (size_t i = 0; i < agg.args.size(); ++i) {
+      DATACUBE_ASSIGN_OR_RETURN(Value v, agg.args[i]->Evaluate(*base_, row));
+      ctx_.agg_args[a][i].push_back(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+Status MaterializedCube::ApplyInsert(const std::vector<Value>& row) {
+  DATACUBE_RETURN_IF_ERROR(base_->AppendRow(row));
+  size_t row_id = base_->num_rows() - 1;
+  DATACUBE_RETURN_IF_ERROR(EvaluateRow(row_id));
+  tombstone_.push_back(false);
+  ++live_rows_;
+  row_index_.emplace(row, row_id);
+  ++stats_.inserts;
+
+  // Visit the row's cell in each grouping set — 2^N scratchpad visits —
+  // finest set first, so the paper's short-circuit applies: once the value
+  // "loses" at some set, every subset of that set is skipped.
+  Value argv[8];
+  std::vector<GroupingSet> lost_at;
+  for (size_t s = 0; s < ctx_.sets.size(); ++s) {
+    GroupingSet set = ctx_.sets[s];
+    bool dominated = std::any_of(
+        lost_at.begin(), lost_at.end(),
+        [set](GroupingSet loser) { return (set & loser) == set; });
+    if (dominated) {
+      ++stats_.cells_skipped;
+      continue;
+    }
+    std::vector<Value> key = ctx_.MaskedKey(row_id, set);
+    auto [it, inserted] = maps_[s].try_emplace(key);
+    if (inserted) it->second = ctx_.NewCell();
+    Cell& cell = it->second;
+
+    // A cell can be skipped outright only when no aggregate can change.
+    bool any_change = inserted;
+    for (size_t a = 0; a < ctx_.aggs.size() && !any_change; ++a) {
+      const auto& arg_columns = ctx_.agg_args[a];
+      for (size_t i = 0; i < arg_columns.size(); ++i) {
+        argv[i] = arg_columns[i][row_id];
+      }
+      any_change = ctx_.aggs[a]->InsertMightChange(
+          cell.states[a].get(), argv, arg_columns.size());
+    }
+    if (!any_change) {
+      // The row still belongs to the group even though no scratchpad needs
+      // an update; keep the membership count exact for cell eviction.
+      ++cell.count;
+      lost_at.push_back(set);
+      ++stats_.cells_skipped;
+      continue;
+    }
+    ctx_.IterRow(&cell, row_id, nullptr);
+    ++stats_.cells_updated;
+    if (listener_) {
+      listener_(CellChange{set, std::move(key),
+                           inserted ? CellChange::Op::kCreated
+                                    : CellChange::Op::kUpdated});
+    }
+  }
+  return Status::OK();
+}
+
+Status MaterializedCube::RecomputeAggregate(size_t set_index,
+                                            const std::vector<Value>& key,
+                                            size_t agg) {
+  auto it = maps_[set_index].find(key);
+  if (it == maps_[set_index].end()) {
+    return Status::Internal("recompute target cell missing");
+  }
+  GroupingSet set = ctx_.sets[set_index];
+  AggStatePtr fresh = ctx_.aggs[agg]->Init();
+  Value argv[8];
+  const auto& arg_columns = ctx_.agg_args[agg];
+  for (size_t row = 0; row < base_->num_rows(); ++row) {
+    if (tombstone_[row]) continue;
+    // Does this live row fall in the cell?
+    bool match = true;
+    for (size_t k = 0; k < ctx_.num_keys && match; ++k) {
+      if (IsGrouped(set, k)) match = ctx_.key_columns[k][row] == key[k];
+    }
+    if (!match) continue;
+    for (size_t i = 0; i < arg_columns.size(); ++i) {
+      argv[i] = arg_columns[i][row];
+    }
+    ctx_.aggs[agg]->Iter(fresh.get(), argv, arg_columns.size());
+    ++stats_.recompute_rows_scanned;
+  }
+  it->second.states[agg] = std::move(fresh);
+  ++stats_.cells_recomputed;
+  return Status::OK();
+}
+
+Status MaterializedCube::ApplyDelete(const std::vector<Value>& row) {
+  // Find a live base row with these values.
+  auto range = row_index_.equal_range(row);
+  size_t row_id = base_->num_rows();
+  for (auto it = range.first; it != range.second; ++it) {
+    if (!tombstone_[it->second]) {
+      row_id = it->second;
+      row_index_.erase(it);
+      break;
+    }
+  }
+  if (row_id == base_->num_rows()) {
+    return Status::NotFound("ApplyDelete: no matching live base row");
+  }
+  tombstone_[row_id] = true;
+  --live_rows_;
+  ++stats_.deletes;
+
+  Value argv[8];
+  for (size_t s = 0; s < ctx_.sets.size(); ++s) {
+    GroupingSet set = ctx_.sets[s];
+    std::vector<Value> key = ctx_.MaskedKey(row_id, set);
+    auto it = maps_[s].find(key);
+    if (it == maps_[s].end()) {
+      return Status::Internal("delete touches a missing cube cell");
+    }
+    Cell& cell = it->second;
+    if (--cell.count == 0) {
+      // The group emptied: drop the cell, as a recomputed cube would.
+      maps_[s].erase(it);
+      ++stats_.cells_updated;
+      if (listener_) {
+        listener_(CellChange{set, std::move(key), CellChange::Op::kErased});
+      }
+      continue;
+    }
+    bool updated = false;
+    for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
+      const AggregateFunction& fn = *ctx_.aggs[a];
+      const auto& arg_columns = ctx_.agg_args[a];
+      for (size_t i = 0; i < arg_columns.size(); ++i) {
+        argv[i] = arg_columns[i][row_id];
+      }
+      if (fn.delete_class() == DeleteClass::kDeletable) {
+        DATACUBE_RETURN_IF_ERROR(
+            fn.Remove(cell.states[a].get(), argv, arg_columns.size()));
+        updated = true;
+      } else if (fn.RemoveMightChange(cell.states[a].get(), argv,
+                                      arg_columns.size())) {
+        // Delete-holistic (MIN/MAX losing its incumbent): recompute from
+        // base data — the paper's expensive path.
+        DATACUBE_RETURN_IF_ERROR(RecomputeAggregate(s, key, a));
+        updated = true;
+      } else {
+        ++stats_.cells_skipped;
+      }
+    }
+    if (updated) {
+      ++stats_.cells_updated;
+      if (listener_) {
+        listener_(CellChange{set, std::move(key), CellChange::Op::kUpdated});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MaterializedCube::ApplyUpdate(const std::vector<Value>& old_row,
+                                     const std::vector<Value>& new_row) {
+  // Section 6: "update is just delete plus insert". Validate the delete
+  // first so a failed update leaves the cube untouched.
+  bool exists = false;
+  auto range = row_index_.equal_range(old_row);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (!tombstone_[it->second]) exists = true;
+  }
+  if (!exists) {
+    return Status::NotFound("ApplyUpdate: old row not present");
+  }
+  DATACUBE_RETURN_IF_ERROR(ApplyDelete(old_row));
+  return ApplyInsert(new_row);
+}
+
+Result<Table> MaterializedCube::DrillDown(const std::vector<Value>& coords,
+                                          size_t dimension) const {
+  if (coords.size() != ctx_.num_keys || dimension >= ctx_.num_keys) {
+    return Status::InvalidArgument("DrillDown: bad coordinates");
+  }
+  if (!coords[dimension].is_all()) {
+    return Status::InvalidArgument(
+        "DrillDown: the drilled dimension must currently be ALL");
+  }
+  std::vector<SliceCoord> slice;
+  for (size_t k = 0; k < coords.size(); ++k) {
+    if (k == dimension) {
+      slice.push_back(SliceCoord::Wildcard());
+    } else if (coords[k].is_all()) {
+      slice.push_back(SliceCoord::AllPlane());
+    } else {
+      slice.push_back(SliceCoord::Fixed(coords[k]));
+    }
+  }
+  return Slice(slice);
+}
+
+Result<Table> MaterializedCube::RollUp(const std::vector<Value>& coords,
+                                       size_t dimension) const {
+  if (coords.size() != ctx_.num_keys || dimension >= ctx_.num_keys) {
+    return Status::InvalidArgument("RollUp: bad coordinates");
+  }
+  if (coords[dimension].is_all()) {
+    return Status::InvalidArgument(
+        "RollUp: the rolled dimension is already ALL");
+  }
+  std::vector<SliceCoord> slice;
+  for (size_t k = 0; k < coords.size(); ++k) {
+    if (k == dimension || coords[k].is_all()) {
+      slice.push_back(SliceCoord::AllPlane());
+    } else {
+      slice.push_back(SliceCoord::Fixed(coords[k]));
+    }
+  }
+  return Slice(slice);
+}
+
+Result<Table> MaterializedCube::Slice(
+    const std::vector<SliceCoord>& coords) const {
+  if (coords.size() != ctx_.num_keys) {
+    return Status::InvalidArgument("Slice: expected " +
+                                   std::to_string(ctx_.num_keys) +
+                                   " coordinates");
+  }
+  // The requested grouping set: concrete wherever the slice fixes or
+  // enumerates a dimension; ALL where it asks for the super-aggregate plane.
+  GroupingSet set = 0;
+  for (size_t k = 0; k < coords.size(); ++k) {
+    if (coords[k].kind != SliceCoord::Kind::kAllPlane) set |= (1ULL << k);
+  }
+  auto set_it = std::find(ctx_.sets.begin(), ctx_.sets.end(), set);
+  if (set_it == ctx_.sets.end()) {
+    return Status::NotFound("grouping set not materialized in this cube");
+  }
+  size_t s = static_cast<size_t>(set_it - ctx_.sets.begin());
+
+  std::vector<Field> fields;
+  for (size_t k = 0; k < ctx_.num_keys; ++k) {
+    fields.push_back(Field{ctx_.key_names[k], ctx_.key_types[k],
+                           /*nullable=*/true, /*allow_all=*/true});
+  }
+  for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
+    std::string name = spec_->aggregates[a].output_name.empty()
+                           ? spec_->aggregates[a].function
+                           : spec_->aggregates[a].output_name;
+    fields.push_back(Field{std::move(name), ctx_.agg_result_types[a],
+                           /*nullable=*/true, /*allow_all=*/false});
+  }
+  Table out{Schema{std::move(fields)}};
+  for (const auto& [key, cell] : maps_[s]) {
+    bool match = true;
+    for (size_t k = 0; k < coords.size() && match; ++k) {
+      if (coords[k].kind == SliceCoord::Kind::kFixed) {
+        match = key[k] == coords[k].value;
+      }
+    }
+    if (!match) continue;
+    std::vector<Value> row = key;
+    for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
+      row.push_back(ctx_.aggs[a]->Final(cell.states[a].get()));
+    }
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Value> MaterializedCube::ValueAt(
+    const std::string& aggregate_output_name,
+    const std::vector<Value>& coords) const {
+  if (coords.size() != ctx_.num_keys) {
+    return Status::InvalidArgument("ValueAt: expected " +
+                                   std::to_string(ctx_.num_keys) +
+                                   " coordinates");
+  }
+  size_t agg = ctx_.aggs.size();
+  for (size_t a = 0; a < spec_->aggregates.size(); ++a) {
+    std::string name = spec_->aggregates[a].output_name.empty()
+                           ? spec_->aggregates[a].function
+                           : spec_->aggregates[a].output_name;
+    if (name == aggregate_output_name) {
+      agg = a;
+      break;
+    }
+  }
+  if (agg == ctx_.aggs.size()) {
+    return Status::NotFound("no aggregate named " + aggregate_output_name);
+  }
+  GroupingSet set = 0;
+  for (size_t k = 0; k < coords.size(); ++k) {
+    if (!coords[k].is_all()) set |= (1ULL << k);
+  }
+  auto set_it = std::find(ctx_.sets.begin(), ctx_.sets.end(), set);
+  if (set_it == ctx_.sets.end()) {
+    return Status::NotFound("grouping set not materialized in this cube");
+  }
+  size_t s = static_cast<size_t>(set_it - ctx_.sets.begin());
+  auto cell_it = maps_[s].find(coords);
+  if (cell_it == maps_[s].end()) {
+    return Status::NotFound("empty cube cell");
+  }
+  return ctx_.aggs[agg]->Final(cell_it->second.states[agg].get());
+}
+
+Result<double> MaterializedCube::PercentOfTotal(
+    const std::string& aggregate_output_name,
+    const std::vector<Value>& coords) const {
+  DATACUBE_ASSIGN_OR_RETURN(Value v, ValueAt(aggregate_output_name, coords));
+  DATACUBE_ASSIGN_OR_RETURN(
+      Value total, ValueAt(aggregate_output_name,
+                           std::vector<Value>(ctx_.num_keys, Value::All())));
+  if (!v.is_numeric() || !total.is_numeric() || total.AsDouble() == 0.0) {
+    return Status::InvalidArgument("percent-of-total requires numeric values");
+  }
+  return v.AsDouble() / total.AsDouble();
+}
+
+Result<double> MaterializedCube::Index(
+    const std::string& aggregate_output_name,
+    const std::vector<Value>& coords) const {
+  if (coords.size() != ctx_.num_keys) {
+    return Status::InvalidArgument("Index: expected " +
+                                   std::to_string(ctx_.num_keys) +
+                                   " coordinates");
+  }
+  std::vector<size_t> fixed;
+  for (size_t k = 0; k < coords.size(); ++k) {
+    if (!coords[k].is_all()) fixed.push_back(k);
+  }
+  if (fixed.size() != 2) {
+    return Status::InvalidArgument(
+        "Index requires exactly two non-ALL coordinates");
+  }
+  std::vector<Value> all_coords(ctx_.num_keys, Value::All());
+  std::vector<Value> row_coords = all_coords;
+  row_coords[fixed[0]] = coords[fixed[0]];
+  std::vector<Value> col_coords = all_coords;
+  col_coords[fixed[1]] = coords[fixed[1]];
+
+  DATACUBE_ASSIGN_OR_RETURN(Value cell, ValueAt(aggregate_output_name, coords));
+  DATACUBE_ASSIGN_OR_RETURN(Value grand,
+                            ValueAt(aggregate_output_name, all_coords));
+  DATACUBE_ASSIGN_OR_RETURN(Value row,
+                            ValueAt(aggregate_output_name, row_coords));
+  DATACUBE_ASSIGN_OR_RETURN(Value col,
+                            ValueAt(aggregate_output_name, col_coords));
+  if (!cell.is_numeric() || !grand.is_numeric() || !row.is_numeric() ||
+      !col.is_numeric()) {
+    return Status::InvalidArgument("Index requires numeric aggregate values");
+  }
+  double denom = row.AsDouble() * col.AsDouble();
+  if (denom == 0.0) {
+    return Status::InvalidArgument("Index undefined: zero marginal");
+  }
+  return cell.AsDouble() * grand.AsDouble() / denom;
+}
+
+namespace {
+
+constexpr const char* kCheckpointMagic = "DATACUBE_CKPT_V1\n";
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kFloat64,
+                     DataType::kString, DataType::kDate}) {
+    if (name == DataTypeName(t)) return t;
+  }
+  return Status::ParseError("checkpoint: unknown data type " + name);
+}
+
+}  // namespace
+
+Status MaterializedCube::SaveToFile(const std::string& path) const {
+  std::string out = kCheckpointMagic;
+  // Base schema.
+  EncodeCount(base_->num_columns(), &out);
+  for (size_t c = 0; c < base_->num_columns(); ++c) {
+    const Field& f = base_->schema().field(c);
+    EncodeValue(Value::String(f.name), &out);
+    EncodeValue(Value::String(DataTypeName(f.type)), &out);
+  }
+  // Base rows.
+  EncodeCount(base_->num_rows(), &out);
+  for (size_t r = 0; r < base_->num_rows(); ++r) {
+    for (size_t c = 0; c < base_->num_columns(); ++c) {
+      EncodeValue(base_->GetValue(r, c), &out);
+    }
+  }
+  // Tombstones.
+  std::string bits(tombstone_.size(), '0');
+  for (size_t i = 0; i < tombstone_.size(); ++i) {
+    if (tombstone_[i]) bits[i] = '1';
+  }
+  EncodeBlob(bits, &out);
+  // Cells per grouping set.
+  EncodeCount(ctx_.aggs.size(), &out);
+  EncodeCount(ctx_.sets.size(), &out);
+  for (size_t s = 0; s < ctx_.sets.size(); ++s) {
+    EncodeCount(ctx_.sets[s], &out);
+    EncodeCount(maps_[s].size(), &out);
+    for (const auto& [key, cell] : maps_[s]) {
+      for (const Value& v : key) EncodeValue(v, &out);
+      EncodeValue(Value::Int64(cell.count), &out);
+      EncodeValue(Value::Int64(static_cast<int64_t>(cell.repr_row)), &out);
+      EncodeValue(Value::Bool(cell.has_repr), &out);
+      for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
+        std::string blob;
+        DATACUBE_RETURN_IF_ERROR(
+            ctx_.aggs[a]->SerializeState(cell.states[a].get(), &blob));
+        EncodeBlob(blob, &out);
+      }
+    }
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << out;
+  return file.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<std::unique_ptr<MaterializedCube>> MaterializedCube::LoadFromFile(
+    const CubeSpec& spec, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string data = buffer.str();
+  if (data.rfind(kCheckpointMagic, 0) != 0) {
+    return Status::ParseError("not a datacube checkpoint: " + path);
+  }
+  size_t pos = std::string(kCheckpointMagic).size();
+
+  // Base schema + rows.
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t ncols, DecodeCount(data, &pos));
+  std::vector<Field> fields;
+  for (uint64_t c = 0; c < ncols; ++c) {
+    DATACUBE_ASSIGN_OR_RETURN(Value name, DecodeValue(data, &pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value type_name, DecodeValue(data, &pos));
+    DATACUBE_ASSIGN_OR_RETURN(DataType type,
+                              DataTypeFromName(type_name.string_value()));
+    fields.push_back(Field{name.string_value(), type});
+  }
+  Table base{Schema{std::move(fields)}};
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t nrows, DecodeCount(data, &pos));
+  base.Reserve(nrows);
+  for (uint64_t r = 0; r < nrows; ++r) {
+    std::vector<Value> row;
+    row.reserve(ncols);
+    for (uint64_t c = 0; c < ncols; ++c) {
+      DATACUBE_ASSIGN_OR_RETURN(Value v, DecodeValue(data, &pos));
+      row.push_back(std::move(v));
+    }
+    DATACUBE_RETURN_IF_ERROR(base.AppendRow(row));
+  }
+  DATACUBE_ASSIGN_OR_RETURN(std::string bits, DecodeBlob(data, &pos));
+  if (bits.size() != nrows) {
+    return Status::ParseError("checkpoint: tombstone bitmap size mismatch");
+  }
+
+  // Rebuild the evaluation context from the caller's spec.
+  auto cube = std::unique_ptr<MaterializedCube>(new MaterializedCube());
+  cube->base_ = std::make_unique<Table>(std::move(base));
+  cube->spec_ = std::make_unique<CubeSpec>(spec);
+  DATACUBE_ASSIGN_OR_RETURN(
+      cube->ctx_, cube_internal::BuildCubeContext(*cube->base_, *cube->spec_));
+
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t naggs, DecodeCount(data, &pos));
+  if (naggs != cube->ctx_.aggs.size()) {
+    return Status::InvalidArgument(
+        "checkpoint aggregate count does not match the supplied spec");
+  }
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t nsets, DecodeCount(data, &pos));
+  if (nsets != cube->ctx_.sets.size()) {
+    return Status::InvalidArgument(
+        "checkpoint grouping sets do not match the supplied spec");
+  }
+  cube->maps_.resize(nsets);
+  for (uint64_t s = 0; s < nsets; ++s) {
+    DATACUBE_ASSIGN_OR_RETURN(uint64_t mask, DecodeCount(data, &pos));
+    if (mask != cube->ctx_.sets[s]) {
+      return Status::InvalidArgument(
+          "checkpoint grouping sets do not match the supplied spec");
+    }
+    DATACUBE_ASSIGN_OR_RETURN(uint64_t ncells, DecodeCount(data, &pos));
+    for (uint64_t i = 0; i < ncells; ++i) {
+      std::vector<Value> key;
+      key.reserve(cube->ctx_.num_keys);
+      for (size_t k = 0; k < cube->ctx_.num_keys; ++k) {
+        DATACUBE_ASSIGN_OR_RETURN(Value v, DecodeValue(data, &pos));
+        key.push_back(std::move(v));
+      }
+      Cell cell;
+      DATACUBE_ASSIGN_OR_RETURN(Value count, DecodeValue(data, &pos));
+      DATACUBE_ASSIGN_OR_RETURN(Value repr, DecodeValue(data, &pos));
+      DATACUBE_ASSIGN_OR_RETURN(Value has_repr, DecodeValue(data, &pos));
+      cell.count = count.int64_value();
+      cell.repr_row = static_cast<size_t>(repr.int64_value());
+      cell.has_repr = has_repr.bool_value();
+      for (size_t a = 0; a < cube->ctx_.aggs.size(); ++a) {
+        DATACUBE_ASSIGN_OR_RETURN(std::string blob, DecodeBlob(data, &pos));
+        size_t blob_pos = 0;
+        DATACUBE_ASSIGN_OR_RETURN(
+            AggStatePtr state,
+            cube->ctx_.aggs[a]->DeserializeState(blob, &blob_pos));
+        cell.states.push_back(std::move(state));
+      }
+      cube->maps_[s].emplace(std::move(key), std::move(cell));
+    }
+  }
+
+  cube->tombstone_.assign(nrows, false);
+  for (size_t i = 0; i < nrows; ++i) cube->tombstone_[i] = bits[i] == '1';
+  cube->live_rows_ = 0;
+  for (size_t r = 0; r < nrows; ++r) {
+    if (cube->tombstone_[r]) continue;
+    ++cube->live_rows_;
+    cube->row_index_.emplace(cube->base_->GetRow(r), r);
+  }
+  return cube;
+}
+
+Result<Table> MaterializedCube::ToTable() const {
+  // AssembleResult mutates only the empty-grand-total fix-up; operate on a
+  // const_cast'ed view is unsafe, so copy the map headers (cells are not
+  // copied deeply — we rebuild a SetMaps of cloned cells).
+  SetMaps copy(maps_.size());
+  for (size_t s = 0; s < maps_.size(); ++s) {
+    for (const auto& [key, cell] : maps_[s]) {
+      copy[s].emplace(key, ctx_.CloneCell(cell));
+    }
+  }
+  CubeStats stats;
+  return cube_internal::AssembleResult(ctx_, copy, &stats);
+}
+
+}  // namespace datacube

@@ -1,0 +1,27 @@
+#include "datacube/cube/cube_internal.h"
+
+namespace datacube {
+namespace cube_internal {
+
+// The paper's Section 5 "2^N-algorithm": allocate a handle for each cube
+// cell; when a new tuple (x1..xN, v) arrives, call Iter once for each of the
+// 2^N matching cells (each coordinate is either x_i or ALL). Works for every
+// aggregate class — including holistic functions, for which the paper knows
+// "no more efficient way" — at the cost of T × |sets| Iter calls per
+// aggregate.
+Result<SetMaps> ComputeNaive2N(const CubeContext& ctx, CubeStats* stats) {
+  SetMaps maps(ctx.sets.size());
+  for (size_t row = 0; row < ctx.num_rows(); ++row) {
+    for (size_t s = 0; s < ctx.sets.size(); ++s) {
+      std::vector<Value> key = ctx.MaskedKey(row, ctx.sets[s]);
+      auto [it, inserted] = maps[s].try_emplace(std::move(key));
+      if (inserted) it->second = ctx.NewCell();
+      ctx.IterRow(&it->second, row, stats);
+    }
+  }
+  if (stats != nullptr) ++stats->input_scans;
+  return maps;
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

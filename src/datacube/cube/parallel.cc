@@ -1,0 +1,80 @@
+#include <algorithm>
+#include <thread>
+
+#include "datacube/cube/cube_internal.h"
+
+namespace datacube {
+namespace cube_internal {
+
+// Section 5's closing observation: "the distributive, algebraic, and
+// holistic taxonomy is very useful in computing aggregates for parallel
+// database systems. ... aggregates are computed for each partition of a
+// database in parallel. Then the results of these parallel computations are
+// combined."
+//
+// We partition the input rows, hash-aggregate each partition's GROUP BY core
+// in its own thread, merge the per-partition cores (scratchpad Merge — the
+// same Iter_super mechanism the lattice cascade uses), then cascade the
+// merged core through the lattice serially. Falls back to the serial
+// from-core path when merging is unavailable or the input is tiny.
+Result<SetMaps> ComputeParallel(const CubeContext& ctx,
+                                const CubeOptions& options, CubeStats* stats) {
+  size_t threads = options.num_threads < 1
+                       ? 1
+                       : static_cast<size_t>(options.num_threads);
+  constexpr size_t kMinRowsPerThread = 1024;
+  if (threads > 1) threads = std::min(threads, ctx.num_rows() / kMinRowsPerThread + 1);
+  if (threads <= 1 || !ctx.all_mergeable || ctx.full_set_index < 0) {
+    return ComputeFromCore(ctx, stats);
+  }
+
+  GroupingSet full = FullSet(ctx.num_keys);
+  std::vector<CellMap> partials(threads);
+  std::vector<CubeStats> partial_stats(threads);
+  std::vector<std::thread> workers;
+  size_t rows = ctx.num_rows();
+  size_t chunk = (rows + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      size_t lo = t * chunk;
+      size_t hi = std::min(rows, lo + chunk);
+      CellMap& cells = partials[t];
+      for (size_t row = lo; row < hi; ++row) {
+        std::vector<Value> key = ctx.MaskedKey(row, full);
+        auto [it, inserted] = cells.try_emplace(std::move(key));
+        if (inserted) it->second = ctx.NewCell();
+        ctx.IterRow(&it->second, row, &partial_stats[t]);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Combine per-partition cores.
+  CellMap core = std::move(partials[0]);
+  Status merge_status = Status::OK();
+  for (size_t t = 1; t < threads; ++t) {
+    for (auto& [key, cell] : partials[t]) {
+      auto [it, inserted] = core.try_emplace(key);
+      if (inserted) {
+        it->second = std::move(cell);
+      } else {
+        Status st = ctx.MergeCell(&it->second, cell, stats);
+        if (!st.ok() && merge_status.ok()) merge_status = st;
+      }
+    }
+  }
+  if (!merge_status.ok()) return merge_status;
+
+  if (stats != nullptr) {
+    ++stats->input_scans;  // the partitions jointly scanned the input once
+    for (const CubeStats& ps : partial_stats) {
+      stats->iter_calls += ps.iter_calls;
+      stats->merge_calls += ps.merge_calls;
+    }
+    stats->threads_used = static_cast<int>(threads);
+  }
+  return CascadeFromCore(ctx, std::move(core), stats);
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

@@ -1,0 +1,130 @@
+#include "datacube/cube/partial_cube.h"
+
+#include <algorithm>
+
+namespace datacube {
+
+using cube_internal::Cell;
+using cube_internal::CellMap;
+using cube_internal::SetMaps;
+
+Result<std::unique_ptr<PartialCube>> PartialCube::Build(
+    const Table& input, const CubeSpec& spec,
+    const std::vector<GroupingSet>& views) {
+  auto cube = std::unique_ptr<PartialCube>(new PartialCube());
+  cube->base_ = std::make_unique<Table>(input);
+  cube->spec_ = std::make_unique<CubeSpec>(spec);
+  // Materialize exactly the requested views (plus the core, which the
+  // from-core computation needs anyway and HRU always selects).
+  std::vector<GroupingSet> sets = views;
+  size_t num_keys = spec.AllGroupExprs().size();
+  sets.push_back(FullSet(num_keys));
+  cube->spec_->explicit_sets = NormalizeSets(std::move(sets));
+
+  DATACUBE_ASSIGN_OR_RETURN(
+      cube->ctx_, cube_internal::BuildCubeContext(*cube->base_, *cube->spec_));
+  if (!cube->ctx_.all_mergeable) {
+    return Status::InvalidArgument(
+        "PartialCube requires mergeable (distributive/algebraic) aggregates");
+  }
+  CubeStats stats;
+  DATACUBE_ASSIGN_OR_RETURN(cube->maps_,
+                            cube_internal::ComputeFromCore(cube->ctx_, &stats));
+  cube->views_ = cube->ctx_.sets;
+  return cube;
+}
+
+size_t PartialCube::materialized_cells() const {
+  size_t total = 0;
+  for (const CellMap& m : maps_) total += m.size();
+  return total;
+}
+
+Result<Table> PartialCube::AssembleSet(const CellMap& cells) const {
+  std::vector<Field> fields;
+  for (size_t k = 0; k < ctx_.num_keys; ++k) {
+    fields.push_back(Field{ctx_.key_names[k], ctx_.key_types[k],
+                           /*nullable=*/true, /*allow_all=*/true});
+  }
+  for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
+    std::string name = spec_->aggregates[a].output_name.empty()
+                           ? spec_->aggregates[a].function
+                           : spec_->aggregates[a].output_name;
+    fields.push_back(Field{std::move(name), ctx_.agg_result_types[a],
+                           /*nullable=*/true, /*allow_all=*/false});
+  }
+  Table out{Schema{std::move(fields)}};
+  out.Reserve(cells.size());
+  for (const auto& [key, cell] : cells) {
+    std::vector<Value> row = key;
+    for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
+      row.push_back(ctx_.aggs[a]->Final(cell.states[a].get()));
+    }
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Status PartialCube::ApplyInsert(const std::vector<Value>& row) {
+  DATACUBE_RETURN_IF_ERROR(base_->AppendRow(row));
+  size_t row_id = base_->num_rows() - 1;
+  // Extend the context's evaluated-column caches with the new row.
+  std::vector<GroupExpr> group_exprs = spec_->AllGroupExprs();
+  for (size_t k = 0; k < ctx_.num_keys; ++k) {
+    DATACUBE_ASSIGN_OR_RETURN(Value v,
+                              group_exprs[k].expr->Evaluate(*base_, row_id));
+    ctx_.key_columns[k].push_back(std::move(v));
+  }
+  for (size_t a = 0; a < spec_->aggregates.size(); ++a) {
+    const AggregateSpec& agg = spec_->aggregates[a];
+    for (size_t i = 0; i < agg.args.size(); ++i) {
+      DATACUBE_ASSIGN_OR_RETURN(Value v, agg.args[i]->Evaluate(*base_, row_id));
+      ctx_.agg_args[a][i].push_back(std::move(v));
+    }
+  }
+  for (size_t s = 0; s < views_.size(); ++s) {
+    std::vector<Value> key = ctx_.MaskedKey(row_id, views_[s]);
+    auto [it, inserted] = maps_[s].try_emplace(std::move(key));
+    if (inserted) it->second = ctx_.NewCell();
+    ctx_.IterRow(&it->second, row_id, nullptr);
+  }
+  return Status::OK();
+}
+
+Result<Table> PartialCube::Query(GroupingSet target) {
+  if (target >> ctx_.num_keys) {
+    return Status::InvalidArgument("query references unknown grouping column");
+  }
+  last_stats_ = QueryStats{};
+  // Materialized directly?
+  auto it = std::find(views_.begin(), views_.end(), target);
+  if (it != views_.end()) {
+    last_stats_.answered_from = target;
+    last_stats_.was_materialized = true;
+    return AssembleSet(maps_[static_cast<size_t>(it - views_.begin())]);
+  }
+  // Aggregate the cheapest (fewest actual cells) materialized ancestor.
+  size_t best = views_.size();
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if ((views_[i] & target) != target) continue;
+    if (best == views_.size() || maps_[i].size() < maps_[best].size()) {
+      best = i;
+    }
+  }
+  if (best == views_.size()) {
+    return Status::Internal("no ancestor view found (core missing?)");
+  }
+  last_stats_.answered_from = views_[best];
+  last_stats_.cells_scanned = maps_[best].size();
+
+  CellMap result;
+  for (const auto& [key, cell] : maps_[best]) {
+    std::vector<Value> child_key = ctx_.ProjectKey(key, target);
+    auto [cit, inserted] = result.try_emplace(std::move(child_key));
+    if (inserted) cit->second = ctx_.NewCell();
+    DATACUBE_RETURN_IF_ERROR(ctx_.MergeCell(&cit->second, cell, nullptr));
+  }
+  return AssembleSet(result);
+}
+
+}  // namespace datacube

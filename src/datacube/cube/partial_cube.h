@@ -1,0 +1,70 @@
+#ifndef DATACUBE_CUBE_PARTIAL_CUBE_H_
+#define DATACUBE_CUBE_PARTIAL_CUBE_H_
+
+#include <memory>
+#include <vector>
+
+#include "datacube/cube/cube_internal.h"
+#include "datacube/cube/cube_operator.h"
+#include "datacube/cube/view_selection.h"
+
+namespace datacube {
+
+/// A partially materialized cube: only a selected subset of the lattice's
+/// grouping sets is stored (typically chosen by SelectViewsGreedy), and any
+/// other grouping-set query is answered by aggregating the cheapest
+/// materialized ancestor view — the Harinarayan-Rajaraman-Ullman scheme the
+/// paper points to in Section 6 for cubes too large to store whole.
+///
+/// Requires every aggregate to support Merge (distributive or algebraic;
+/// the scratchpads of the ancestor view are folded into the query's cells).
+class PartialCube {
+ public:
+  /// Materializes `views` (each a bitmask over spec's grouping columns; the
+  /// core is added if missing) for spec's aggregates over `input`.
+  static Result<std::unique_ptr<PartialCube>> Build(
+      const Table& input, const CubeSpec& spec,
+      const std::vector<GroupingSet>& views);
+
+  PartialCube(const PartialCube&) = delete;
+  PartialCube& operator=(const PartialCube&) = delete;
+
+  /// Per-query instrumentation.
+  struct QueryStats {
+    GroupingSet answered_from = 0;
+    bool was_materialized = false;
+    /// Ancestor cells folded to produce the answer (0 when materialized).
+    size_t cells_scanned = 0;
+  };
+
+  /// Answers GROUP BY over `target` (any subset of the grouping columns),
+  /// returning the grouping columns + aggregate values relation.
+  Result<Table> Query(GroupingSet target);
+
+  /// Incremental insert maintenance: folds one new base row into every
+  /// materialized view (|views| scratchpad visits instead of a rebuild) —
+  /// the Section 6 trigger scenario applied to the partial cube.
+  Status ApplyInsert(const std::vector<Value>& row);
+
+  const QueryStats& last_query_stats() const { return last_stats_; }
+  const std::vector<GroupingSet>& views() const { return views_; }
+
+  /// Total materialized cells across all stored views.
+  size_t materialized_cells() const;
+
+ private:
+  PartialCube() = default;
+
+  Result<Table> AssembleSet(const cube_internal::CellMap& cells) const;
+
+  std::unique_ptr<Table> base_;
+  std::unique_ptr<CubeSpec> spec_;
+  cube_internal::CubeContext ctx_;
+  std::vector<GroupingSet> views_;        // == ctx_.sets
+  cube_internal::SetMaps maps_;
+  QueryStats last_stats_;
+};
+
+}  // namespace datacube
+
+#endif  // DATACUBE_CUBE_PARTIAL_CUBE_H_

@@ -1,0 +1,63 @@
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "datacube/cube/cube_internal.h"
+
+namespace datacube {
+namespace cube_internal {
+
+// Section 5's sort-based aggregation: "if the number of aggregates is too
+// large to fit in memory, use sorting ... to organize the data by value and
+// then aggregate with a sequential scan of the sorted data." The core GROUP
+// BY is computed without any hash table — sort the rows by the full grouping
+// key, then fold each run of equal keys into one cell. The lattice cascade
+// above the core is shared with kFromCore.
+Result<SetMaps> ComputeSortFromCore(const CubeContext& ctx, CubeStats* stats) {
+  if (!ctx.all_mergeable) {
+    return ComputeUnionGroupBy(ctx, stats);
+  }
+  if (ctx.full_set_index < 0) {
+    // GROUPING SETS without the core: nothing to seed; fall back.
+    return ComputeFromCore(ctx, stats);
+  }
+  GroupingSet full = FullSet(ctx.num_keys);
+
+  // Sort row indices by the grouping key columns.
+  std::vector<size_t> rows(ctx.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      int cmp = ctx.key_columns[k][a].Compare(ctx.key_columns[k][b]);
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+  if (stats != nullptr) ++stats->input_scans;
+
+  // One sequential scan: close a cell whenever the key changes.
+  CellMap core;
+  std::optional<Cell> open;
+  std::vector<Value> open_key;
+  for (size_t r : rows) {
+    bool same = open.has_value();
+    for (size_t k = 0; k < ctx.num_keys && same; ++k) {
+      same = ctx.key_columns[k][r] == open_key[k];
+    }
+    if (!same) {
+      if (open.has_value()) {
+        core.emplace(std::move(open_key), std::move(*open));
+      }
+      open = ctx.NewCell();
+      open_key = ctx.MaskedKey(r, full);
+    }
+    ctx.IterRow(&*open, r, stats);
+  }
+  if (open.has_value()) {
+    core.emplace(std::move(open_key), std::move(*open));
+  }
+  return CascadeFromCore(ctx, std::move(core), stats);
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

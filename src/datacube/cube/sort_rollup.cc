@@ -1,0 +1,151 @@
+#include <algorithm>
+#include <numeric>
+
+#include "datacube/cube/cube_internal.h"
+
+namespace datacube {
+namespace cube_internal {
+
+namespace {
+
+// A rollup-shaped grouping-set list is a chain under set inclusion:
+// S_0 ⊋ S_1 ⊋ ... ⊋ S_L (e.g. {M,Y,C} ⊃ {M,Y} ⊃ {M} ⊃ {}). ctx.sets is in
+// canonical (descending popcount) order, so it suffices to check adjacent
+// containment.
+bool IsChain(const std::vector<GroupingSet>& sets) {
+  for (size_t i = 1; i < sets.size(); ++i) {
+    if ((sets[i - 1] & sets[i]) != sets[i] || sets[i - 1] == sets[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Column order that makes every chain set a prefix: coarsest set's columns
+// first, then each level's newly added columns.
+std::vector<size_t> ChainColumnOrder(const std::vector<GroupingSet>& sets,
+                                     size_t num_keys) {
+  std::vector<size_t> order;
+  GroupingSet covered = 0;
+  for (size_t i = sets.size(); i-- > 0;) {
+    GroupingSet added = sets[i] & ~covered;
+    for (size_t k = 0; k < num_keys; ++k) {
+      if (IsGrouped(added, k)) order.push_back(k);
+    }
+    covered |= sets[i];
+  }
+  return order;
+}
+
+}  // namespace
+
+// Section 5's sort-based ROLLUP: "the basic technique for computing a ROLLUP
+// is to sort the table on the aggregating attributes and then compute the
+// aggregate functions". One sort, one pipelined scan; sub-totals close and
+// cascade upward as key prefixes change, so each input row is Iter'd exactly
+// once (for mergeable aggregates) and the answer comes out in the sorted
+// order drill-down reports want. Per the paper this is the "corresponding
+// order-N algorithm for roll-up".
+//
+// Falls back to FromCore for non-chain grouping-set shapes. For holistic
+// aggregates the same single sorted scan Iters each row into every open
+// level instead of merging (no constant-size scratchpad to cascade).
+Result<SetMaps> ComputeSortRollup(const CubeContext& ctx, CubeStats* stats) {
+  if (!IsChain(ctx.sets)) {
+    return ComputeFromCore(ctx, stats);
+  }
+  size_t levels = ctx.sets.size();  // finest = level 0
+  std::vector<size_t> column_order = ChainColumnOrder(ctx.sets, ctx.num_keys);
+  // Prefix length (in column_order positions) of each level.
+  std::vector<size_t> prefix_len(levels);
+  for (size_t j = 0; j < levels; ++j) {
+    prefix_len[j] = static_cast<size_t>(PopCount(ctx.sets[j]));
+  }
+
+  // Sort row indices by the chain column order.
+  std::vector<size_t> rows(ctx.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    for (size_t k : column_order) {
+      int cmp = ctx.key_columns[k][a].Compare(ctx.key_columns[k][b]);
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+  if (stats != nullptr) ++stats->input_scans;
+
+  SetMaps maps(levels);
+  struct Open {
+    Cell cell;
+    std::vector<Value> key;  // full-width masked key
+    bool active = false;
+  };
+  std::vector<Open> open(levels);
+
+  bool mergeable = ctx.all_mergeable;
+
+  // Closes level j: emits its cell and (mergeable path) folds it into the
+  // next coarser open level.
+  auto close_level = [&](size_t j) -> Status {
+    Open& o = open[j];
+    if (!o.active) return Status::OK();
+    if (mergeable && j + 1 < levels) {
+      if (!open[j + 1].active) {
+        open[j + 1].cell = ctx.NewCell();
+        open[j + 1].key = ctx.ProjectKey(o.key, ctx.sets[j + 1]);
+        open[j + 1].active = true;
+      }
+      DATACUBE_RETURN_IF_ERROR(ctx.MergeCell(&open[j + 1].cell, o.cell, stats));
+    }
+    maps[j].emplace(std::move(o.key), std::move(o.cell));
+    o = Open{};
+    return Status::OK();
+  };
+
+  size_t prev_row = 0;
+  bool have_prev = false;
+  for (size_t r : rows) {
+    // Longest matching prefix (in column_order) with the previous row.
+    size_t match = 0;
+    if (have_prev) {
+      while (match < column_order.size() &&
+             ctx.key_columns[column_order[match]][r] ==
+                 ctx.key_columns[column_order[match]][prev_row]) {
+        ++match;
+      }
+    }
+    // Close every level whose prefix no longer matches, finest first.
+    if (have_prev) {
+      for (size_t j = 0; j < levels && prefix_len[j] > match; ++j) {
+        DATACUBE_RETURN_IF_ERROR(close_level(j));
+      }
+    }
+    // Open missing levels for this row and fold the row in.
+    if (mergeable) {
+      if (!open[0].active) {
+        open[0].cell = ctx.NewCell();
+        open[0].key = ctx.MaskedKey(r, ctx.sets[0]);
+        open[0].active = true;
+      }
+      ctx.IterRow(&open[0].cell, r, stats);
+    } else {
+      for (size_t j = 0; j < levels; ++j) {
+        if (!open[j].active) {
+          open[j].cell = ctx.NewCell();
+          open[j].key = ctx.MaskedKey(r, ctx.sets[j]);
+          open[j].active = true;
+        }
+        ctx.IterRow(&open[j].cell, r, stats);
+      }
+    }
+    prev_row = r;
+    have_prev = true;
+  }
+  for (size_t j = 0; j < levels; ++j) {
+    DATACUBE_RETURN_IF_ERROR(close_level(j));
+  }
+  return maps;
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

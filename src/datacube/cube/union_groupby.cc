@@ -1,0 +1,21 @@
+#include "datacube/cube/cube_internal.h"
+
+namespace datacube {
+namespace cube_internal {
+
+// The Section 2 baseline the CUBE operator was invented to replace: express
+// the cube as a UNION of independent GROUP BYs, one per grouping set — "on
+// most SQL systems this will result in 64 scans of the data, 64 sorts or
+// hashes, and a long wait". Each grouping set re-scans and re-hashes the
+// full input.
+Result<SetMaps> ComputeUnionGroupBy(const CubeContext& ctx, CubeStats* stats) {
+  SetMaps maps;
+  maps.reserve(ctx.sets.size());
+  for (GroupingSet set : ctx.sets) {
+    maps.push_back(HashGroupBy(ctx, set, stats));
+  }
+  return maps;
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

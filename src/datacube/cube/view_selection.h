@@ -1,0 +1,62 @@
+#ifndef DATACUBE_CUBE_VIEW_SELECTION_H_
+#define DATACUBE_CUBE_VIEW_SELECTION_H_
+
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/cube/grouping_set.h"
+
+namespace datacube {
+
+/// Partial cube materialization — the Section 6 discussion: "Harinarayn,
+/// Rajaraman, and Ullman have interesting ideas on pre-computing a sub-cube
+/// of the cube." This implements their greedy view-selection algorithm
+/// (SIGMOD'96) under the linear cost model: answering a group-by query
+/// costs the size of the smallest materialized view that is a superset of
+/// its grouping set.
+
+/// Estimated row count of the view over `set`: min(base_rows, Π grouped
+/// C_k) — a view cannot have more rows than the base data.
+double EstimateViewSize(GroupingSet set,
+                        const std::vector<size_t>& cardinalities,
+                        size_t base_rows);
+
+/// Result of greedy selection.
+struct ViewSelection {
+  /// Selected grouping sets; views[0] is always the core (the top view must
+  /// be materialized for the rest of the lattice to be answerable).
+  std::vector<GroupingSet> views;
+  /// Benefit of each greedy pick (benefits[0] = 0 for the mandatory core).
+  std::vector<double> benefits;
+  /// Σ over all 2^N grouping-set queries of the cheapest-ancestor cost,
+  /// after materializing `views`.
+  double total_query_cost = 0;
+};
+
+/// Greedily selects up to `max_views` views (including the mandatory core)
+/// from the full 2^num_dims lattice, maximizing the HRU benefit
+///   B(v, S) = Σ_{w ⊆ v} max(0, cost(w, S) − size(v)).
+/// num_dims must be <= 16 (the algorithm enumerates the lattice).
+Result<ViewSelection> SelectViewsGreedy(
+    size_t num_dims, const std::vector<size_t>& cardinalities,
+    size_t base_rows, size_t max_views);
+
+/// The space-budget variant HRU also propose: picks greedily by benefit per
+/// unit of space, B(v, S) / size(v), admitting views while the summed
+/// estimated sizes (beyond the mandatory core) stay within `space_budget`
+/// rows. Views too large for the remaining budget are skipped, not
+/// terminal.
+Result<ViewSelection> SelectViewsGreedyBySpace(
+    size_t num_dims, const std::vector<size_t>& cardinalities,
+    size_t base_rows, double space_budget);
+
+/// The cheapest selected view able to answer `target` (smallest estimated
+/// superset). Present by construction, since the core is always selected.
+GroupingSet CheapestAncestor(const ViewSelection& selection,
+                             GroupingSet target,
+                             const std::vector<size_t>& cardinalities,
+                             size_t base_rows);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_CUBE_VIEW_SELECTION_H_

@@ -1,0 +1,45 @@
+#include "datacube/expr/scalar_function.h"
+
+#include <algorithm>
+
+#include "datacube/common/str_util.h"
+
+namespace datacube {
+
+ScalarFunctionRegistry& ScalarFunctionRegistry::Global() {
+  static ScalarFunctionRegistry* registry = [] {
+    auto* r = new ScalarFunctionRegistry();
+    RegisterBuiltinScalarFunctions(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status ScalarFunctionRegistry::Register(ScalarFunction fn) {
+  for (const ScalarFunction& existing : functions_) {
+    if (EqualsIgnoreCase(existing.name, fn.name)) {
+      return Status::AlreadyExists("scalar function already registered: " +
+                                   fn.name);
+    }
+  }
+  functions_.push_back(std::move(fn));
+  return Status::OK();
+}
+
+Result<const ScalarFunction*> ScalarFunctionRegistry::Find(
+    const std::string& name) const {
+  for (const ScalarFunction& fn : functions_) {
+    if (EqualsIgnoreCase(fn.name, name)) return &fn;
+  }
+  return Status::NotFound("no scalar function named " + name);
+}
+
+std::vector<std::string> ScalarFunctionRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const ScalarFunction& fn : functions_) names.push_back(fn.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace datacube

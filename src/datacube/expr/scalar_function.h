@@ -1,0 +1,60 @@
+#ifndef DATACUBE_EXPR_SCALAR_FUNCTION_H_
+#define DATACUBE_EXPR_SCALAR_FUNCTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/common/value.h"
+
+namespace datacube {
+
+/// A registered scalar function, usable in expressions and as a grouping
+/// function (the paper's Section 2 histogram construct: "GROUP BY Day(Time)",
+/// "GROUP BY Nation(Latitude, Longitude)").
+struct ScalarFunction {
+  std::string name;
+  /// Fixed arity; kVariadic accepts any count >= 1.
+  int arity = 1;
+  static constexpr int kVariadic = -1;
+  /// Result type given argument types.
+  std::function<Result<DataType>(const std::vector<DataType>&)> result_type;
+  /// Evaluation over concrete (non-NULL, non-ALL) argument values. NULL/ALL
+  /// propagation is handled by the expression evaluator before this is
+  /// called, except when `handles_special` is set.
+  std::function<Result<Value>(const std::vector<Value>&)> eval;
+  /// If true, the function receives NULL/ALL arguments verbatim (e.g.
+  /// COALESCE, GROUPING-style predicates).
+  bool handles_special = false;
+};
+
+/// Process-wide registry of scalar functions. Lookup is case-insensitive.
+/// Built-in functions (date parts, Nation/Continent geography, math, string,
+/// conditional) are registered on first access; users may add their own.
+class ScalarFunctionRegistry {
+ public:
+  /// The singleton registry, with built-ins pre-registered.
+  static ScalarFunctionRegistry& Global();
+
+  /// Registers `fn`; fails if the (case-folded) name is taken.
+  Status Register(ScalarFunction fn);
+
+  /// Looks up by case-insensitive name.
+  Result<const ScalarFunction*> Find(const std::string& name) const;
+
+  /// Names of all registered functions (sorted).
+  std::vector<std::string> Names() const;
+
+ private:
+  ScalarFunctionRegistry() = default;
+  std::vector<ScalarFunction> functions_;
+};
+
+/// Registers the library's built-in scalar functions into `registry`.
+/// Called automatically by ScalarFunctionRegistry::Global().
+void RegisterBuiltinScalarFunctions(ScalarFunctionRegistry& registry);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_EXPR_SCALAR_FUNCTION_H_

@@ -1,0 +1,180 @@
+#include "datacube/olap/crosstab.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datacube/common/str_util.h"
+
+namespace datacube {
+
+namespace {
+
+// Identifies the grouping columns of a cube result: every column that
+// contains at least one ALL marker, plus the requested dims themselves.
+std::set<size_t> GroupingColumns(const Table& cube,
+                                 std::initializer_list<size_t> dims) {
+  std::set<size_t> cols(dims);
+  for (size_t c = 0; c < cube.num_columns(); ++c) {
+    if (cube.column(c).all_count() > 0) cols.insert(c);
+  }
+  return cols;
+}
+
+// True if every grouping column of `cube` other than those in `dims` is ALL
+// in row `r` — i.e. the row lies on the ALL plane of the other dimensions.
+bool OnAllPlane(const Table& cube, size_t r, const std::set<size_t>& grouping,
+                std::initializer_list<size_t> dims) {
+  for (size_t c : grouping) {
+    if (std::find(dims.begin(), dims.end(), c) != dims.end()) continue;
+    if (!cube.GetValue(r, c).is_all()) return false;
+  }
+  return true;
+}
+
+// Renders a grid of labeled cells with right-aligned value columns.
+std::string RenderGrid(const std::vector<std::vector<std::string>>& grid) {
+  std::vector<size_t> widths;
+  for (const auto& row : grid) {
+    if (widths.size() < row.size()) widths.resize(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : grid) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += Pad(row[c], widths[c], /*right_align=*/c > 0);
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> FormatCrossTab(const Table& cube, size_t row_dim,
+                                   size_t col_dim, size_t value_column,
+                                   const CrossTabOptions& options) {
+  if (row_dim >= cube.num_columns() || col_dim >= cube.num_columns() ||
+      value_column >= cube.num_columns()) {
+    return Status::OutOfRange("cross-tab column out of range");
+  }
+  if (row_dim == col_dim) {
+    return Status::InvalidArgument("row and column dimensions must differ");
+  }
+  std::set<size_t> grouping = GroupingColumns(cube, {row_dim, col_dim});
+
+  // Collect distinct concrete labels and cell values.
+  std::set<Value> row_values, col_values;
+  std::map<std::pair<Value, Value>, Value> cells;
+  for (size_t r = 0; r < cube.num_rows(); ++r) {
+    if (!OnAllPlane(cube, r, grouping, {row_dim, col_dim})) continue;
+    Value rv = cube.GetValue(r, row_dim);
+    Value cv = cube.GetValue(r, col_dim);
+    if (!rv.is_all()) row_values.insert(rv);
+    if (!cv.is_all()) col_values.insert(cv);
+    cells[{rv, cv}] = cube.GetValue(r, value_column);
+  }
+
+  auto cell_text = [&](const Value& rv, const Value& cv) -> std::string {
+    auto it = cells.find({rv, cv});
+    if (it == cells.end() || it->second.is_null()) return options.empty_cell;
+    return it->second.ToString();
+  };
+
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> header = {options.corner_label};
+  for (const Value& cv : col_values) header.push_back(cv.ToString());
+  header.push_back(options.total_label);
+  grid.push_back(std::move(header));
+  for (const Value& rv : row_values) {
+    std::vector<std::string> line = {rv.ToString()};
+    for (const Value& cv : col_values) line.push_back(cell_text(rv, cv));
+    line.push_back(cell_text(rv, Value::All()));
+    grid.push_back(std::move(line));
+  }
+  std::vector<std::string> totals = {options.total_label};
+  for (const Value& cv : col_values) totals.push_back(cell_text(Value::All(), cv));
+  totals.push_back(cell_text(Value::All(), Value::All()));
+  grid.push_back(std::move(totals));
+  return RenderGrid(grid);
+}
+
+Result<std::string> FormatPivot(const Table& cube, size_t row_dim,
+                                size_t outer_col_dim, size_t inner_col_dim,
+                                size_t value_column,
+                                const CrossTabOptions& options) {
+  if (row_dim >= cube.num_columns() || outer_col_dim >= cube.num_columns() ||
+      inner_col_dim >= cube.num_columns() ||
+      value_column >= cube.num_columns()) {
+    return Status::OutOfRange("pivot column out of range");
+  }
+  if (row_dim == outer_col_dim || row_dim == inner_col_dim ||
+      outer_col_dim == inner_col_dim) {
+    return Status::InvalidArgument("pivot dimensions must be distinct");
+  }
+  std::set<size_t> grouping =
+      GroupingColumns(cube, {row_dim, outer_col_dim, inner_col_dim});
+
+  std::set<Value> rows, outers, inners;
+  std::map<std::tuple<Value, Value, Value>, Value> cells;
+  for (size_t r = 0; r < cube.num_rows(); ++r) {
+    if (!OnAllPlane(cube, r, grouping,
+                    {row_dim, outer_col_dim, inner_col_dim})) {
+      continue;
+    }
+    Value rv = cube.GetValue(r, row_dim);
+    Value ov = cube.GetValue(r, outer_col_dim);
+    Value iv = cube.GetValue(r, inner_col_dim);
+    if (!rv.is_all()) rows.insert(rv);
+    if (!ov.is_all()) outers.insert(ov);
+    if (!iv.is_all()) inners.insert(iv);
+    cells[{rv, ov, iv}] = cube.GetValue(r, value_column);
+  }
+
+  auto cell_text = [&](const Value& rv, const Value& ov,
+                       const Value& iv) -> std::string {
+    auto it = cells.find({rv, ov, iv});
+    if (it == cells.end() || it->second.is_null()) return options.empty_cell;
+    return it->second.ToString();
+  };
+
+  // Two header lines: outer values (spanning their inner columns + a total)
+  // and inner values.
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> top = {options.corner_label.empty()
+                                      ? cube.schema().field(value_column).name
+                                      : options.corner_label};
+  std::vector<std::string> sub = {cube.schema().field(row_dim).name};
+  for (const Value& ov : outers) {
+    for (const Value& iv : inners) {
+      top.push_back(ov.ToString());
+      sub.push_back(iv.ToString());
+    }
+    top.push_back(ov.ToString());
+    sub.push_back("Total");
+  }
+  top.push_back("Grand");
+  sub.push_back("Total");
+  grid.push_back(std::move(top));
+  grid.push_back(std::move(sub));
+
+  auto emit_row = [&](const std::string& label, const Value& rv) {
+    std::vector<std::string> line = {label};
+    for (const Value& ov : outers) {
+      for (const Value& iv : inners) line.push_back(cell_text(rv, ov, iv));
+      line.push_back(cell_text(rv, ov, Value::All()));
+    }
+    line.push_back(cell_text(rv, Value::All(), Value::All()));
+    grid.push_back(std::move(line));
+  };
+  for (const Value& rv : rows) emit_row(rv.ToString(), rv);
+  emit_row("Grand Total", Value::All());
+  return RenderGrid(grid);
+}
+
+}  // namespace datacube

@@ -1,0 +1,53 @@
+#ifndef DATACUBE_OLAP_CROSSTAB_H_
+#define DATACUBE_OLAP_CROSSTAB_H_
+
+#include <string>
+
+#include "datacube/common/result.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// Rendering options for cross-tab / pivot reports.
+struct CrossTabOptions {
+  /// Label of the totals row/column (the paper's Table 6 uses "total (ALL)").
+  std::string total_label = "total (ALL)";
+  /// Top-left corner label (Table 6.a uses the slice name, e.g. "Chevy").
+  std::string corner_label = "";
+  /// Rendering of an empty (never-populated) cell.
+  std::string empty_cell = "";
+};
+
+/// Renders a 2D cube result as the compact cross-tab of Table 6:
+///
+///   Chevy        1994  1995  total (ALL)
+///   black          50    85          135
+///   white          40   115          155
+///   total (ALL)    90   200          290
+///
+/// `cube` must be a cube-operator result whose grouping columns include
+/// `row_dim` and `col_dim`; `value_column` is the aggregate to display. Rows
+/// of `cube` where any *other* grouping column is concrete are ignored, so a
+/// higher-dimensional cube can be cross-tabbed directly (the extra
+/// dimensions are read at their ALL plane).
+Result<std::string> FormatCrossTab(const Table& cube, size_t row_dim,
+                                   size_t col_dim, size_t value_column,
+                                   const CrossTabOptions& options = {});
+
+/// Renders a 3D cube result as the Excel-style pivot of Table 4 — one row
+/// dimension and two nested column dimensions with per-outer sub-totals and
+/// a grand total:
+///
+///   Sum Sales    1994           1994   1995           1995   Grand
+///   Model        black  white   Total  black  white   Total  Total
+///   Chevy           50     40      90     85    115     200    290
+///   ...
+///   Grand Total    100     50     150    170    190     360    510
+Result<std::string> FormatPivot(const Table& cube, size_t row_dim,
+                                size_t outer_col_dim, size_t inner_col_dim,
+                                size_t value_column,
+                                const CrossTabOptions& options = {});
+
+}  // namespace datacube
+
+#endif  // DATACUBE_OLAP_CROSSTAB_H_

@@ -1,0 +1,39 @@
+#ifndef DATACUBE_OLAP_GRID_H_
+#define DATACUBE_OLAP_GRID_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datacube/common/str_util.h"
+
+namespace datacube {
+
+/// Renders rows of labeled cells as an aligned text grid: first column
+/// left-aligned, remaining columns right-aligned, trailing spaces trimmed.
+/// Shared by the OLAP report writers.
+inline std::string RenderTextGrid(
+    const std::vector<std::vector<std::string>>& grid,
+    size_t left_aligned_columns = 1) {
+  std::vector<size_t> widths;
+  for (const auto& row : grid) {
+    if (widths.size() < row.size()) widths.resize(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : grid) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += Pad(row[c], widths[c], /*right_align=*/c >= left_aligned_columns);
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace datacube
+
+#endif  // DATACUBE_OLAP_GRID_H_

@@ -1,0 +1,138 @@
+#include "datacube/olap/pivot_table.h"
+
+#include <map>
+
+#include "datacube/agg/registry.h"
+
+namespace datacube {
+
+Result<Table> PivotToTable(const Table& input,
+                           const std::vector<std::string>& row_key_columns,
+                           const std::string& pivot_column,
+                           const std::string& value_column,
+                           const PivotTableOptions& options) {
+  // Resolve columns.
+  std::vector<size_t> key_cols;
+  for (const std::string& name : row_key_columns) {
+    std::optional<size_t> idx = input.schema().FieldIndex(name);
+    if (!idx.has_value()) return Status::NotFound("no column named " + name);
+    key_cols.push_back(*idx);
+  }
+  std::optional<size_t> pivot_idx = input.schema().FieldIndex(pivot_column);
+  if (!pivot_idx.has_value()) {
+    return Status::NotFound("no column named " + pivot_column);
+  }
+  std::optional<size_t> value_idx = input.schema().FieldIndex(value_column);
+  if (!value_idx.has_value()) {
+    return Status::NotFound("no column named " + value_column);
+  }
+
+  DATACUBE_ASSIGN_OR_RETURN(
+      AggregateFunctionPtr fn,
+      AggregateRegistry::Global().Make(options.aggregate));
+  if (fn->num_args() != 1) {
+    return Status::InvalidArgument("pivot aggregate must take one argument");
+  }
+  DATACUBE_ASSIGN_OR_RETURN(
+      DataType result_type,
+      fn->ResultType({input.schema().field(*value_idx).type}));
+
+  // Distinct pivot values in sorted order; each becomes an output column.
+  std::map<Value, size_t> pivot_values;  // value -> column slot
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    Value v = input.GetValue(r, *pivot_idx);
+    if (!v.is_special()) pivot_values.emplace(std::move(v), 0);
+  }
+  size_t slot = 0;
+  for (auto& [v, s] : pivot_values) s = slot++;
+  size_t num_slots = pivot_values.size() + (options.add_row_total ? 1 : 0);
+
+  // Group rows by key; keep one scratchpad per pivot slot (+ total).
+  struct PivotRow {
+    std::vector<AggStatePtr> states;
+  };
+  std::map<std::vector<Value>, PivotRow> rows;
+  auto states_for = [&](const std::vector<Value>& key) -> PivotRow& {
+    auto [it, inserted] = rows.try_emplace(key);
+    if (inserted) {
+      it->second.states.reserve(num_slots);
+      for (size_t i = 0; i < num_slots; ++i) {
+        it->second.states.push_back(fn->Init());
+      }
+    }
+    return it->second;
+  };
+  // Has each (key, slot) cell seen any input? NULL cells stay NULL.
+  std::map<std::pair<std::vector<Value>, size_t>, bool> touched;
+
+  std::vector<AggStatePtr> grand_states;
+  if (options.add_total_row) {
+    grand_states.reserve(num_slots);
+    for (size_t i = 0; i < num_slots; ++i) grand_states.push_back(fn->Init());
+  }
+
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    Value pv = input.GetValue(r, *pivot_idx);
+    if (pv.is_special()) continue;  // unpivotable rows are dropped
+    std::vector<Value> key;
+    key.reserve(key_cols.size());
+    for (size_t c : key_cols) key.push_back(input.GetValue(r, c));
+    PivotRow& row = states_for(key);
+    size_t s = pivot_values.at(pv);
+    Value v = input.GetValue(r, *value_idx);
+    fn->Iter1(row.states[s].get(), v);
+    touched[{key, s}] = true;
+    if (options.add_row_total) {
+      fn->Iter1(row.states[pivot_values.size()].get(), v);
+    }
+    if (options.add_total_row) {
+      fn->Iter1(grand_states[s].get(), v);
+      if (options.add_row_total) {
+        fn->Iter1(grand_states[pivot_values.size()].get(), v);
+      }
+    }
+  }
+
+  // Result schema: keys, one column per pivot value, optional total.
+  std::vector<Field> fields;
+  for (size_t c : key_cols) fields.push_back(input.schema().field(c));
+  for (const auto& [v, s] : pivot_values) {
+    Field f{v.ToString(), result_type, /*nullable=*/true};
+    for (const Field& existing : fields) {
+      if (existing.name == f.name) {
+        return Status::AlreadyExists("pivot value collides with column name: " +
+                                     f.name);
+      }
+    }
+    fields.push_back(std::move(f));
+  }
+  if (options.add_row_total) {
+    fields.push_back(Field{options.total_column_name, result_type});
+  }
+  Table out{Schema{std::move(fields)}};
+  out.Reserve(rows.size());
+  for (const auto& [key, row] : rows) {
+    std::vector<Value> values = key;
+    for (const auto& [pv, s] : pivot_values) {
+      bool has = touched.count({key, s}) > 0;
+      values.push_back(has ? fn->Final(row.states[s].get()) : Value::Null());
+    }
+    if (options.add_row_total) {
+      values.push_back(fn->Final(row.states[pivot_values.size()].get()));
+    }
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(values));
+  }
+  if (options.add_total_row && !grand_states.empty()) {
+    std::vector<Value> values(key_cols.size(), Value::Null());
+    for (const auto& [pv, s] : pivot_values) {
+      values.push_back(fn->Final(grand_states[s].get()));
+    }
+    if (options.add_row_total) {
+      values.push_back(fn->Final(grand_states[pivot_values.size()].get()));
+    }
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(values));
+  }
+  return out;
+}
+
+}  // namespace datacube

@@ -1,0 +1,42 @@
+#ifndef DATACUBE_OLAP_PIVOT_TABLE_H_
+#define DATACUBE_OLAP_PIVOT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// Options for the relational pivot operator.
+struct PivotTableOptions {
+  /// Append a per-row total column aggregating across all pivot values.
+  bool add_row_total = true;
+  std::string total_column_name = "Total";
+  /// Append a final grand-total row (row keys NULL).
+  bool add_total_row = false;
+  /// Aggregate function (registry name) applied to the value column.
+  std::string aggregate = "sum";
+};
+
+/// The relational PIVOT operator the paper predicts in footnote 5 ("it
+/// seems likely that a relational pivot operator will appear in database
+/// systems in the near future"): transposes the distinct values of
+/// `pivot_column` into output columns — "rather than just creating columns
+/// based on subsets of column names, pivot creates columns based on subsets
+/// of column *values*."
+///
+/// The result has one row per distinct combination of `row_key_columns`,
+/// one column per distinct value of `pivot_column` (named by the value's
+/// printed form) holding the aggregated `value_column`, plus optional
+/// row/grand totals. Cells with no contributing input rows are NULL.
+Result<Table> PivotToTable(const Table& input,
+                           const std::vector<std::string>& row_key_columns,
+                           const std::string& pivot_column,
+                           const std::string& value_column,
+                           const PivotTableOptions& options = {});
+
+}  // namespace datacube
+
+#endif  // DATACUBE_OLAP_PIVOT_TABLE_H_

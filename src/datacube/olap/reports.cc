@@ -1,0 +1,164 @@
+#include "datacube/olap/reports.h"
+
+#include <map>
+
+#include "datacube/olap/grid.h"
+#include "datacube/table/sort.h"
+
+namespace datacube {
+
+namespace {
+
+// Splits a rollup result into detail rows and per-level sub-total maps.
+// Level L holds the totals keyed by the first L dimension values.
+struct RollupPieces {
+  Table details;                                       // rows with no ALL dims
+  std::vector<std::map<std::vector<Value>, Value>> totals;  // [level][prefix]
+};
+
+Result<RollupPieces> SplitRollup(const Table& rollup, size_t num_dims,
+                                 size_t value_column) {
+  if (num_dims == 0 || num_dims >= rollup.num_columns() ||
+      value_column >= rollup.num_columns()) {
+    return Status::InvalidArgument("bad rollup report dimensions");
+  }
+  RollupPieces pieces;
+  pieces.totals.resize(num_dims);  // levels 0 .. num_dims-1
+  std::vector<bool> detail_mask(rollup.num_rows(), false);
+  for (size_t r = 0; r < rollup.num_rows(); ++r) {
+    // A rollup row's level = number of leading concrete dims; ALLs must be a
+    // suffix.
+    size_t level = 0;
+    while (level < num_dims && !rollup.GetValue(r, level).is_all()) ++level;
+    for (size_t d = level; d < num_dims; ++d) {
+      if (!rollup.GetValue(r, d).is_all()) {
+        return Status::InvalidArgument(
+            "input is not rollup-shaped (non-suffix ALL pattern)");
+      }
+    }
+    if (level == num_dims) {
+      detail_mask[r] = true;
+      continue;
+    }
+    std::vector<Value> prefix;
+    prefix.reserve(level);
+    for (size_t d = 0; d < level; ++d) prefix.push_back(rollup.GetValue(r, d));
+    pieces.totals[level][std::move(prefix)] = rollup.GetValue(r, value_column);
+  }
+  DATACUBE_ASSIGN_OR_RETURN(Table details, rollup.FilterRows(detail_mask));
+  std::vector<SortKey> keys;
+  for (size_t d = 0; d < num_dims; ++d) keys.push_back(SortKey{d, true});
+  DATACUBE_ASSIGN_OR_RETURN(pieces.details, SortTable(details, keys));
+  return pieces;
+}
+
+std::string LevelHeader(const Table& rollup, size_t value_column,
+                        size_t level) {
+  std::string h = rollup.schema().field(value_column).name;
+  for (size_t d = 0; d < level; ++d) {
+    h += " by " + rollup.schema().field(d).name;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<std::string> FormatRollupReport(const Table& rollup, size_t num_dims,
+                                       size_t value_column) {
+  DATACUBE_ASSIGN_OR_RETURN(RollupPieces pieces,
+                            SplitRollup(rollup, num_dims, value_column));
+  const Table& d = pieces.details;
+
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> header;
+  for (size_t k = 0; k < num_dims; ++k) {
+    header.push_back(rollup.schema().field(k).name);
+  }
+  for (size_t level = num_dims; level >= 1; --level) {
+    header.push_back(LevelHeader(rollup, value_column, level));
+  }
+  grid.push_back(std::move(header));
+
+  size_t value_col_base = num_dims;  // columns [num_dims ..) hold levels N..1
+  auto subtotal_row = [&](size_t level, const std::vector<Value>& prefix) {
+    std::vector<std::string> line(num_dims + num_dims, "");
+    auto it = pieces.totals[level].find(prefix);
+    if (it != pieces.totals[level].end()) {
+      // Level L's value lands in header slot for level L: offset N - L.
+      line[value_col_base + (num_dims - level)] = it->second.ToString();
+    }
+    grid.push_back(std::move(line));
+  };
+
+  for (size_t r = 0; r < d.num_rows(); ++r) {
+    // Blank the dims that repeat the previous row's prefix.
+    std::vector<std::string> line(num_dims + num_dims, "");
+    size_t first_diff = 0;
+    if (r > 0) {
+      while (first_diff < num_dims &&
+             d.GetValue(r, first_diff) == d.GetValue(r - 1, first_diff)) {
+        ++first_diff;
+      }
+    }
+    for (size_t k = (r == 0 ? 0 : first_diff); k < num_dims; ++k) {
+      line[k] = d.GetValue(r, k).ToString();
+    }
+    line[value_col_base] = d.GetValue(r, value_column).ToString();
+    grid.push_back(std::move(line));
+
+    // Emit sub-totals for every level whose group closes after this row.
+    for (size_t level = num_dims - 1; level >= 1; --level) {
+      bool closes = r + 1 == d.num_rows();
+      if (!closes) {
+        for (size_t k = 0; k < level; ++k) {
+          if (!(d.GetValue(r, k) == d.GetValue(r + 1, k))) {
+            closes = true;
+            break;
+          }
+        }
+      }
+      if (!closes) continue;
+      std::vector<Value> prefix;
+      for (size_t k = 0; k < level; ++k) prefix.push_back(d.GetValue(r, k));
+      subtotal_row(level, prefix);
+    }
+  }
+  return RenderTextGrid(grid, num_dims);
+}
+
+Result<std::string> FormatDateReport(const Table& rollup, size_t num_dims,
+                                     size_t value_column) {
+  DATACUBE_ASSIGN_OR_RETURN(RollupPieces pieces,
+                            SplitRollup(rollup, num_dims, value_column));
+  const Table& d = pieces.details;
+
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> header;
+  for (size_t k = 0; k < num_dims; ++k) {
+    header.push_back(rollup.schema().field(k).name);
+  }
+  header.push_back(rollup.schema().field(value_column).name);
+  for (size_t level = num_dims - 1; level >= 1; --level) {
+    header.push_back(LevelHeader(rollup, value_column, level));
+  }
+  grid.push_back(std::move(header));
+
+  for (size_t r = 0; r < d.num_rows(); ++r) {
+    std::vector<std::string> line;
+    for (size_t k = 0; k < num_dims; ++k) {
+      line.push_back(d.GetValue(r, k).ToString());
+    }
+    line.push_back(d.GetValue(r, value_column).ToString());
+    for (size_t level = num_dims - 1; level >= 1; --level) {
+      std::vector<Value> prefix;
+      for (size_t k = 0; k < level; ++k) prefix.push_back(d.GetValue(r, k));
+      auto it = pieces.totals[level].find(prefix);
+      line.push_back(it == pieces.totals[level].end() ? ""
+                                                      : it->second.ToString());
+    }
+    grid.push_back(std::move(line));
+  }
+  return RenderTextGrid(grid, num_dims);
+}
+
+}  // namespace datacube

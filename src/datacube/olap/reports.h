@@ -1,0 +1,47 @@
+#ifndef DATACUBE_OLAP_REPORTS_H_
+#define DATACUBE_OLAP_REPORTS_H_
+
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// Renders a ROLLUP result as the Table 3.a drill-down report: dimension
+/// values blank when repeated, and one sub-total column per aggregation
+/// level, each total printed on its own sub-total row:
+///
+///   Model  Year  Color  Sales by Model by Year by Color  Sales by Model by Year  Sales by Model
+///   Chevy  1994  black  50
+///                white  40
+///                                                        90
+///          1995  black  85
+///   ...
+///
+/// `rollup` must be a rollup-shaped cube result whose first `num_dims`
+/// columns are the dimensions (finest-to-coarsest order) and whose
+/// `value_column` holds the aggregate. This representation "is not
+/// relational" (the blank cells cannot form a key) — it is a report, which
+/// is exactly the paper's point.
+Result<std::string> FormatRollupReport(const Table& rollup, size_t num_dims,
+                                       size_t value_column);
+
+/// Renders the same data as Table 3.b, Chris Date's recommended relational
+/// alternative: detail rows only, with one additional column per
+/// super-aggregate level repeated on every row:
+///
+///   Model  Year  Color  Sales  Sales by Model by Year  Sales by Model
+///   Chevy  1994  black     50                      90             290
+///   ...
+///
+/// The paper rejects this design because the column count "grows as the
+/// power set of the number of aggregated attributes"; it is provided for the
+/// Table 3.b reproduction and as a comparison point.
+Result<std::string> FormatDateReport(const Table& rollup, size_t num_dims,
+                                     size_t value_column);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_OLAP_REPORTS_H_

@@ -1,0 +1,218 @@
+#include "datacube/olap/window.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace datacube {
+
+namespace {
+
+// Sorted row order plus the partition boundaries implied by partition_by.
+struct Partitions {
+  Table sorted;
+  // Half-open [begin, end) row ranges.
+  std::vector<std::pair<size_t, size_t>> ranges;
+};
+
+Result<Partitions> Partition(const Table& table, size_t value_column,
+                             const WindowOptions& options) {
+  if (value_column >= table.num_columns()) {
+    return Status::OutOfRange("window value column out of range");
+  }
+  for (size_t p : options.partition_by) {
+    if (p >= table.num_columns()) {
+      return Status::OutOfRange("partition column out of range");
+    }
+  }
+  // Sort by partition columns first (so partitions are contiguous), then by
+  // the requested order.
+  std::vector<SortKey> keys;
+  for (size_t p : options.partition_by) keys.push_back(SortKey{p, true});
+  keys.insert(keys.end(), options.order_by.begin(), options.order_by.end());
+  DATACUBE_ASSIGN_OR_RETURN(Table sorted, SortTable(table, keys));
+
+  Partitions out{std::move(sorted), {}};
+  size_t n = out.sorted.num_rows();
+  size_t begin = 0;
+  for (size_t r = 1; r <= n; ++r) {
+    bool boundary = r == n;
+    if (!boundary) {
+      for (size_t p : options.partition_by) {
+        if (!(out.sorted.GetValue(r, p) == out.sorted.GetValue(r - 1, p))) {
+          boundary = true;
+          break;
+        }
+      }
+    }
+    if (boundary) {
+      out.ranges.emplace_back(begin, r);
+      begin = r;
+    }
+  }
+  if (n == 0) out.ranges.clear();
+  return out;
+}
+
+// Appends a column computed per partition. `compute` fills `out[i]` for each
+// row index i in [begin, end) of the sorted table.
+Result<Table> WithComputedColumn(
+    const Table& table, size_t value_column, const std::string& output_name,
+    DataType output_type, const WindowOptions& options,
+    const std::function<void(const Table&, size_t, size_t,
+                             std::vector<Value>*)>& compute) {
+  DATACUBE_ASSIGN_OR_RETURN(Partitions parts,
+                            Partition(table, value_column, options));
+  std::vector<Value> column(parts.sorted.num_rows(), Value::Null());
+  for (const auto& [begin, end] : parts.ranges) {
+    compute(parts.sorted, begin, end, &column);
+  }
+  Table extra(Schema({Field{output_name, output_type}}));
+  extra.Reserve(column.size());
+  for (const Value& v : column) {
+    DATACUBE_RETURN_IF_ERROR(extra.AppendRow({v}));
+  }
+  return parts.sorted.ConcatColumns(extra);
+}
+
+}  // namespace
+
+Result<Table> AddRank(const Table& table, size_t value_column,
+                      const std::string& output_name,
+                      const WindowOptions& options) {
+  return WithComputedColumn(
+      table, value_column, output_name, DataType::kInt64, options,
+      [value_column](const Table& t, size_t begin, size_t end,
+                     std::vector<Value>* out) {
+        // Order partition rows by value; ties share the smallest rank.
+        std::vector<size_t> idx;
+        for (size_t r = begin; r < end; ++r) {
+          if (!t.GetValue(r, value_column).is_special()) idx.push_back(r);
+        }
+        std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+          return t.GetValue(a, value_column)
+                     .Compare(t.GetValue(b, value_column)) < 0;
+        });
+        int64_t rank = 0;
+        for (size_t i = 0; i < idx.size(); ++i) {
+          if (i == 0 || t.GetValue(idx[i], value_column)
+                                .Compare(t.GetValue(idx[i - 1], value_column)) !=
+                            0) {
+            rank = static_cast<int64_t>(i + 1);
+          }
+          (*out)[idx[i]] = Value::Int64(rank);
+        }
+      });
+}
+
+Result<Table> AddNTile(const Table& table, size_t value_column, int n,
+                       const std::string& output_name,
+                       const WindowOptions& options) {
+  if (n < 1) return Status::InvalidArgument("n_tile requires n >= 1");
+  return WithComputedColumn(
+      table, value_column, output_name, DataType::kInt64, options,
+      [value_column, n](const Table& t, size_t begin, size_t end,
+                        std::vector<Value>* out) {
+        std::vector<size_t> idx;
+        for (size_t r = begin; r < end; ++r) {
+          if (!t.GetValue(r, value_column).is_special()) idx.push_back(r);
+        }
+        std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+          return t.GetValue(a, value_column)
+                     .Compare(t.GetValue(b, value_column)) < 0;
+        });
+        // Equal-population buckets: position i of m goes to bucket
+        // floor(i * n / m) + 1.
+        size_t m = idx.size();
+        for (size_t i = 0; i < m; ++i) {
+          int64_t bucket = static_cast<int64_t>(i * static_cast<size_t>(n) / m) + 1;
+          (*out)[idx[i]] = Value::Int64(bucket);
+        }
+      });
+}
+
+Result<Table> AddRatioToTotal(const Table& table, size_t value_column,
+                              const std::string& output_name,
+                              const WindowOptions& options) {
+  return WithComputedColumn(
+      table, value_column, output_name, DataType::kFloat64, options,
+      [value_column](const Table& t, size_t begin, size_t end,
+                     std::vector<Value>* out) {
+        double total = 0;
+        for (size_t r = begin; r < end; ++r) {
+          Value v = t.GetValue(r, value_column);
+          if (v.is_numeric()) total += v.AsDouble();
+        }
+        for (size_t r = begin; r < end; ++r) {
+          Value v = t.GetValue(r, value_column);
+          if (v.is_numeric() && total != 0) {
+            (*out)[r] = Value::Float64(v.AsDouble() / total);
+          }
+        }
+      });
+}
+
+Result<Table> AddCumulative(const Table& table, size_t value_column,
+                            const std::string& output_name,
+                            const WindowOptions& options) {
+  return WithComputedColumn(
+      table, value_column, output_name, DataType::kFloat64, options,
+      [value_column](const Table& t, size_t begin, size_t end,
+                     std::vector<Value>* out) {
+        double running = 0;
+        for (size_t r = begin; r < end; ++r) {
+          Value v = t.GetValue(r, value_column);
+          if (v.is_numeric()) running += v.AsDouble();
+          (*out)[r] = Value::Float64(running);
+        }
+      });
+}
+
+namespace {
+
+Result<Table> AddRunningWindow(const Table& table, size_t value_column, int n,
+                               const std::string& output_name, bool average,
+                               const WindowOptions& options) {
+  if (n < 1) return Status::InvalidArgument("running window requires n >= 1");
+  return WithComputedColumn(
+      table, value_column, output_name, DataType::kFloat64, options,
+      [value_column, n, average](const Table& t, size_t begin, size_t end,
+                                 std::vector<Value>* out) {
+        std::deque<double> window;
+        double sum = 0;
+        size_t seen = 0;
+        for (size_t r = begin; r < end; ++r) {
+          Value v = t.GetValue(r, value_column);
+          double x = v.is_numeric() ? v.AsDouble() : 0.0;
+          window.push_back(x);
+          sum += x;
+          ++seen;
+          if (window.size() > static_cast<size_t>(n)) {
+            sum -= window.front();
+            window.pop_front();
+          }
+          // "The initial n-1 values are NULL."
+          if (seen < static_cast<size_t>(n)) continue;
+          (*out)[r] = Value::Float64(average ? sum / static_cast<double>(n)
+                                             : sum);
+        }
+      });
+}
+
+}  // namespace
+
+Result<Table> AddRunningSum(const Table& table, size_t value_column, int n,
+                            const std::string& output_name,
+                            const WindowOptions& options) {
+  return AddRunningWindow(table, value_column, n, output_name,
+                          /*average=*/false, options);
+}
+
+Result<Table> AddRunningAverage(const Table& table, size_t value_column, int n,
+                                const std::string& output_name,
+                                const WindowOptions& options) {
+  return AddRunningWindow(table, value_column, n, output_name,
+                          /*average=*/true, options);
+}
+
+}  // namespace datacube

@@ -1,0 +1,66 @@
+#ifndef DATACUBE_OLAP_WINDOW_H_
+#define DATACUBE_OLAP_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/table/sort.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// Shared options for the Red Brick-style ordered/cumulative functions the
+/// paper surveys in Section 1.2. The input is first sorted by `order_by`
+/// (empty = keep input order); cumulative state resets whenever the value of
+/// any `partition_by` column changes ("these aggregate functions are
+/// optionally reset each time a grouping value changes in an ordered
+/// selection").
+struct WindowOptions {
+  std::vector<size_t> partition_by;
+  std::vector<SortKey> order_by;
+};
+
+/// Rank(expression): the value's rank among all values of the column within
+/// its partition — "if there are N values in the column, and this is the
+/// highest value, the rank is N, if it is the lowest value the rank is 1."
+/// Ties share the smallest rank of the tied group. NULL values rank NULL.
+/// Returns the (sorted) input table plus an INT64 column `output_name`.
+Result<Table> AddRank(const Table& table, size_t value_column,
+                      const std::string& output_name,
+                      const WindowOptions& options = {});
+
+/// N_tile(expression, n): splits the partition's value range into n buckets
+/// of approximately equal population and reports each row's bucket (1..n) —
+/// "if your bank account was among the largest 10% then your
+/// rank(account.balance, 10) would return 10."
+Result<Table> AddNTile(const Table& table, size_t value_column, int n,
+                       const std::string& output_name,
+                       const WindowOptions& options = {});
+
+/// Ratio_To_Total(expression): each value divided by the partition's total.
+Result<Table> AddRatioToTotal(const Table& table, size_t value_column,
+                              const std::string& output_name,
+                              const WindowOptions& options = {});
+
+/// Cumulative(expression): running sum of all values so far in the ordered
+/// partition.
+Result<Table> AddCumulative(const Table& table, size_t value_column,
+                            const std::string& output_name,
+                            const WindowOptions& options = {});
+
+/// Running_Sum(expression, n): sum of the most recent n values; "the initial
+/// n-1 values are NULL."
+Result<Table> AddRunningSum(const Table& table, size_t value_column, int n,
+                            const std::string& output_name,
+                            const WindowOptions& options = {});
+
+/// Running_Average(expression, n): average of the most recent n values; the
+/// initial n-1 values are NULL.
+Result<Table> AddRunningAverage(const Table& table, size_t value_column, int n,
+                                const std::string& output_name,
+                                const WindowOptions& options = {});
+
+}  // namespace datacube
+
+#endif  // DATACUBE_OLAP_WINDOW_H_

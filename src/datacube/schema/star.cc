@@ -1,0 +1,239 @@
+#include "datacube/schema/star.h"
+
+#include <algorithm>
+
+namespace datacube {
+
+Result<DimensionTable> DimensionTable::Create(std::string name, Table table,
+                                              std::string key_column) {
+  DimensionTable dim;
+  std::optional<size_t> key_idx = table.schema().FieldIndex(key_column);
+  if (!key_idx.has_value()) {
+    return Status::NotFound("dimension key column not found: " + key_column);
+  }
+  dim.key_index_ = *key_idx;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Value key = table.GetValue(r, *key_idx);
+    if (key.is_special()) {
+      return Status::InvalidArgument("dimension key may not be NULL/ALL");
+    }
+    if (!dim.index_.emplace(std::move(key), r).second) {
+      return Status::InvalidArgument(
+          "dimension key is not unique; it cannot functionally determine the "
+          "attributes");
+    }
+  }
+  dim.name_ = std::move(name);
+  dim.table_ = std::move(table);
+  dim.key_column_ = std::move(key_column);
+  return dim;
+}
+
+std::vector<std::string> DimensionTable::AttributeNames() const {
+  std::vector<std::string> names;
+  for (const Field& f : table_.schema().fields()) {
+    if (f.name != key_column_) names.push_back(f.name);
+  }
+  return names;
+}
+
+Result<Value> DimensionTable::Lookup(const Value& key,
+                                     const std::string& attribute) const {
+  std::optional<size_t> col = table_.schema().FieldIndex(attribute);
+  if (!col.has_value()) {
+    return Status::NotFound("no attribute " + attribute + " in dimension " +
+                            name_);
+  }
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("no dimension row for key " + key.ToString());
+  }
+  return table_.GetValue(it->second, *col);
+}
+
+Status SnowflakeSchema::AddDimension(const std::string& fact_column,
+                                     DimensionTable dim) {
+  if (!fact_.schema().FieldIndex(fact_column).has_value()) {
+    return Status::NotFound("fact column not found: " + fact_column);
+  }
+  for (const Link& link : links_) {
+    if (link.dim.name() == dim.name()) {
+      return Status::AlreadyExists("dimension already added: " + dim.name());
+    }
+  }
+  links_.push_back(Link{"", fact_column, std::move(dim)});
+  return Status::OK();
+}
+
+Status SnowflakeSchema::AddSnowflakeDimension(
+    const std::string& parent_dimension, const std::string& parent_column,
+    DimensionTable dim) {
+  const Link* parent = nullptr;
+  for (const Link& link : links_) {
+    if (link.dim.name() == parent_dimension) parent = &link;
+    if (link.dim.name() == dim.name()) {
+      return Status::AlreadyExists("dimension already added: " + dim.name());
+    }
+  }
+  if (parent == nullptr) {
+    return Status::NotFound("parent dimension not found: " + parent_dimension);
+  }
+  if (!parent->dim.table().schema().FieldIndex(parent_column).has_value()) {
+    return Status::NotFound("parent dimension has no column " + parent_column);
+  }
+  links_.push_back(Link{parent_dimension, parent_column, std::move(dim)});
+  return Status::OK();
+}
+
+Status SnowflakeSchema::AddHierarchy(Hierarchy hierarchy) {
+  if (hierarchy.levels.empty()) {
+    return Status::InvalidArgument("hierarchy needs at least one level");
+  }
+  for (const Hierarchy& h : hierarchies_) {
+    if (h.name == hierarchy.name) {
+      return Status::AlreadyExists("hierarchy already defined: " + h.name);
+    }
+  }
+  hierarchies_.push_back(std::move(hierarchy));
+  return Status::OK();
+}
+
+Result<const DimensionTable*> SnowflakeSchema::dimension(
+    const std::string& name) const {
+  for (const Link& link : links_) {
+    if (link.dim.name() == name) return &link.dim;
+  }
+  return Status::NotFound("no dimension named " + name);
+}
+
+Result<Table> SnowflakeSchema::Denormalize() const {
+  // Start from the fact table and left-join each dimension in registration
+  // order; snowflake links join against the already-joined parent columns.
+  Table wide = fact_;
+  for (const Link& link : links_) {
+    // Resolve the join column in the current wide table: fact links use the
+    // fact column; snowflake links use the parent dimension's column, which
+    // is present once the parent has been joined.
+    std::optional<size_t> join_col = wide.schema().FieldIndex(link.parent_column);
+    if (!join_col.has_value()) {
+      return Status::Internal("join column missing during denormalize: " +
+                              link.parent_column);
+    }
+    // Attribute columns to append (skip the dimension's key: its value is
+    // already present as the join column).
+    const Table& dim_table = link.dim.table();
+    std::vector<size_t> attr_cols;
+    std::vector<Field> attr_fields;
+    for (size_t c = 0; c < dim_table.num_columns(); ++c) {
+      const Field& f = dim_table.schema().field(c);
+      if (f.name == link.dim.key_column()) continue;
+      if (wide.schema().FieldIndex(f.name).has_value()) {
+        return Status::AlreadyExists(
+            "attribute column name collides during denormalize: " + f.name);
+      }
+      attr_cols.push_back(c);
+      attr_fields.push_back(f);
+    }
+    Table attrs{Schema{attr_fields}};
+    attrs.Reserve(wide.num_rows());
+    for (size_t r = 0; r < wide.num_rows(); ++r) {
+      Value key = wide.GetValue(r, *join_col);
+      std::vector<Value> row;
+      row.reserve(attr_cols.size());
+      bool found = false;
+      if (!key.is_special()) {
+        for (size_t c : attr_cols) {
+          Result<Value> v =
+              link.dim.Lookup(key, dim_table.schema().field(c).name);
+          if (v.ok()) {
+            row.push_back(std::move(*v));
+            found = true;
+          } else {
+            break;
+          }
+        }
+      }
+      if (!found) row.assign(attr_cols.size(), Value::Null());
+      DATACUBE_RETURN_IF_ERROR(attrs.AppendRow(row));
+    }
+    DATACUBE_ASSIGN_OR_RETURN(wide, wide.ConcatColumns(attrs));
+  }
+  return wide;
+}
+
+Result<CubeSpec> SnowflakeSchema::HierarchyRollupSpec(
+    const std::string& hierarchy, std::vector<AggregateSpec> aggregates) const {
+  const Hierarchy* h = nullptr;
+  for (const Hierarchy& cand : hierarchies_) {
+    if (cand.name == hierarchy) h = &cand;
+  }
+  if (h == nullptr) {
+    return Status::NotFound("no hierarchy named " + hierarchy);
+  }
+  CubeSpec spec;
+  // ROLLUP drills from the coarsest level down: ROLLUP(Region, District,
+  // Office) produces region totals, then district sub-totals, then offices.
+  for (auto it = h->levels.rbegin(); it != h->levels.rend(); ++it) {
+    spec.rollup.push_back(GroupExpr{Expr::Column(*it), *it});
+  }
+  spec.aggregates = std::move(aggregates);
+  return spec;
+}
+
+Result<CubeSpec> TimeRollupSpec(const std::string& date_column,
+                                const std::vector<std::string>& levels,
+                                std::vector<AggregateSpec> aggregates) {
+  // Coarseness ranks within each family; lower = coarser.
+  struct LevelInfo {
+    const char* name;
+    const char* function;  // scalar registry name
+    int rank;
+    bool weekly;
+  };
+  static constexpr LevelInfo kLevels[] = {
+      {"year", "year", 0, false},      {"quarter", "quarter", 1, false},
+      {"month", "month", 2, false},    {"day", "day", 3, false},
+      {"weekyear", "weekyear", 0, true}, {"week", "week", 1, true},
+  };
+  if (levels.empty()) {
+    return Status::InvalidArgument("time rollup needs at least one level");
+  }
+  std::vector<const LevelInfo*> chosen;
+  bool any_weekly = false, any_calendar = false;
+  for (const std::string& level : levels) {
+    const LevelInfo* info = nullptr;
+    for (const LevelInfo& cand : kLevels) {
+      if (cand.name == level) info = &cand;
+    }
+    if (info == nullptr) {
+      return Status::InvalidArgument("unknown time granularity: " + level);
+    }
+    // "day" is shared; other levels mark their family.
+    if (level != "day") {
+      any_weekly |= info->weekly;
+      any_calendar |= !info->weekly;
+    }
+    chosen.push_back(info);
+  }
+  if (any_weekly && any_calendar) {
+    return Status::InvalidArgument(
+        "weeks do not nest in months, quarters, or calendar years; use the "
+        "ISO-week family (weekyear, week, day) instead");
+  }
+  std::sort(chosen.begin(), chosen.end(),
+            [](const LevelInfo* a, const LevelInfo* b) {
+              // In the weekly family "day" (calendar rank 3) stays finest.
+              return a->rank < b->rank;
+            });
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+
+  CubeSpec spec;
+  for (const LevelInfo* info : chosen) {
+    spec.rollup.push_back(GroupExpr{
+        Expr::Call(info->function, {Expr::Column(date_column)}), info->name});
+  }
+  spec.aggregates = std::move(aggregates);
+  return spec;
+}
+
+}  // namespace datacube

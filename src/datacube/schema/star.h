@@ -1,0 +1,129 @@
+#ifndef DATACUBE_SCHEMA_STAR_H_
+#define DATACUBE_SCHEMA_STAR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/cube/cube_spec.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// A dimension side-table (Section 3.6): a key column plus descriptive
+/// attributes it functionally determines — "there are side tables that for
+/// each dimension value give its attributes", e.g. the San Francisco sales
+/// office is in the Northern California District, the Western Region, and
+/// the US Geography.
+class DimensionTable {
+ public:
+  /// Validates that `key_column` exists and is unique (it must functionally
+  /// determine the attributes).
+  static Result<DimensionTable> Create(std::string name, Table table,
+                                       std::string key_column);
+
+  const std::string& name() const { return name_; }
+  const Table& table() const { return table_; }
+  const std::string& key_column() const { return key_column_; }
+
+  /// Attribute columns (everything except the key).
+  std::vector<std::string> AttributeNames() const;
+
+  /// The attribute value determined by `key` (the FD lookup). NotFound if
+  /// the key value has no dimension row.
+  Result<Value> Lookup(const Value& key, const std::string& attribute) const;
+
+ private:
+  DimensionTable() = default;
+
+  std::string name_;
+  Table table_;
+  std::string key_column_;
+  size_t key_index_ = 0;
+  std::unordered_map<Value, size_t, ValueHash> index_;
+};
+
+/// An aggregation hierarchy over dimension attributes, finest level first
+/// (e.g. {"Office", "District", "Region"}). Section 3.6: "these dimension
+/// tables define a spectrum of aggregation granularities for the dimension."
+struct Hierarchy {
+  std::string name;
+  std::vector<std::string> levels;  // finest -> coarsest column names
+};
+
+/// A snowflake schema: a fact table whose foreign-key columns reference
+/// dimension tables, which may in turn reference further dimension tables
+/// (Figure 6). A star schema is the special case with no dimension-to-
+/// dimension links.
+class SnowflakeSchema {
+ public:
+  explicit SnowflakeSchema(Table fact) : fact_(std::move(fact)) {}
+
+  /// Registers a dimension reached from a fact-table column.
+  Status AddDimension(const std::string& fact_column, DimensionTable dim);
+
+  /// Registers a dimension reached from a column of another dimension (the
+  /// snowflake normalization of Figure 6's footnote: an office table, a
+  /// district table, and a region table rather than one big denormalized
+  /// table).
+  Status AddSnowflakeDimension(const std::string& parent_dimension,
+                               const std::string& parent_column,
+                               DimensionTable dim);
+
+  /// Declares an aggregation hierarchy over (denormalized) attribute
+  /// columns, finest first.
+  Status AddHierarchy(Hierarchy hierarchy);
+
+  const Table& fact() const { return fact_; }
+  const std::vector<Hierarchy>& hierarchies() const { return hierarchies_; }
+  Result<const DimensionTable*> dimension(const std::string& name) const;
+
+  /// Joins the fact table with every (transitively linked) dimension into
+  /// one wide table — "query users find it convenient to use the
+  /// denormalized table". Attribute columns keep their dimension-table
+  /// names; a missing dimension row yields NULL attributes (left join).
+  Result<Table> Denormalize() const;
+
+  /// Builds a ROLLUP CubeSpec along `hierarchy` for use on the denormalized
+  /// table: ROLLUP(coarsest, ..., finest) plus the given aggregates, so the
+  /// report drills down from the top of the hierarchy.
+  Result<CubeSpec> HierarchyRollupSpec(
+      const std::string& hierarchy,
+      std::vector<AggregateSpec> aggregates) const;
+
+ private:
+  struct Link {
+    // Either "" (fact) or the name of the parent dimension.
+    std::string parent_dimension;
+    std::string parent_column;
+    DimensionTable dim;
+  };
+
+  Table fact_;
+  std::vector<Link> links_;
+  std::vector<Hierarchy> hierarchies_;
+};
+
+/// Star-schema alias: construct and add dimensions directly off the fact
+/// table.
+using StarSchema = SnowflakeSchema;
+
+/// Builds a ROLLUP CubeSpec over calendar granularities of a DATE column —
+/// Section 3.6's "a date functionally defines a week, month, and year.
+/// Roll-ups by year, week, day are common."
+///
+/// `levels` are granularity names, any order; the spec rolls up coarsest
+/// first. Two families exist because "weeks do not nest in months or
+/// quarters or years (some weeks are partly in two years)":
+///   * calendar family: "year", "quarter", "month", "day"
+///   * ISO-week family: "weekyear", "week", "day"
+/// Mixing "week" with calendar levels is rejected with guidance to use
+/// "weekyear".
+Result<CubeSpec> TimeRollupSpec(const std::string& date_column,
+                                const std::vector<std::string>& levels,
+                                std::vector<AggregateSpec> aggregates);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_SCHEMA_STAR_H_

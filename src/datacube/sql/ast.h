@@ -1,0 +1,85 @@
+#ifndef DATACUBE_SQL_AST_H_
+#define DATACUBE_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "datacube/expr/expr.h"
+
+namespace datacube::sql {
+
+/// One SELECT-list item. Aggregate calls appear as Expr::Call nodes whose
+/// names resolve in AggregateRegistry rather than the scalar registry; the
+/// planner classifies them. `count(*)` parses to Call("count_star", {});
+/// `agg(DISTINCT x)` sets the node name to the pseudo-prefix "distinct$".
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty if none
+  bool star = false;  // SELECT *
+};
+
+/// One grouping expression with an optional alias — the paper's
+/// "GROUP BY Day(Time) AS day" form.
+struct GroupItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+/// The GROUP BY clause in the paper's Section 3.2 grammar:
+///   GROUP BY [<list>] [ROLLUP <list>] [CUBE <list>]
+/// plus standard GROUPING SETS ((a, b), (a), ()).
+struct GroupByClause {
+  std::vector<GroupItem> plain;
+  std::vector<GroupItem> rollup;
+  std::vector<GroupItem> cube;
+  /// Explicit grouping sets over the union of columns they mention;
+  /// non-empty means the clause was GROUPING SETS.
+  std::vector<std::vector<GroupItem>> grouping_sets;
+
+  bool empty() const {
+    return plain.empty() && rollup.empty() && cube.empty() &&
+           grouping_sets.empty();
+  }
+};
+
+struct OrderItem {
+  ExprPtr expr;       // null if ordinal form
+  int ordinal = -1;   // 1-based ORDER BY 2 form
+  bool ascending = true;
+};
+
+/// A parsed SELECT statement over a single table (the scope of the paper's
+/// examples; joins are handled by the schema module's denormalization).
+struct SelectStatement {
+  std::vector<SelectItem> select_list;
+  std::string from_table;
+  ExprPtr where;  // null if absent
+  GroupByClause group_by;
+  ExprPtr having;  // null if absent
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+/// A full query: one or more SELECT statements combined with UNION [ALL] —
+/// the Section 2 construct the CUBE operator replaces ("a 64-way union of
+/// 64 different GROUP BY operators").
+struct UnionQuery {
+  std::vector<SelectStatement> selects;
+  /// distinct_union[i] is true when selects[i] was joined to its
+  /// predecessor with plain UNION (duplicate-eliminating); index 0 unused.
+  std::vector<bool> distinct_union;
+};
+
+/// Syntactic statistics used to regenerate the paper's Table 2 (counts of
+/// aggregates and GROUP BYs in benchmark query sets).
+struct QueryStats {
+  int num_aggregates = 0;
+  bool has_group_by = false;
+};
+
+/// Counts aggregate calls and GROUP BY presence in a parsed statement.
+QueryStats Analyze(const SelectStatement& stmt);
+
+}  // namespace datacube::sql
+
+#endif  // DATACUBE_SQL_AST_H_

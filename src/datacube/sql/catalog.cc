@@ -1,0 +1,44 @@
+#include "datacube/sql/catalog.h"
+
+#include <algorithm>
+
+#include "datacube/common/str_util.h"
+
+namespace datacube::sql {
+
+Status Catalog::Register(std::string name, Table table) {
+  for (const auto& [existing, _] : tables_) {
+    if (EqualsIgnoreCase(existing, name)) {
+      return Status::AlreadyExists("table already registered: " + name);
+    }
+  }
+  tables_.emplace_back(std::move(name), std::move(table));
+  return Status::OK();
+}
+
+void Catalog::Put(std::string name, Table table) {
+  for (auto& [existing, t] : tables_) {
+    if (EqualsIgnoreCase(existing, name)) {
+      t = std::move(table);
+      return;
+    }
+  }
+  tables_.emplace_back(std::move(name), std::move(table));
+}
+
+Result<const Table*> Catalog::Get(const std::string& name) const {
+  for (const auto& [existing, table] : tables_) {
+    if (EqualsIgnoreCase(existing, name)) return &table;
+  }
+  return Status::NotFound("no table named " + name);
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace datacube::sql

@@ -1,0 +1,33 @@
+#ifndef DATACUBE_SQL_CATALOG_H_
+#define DATACUBE_SQL_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/table/table.h"
+
+namespace datacube::sql {
+
+/// A name → table binding used by the SQL engine. Lookup is
+/// case-insensitive.
+class Catalog {
+ public:
+  /// Registers a table; fails if the name is taken.
+  Status Register(std::string name, Table table);
+
+  /// Replaces or adds a table binding.
+  void Put(std::string name, Table table);
+
+  Result<const Table*> Get(const std::string& name) const;
+
+  /// Sorted table names.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, Table>> tables_;
+};
+
+}  // namespace datacube::sql
+
+#endif  // DATACUBE_SQL_CATALOG_H_

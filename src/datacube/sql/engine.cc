@@ -1,0 +1,797 @@
+#include "datacube/sql/engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "datacube/agg/registry.h"
+#include "datacube/common/str_util.h"
+#include "datacube/cube/cube_operator.h"
+#include "datacube/sql/parser.h"
+
+namespace datacube::sql {
+
+namespace {
+
+constexpr const char* kDistinctPrefix = "distinct$";
+
+// True if the call node names an aggregate function (registry lookup,
+// count_star normalization, or the DISTINCT-encoded form).
+bool IsAggregateCall(const Expr& e) {
+  if (e.kind() != Expr::Kind::kCall) return false;
+  const std::string& n = e.name();
+  if (EqualsIgnoreCase(n, "count_star")) return true;
+  if (n.rfind(kDistinctPrefix, 0) == 0) {
+    return AggregateRegistry::Global().Contains(
+        n.substr(std::string(kDistinctPrefix).size()));
+  }
+  return AggregateRegistry::Global().Contains(n);
+}
+
+bool ContainsAggregate(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (IsAggregateCall(*e)) return true;
+  for (const ExprPtr& arg : e->args()) {
+    if (ContainsAggregate(arg)) return true;
+  }
+  return false;
+}
+
+int CountAggregates(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  int n = IsAggregateCall(*e) ? 1 : 0;
+  for (const ExprPtr& arg : e->args()) n += CountAggregates(arg);
+  return n;
+}
+
+std::string Canonical(const ExprPtr& e) { return ToLower(e->ToString()); }
+
+// Planning state shared across the select list and HAVING.
+struct Plan {
+  std::vector<GroupExpr> group_exprs;
+  std::vector<std::string> group_canonical;
+  std::vector<std::string> group_names;
+  std::vector<AggregateSpec> aggregates;
+  std::vector<std::string> agg_canonical;
+  bool uses_grouping = false;
+  bool uses_grouping_id = false;
+  std::optional<std::vector<GroupingSet>> explicit_sets;
+  // Boundary indices into group_exprs for the compound algebra.
+  size_t num_plain = 0, num_rollup = 0, num_cube = 0;
+};
+
+// Finds or creates an AggregateSpec for the call node `e`; returns the
+// output column name.
+Result<std::string> InternAggregate(const Expr& e, const std::string& preferred,
+                                    Plan* plan) {
+  std::string canon = ToLower(e.ToString());
+  for (size_t i = 0; i < plan->agg_canonical.size(); ++i) {
+    if (plan->agg_canonical[i] == canon) {
+      return plan->aggregates[i].output_name;
+    }
+  }
+  AggregateSpec spec;
+  std::string fn_name = e.name();
+  if (fn_name.rfind(kDistinctPrefix, 0) == 0) {
+    spec.distinct = true;
+    fn_name = fn_name.substr(std::string(kDistinctPrefix).size());
+  }
+  spec.function = fn_name;
+
+  // Split the parsed argument list into input expressions and trailing
+  // constant parameters (e.g. max_n(x, 3) → args [x], params [3]): find the
+  // shortest literal suffix that instantiates cleanly with matching arity.
+  const std::vector<ExprPtr>& args = e.args();
+  size_t literal_suffix = 0;
+  while (literal_suffix < args.size() &&
+         args[args.size() - 1 - literal_suffix]->kind() ==
+             Expr::Kind::kLiteral) {
+    ++literal_suffix;
+  }
+  AggregateRegistry& registry = AggregateRegistry::Global();
+  bool resolved = false;
+  for (size_t k = 0; k <= literal_suffix && !resolved; ++k) {
+    std::vector<Value> params;
+    for (size_t i = args.size() - k; i < args.size(); ++i) {
+      params.push_back(args[i]->literal());
+    }
+    Result<AggregateFunctionPtr> made = registry.Make(fn_name, params);
+    if (made.ok() &&
+        (*made)->num_args() == static_cast<int>(args.size() - k)) {
+      spec.params = std::move(params);
+      spec.args.assign(args.begin(),
+                       args.begin() + static_cast<ptrdiff_t>(args.size() - k));
+      resolved = true;
+    }
+  }
+  if (!resolved) {
+    return Status::InvalidArgument("cannot resolve aggregate call " +
+                                   e.ToString());
+  }
+  spec.output_name = preferred.empty()
+                         ? fn_name + "_" + std::to_string(plan->aggregates.size())
+                         : preferred;
+  // Keep output names unique.
+  for (const AggregateSpec& existing : plan->aggregates) {
+    if (existing.output_name == spec.output_name) {
+      spec.output_name += "_" + std::to_string(plan->aggregates.size());
+      break;
+    }
+  }
+  plan->aggregates.push_back(spec);
+  plan->agg_canonical.push_back(std::move(canon));
+  return plan->aggregates.back().output_name;
+}
+
+// Rewrites an expression over base-table rows into one over the cube result
+// relation: grouping expressions and aggregate calls become column
+// references; anything else must be composed of those plus literals.
+// `preferred` names the aggregate output when the whole expression is one
+// aggregate call with an alias.
+Result<ExprPtr> RewriteOverResult(const ExprPtr& e, const std::string& preferred,
+                                  Plan* plan) {
+  std::string canon = Canonical(e);
+  for (size_t k = 0; k < plan->group_canonical.size(); ++k) {
+    if (canon == plan->group_canonical[k]) {
+      return Expr::Column(plan->group_names[k]);
+    }
+  }
+  // A bare column ref may also name a grouping column by its alias
+  // ("GROUP BY Day(Time) AS day ... SELECT day").
+  if (e->kind() == Expr::Kind::kColumnRef) {
+    for (const std::string& name : plan->group_names) {
+      if (EqualsIgnoreCase(e->name(), name)) return Expr::Column(name);
+    }
+  }
+  switch (e->kind()) {
+    case Expr::Kind::kLiteral:
+      return e;
+    case Expr::Kind::kColumnRef:
+      return Status::InvalidArgument(
+          "column " + e->name() +
+          " must appear in the GROUP BY clause or inside an aggregate");
+    case Expr::Kind::kCall: {
+      if (EqualsIgnoreCase(e->name(), "grouping_id")) {
+        // GROUPING_ID(): the grouping-set bitmask of the row.
+        if (!e->args().empty()) {
+          return Status::InvalidArgument("GROUPING_ID takes no arguments");
+        }
+        plan->uses_grouping_id = true;
+        return Expr::Column("grouping_id");
+      }
+      if (EqualsIgnoreCase(e->name(), "grouping")) {
+        // GROUPING(col): TRUE when the column is an ALL/super-aggregate
+        // value in this row (Section 3.3's discriminator).
+        if (e->args().size() != 1) {
+          return Status::InvalidArgument("GROUPING takes one argument");
+        }
+        const ExprPtr& arg = e->args()[0];
+        std::string arg_canon = Canonical(arg);
+        for (size_t k = 0; k < plan->group_canonical.size(); ++k) {
+          bool matches = arg_canon == plan->group_canonical[k] ||
+                         (arg->kind() == Expr::Kind::kColumnRef &&
+                          EqualsIgnoreCase(arg->name(), plan->group_names[k]));
+          if (matches) {
+            plan->uses_grouping = true;
+            return Expr::Column("grouping_" + plan->group_names[k]);
+          }
+        }
+        return Status::InvalidArgument(
+            "GROUPING argument is not a grouping column: " +
+            e->args()[0]->ToString());
+      }
+      if (IsAggregateCall(*e)) {
+        DATACUBE_ASSIGN_OR_RETURN(std::string out_name,
+                                  InternAggregate(*e, preferred, plan));
+        return Expr::Column(out_name);
+      }
+      // Scalar call over rewritten children.
+      std::vector<ExprPtr> new_args;
+      for (const ExprPtr& arg : e->args()) {
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr rewritten,
+                                  RewriteOverResult(arg, "", plan));
+        new_args.push_back(std::move(rewritten));
+      }
+      return Expr::Call(e->name(), std::move(new_args));
+    }
+    case Expr::Kind::kUnary: {
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr operand,
+                                RewriteOverResult(e->args()[0], "", plan));
+      return Expr::Unary(e->unary_op(), std::move(operand));
+    }
+    case Expr::Kind::kBinary: {
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr lhs,
+                                RewriteOverResult(e->args()[0], "", plan));
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs,
+                                RewriteOverResult(e->args()[1], "", plan));
+      return Expr::Binary(e->binary_op(), std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kCase: {
+      std::vector<ExprPtr> rewritten;
+      for (const ExprPtr& arg : e->args()) {
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr r, RewriteOverResult(arg, "", plan));
+        rewritten.push_back(std::move(r));
+      }
+      size_t num_branches =
+          (rewritten.size() - (e->case_has_else() ? 1 : 0)) / 2;
+      std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+      for (size_t b = 0; b < num_branches; ++b) {
+        branches.emplace_back(rewritten[2 * b], rewritten[2 * b + 1]);
+      }
+      return Expr::Case(std::move(branches),
+                        e->case_has_else() ? rewritten.back() : nullptr);
+    }
+  }
+  return Status::Internal("corrupt expression");
+}
+
+// Names a grouping expression: clause alias, else the alias of a matching
+// select item, else its printed form.
+std::string GroupName(const GroupItem& item,
+                      const std::vector<SelectItem>& select_list) {
+  if (!item.alias.empty()) return item.alias;
+  std::string canon = Canonical(item.expr);
+  for (const SelectItem& s : select_list) {
+    if (!s.star && !s.alias.empty() && Canonical(s.expr) == canon) {
+      return s.alias;
+    }
+  }
+  return item.expr->ToString();
+}
+
+Status AddGroupExprs(const std::vector<GroupItem>& items,
+                     const std::vector<SelectItem>& select_list, Plan* plan) {
+  for (const GroupItem& item : items) {
+    std::string canon = Canonical(item.expr);
+    for (const std::string& existing : plan->group_canonical) {
+      if (existing == canon) {
+        return Status::InvalidArgument("duplicate grouping expression: " +
+                                       item.expr->ToString());
+      }
+    }
+    plan->group_exprs.push_back(
+        GroupExpr{item.expr, GroupName(item, select_list)});
+    plan->group_canonical.push_back(std::move(canon));
+    plan->group_names.push_back(plan->group_exprs.back().name);
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- N_tile
+//
+// The Red Brick N_tile(expression, n) of Section 1.2 is not a row-local
+// function: it buckets each row by the whole table's value distribution
+// ("GROUP BY N_tile(Temp, 10) as Percentile"). The engine expands it before
+// planning: every distinct N_tile call becomes a hidden precomputed column
+// on the (WHERE-filtered) input, and all references rewrite to that column.
+
+struct NTileExpansion {
+  // canonical call text -> hidden column name
+  std::unordered_map<std::string, std::string> columns;
+  // parallel arrays of the calls to compute
+  std::vector<ExprPtr> value_exprs;
+  std::vector<int64_t> buckets;
+  std::vector<std::string> names;
+};
+
+bool IsNTileCall(const Expr& e) {
+  return e.kind() == Expr::Kind::kCall && EqualsIgnoreCase(e.name(), "n_tile");
+}
+
+// Rewrites `e`, collecting N_tile calls into `expansion`. Returns the
+// (possibly unchanged) expression.
+Result<ExprPtr> RewriteNTiles(const ExprPtr& e, NTileExpansion* expansion) {
+  if (e == nullptr) return e;
+  if (IsNTileCall(*e)) {
+    if (e->args().size() != 2 ||
+        e->args()[1]->kind() != Expr::Kind::kLiteral ||
+        e->args()[1]->literal().kind() != Value::Kind::kInt64) {
+      return Status::InvalidArgument(
+          "n_tile(expression, n) requires a constant integer n");
+    }
+    int64_t n = e->args()[1]->literal().int64_value();
+    if (n < 1) return Status::OutOfRange("n_tile buckets must be >= 1");
+    std::string canon = ToLower(e->ToString());
+    auto it = expansion->columns.find(canon);
+    if (it == expansion->columns.end()) {
+      std::string name =
+          "$ntile" + std::to_string(expansion->value_exprs.size());
+      expansion->columns.emplace(canon, name);
+      expansion->value_exprs.push_back(e->args()[0]);
+      expansion->buckets.push_back(n);
+      expansion->names.push_back(name);
+      return Expr::Column(std::move(name));
+    }
+    return Expr::Column(it->second);
+  }
+  if (e->args().empty()) return e;
+  std::vector<ExprPtr> rewritten;
+  bool changed = false;
+  for (const ExprPtr& arg : e->args()) {
+    DATACUBE_ASSIGN_OR_RETURN(ExprPtr r, RewriteNTiles(arg, expansion));
+    changed |= r != arg;
+    rewritten.push_back(std::move(r));
+  }
+  if (!changed) return e;
+  switch (e->kind()) {
+    case Expr::Kind::kUnary:
+      return Expr::Unary(e->unary_op(), rewritten[0]);
+    case Expr::Kind::kBinary:
+      return Expr::Binary(e->binary_op(), rewritten[0], rewritten[1]);
+    case Expr::Kind::kCall:
+      return Expr::Call(e->name(), std::move(rewritten));
+    case Expr::Kind::kCase: {
+      size_t num_branches =
+          (rewritten.size() - (e->case_has_else() ? 1 : 0)) / 2;
+      std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+      for (size_t b = 0; b < num_branches; ++b) {
+        branches.emplace_back(rewritten[2 * b], rewritten[2 * b + 1]);
+      }
+      return Expr::Case(std::move(branches),
+                        e->case_has_else() ? rewritten.back() : nullptr);
+    }
+    default:
+      return Status::Internal("unexpected expression shape in n_tile rewrite");
+  }
+}
+
+// Computes the bucket column for one N_tile call, aligned to `table`'s row
+// order (equal-population buckets 1..n; NULL inputs stay NULL).
+Result<std::vector<Value>> NTileColumn(const Table& table, ExprPtr value_expr,
+                                       int64_t n) {
+  DATACUBE_RETURN_IF_ERROR(value_expr->Bind(table.schema()));
+  std::vector<Value> values(table.num_rows());
+  std::vector<size_t> idx;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    DATACUBE_ASSIGN_OR_RETURN(values[r], value_expr->Evaluate(table, r));
+    if (!values[r].is_special()) idx.push_back(r);
+  }
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return values[a].Compare(values[b]) < 0;
+  });
+  std::vector<Value> out(table.num_rows(), Value::Null());
+  size_t m = idx.size();
+  for (size_t i = 0; i < m; ++i) {
+    out[idx[i]] =
+        Value::Int64(static_cast<int64_t>(i * static_cast<size_t>(n) / m) + 1);
+  }
+  return out;
+}
+
+// Expands every N_tile call in the statement over `filtered`, returning the
+// augmented table and rewriting the statement's expressions in place.
+Result<Table> ExpandNTiles(SelectStatement* stmt, Table filtered) {
+  NTileExpansion expansion;
+  for (SelectItem& item : stmt->select_list) {
+    if (item.star) continue;
+    DATACUBE_ASSIGN_OR_RETURN(item.expr, RewriteNTiles(item.expr, &expansion));
+  }
+  auto rewrite_items = [&](std::vector<GroupItem>& items) -> Status {
+    for (GroupItem& item : items) {
+      DATACUBE_ASSIGN_OR_RETURN(item.expr,
+                                RewriteNTiles(item.expr, &expansion));
+    }
+    return Status::OK();
+  };
+  DATACUBE_RETURN_IF_ERROR(rewrite_items(stmt->group_by.plain));
+  DATACUBE_RETURN_IF_ERROR(rewrite_items(stmt->group_by.rollup));
+  DATACUBE_RETURN_IF_ERROR(rewrite_items(stmt->group_by.cube));
+  for (std::vector<GroupItem>& set : stmt->group_by.grouping_sets) {
+    DATACUBE_RETURN_IF_ERROR(rewrite_items(set));
+  }
+  if (stmt->having != nullptr) {
+    DATACUBE_ASSIGN_OR_RETURN(stmt->having,
+                              RewriteNTiles(stmt->having, &expansion));
+  }
+  for (OrderItem& item : stmt->order_by) {
+    if (item.expr != nullptr) {
+      DATACUBE_ASSIGN_OR_RETURN(item.expr,
+                                RewriteNTiles(item.expr, &expansion));
+    }
+  }
+  if (expansion.names.empty()) return filtered;
+
+  std::vector<Field> fields;
+  for (const std::string& name : expansion.names) {
+    fields.push_back(Field{name, DataType::kInt64});
+  }
+  Table hidden{Schema{std::move(fields)}};
+  hidden.Reserve(filtered.num_rows());
+  std::vector<std::vector<Value>> columns;
+  for (size_t i = 0; i < expansion.names.size(); ++i) {
+    DATACUBE_ASSIGN_OR_RETURN(
+        std::vector<Value> col,
+        NTileColumn(filtered, expansion.value_exprs[i], expansion.buckets[i]));
+    columns.push_back(std::move(col));
+  }
+  for (size_t r = 0; r < filtered.num_rows(); ++r) {
+    std::vector<Value> row;
+    for (const std::vector<Value>& col : columns) row.push_back(col[r]);
+    DATACUBE_RETURN_IF_ERROR(hidden.AppendRow(row));
+  }
+  return filtered.ConcatColumns(hidden);
+}
+
+// Applies WHERE: returns the filtered table.
+Result<Table> ApplyWhere(const Table& input, const ExprPtr& where) {
+  if (where == nullptr) return input;
+  if (ContainsAggregate(where)) {
+    return Status::InvalidArgument("aggregates are not allowed in WHERE");
+  }
+  DATACUBE_RETURN_IF_ERROR(where->Bind(input.schema()));
+  std::vector<bool> mask(input.num_rows());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    DATACUBE_ASSIGN_OR_RETURN(Value v, where->Evaluate(input, r));
+    mask[r] = !v.is_special() && v.bool_value();
+  }
+  return input.FilterRows(mask);
+}
+
+// Evaluates `exprs` (already bound) into a projection table with `names`.
+Result<Table> Project(const Table& input, const std::vector<ExprPtr>& exprs,
+                      const std::vector<std::string>& names) {
+  std::vector<Field> fields;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    fields.push_back(Field{names[i], exprs[i]->output_type(),
+                           /*nullable=*/true, /*allow_all=*/true});
+  }
+  Table out{Schema{std::move(fields)}};
+  out.Reserve(input.num_rows());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(exprs.size());
+    for (const ExprPtr& e : exprs) {
+      DATACUBE_ASSIGN_OR_RETURN(Value v, e->Evaluate(input, r));
+      row.push_back(std::move(v));
+    }
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+// Applies ORDER BY and LIMIT to the projected output.
+Result<Table> ApplyOrderAndLimit(Table table,
+                                 const std::vector<OrderItem>& order_by,
+                                 int64_t limit) {
+  if (!order_by.empty()) {
+    // Evaluate each key (ordinal → existing column; expression → bound
+    // against the output schema).
+    std::vector<std::vector<Value>> keys;
+    std::vector<bool> ascending;
+    for (const OrderItem& item : order_by) {
+      std::vector<Value> key(table.num_rows());
+      if (item.ordinal > 0) {
+        size_t col = static_cast<size_t>(item.ordinal - 1);
+        if (col >= table.num_columns()) {
+          return Status::OutOfRange("ORDER BY ordinal out of range");
+        }
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          key[r] = table.GetValue(r, col);
+        }
+      } else {
+        DATACUBE_RETURN_IF_ERROR(item.expr->Bind(table.schema()));
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          DATACUBE_ASSIGN_OR_RETURN(key[r], item.expr->Evaluate(table, r));
+        }
+      }
+      keys.push_back(std::move(key));
+      ascending.push_back(item.ascending);
+    }
+    std::vector<size_t> indices(table.num_rows());
+    std::iota(indices.begin(), indices.end(), 0);
+    std::stable_sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < keys.size(); ++k) {
+        int cmp = keys[k][a].Compare(keys[k][b]);
+        if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    DATACUBE_ASSIGN_OR_RETURN(table, table.TakeRows(indices));
+  }
+  if (limit >= 0 && static_cast<size_t>(limit) < table.num_rows()) {
+    std::vector<size_t> head(static_cast<size_t>(limit));
+    std::iota(head.begin(), head.end(), 0);
+    DATACUBE_ASSIGN_OR_RETURN(table, table.TakeRows(head));
+  }
+  return table;
+}
+
+// Non-aggregate SELECT: projection over the filtered base table. ORDER BY
+// is evaluated over the pre-projection rows, so sorting by base columns
+// that are not selected works (standard SQL behavior).
+Result<Table> ExecuteProjection(const SelectStatement& stmt, Table filtered) {
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (const SelectItem& item : stmt.select_list) {
+    if (item.star) {
+      for (size_t c = 0; c < filtered.num_columns(); ++c) {
+        const std::string& name = filtered.schema().field(c).name;
+        if (!name.empty() && name[0] == '$') continue;  // hidden columns
+        exprs.push_back(Expr::Column(name));
+        names.push_back(name);
+      }
+      continue;
+    }
+    exprs.push_back(item.expr);
+    names.push_back(item.alias.empty() ? item.expr->ToString() : item.alias);
+  }
+  for (const ExprPtr& e : exprs) {
+    DATACUBE_RETURN_IF_ERROR(e->Bind(filtered.schema()));
+  }
+
+  if (!stmt.order_by.empty()) {
+    std::vector<std::vector<Value>> keys;
+    std::vector<bool> ascending;
+    for (const OrderItem& item : stmt.order_by) {
+      ExprPtr key;
+      if (item.ordinal > 0) {
+        if (static_cast<size_t>(item.ordinal) > exprs.size()) {
+          return Status::OutOfRange("ORDER BY ordinal out of range");
+        }
+        key = exprs[static_cast<size_t>(item.ordinal - 1)];
+      } else {
+        // Try an output alias first, then any expression over the base.
+        key = item.expr;
+        if (item.expr->kind() == Expr::Kind::kColumnRef) {
+          for (size_t i = 0; i < names.size(); ++i) {
+            if (EqualsIgnoreCase(item.expr->name(), names[i])) {
+              key = exprs[i];
+              break;
+            }
+          }
+        }
+        DATACUBE_RETURN_IF_ERROR(key->Bind(filtered.schema()));
+      }
+      std::vector<Value> column(filtered.num_rows());
+      for (size_t r = 0; r < filtered.num_rows(); ++r) {
+        DATACUBE_ASSIGN_OR_RETURN(column[r], key->Evaluate(filtered, r));
+      }
+      keys.push_back(std::move(column));
+      ascending.push_back(item.ascending);
+    }
+    std::vector<size_t> indices(filtered.num_rows());
+    std::iota(indices.begin(), indices.end(), 0);
+    std::stable_sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < keys.size(); ++k) {
+        int cmp = keys[k][a].Compare(keys[k][b]);
+        if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    DATACUBE_ASSIGN_OR_RETURN(filtered, filtered.TakeRows(indices));
+  }
+
+  DATACUBE_ASSIGN_OR_RETURN(Table out, Project(filtered, exprs, names));
+  return ApplyOrderAndLimit(std::move(out), /*order_by=*/{}, stmt.limit);
+}
+
+// Aggregation SELECT: plan the cube, execute, filter (HAVING), project.
+Result<Table> ExecuteAggregation(const SelectStatement& stmt,
+                                 const Table& filtered,
+                                 const EngineOptions& options) {
+  Plan plan;
+  const GroupByClause& gb = stmt.group_by;
+  if (!gb.grouping_sets.empty()) {
+    // GROUPING SETS: the grouping columns are the ordered union of the
+    // expressions the sets mention; each set becomes a bitmask.
+    std::vector<GroupingSet> sets;
+    for (const std::vector<GroupItem>& set : gb.grouping_sets) {
+      GroupingSet mask = 0;
+      for (const GroupItem& item : set) {
+        std::string canon = Canonical(item.expr);
+        size_t k = 0;
+        for (; k < plan.group_canonical.size(); ++k) {
+          if (plan.group_canonical[k] == canon) break;
+        }
+        if (k == plan.group_canonical.size()) {
+          DATACUBE_RETURN_IF_ERROR(
+              AddGroupExprs({item}, stmt.select_list, &plan));
+        }
+        mask |= (1ULL << k);
+      }
+      sets.push_back(mask);
+    }
+    plan.explicit_sets = std::move(sets);
+    plan.num_plain = plan.group_exprs.size();
+  } else {
+    DATACUBE_RETURN_IF_ERROR(AddGroupExprs(gb.plain, stmt.select_list, &plan));
+    plan.num_plain = plan.group_exprs.size();
+    DATACUBE_RETURN_IF_ERROR(AddGroupExprs(gb.rollup, stmt.select_list, &plan));
+    plan.num_rollup = plan.group_exprs.size() - plan.num_plain;
+    DATACUBE_RETURN_IF_ERROR(AddGroupExprs(gb.cube, stmt.select_list, &plan));
+    plan.num_cube =
+        plan.group_exprs.size() - plan.num_plain - plan.num_rollup;
+  }
+
+  // Rewrite the select list and HAVING over the future cube result.
+  std::vector<ExprPtr> output_exprs;
+  std::vector<std::string> output_names;
+  for (const SelectItem& item : stmt.select_list) {
+    if (item.star) {
+      return Status::InvalidArgument("SELECT * is invalid with GROUP BY");
+    }
+    std::string preferred =
+        (item.expr->kind() == Expr::Kind::kCall && IsAggregateCall(*item.expr))
+            ? item.alias
+            : "";
+    DATACUBE_ASSIGN_OR_RETURN(ExprPtr rewritten,
+                              RewriteOverResult(item.expr, preferred, &plan));
+    output_exprs.push_back(std::move(rewritten));
+    output_names.push_back(item.alias.empty() ? item.expr->ToString()
+                                              : item.alias);
+  }
+  ExprPtr having;
+  if (stmt.having != nullptr) {
+    DATACUBE_ASSIGN_OR_RETURN(having,
+                              RewriteOverResult(stmt.having, "", &plan));
+  }
+  // ORDER BY keys are rewritten over the cube result too, so sorting by an
+  // aggregate expression works whether or not it appears in the select list
+  // (ordinals refer to select positions). Sorting happens on the result
+  // relation before projection.
+  std::vector<ExprPtr> order_keys;
+  std::vector<bool> order_ascending;
+  for (const OrderItem& item : stmt.order_by) {
+    ExprPtr key;
+    if (item.ordinal > 0) {
+      if (static_cast<size_t>(item.ordinal) > output_exprs.size()) {
+        return Status::OutOfRange("ORDER BY ordinal out of range");
+      }
+      key = output_exprs[static_cast<size_t>(item.ordinal - 1)];
+    } else {
+      // Try the output alias first (ORDER BY total), then the rewrite path.
+      bool matched_alias = false;
+      if (item.expr->kind() == Expr::Kind::kColumnRef) {
+        for (size_t i = 0; i < output_names.size(); ++i) {
+          if (EqualsIgnoreCase(item.expr->name(), output_names[i])) {
+            key = output_exprs[i];
+            matched_alias = true;
+            break;
+          }
+        }
+      }
+      if (!matched_alias) {
+        DATACUBE_ASSIGN_OR_RETURN(key,
+                                  RewriteOverResult(item.expr, "", &plan));
+      }
+    }
+    order_keys.push_back(std::move(key));
+    order_ascending.push_back(item.ascending);
+  }
+  if (plan.aggregates.empty()) {
+    // A grouped query with no aggregates degenerates to COUNT(*) being
+    // computed and discarded; keep the operator contract satisfied.
+    AggregateSpec hidden;
+    hidden.function = "count_star";
+    hidden.output_name = "$count";
+    plan.aggregates.push_back(std::move(hidden));
+  }
+
+  CubeSpec spec;
+  if (plan.explicit_sets.has_value()) {
+    spec.group_by = plan.group_exprs;
+    spec.explicit_sets = plan.explicit_sets;
+  } else {
+    spec.group_by.assign(plan.group_exprs.begin(),
+                         plan.group_exprs.begin() + plan.num_plain);
+    spec.rollup.assign(
+        plan.group_exprs.begin() + plan.num_plain,
+        plan.group_exprs.begin() + plan.num_plain + plan.num_rollup);
+    spec.cube.assign(
+        plan.group_exprs.begin() + plan.num_plain + plan.num_rollup,
+        plan.group_exprs.end());
+  }
+  spec.aggregates = plan.aggregates;
+  spec.all_mode = options.all_mode;
+  spec.add_grouping_columns = plan.uses_grouping;
+  spec.add_grouping_id = plan.uses_grouping_id;
+
+  DATACUBE_ASSIGN_OR_RETURN(CubeResult cube,
+                            ExecuteCube(filtered, spec, options.cube));
+  Table result = std::move(cube.table);
+
+  if (having != nullptr) {
+    DATACUBE_RETURN_IF_ERROR(having->Bind(result.schema()));
+    std::vector<bool> mask(result.num_rows());
+    for (size_t r = 0; r < result.num_rows(); ++r) {
+      DATACUBE_ASSIGN_OR_RETURN(Value v, having->Evaluate(result, r));
+      mask[r] = !v.is_special() && v.bool_value();
+    }
+    DATACUBE_ASSIGN_OR_RETURN(result, result.FilterRows(mask));
+  }
+
+  // Sort the result relation by the rewritten ORDER BY keys.
+  if (!order_keys.empty()) {
+    std::vector<std::vector<Value>> keys;
+    for (const ExprPtr& key : order_keys) {
+      DATACUBE_RETURN_IF_ERROR(key->Bind(result.schema()));
+      std::vector<Value> column(result.num_rows());
+      for (size_t r = 0; r < result.num_rows(); ++r) {
+        DATACUBE_ASSIGN_OR_RETURN(column[r], key->Evaluate(result, r));
+      }
+      keys.push_back(std::move(column));
+    }
+    std::vector<size_t> indices(result.num_rows());
+    std::iota(indices.begin(), indices.end(), 0);
+    std::stable_sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < keys.size(); ++k) {
+        int cmp = keys[k][a].Compare(keys[k][b]);
+        if (cmp != 0) return order_ascending[k] ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    DATACUBE_ASSIGN_OR_RETURN(result, result.TakeRows(indices));
+  }
+
+  for (const ExprPtr& e : output_exprs) {
+    DATACUBE_RETURN_IF_ERROR(e->Bind(result.schema()));
+  }
+  DATACUBE_ASSIGN_OR_RETURN(Table projected,
+                            Project(result, output_exprs, output_names));
+  return ApplyOrderAndLimit(std::move(projected), /*order_by=*/{}, stmt.limit);
+}
+
+}  // namespace
+
+Result<Table> ExecuteSelect(const SelectStatement& stmt, const Catalog& catalog,
+                            const EngineOptions& options) {
+  DATACUBE_ASSIGN_OR_RETURN(const Table* base, catalog.Get(stmt.from_table));
+  DATACUBE_ASSIGN_OR_RETURN(Table filtered, ApplyWhere(*base, stmt.where));
+
+  // Expand Red Brick N_tile calls into precomputed hidden columns (the
+  // statement copy is rewritten to reference them).
+  SelectStatement prepared = stmt;
+  DATACUBE_ASSIGN_OR_RETURN(filtered,
+                            ExpandNTiles(&prepared, std::move(filtered)));
+
+  bool any_aggregate = prepared.having != nullptr;
+  for (const SelectItem& item : prepared.select_list) {
+    if (!item.star && ContainsAggregate(item.expr)) any_aggregate = true;
+  }
+  if (prepared.group_by.empty() && !any_aggregate) {
+    return ExecuteProjection(prepared, std::move(filtered));
+  }
+  return ExecuteAggregation(prepared, filtered, options);
+}
+
+namespace {
+
+// Keeps the first occurrence of each distinct row (SQL UNION semantics).
+Result<Table> DedupeRows(const Table& table) {
+  std::unordered_map<std::vector<Value>, bool, ValueVectorHash> seen;
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (seen.emplace(table.GetRow(r), true).second) keep.push_back(r);
+  }
+  return table.TakeRows(keep);
+}
+
+}  // namespace
+
+Result<Table> ExecuteSql(const std::string& text, const Catalog& catalog,
+                         const EngineOptions& options) {
+  DATACUBE_ASSIGN_OR_RETURN(UnionQuery query, ParseQuery(text));
+  DATACUBE_ASSIGN_OR_RETURN(Table result,
+                            ExecuteSelect(query.selects[0], catalog, options));
+  for (size_t i = 1; i < query.selects.size(); ++i) {
+    DATACUBE_ASSIGN_OR_RETURN(
+        Table branch, ExecuteSelect(query.selects[i], catalog, options));
+    DATACUBE_RETURN_IF_ERROR(result.AppendTable(branch));
+    if (query.distinct_union[i]) {
+      DATACUBE_ASSIGN_OR_RETURN(result, DedupeRows(result));
+    }
+  }
+  return result;
+}
+
+QueryStats Analyze(const SelectStatement& stmt) {
+  QueryStats stats;
+  stats.has_group_by = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.select_list) {
+    if (!item.star) stats.num_aggregates += CountAggregates(item.expr);
+  }
+  stats.num_aggregates += CountAggregates(stmt.having);
+  return stats;
+}
+
+}  // namespace datacube::sql

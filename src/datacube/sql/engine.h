@@ -1,0 +1,39 @@
+#ifndef DATACUBE_SQL_ENGINE_H_
+#define DATACUBE_SQL_ENGINE_H_
+
+#include <string>
+
+#include "datacube/common/result.h"
+#include "datacube/cube/cube_spec.h"
+#include "datacube/sql/ast.h"
+#include "datacube/sql/catalog.h"
+
+namespace datacube::sql {
+
+/// Engine-level options.
+struct EngineOptions {
+  /// How super-aggregate markers appear in results (Section 3.3's ALL token
+  /// vs Section 3.4's NULL + GROUPING design).
+  AllMode all_mode = AllMode::kAllToken;
+  /// Cube execution knobs passed through to the operator.
+  CubeOptions cube;
+};
+
+/// Parses and executes one SELECT statement against `catalog`.
+///
+/// Supported shapes: projection queries (optional WHERE/ORDER BY/LIMIT) and
+/// aggregation queries with the paper's
+///   GROUP BY [<list>] [ROLLUP <list>] [CUBE <list>] | GROUPING SETS (...)
+/// clause, aggregate expressions anywhere in the select list (e.g.
+/// SUM(x) / 100), GROUPING() discriminators, HAVING, ORDER BY (names or
+/// ordinals), and LIMIT.
+Result<Table> ExecuteSql(const std::string& text, const Catalog& catalog,
+                         const EngineOptions& options = {});
+
+/// Executes an already-parsed statement.
+Result<Table> ExecuteSelect(const SelectStatement& stmt, const Catalog& catalog,
+                            const EngineOptions& options = {});
+
+}  // namespace datacube::sql
+
+#endif  // DATACUBE_SQL_ENGINE_H_

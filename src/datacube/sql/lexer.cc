@@ -1,0 +1,146 @@
+#include "datacube/sql/lexer.h"
+
+#include <cctype>
+
+#include "datacube/common/str_util.h"
+
+namespace datacube::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0, line = 1, col = 1;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < text.size() && text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') advance(1);
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.column = col;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        advance(1);
+      }
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = text.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      // Quoted identifier.
+      advance(1);
+      std::string ident;
+      while (i < text.size() && text[i] != '"') {
+        ident += text[i];
+        advance(1);
+      }
+      if (i >= text.size()) {
+        return Status::ParseError("unterminated quoted identifier at line " +
+                                  std::to_string(tok.line));
+      }
+      advance(1);
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = std::move(ident);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      bool seen_dot = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              (text[i] == '.' && !seen_dot))) {
+        if (text[i] == '.') seen_dot = true;
+        advance(1);
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = text.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      advance(1);
+      std::string s;
+      while (i < text.size()) {
+        if (text[i] == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            s += '\'';
+            advance(2);
+            continue;
+          }
+          break;
+        }
+        s += text[i];
+        advance(1);
+      }
+      if (i >= text.size()) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(tok.line));
+      }
+      advance(1);  // closing quote
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(s);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Two-character operators first.
+    static const char* kTwoChar[] = {"<>", "!=", "<=", ">="};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (text.compare(i, 2, op) == 0) {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = op;
+        advance(2);
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingles = "(),;.*+-/%=<>";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      advance(1);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at line " + std::to_string(line) + ":" +
+                              std::to_string(col));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = col;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace datacube::sql

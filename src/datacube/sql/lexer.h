@@ -1,0 +1,42 @@
+#ifndef DATACUBE_SQL_LEXER_H_
+#define DATACUBE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+
+namespace datacube::sql {
+
+/// SQL token kinds. Keywords are lexed as identifiers and recognized
+/// contextually (case-insensitively) by the parser.
+enum class TokenKind {
+  kIdentifier,
+  kNumber,     // integer or decimal literal
+  kString,     // '...'-quoted, '' escapes a quote
+  kSymbol,     // operators and punctuation, text holds the exact lexeme
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  /// 1-based position for error messages.
+  size_t line = 1;
+  size_t column = 1;
+
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes SQL text. Supports identifiers (with `"` quoting), numeric and
+/// string literals, `--` line comments, and the operator set used by the
+/// paper's examples: ( ) , ; . * + - / % = <> != < <= > >= .
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace datacube::sql
+
+#endif  // DATACUBE_SQL_LEXER_H_

@@ -1,0 +1,505 @@
+#include "datacube/sql/parser.h"
+
+#include <cstdlib>
+
+#include "datacube/common/str_util.h"
+#include "datacube/sql/lexer.h"
+
+namespace datacube::sql {
+
+namespace {
+
+// Reserved words that terminate expression/identifier positions.
+bool IsReserved(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  static const char* kReserved[] = {
+      "select", "from",  "where",  "group",    "by",   "having", "order",
+      "limit",  "as",    "asc",    "desc",     "and",  "or",     "not",
+      "null",   "true",  "false",  "is",       "in",   "between", "rollup",
+      "cube",   "sets",  "union",  "distinct", "like", "case",   "when",
+      "then",   "else",  "end",
+  };
+  for (const char* kw : kReserved) {
+    if (EqualsIgnoreCase(t.text, kw)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<UnionQuery> ParseUnionQuery() {
+    UnionQuery query;
+    query.distinct_union.push_back(false);  // index 0 unused
+    DATACUBE_ASSIGN_OR_RETURN(SelectStatement first, ParseSelectBody());
+    query.selects.push_back(std::move(first));
+    while (AcceptKeyword("UNION")) {
+      bool all = AcceptKeyword("ALL");
+      DATACUBE_ASSIGN_OR_RETURN(SelectStatement next, ParseSelectBody());
+      query.selects.push_back(std::move(next));
+      query.distinct_union.push_back(!all);
+    }
+    AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  Result<SelectStatement> ParseSelectBody() {
+    DATACUBE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStatement stmt;
+    DATACUBE_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    DATACUBE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DATACUBE_ASSIGN_OR_RETURN(stmt.from_table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      DATACUBE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      DATACUBE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DATACUBE_RETURN_IF_ERROR(ParseGroupBy(&stmt.group_by));
+    }
+    if (AcceptKeyword("HAVING")) {
+      DATACUBE_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      DATACUBE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DATACUBE_RETURN_IF_ERROR(ParseOrderBy(&stmt.order_by));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      const Token& t = Peek();
+      if (t.kind != TokenKind::kNumber) {
+        return Error("expected a number after LIMIT");
+      }
+      stmt.limit = std::strtoll(t.text.c_str(), nullptr, 10);
+      ++pos_;
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError(message + " (line " + std::to_string(t.line) +
+                              ":" + std::to_string(t.column) + ")");
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) return Error(std::string("expected '") + s + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdentifier || IsReserved(t)) {
+      return Error(std::string("expected ") + what);
+    }
+    ++pos_;
+    return t.text;
+  }
+
+  // ------------------------------------------------------------ clauses
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    do {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        ++pos_;
+        item.star = true;
+      } else {
+        DATACUBE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          DATACUBE_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        } else if (Peek().kind == TokenKind::kIdentifier &&
+                   !IsReserved(Peek())) {
+          item.alias = Peek().text;
+          ++pos_;
+        }
+      }
+      stmt->select_list.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  // One grouping expression with optional alias.
+  Result<GroupItem> ParseGroupItem() {
+    GroupItem item;
+    DATACUBE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (AcceptKeyword("AS")) {
+      DATACUBE_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    }
+    return item;
+  }
+
+  // Parses a comma list of group items, stopping (in the unparenthesized
+  // form) before a ROLLUP/CUBE/GROUPING part keyword.
+  Result<std::vector<GroupItem>> ParseGroupItemList(bool parenthesized) {
+    std::vector<GroupItem> items;
+    while (true) {
+      DATACUBE_ASSIGN_OR_RETURN(GroupItem item, ParseGroupItem());
+      items.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+      if (!parenthesized &&
+          (Peek().IsKeyword("ROLLUP") || Peek().IsKeyword("CUBE") ||
+           Peek().IsKeyword("GROUPING"))) {
+        break;  // the comma separated GROUP BY parts, not list elements
+      }
+    }
+    return items;
+  }
+
+  // Parses a part list in either `KEYWORD a, b` or `KEYWORD(a, b)` form.
+  Result<std::vector<GroupItem>> ParsePartList() {
+    if (AcceptSymbol("(")) {
+      std::vector<GroupItem> items;
+      if (!Peek().IsSymbol(")")) {
+        DATACUBE_ASSIGN_OR_RETURN(items,
+                                  ParseGroupItemList(/*parenthesized=*/true));
+      }
+      DATACUBE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return items;
+    }
+    return ParseGroupItemList(/*parenthesized=*/false);
+  }
+
+  Status ParseGroupBy(GroupByClause* clause) {
+    // GROUPING SETS ((a, b), (a), ())
+    if (Peek().IsKeyword("GROUPING") && Peek(1).IsKeyword("SETS")) {
+      pos_ += 2;
+      DATACUBE_RETURN_IF_ERROR(ExpectSymbol("("));
+      do {
+        DATACUBE_RETURN_IF_ERROR(ExpectSymbol("("));
+        std::vector<GroupItem> set;
+        if (!Peek().IsSymbol(")")) {
+          DATACUBE_ASSIGN_OR_RETURN(set,
+                                    ParseGroupItemList(/*parenthesized=*/true));
+        }
+        DATACUBE_RETURN_IF_ERROR(ExpectSymbol(")"));
+        clause->grouping_sets.push_back(std::move(set));
+      } while (AcceptSymbol(","));
+      return ExpectSymbol(")");
+    }
+    // [plain list] [ROLLUP list] [CUBE list] — parts separated by commas or
+    // adjacency, per the Section 3.2 grammar.
+    bool first = true;
+    while (true) {
+      if (AcceptKeyword("ROLLUP")) {
+        DATACUBE_ASSIGN_OR_RETURN(clause->rollup, ParsePartList());
+      } else if (AcceptKeyword("CUBE")) {
+        DATACUBE_ASSIGN_OR_RETURN(clause->cube, ParsePartList());
+      } else if (first) {
+        DATACUBE_ASSIGN_OR_RETURN(clause->plain,
+                                  ParseGroupItemList(/*parenthesized=*/false));
+      } else {
+        return Error("expected ROLLUP or CUBE in GROUP BY");
+      }
+      first = false;
+      // Parts may be separated by a comma (already consumed by the list
+      // parser in the unparenthesized case) or follow directly.
+      AcceptSymbol(",");
+      if (!Peek().IsKeyword("ROLLUP") && !Peek().IsKeyword("CUBE")) break;
+    }
+    if (clause->empty()) return Error("empty GROUP BY");
+    return Status::OK();
+  }
+
+  Status ParseOrderBy(std::vector<OrderItem>* order_by) {
+    do {
+      OrderItem item;
+      if (Peek().kind == TokenKind::kNumber) {
+        item.ordinal = static_cast<int>(
+            std::strtoll(Peek().text.c_str(), nullptr, 10));
+        ++pos_;
+      } else {
+        DATACUBE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (AcceptKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      order_by->push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------- expressions
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DATACUBE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DATACUBE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DATACUBE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL
+    if (AcceptKeyword("IS")) {
+      bool negated = AcceptKeyword("NOT");
+      DATACUBE_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return Expr::Unary(negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                         std::move(lhs));
+    }
+    // [NOT] LIKE pattern
+    if (Peek().IsKeyword("LIKE") ||
+        (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("LIKE"))) {
+      bool negated = Peek().IsKeyword("NOT");
+      pos_ += negated ? 2 : 1;
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      ExprPtr like =
+          Expr::Binary(BinaryOp::kLike, std::move(lhs), std::move(pattern));
+      return negated ? Expr::Unary(UnaryOp::kNot, std::move(like))
+                     : std::move(like);
+    }
+    // [NOT] IN (literal, ...)
+    bool not_in = false;
+    if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("IN")) {
+      pos_ += 2;
+      not_in = true;
+    } else if (AcceptKeyword("IN")) {
+      not_in = false;
+    } else if (Peek().IsKeyword("BETWEEN")) {
+      ++pos_;
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      DATACUBE_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      return Expr::Binary(
+          BinaryOp::kAnd, Expr::Binary(BinaryOp::kGe, lhs, std::move(lo)),
+          Expr::Binary(BinaryOp::kLe, std::move(lhs), std::move(hi)));
+    } else {
+      // Plain comparison operator?
+      struct OpMap {
+        const char* sym;
+        BinaryOp op;
+      };
+      static const OpMap kOps[] = {{"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe},
+                                   {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+                                   {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+                                   {">", BinaryOp::kGt}};
+      for (const OpMap& m : kOps) {
+        if (AcceptSymbol(m.sym)) {
+          DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+          return Expr::Binary(m.op, std::move(lhs), std::move(rhs));
+        }
+      }
+      return lhs;
+    }
+    // IN list: a disjunction of equalities — the paper's
+    // "WHERE Model IN {'Ford', 'Chevy'}" (we accept parentheses or braces'
+    // standard form with parens).
+    DATACUBE_RETURN_IF_ERROR(ExpectSymbol("("));
+    ExprPtr disjunction;
+    do {
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr candidate, ParseAdditive());
+      ExprPtr eq = Expr::Binary(BinaryOp::kEq, lhs, std::move(candidate));
+      disjunction = disjunction == nullptr
+                        ? std::move(eq)
+                        : Expr::Binary(BinaryOp::kOr, std::move(disjunction),
+                                       std::move(eq));
+    } while (AcceptSymbol(","));
+    DATACUBE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (not_in) disjunction = Expr::Unary(UnaryOp::kNot, std::move(disjunction));
+    return disjunction;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    DATACUBE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Binary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("-")) {
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Binary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    DATACUBE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Binary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("/")) {
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Binary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("%")) {
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Binary(BinaryOp::kMod, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kNumber) {
+      ++pos_;
+      if (t.text.find('.') != std::string::npos) {
+        return Expr::Lit(Value::Float64(std::strtod(t.text.c_str(), nullptr)));
+      }
+      return Expr::Lit(Value::Int64(std::strtoll(t.text.c_str(), nullptr, 10)));
+    }
+    if (t.kind == TokenKind::kString) {
+      ++pos_;
+      return Expr::Lit(Value::String(t.text));
+    }
+    if (t.IsKeyword("NULL")) {
+      ++pos_;
+      return Expr::Lit(Value::Null());
+    }
+    if (t.IsKeyword("TRUE")) {
+      ++pos_;
+      return Expr::Lit(Value::Bool(true));
+    }
+    if (t.IsKeyword("FALSE")) {
+      ++pos_;
+      return Expr::Lit(Value::Bool(false));
+    }
+    if (t.IsKeyword("CASE")) {
+      ++pos_;
+      std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+      while (AcceptKeyword("WHEN")) {
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+        DATACUBE_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+        DATACUBE_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        branches.emplace_back(std::move(when), std::move(then));
+      }
+      if (branches.empty()) {
+        return Error("CASE requires at least one WHEN branch");
+      }
+      ExprPtr else_expr;
+      if (AcceptKeyword("ELSE")) {
+        DATACUBE_ASSIGN_OR_RETURN(else_expr, ParseExpr());
+      }
+      DATACUBE_RETURN_IF_ERROR(ExpectKeyword("END"));
+      return Expr::Case(std::move(branches), std::move(else_expr));
+    }
+    if (AcceptSymbol("(")) {
+      DATACUBE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      DATACUBE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.kind == TokenKind::kIdentifier && !IsReserved(t)) {
+      std::string name = t.text;
+      ++pos_;
+      // Qualified column `table.col`: keep the column part.
+      if (AcceptSymbol(".")) {
+        DATACUBE_ASSIGN_OR_RETURN(name, ExpectIdentifier("column name"));
+      }
+      if (!AcceptSymbol("(")) {
+        return Expr::Column(std::move(name));
+      }
+      // Function call (scalar or aggregate; the planner classifies).
+      bool distinct = false;
+      std::vector<ExprPtr> args;
+      if (AcceptSymbol("*")) {
+        // COUNT(*) — normalized to the zero-argument count_star.
+        DATACUBE_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (!EqualsIgnoreCase(name, "count")) {
+          return Error("'*' argument is only valid in COUNT(*)");
+        }
+        return Expr::Call("count_star", {});
+      }
+      if (AcceptKeyword("DISTINCT")) distinct = true;
+      if (!Peek().IsSymbol(")")) {
+        do {
+          DATACUBE_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+        } while (AcceptSymbol(","));
+      }
+      DATACUBE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      // DISTINCT is encoded in the call name; the planner strips it.
+      std::string call_name =
+          distinct ? "distinct$" + ToLower(name) : ToLower(name);
+      return Expr::Call(std::move(call_name), std::move(args));
+    }
+    return Error("unexpected token '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& text) {
+  DATACUBE_ASSIGN_OR_RETURN(UnionQuery query, ParseQuery(text));
+  if (query.selects.size() != 1) {
+    return Status::InvalidArgument(
+        "expected a single SELECT; use ParseQuery for UNION chains");
+  }
+  return std::move(query.selects.front());
+}
+
+Result<UnionQuery> ParseQuery(const std::string& text) {
+  DATACUBE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseUnionQuery();
+}
+
+}  // namespace datacube::sql

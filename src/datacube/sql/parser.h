@@ -1,0 +1,33 @@
+#ifndef DATACUBE_SQL_PARSER_H_
+#define DATACUBE_SQL_PARSER_H_
+
+#include <string>
+
+#include "datacube/common/result.h"
+#include "datacube/sql/ast.h"
+
+namespace datacube::sql {
+
+/// Parses one SELECT statement in the paper's dialect:
+///
+///   SELECT Model, Year, Color, SUM(Units) AS Units
+///   FROM Sales
+///   WHERE Model = 'Chevy'
+///   GROUP BY Model, ROLLUP Year(Time) AS Year, CUBE Color, Model
+///   HAVING SUM(Units) > 10
+///   ORDER BY 1 DESC
+///   LIMIT 10;
+///
+/// Both the paper's prefix syntax (GROUP BY CUBE a, b) and the standard
+/// parenthesized form (GROUP BY CUBE(a, b)) are accepted, as is
+/// GROUPING SETS ((a, b), (a), ()). Aggregate arguments may be DISTINCT
+/// (`COUNT(DISTINCT x)`), and `COUNT(*)` is recognized.
+Result<SelectStatement> ParseSelect(const std::string& text);
+
+/// Parses a query that may be a UNION [ALL] chain of SELECTs — the form the
+/// paper's Section 2 uses to build Table 5.a by hand.
+Result<UnionQuery> ParseQuery(const std::string& text);
+
+}  // namespace datacube::sql
+
+#endif  // DATACUBE_SQL_PARSER_H_

@@ -1,0 +1,160 @@
+#include "datacube/table/column.h"
+
+#include <unordered_set>
+
+namespace datacube {
+
+Column::Column(DataType type) : type_(type) {
+  switch (type) {
+    case DataType::kBool:
+      buffer_ = std::vector<uint8_t>();
+      break;
+    case DataType::kInt64:
+      buffer_ = std::vector<int64_t>();
+      break;
+    case DataType::kFloat64:
+      buffer_ = std::vector<double>();
+      break;
+    case DataType::kString:
+      buffer_ = std::vector<std::string>();
+      break;
+    case DataType::kDate:
+      buffer_ = std::vector<Date>();
+      break;
+  }
+}
+
+void Column::AppendDefaultSlot() {
+  std::visit([](auto& buf) { buf.emplace_back(); }, buffer_);
+}
+
+Status Column::Append(const Value& value) {
+  if (value.is_null()) {
+    states_.push_back(kStateNull);
+    ++null_count_;
+    AppendDefaultSlot();
+    return Status::OK();
+  }
+  if (value.is_all()) {
+    states_.push_back(kStateAll);
+    ++all_count_;
+    AppendDefaultSlot();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kBool:
+      if (value.kind() != Value::Kind::kBool) break;
+      std::get<std::vector<uint8_t>>(buffer_).push_back(value.bool_value());
+      states_.push_back(kStateValue);
+      return Status::OK();
+    case DataType::kInt64:
+      if (value.kind() != Value::Kind::kInt64) break;
+      std::get<std::vector<int64_t>>(buffer_).push_back(value.int64_value());
+      states_.push_back(kStateValue);
+      return Status::OK();
+    case DataType::kFloat64:
+      if (!value.is_numeric()) break;
+      std::get<std::vector<double>>(buffer_).push_back(value.AsDouble());
+      states_.push_back(kStateValue);
+      return Status::OK();
+    case DataType::kString:
+      if (value.kind() != Value::Kind::kString) break;
+      std::get<std::vector<std::string>>(buffer_).push_back(value.string_value());
+      states_.push_back(kStateValue);
+      return Status::OK();
+    case DataType::kDate:
+      if (value.kind() != Value::Kind::kDate) break;
+      std::get<std::vector<Date>>(buffer_).push_back(value.date_value());
+      states_.push_back(kStateValue);
+      return Status::OK();
+  }
+  return Status::TypeError("cannot append " + value.ToString() + " to " +
+                           DataTypeName(type_) + " column");
+}
+
+void Column::AppendNulls(size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    states_.push_back(kStateNull);
+    AppendDefaultSlot();
+  }
+  null_count_ += count;
+}
+
+Value Column::Get(size_t i) const {
+  if (states_[i] == kStateNull) return Value::Null();
+  if (states_[i] == kStateAll) return Value::All();
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(std::get<std::vector<uint8_t>>(buffer_)[i] != 0);
+    case DataType::kInt64:
+      return Value::Int64(std::get<std::vector<int64_t>>(buffer_)[i]);
+    case DataType::kFloat64:
+      return Value::Float64(std::get<std::vector<double>>(buffer_)[i]);
+    case DataType::kString:
+      return Value::String(std::get<std::vector<std::string>>(buffer_)[i]);
+    case DataType::kDate:
+      return Value::FromDate(std::get<std::vector<Date>>(buffer_)[i]);
+  }
+  return Value::Null();
+}
+
+Status Column::Set(size_t i, const Value& value) {
+  if (i >= size()) return Status::OutOfRange("Set past end of column");
+  // Adjust special-state counters for the outgoing entry.
+  if (states_[i] == kStateNull) --null_count_;
+  if (states_[i] == kStateAll) --all_count_;
+  if (value.is_null()) {
+    states_[i] = kStateNull;
+    ++null_count_;
+    return Status::OK();
+  }
+  if (value.is_all()) {
+    states_[i] = kStateAll;
+    ++all_count_;
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kBool:
+      if (value.kind() != Value::Kind::kBool) break;
+      std::get<std::vector<uint8_t>>(buffer_)[i] = value.bool_value();
+      states_[i] = kStateValue;
+      return Status::OK();
+    case DataType::kInt64:
+      if (value.kind() != Value::Kind::kInt64) break;
+      std::get<std::vector<int64_t>>(buffer_)[i] = value.int64_value();
+      states_[i] = kStateValue;
+      return Status::OK();
+    case DataType::kFloat64:
+      if (!value.is_numeric()) break;
+      std::get<std::vector<double>>(buffer_)[i] = value.AsDouble();
+      states_[i] = kStateValue;
+      return Status::OK();
+    case DataType::kString:
+      if (value.kind() != Value::Kind::kString) break;
+      std::get<std::vector<std::string>>(buffer_)[i] = value.string_value();
+      states_[i] = kStateValue;
+      return Status::OK();
+    case DataType::kDate:
+      if (value.kind() != Value::Kind::kDate) break;
+      std::get<std::vector<Date>>(buffer_)[i] = value.date_value();
+      states_[i] = kStateValue;
+      return Status::OK();
+  }
+  return Status::TypeError("cannot set " + value.ToString() + " into " +
+                           DataTypeName(type_) + " column");
+}
+
+void Column::Reserve(size_t capacity) {
+  states_.reserve(capacity);
+  std::visit([capacity](auto& buf) { buf.reserve(capacity); }, buffer_);
+}
+
+size_t Column::CountDistinct() const {
+  std::unordered_set<Value, ValueHash> seen;
+  for (size_t i = 0; i < size(); ++i) {
+    if (states_[i] == kStateValue) seen.insert(Get(i));
+  }
+  return seen.size();
+}
+
+}  // namespace datacube

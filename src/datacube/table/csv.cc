@@ -1,0 +1,209 @@
+#include "datacube/table/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "datacube/common/str_util.h"
+
+namespace datacube {
+
+namespace {
+
+// Splits one logical CSV record (already newline-delimited) into fields,
+// honoring double-quote escaping.
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+bool LooksLikeInt64(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtoll(s.c_str(), &end, 10);
+  return end != s.c_str() && *end == '\0';
+}
+
+bool LooksLikeFloat64(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+bool LooksLikeDate(const std::string& s) { return ParseDate(s).ok(); }
+
+// Narrowest type that can represent every non-null cell of the column.
+DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
+                         size_t col, const std::string& null_token) {
+  bool all_int = true, all_float = true, all_date = true, any_value = false;
+  for (const auto& row : rows) {
+    if (col >= row.size()) continue;
+    const std::string& cell = row[col];
+    if (cell == null_token) continue;
+    any_value = true;
+    if (all_int && !LooksLikeInt64(cell)) all_int = false;
+    if (all_float && !LooksLikeFloat64(cell)) all_float = false;
+    if (all_date && !LooksLikeDate(cell)) all_date = false;
+  }
+  if (!any_value) return DataType::kString;
+  if (all_int) return DataType::kInt64;
+  if (all_float) return DataType::kFloat64;
+  if (all_date) return DataType::kDate;
+  return DataType::kString;
+}
+
+Result<Value> ParseCell(const std::string& cell, DataType type,
+                        const std::string& null_token) {
+  if (cell == null_token) return Value::Null();
+  switch (type) {
+    case DataType::kBool:
+      if (EqualsIgnoreCase(cell, "true")) return Value::Bool(true);
+      if (EqualsIgnoreCase(cell, "false")) return Value::Bool(false);
+      return Status::ParseError("bad bool: " + cell);
+    case DataType::kInt64:
+      return Value::Int64(std::strtoll(cell.c_str(), nullptr, 10));
+    case DataType::kFloat64:
+      return Value::Float64(std::strtod(cell.c_str(), nullptr));
+    case DataType::kDate: {
+      DATACUBE_ASSIGN_OR_RETURN(Date d, ParseDate(cell));
+      return Value::FromDate(d);
+    }
+    case DataType::kString:
+      return Value::String(cell);
+  }
+  return Status::Internal("bad type");
+}
+
+std::string EscapeCsv(const std::string& s, char delim) {
+  bool needs_quotes = s.find(delim) != std::string::npos ||
+                      s.find('"') != std::string::npos ||
+                      s.find('\n') != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      rows.push_back(SplitCsvLine(line, options.delimiter));
+    }
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<std::string> names;
+  if (options.has_header) {
+    names = rows.front();
+    rows.erase(rows.begin());
+  } else {
+    for (size_t i = 0; i < rows.front().size(); ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+  }
+
+  std::vector<Field> fields;
+  for (size_t c = 0; c < names.size(); ++c) {
+    DataType type = options.infer_types
+                        ? InferColumnType(rows, c, options.null_token)
+                        : DataType::kString;
+    fields.push_back(Field{Trim(names[c]), type, /*nullable=*/true});
+  }
+  Table table(Schema{std::move(fields)});
+  table.Reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != names.size()) {
+      return Status::ParseError("CSV row " + std::to_string(r + 1) + " has " +
+                                std::to_string(rows[r].size()) +
+                                " fields, expected " +
+                                std::to_string(names.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(names.size());
+    for (size_t c = 0; c < names.size(); ++c) {
+      DATACUBE_ASSIGN_OR_RETURN(
+          Value v, ParseCell(rows[r][c], table.schema().field(c).type,
+                             options.null_token));
+      row.push_back(std::move(v));
+    }
+    DATACUBE_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out += delimiter;
+    out += EscapeCsv(schema.field(c).name, delimiter);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += delimiter;
+      Value v = table.GetValue(r, c);
+      if (v.is_null()) continue;  // NULL renders as empty field
+      out += EscapeCsv(v.ToString(), delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, delimiter);
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace datacube

@@ -1,0 +1,61 @@
+#include "datacube/table/print.h"
+
+#include <algorithm>
+
+#include "datacube/common/str_util.h"
+
+namespace datacube {
+
+std::string FormatTable(const Table& table, const PrintOptions& options) {
+  const Schema& schema = table.schema();
+  size_t ncols = schema.num_fields();
+  size_t limit = options.max_rows == 0
+                     ? table.num_rows()
+                     : std::min(options.max_rows, table.num_rows());
+
+  std::vector<std::vector<std::string>> cells(limit,
+                                              std::vector<std::string>(ncols));
+  std::vector<size_t> widths(ncols);
+  std::vector<bool> right(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    widths[c] = schema.field(c).name.size();
+    right[c] = IsNumeric(schema.field(c).type);
+  }
+  for (size_t r = 0; r < limit; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      Value v = table.GetValue(r, c);
+      std::string s = v.is_all()    ? options.all_token
+                      : v.is_null() ? options.null_token
+                                    : v.ToString();
+      widths[c] = std::max(widths[c], s.size());
+      cells[r][c] = std::move(s);
+    }
+  }
+
+  std::string out;
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c > 0) out += "  ";
+    out += Pad(schema.field(c).name, widths[c], right[c]);
+  }
+  out += '\n';
+  if (options.header_rule) {
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c > 0) out += "  ";
+      out += std::string(widths[c], '-');
+    }
+    out += '\n';
+  }
+  for (size_t r = 0; r < limit; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c > 0) out += "  ";
+      out += Pad(cells[r][c], widths[c], right[c]);
+    }
+    out += '\n';
+  }
+  if (limit < table.num_rows()) {
+    out += "... (" + std::to_string(table.num_rows() - limit) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace datacube

@@ -1,0 +1,31 @@
+#ifndef DATACUBE_TABLE_PRINT_H_
+#define DATACUBE_TABLE_PRINT_H_
+
+#include <string>
+
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// Table rendering options.
+struct PrintOptions {
+  /// Maximum rows to render; 0 means all. Elided rows print "... (N more)".
+  size_t max_rows = 0;
+  /// Render the ALL token as this string (Section 3.4's minimalist design
+  /// would display NULL; the default shows the paper's ALL).
+  std::string all_token = "ALL";
+  std::string null_token = "NULL";
+  /// Include a header rule line under the column names.
+  bool header_rule = true;
+};
+
+/// Renders an aligned ASCII table:
+///   Model  Year  Color  Units
+///   -----  ----  -----  -----
+///   Chevy  1994  black     50
+/// Numeric columns right-align.
+std::string FormatTable(const Table& table, const PrintOptions& options = {});
+
+}  // namespace datacube
+
+#endif  // DATACUBE_TABLE_PRINT_H_

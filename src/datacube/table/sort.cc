@@ -1,0 +1,35 @@
+#include "datacube/table/sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace datacube {
+
+Result<std::vector<size_t>> SortIndices(const Table& table,
+                                        const std::vector<SortKey>& keys) {
+  for (const SortKey& k : keys) {
+    if (k.column >= table.num_columns()) {
+      return Status::OutOfRange("sort key column out of range");
+    }
+  }
+  std::vector<size_t> indices(table.num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](size_t a, size_t b) {
+                     for (const SortKey& k : keys) {
+                       int cmp = table.GetValue(a, k.column)
+                                     .Compare(table.GetValue(b, k.column));
+                       if (cmp != 0) return k.ascending ? cmp < 0 : cmp > 0;
+                     }
+                     return false;
+                   });
+  return indices;
+}
+
+Result<Table> SortTable(const Table& table, const std::vector<SortKey>& keys) {
+  DATACUBE_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                            SortIndices(table, keys));
+  return table.TakeRows(indices);
+}
+
+}  // namespace datacube

@@ -1,0 +1,174 @@
+#include "datacube/table/table.h"
+
+#include <algorithm>
+#include <map>
+
+namespace datacube {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  std::optional<size_t> idx = schema_.FieldIndex(name);
+  if (!idx.has_value()) return Status::NotFound("no column named " + name);
+  return &columns_[*idx];
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " values, table has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    Status st = columns_[i].Append(values[i]);
+    if (!st.ok()) {
+      // Roll back the columns already appended so the table stays rectangular.
+      // Column has no pop; rebuild is overkill — instead append NULL to the
+      // remaining columns and fail loudly. Callers treat the table as dead.
+      return Status(st.code(), "column '" + schema_.field(i).name +
+                                   "': " + st.message());
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.Get(row));
+  return out;
+}
+
+Result<Table> Table::TakeRows(const std::vector<size_t>& indices) const {
+  Table out(schema_);
+  out.Reserve(indices.size());
+  for (size_t idx : indices) {
+    if (idx >= num_rows_) {
+      return Status::OutOfRange("TakeRows index " + std::to_string(idx) +
+                                " >= " + std::to_string(num_rows_));
+    }
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(GetRow(idx)));
+  }
+  return out;
+}
+
+Result<Table> Table::FilterRows(const std::vector<bool>& mask) const {
+  if (mask.size() != num_rows_) {
+    return Status::InvalidArgument("filter mask size mismatch");
+  }
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) indices.push_back(i);
+  }
+  return TakeRows(indices);
+}
+
+Status Table::AppendTable(const Table& other) {
+  if (other.num_columns() != num_columns()) {
+    return Status::InvalidArgument("UNION ALL arity mismatch");
+  }
+  for (size_t c = 0; c < num_columns(); ++c) {
+    if (other.schema_.field(c).type != schema_.field(c).type) {
+      return Status::TypeError("UNION ALL type mismatch in column " +
+                               std::to_string(c));
+    }
+  }
+  for (size_t r = 0; r < other.num_rows(); ++r) {
+    DATACUBE_RETURN_IF_ERROR(AppendRow(other.GetRow(r)));
+  }
+  return Status::OK();
+}
+
+Result<Table> Table::ConcatColumns(const Table& other) const {
+  if (other.num_rows() != num_rows_) {
+    return Status::InvalidArgument("ConcatColumns row count mismatch");
+  }
+  std::vector<Field> fields = schema_.fields();
+  for (const Field& f : other.schema_.fields()) fields.push_back(f);
+  Schema merged(std::move(fields));
+  // Detect duplicate names early.
+  for (size_t i = 0; i < merged.num_fields(); ++i) {
+    for (size_t j = i + 1; j < merged.num_fields(); ++j) {
+      if (merged.field(i).name == merged.field(j).name) {
+        return Status::AlreadyExists("duplicate column name in ConcatColumns: " +
+                                     merged.field(i).name);
+      }
+    }
+  }
+  Table out(merged);
+  out.Reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    std::vector<Value> row = GetRow(r);
+    std::vector<Value> tail = other.GetRow(r);
+    row.insert(row.end(), tail.begin(), tail.end());
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> Table::SelectColumns(
+    const std::vector<size_t>& column_indices) const {
+  std::vector<Field> fields;
+  for (size_t idx : column_indices) {
+    if (idx >= num_columns()) {
+      return Status::OutOfRange("SelectColumns index out of range");
+    }
+    fields.push_back(schema_.field(idx));
+  }
+  Table out(Schema{std::move(fields)});
+  out.Reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    std::vector<Value> row;
+    row.reserve(column_indices.size());
+    for (size_t idx : column_indices) row.push_back(GetValue(r, idx));
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+void Table::Reserve(size_t capacity) {
+  for (Column& c : columns_) c.Reserve(capacity);
+}
+
+namespace {
+
+// Multiset of rows, represented as sorted row-vectors for order-insensitive
+// comparison.
+std::multimap<std::vector<Value>, int> RowBag(const Table& t) {
+  std::multimap<std::vector<Value>, int> bag;
+  for (size_t r = 0; r < t.num_rows(); ++r) bag.emplace(t.GetRow(r), 0);
+  return bag;
+}
+
+}  // namespace
+
+bool Table::EqualsIgnoringRowOrder(const Table& other) const {
+  if (num_rows_ != other.num_rows_ || num_columns() != other.num_columns()) {
+    return false;
+  }
+  auto a = RowBag(*this);
+  auto b = RowBag(other);
+  return std::equal(a.begin(), a.end(), b.begin(), b.end(),
+                    [](const auto& x, const auto& y) { return x.first == y.first; });
+}
+
+bool Table::EqualsExact(const Table& other) const {
+  if (num_rows_ != other.num_rows_ || num_columns() != other.num_columns()) {
+    return false;
+  }
+  for (size_t c = 0; c < num_columns(); ++c) {
+    if (schema_.field(c).type != other.schema_.field(c).type) return false;
+  }
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (GetRow(r) != other.GetRow(r)) return false;
+  }
+  return true;
+}
+
+}  // namespace datacube

@@ -1,0 +1,165 @@
+#include "datacube/workload/benchmark_queries.h"
+
+namespace datacube {
+
+std::vector<BenchmarkSuite> Table2Suites() {
+  std::vector<BenchmarkSuite> suites;
+
+  // --- TPC-A, B: one debit/credit transaction profile, no aggregation ---
+  suites.push_back(BenchmarkSuite{
+      "TPC-A, B",
+      {
+          "SELECT balance FROM accounts WHERE account_id = 42",
+      },
+      /*paper_queries=*/1,
+      /*paper_aggregates=*/0,
+      /*paper_group_bys=*/0});
+
+  // --- TPC-C: 18 statements, 4 aggregates, no GROUP BY -----------------
+  suites.push_back(BenchmarkSuite{
+      "TPC-C",
+      {
+          "SELECT w_tax FROM warehouse WHERE w_id = 1",
+          "SELECT d_tax FROM district WHERE d_id = 3",
+          "SELECT c_discount FROM customer WHERE c_id = 17",
+          "SELECT i_price FROM item WHERE i_id = 5001",
+          "SELECT s_quantity FROM stock WHERE s_i_id = 5001",
+          "SELECT o_id FROM orders WHERE o_c_id = 17 ORDER BY o_id DESC LIMIT 1",
+          "SELECT ol_i_id FROM order_line WHERE ol_o_id = 3007",
+          "SELECT c_balance FROM customer WHERE c_last = 'BARBARBAR'",
+          "SELECT no_o_id FROM new_order WHERE no_d_id = 4 ORDER BY no_o_id LIMIT 1",
+          "SELECT c_credit FROM customer WHERE c_id = 17",
+          "SELECT i_name FROM item WHERE i_id = 5002",
+          "SELECT h_amount FROM history WHERE h_c_id = 17",
+          "SELECT s_dist_01 FROM stock WHERE s_i_id = 5002",
+          "SELECT o_carrier_id FROM orders WHERE o_id = 3007",
+          // The four aggregate statements: stock-level and payment checks.
+          "SELECT COUNT(DISTINCT s_i_id) FROM stock WHERE s_quantity < 10",
+          "SELECT SUM(ol_amount) FROM order_line WHERE ol_o_id = 3007",
+          "SELECT MAX(o_id) FROM orders WHERE o_d_id = 4",
+          "SELECT AVG(c_balance) FROM customer WHERE c_d_id = 4",
+      },
+      /*paper_queries=*/18,
+      /*paper_aggregates=*/4,
+      /*paper_group_bys=*/0});
+
+  // --- TPC-D: 16 queries, 27 aggregates, 15 GROUP BYs -------------------
+  suites.push_back(BenchmarkSuite{
+      "TPC-D",
+      {
+          // Q1-like pricing summary: 8 aggregates, grouped.
+          "SELECT returnflag, linestatus, SUM(quantity), SUM(extendedprice), "
+          "SUM(discprice), SUM(charge), AVG(quantity), AVG(extendedprice), "
+          "AVG(discount), COUNT(*) "
+          "FROM lineitem WHERE shipdate <= '1998-09-02' "
+          "GROUP BY returnflag, linestatus",
+          // Q6-like forecast revenue: scalar aggregate, no GROUP BY.
+          "SELECT SUM(revenue) FROM lineitem "
+          "WHERE shipdate BETWEEN '1994-01-01' AND '1994-12-31' "
+          "AND discount BETWEEN 5 AND 7 AND quantity < 24",
+          // Fourteen grouped reporting queries (18 aggregates between them).
+          "SELECT suppkey, SUM(revenue), COUNT(*) FROM lineitem GROUP BY suppkey",
+          "SELECT orderpriority, COUNT(*) FROM orders GROUP BY orderpriority",
+          "SELECT nation, SUM(revenue) FROM customer_orders GROUP BY nation",
+          "SELECT shipyear, SUM(volume), AVG(volume) FROM shipping "
+          "GROUP BY shipyear",
+          "SELECT nation, shipyear, SUM(profit) FROM profit GROUP BY nation, "
+          "shipyear",
+          "SELECT returnflag, COUNT(*) FROM lineitem GROUP BY returnflag",
+          "SELECT parttype, AVG(supplycost), COUNT(*) FROM partsupp "
+          "GROUP BY parttype",
+          "SELECT custkey, SUM(totalprice), COUNT(*) FROM orders "
+          "GROUP BY custkey",
+          "SELECT shipmode, COUNT(*) FROM lineitem GROUP BY shipmode",
+          "SELECT brand, container, MAX(quantity) FROM part "
+          "GROUP BY brand, container",
+          "SELECT nation, COUNT(DISTINCT suppkey) FROM supplier GROUP BY nation",
+          "SELECT quarter, SUM(revenue) FROM market_share GROUP BY quarter",
+          "SELECT segment, COUNT(*) FROM customer GROUP BY segment",
+          "SELECT year, MIN(supplycost) FROM partsupp GROUP BY year",
+      },
+      /*paper_queries=*/16,
+      /*paper_aggregates=*/27,
+      /*paper_group_bys=*/15});
+
+  // --- Wisconsin: 18 queries, 3 aggregates, 2 GROUP BYs ----------------
+  suites.push_back(BenchmarkSuite{
+      "Wisconsin",
+      {
+          "SELECT * FROM tenktup1 WHERE unique2 BETWEEN 0 AND 99",
+          "SELECT * FROM tenktup1 WHERE unique2 BETWEEN 792 AND 1791",
+          "SELECT * FROM tenktup1 WHERE unique2 = 2001",
+          "SELECT unique1 FROM tenktup1 WHERE unique1 BETWEEN 0 AND 99",
+          "SELECT unique1 FROM tenktup1 WHERE unique1 BETWEEN 792 AND 1791",
+          "SELECT * FROM tenktup1 WHERE unique2 < 1000",
+          "SELECT * FROM tenktup2 WHERE unique2 < 100",
+          "SELECT * FROM onektup WHERE unique2 < 100",
+          "SELECT unique2 FROM tenktup1 WHERE onepercent = 5",
+          "SELECT unique2 FROM tenktup2 WHERE tenpercent = 2",
+          "SELECT * FROM tenktup1 WHERE stringu1 = 'AAAAxxx'",
+          "SELECT * FROM tenktup1 WHERE stringu2 < 'MGAAAA'",
+          "SELECT two, four, ten FROM tenktup1 WHERE even = 2",
+          "SELECT * FROM bprime WHERE unique2 < 1000",
+          "SELECT * FROM tenktup2 WHERE odd = 1",
+          "SELECT MIN(unique2) FROM tenktup1",
+          "SELECT MIN(unique3) FROM tenktup1 GROUP BY onepercent",
+          "SELECT SUM(unique3) FROM tenktup1 GROUP BY onepercent",
+      },
+      /*paper_queries=*/18,
+      /*paper_aggregates=*/3,
+      /*paper_group_bys=*/2});
+
+  // --- AS3AP: 23 queries, 20 aggregates, 2 GROUP BYs --------------------
+  suites.push_back(BenchmarkSuite{
+      "AS3AP",
+      {
+          "SELECT * FROM uniques WHERE col_key = 1000",
+          "SELECT * FROM updates WHERE col_key BETWEEN 1000 AND 1100",
+          "SELECT col_key FROM hundred WHERE col_signed < 0",
+          "SELECT col_address FROM uniques WHERE col_address = '500 SILICON'",
+          "SELECT * FROM tenpct WHERE col_name = 'THE+ASAP+BENCHMARKS+'",
+          "SELECT col_key, col_name FROM updates WHERE col_decim > 0.5",
+          "SELECT * FROM hundred WHERE col_float BETWEEN 0 AND 100",
+          "SELECT col_code FROM tenpct WHERE col_int = 7",
+          "SELECT * FROM uniques WHERE col_date = '1995-01-01'",
+          "SELECT MIN(col_key) FROM uniques",
+          "SELECT MAX(col_key) FROM updates",
+          "SELECT MIN(col_signed), MAX(col_signed) FROM hundred",
+          "SELECT SUM(col_decim), AVG(col_decim) FROM tenpct",
+          "SELECT COUNT(*), SUM(col_float) FROM uniques WHERE col_float > 0",
+          "SELECT AVG(col_int), MIN(col_int) FROM updates",
+          "SELECT MAX(col_float), MIN(col_float) FROM tenpct "
+          "WHERE col_double > 0",
+          "SELECT COUNT(DISTINCT col_code), COUNT(*) FROM hundred",
+          "SELECT SUM(col_double) FROM updates WHERE col_key < 5000",
+          "SELECT AVG(col_decim) FROM uniques WHERE col_name < 'M'",
+          "SELECT col_code, MIN(col_double), MAX(col_double), COUNT(*) "
+          "FROM hundred GROUP BY col_code",
+          "SELECT col_int, AVG(col_signed) FROM tenpct GROUP BY col_int",
+          "SELECT col_key FROM updates WHERE col_key < 100 ORDER BY col_key",
+          "SELECT col_name, col_code FROM tenpct ORDER BY col_name LIMIT 10",
+      },
+      /*paper_queries=*/23,
+      /*paper_aggregates=*/20,
+      /*paper_group_bys=*/2});
+
+  // --- SetQuery: 7 queries, 5 aggregates, 1 GROUP BY --------------------
+  suites.push_back(BenchmarkSuite{
+      "SetQuery",
+      {
+          "SELECT COUNT(*) FROM bench WHERE k2 = 1",
+          "SELECT COUNT(*), SUM(k1k) FROM bench WHERE k100 = 3 AND k25 <> 19",
+          "SELECT SUM(kseq) FROM bench WHERE kseq BETWEEN 400000 AND 500000",
+          "SELECT k10, COUNT(*) FROM bench WHERE k100 > 80 GROUP BY k10",
+          "SELECT kseq FROM bench WHERE k100 = 3 AND k10 = 2",
+          "SELECT k500k FROM bench WHERE k2 = 1 AND k4 = 3 LIMIT 100",
+          "SELECT kseq, k500k FROM bench WHERE k5 = 3 ORDER BY kseq LIMIT 20",
+      },
+      /*paper_queries=*/7,
+      /*paper_aggregates=*/5,
+      /*paper_group_bys=*/1});
+
+  return suites;
+}
+
+}  // namespace datacube

@@ -1,0 +1,161 @@
+#include "datacube/workload/sales.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace datacube {
+
+namespace {
+
+std::vector<Field> SalesFields() {
+  return {Field{"Model", DataType::kString},
+          Field{"Year", DataType::kInt64},
+          Field{"Color", DataType::kString},
+          Field{"Units", DataType::kInt64}};
+}
+
+}  // namespace
+
+Result<Table> Figure4SalesTable() {
+  struct Row {
+    const char* model;
+    int64_t year;
+    const char* color;
+    int64_t units;
+  };
+  // 18 rows whose grand total is the paper's published 941.
+  static constexpr Row kRows[] = {
+      {"Chevy", 1990, "red", 5},    {"Chevy", 1990, "white", 87},
+      {"Chevy", 1990, "blue", 62},  {"Chevy", 1991, "red", 54},
+      {"Chevy", 1991, "white", 95}, {"Chevy", 1991, "blue", 49},
+      {"Chevy", 1992, "red", 31},   {"Chevy", 1992, "white", 54},
+      {"Chevy", 1992, "blue", 71},  {"Ford", 1990, "red", 64},
+      {"Ford", 1990, "white", 62},  {"Ford", 1990, "blue", 63},
+      {"Ford", 1991, "red", 52},    {"Ford", 1991, "white", 9},
+      {"Ford", 1991, "blue", 55},   {"Ford", 1992, "red", 27},
+      {"Ford", 1992, "white", 62},  {"Ford", 1992, "blue", 39},
+  };
+  TableBuilder b(SalesFields());
+  for (const Row& r : kRows) {
+    b.Row({Value::String(r.model), Value::Int64(r.year),
+           Value::String(r.color), Value::Int64(r.units)});
+  }
+  return std::move(b).Build();
+}
+
+Result<Table> Table3SalesTable() {
+  struct Row {
+    const char* model;
+    int64_t year;
+    const char* color;
+    int64_t units;
+  };
+  // The exact counts of Tables 3.a/3.b/4/5/6: Chevy 290, Ford 220, total 510.
+  static constexpr Row kRows[] = {
+      {"Chevy", 1994, "black", 50}, {"Chevy", 1994, "white", 40},
+      {"Chevy", 1995, "black", 85}, {"Chevy", 1995, "white", 115},
+      {"Ford", 1994, "black", 50},  {"Ford", 1994, "white", 10},
+      {"Ford", 1995, "black", 85},  {"Ford", 1995, "white", 75},
+  };
+  TableBuilder b(SalesFields());
+  for (const Row& r : kRows) {
+    b.Row({Value::String(r.model), Value::Int64(r.year),
+           Value::String(r.color), Value::Int64(r.units)});
+  }
+  return std::move(b).Build();
+}
+
+namespace {
+
+// Draws an index in [0, n) with Zipf(skew) weights (skew 0 = uniform).
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t n, double skew) {
+    cdf_.reserve(n);
+    double total = 0;
+    for (size_t i = 1; i <= n; ++i) {
+      total += skew == 0.0 ? 1.0 : 1.0 / std::pow(static_cast<double>(i), skew);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  size_t Pick(std::mt19937_64& rng) const {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+Result<Table> GenerateSales(const SalesGenOptions& options) {
+  Table table(Schema{{Field{"Model", DataType::kString},
+                      Field{"Year", DataType::kInt64},
+                      Field{"Color", DataType::kString},
+                      Field{"Dealer", DataType::kString},
+                      Field{"Units", DataType::kInt64},
+                      Field{"Price", DataType::kFloat64}}});
+  table.Reserve(options.num_rows);
+  std::mt19937_64 rng(options.seed);
+  ZipfPicker models(options.num_models, options.skew);
+  ZipfPicker years(options.num_years, options.skew);
+  ZipfPicker colors(options.num_colors, options.skew);
+  ZipfPicker dealers(options.num_dealers, options.skew);
+  std::uniform_int_distribution<int64_t> units(1, 100);
+  std::uniform_real_distribution<double> price(5000.0, 60000.0);
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    DATACUBE_RETURN_IF_ERROR(table.AppendRow(
+        {Value::String("model" + std::to_string(models.Pick(rng))),
+         Value::Int64(1990 + static_cast<int64_t>(years.Pick(rng))),
+         Value::String("color" + std::to_string(colors.Pick(rng))),
+         Value::String("dealer" + std::to_string(dealers.Pick(rng))),
+         Value::Int64(units(rng)),
+         Value::Float64(price(rng))}));
+  }
+  return table;
+}
+
+Result<Table> GenerateCubeInput(const CubeInputOptions& options) {
+  std::vector<size_t> cards = options.cardinalities;
+  if (cards.empty()) {
+    cards.assign(options.num_dims, options.cardinality);
+  }
+  if (cards.size() != options.num_dims) {
+    return Status::InvalidArgument(
+        "cardinalities must match num_dims when provided");
+  }
+  std::vector<Field> fields;
+  for (size_t d = 0; d < options.num_dims; ++d) {
+    fields.push_back(Field{"d" + std::to_string(d), DataType::kString});
+  }
+  fields.push_back(Field{"x", DataType::kInt64});
+  fields.push_back(Field{"y", DataType::kFloat64});
+  Table table{Schema{std::move(fields)}};
+  table.Reserve(options.num_rows);
+
+  std::mt19937_64 rng(options.seed);
+  std::vector<ZipfPicker> pickers;
+  pickers.reserve(options.num_dims);
+  for (size_t d = 0; d < options.num_dims; ++d) {
+    pickers.emplace_back(cards[d], options.skew);
+  }
+  std::uniform_int_distribution<int64_t> x_dist(0, 999);
+  std::uniform_real_distribution<double> y_dist(0.0, 100.0);
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    std::vector<Value> row;
+    row.reserve(options.num_dims + 2);
+    for (size_t d = 0; d < options.num_dims; ++d) {
+      row.push_back(Value::String("v" + std::to_string(pickers[d].Pick(rng))));
+    }
+    row.push_back(Value::Int64(x_dist(rng)));
+    row.push_back(Value::Float64(y_dist(rng)));
+    DATACUBE_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace datacube

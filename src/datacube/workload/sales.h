@@ -1,0 +1,62 @@
+#ifndef DATACUBE_WORKLOAD_SALES_H_
+#define DATACUBE_WORKLOAD_SALES_H_
+
+#include <cstdint>
+
+#include "datacube/common/result.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// The paper's Figure 4 SALES relation: Model ∈ {Chevy, Ford} × Year ∈
+/// {1990, 1991, 1992} × Color ∈ {red, white, blue}, 2×3×3 = 18 rows, so the
+/// derived cube has 3×4×4 = 48 rows. The figure is an image in the paper;
+/// the per-row unit counts here are synthesized to reproduce its published
+/// grand total, SUM(Units) = 941 (the "(ALL, ALL, ALL, 941)" tuple of
+/// Section 3.4).
+Result<Table> Figure4SalesTable();
+
+/// The sales-summary data behind Tables 3–6: Chevy and Ford, years
+/// 1994/1995, colors black/white, with the paper's exact unit counts
+/// (Chevy total 290, Ford total 220, grand total 510 — Table 4's row).
+Result<Table> Table3SalesTable();
+
+/// Parameters for the scalable synthetic sales generator used by benches.
+struct SalesGenOptions {
+  size_t num_rows = 10000;
+  /// Dimension cardinalities (the paper's C_i).
+  size_t num_models = 10;
+  size_t num_years = 10;
+  size_t num_colors = 10;
+  size_t num_dealers = 10;  // fourth dimension for N-dim sweeps
+  /// Zipf skew across dimension values; 0 = uniform.
+  double skew = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Synthetic sales table with schema (Model STRING, Year INT64, Color
+/// STRING, Dealer STRING, Units INT64, Price FLOAT64). Deterministic for a
+/// given options struct.
+Result<Table> GenerateSales(const SalesGenOptions& options);
+
+/// Parameters for the generic N-dimensional cube input used by the bench
+/// harness: columns d0..d{num_dims-1} (STRING, each with `cardinality`
+/// distinct values, Zipf-skewed when skew > 0) plus measures x (INT64) and
+/// y (FLOAT64).
+struct CubeInputOptions {
+  size_t num_rows = 10000;
+  size_t num_dims = 3;
+  size_t cardinality = 10;
+  double skew = 0.0;
+  uint64_t seed = 42;
+  /// Per-dimension cardinality override; when non-empty must have num_dims
+  /// entries and takes precedence over `cardinality`.
+  std::vector<size_t> cardinalities;
+};
+
+/// Generic N-dimensional benchmark input.
+Result<Table> GenerateCubeInput(const CubeInputOptions& options);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_WORKLOAD_SALES_H_

@@ -1,0 +1,51 @@
+#include "datacube/workload/tpcd.h"
+
+#include <random>
+
+namespace datacube {
+
+Result<Table> GenerateLineitem(const TpcdGenOptions& options) {
+  static constexpr const char* kReturnFlags[] = {"A", "N", "R"};
+  static constexpr const char* kLineStatus[] = {"F", "O"};
+  static constexpr const char* kShipModes[] = {"AIR",  "FOB",  "MAIL", "RAIL",
+                                               "REG",  "SHIP", "TRUCK"};
+  static constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH",
+                                                "3-MEDIUM", "4-NOT SPECIFIED",
+                                                "5-LOW"};
+  static constexpr const char* kNations[] = {
+      "ALGERIA", "BRAZIL", "CANADA", "EGYPT",  "FRANCE",
+      "GERMANY", "INDIA",  "JAPAN",  "MEXICO", "PERU"};
+
+  Table table(Schema{{Field{"returnflag", DataType::kString},
+                      Field{"linestatus", DataType::kString},
+                      Field{"shipmode", DataType::kString},
+                      Field{"priority", DataType::kString},
+                      Field{"nation", DataType::kString},
+                      Field{"shipyear", DataType::kInt64},
+                      Field{"quantity", DataType::kInt64},
+                      Field{"extendedprice", DataType::kFloat64},
+                      Field{"discount", DataType::kFloat64},
+                      Field{"tax", DataType::kFloat64}}});
+  table.Reserve(options.num_rows);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int64_t> quantity(1, 50);
+  std::uniform_real_distribution<double> price(900.0, 105000.0);
+  std::uniform_real_distribution<double> discount(0.0, 0.10);
+  std::uniform_real_distribution<double> tax(0.0, 0.08);
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    DATACUBE_RETURN_IF_ERROR(table.AppendRow(
+        {Value::String(kReturnFlags[rng() % 3]),
+         Value::String(kLineStatus[rng() % 2]),
+         Value::String(kShipModes[rng() % 7]),
+         Value::String(kPriorities[rng() % 5]),
+         Value::String(kNations[rng() % 10]),
+         Value::Int64(1992 + static_cast<int64_t>(rng() % 7)),
+         Value::Int64(quantity(rng)),
+         Value::Float64(price(rng)),
+         Value::Float64(discount(rng)),
+         Value::Float64(tax(rng))}));
+  }
+  return table;
+}
+
+}  // namespace datacube

@@ -1,0 +1,32 @@
+#ifndef DATACUBE_WORKLOAD_TPCD_H_
+#define DATACUBE_WORKLOAD_TPCD_H_
+
+#include <cstdint>
+
+#include "datacube/common/result.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// Parameters for the TPC-D-like lineitem generator.
+struct TpcdGenOptions {
+  size_t num_rows = 100000;
+  uint64_t seed = 1996;
+};
+
+/// A lineitem-shaped fact table. The paper's Table 2 notes TPC-D contains
+/// "one 6D GROUP BY and three 3D GROUP BYs", and Section 2's headline
+/// complaint — "a six dimension cross-tab requires a 64-way union of 64
+/// different GROUP BY operators" — is about exactly this kind of table.
+///
+/// Schema (six dimensions + four measures):
+///   returnflag  STRING (3 values)     linestatus STRING (2)
+///   shipmode    STRING (7)            priority   STRING (5)
+///   nation      STRING (10)           shipyear   INT64  (7)
+///   quantity    INT64                 extendedprice FLOAT64
+///   discount    FLOAT64               tax           FLOAT64
+Result<Table> GenerateLineitem(const TpcdGenOptions& options);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_WORKLOAD_TPCD_H_

@@ -1,0 +1,62 @@
+#include "datacube/workload/weather.h"
+
+#include <iterator>
+#include <random>
+
+#include "datacube/common/date.h"
+
+namespace datacube {
+
+namespace {
+
+// A few fixed stations inside the expr module's nation() bounding boxes.
+struct Station {
+  double lat, lon;
+  int64_t altitude;
+};
+constexpr Station kStations[] = {
+    {37.97, -122.75, 102},  // USA (the paper's 37:58:33N 122:45:28W row)
+    {40.7, -74.0, 10},      // USA
+    {51.0, -114.0, 1045},   // Canada
+    {19.4, -99.1, 2240},    // Mexico
+    {48.8, 2.3, 35},        // France
+    {52.5, 13.4, 34},       // Germany
+    {51.5, -0.1, 11},       // UK
+    {35.6, 139.7, 40},      // Japan
+    {28.6, 77.2, 216},      // India
+    {-33.8, 151.2, 3},      // Australia
+};
+
+}  // namespace
+
+Result<Table> GenerateWeather(const WeatherGenOptions& options) {
+  Table table(Schema{{Field{"Time", DataType::kDate},
+                      Field{"Latitude", DataType::kFloat64},
+                      Field{"Longitude", DataType::kFloat64},
+                      Field{"Altitude", DataType::kInt64},
+                      Field{"Temp", DataType::kInt64},
+                      Field{"Pressure", DataType::kInt64}}});
+  table.Reserve(options.num_rows);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int> station_dist(
+      0, static_cast<int>(std::size(kStations)) - 1);
+  std::uniform_int_distribution<int32_t> day_dist(0, options.num_days - 1);
+  std::uniform_real_distribution<double> jitter(-0.5, 0.5);
+  std::uniform_int_distribution<int64_t> temp_dist(-10, 45);
+  std::uniform_int_distribution<int64_t> pressure_dist(980, 1040);
+  Date start = DateFromCivil(1996, 6, 1);
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    const Station& st = kStations[station_dist(rng)];
+    Date day{start.days_since_epoch + day_dist(rng)};
+    DATACUBE_RETURN_IF_ERROR(
+        table.AppendRow({Value::FromDate(day),
+                         Value::Float64(st.lat + jitter(rng)),
+                         Value::Float64(st.lon + jitter(rng)),
+                         Value::Int64(st.altitude),
+                         Value::Int64(temp_dist(rng)),
+                         Value::Int64(pressure_dist(rng))}));
+  }
+  return table;
+}
+
+}  // namespace datacube

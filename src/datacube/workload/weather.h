@@ -1,0 +1,30 @@
+#ifndef DATACUBE_WORKLOAD_WEATHER_H_
+#define DATACUBE_WORKLOAD_WEATHER_H_
+
+#include <cstdint>
+
+#include "datacube/common/result.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// Parameters for the Table 1-shaped weather generator.
+struct WeatherGenOptions {
+  size_t num_rows = 1000;
+  /// Observations span this many days starting 1996-06-01 (Table 1's dates).
+  int32_t num_days = 30;
+  uint64_t seed = 7;
+};
+
+/// Synthetic weather observations with schema (Time DATE, Latitude FLOAT64,
+/// Longitude FLOAT64, Altitude INT64, Temp INT64, Pressure INT64) — the
+/// paper's Table 1 relation (hour-of-day folded into the date for this
+/// library's date-typed Time column). Stations are scattered inside the
+/// `nation()` gazetteer's bounding boxes so the Section 2 histogram query
+/// "GROUP BY Day(Time), Nation(Latitude, Longitude)" produces meaningful
+/// groups.
+Result<Table> GenerateWeather(const WeatherGenOptions& options);
+
+}  // namespace datacube
+
+#endif  // DATACUBE_WORKLOAD_WEATHER_H_

@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "datacube/agg/builtin_aggregates.h"
+#include "datacube/agg/distinct.h"
+#include "datacube/agg/registry.h"
+
+namespace datacube {
+namespace {
+
+// Runs the full Init/Iter/Final protocol over single-argument values.
+Value RunAgg(const AggregateFunction& fn, const std::vector<Value>& values) {
+  AggStatePtr state = fn.Init();
+  for (const Value& v : values) fn.Iter1(state.get(), v);
+  return fn.Final(state.get());
+}
+
+std::vector<Value> Ints(std::initializer_list<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.push_back(Value::Int64(x));
+  return out;
+}
+
+// ----------------------------------------------------------- basic results
+
+TEST(AggTest, CountStarCountsEverythingIncludingSpecials) {
+  auto fn = MakeCountStar();
+  EXPECT_EQ(RunAgg(*fn, {Value::Int64(1), Value::Null(), Value::All()}),
+            Value::Int64(3));
+  EXPECT_EQ(RunAgg(*fn, {}), Value::Int64(0));
+}
+
+TEST(AggTest, CountSkipsNullAndAll) {
+  // Section 3.3: "ALL, like NULL, does not participate in any aggregate
+  // except COUNT()" — i.e. COUNT(*).
+  auto fn = MakeCount();
+  EXPECT_EQ(RunAgg(*fn, {Value::Int64(1), Value::Null(), Value::All(),
+                      Value::Int64(2)}),
+            Value::Int64(2));
+}
+
+TEST(AggTest, SumIntExactAndEmptyIsNull) {
+  auto fn = MakeSum();
+  EXPECT_EQ(RunAgg(*fn, Ints({1, 2, 3})), Value::Int64(6));
+  EXPECT_TRUE(RunAgg(*fn, {}).is_null());
+  EXPECT_TRUE(RunAgg(*fn, {Value::Null()}).is_null());
+  EXPECT_EQ(RunAgg(*fn, {Value::Float64(1.5), Value::Int64(1)}),
+            Value::Float64(2.5));
+}
+
+TEST(AggTest, MinMax) {
+  EXPECT_EQ(RunAgg(*MakeMax(), Ints({3, 9, 1})), Value::Int64(9));
+  EXPECT_EQ(RunAgg(*MakeMin(), Ints({3, 9, 1})), Value::Int64(1));
+  EXPECT_EQ(RunAgg(*MakeMax(), {Value::String("a"), Value::String("c")}),
+            Value::String("c"));
+  EXPECT_TRUE(RunAgg(*MakeMax(), {Value::Null()}).is_null());
+}
+
+TEST(AggTest, AvgIgnoresNulls) {
+  auto fn = MakeAvg();
+  EXPECT_EQ(RunAgg(*fn, {Value::Int64(1), Value::Null(), Value::Int64(3)}),
+            Value::Float64(2.0));
+  EXPECT_TRUE(RunAgg(*fn, {}).is_null());
+}
+
+TEST(AggTest, VarianceAndStdDev) {
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is 4.
+  std::vector<Value> xs = Ints({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(RunAgg(*MakeVarPop(), xs).AsDouble(), 4.0, 1e-9);
+  EXPECT_NEAR(RunAgg(*MakeStdDevPop(), xs).AsDouble(), 2.0, 1e-9);
+  EXPECT_NEAR(RunAgg(*MakeVarPop(), Ints({5})).AsDouble(), 0.0, 1e-12);
+}
+
+TEST(AggTest, MedianOddEvenEmpty) {
+  EXPECT_EQ(RunAgg(*MakeMedian(), Ints({5, 1, 3})), Value::Float64(3.0));
+  EXPECT_EQ(RunAgg(*MakeMedian(), Ints({4, 1, 3, 2})), Value::Float64(2.5));
+  EXPECT_TRUE(RunAgg(*MakeMedian(), {}).is_null());
+}
+
+TEST(AggTest, ModePicksMostFrequentSmallestOnTie) {
+  EXPECT_EQ(RunAgg(*MakeMode(), Ints({1, 2, 2, 3})), Value::Int64(2));
+  EXPECT_EQ(RunAgg(*MakeMode(), Ints({3, 1, 3, 1})), Value::Int64(1));
+  EXPECT_TRUE(RunAgg(*MakeMode(), {}).is_null());
+}
+
+TEST(AggTest, CountDistinct) {
+  EXPECT_EQ(RunAgg(*MakeCountDistinctAgg(), Ints({1, 2, 2, 3, 3, 3})),
+            Value::Int64(3));
+  EXPECT_EQ(RunAgg(*MakeCountDistinctAgg(), {Value::Null(), Value::Null()}),
+            Value::Int64(0));
+}
+
+TEST(AggTest, MaxNMinNKeepTopValues) {
+  EXPECT_EQ(RunAgg(*MakeMaxN(3), Ints({5, 1, 9, 7, 3})), Value::String("9,7,5"));
+  EXPECT_EQ(RunAgg(*MakeMinN(2), Ints({5, 1, 9, 7, 3})), Value::String("1,3"));
+  EXPECT_EQ(RunAgg(*MakeMaxN(10), Ints({2, 1})), Value::String("2,1"));
+  EXPECT_TRUE(RunAgg(*MakeMaxN(3), {}).is_null());
+}
+
+TEST(AggTest, CenterOfMassTwoArguments) {
+  auto fn = MakeCenterOfMass();
+  AggStatePtr state = fn->Init();
+  Value args1[] = {Value::Float64(0.0), Value::Float64(1.0)};
+  Value args2[] = {Value::Float64(10.0), Value::Float64(3.0)};
+  fn->Iter(state.get(), args1, 2);
+  fn->Iter(state.get(), args2, 2);
+  EXPECT_NEAR(fn->Final(state.get()).AsDouble(), 7.5, 1e-9);
+  EXPECT_EQ(fn->num_args(), 2);
+}
+
+// -------------------------------------------------------- classification
+
+TEST(AggTest, PaperClassification) {
+  // Section 5's taxonomy.
+  EXPECT_EQ(MakeCount()->agg_class(), AggClass::kDistributive);
+  EXPECT_EQ(MakeSum()->agg_class(), AggClass::kDistributive);
+  EXPECT_EQ(MakeMin()->agg_class(), AggClass::kDistributive);
+  EXPECT_EQ(MakeMax()->agg_class(), AggClass::kDistributive);
+  EXPECT_EQ(MakeAvg()->agg_class(), AggClass::kAlgebraic);
+  EXPECT_EQ(MakeStdDevPop()->agg_class(), AggClass::kAlgebraic);
+  EXPECT_EQ(MakeMaxN(2)->agg_class(), AggClass::kAlgebraic);
+  EXPECT_EQ(MakeCenterOfMass()->agg_class(), AggClass::kAlgebraic);
+  EXPECT_EQ(MakeMedian()->agg_class(), AggClass::kHolistic);
+  EXPECT_EQ(MakeMode()->agg_class(), AggClass::kHolistic);
+}
+
+TEST(AggTest, Section6DeleteHierarchyIsOrthogonal) {
+  // "max is distributive for SELECT and INSERT, but holistic for DELETE."
+  EXPECT_EQ(MakeMax()->delete_class(), DeleteClass::kDeleteHolistic);
+  EXPECT_EQ(MakeMin()->delete_class(), DeleteClass::kDeleteHolistic);
+  EXPECT_EQ(MakeSum()->delete_class(), DeleteClass::kDeletable);
+  EXPECT_EQ(MakeCount()->delete_class(), DeleteClass::kDeletable);
+  EXPECT_EQ(MakeAvg()->delete_class(), DeleteClass::kDeletable);
+  // Mode is holistic for SELECT yet deletable (counted scratchpad).
+  EXPECT_EQ(MakeMode()->delete_class(), DeleteClass::kDeletable);
+}
+
+TEST(AggTest, MergeSupportFollowsClassWithOverrides) {
+  EXPECT_TRUE(MakeSum()->supports_merge());
+  EXPECT_TRUE(MakeAvg()->supports_merge());
+  EXPECT_FALSE(MakeMedian()->supports_merge());
+  EXPECT_TRUE(MakeMode()->supports_merge());  // unbounded but mergeable
+  AggStatePtr a = MakeMedian()->Init();
+  AggStatePtr b = MakeMedian()->Init();
+  EXPECT_EQ(MakeMedian()->Merge(a.get(), b.get()).code(),
+            StatusCode::kNotImplemented);
+}
+
+// ----------------------------------------- merge partition-invariance
+
+struct MergeCase {
+  std::string name;
+};
+
+class MergePropertyTest : public ::testing::TestWithParam<std::string> {};
+
+// For every mergeable aggregate: folding a value stream in one scratchpad
+// equals splitting the stream arbitrarily, folding each part, and merging
+// (the distributive/algebraic law F({X}) = H({G(partition)})).
+TEST_P(MergePropertyTest, SplitMergeEqualsSingleFold) {
+  Result<AggregateFunctionPtr> made =
+      AggregateRegistry::Global().Make(GetParam());
+  ASSERT_TRUE(made.ok());
+  const AggregateFunction& fn = **made;
+  bool wants_bool = GetParam().rfind("bool", 0) == 0;
+  std::mt19937_64 rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = rng() % 50;
+    std::vector<Value> values;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng() % 10 == 0) {
+        values.push_back(Value::Null());
+      } else if (wants_bool) {
+        values.push_back(Value::Bool(rng() % 2 == 0));
+      } else {
+        values.push_back(Value::Int64(static_cast<int64_t>(rng() % 100)));
+      }
+    }
+    Value expected = RunAgg(fn, values);
+
+    size_t cut = n == 0 ? 0 : rng() % (n + 1);
+    AggStatePtr left = fn.Init();
+    AggStatePtr right = fn.Init();
+    for (size_t i = 0; i < n; ++i) {
+      fn.Iter1(i < cut ? left.get() : right.get(), values[i]);
+    }
+    ASSERT_TRUE(fn.Merge(left.get(), right.get()).ok());
+    Value merged = fn.Final(left.get());
+    if (expected.is_null()) {
+      EXPECT_TRUE(merged.is_null());
+    } else if (expected.is_numeric()) {
+      EXPECT_NEAR(merged.AsDouble(), expected.AsDouble(), 1e-9)
+          << fn.name() << " trial " << trial;
+    } else {
+      EXPECT_EQ(merged, expected) << fn.name() << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMergeable, MergePropertyTest,
+                         ::testing::Values("count_star", "count", "sum", "min",
+                                           "max", "avg", "var_pop",
+                                           "stddev_pop", "mode",
+                                           "count_distinct", "bool_and",
+                                           "bool_or"),
+                         [](const auto& info) { return info.param; });
+
+// --------------------------------------------- remove inverse property
+
+class RemovePropertyTest : public ::testing::TestWithParam<std::string> {};
+
+// For every deletable aggregate: Iter(v) then Remove(v) restores the result.
+TEST_P(RemovePropertyTest, RemoveUndoesIter) {
+  Result<AggregateFunctionPtr> made =
+      AggregateRegistry::Global().Make(GetParam());
+  ASSERT_TRUE(made.ok());
+  const AggregateFunction& fn = **made;
+  ASSERT_EQ(fn.delete_class(), DeleteClass::kDeletable);
+  bool wants_bool = GetParam().rfind("bool", 0) == 0;
+  std::mt19937_64 rng(99);
+  std::vector<Value> base;
+  for (int i = 0; i < 30; ++i) {
+    base.push_back(wants_bool
+                       ? Value::Bool(rng() % 2 == 0)
+                       : Value::Int64(static_cast<int64_t>(rng() % 50)));
+  }
+  Value expected = RunAgg(fn, base);
+
+  AggStatePtr state = fn.Init();
+  for (const Value& v : base) fn.Iter1(state.get(), v);
+  // Add then remove extra values (also exercising duplicates).
+  std::vector<Value> extra =
+      wants_bool ? std::vector<Value>{Value::Bool(true), Value::Bool(false),
+                                      Value::Bool(false), Value::Null()}
+                 : std::vector<Value>{Value::Int64(7), Value::Int64(7),
+                                      Value::Int64(400), Value::Null()};
+  for (const Value& v : extra) fn.Iter1(state.get(), v);
+  for (const Value& v : extra) {
+    ASSERT_TRUE(fn.Remove(state.get(), &v, 1).ok());
+  }
+  Value after = fn.Final(state.get());
+  if (expected.is_numeric()) {
+    EXPECT_NEAR(after.AsDouble(), expected.AsDouble(), 1e-9) << fn.name();
+  } else {
+    EXPECT_EQ(after, expected) << fn.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDeletable, RemovePropertyTest,
+                         ::testing::Values("count_star", "count", "sum", "avg",
+                                           "var_pop", "stddev_pop", "median",
+                                           "mode", "count_distinct",
+                                           "bool_and", "bool_or"),
+                         [](const auto& info) { return info.param; });
+
+// ------------------------------------------------- maintenance hints
+
+TEST(AggTest, MaxInsertShortCircuitHint) {
+  auto fn = MakeMax();
+  AggStatePtr state = fn->Init();
+  Value nine = Value::Int64(9);
+  Value five = Value::Int64(5);
+  EXPECT_TRUE(fn->InsertMightChange(state.get(), &nine, 1));  // empty state
+  fn->Iter1(state.get(), nine);
+  // "If the new value loses one competition, it will lose in all lower
+  // dimensions" — the hint that drives the Section 6 insert short-circuit.
+  EXPECT_FALSE(fn->InsertMightChange(state.get(), &five, 1));
+  Value ten = Value::Int64(10);
+  EXPECT_TRUE(fn->InsertMightChange(state.get(), &ten, 1));
+}
+
+TEST(AggTest, MaxRemoveHintOnlyForIncumbent) {
+  auto fn = MakeMax();
+  AggStatePtr state = fn->Init();
+  fn->Iter1(state.get(), Value::Int64(9));
+  fn->Iter1(state.get(), Value::Int64(5));
+  Value five = Value::Int64(5), nine = Value::Int64(9);
+  EXPECT_FALSE(fn->RemoveMightChange(state.get(), &five, 1));
+  EXPECT_TRUE(fn->RemoveMightChange(state.get(), &nine, 1));
+}
+
+TEST(AggTest, SumAlwaysMightChange) {
+  auto fn = MakeSum();
+  AggStatePtr state = fn->Init();
+  Value v = Value::Int64(1);
+  EXPECT_TRUE(fn->InsertMightChange(state.get(), &v, 1));
+  EXPECT_TRUE(fn->RemoveMightChange(state.get(), &v, 1));
+}
+
+// ------------------------------------------------------------ clone
+
+TEST(AggTest, CloneIsDeep) {
+  auto fn = MakeAvg();
+  AggStatePtr a = fn->Init();
+  fn->Iter1(a.get(), Value::Int64(2));
+  AggStatePtr b = fn->Clone(a.get());
+  fn->Iter1(b.get(), Value::Int64(10));
+  EXPECT_EQ(fn->Final(a.get()), Value::Float64(2.0));
+  EXPECT_EQ(fn->Final(b.get()), Value::Float64(6.0));
+}
+
+// --------------------------------------------------------- DISTINCT
+
+TEST(DistinctTest, SumDistinct) {
+  auto fn = MakeDistinct(MakeSum());
+  EXPECT_EQ(RunAgg(*fn, Ints({5, 5, 3, 3, 3})), Value::Int64(8));
+  EXPECT_EQ(fn->agg_class(), AggClass::kHolistic);
+  EXPECT_TRUE(fn->supports_merge());
+}
+
+TEST(DistinctTest, CountDistinctViaWrapper) {
+  auto fn = MakeDistinct(MakeCount());
+  EXPECT_EQ(RunAgg(*fn, Ints({1, 1, 2})), Value::Int64(2));
+}
+
+TEST(DistinctTest, MergeUnionsSeenSets) {
+  auto fn = MakeDistinct(MakeSum());
+  AggStatePtr a = fn->Init();
+  AggStatePtr b = fn->Init();
+  fn->Iter1(a.get(), Value::Int64(5));
+  fn->Iter1(b.get(), Value::Int64(5));
+  fn->Iter1(b.get(), Value::Int64(2));
+  ASSERT_TRUE(fn->Merge(a.get(), b.get()).ok());
+  EXPECT_EQ(fn->Final(a.get()), Value::Int64(7));
+}
+
+TEST(DistinctTest, RemoveRespectsMultiplicity) {
+  auto fn = MakeDistinct(MakeSum());
+  AggStatePtr s = fn->Init();
+  Value five = Value::Int64(5);
+  fn->Iter(s.get(), &five, 1);
+  fn->Iter(s.get(), &five, 1);
+  ASSERT_TRUE(fn->Remove(s.get(), &five, 1).ok());
+  EXPECT_EQ(fn->Final(s.get()), Value::Int64(5));  // one 5 still present
+  ASSERT_TRUE(fn->Remove(s.get(), &five, 1).ok());
+  EXPECT_TRUE(fn->Final(s.get()).is_null());
+  EXPECT_FALSE(fn->Remove(s.get(), &five, 1).ok());  // absent now
+}
+
+// --------------------------------------------------------- registry
+
+TEST(RegistryTest, BuiltinsPresent) {
+  AggregateRegistry& reg = AggregateRegistry::Global();
+  for (const char* name : {"count_star", "count", "sum", "min", "max", "avg",
+                           "median", "mode", "max_n"}) {
+    EXPECT_TRUE(reg.Contains(name)) << name;
+  }
+  EXPECT_TRUE(reg.Contains("SUM"));  // case-insensitive
+  EXPECT_FALSE(reg.Contains("no_such"));
+}
+
+TEST(RegistryTest, ParameterValidation) {
+  AggregateRegistry& reg = AggregateRegistry::Global();
+  EXPECT_TRUE(reg.Make("max_n", {Value::Int64(3)}).ok());
+  EXPECT_FALSE(reg.Make("max_n", {}).ok());
+  EXPECT_FALSE(reg.Make("max_n", {Value::String("x")}).ok());
+  EXPECT_FALSE(reg.Make("max_n", {Value::Int64(0)}).ok());
+  EXPECT_FALSE(reg.Make("sum", {Value::Int64(1)}).ok());
+}
+
+TEST(RegistryTest, UserDefinedAggregate) {
+  // The paper's Figure 7 extension point: register a custom aggregate and
+  // use it like a built-in. This one computes the product of its inputs.
+  struct ProductState : AggState {
+    double product = 1.0;
+    int64_t n = 0;
+  };
+  class ProductFunction : public AggregateFunction {
+   public:
+    const std::string& name() const override {
+      static const std::string kName = "product";
+      return kName;
+    }
+    AggClass agg_class() const override { return AggClass::kDistributive; }
+    Result<DataType> ResultType(const std::vector<DataType>&) const override {
+      return DataType::kFloat64;
+    }
+    AggStatePtr Init() const override {
+      return std::make_unique<ProductState>();
+    }
+    void Iter(AggState* s, const Value* args, size_t) const override {
+      if (args[0].is_special()) return;
+      auto* st = static_cast<ProductState*>(s);
+      st->product *= args[0].AsDouble();
+      ++st->n;
+    }
+    Value Final(const AggState* s) const override {
+      const auto* st = static_cast<const ProductState*>(s);
+      return st->n == 0 ? Value::Null() : Value::Float64(st->product);
+    }
+    Status Merge(AggState* dst, const AggState* src) const override {
+      auto* d = static_cast<ProductState*>(dst);
+      const auto* s = static_cast<const ProductState*>(src);
+      d->product *= s->product;
+      d->n += s->n;
+      return Status::OK();
+    }
+    AggStatePtr Clone(const AggState* s) const override {
+      return std::make_unique<ProductState>(
+          *static_cast<const ProductState*>(s));
+    }
+  };
+
+  AggregateRegistry& reg = AggregateRegistry::Global();
+  Status st = reg.Register("test_product", [](const std::vector<Value>&)
+                               -> Result<AggregateFunctionPtr> {
+    return AggregateFunctionPtr(std::make_shared<ProductFunction>());
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(reg.Register("test_product", nullptr).ok());  // duplicate
+  Result<AggregateFunctionPtr> fn = reg.Make("test_product");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ(RunAgg(**fn, Ints({2, 3, 4})), Value::Float64(24.0));
+}
+
+}  // namespace
+}  // namespace datacube

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "datacube/common/date.h"
+#include "datacube/common/result.h"
+#include "datacube/common/status.h"
+#include "datacube/common/str_util.h"
+#include "datacube/common/value.h"
+
+namespace datacube {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kTypeError, StatusCode::kParseError,
+        StatusCode::kNotImplemented, StatusCode::kInternal,
+        StatusCode::kIOError}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubled(Result<int> in) {
+  DATACUBE_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("x")).ok());
+}
+
+// ------------------------------------------------------------------ Value
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::All().is_all());
+  EXPECT_TRUE(Value::All().is_special());
+  EXPECT_EQ(Value::Int64(7).int64_value(), 7);
+  EXPECT_DOUBLE_EQ(Value::Float64(2.5).float64_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, AllIsDistinctFromNullAndValues) {
+  // Section 3.3: ALL is a non-value like NULL but distinct from it.
+  EXPECT_NE(Value::All(), Value::Null());
+  EXPECT_NE(Value::All(), Value::String("ALL"));
+  EXPECT_NE(Value::All(), Value::Int64(0));
+  EXPECT_EQ(Value::All(), Value::All());
+}
+
+TEST(ValueTest, TotalOrderNullAllValues) {
+  EXPECT_LT(Value::Null(), Value::All());
+  EXPECT_LT(Value::All(), Value::Int64(-100));
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+}
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value::Int64(3), Value::Float64(3.0));
+  EXPECT_LT(Value::Int64(3), Value::Float64(3.5));
+  EXPECT_LT(Value::Float64(2.5), Value::Int64(3));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Float64(3.0).Hash());
+  EXPECT_EQ(Value::All().Hash(), Value::All().Hash());
+  EXPECT_NE(Value::All().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::All().ToString(), "ALL");
+  EXPECT_EQ(Value::Int64(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Float64(2.0).ToString(), "2");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::FromDate(DateFromCivil(1996, 6, 1)).ToString(),
+            "1996-06-01");
+}
+
+TEST(ValueTest, CastWideningAndParsing) {
+  EXPECT_EQ(Value::Int64(3).CastTo(DataType::kFloat64)->AsDouble(), 3.0);
+  EXPECT_EQ(Value::String("42").CastTo(DataType::kInt64)->int64_value(), 42);
+  EXPECT_EQ(Value::String("1996-06-01").CastTo(DataType::kDate)->ToString(),
+            "1996-06-01");
+  EXPECT_FALSE(Value::String("abc").CastTo(DataType::kInt64).ok());
+  // Specials pass through any cast.
+  EXPECT_TRUE(Value::All().CastTo(DataType::kInt64)->is_all());
+  EXPECT_TRUE(Value::Null().CastTo(DataType::kString)->is_null());
+}
+
+TEST(ValueTest, TypeOfSpecialsIsError) {
+  EXPECT_FALSE(Value::Null().type().ok());
+  EXPECT_FALSE(Value::All().type().ok());
+  EXPECT_EQ(Value::Int64(1).type().value(), DataType::kInt64);
+}
+
+// ------------------------------------------------------------------- Date
+
+TEST(DateTest, CivilRoundTrip) {
+  for (int year : {1970, 1996, 2000, 2024, 1900}) {
+    for (int month : {1, 2, 6, 12}) {
+      Date d = DateFromCivil(year, month, 15);
+      CivilDate c = CivilFromDate(d);
+      EXPECT_EQ(c.year, year);
+      EXPECT_EQ(c.month, month);
+      EXPECT_EQ(c.day, 15);
+    }
+  }
+}
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(DateFromCivil(1970, 1, 1).days_since_epoch, 0);
+}
+
+TEST(DateTest, ParseAndFormat) {
+  Result<Date> d = ParseDate("1996-06-01");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(FormatDate(*d), "1996-06-01");
+  EXPECT_TRUE(ParseDate("1996/06/01").ok());
+  EXPECT_FALSE(ParseDate("not a date").ok());
+  EXPECT_FALSE(ParseDate("1996-13-01").ok());
+  EXPECT_FALSE(ParseDate("1996-02-30").ok());
+}
+
+TEST(DateTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_TRUE(IsLeapYear(1996));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(1995));
+  EXPECT_EQ(DaysInMonth(1996, 2), 29);
+  EXPECT_EQ(DaysInMonth(1995, 2), 28);
+}
+
+TEST(DateTest, Extraction) {
+  Date d = DateFromCivil(1996, 6, 1);  // a Saturday
+  EXPECT_EQ(DateYear(d), 1996);
+  EXPECT_EQ(DateMonth(d), 6);
+  EXPECT_EQ(DateDay(d), 1);
+  EXPECT_EQ(DateQuarter(d), 2);
+  EXPECT_EQ(DateWeekday(d), 5);
+  EXPECT_TRUE(DateIsWeekend(d));
+}
+
+TEST(DateTest, IsoWeekStraddlesYears) {
+  // The paper's Section 3.6 point: weeks do not nest in years.
+  // 1996-01-01 was a Monday — ISO week 1 of 1996.
+  EXPECT_EQ(DateIsoWeek(DateFromCivil(1996, 1, 1)), 1);
+  EXPECT_EQ(DateIsoWeekYear(DateFromCivil(1996, 1, 1)), 1996);
+  // 1995-12-31 (Sunday) belongs to ISO week 52 of 1995.
+  EXPECT_EQ(DateIsoWeekYear(DateFromCivil(1995, 12, 31)), 1995);
+  // 2020-12-31 (Thursday) belongs to ISO week 53 of 2020; 2021-01-01
+  // (Friday) is in the same ISO week of week-year 2020.
+  EXPECT_EQ(DateIsoWeek(DateFromCivil(2020, 12, 31)), 53);
+  EXPECT_EQ(DateIsoWeekYear(DateFromCivil(2021, 1, 1)), 2020);
+  EXPECT_EQ(DateIsoWeek(DateFromCivil(2021, 1, 1)), 53);
+}
+
+// -------------------------------------------------------------- str_util
+
+TEST(StrUtilTest, JoinSplitRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Split("a,b,c", ','), parts);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+}
+
+TEST(StrUtilTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("CUBE", "cube"));
+  EXPECT_FALSE(EqualsIgnoreCase("CUBE", "cub"));
+}
+
+TEST(StrUtilTest, Pad) {
+  EXPECT_EQ(Pad("ab", 4), "ab  ");
+  EXPECT_EQ(Pad("ab", 4, /*right_align=*/true), "  ab");
+  EXPECT_EQ(Pad("abcdef", 4), "abcdef");
+}
+
+}  // namespace
+}  // namespace datacube

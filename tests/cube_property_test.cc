@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube {
+namespace {
+
+// Random table with `dims` low-cardinality string dimensions (with NULLs)
+// and two measures.
+Table RandomTable(std::mt19937_64& rng, size_t rows, size_t dims,
+                  size_t cardinality, double null_rate) {
+  std::vector<Field> fields;
+  for (size_t d = 0; d < dims; ++d) {
+    fields.push_back(Field{"d" + std::to_string(d), DataType::kString});
+  }
+  fields.push_back(Field{"x", DataType::kInt64});
+  fields.push_back(Field{"y", DataType::kFloat64});
+  Table t{Schema{fields}};
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (size_t d = 0; d < dims; ++d) {
+      if (unit(rng) < null_rate) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(Value::String("v" + std::to_string(rng() % cardinality)));
+      }
+    }
+    row.push_back(unit(rng) < null_rate
+                      ? Value::Null()
+                      : Value::Int64(static_cast<int64_t>(rng() % 1000)));
+    row.push_back(Value::Float64(static_cast<double>(rng() % 97)));
+    EXPECT_TRUE(t.AppendRow(row).ok());
+  }
+  return t;
+}
+
+struct PropertyCase {
+  size_t rows;
+  size_t dims;
+  size_t cardinality;
+  double null_rate;
+  uint64_t seed;
+  std::string label;
+};
+
+class CrossAlgorithmTest : public ::testing::TestWithParam<PropertyCase> {};
+
+// The central property: every computation strategy produces the identical
+// relation (as a bag of rows) for every spec shape, on randomized inputs
+// with NULL keys and NULL measures.
+TEST_P(CrossAlgorithmTest, AllAlgorithmsAgreeOnRandomCubes) {
+  const PropertyCase& pc = GetParam();
+  std::mt19937_64 rng(pc.seed);
+  Table t = RandomTable(rng, pc.rows, pc.dims, pc.cardinality, pc.null_rate);
+
+  std::vector<GroupExpr> dims;
+  for (size_t d = 0; d < pc.dims; ++d) {
+    dims.push_back(GroupCol("d" + std::to_string(d)));
+  }
+  std::vector<AggregateSpec> aggs = {
+      Agg("sum", "x", "sum_x"),   Agg("count", "x", "count_x"),
+      Agg("min", "x", "min_x"),   Agg("max", "x", "max_x"),
+      Agg("avg", "x", "avg_x"),   CountStar("n")};
+
+  CubeOptions baseline;
+  baseline.algorithm = CubeAlgorithm::kUnionGroupBy;
+  Result<CubeResult> expected = Cube(t, dims, aggs, baseline);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  for (CubeAlgorithm alg :
+       {CubeAlgorithm::kNaive2N, CubeAlgorithm::kFromCore,
+        CubeAlgorithm::kArrayCube, CubeAlgorithm::kSortRollup,
+        CubeAlgorithm::kSortFromCore}) {
+    CubeOptions opts;
+    opts.algorithm = alg;
+    Result<CubeResult> got = Cube(t, dims, aggs, opts);
+    ASSERT_TRUE(got.ok()) << CubeAlgorithmName(alg);
+    EXPECT_TRUE(got->table.EqualsIgnoringRowOrder(expected->table))
+        << CubeAlgorithmName(alg) << " diverges on " << pc.label;
+  }
+
+  CubeOptions parallel;
+  parallel.num_threads = 3;
+  Result<CubeResult> par = Cube(t, dims, aggs, parallel);
+  ASSERT_TRUE(par.ok());
+  EXPECT_TRUE(par->table.EqualsIgnoringRowOrder(expected->table))
+      << "parallel diverges on " << pc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrossAlgorithmTest,
+    ::testing::Values(
+        PropertyCase{50, 1, 3, 0.0, 1, "d1_small"},
+        PropertyCase{200, 2, 4, 0.1, 2, "d2_nulls"},
+        PropertyCase{500, 3, 3, 0.2, 3, "d3_heavy_nulls"},
+        PropertyCase{300, 4, 2, 0.05, 4, "d4_binary"},
+        PropertyCase{1000, 2, 20, 0.0, 5, "d2_wide"},
+        PropertyCase{64, 3, 8, 0.5, 6, "d3_half_null"},
+        PropertyCase{1, 2, 2, 0.0, 7, "single_row"},
+        PropertyCase{0, 2, 2, 0.0, 8, "empty_input"}),
+    [](const auto& info) { return info.param.label; });
+
+class RollupShapeTest : public ::testing::TestWithParam<PropertyCase> {};
+
+// Rollup-shaped specs across algorithms (exercises SortRollup's pipelined
+// path on its home turf, plus compound group_by + rollup shapes).
+TEST_P(RollupShapeTest, RollupAgreesAcrossAlgorithms) {
+  const PropertyCase& pc = GetParam();
+  std::mt19937_64 rng(pc.seed + 100);
+  Table t = RandomTable(rng, pc.rows, pc.dims, pc.cardinality, pc.null_rate);
+
+  CubeSpec spec;
+  spec.group_by = {GroupCol("d0")};
+  for (size_t d = 1; d < pc.dims; ++d) {
+    spec.rollup.push_back(GroupCol("d" + std::to_string(d)));
+  }
+  spec.aggregates = {Agg("sum", "x", "s"), Agg("max", "x", "m"),
+                     CountStar("n")};
+
+  CubeOptions baseline;
+  baseline.algorithm = CubeAlgorithm::kUnionGroupBy;
+  Result<CubeResult> expected = ExecuteCube(t, spec, baseline);
+  ASSERT_TRUE(expected.ok());
+
+  for (CubeAlgorithm alg :
+       {CubeAlgorithm::kSortRollup, CubeAlgorithm::kFromCore,
+        CubeAlgorithm::kNaive2N, CubeAlgorithm::kAuto}) {
+    CubeOptions opts;
+    opts.algorithm = alg;
+    Result<CubeResult> got = ExecuteCube(t, spec, opts);
+    ASSERT_TRUE(got.ok()) << CubeAlgorithmName(alg);
+    EXPECT_TRUE(got->table.EqualsIgnoringRowOrder(expected->table))
+        << CubeAlgorithmName(alg) << " diverges on " << pc.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RollupShapeTest,
+    ::testing::Values(
+        PropertyCase{100, 2, 4, 0.0, 11, "r2"},
+        PropertyCase{300, 3, 5, 0.15, 12, "r3_nulls"},
+        PropertyCase{500, 4, 3, 0.3, 13, "r4_heavy_nulls"},
+        PropertyCase{40, 3, 10, 0.0, 14, "r3_sparse"}),
+    [](const auto& info) { return info.param.label; });
+
+// Holistic aggregates agree between the two strategies that support them.
+TEST(CubePropertyTest, HolisticMedianAcrossStrategies) {
+  std::mt19937_64 rng(77);
+  Table t = RandomTable(rng, 400, 2, 5, 0.1);
+  std::vector<GroupExpr> dims = {GroupCol("d0"), GroupCol("d1")};
+  std::vector<AggregateSpec> aggs = {Agg("median", "x", "med"),
+                                     Agg("mode", "x", "mode")};
+  CubeOptions naive;
+  naive.algorithm = CubeAlgorithm::kNaive2N;
+  CubeOptions union_gb;
+  union_gb.algorithm = CubeAlgorithm::kUnionGroupBy;
+  Result<CubeResult> a = Cube(t, dims, aggs, naive);
+  Result<CubeResult> b = Cube(t, dims, aggs, union_gb);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->table.EqualsIgnoringRowOrder(b->table));
+}
+
+// The cube cardinality identity: on a complete cross product the result has
+// exactly Π(C_i + 1) rows (Section 5's size analysis).
+class CardinalityTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(CardinalityTest, CompleteCrossProductSize) {
+  auto [c0, c1, c2] = GetParam();
+  Table t(Schema({Field{"a", DataType::kInt64}, Field{"b", DataType::kInt64},
+                  Field{"c", DataType::kInt64}, Field{"x", DataType::kInt64}}));
+  for (size_t i = 0; i < c0; ++i) {
+    for (size_t j = 0; j < c1; ++j) {
+      for (size_t k = 0; k < c2; ++k) {
+        ASSERT_TRUE(t.AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                                 Value::Int64(static_cast<int64_t>(j)),
+                                 Value::Int64(static_cast<int64_t>(k)),
+                                 Value::Int64(1)})
+                        .ok());
+      }
+    }
+  }
+  Result<CubeResult> cube =
+      Cube(t, {GroupCol("a"), GroupCol("b"), GroupCol("c")},
+           {Agg("sum", "x", "s")});
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->table.num_rows(), (c0 + 1) * (c1 + 1) * (c2 + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CardinalityTest,
+                         ::testing::Values(std::make_tuple(2, 3, 3),
+                                           std::make_tuple(1, 1, 1),
+                                           std::make_tuple(4, 4, 4),
+                                           std::make_tuple(2, 5, 1)));
+
+// Aggregating the cube's own ALL rows reproduces cross-checking totals: the
+// (ALL, b, ALL) value equals the sum of (a, b, ALL) over a — the paper's
+// "choice of computing the result by aggregating the lower row or the right
+// column; either approach gives the same answer".
+TEST(CubePropertyTest, CrossTabRowColumnConsistency) {
+  std::mt19937_64 rng(123);
+  Table t = RandomTable(rng, 300, 2, 6, 0.1);
+  Result<CubeResult> cube = Cube(t, {GroupCol("d0"), GroupCol("d1")},
+                                 {Agg("sum", "x", "s")});
+  ASSERT_TRUE(cube.ok());
+  const Table& ct = cube->table;
+  // For each distinct d1 value v: sum over rows (a, v) with concrete a must
+  // equal the (ALL, v) row.
+  for (size_t r = 0; r < ct.num_rows(); ++r) {
+    if (!ct.GetValue(r, 0).is_all() || ct.GetValue(r, 1).is_all()) continue;
+    Value v = ct.GetValue(r, 1);
+    int64_t expected = ct.GetValue(r, 2).is_null()
+                           ? 0
+                           : ct.GetValue(r, 2).int64_value();
+    int64_t sum = 0;
+    bool any = false;
+    for (size_t q = 0; q < ct.num_rows(); ++q) {
+      if (ct.GetValue(q, 0).is_all() || !(ct.GetValue(q, 1) == v)) continue;
+      if (!ct.GetValue(q, 2).is_null()) {
+        sum += ct.GetValue(q, 2).int64_value();
+        any = true;
+      }
+    }
+    if (any) {
+      EXPECT_EQ(sum, expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datacube

@@ -1,0 +1,348 @@
+// End-to-end integration tests: the paper's own example queries through the
+// full stack (CSV → SQL → cube → reports), cross-module flows, and edge
+// cases that span layers.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/cube/materialized_cube.h"
+#include "datacube/olap/crosstab.h"
+#include "datacube/olap/pivot_table.h"
+#include "datacube/olap/window.h"
+#include "datacube/sql/engine.h"
+#include "datacube/sql/parser.h"
+#include "datacube/table/csv.h"
+#include "datacube/table/print.h"
+#include "datacube/workload/benchmark_queries.h"
+#include "datacube/workload/sales.h"
+#include "datacube/workload/weather.h"
+
+namespace datacube {
+namespace {
+
+Table MustSql(const std::string& sql, const sql::Catalog& catalog,
+              const sql::EngineOptions& options = {}) {
+  Result<Table> r = sql::ExecuteSql(sql, catalog, options);
+  EXPECT_TRUE(r.ok()) << sql << "\n  -> " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Table{};
+}
+
+// ------------------------------------------------- paper example queries
+
+class PaperQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.Register("Sales", Table3SalesTable().value()).ok());
+    ASSERT_TRUE(catalog_.Register("Fig4", Figure4SalesTable().value()).ok());
+    ASSERT_TRUE(
+        catalog_
+            .Register("Weather", GenerateWeather({.num_rows = 300,
+                                                  .num_days = 6,
+                                                  .seed = 21})
+                                     .value())
+            .ok());
+  }
+  sql::Catalog catalog_;
+};
+
+TEST_F(PaperQueryTest, Section1AvgTemp) {
+  // SELECT AVG(Temp) FROM Weather;
+  Table t = MustSql("SELECT AVG(Temp) FROM Weather", catalog_);
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.GetValue(0, 0).is_numeric());
+}
+
+TEST_F(PaperQueryTest, Section1CountDistinctTime) {
+  // SELECT COUNT(DISTINCT Time) FROM Weather;
+  Table t = MustSql("SELECT COUNT(DISTINCT Time) FROM Weather", catalog_);
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.GetValue(0, 0), Value::Int64(6));  // six distinct days
+}
+
+TEST_F(PaperQueryTest, Section1GroupByTimeAltitude) {
+  // SELECT Time, Altitude, AVG(Temp) FROM Weather GROUP BY Time, Altitude;
+  Table t = MustSql(
+      "SELECT Time, Altitude, AVG(Temp) FROM Weather GROUP BY Time, Altitude",
+      catalog_);
+  EXPECT_GT(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 3u);
+}
+
+TEST_F(PaperQueryTest, Section2HistogramQuery) {
+  // SELECT day, nation, MAX(Temp) FROM Weather
+  // GROUP BY Day(Time) AS day, Nation(Latitude, Longitude) AS nation;
+  Table t = MustSql(
+      "SELECT day, nation, MAX(Temp) FROM Weather "
+      "GROUP BY Day(Time) AS day, Nation(Latitude, Longitude) AS nation",
+      catalog_);
+  EXPECT_GT(t.num_rows(), 0u);
+  // Every nation value resolves (stations sit inside gazetteer boxes).
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_FALSE(t.GetValue(r, 1).is_null());
+  }
+}
+
+TEST_F(PaperQueryTest, Section2UnionOfGroupBysEqualsRollup) {
+  // The paper builds Table 5.a as a 4-way UNION of GROUP BYs; our ROLLUP
+  // must produce the same relation.
+  Table unioned = MustSql(
+      "SELECT Model, Year, Color, SUM(Units) AS Units FROM Sales "
+      "WHERE Model = 'Chevy' GROUP BY Model, Year, Color",
+      catalog_);
+  Table by_my = MustSql(
+      "SELECT Model, Year, SUM(Units) FROM Sales WHERE Model = 'Chevy' "
+      "GROUP BY Model, Year",
+      catalog_);
+  Table by_m = MustSql(
+      "SELECT Model, SUM(Units) FROM Sales WHERE Model = 'Chevy' "
+      "GROUP BY Model",
+      catalog_);
+  Table rollup = MustSql(
+      "SELECT Model, Year, Color, SUM(Units) AS Units FROM Sales "
+      "WHERE Model = 'Chevy' GROUP BY ROLLUP Model, Year, Color",
+      catalog_);
+  // Row counts: 4 detail + 2 year + 1 model + 1 grand = 8.
+  EXPECT_EQ(rollup.num_rows(),
+            unioned.num_rows() + by_my.num_rows() + by_m.num_rows() + 1);
+}
+
+TEST_F(PaperQueryTest, Section3WeatherCube) {
+  // SELECT day, nation, MAX(Temp) FROM Weather GROUP BY CUBE ...
+  Table t = MustSql(
+      "SELECT day, nation, MAX(Temp) AS max_temp FROM Weather "
+      "GROUP BY CUBE Day(Time) AS day, "
+      "Nation(Latitude, Longitude) AS nation",
+      catalog_);
+  // Exactly one (ALL, ALL) row; every (day, ALL) and (ALL, nation) present.
+  int grand = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.GetValue(r, 0).is_all() && t.GetValue(r, 1).is_all()) ++grand;
+  }
+  EXPECT_EQ(grand, 1);
+}
+
+TEST_F(PaperQueryTest, Section4PercentOfTotal) {
+  // The §4 percent-of-total, spelled with a scalar subquery in the paper;
+  // here with the computed total inline.
+  Table t = MustSql(
+      "SELECT Model, Year, Color, SUM(Units), SUM(Units) / 510 AS pct "
+      "FROM Sales WHERE Model IN ('Ford', 'Chevy') "
+      "GROUP BY CUBE Model, Year, Color",
+      catalog_);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.GetValue(r, 0).is_all() && t.GetValue(r, 1).is_all() &&
+        t.GetValue(r, 2).is_all()) {
+      EXPECT_NEAR(t.GetValue(r, 4).AsDouble(), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST_F(PaperQueryTest, OrderByAggregateNotInSelect) {
+  Table t = MustSql(
+      "SELECT Model FROM Sales GROUP BY Model ORDER BY SUM(Units) DESC",
+      catalog_);
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetValue(0, 0), Value::String("Chevy"));  // 290 > 220
+  EXPECT_EQ(t.GetValue(1, 0), Value::String("Ford"));
+}
+
+TEST_F(PaperQueryTest, OrderByAliasAndHavingCombination) {
+  Table t = MustSql(
+      "SELECT Color, SUM(Units) AS total FROM Sales "
+      "GROUP BY CUBE Color HAVING SUM(Units) > 100 "
+      "ORDER BY total DESC LIMIT 2",
+      catalog_);
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_TRUE(t.GetValue(0, 0).is_all());  // grand total 510 first
+  EXPECT_EQ(t.GetValue(0, 1), Value::Int64(510));
+  EXPECT_EQ(t.GetValue(1, 0), Value::String("black"));  // 270 > 240? no:
+  // black = 50+85+50+85 = 270, white = 40+115+10+75 = 240.
+  EXPECT_EQ(t.GetValue(1, 1), Value::Int64(270));
+}
+
+// ------------------------------------------------------ CSV round trips
+
+TEST(CsvIntegrationTest, CubeResultSurvivesCsvRoundTrip) {
+  Table sales = Figure4SalesTable().value();
+  Table cube =
+      Cube(sales, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+           {Agg("sum", "Units", "Units")})
+          ->table;
+  std::string csv = WriteCsvString(cube);
+  // ALL renders as the string "ALL"; reading back yields string columns
+  // where ALL appeared — the relational content is preserved.
+  Result<Table> back = ReadCsvString(csv);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), cube.num_rows());
+  int all_rows = 0;
+  for (size_t r = 0; r < back->num_rows(); ++r) {
+    if (back->GetValue(r, 0) == Value::String("ALL")) ++all_rows;
+  }
+  EXPECT_EQ(all_rows, 16);  // 48 cells, 16 with Model = ALL
+}
+
+TEST(CsvIntegrationTest, LoadCsvQueryViaSql) {
+  std::string csv =
+      "city,temp\n"
+      "sf,15\n"
+      "sf,18\n"
+      "nyc,25\n";
+  sql::Catalog catalog;
+  ASSERT_TRUE(catalog.Register("obs", ReadCsvString(csv).value()).ok());
+  Table t = MustSql(
+      "SELECT city, AVG(temp) AS avg_temp FROM obs GROUP BY CUBE city "
+      "ORDER BY 1",
+      catalog);
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_TRUE(t.GetValue(0, 0).is_all());
+  EXPECT_NEAR(t.GetValue(0, 1).AsDouble(), 58.0 / 3, 1e-9);
+}
+
+// ------------------------------------------ cross-layer report pipeline
+
+TEST(ReportPipelineTest, SqlToCrossTab) {
+  sql::Catalog catalog;
+  ASSERT_TRUE(catalog.Register("Sales", Table3SalesTable().value()).ok());
+  Table cube = MustSql(
+      "SELECT Year, Color, SUM(Units) AS Units FROM Sales "
+      "GROUP BY CUBE Year, Color",
+      catalog);
+  Result<std::string> xtab = FormatCrossTab(cube, 1, 0, 2);
+  ASSERT_TRUE(xtab.ok());
+  EXPECT_NE(xtab->find("510"), std::string::npos);
+}
+
+TEST(ReportPipelineTest, PivotMatchesCubeTotals) {
+  // The relational pivot and the cube agree on every (model, year) total.
+  Table sales = Table3SalesTable().value();
+  Table pivot = PivotToTable(sales, {"Model"}, "Year", "Units").value();
+  Table cube = Cube(sales, {GroupCol("Model"), GroupCol("Year")},
+                    {Agg("sum", "Units", "s")})
+                   ->table;
+  for (size_t r = 0; r < pivot.num_rows(); ++r) {
+    Value model = pivot.GetValue(r, 0);
+    // Column 3 is the row total == (model, ALL) in the cube.
+    for (size_t q = 0; q < cube.num_rows(); ++q) {
+      if (cube.GetValue(q, 0) == model && cube.GetValue(q, 1).is_all()) {
+        EXPECT_EQ(pivot.GetValue(r, 3), cube.GetValue(q, 2));
+      }
+    }
+  }
+}
+
+// ------------------------------------------- window functions over cubes
+
+TEST(WindowIntegrationTest, RatioToTotalOverCubeSlice) {
+  // Red Brick Ratio_To_Total over the cube's finest cells reproduces the
+  // §4 percent-of-total.
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec;
+  spec.group_by = {GroupCol("Model")};
+  spec.aggregates = {Agg("sum", "Units", "s")};
+  Table by_model = ExecuteCube(sales, spec)->table;
+  Table with_share = AddRatioToTotal(by_model, 1, "share").value();
+  double total_share = 0;
+  for (size_t r = 0; r < with_share.num_rows(); ++r) {
+    total_share += with_share.GetValue(r, 2).AsDouble();
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-12);
+}
+
+// --------------------------------------- maintenance + SQL consistency
+
+TEST(MaintenanceIntegrationTest, MaintainedCubeServesSameAnswersAsSql) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec;
+  spec.cube = {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")};
+  spec.aggregates = {Agg("sum", "Units", "Units")};
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  ASSERT_TRUE(cube->ApplyInsert({Value::String("Chevy"), Value::Int64(1994),
+                                 Value::String("red"), Value::Int64(25)})
+                  .ok());
+
+  Table base = Table3SalesTable().value();
+  ASSERT_TRUE(base.AppendRow({Value::String("Chevy"), Value::Int64(1994),
+                              Value::String("red"), Value::Int64(25)})
+                  .ok());
+  sql::Catalog catalog;
+  ASSERT_TRUE(catalog.Register("Sales", base).ok());
+  Table via_sql = MustSql(
+      "SELECT Model, Year, Color, SUM(Units) AS Units FROM Sales "
+      "GROUP BY CUBE Model, Year, Color",
+      catalog);
+  Result<Table> maintained = cube->ToTable();
+  ASSERT_TRUE(maintained.ok());
+  EXPECT_TRUE(maintained->EqualsIgnoringRowOrder(via_sql));
+}
+
+// ---------------------------------------------- Table 2 corpus sanity
+
+TEST(BenchmarkCorpusTest, EveryQueryParsesAndCountsMatchPaper) {
+  for (const BenchmarkSuite& suite : Table2Suites()) {
+    int aggregates = 0, group_bys = 0, parsed = 0;
+    for (const std::string& query : suite.queries) {
+      Result<sql::SelectStatement> stmt = sql::ParseSelect(query);
+      ASSERT_TRUE(stmt.ok()) << suite.name << ": " << query << "\n  -> "
+                             << stmt.status().ToString();
+      ++parsed;
+      sql::QueryStats stats = sql::Analyze(*stmt);
+      aggregates += stats.num_aggregates;
+      group_bys += stats.has_group_by ? 1 : 0;
+    }
+    EXPECT_EQ(parsed, suite.paper_queries) << suite.name;
+    EXPECT_EQ(aggregates, suite.paper_aggregates) << suite.name;
+    EXPECT_EQ(group_bys, suite.paper_group_bys) << suite.name;
+  }
+}
+
+// -------------------------------------------------- algorithm stress mix
+
+TEST(StressTest, WideCubeWithMixedAggregatesAndThreads) {
+  Table t = GenerateCubeInput({.num_rows = 30000,
+                               .num_dims = 4,
+                               .cardinality = 5,
+                               .skew = 0.6,
+                               .seed = 33})
+                .value();
+  std::vector<GroupExpr> dims = {GroupCol("d0"), GroupCol("d1"),
+                                 GroupCol("d2"), GroupCol("d3")};
+  std::vector<AggregateSpec> aggs = {
+      Agg("sum", "x", "s"),     Agg("min", "x", "lo"),
+      Agg("max", "x", "hi"),    Agg("avg", "x", "a"),
+      Agg("count", "x", "c"),   CountStar("n")};
+  CubeOptions serial;
+  serial.algorithm = CubeAlgorithm::kUnionGroupBy;
+  Table expected = Cube(t, dims, aggs, serial)->table;
+  CubeOptions parallel;
+  parallel.num_threads = 4;
+  Result<CubeResult> got = Cube(t, dims, aggs, parallel);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->table.num_rows(), expected.num_rows());
+  EXPECT_TRUE(got->table.EqualsIgnoringRowOrder(expected));
+}
+
+TEST(StressTest, ManyGroupingSetsViaSql) {
+  sql::Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register("T", GenerateCubeInput({.num_rows = 5000,
+                                                    .num_dims = 3,
+                                                    .cardinality = 4,
+                                                    .seed = 44})
+                                     .value())
+                  .ok());
+  Table t = MustSql(
+      "SELECT d0, d1, d2, SUM(x) AS s, COUNT(*) AS n FROM T "
+      "GROUP BY GROUPING SETS ((d0, d1, d2), (d0, d1), (d1, d2), (d0), ()) "
+      "ORDER BY 4 DESC",
+      catalog);
+  EXPECT_GT(t.num_rows(), 0u);
+  // The grand total row exists and leads (largest sum).
+  EXPECT_TRUE(t.GetValue(0, 0).is_all());
+  EXPECT_TRUE(t.GetValue(0, 1).is_all());
+  EXPECT_TRUE(t.GetValue(0, 2).is_all());
+}
+
+}  // namespace
+}  // namespace datacube

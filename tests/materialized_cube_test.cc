@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datacube/common/str_util.h"
+#include "datacube/cube/materialized_cube.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube {
+namespace {
+
+CubeSpec SalesCubeSpec(std::vector<AggregateSpec> aggs) {
+  CubeSpec spec;
+  spec.cube = {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")};
+  spec.aggregates = std::move(aggs);
+  return spec;
+}
+
+std::vector<Value> SalesRow(const char* model, int64_t year, const char* color,
+                            int64_t units) {
+  return {Value::String(model), Value::Int64(year), Value::String(color),
+          Value::Int64(units)};
+}
+
+// Recomputes the cube from scratch over the maintained base data and
+// compares — the gold standard for every maintenance scenario.
+void ExpectMatchesRecompute(const MaterializedCube& cube, const Table& base) {
+  Result<CubeResult> fresh = ExecuteCube(base, cube.spec());
+  ASSERT_TRUE(fresh.ok());
+  Result<Table> maintained = cube.ToTable();
+  ASSERT_TRUE(maintained.ok());
+  EXPECT_TRUE(maintained->EqualsIgnoringRowOrder(fresh->table))
+      << "maintained:\n"
+      << maintained->num_rows() << " rows vs fresh " << fresh->table.num_rows();
+}
+
+TEST(MaterializedCubeTest, BuildMatchesOneShotOperator) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s"), CountStar("n")});
+  auto cube = MaterializedCube::Build(sales, spec);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  ExpectMatchesRecompute(**cube, sales);
+}
+
+TEST(MaterializedCubeTest, InsertUpdatesAllPlanes) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+
+  ASSERT_TRUE(cube->ApplyInsert(SalesRow("Chevy", 1994, "black", 10)).ok());
+  // Existing cell grows...
+  EXPECT_EQ(cube->ValueAt("s", {Value::String("Chevy"), Value::Int64(1994),
+                                Value::String("black")})
+                .value(),
+            Value::Int64(60));
+  // ... and so do all its super-aggregates, up to the grand total.
+  EXPECT_EQ(cube->ValueAt("s", {Value::String("Chevy"), Value::All(),
+                                Value::All()})
+                .value(),
+            Value::Int64(300));
+  EXPECT_EQ(
+      cube->ValueAt("s", {Value::All(), Value::All(), Value::All()}).value(),
+      Value::Int64(520));
+  EXPECT_EQ(cube->maintenance_stats().inserts, 1u);
+}
+
+TEST(MaterializedCubeTest, InsertNewGroupCreatesCells) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  ASSERT_TRUE(cube->ApplyInsert(SalesRow("Toyota", 1996, "red", 7)).ok());
+  EXPECT_EQ(cube->ValueAt("s", {Value::String("Toyota"), Value::All(),
+                                Value::All()})
+                .value(),
+            Value::Int64(7));
+  Table base = Table3SalesTable().value();
+  ASSERT_TRUE(base.AppendRow(SalesRow("Toyota", 1996, "red", 7)).ok());
+  ExpectMatchesRecompute(*cube, base);
+}
+
+TEST(MaterializedCubeTest, DeletableAggregatesDeleteInPlace) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s"), CountStar("n"),
+                                 Agg("avg", "Units", "a")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  ASSERT_TRUE(cube->ApplyDelete(SalesRow("Ford", 1994, "white", 10)).ok());
+  EXPECT_EQ(
+      cube->ValueAt("s", {Value::All(), Value::All(), Value::All()}).value(),
+      Value::Int64(500));
+  // No recomputes needed: SUM/COUNT/AVG are deletable (Section 6).
+  EXPECT_EQ(cube->maintenance_stats().cells_recomputed, 0u);
+  Table base(sales.schema());
+  for (size_t r = 0; r < sales.num_rows(); ++r) {
+    if (sales.GetValue(r, 0) == Value::String("Ford") &&
+        sales.GetValue(r, 1) == Value::Int64(1994) &&
+        sales.GetValue(r, 2) == Value::String("white")) {
+      continue;
+    }
+    ASSERT_TRUE(base.AppendRow(sales.GetRow(r)).ok());
+  }
+  ExpectMatchesRecompute(*cube, base);
+}
+
+TEST(MaterializedCubeTest, DeleteOfMaxTriggersRecompute) {
+  // Section 6: "suppose a delete changes the largest value in the base
+  // table. Then 2^N elements of the cube must be recomputed."
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("max", "Units", "m")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  // 115 (Chevy 1995 white) is the global maximum.
+  ASSERT_TRUE(cube->ApplyDelete(SalesRow("Chevy", 1995, "white", 115)).ok());
+  EXPECT_GT(cube->maintenance_stats().cells_recomputed, 0u);
+  EXPECT_EQ(
+      cube->ValueAt("m", {Value::All(), Value::All(), Value::All()}).value(),
+      Value::Int64(85));
+}
+
+TEST(MaterializedCubeTest, DeleteOfNonMaxSkipsRecompute) {
+  // Deleting a value that was not the incumbent max touches no MAX cell.
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("max", "Units", "m")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  ASSERT_TRUE(cube->ApplyDelete(SalesRow("Ford", 1994, "white", 10)).ok());
+  // The (Ford,1994,white) cell itself empties (erased), and 10 was the max
+  // within some fine cells — but after the cell is erased the remaining
+  // planes never had 10 as incumbent, so no recompute is required.
+  EXPECT_EQ(cube->maintenance_stats().cells_recomputed, 0u);
+  EXPECT_EQ(
+      cube->ValueAt("m", {Value::All(), Value::All(), Value::All()}).value(),
+      Value::Int64(115));
+}
+
+TEST(MaterializedCubeTest, MaxInsertShortCircuit) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("max", "Units", "m")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  // Inserting a losing value into an existing finest cell: it loses at the
+  // core and the paper's rule skips every coarser plane.
+  uint64_t skipped_before = cube->maintenance_stats().cells_skipped;
+  ASSERT_TRUE(cube->ApplyInsert(SalesRow("Chevy", 1994, "black", 1)).ok());
+  EXPECT_GE(cube->maintenance_stats().cells_skipped - skipped_before, 7u);
+  Table base = Table3SalesTable().value();
+  ASSERT_TRUE(base.AppendRow(SalesRow("Chevy", 1994, "black", 1)).ok());
+  ExpectMatchesRecompute(*cube, base);
+}
+
+TEST(MaterializedCubeTest, DeleteUnknownRowFails) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  EXPECT_FALSE(cube->ApplyDelete(SalesRow("Chevy", 1994, "black", 999)).ok());
+  // Deleting the same row twice: second time fails.
+  ASSERT_TRUE(cube->ApplyDelete(SalesRow("Chevy", 1994, "black", 50)).ok());
+  EXPECT_FALSE(cube->ApplyDelete(SalesRow("Chevy", 1994, "black", 50)).ok());
+}
+
+TEST(MaterializedCubeTest, PointAddressingAndErrors) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  // cube.v(:i, :j) — Section 4's point addressing.
+  EXPECT_EQ(cube->ValueAt("s", {Value::String("Ford"), Value::Int64(1995),
+                                Value::All()})
+                .value(),
+            Value::Int64(160));
+  EXPECT_FALSE(cube->ValueAt("nope", {Value::All(), Value::All(), Value::All()})
+                   .ok());
+  EXPECT_FALSE(cube->ValueAt("s", {Value::All()}).ok());  // arity
+  EXPECT_FALSE(cube->ValueAt("s", {Value::String("DeLorean"), Value::All(),
+                                   Value::All()})
+                   .ok());  // empty cell
+}
+
+TEST(MaterializedCubeTest, PercentOfTotal) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  Result<double> pct = cube->PercentOfTotal(
+      "s", {Value::String("Chevy"), Value::All(), Value::All()});
+  ASSERT_TRUE(pct.ok());
+  EXPECT_NEAR(*pct, 290.0 / 510.0, 1e-12);
+}
+
+TEST(MaterializedCubeTest, RandomMaintenanceStreamMatchesRecompute) {
+  // Property: any interleaving of inserts and deletes leaves the maintained
+  // cube equal to a from-scratch recompute — for a mixed aggregate list
+  // covering deletable and delete-holistic functions.
+  std::mt19937_64 rng(2024);
+  Table base = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s"), CountStar("n"),
+                                 Agg("max", "Units", "mx"),
+                                 Agg("min", "Units", "mn")});
+  auto cube = MaterializedCube::Build(base, spec).value();
+
+  const char* models[] = {"Chevy", "Ford", "Toyota"};
+  const char* colors[] = {"black", "white", "red"};
+  std::vector<std::vector<Value>> live;
+  for (size_t r = 0; r < base.num_rows(); ++r) live.push_back(base.GetRow(r));
+
+  for (int step = 0; step < 120; ++step) {
+    bool do_insert = live.empty() || rng() % 3 != 0;
+    if (do_insert) {
+      std::vector<Value> row =
+          SalesRow(models[rng() % 3], 1994 + static_cast<int64_t>(rng() % 3),
+                   colors[rng() % 3], static_cast<int64_t>(rng() % 200));
+      ASSERT_TRUE(cube->ApplyInsert(row).ok());
+      ASSERT_TRUE(base.AppendRow(row).ok());
+      live.push_back(row);
+    } else {
+      size_t victim = rng() % live.size();
+      ASSERT_TRUE(cube->ApplyDelete(live[victim]).ok());
+      // Rebuild `base` without one occurrence of the victim row.
+      Table next(base.schema());
+      bool removed = false;
+      for (size_t r = 0; r < base.num_rows(); ++r) {
+        std::vector<Value> row = base.GetRow(r);
+        if (!removed && row == live[victim]) {
+          removed = true;
+          continue;
+        }
+        ASSERT_TRUE(next.AppendRow(row).ok());
+      }
+      ASSERT_TRUE(removed);
+      base = std::move(next);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+    if (step % 30 == 29) ExpectMatchesRecompute(*cube, base);
+  }
+  ExpectMatchesRecompute(*cube, base);
+  EXPECT_EQ(cube->num_base_rows(), live.size());
+}
+
+TEST(MaterializedCubeTest, ApplyUpdateIsDeletePlusInsert) {
+  // Section 6: "update is just delete plus insert".
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s"), CountStar("n")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  ASSERT_TRUE(cube->ApplyUpdate(SalesRow("Chevy", 1994, "black", 50),
+                                SalesRow("Chevy", 1994, "black", 60))
+                  .ok());
+  EXPECT_EQ(cube->ValueAt("s", {Value::String("Chevy"), Value::Int64(1994),
+                                Value::String("black")})
+                .value(),
+            Value::Int64(60));
+  EXPECT_EQ(
+      cube->ValueAt("s", {Value::All(), Value::All(), Value::All()}).value(),
+      Value::Int64(520));
+  EXPECT_EQ(
+      cube->ValueAt("n", {Value::All(), Value::All(), Value::All()}).value(),
+      Value::Int64(8));  // row count unchanged
+  // Updating an absent row fails and leaves the cube untouched.
+  EXPECT_FALSE(cube->ApplyUpdate(SalesRow("Chevy", 1994, "black", 999),
+                                 SalesRow("Chevy", 1994, "black", 1))
+                   .ok());
+  EXPECT_EQ(
+      cube->ValueAt("s", {Value::All(), Value::All(), Value::All()}).value(),
+      Value::Int64(520));
+}
+
+TEST(MaterializedCubeTest, ChangeListenerReportsTouchedCells) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec = SalesCubeSpec({Agg("sum", "Units", "s")});
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  int created = 0, updated = 0, erased = 0;
+  cube->SetChangeListener([&](const MaterializedCube::CellChange& change) {
+    switch (change.op) {
+      case MaterializedCube::CellChange::Op::kCreated:
+        ++created;
+        break;
+      case MaterializedCube::CellChange::Op::kUpdated:
+        ++updated;
+        break;
+      case MaterializedCube::CellChange::Op::kErased:
+        ++erased;
+        break;
+    }
+    EXPECT_EQ(change.key.size(), 3u);
+  });
+
+  // Insert into an existing fine cell: all 8 planes already exist.
+  ASSERT_TRUE(cube->ApplyInsert(SalesRow("Chevy", 1994, "black", 5)).ok());
+  EXPECT_EQ(created, 0);
+  EXPECT_EQ(updated, 8);
+
+  // Insert a brand-new model: the 4 planes naming it are created.
+  ASSERT_TRUE(cube->ApplyInsert(SalesRow("Tesla", 1994, "black", 5)).ok());
+  EXPECT_EQ(created, 4);
+
+  // Deleting it erases those 4 cells again.
+  created = updated = erased = 0;
+  ASSERT_TRUE(cube->ApplyDelete(SalesRow("Tesla", 1994, "black", 5)).ok());
+  EXPECT_EQ(erased, 4);
+  EXPECT_EQ(updated, 4);
+
+  // Clearing the listener stops notifications.
+  cube->SetChangeListener(nullptr);
+  created = updated = erased = 0;
+  ASSERT_TRUE(cube->ApplyInsert(SalesRow("Ford", 1994, "black", 1)).ok());
+  EXPECT_EQ(created + updated + erased, 0);
+}
+
+TEST(MaterializedCubeTest, DecorationsSurviveMaintenance) {
+  // Decorations flow through ToTable after maintenance.
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec;
+  spec.cube = {GroupCol("Model"), GroupCol("Year")};
+  spec.aggregates = {Agg("sum", "Units", "s")};
+  spec.decorations = {Decoration{
+      Expr::Call("upper", {Expr::Column("Model")}), "MODEL", /*det=*/0b01}};
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  ASSERT_TRUE(cube->ApplyInsert({Value::String("Chevy"), Value::Int64(1996),
+                                 Value::String("red"), Value::Int64(5)})
+                  .ok());
+  Result<Table> t = cube->ToTable();
+  ASSERT_TRUE(t.ok());
+  // Columns: Model, Year, MODEL (decoration), s.
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    Value model = t->GetValue(r, 0);
+    Value decorated = t->GetValue(r, 2);
+    if (model.is_all()) {
+      EXPECT_TRUE(decorated.is_null());
+    } else {
+      EXPECT_EQ(decorated, Value::String(ToUpper(model.string_value())));
+    }
+  }
+}
+
+TEST(MaterializedCubeTest, RollupShapedCubeMaintenance) {
+  Table sales = Table3SalesTable().value();
+  CubeSpec spec;
+  spec.rollup = {GroupCol("Model"), GroupCol("Year")};
+  spec.aggregates = {Agg("sum", "Units", "s")};
+  auto cube = MaterializedCube::Build(sales, spec).value();
+  ASSERT_TRUE(cube->ApplyInsert(SalesRow("Ford", 1994, "red", 40)).ok());
+  EXPECT_EQ(cube->ValueAt("s", {Value::String("Ford"), Value::Int64(1994)})
+                .value(),
+            Value::Int64(100));
+  Table base = Table3SalesTable().value();
+  ASSERT_TRUE(base.AppendRow(SalesRow("Ford", 1994, "red", 40)).ok());
+  ExpectMatchesRecompute(*cube, base);
+}
+
+}  // namespace
+}  // namespace datacube

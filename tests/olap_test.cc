@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/olap/crosstab.h"
+#include "datacube/olap/reports.h"
+#include "datacube/olap/window.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube {
+namespace {
+
+Table Scores() {
+  TableBuilder b({Field{"grp", DataType::kString},
+                  Field{"score", DataType::kInt64}});
+  b.Row({Value::String("a"), Value::Int64(30)});
+  b.Row({Value::String("a"), Value::Int64(10)});
+  b.Row({Value::String("a"), Value::Int64(20)});
+  b.Row({Value::String("b"), Value::Int64(5)});
+  b.Row({Value::String("b"), Value::Int64(5)});
+  return std::move(b).Build().value();
+}
+
+size_t ColumnIndex(const Table& t, const std::string& name) {
+  auto idx = t.schema().FieldIndex(name);
+  EXPECT_TRUE(idx.has_value()) << name;
+  return idx.value_or(0);
+}
+
+// ------------------------------------------------------------------ rank
+
+TEST(WindowTest, RankWholeTable) {
+  Table t = Scores();
+  Result<Table> r = AddRank(t, 1, "rank");
+  ASSERT_TRUE(r.ok());
+  // "If there are N values ... the highest value, the rank is N; the lowest
+  // value the rank is 1."
+  size_t rank_col = ColumnIndex(*r, "rank");
+  for (size_t row = 0; row < r->num_rows(); ++row) {
+    int64_t score = r->GetValue(row, 1).int64_value();
+    int64_t rank = r->GetValue(row, rank_col).int64_value();
+    if (score == 30) {
+      EXPECT_EQ(rank, 5);
+    }
+    if (score == 10) {
+      EXPECT_EQ(rank, 3);  // after the two tied 5s
+    }
+    if (score == 5) {
+      EXPECT_EQ(rank, 1);  // ties share the smallest rank
+    }
+  }
+}
+
+TEST(WindowTest, RankPerPartition) {
+  Table t = Scores();
+  WindowOptions options;
+  options.partition_by = {0};
+  Result<Table> r = AddRank(t, 1, "rank", options);
+  ASSERT_TRUE(r.ok());
+  size_t rank_col = ColumnIndex(*r, "rank");
+  for (size_t row = 0; row < r->num_rows(); ++row) {
+    int64_t score = r->GetValue(row, 1).int64_value();
+    int64_t rank = r->GetValue(row, rank_col).int64_value();
+    if (score == 30) {
+      EXPECT_EQ(rank, 3);  // highest within partition a
+    }
+    if (score == 5) {
+      EXPECT_EQ(rank, 1);
+    }
+  }
+}
+
+TEST(WindowTest, RankLeavesNullsNull) {
+  TableBuilder b({Field{"x", DataType::kInt64}});
+  b.Row({Value::Int64(3)});
+  b.Row({Value::Null()});
+  Table t = std::move(b).Build().value();
+  Result<Table> r = AddRank(t, 0, "rank");
+  ASSERT_TRUE(r.ok());
+  // NULL sorts first in the output; its rank is NULL.
+  EXPECT_TRUE(r->GetValue(0, 0).is_null() || r->GetValue(1, 0).is_null());
+  for (size_t row = 0; row < 2; ++row) {
+    if (r->GetValue(row, 0).is_null()) {
+      EXPECT_TRUE(r->GetValue(row, 1).is_null());
+    } else {
+      EXPECT_EQ(r->GetValue(row, 1), Value::Int64(1));
+    }
+  }
+}
+
+// ----------------------------------------------------------------- n_tile
+
+TEST(WindowTest, NTileQuartiles) {
+  TableBuilder b({Field{"x", DataType::kInt64}});
+  for (int i = 1; i <= 8; ++i) b.Row({Value::Int64(i)});
+  Table t = std::move(b).Build().value();
+  Result<Table> r = AddNTile(t, 0, 4, "quartile");
+  ASSERT_TRUE(r.ok());
+  for (size_t row = 0; row < 8; ++row) {
+    int64_t x = r->GetValue(row, 0).int64_value();
+    int64_t q = r->GetValue(row, 1).int64_value();
+    EXPECT_EQ(q, (x - 1) / 2 + 1) << "x=" << x;
+  }
+  EXPECT_FALSE(AddNTile(t, 0, 0, "q").ok());
+}
+
+// --------------------------------------------------------- ratio_to_total
+
+TEST(WindowTest, RatioToTotalPerPartition) {
+  Table t = Scores();
+  WindowOptions options;
+  options.partition_by = {0};
+  Result<Table> r = AddRatioToTotal(t, 1, "share", options);
+  ASSERT_TRUE(r.ok());
+  size_t share = ColumnIndex(*r, "share");
+  for (size_t row = 0; row < r->num_rows(); ++row) {
+    double x = r->GetValue(row, 1).AsDouble();
+    double total = r->GetValue(row, 0) == Value::String("a") ? 60.0 : 10.0;
+    EXPECT_NEAR(r->GetValue(row, share).AsDouble(), x / total, 1e-12);
+  }
+}
+
+// ------------------------------------------------- cumulative and running
+
+TEST(WindowTest, CumulativeResetsPerPartition) {
+  Table t = Scores();
+  WindowOptions options;
+  options.partition_by = {0};
+  options.order_by = {SortKey{1, true}};
+  Result<Table> r = AddCumulative(t, 1, "cum", options);
+  ASSERT_TRUE(r.ok());
+  // Partition a sorted: 10, 20, 30 -> cum 10, 30, 60; partition b: 5, 5 ->
+  // 5, 10.
+  std::vector<double> expect = {10, 30, 60, 5, 10};
+  for (size_t row = 0; row < 5; ++row) {
+    EXPECT_NEAR(r->GetValue(row, 2).AsDouble(), expect[row], 1e-12);
+  }
+}
+
+TEST(WindowTest, RunningSumFirstNMinus1Null) {
+  TableBuilder b({Field{"x", DataType::kInt64}});
+  for (int i = 1; i <= 5; ++i) b.Row({Value::Int64(i)});
+  Table t = std::move(b).Build().value();
+  Result<Table> r = AddRunningSum(t, 0, 3, "rs");
+  ASSERT_TRUE(r.ok());
+  // "The initial n-1 values are NULL."
+  EXPECT_TRUE(r->GetValue(0, 1).is_null());
+  EXPECT_TRUE(r->GetValue(1, 1).is_null());
+  EXPECT_NEAR(r->GetValue(2, 1).AsDouble(), 6.0, 1e-12);   // 1+2+3
+  EXPECT_NEAR(r->GetValue(3, 1).AsDouble(), 9.0, 1e-12);   // 2+3+4
+  EXPECT_NEAR(r->GetValue(4, 1).AsDouble(), 12.0, 1e-12);  // 3+4+5
+}
+
+TEST(WindowTest, RunningAverage) {
+  TableBuilder b({Field{"x", DataType::kInt64}});
+  for (int i : {2, 4, 6, 8}) b.Row({Value::Int64(i)});
+  Table t = std::move(b).Build().value();
+  Result<Table> r = AddRunningAverage(t, 0, 2, "ra");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->GetValue(0, 1).is_null());
+  EXPECT_NEAR(r->GetValue(1, 1).AsDouble(), 3.0, 1e-12);
+  EXPECT_NEAR(r->GetValue(2, 1).AsDouble(), 5.0, 1e-12);
+  EXPECT_NEAR(r->GetValue(3, 1).AsDouble(), 7.0, 1e-12);
+}
+
+TEST(WindowTest, BadArguments) {
+  Table t = Scores();
+  EXPECT_FALSE(AddRank(t, 99, "r").ok());
+  WindowOptions bad;
+  bad.partition_by = {42};
+  EXPECT_FALSE(AddCumulative(t, 1, "c", bad).ok());
+  EXPECT_FALSE(AddRunningSum(t, 1, 0, "rs").ok());
+}
+
+// ---------------------------------------------------------- cross tab
+
+TEST(CrossTabTest, Table6ChevyCrossTab) {
+  // Reproduce Table 6.a exactly: slice Chevy, cross-tab Year x Color.
+  Table sales = Table3SalesTable().value();
+  std::vector<bool> mask(sales.num_rows());
+  for (size_t r = 0; r < sales.num_rows(); ++r) {
+    mask[r] = sales.GetValue(r, 0) == Value::String("Chevy");
+  }
+  Table chevy = sales.FilterRows(mask).value();
+  Result<CubeResult> cube = Cube(chevy, {GroupCol("Year"), GroupCol("Color")},
+                                 {Agg("sum", "Units", "Units")});
+  ASSERT_TRUE(cube.ok());
+  CrossTabOptions options;
+  options.corner_label = "Chevy";
+  Result<std::string> text =
+      FormatCrossTab(cube->table, /*row_dim=*/1, /*col_dim=*/0, /*value=*/2,
+                     options);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Spot-check the Table 6.a numbers.
+  EXPECT_NE(text->find("Chevy"), std::string::npos);
+  EXPECT_NE(text->find("135"), std::string::npos);  // black total
+  EXPECT_NE(text->find("155"), std::string::npos);  // white total
+  EXPECT_NE(text->find("290"), std::string::npos);  // grand total
+  EXPECT_NE(text->find("total (ALL)"), std::string::npos);
+}
+
+TEST(CrossTabTest, HigherDimensionalCubeUsesAllPlane) {
+  // Cross-tab straight out of a 3D cube: the Model dimension reads at ALL.
+  Table sales = Table3SalesTable().value();
+  Result<CubeResult> cube =
+      Cube(sales, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+           {Agg("sum", "Units", "Units")});
+  ASSERT_TRUE(cube.ok());
+  Result<std::string> text =
+      FormatCrossTab(cube->table, /*row_dim=*/2, /*col_dim=*/1, /*value=*/3);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("510"), std::string::npos);  // both-model grand total
+}
+
+TEST(CrossTabTest, Errors) {
+  Table sales = Table3SalesTable().value();
+  Result<CubeResult> cube = Cube(sales, {GroupCol("Year"), GroupCol("Color")},
+                                 {Agg("sum", "Units", "Units")});
+  ASSERT_TRUE(cube.ok());
+  EXPECT_FALSE(FormatCrossTab(cube->table, 0, 0, 2).ok());
+  EXPECT_FALSE(FormatCrossTab(cube->table, 0, 9, 2).ok());
+}
+
+// -------------------------------------------------------------- pivot
+
+TEST(PivotTest, Table4ExcelPivot) {
+  Table sales = Table3SalesTable().value();
+  Result<CubeResult> cube =
+      Cube(sales, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+           {Agg("sum", "Units", "Sales")});
+  ASSERT_TRUE(cube.ok());
+  CrossTabOptions options;
+  options.corner_label = "Sum Sales";
+  Result<std::string> text = FormatPivot(
+      cube->table, /*row=*/0, /*outer=*/1, /*inner=*/2, /*value=*/3, options);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Table 4's numbers: Chevy 1994 total 90, Ford 1995 total 160, grand 510,
+  // 1994 grand 150, 1995 grand 360.
+  for (const char* expect : {"90", "160", "510", "150", "360", "Grand Total"}) {
+    EXPECT_NE(text->find(expect), std::string::npos) << expect << "\n" << *text;
+  }
+}
+
+// --------------------------------------------------------- roll-up report
+
+TEST(ReportTest, Table3aRollupReport) {
+  Table sales = Table3SalesTable().value();
+  // Chevy slice, as in Table 3.a.
+  std::vector<bool> mask(sales.num_rows());
+  for (size_t r = 0; r < sales.num_rows(); ++r) {
+    mask[r] = sales.GetValue(r, 0) == Value::String("Chevy");
+  }
+  Table chevy = sales.FilterRows(mask).value();
+  Result<CubeResult> rollup =
+      Rollup(chevy, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+             {Agg("sum", "Units", "Sales")});
+  ASSERT_TRUE(rollup.ok());
+  Result<std::string> text = FormatRollupReport(rollup->table, 3, 3);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Sub-totals 90, 200 (by year) and 290 (by model) appear; dims blank on
+  // repeated rows (the second 1994 row shows only the color).
+  EXPECT_NE(text->find("90"), std::string::npos);
+  EXPECT_NE(text->find("200"), std::string::npos);
+  EXPECT_NE(text->find("290"), std::string::npos);
+  EXPECT_NE(text->find("Sales by Model by Year by Color"), std::string::npos);
+  // "Chevy" appears exactly once in the body (blanked afterwards).
+  size_t first = text->find("Chevy");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text->find("Chevy", first + 1), std::string::npos);
+}
+
+TEST(ReportTest, Table3bDateReport) {
+  Table sales = Table3SalesTable().value();
+  std::vector<bool> mask(sales.num_rows());
+  for (size_t r = 0; r < sales.num_rows(); ++r) {
+    mask[r] = sales.GetValue(r, 0) == Value::String("Chevy");
+  }
+  Table chevy = sales.FilterRows(mask).value();
+  Result<CubeResult> rollup =
+      Rollup(chevy, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+             {Agg("sum", "Units", "Sales")});
+  ASSERT_TRUE(rollup.ok());
+  Result<std::string> text = FormatDateReport(rollup->table, 3, 3);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Every detail row repeats its super-aggregates (Table 3.b): the line for
+  // (Chevy, 1994, black) carries 50, 90, 290.
+  bool found = false;
+  std::istringstream lines(*text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("black") != std::string::npos &&
+        line.find("1994") != std::string::npos) {
+      EXPECT_NE(line.find("50"), std::string::npos);
+      EXPECT_NE(line.find("90"), std::string::npos);
+      EXPECT_NE(line.find("290"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << *text;
+}
+
+TEST(ReportTest, RejectsNonRollupInput) {
+  Table sales = Table3SalesTable().value();
+  Result<CubeResult> cube =
+      Cube(sales, {GroupCol("Model"), GroupCol("Year")},
+           {Agg("sum", "Units", "Sales")});
+  ASSERT_TRUE(cube.ok());
+  // A full cube has (ALL, year) rows — not rollup-shaped.
+  EXPECT_FALSE(FormatRollupReport(cube->table, 2, 2).ok());
+  EXPECT_FALSE(FormatRollupReport(sales, 0, 3).ok());
+}
+
+}  // namespace
+}  // namespace datacube

@@ -1,0 +1,178 @@
+// Robustness properties: total-order laws for Value, hash consistency,
+// larger cube shapes, and printer/CSV edge cases.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/table/csv.h"
+#include "datacube/table/print.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube {
+namespace {
+
+Value RandomValue(std::mt19937_64& rng) {
+  switch (rng() % 7) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::All();
+    case 2:
+      return Value::Bool(rng() % 2 == 0);
+    case 3:
+      return Value::Int64(static_cast<int64_t>(rng() % 2000) - 1000);
+    case 4:
+      return Value::Float64(static_cast<double>(rng() % 4000) / 4.0 - 500.0);
+    case 5:
+      return Value::String(std::string(rng() % 8, 'a' + rng() % 26));
+    default:
+      return Value::FromDate(Date{static_cast<int32_t>(rng() % 30000)});
+  }
+}
+
+TEST(ValueOrderTest, TotalOrderLaws) {
+  std::mt19937_64 rng(404);
+  std::vector<Value> values;
+  for (int i = 0; i < 60; ++i) values.push_back(RandomValue(rng));
+  for (const Value& a : values) {
+    EXPECT_EQ(a.Compare(a), 0);  // reflexive
+    for (const Value& b : values) {
+      // Antisymmetric.
+      EXPECT_EQ(a.Compare(b) < 0, b.Compare(a) > 0);
+      EXPECT_EQ(a.Compare(b) == 0, b.Compare(a) == 0);
+      // Hash consistent with equality.
+      if (a.Compare(b) == 0) {
+        EXPECT_EQ(a.Hash(), b.Hash())
+            << a.ToString() << " vs " << b.ToString();
+      }
+      for (const Value& c : values) {
+        // Transitive (spot form: a<=b<=c implies a<=c).
+        if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+          EXPECT_LE(a.Compare(c), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ValueOrderTest, IntFloatEqualityIsConsistentEverywhere) {
+  Value i = Value::Int64(41);
+  Value f = Value::Float64(41.0);
+  EXPECT_EQ(i, f);
+  EXPECT_EQ(i.Hash(), f.Hash());
+  // They group together in a cube key.
+  Table t(Schema({Field{"k", DataType::kFloat64}, Field{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value::Float64(41.0), Value::Int64(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(41), Value::Int64(2)}).ok());
+  Result<CubeResult> r = GroupBy(t, {GroupCol("k")}, {CountStar("n")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 1u);
+}
+
+TEST(BigShapeTest, SixDimCubeCellAccounting) {
+  // 2^6 = 64 grouping sets over a binary 6-dim input: every cell count is
+  // exactly Π over grouped dims of 2 (complete cross product by
+  // construction).
+  CubeInputOptions options;
+  options.num_dims = 6;
+  options.cardinality = 2;
+  options.num_rows = 0;
+  Table t = GenerateCubeInput(options).value();
+  // Complete cross product: 64 rows.
+  for (int mask = 0; mask < 64; ++mask) {
+    std::vector<Value> row;
+    for (int d = 0; d < 6; ++d) {
+      row.push_back(Value::String((mask >> d) & 1 ? "v1" : "v0"));
+    }
+    row.push_back(Value::Int64(1));
+    row.push_back(Value::Float64(1.0));
+    ASSERT_TRUE(t.AppendRow(row).ok());
+  }
+  std::vector<GroupExpr> dims;
+  for (int d = 0; d < 6; ++d) dims.push_back(GroupCol("d" + std::to_string(d)));
+  Result<CubeResult> cube = Cube(t, dims, {Agg("sum", "x", "s")});
+  ASSERT_TRUE(cube.ok());
+  // Π(C_i + 1) = 3^6.
+  EXPECT_EQ(cube->table.num_rows(), 729u);
+  // Every SUM value is 2^(number of ALL coordinates).
+  for (size_t r = 0; r < cube->table.num_rows(); ++r) {
+    int alls = 0;
+    for (size_t k = 0; k < 6; ++k) {
+      if (cube->table.GetValue(r, k).is_all()) ++alls;
+    }
+    EXPECT_EQ(cube->table.GetValue(r, 6), Value::Int64(1LL << alls));
+  }
+}
+
+TEST(BigShapeTest, ManyAggregatesAtOnce) {
+  Table t = GenerateCubeInput({.num_rows = 2000,
+                               .num_dims = 2,
+                               .cardinality = 5,
+                               .seed = 505})
+                .value();
+  std::vector<AggregateSpec> aggs = {
+      Agg("sum", "x", "a1"),    Agg("min", "x", "a2"),
+      Agg("max", "x", "a3"),    Agg("avg", "x", "a4"),
+      Agg("count", "x", "a5"),  Agg("var_pop", "x", "a6"),
+      Agg("stddev_pop", "x", "a7"), CountStar("a8"),
+      Agg("sum", "y", "a9"),    Agg("avg", "y", "a10"),
+      Agg("min", "y", "a11"),   Agg("max", "y", "a12")};
+  Result<CubeResult> cube = Cube(t, {GroupCol("d0"), GroupCol("d1")}, aggs);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  EXPECT_EQ(cube->table.num_columns(), 2u + 12u);
+  // Spot-check internal consistency: stddev^2 ≈ var on every row.
+  for (size_t r = 0; r < cube->table.num_rows(); ++r) {
+    double var = cube->table.GetValue(r, 2 + 5).AsDouble();
+    double sd = cube->table.GetValue(r, 2 + 6).AsDouble();
+    EXPECT_NEAR(sd * sd, var, 1e-6);
+  }
+}
+
+TEST(PrinterTest, HeaderRuleToggleAndEmptyTable) {
+  Table t(Schema({Field{"a", DataType::kInt64}}));
+  PrintOptions no_rule;
+  no_rule.header_rule = false;
+  std::string s = FormatTable(t, no_rule);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_EQ(s.find("---"), std::string::npos);
+  PrintOptions custom;
+  custom.all_token = "<all>";
+  custom.null_token = "-";
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  Table t2(Schema({Field{"a", DataType::kString, true, true}}));
+  ASSERT_TRUE(t2.AppendRow({Value::All()}).ok());
+  EXPECT_NE(FormatTable(t2, custom).find("<all>"), std::string::npos);
+  EXPECT_NE(FormatTable(t, custom).find("-"), std::string::npos);
+}
+
+TEST(CsvEdgeTest, DelimiterVariantsAndCrlf) {
+  CsvReadOptions options;
+  options.delimiter = ';';
+  Result<Table> t = ReadCsvString("a;b\r\n1;x\r\n2;y\r\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Int64(1));
+  EXPECT_EQ(t->GetValue(1, 1), Value::String("y"));
+}
+
+TEST(CsvEdgeTest, AllNullColumnDefaultsToString) {
+  CsvReadOptions options;
+  options.null_token = "NA";
+  Result<Table> t = ReadCsvString("a,b\nNA,1\nNA,2\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kString);
+  EXPECT_TRUE(t->GetValue(0, 0).is_null());
+  EXPECT_EQ(t->schema().field(1).type, DataType::kInt64);
+}
+
+TEST(WorkloadEdgeTest, CubeInputValidatesCardinalities) {
+  CubeInputOptions bad;
+  bad.num_dims = 3;
+  bad.cardinalities = {4, 4};  // wrong length
+  EXPECT_FALSE(GenerateCubeInput(bad).ok());
+}
+
+}  // namespace
+}  // namespace datacube

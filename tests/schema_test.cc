@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/schema/star.h"
+
+namespace datacube {
+namespace {
+
+// The paper's Section 3.6 example: sales offices roll up through districts
+// and regions.
+Table OfficeDim() {
+  TableBuilder b({Field{"Office", DataType::kString},
+                  Field{"District", DataType::kString},
+                  Field{"OfficeCity", DataType::kString}});
+  b.Row({Value::String("SF"), Value::String("NorCal"),
+         Value::String("San Francisco")});
+  b.Row({Value::String("SJ"), Value::String("NorCal"),
+         Value::String("San Jose")});
+  b.Row({Value::String("LA"), Value::String("SoCal"),
+         Value::String("Los Angeles")});
+  b.Row({Value::String("NYC"), Value::String("East"),
+         Value::String("New York")});
+  return std::move(b).Build().value();
+}
+
+Table DistrictDim() {
+  TableBuilder b({Field{"District", DataType::kString},
+                  Field{"Region", DataType::kString}});
+  b.Row({Value::String("NorCal"), Value::String("West")});
+  b.Row({Value::String("SoCal"), Value::String("West")});
+  b.Row({Value::String("East"), Value::String("East Region")});
+  return std::move(b).Build().value();
+}
+
+Table FactTable() {
+  TableBuilder b({Field{"Office", DataType::kString},
+                  Field{"Product", DataType::kString},
+                  Field{"Units", DataType::kInt64}});
+  b.Row({Value::String("SF"), Value::String("widget"), Value::Int64(10)});
+  b.Row({Value::String("SF"), Value::String("gadget"), Value::Int64(5)});
+  b.Row({Value::String("SJ"), Value::String("widget"), Value::Int64(7)});
+  b.Row({Value::String("LA"), Value::String("widget"), Value::Int64(20)});
+  b.Row({Value::String("NYC"), Value::String("gadget"), Value::Int64(3)});
+  return std::move(b).Build().value();
+}
+
+TEST(DimensionTest, CreateValidatesKey) {
+  Result<DimensionTable> good =
+      DimensionTable::Create("office", OfficeDim(), "Office");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->name(), "office");
+  EXPECT_EQ(good->AttributeNames(),
+            (std::vector<std::string>{"District", "OfficeCity"}));
+
+  EXPECT_FALSE(DimensionTable::Create("x", OfficeDim(), "Nope").ok());
+
+  // Duplicate keys violate the functional dependency.
+  Table dup = OfficeDim();
+  ASSERT_TRUE(dup.AppendRow({Value::String("SF"), Value::String("Z"),
+                             Value::String("Z")})
+                  .ok());
+  EXPECT_FALSE(DimensionTable::Create("x", dup, "Office").ok());
+
+  // NULL keys are rejected.
+  Table with_null = OfficeDim();
+  ASSERT_TRUE(
+      with_null.AppendRow({Value::Null(), Value::String("Z"), Value::String("Z")})
+          .ok());
+  EXPECT_FALSE(DimensionTable::Create("x", with_null, "Office").ok());
+}
+
+TEST(DimensionTest, LookupFollowsFunctionalDependency) {
+  DimensionTable dim =
+      DimensionTable::Create("office", OfficeDim(), "Office").value();
+  EXPECT_EQ(dim.Lookup(Value::String("SF"), "District").value(),
+            Value::String("NorCal"));
+  EXPECT_FALSE(dim.Lookup(Value::String("??"), "District").ok());
+  EXPECT_FALSE(dim.Lookup(Value::String("SF"), "NoAttr").ok());
+}
+
+TEST(SnowflakeTest, DenormalizeStar) {
+  SnowflakeSchema schema(FactTable());
+  ASSERT_TRUE(
+      schema
+          .AddDimension("Office",
+                        DimensionTable::Create("office", OfficeDim(), "Office")
+                            .value())
+          .ok());
+  Result<Table> wide = schema.Denormalize();
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  EXPECT_EQ(wide->num_columns(), 5u);  // fact 3 + 2 attributes
+  auto district = wide->schema().FieldIndex("District");
+  ASSERT_TRUE(district.has_value());
+  EXPECT_EQ(wide->GetValue(0, *district), Value::String("NorCal"));
+  EXPECT_EQ(wide->GetValue(4, *district), Value::String("East"));
+}
+
+TEST(SnowflakeTest, DenormalizeSnowflakeTwoLevels) {
+  // Office -> District -> Region, the normalized form of Figure 6's
+  // footnote ("an office, district, and region tables, rather than one big
+  // denormalized table").
+  SnowflakeSchema schema(FactTable());
+  ASSERT_TRUE(
+      schema
+          .AddDimension("Office",
+                        DimensionTable::Create("office", OfficeDim(), "Office")
+                            .value())
+          .ok());
+  ASSERT_TRUE(schema
+                  .AddSnowflakeDimension(
+                      "office", "District",
+                      DimensionTable::Create("district", DistrictDim(),
+                                             "District")
+                          .value())
+                  .ok());
+  Result<Table> wide = schema.Denormalize();
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  auto region = wide->schema().FieldIndex("Region");
+  ASSERT_TRUE(region.has_value());
+  EXPECT_EQ(wide->GetValue(0, *region), Value::String("West"));   // SF
+  EXPECT_EQ(wide->GetValue(4, *region), Value::String("East Region"));  // NYC
+}
+
+TEST(SnowflakeTest, MissingDimensionRowYieldsNulls) {
+  Table fact = FactTable();
+  ASSERT_TRUE(fact.AppendRow({Value::String("??"), Value::String("widget"),
+                              Value::Int64(1)})
+                  .ok());
+  SnowflakeSchema schema(std::move(fact));
+  ASSERT_TRUE(
+      schema
+          .AddDimension("Office",
+                        DimensionTable::Create("office", OfficeDim(), "Office")
+                            .value())
+          .ok());
+  Result<Table> wide = schema.Denormalize();
+  ASSERT_TRUE(wide.ok());
+  auto district = wide->schema().FieldIndex("District");
+  EXPECT_TRUE(wide->GetValue(5, *district).is_null());
+}
+
+TEST(SnowflakeTest, RegistrationErrors) {
+  SnowflakeSchema schema(FactTable());
+  DimensionTable office =
+      DimensionTable::Create("office", OfficeDim(), "Office").value();
+  EXPECT_FALSE(schema.AddDimension("NoSuchCol", office).ok());
+  ASSERT_TRUE(schema.AddDimension("Office", office).ok());
+  EXPECT_FALSE(schema.AddDimension("Office", office).ok());  // duplicate name
+  DimensionTable district =
+      DimensionTable::Create("district", DistrictDim(), "District").value();
+  EXPECT_FALSE(
+      schema.AddSnowflakeDimension("no_parent", "District", district).ok());
+  EXPECT_FALSE(
+      schema.AddSnowflakeDimension("office", "NoCol", district).ok());
+}
+
+TEST(SnowflakeTest, HierarchyRollupDrillsDown) {
+  SnowflakeSchema schema(FactTable());
+  ASSERT_TRUE(
+      schema
+          .AddDimension("Office",
+                        DimensionTable::Create("office", OfficeDim(), "Office")
+                            .value())
+          .ok());
+  ASSERT_TRUE(schema
+                  .AddSnowflakeDimension(
+                      "office", "District",
+                      DimensionTable::Create("district", DistrictDim(),
+                                             "District")
+                          .value())
+                  .ok());
+  ASSERT_TRUE(schema
+                  .AddHierarchy(Hierarchy{
+                      "geography", {"Office", "District", "Region"}})
+                  .ok());
+  EXPECT_FALSE(schema.AddHierarchy(Hierarchy{"geography", {"x"}}).ok());
+  EXPECT_FALSE(schema.AddHierarchy(Hierarchy{"empty", {}}).ok());
+
+  Result<Table> wide = schema.Denormalize();
+  ASSERT_TRUE(wide.ok());
+  Result<CubeSpec> spec =
+      schema.HierarchyRollupSpec("geography", {Agg("sum", "Units", "Units")});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(schema.HierarchyRollupSpec("nope", {}).ok());
+
+  Result<CubeResult> rollup = ExecuteCube(*wide, *spec);
+  ASSERT_TRUE(rollup.ok()) << rollup.status().ToString();
+  // Columns: Region, District, Office, Units. West region total = 10+5+7+20.
+  const Table& t = rollup->table;
+  bool found_west = false, found_norcal = false, found_grand = false;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.GetValue(r, 0) == Value::String("West") &&
+        t.GetValue(r, 1).is_all()) {
+      EXPECT_EQ(t.GetValue(r, 3), Value::Int64(42));
+      found_west = true;
+    }
+    if (t.GetValue(r, 1) == Value::String("NorCal") &&
+        t.GetValue(r, 2).is_all()) {
+      EXPECT_EQ(t.GetValue(r, 3), Value::Int64(22));
+      found_norcal = true;
+    }
+    if (t.GetValue(r, 0).is_all()) {
+      EXPECT_EQ(t.GetValue(r, 3), Value::Int64(45));
+      found_grand = true;
+    }
+  }
+  EXPECT_TRUE(found_west);
+  EXPECT_TRUE(found_norcal);
+  EXPECT_TRUE(found_grand);
+}
+
+TEST(SnowflakeTest, DimensionAttributesAsDecorations) {
+  // Section 3.5 meets 3.6: group by Office, decorate with the
+  // FD-determined District.
+  SnowflakeSchema schema(FactTable());
+  ASSERT_TRUE(
+      schema
+          .AddDimension("Office",
+                        DimensionTable::Create("office", OfficeDim(), "Office")
+                            .value())
+          .ok());
+  Result<Table> wide = schema.Denormalize();
+  ASSERT_TRUE(wide.ok());
+
+  CubeSpec spec;
+  spec.cube = {GroupCol("Office")};
+  spec.aggregates = {Agg("sum", "Units", "Units")};
+  spec.decorations = {
+      Decoration{Expr::Column("District"), "District", /*determinant=*/0b1}};
+  Result<CubeResult> cube = ExecuteCube(*wide, spec);
+  ASSERT_TRUE(cube.ok());
+  for (size_t r = 0; r < cube->table.num_rows(); ++r) {
+    if (cube->table.GetValue(r, 0).is_all()) {
+      EXPECT_TRUE(cube->table.GetValue(r, 1).is_null());
+    } else {
+      EXPECT_FALSE(cube->table.GetValue(r, 1).is_null());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datacube

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "datacube/table/csv.h"
+#include "datacube/table/print.h"
+#include "datacube/table/sort.h"
+#include "datacube/table/table.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube {
+namespace {
+
+Table SmallTable() {
+  TableBuilder b({Field{"name", DataType::kString},
+                  Field{"score", DataType::kInt64},
+                  Field{"ratio", DataType::kFloat64}});
+  b.Row({Value::String("a"), Value::Int64(3), Value::Float64(0.5)});
+  b.Row({Value::String("b"), Value::Int64(1), Value::Null()});
+  b.Row({Value::String("c"), Value::Null(), Value::Float64(1.5)});
+  return std::move(b).Build().value();
+}
+
+// ----------------------------------------------------------------- Schema
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({Field{"Model", DataType::kString}, Field{"Year", DataType::kInt64}});
+  EXPECT_EQ(s.FieldIndex("Year").value(), 1u);
+  EXPECT_FALSE(s.FieldIndex("year").has_value());
+  EXPECT_EQ(s.FieldIndexIgnoreCase("year").value(), 1u);
+  EXPECT_FALSE(s.FieldIndex("Nope").has_value());
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema s;
+  EXPECT_TRUE(s.AddField(Field{"a", DataType::kInt64}).ok());
+  EXPECT_FALSE(s.AddField(Field{"a", DataType::kString}).ok());
+  EXPECT_EQ(s.num_fields(), 1u);
+}
+
+// ----------------------------------------------------------------- Column
+
+TEST(ColumnTest, AppendAndGetAllTypes) {
+  Column c(DataType::kInt64);
+  ASSERT_TRUE(c.Append(Value::Int64(5)).ok());
+  ASSERT_TRUE(c.Append(Value::Null()).ok());
+  ASSERT_TRUE(c.Append(Value::All()).ok());
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.Get(0), Value::Int64(5));
+  EXPECT_TRUE(c.Get(1).is_null());
+  EXPECT_TRUE(c.Get(2).is_all());
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_EQ(c.all_count(), 1u);
+}
+
+TEST(ColumnTest, TypeMismatchRejected) {
+  Column c(DataType::kInt64);
+  EXPECT_FALSE(c.Append(Value::String("x")).ok());
+  EXPECT_FALSE(c.Append(Value::Float64(1.5)).ok());
+}
+
+TEST(ColumnTest, IntWidensIntoFloatColumn) {
+  Column c(DataType::kFloat64);
+  ASSERT_TRUE(c.Append(Value::Int64(2)).ok());
+  EXPECT_EQ(c.Get(0), Value::Float64(2.0));
+}
+
+TEST(ColumnTest, SetOverwritesAndFixesCounters) {
+  Column c(DataType::kString);
+  ASSERT_TRUE(c.Append(Value::Null()).ok());
+  EXPECT_EQ(c.null_count(), 1u);
+  ASSERT_TRUE(c.Set(0, Value::String("x")).ok());
+  EXPECT_EQ(c.null_count(), 0u);
+  EXPECT_EQ(c.Get(0), Value::String("x"));
+  ASSERT_TRUE(c.Set(0, Value::All()).ok());
+  EXPECT_EQ(c.all_count(), 1u);
+  EXPECT_FALSE(c.Set(5, Value::String("y")).ok());
+}
+
+TEST(ColumnTest, CountDistinctIgnoresSpecials) {
+  Column c(DataType::kInt64);
+  for (int v : {1, 2, 2, 3}) ASSERT_TRUE(c.Append(Value::Int64(v)).ok());
+  ASSERT_TRUE(c.Append(Value::Null()).ok());
+  ASSERT_TRUE(c.Append(Value::All()).ok());
+  EXPECT_EQ(c.CountDistinct(), 3u);
+}
+
+// ------------------------------------------------------------------ Table
+
+TEST(TableTest, AppendRowChecksArityAndTypes) {
+  Table t(Schema({Field{"a", DataType::kInt64}}));
+  EXPECT_FALSE(t.AppendRow({}).ok());
+  EXPECT_FALSE(t.AppendRow({Value::String("x")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int64(1)}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, GetRowRoundTrip) {
+  Table t = SmallTable();
+  std::vector<Value> row = t.GetRow(1);
+  EXPECT_EQ(row[0], Value::String("b"));
+  EXPECT_EQ(row[1], Value::Int64(1));
+  EXPECT_TRUE(row[2].is_null());
+}
+
+TEST(TableTest, TakeRowsReordersAndRepeats) {
+  Table t = SmallTable();
+  Result<Table> r = t.TakeRows({2, 0, 0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->GetValue(0, 0), Value::String("c"));
+  EXPECT_EQ(r->GetValue(1, 0), Value::String("a"));
+  EXPECT_EQ(r->GetValue(2, 0), Value::String("a"));
+  EXPECT_FALSE(t.TakeRows({9}).ok());
+}
+
+TEST(TableTest, FilterRows) {
+  Table t = SmallTable();
+  Result<Table> r = t.FilterRows({true, false, true});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_FALSE(t.FilterRows({true}).ok());
+}
+
+TEST(TableTest, AppendTableUnionAll) {
+  Table t = SmallTable();
+  Table u = SmallTable();
+  ASSERT_TRUE(u.AppendTable(t).ok());
+  EXPECT_EQ(u.num_rows(), 6u);
+  Table incompatible(Schema({Field{"x", DataType::kInt64}}));
+  EXPECT_FALSE(u.AppendTable(incompatible).ok());
+}
+
+TEST(TableTest, SelectAndConcatColumns) {
+  Table t = SmallTable();
+  Result<Table> sel = t.SelectColumns({1});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->num_columns(), 1u);
+  EXPECT_EQ(sel->schema().field(0).name, "score");
+
+  Table other(Schema({Field{"extra", DataType::kInt64}}));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(other.AppendRow({Value::Int64(i)}).ok());
+  }
+  Result<Table> cat = t.ConcatColumns(other);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(cat->num_columns(), 4u);
+  EXPECT_EQ(cat->GetValue(2, 3), Value::Int64(2));
+  // Duplicate names rejected.
+  EXPECT_FALSE(t.ConcatColumns(t).ok());
+}
+
+TEST(TableTest, EqualsIgnoringRowOrder) {
+  Table t = SmallTable();
+  Result<Table> shuffled = t.TakeRows({2, 0, 1});
+  ASSERT_TRUE(shuffled.ok());
+  EXPECT_TRUE(t.EqualsIgnoringRowOrder(*shuffled));
+  EXPECT_FALSE(t.EqualsExact(*shuffled));
+  EXPECT_TRUE(t.EqualsExact(t));
+  Result<Table> fewer = t.TakeRows({0});
+  EXPECT_FALSE(t.EqualsIgnoringRowOrder(*fewer));
+}
+
+// -------------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParseWithTypeInference) {
+  Result<Table> t = ReadCsvString(
+      "Model,Year,Price,When\n"
+      "Chevy,1994,1.5,1996-06-01\n"
+      "Ford,1995,2,1996-06-02\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kString);
+  EXPECT_EQ(t->schema().field(1).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().field(2).type, DataType::kFloat64);
+  EXPECT_EQ(t->schema().field(3).type, DataType::kDate);
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 1), Value::Int64(1995));
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  Result<Table> t = ReadCsvString(
+      "a,b\n"
+      "\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 0), Value::String("x,y"));
+  EXPECT_EQ(t->GetValue(0, 1), Value::String("he said \"hi\""));
+}
+
+TEST(CsvTest, NullTokenAndHeaderlessMode) {
+  CsvReadOptions opts;
+  opts.has_header = false;
+  Result<Table> t = ReadCsvString("1,\n2,x\n", opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).name, "c0");
+  EXPECT_TRUE(t->GetValue(0, 1).is_null());
+}
+
+TEST(CsvTest, RaggedRowRejected) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  Table t = SmallTable();
+  std::string csv = WriteCsvString(t);
+  Result<Table> back = ReadCsvString(csv);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), t.num_rows());
+  EXPECT_EQ(back->GetValue(0, 1), Value::Int64(3));
+  EXPECT_TRUE(back->GetValue(1, 2).is_null());
+}
+
+// ------------------------------------------------------------------- Sort
+
+TEST(SortTest, MultiKeyWithSpecialsFirst) {
+  Table t = SmallTable();
+  Result<Table> sorted =
+      SortTable(t, {SortKey{1, /*ascending=*/true}});
+  ASSERT_TRUE(sorted.ok());
+  // NULL sorts before values.
+  EXPECT_TRUE(sorted->GetValue(0, 1).is_null());
+  EXPECT_EQ(sorted->GetValue(1, 1), Value::Int64(1));
+  EXPECT_EQ(sorted->GetValue(2, 1), Value::Int64(3));
+}
+
+TEST(SortTest, DescendingAndStability) {
+  TableBuilder b({Field{"k", DataType::kInt64}, Field{"tag", DataType::kString}});
+  b.Row({Value::Int64(1), Value::String("first")});
+  b.Row({Value::Int64(1), Value::String("second")});
+  b.Row({Value::Int64(2), Value::String("third")});
+  Table t = std::move(b).Build().value();
+  Result<Table> sorted = SortTable(t, {SortKey{0, /*ascending=*/false}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->GetValue(0, 1), Value::String("third"));
+  // Stable: equal keys keep input order.
+  EXPECT_EQ(sorted->GetValue(1, 1), Value::String("first"));
+  EXPECT_EQ(sorted->GetValue(2, 1), Value::String("second"));
+  EXPECT_FALSE(SortTable(t, {SortKey{7, true}}).ok());
+}
+
+// ------------------------------------------------------------------ Print
+
+TEST(PrintTest, AlignsAndRendersSpecials) {
+  TableBuilder b({Field{"Model", DataType::kString},
+                  Field{"Units", DataType::kInt64}});
+  b.Row({Value::All(), Value::Int64(941)});
+  b.Row({Value::String("Chevy"), Value::Null()});
+  Table t = std::move(b).Build().value();
+  std::string s = FormatTable(t);
+  EXPECT_NE(s.find("ALL"), std::string::npos);
+  EXPECT_NE(s.find("NULL"), std::string::npos);
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  // Numeric column right-aligns: "941" ends its line segment.
+  EXPECT_NE(s.find("  941"), std::string::npos);
+}
+
+TEST(PrintTest, MaxRowsElision) {
+  Result<Table> sales = Figure4SalesTable();
+  ASSERT_TRUE(sales.ok());
+  PrintOptions opts;
+  opts.max_rows = 5;
+  std::string s = FormatTable(*sales, opts);
+  EXPECT_NE(s.find("(13 more rows)"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, Figure4GrandTotalIs941) {
+  Result<Table> sales = Figure4SalesTable();
+  ASSERT_TRUE(sales.ok());
+  EXPECT_EQ(sales->num_rows(), 18u);
+  int64_t total = 0;
+  for (size_t r = 0; r < sales->num_rows(); ++r) {
+    total += sales->GetValue(r, 3).int64_value();
+  }
+  EXPECT_EQ(total, 941);  // the paper's (ALL, ALL, ALL, 941)
+}
+
+TEST(WorkloadTest, Table3TotalsMatchPaper) {
+  Result<Table> sales = Table3SalesTable();
+  ASSERT_TRUE(sales.ok());
+  int64_t chevy = 0, ford = 0;
+  for (size_t r = 0; r < sales->num_rows(); ++r) {
+    int64_t units = sales->GetValue(r, 3).int64_value();
+    if (sales->GetValue(r, 0) == Value::String("Chevy")) chevy += units;
+    if (sales->GetValue(r, 0) == Value::String("Ford")) ford += units;
+  }
+  EXPECT_EQ(chevy, 290);
+  EXPECT_EQ(ford, 220);
+  EXPECT_EQ(chevy + ford, 510);
+}
+
+TEST(WorkloadTest, GeneratorIsDeterministic) {
+  SalesGenOptions opts;
+  opts.num_rows = 100;
+  Result<Table> a = GenerateSales(opts);
+  Result<Table> b = GenerateSales(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->EqualsExact(*b));
+  opts.seed = 43;
+  Result<Table> c = GenerateSales(opts);
+  EXPECT_FALSE(a->EqualsExact(*c));
+}
+
+}  // namespace
+}  // namespace datacube

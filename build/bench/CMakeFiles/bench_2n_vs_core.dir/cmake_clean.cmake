@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_2n_vs_core.dir/bench_2n_vs_core.cc.o"
+  "CMakeFiles/bench_2n_vs_core.dir/bench_2n_vs_core.cc.o.d"
+  "bench_2n_vs_core"
+  "bench_2n_vs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_2n_vs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregate_classes.dir/bench_aggregate_classes.cc.o"
+  "CMakeFiles/bench_aggregate_classes.dir/bench_aggregate_classes.cc.o.d"
+  "bench_aggregate_classes"
+  "bench_aggregate_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregate_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

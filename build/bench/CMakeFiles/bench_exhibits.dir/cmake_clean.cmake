@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exhibits.dir/bench_exhibits.cc.o"
+  "CMakeFiles/bench_exhibits.dir/bench_exhibits.cc.o.d"
+  "bench_exhibits"
+  "bench_exhibits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exhibits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_cardinality.dir/bench_figure4_cardinality.cc.o"
+  "CMakeFiles/bench_figure4_cardinality.dir/bench_figure4_cardinality.cc.o.d"
+  "bench_figure4_cardinality"
+  "bench_figure4_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_compound.dir/bench_figure5_compound.cc.o"
+  "CMakeFiles/bench_figure5_compound.dir/bench_figure5_compound.cc.o.d"
+  "bench_figure5_compound"
+  "bench_figure5_compound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_compound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cc.o"
+  "CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cc.o.d"
+  "bench_parallel_scaling"
+  "bench_parallel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

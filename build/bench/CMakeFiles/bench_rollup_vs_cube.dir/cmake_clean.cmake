@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rollup_vs_cube.dir/bench_rollup_vs_cube.cc.o"
+  "CMakeFiles/bench_rollup_vs_cube.dir/bench_rollup_vs_cube.cc.o.d"
+  "bench_rollup_vs_cube"
+  "bench_rollup_vs_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rollup_vs_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smallest_parent.dir/bench_smallest_parent.cc.o"
+  "CMakeFiles/bench_smallest_parent.dir/bench_smallest_parent.cc.o.d"
+  "bench_smallest_parent"
+  "bench_smallest_parent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallest_parent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_smallest_parent.
+# This may be replaced when dependencies are built.

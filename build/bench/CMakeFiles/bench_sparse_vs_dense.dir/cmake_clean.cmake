@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparse_vs_dense.dir/bench_sparse_vs_dense.cc.o"
+  "CMakeFiles/bench_sparse_vs_dense.dir/bench_sparse_vs_dense.cc.o.d"
+  "bench_sparse_vs_dense"
+  "bench_sparse_vs_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_vs_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

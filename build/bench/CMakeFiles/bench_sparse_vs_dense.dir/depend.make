@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sparse_vs_dense.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_benchmark_survey.dir/bench_table2_benchmark_survey.cc.o"
+  "CMakeFiles/bench_table2_benchmark_survey.dir/bench_table2_benchmark_survey.cc.o.d"
+  "bench_table2_benchmark_survey"
+  "bench_table2_benchmark_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_benchmark_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

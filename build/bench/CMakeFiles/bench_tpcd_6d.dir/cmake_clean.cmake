@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcd_6d.dir/bench_tpcd_6d.cc.o"
+  "CMakeFiles/bench_tpcd_6d.dir/bench_tpcd_6d.cc.o.d"
+  "bench_tpcd_6d"
+  "bench_tpcd_6d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcd_6d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

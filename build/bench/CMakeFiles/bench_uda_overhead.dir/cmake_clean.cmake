@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uda_overhead.dir/bench_uda_overhead.cc.o"
+  "CMakeFiles/bench_uda_overhead.dir/bench_uda_overhead.cc.o.d"
+  "bench_uda_overhead"
+  "bench_uda_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uda_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

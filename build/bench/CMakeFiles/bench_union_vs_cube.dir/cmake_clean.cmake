@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_union_vs_cube.dir/bench_union_vs_cube.cc.o"
+  "CMakeFiles/bench_union_vs_cube.dir/bench_union_vs_cube.cc.o.d"
+  "bench_union_vs_cube"
+  "bench_union_vs_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_union_vs_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

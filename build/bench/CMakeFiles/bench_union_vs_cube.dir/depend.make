@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_union_vs_cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_selection.dir/bench_view_selection.cc.o"
+  "CMakeFiles/bench_view_selection.dir/bench_view_selection.cc.o.d"
+  "bench_view_selection"
+  "bench_view_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_maintenance.dir/cube_maintenance.cc.o"
+  "CMakeFiles/cube_maintenance.dir/cube_maintenance.cc.o.d"
+  "cube_maintenance"
+  "cube_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

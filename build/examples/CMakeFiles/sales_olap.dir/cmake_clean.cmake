@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_olap.dir/sales_olap.cc.o"
+  "CMakeFiles/sales_olap.dir/sales_olap.cc.o.d"
+  "sales_olap"
+  "sales_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_report.dir/tpcd_report.cc.o"
+  "CMakeFiles/tpcd_report.dir/tpcd_report.cc.o.d"
+  "tpcd_report"
+  "tpcd_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

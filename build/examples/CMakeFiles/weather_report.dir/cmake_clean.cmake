@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_report.dir/weather_report.cc.o"
+  "CMakeFiles/weather_report.dir/weather_report.cc.o.d"
+  "weather_report"
+  "weather_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

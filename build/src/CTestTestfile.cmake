@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("datacube/common")
+subdirs("datacube/table")
+subdirs("datacube/expr")
+subdirs("datacube/agg")
+subdirs("datacube/cube")
+subdirs("datacube/olap")
+subdirs("datacube/schema")
+subdirs("datacube/sql")
+subdirs("datacube/workload")

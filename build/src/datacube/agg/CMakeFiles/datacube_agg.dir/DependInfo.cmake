@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacube/agg/builtin_aggregates.cc" "src/datacube/agg/CMakeFiles/datacube_agg.dir/builtin_aggregates.cc.o" "gcc" "src/datacube/agg/CMakeFiles/datacube_agg.dir/builtin_aggregates.cc.o.d"
+  "/root/repo/src/datacube/agg/distinct.cc" "src/datacube/agg/CMakeFiles/datacube_agg.dir/distinct.cc.o" "gcc" "src/datacube/agg/CMakeFiles/datacube_agg.dir/distinct.cc.o.d"
+  "/root/repo/src/datacube/agg/registry.cc" "src/datacube/agg/CMakeFiles/datacube_agg.dir/registry.cc.o" "gcc" "src/datacube/agg/CMakeFiles/datacube_agg.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacube/common/CMakeFiles/datacube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_agg.dir/builtin_aggregates.cc.o"
+  "CMakeFiles/datacube_agg.dir/builtin_aggregates.cc.o.d"
+  "CMakeFiles/datacube_agg.dir/distinct.cc.o"
+  "CMakeFiles/datacube_agg.dir/distinct.cc.o.d"
+  "CMakeFiles/datacube_agg.dir/registry.cc.o"
+  "CMakeFiles/datacube_agg.dir/registry.cc.o.d"
+  "libdatacube_agg.a"
+  "libdatacube_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

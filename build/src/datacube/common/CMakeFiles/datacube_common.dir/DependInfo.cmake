@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacube/common/codec.cc" "src/datacube/common/CMakeFiles/datacube_common.dir/codec.cc.o" "gcc" "src/datacube/common/CMakeFiles/datacube_common.dir/codec.cc.o.d"
+  "/root/repo/src/datacube/common/date.cc" "src/datacube/common/CMakeFiles/datacube_common.dir/date.cc.o" "gcc" "src/datacube/common/CMakeFiles/datacube_common.dir/date.cc.o.d"
+  "/root/repo/src/datacube/common/status.cc" "src/datacube/common/CMakeFiles/datacube_common.dir/status.cc.o" "gcc" "src/datacube/common/CMakeFiles/datacube_common.dir/status.cc.o.d"
+  "/root/repo/src/datacube/common/str_util.cc" "src/datacube/common/CMakeFiles/datacube_common.dir/str_util.cc.o" "gcc" "src/datacube/common/CMakeFiles/datacube_common.dir/str_util.cc.o.d"
+  "/root/repo/src/datacube/common/value.cc" "src/datacube/common/CMakeFiles/datacube_common.dir/value.cc.o" "gcc" "src/datacube/common/CMakeFiles/datacube_common.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_common.dir/codec.cc.o"
+  "CMakeFiles/datacube_common.dir/codec.cc.o.d"
+  "CMakeFiles/datacube_common.dir/date.cc.o"
+  "CMakeFiles/datacube_common.dir/date.cc.o.d"
+  "CMakeFiles/datacube_common.dir/status.cc.o"
+  "CMakeFiles/datacube_common.dir/status.cc.o.d"
+  "CMakeFiles/datacube_common.dir/str_util.cc.o"
+  "CMakeFiles/datacube_common.dir/str_util.cc.o.d"
+  "CMakeFiles/datacube_common.dir/value.cc.o"
+  "CMakeFiles/datacube_common.dir/value.cc.o.d"
+  "libdatacube_common.a"
+  "libdatacube_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

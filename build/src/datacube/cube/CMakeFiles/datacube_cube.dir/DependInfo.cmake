@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacube/cube/array_cube.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/array_cube.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/array_cube.cc.o.d"
+  "/root/repo/src/datacube/cube/cube_context.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/cube_context.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/cube_context.cc.o.d"
+  "/root/repo/src/datacube/cube/cube_operator.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/cube_operator.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/cube_operator.cc.o.d"
+  "/root/repo/src/datacube/cube/from_core.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/from_core.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/from_core.cc.o.d"
+  "/root/repo/src/datacube/cube/grouping_set.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/grouping_set.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/grouping_set.cc.o.d"
+  "/root/repo/src/datacube/cube/materialized_cube.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/materialized_cube.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/materialized_cube.cc.o.d"
+  "/root/repo/src/datacube/cube/naive_2n.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/naive_2n.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/naive_2n.cc.o.d"
+  "/root/repo/src/datacube/cube/parallel.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/parallel.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/parallel.cc.o.d"
+  "/root/repo/src/datacube/cube/partial_cube.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/partial_cube.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/partial_cube.cc.o.d"
+  "/root/repo/src/datacube/cube/sort_groupby.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/sort_groupby.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/sort_groupby.cc.o.d"
+  "/root/repo/src/datacube/cube/sort_rollup.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/sort_rollup.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/sort_rollup.cc.o.d"
+  "/root/repo/src/datacube/cube/union_groupby.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/union_groupby.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/union_groupby.cc.o.d"
+  "/root/repo/src/datacube/cube/view_selection.cc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/view_selection.cc.o" "gcc" "src/datacube/cube/CMakeFiles/datacube_cube.dir/view_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacube/common/CMakeFiles/datacube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/table/CMakeFiles/datacube_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/expr/CMakeFiles/datacube_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/agg/CMakeFiles/datacube_agg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

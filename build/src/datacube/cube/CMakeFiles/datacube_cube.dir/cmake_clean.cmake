@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_cube.dir/array_cube.cc.o"
+  "CMakeFiles/datacube_cube.dir/array_cube.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/cube_context.cc.o"
+  "CMakeFiles/datacube_cube.dir/cube_context.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/cube_operator.cc.o"
+  "CMakeFiles/datacube_cube.dir/cube_operator.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/from_core.cc.o"
+  "CMakeFiles/datacube_cube.dir/from_core.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/grouping_set.cc.o"
+  "CMakeFiles/datacube_cube.dir/grouping_set.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/materialized_cube.cc.o"
+  "CMakeFiles/datacube_cube.dir/materialized_cube.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/naive_2n.cc.o"
+  "CMakeFiles/datacube_cube.dir/naive_2n.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/parallel.cc.o"
+  "CMakeFiles/datacube_cube.dir/parallel.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/partial_cube.cc.o"
+  "CMakeFiles/datacube_cube.dir/partial_cube.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/sort_groupby.cc.o"
+  "CMakeFiles/datacube_cube.dir/sort_groupby.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/sort_rollup.cc.o"
+  "CMakeFiles/datacube_cube.dir/sort_rollup.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/union_groupby.cc.o"
+  "CMakeFiles/datacube_cube.dir/union_groupby.cc.o.d"
+  "CMakeFiles/datacube_cube.dir/view_selection.cc.o"
+  "CMakeFiles/datacube_cube.dir/view_selection.cc.o.d"
+  "libdatacube_cube.a"
+  "libdatacube_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacube/expr/builtin_scalars.cc" "src/datacube/expr/CMakeFiles/datacube_expr.dir/builtin_scalars.cc.o" "gcc" "src/datacube/expr/CMakeFiles/datacube_expr.dir/builtin_scalars.cc.o.d"
+  "/root/repo/src/datacube/expr/expr.cc" "src/datacube/expr/CMakeFiles/datacube_expr.dir/expr.cc.o" "gcc" "src/datacube/expr/CMakeFiles/datacube_expr.dir/expr.cc.o.d"
+  "/root/repo/src/datacube/expr/scalar_function.cc" "src/datacube/expr/CMakeFiles/datacube_expr.dir/scalar_function.cc.o" "gcc" "src/datacube/expr/CMakeFiles/datacube_expr.dir/scalar_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacube/common/CMakeFiles/datacube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/table/CMakeFiles/datacube_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_expr.dir/builtin_scalars.cc.o"
+  "CMakeFiles/datacube_expr.dir/builtin_scalars.cc.o.d"
+  "CMakeFiles/datacube_expr.dir/expr.cc.o"
+  "CMakeFiles/datacube_expr.dir/expr.cc.o.d"
+  "CMakeFiles/datacube_expr.dir/scalar_function.cc.o"
+  "CMakeFiles/datacube_expr.dir/scalar_function.cc.o.d"
+  "libdatacube_expr.a"
+  "libdatacube_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

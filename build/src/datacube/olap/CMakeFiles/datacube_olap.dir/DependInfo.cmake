@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacube/olap/crosstab.cc" "src/datacube/olap/CMakeFiles/datacube_olap.dir/crosstab.cc.o" "gcc" "src/datacube/olap/CMakeFiles/datacube_olap.dir/crosstab.cc.o.d"
+  "/root/repo/src/datacube/olap/pivot_table.cc" "src/datacube/olap/CMakeFiles/datacube_olap.dir/pivot_table.cc.o" "gcc" "src/datacube/olap/CMakeFiles/datacube_olap.dir/pivot_table.cc.o.d"
+  "/root/repo/src/datacube/olap/reports.cc" "src/datacube/olap/CMakeFiles/datacube_olap.dir/reports.cc.o" "gcc" "src/datacube/olap/CMakeFiles/datacube_olap.dir/reports.cc.o.d"
+  "/root/repo/src/datacube/olap/window.cc" "src/datacube/olap/CMakeFiles/datacube_olap.dir/window.cc.o" "gcc" "src/datacube/olap/CMakeFiles/datacube_olap.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacube/common/CMakeFiles/datacube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/table/CMakeFiles/datacube_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/cube/CMakeFiles/datacube_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/expr/CMakeFiles/datacube_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/agg/CMakeFiles/datacube_agg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_olap.dir/crosstab.cc.o"
+  "CMakeFiles/datacube_olap.dir/crosstab.cc.o.d"
+  "CMakeFiles/datacube_olap.dir/pivot_table.cc.o"
+  "CMakeFiles/datacube_olap.dir/pivot_table.cc.o.d"
+  "CMakeFiles/datacube_olap.dir/reports.cc.o"
+  "CMakeFiles/datacube_olap.dir/reports.cc.o.d"
+  "CMakeFiles/datacube_olap.dir/window.cc.o"
+  "CMakeFiles/datacube_olap.dir/window.cc.o.d"
+  "libdatacube_olap.a"
+  "libdatacube_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdatacube_olap.a"
+)

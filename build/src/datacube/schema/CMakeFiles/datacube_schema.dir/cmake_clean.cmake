@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_schema.dir/star.cc.o"
+  "CMakeFiles/datacube_schema.dir/star.cc.o.d"
+  "libdatacube_schema.a"
+  "libdatacube_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_sql.dir/catalog.cc.o"
+  "CMakeFiles/datacube_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/datacube_sql.dir/engine.cc.o"
+  "CMakeFiles/datacube_sql.dir/engine.cc.o.d"
+  "CMakeFiles/datacube_sql.dir/lexer.cc.o"
+  "CMakeFiles/datacube_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/datacube_sql.dir/parser.cc.o"
+  "CMakeFiles/datacube_sql.dir/parser.cc.o.d"
+  "libdatacube_sql.a"
+  "libdatacube_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

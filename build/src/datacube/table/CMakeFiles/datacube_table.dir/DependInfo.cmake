@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacube/table/column.cc" "src/datacube/table/CMakeFiles/datacube_table.dir/column.cc.o" "gcc" "src/datacube/table/CMakeFiles/datacube_table.dir/column.cc.o.d"
+  "/root/repo/src/datacube/table/csv.cc" "src/datacube/table/CMakeFiles/datacube_table.dir/csv.cc.o" "gcc" "src/datacube/table/CMakeFiles/datacube_table.dir/csv.cc.o.d"
+  "/root/repo/src/datacube/table/print.cc" "src/datacube/table/CMakeFiles/datacube_table.dir/print.cc.o" "gcc" "src/datacube/table/CMakeFiles/datacube_table.dir/print.cc.o.d"
+  "/root/repo/src/datacube/table/schema.cc" "src/datacube/table/CMakeFiles/datacube_table.dir/schema.cc.o" "gcc" "src/datacube/table/CMakeFiles/datacube_table.dir/schema.cc.o.d"
+  "/root/repo/src/datacube/table/sort.cc" "src/datacube/table/CMakeFiles/datacube_table.dir/sort.cc.o" "gcc" "src/datacube/table/CMakeFiles/datacube_table.dir/sort.cc.o.d"
+  "/root/repo/src/datacube/table/table.cc" "src/datacube/table/CMakeFiles/datacube_table.dir/table.cc.o" "gcc" "src/datacube/table/CMakeFiles/datacube_table.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacube/common/CMakeFiles/datacube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

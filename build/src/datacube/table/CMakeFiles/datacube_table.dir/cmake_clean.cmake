@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_table.dir/column.cc.o"
+  "CMakeFiles/datacube_table.dir/column.cc.o.d"
+  "CMakeFiles/datacube_table.dir/csv.cc.o"
+  "CMakeFiles/datacube_table.dir/csv.cc.o.d"
+  "CMakeFiles/datacube_table.dir/print.cc.o"
+  "CMakeFiles/datacube_table.dir/print.cc.o.d"
+  "CMakeFiles/datacube_table.dir/schema.cc.o"
+  "CMakeFiles/datacube_table.dir/schema.cc.o.d"
+  "CMakeFiles/datacube_table.dir/sort.cc.o"
+  "CMakeFiles/datacube_table.dir/sort.cc.o.d"
+  "CMakeFiles/datacube_table.dir/table.cc.o"
+  "CMakeFiles/datacube_table.dir/table.cc.o.d"
+  "libdatacube_table.a"
+  "libdatacube_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

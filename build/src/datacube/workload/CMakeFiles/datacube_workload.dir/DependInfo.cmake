@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacube/workload/benchmark_queries.cc" "src/datacube/workload/CMakeFiles/datacube_workload.dir/benchmark_queries.cc.o" "gcc" "src/datacube/workload/CMakeFiles/datacube_workload.dir/benchmark_queries.cc.o.d"
+  "/root/repo/src/datacube/workload/sales.cc" "src/datacube/workload/CMakeFiles/datacube_workload.dir/sales.cc.o" "gcc" "src/datacube/workload/CMakeFiles/datacube_workload.dir/sales.cc.o.d"
+  "/root/repo/src/datacube/workload/tpcd.cc" "src/datacube/workload/CMakeFiles/datacube_workload.dir/tpcd.cc.o" "gcc" "src/datacube/workload/CMakeFiles/datacube_workload.dir/tpcd.cc.o.d"
+  "/root/repo/src/datacube/workload/weather.cc" "src/datacube/workload/CMakeFiles/datacube_workload.dir/weather.cc.o" "gcc" "src/datacube/workload/CMakeFiles/datacube_workload.dir/weather.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacube/common/CMakeFiles/datacube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/table/CMakeFiles/datacube_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_workload.dir/benchmark_queries.cc.o"
+  "CMakeFiles/datacube_workload.dir/benchmark_queries.cc.o.d"
+  "CMakeFiles/datacube_workload.dir/sales.cc.o"
+  "CMakeFiles/datacube_workload.dir/sales.cc.o.d"
+  "CMakeFiles/datacube_workload.dir/tpcd.cc.o"
+  "CMakeFiles/datacube_workload.dir/tpcd.cc.o.d"
+  "CMakeFiles/datacube_workload.dir/weather.cc.o"
+  "CMakeFiles/datacube_workload.dir/weather.cc.o.d"
+  "libdatacube_workload.a"
+  "libdatacube_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

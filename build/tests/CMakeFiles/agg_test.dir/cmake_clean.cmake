@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_test.dir/agg_test.cc.o"
+  "CMakeFiles/agg_test.dir/agg_test.cc.o.d"
+  "agg_test"
+  "agg_test.pdb"
+  "agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_internal_test.dir/cube_internal_test.cc.o"
+  "CMakeFiles/cube_internal_test.dir/cube_internal_test.cc.o.d"
+  "cube_internal_test"
+  "cube_internal_test.pdb"
+  "cube_internal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_internal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

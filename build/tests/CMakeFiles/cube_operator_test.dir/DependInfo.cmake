@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cube_operator_test.cc" "tests/CMakeFiles/cube_operator_test.dir/cube_operator_test.cc.o" "gcc" "tests/CMakeFiles/cube_operator_test.dir/cube_operator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacube/olap/CMakeFiles/datacube_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/schema/CMakeFiles/datacube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/sql/CMakeFiles/datacube_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/cube/CMakeFiles/datacube_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/expr/CMakeFiles/datacube_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/agg/CMakeFiles/datacube_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/workload/CMakeFiles/datacube_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/table/CMakeFiles/datacube_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/common/CMakeFiles/datacube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

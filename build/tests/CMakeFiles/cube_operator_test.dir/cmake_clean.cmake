@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_operator_test.dir/cube_operator_test.cc.o"
+  "CMakeFiles/cube_operator_test.dir/cube_operator_test.cc.o.d"
+  "cube_operator_test"
+  "cube_operator_test.pdb"
+  "cube_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

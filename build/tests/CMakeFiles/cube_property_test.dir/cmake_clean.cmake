@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_property_test.dir/cube_property_test.cc.o"
+  "CMakeFiles/cube_property_test.dir/cube_property_test.cc.o.d"
+  "cube_property_test"
+  "cube_property_test.pdb"
+  "cube_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouping_set_test.dir/grouping_set_test.cc.o"
+  "CMakeFiles/grouping_set_test.dir/grouping_set_test.cc.o.d"
+  "grouping_set_test"
+  "grouping_set_test.pdb"
+  "grouping_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouping_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

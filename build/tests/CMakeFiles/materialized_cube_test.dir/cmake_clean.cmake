@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialized_cube_test.dir/materialized_cube_test.cc.o"
+  "CMakeFiles/materialized_cube_test.dir/materialized_cube_test.cc.o.d"
+  "materialized_cube_test"
+  "materialized_cube_test.pdb"
+  "materialized_cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialized_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

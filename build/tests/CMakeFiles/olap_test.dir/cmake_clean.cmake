@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_test.dir/olap_test.cc.o"
+  "CMakeFiles/olap_test.dir/olap_test.cc.o.d"
+  "olap_test"
+  "olap_test.pdb"
+  "olap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

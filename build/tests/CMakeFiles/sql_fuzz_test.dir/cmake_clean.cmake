@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_fuzz_test.dir/sql_fuzz_test.cc.o"
+  "CMakeFiles/sql_fuzz_test.dir/sql_fuzz_test.cc.o.d"
+  "sql_fuzz_test"
+  "sql_fuzz_test.pdb"
+  "sql_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/agg_test[1]_include.cmake")
+include("/root/repo/build/tests/grouping_set_test[1]_include.cmake")
+include("/root/repo/build/tests/cube_operator_test[1]_include.cmake")
+include("/root/repo/build/tests/cube_internal_test[1]_include.cmake")
+include("/root/repo/build/tests/cube_property_test[1]_include.cmake")
+include("/root/repo/build/tests/materialized_cube_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/olap_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")

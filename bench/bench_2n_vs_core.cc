@@ -65,14 +65,9 @@ BENCHMARK(BM_SortFromCore)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "Section 5 claim: the 2^N-algorithm performs T x 2^N Iter calls\n"
+DATACUBE_BENCH_MAIN(
+    "Section 5 claim: the 2^N-algorithm performs T x 2^N Iter calls\n"
       "(iter_per_row = 2^N); computing super-aggregates from the core\n"
       "reduces Iter calls to T (iter_per_row = 1) plus cheap merges.\n"
-      "args: {N dims, T rows}\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+      "args: {N dims, T rows}\n\n")
+

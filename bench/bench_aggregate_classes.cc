@@ -65,13 +65,8 @@ BENCHMARK(BM_Holistic_MedianPlusSum)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "Section 5 trichotomy: distributive and algebraic cubes compute from\n"
+DATACUBE_BENCH_MAIN(
+    "Section 5 trichotomy: distributive and algebraic cubes compute from\n"
       "the core (input_scans ~ 1); holistic cubes fall back to per-set\n"
-      "scans (input_scans = 2^N). arg: N dims over 20k rows.\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+      "scans (input_scans = 2^N). arg: N dims over 20k rows.\n\n")
+

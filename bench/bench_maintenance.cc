@@ -148,15 +148,10 @@ BENCHMARK(BM_DeleteMaxIncumbent)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "Section 6: maintenance of a materialized 3-dim cube over 20k rows.\n"
+DATACUBE_BENCH_MAIN(
+    "Section 6: maintenance of a materialized 3-dim cube over 20k rows.\n"
       "Expected shape: inserts are cheap for every function (MAX losing\n"
       "inserts cheapest via the short-circuit); deletes are cheap for SUM\n"
       "and for non-incumbent MAX, and orders of magnitude more expensive\n"
-      "when the incumbent MAX is deleted (base-data recompute).\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+      "when the incumbent MAX is deleted (base-data recompute).\n\n")
+

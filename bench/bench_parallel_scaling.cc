@@ -50,12 +50,7 @@ BENCHMARK(BM_ParallelCube)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "Section 5: partition-parallel aggregation with scratchpad merge.\n"
-      "arg: worker threads over a 400k-row, 3-dim input.\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+DATACUBE_BENCH_MAIN(
+    "Section 5: partition-parallel aggregation with scratchpad merge.\n"
+      "arg: worker threads over a 400k-row, 3-dim input.\n\n")
+

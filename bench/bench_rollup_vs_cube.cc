@@ -70,13 +70,8 @@ BENCHMARK(BM_FullCube)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "ROLLUP output grows additively (prefix chain), CUBE multiplicatively\n"
+DATACUBE_BENCH_MAIN(
+    "ROLLUP output grows additively (prefix chain), CUBE multiplicatively\n"
       "(power set): compare the `cells` counters as N rises. Sort-based\n"
-      "rollup pipelines all sub-totals in one sorted scan. arg: N dims.\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+      "rollup pipelines all sub-totals in one sorted scan. arg: N dims.\n\n")
+

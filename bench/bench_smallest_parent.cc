@@ -74,13 +74,8 @@ BENCHMARK(BM_LargestParent)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "Section 5 ablation: computing each lattice node from its smallest\n"
+DATACUBE_BENCH_MAIN(
+    "Section 5 ablation: computing each lattice node from its smallest\n"
       "computed parent vs always from the largest. Dimensions have skewed\n"
-      "cardinalities {200, 20, 2}; compare merge_calls and time.\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+      "cardinalities {200, 20, 2}; compare merge_calls and time.\n\n")
+

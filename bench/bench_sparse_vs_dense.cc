@@ -71,13 +71,8 @@ BENCHMARK(BM_HashFromCore)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "Section 5: dense N-d array (dictionary codes) vs hash aggregation as\n"
+DATACUBE_BENCH_MAIN(
+    "Section 5: dense N-d array (dictionary codes) vs hash aggregation as\n"
       "the core gets sparser. arg: per-dimension cardinality C over a fixed\n"
-      "40k-row input, 3 dims; core_density = rows / C^3 (capped at 1).\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+      "40k-row input, 3 dims; core_density = rows / C^3 (capped at 1).\n\n")
+

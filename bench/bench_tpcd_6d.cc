@@ -102,13 +102,16 @@ BENCHMARK(BM_Q1WithRollupViaSql)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf(
+  std::fprintf(
+      stderr,
       "Section 2 on TPC-D shapes: the 6-dim cube as a 64-way union (64\n"
       "input scans) vs the CUBE operator (1 scan + lattice merges), plus\n"
       "Q1-like aggregation through the SQL front end. %zu-row lineitem.\n\n",
       kRows);
   ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   return 0;
 }
+

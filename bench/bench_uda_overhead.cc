@@ -122,14 +122,9 @@ BENCHMARK(BM_CubeWithUda)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "Figure 7: the Init/Iter/Final (+ Iter_super) UDA protocol. User\n"
+DATACUBE_BENCH_MAIN(
+    "Figure 7: the Init/Iter/Final (+ Iter_super) UDA protocol. User\n"
       "aggregates pay the same per-row virtual dispatch as built-ins and\n"
       "compose with the cube operator (BM_CubeWithUda cascades geo_mean\n"
-      "scratchpads through the lattice).\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+      "scratchpads through the lattice).\n\n")
+

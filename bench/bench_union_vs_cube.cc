@@ -65,13 +65,8 @@ BENCHMARK(BM_CubeFromCore)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::printf(
-      "Section 2 claim: 2^N unioned GROUP BYs => 2^N scans; the CUBE\n"
+DATACUBE_BENCH_MAIN(
+    "Section 2 claim: 2^N unioned GROUP BYs => 2^N scans; the CUBE\n"
       "operator computes the identical relation in ~1 scan + merges.\n"
-      "args: {N dims, T rows}\n\n");
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
-}
+      "args: {N dims, T rows}\n\n")
+

@@ -3,11 +3,29 @@
 
 // Shared helpers for the benchmark harness.
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "datacube/cube/cube_operator.h"
 #include "datacube/workload/sales.h"
+
+/// Shared main for google-benchmark binaries. The explanatory banner prints
+/// to stderr so stdout stays machine-readable under --benchmark_format=json;
+/// bench/run_all.sh relies on this to write one BENCH_<name>.json per
+/// binary (every binary also accepts --benchmark_out=FILE
+/// --benchmark_out_format=json directly).
+#define DATACUBE_BENCH_MAIN(banner)                                     \
+  int main(int argc, char** argv) {                                     \
+    std::fputs(banner, stderr);                                         \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }
 
 namespace datacube::bench_util {
 

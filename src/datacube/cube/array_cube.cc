@@ -2,6 +2,7 @@
 #include <map>
 
 #include "datacube/cube/cube_internal.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 namespace cube_internal {
@@ -40,11 +41,14 @@ Result<SetMaps> ComputeArrayCube(const CubeContext& ctx,
 
   // Build dictionaries.
   std::vector<Dimension> dims(ctx.num_keys);
-  for (size_t k = 0; k < ctx.num_keys; ++k) {
-    for (const Value& v : ctx.key_columns[k]) dims[k].codes.emplace(v, 0);
-    for (auto& [v, code] : dims[k].codes) {
-      code = dims[k].values.size();
-      dims[k].values.push_back(v);
+  {
+    obs::ScopedSpan span("build_dictionaries");
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      for (const Value& v : ctx.key_columns[k]) dims[k].codes.emplace(v, 0);
+      for (auto& [v, code] : dims[k].codes) {
+        code = dims[k].values.size();
+        dims[k].values.push_back(v);
+      }
     }
   }
 
@@ -58,6 +62,11 @@ Result<SetMaps> ComputeArrayCube(const CubeContext& ctx,
       return ComputeFromCore(ctx, stats);  // would exceed the dense budget
     }
     total_cells *= dim;
+  }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kArrayCube;
+  obs::ScopedSpan span("array_cube");
+  if (span.active()) {
+    span.Attr("dense_cells", static_cast<uint64_t>(total_cells));
   }
 
   // The dense array. Cells with empty `states` are untouched (sparse holes).

@@ -4,6 +4,7 @@
 #include "datacube/agg/distinct.h"
 #include "datacube/agg/registry.h"
 #include "datacube/cube/cube_internal.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 namespace cube_internal {
@@ -178,14 +179,33 @@ Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec) {
 }
 
 CellMap HashGroupBy(const CubeContext& ctx, GroupingSet set, CubeStats* stats) {
+  obs::ScopedSpan span("hash_group_by");
   CellMap cells;
+  uint64_t rehashes = 0;
+  size_t buckets = cells.bucket_count();
   for (size_t row = 0; row < ctx.num_rows(); ++row) {
     std::vector<Value> key = ctx.MaskedKey(row, set);
     auto [it, inserted] = cells.try_emplace(std::move(key));
-    if (inserted) it->second = ctx.NewCell();
+    if (inserted) {
+      it->second = ctx.NewCell();
+      if (cells.bucket_count() != buckets) {
+        buckets = cells.bucket_count();
+        ++rehashes;
+      }
+    }
     ctx.IterRow(&it->second, row, stats);
   }
-  if (stats != nullptr) ++stats->input_scans;
+  if (stats != nullptr) {
+    ++stats->input_scans;
+    stats->hash_cells += cells.size();
+    stats->hash_rehashes += rehashes;
+  }
+  if (span.active()) {
+    span.Attr("set", GroupingSetToString(set, ctx.key_names));
+    span.Attr("rows", static_cast<uint64_t>(ctx.num_rows()));
+    span.Attr("cells", static_cast<uint64_t>(cells.size()));
+    span.Attr("rehashes", rehashes);
+  }
   return cells;
 }
 

@@ -1,8 +1,11 @@
 #include "datacube/cube/cube_operator.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "datacube/cube/cube_internal.h"
+#include "datacube/obs/metrics.h"
+#include "datacube/obs/trace.h"
 #include "datacube/table/sort.h"
 
 namespace datacube {
@@ -48,6 +51,104 @@ CubeAlgorithm ChooseAlgorithm(const CubeContext& ctx) {
   if (IsChainShape(ctx.sets)) return CubeAlgorithm::kSortRollup;
   if (ctx.all_mergeable) return CubeAlgorithm::kFromCore;
   return CubeAlgorithm::kUnionGroupBy;
+}
+
+// True when ExecuteCube would take the partition-parallel path: the request
+// is compatible (auto or from-core — a forced algorithm is honored serially
+// rather than silently replaced), the aggregates can merge, the core is in
+// the lattice, and the input is large enough to split.
+bool WouldRunParallel(const CubeContext& ctx, const CubeOptions& options) {
+  if (options.num_threads <= 1) return false;
+  if (options.algorithm != CubeAlgorithm::kAuto &&
+      options.algorithm != CubeAlgorithm::kFromCore) {
+    return false;
+  }
+  if (!ctx.all_mergeable || ctx.full_set_index < 0) return false;
+  constexpr size_t kMinRowsPerThread = 1024;
+  size_t threads = std::min(static_cast<size_t>(options.num_threads),
+                            ctx.num_rows() / kMinRowsPerThread + 1);
+  return threads > 1;
+}
+
+// Mirrors the fallback chains inside the Compute* implementations, so that
+// EXPLAIN reports the algorithm an execution would actually commit to even
+// when CubeOptions forces one (the implementations self-report at run time
+// via CubeStats::algorithm_used).
+CubeAlgorithm PredictAlgorithm(const CubeContext& ctx,
+                               const CubeOptions& options,
+                               const std::vector<size_t>& cardinalities) {
+  CubeAlgorithm a = options.algorithm == CubeAlgorithm::kAuto
+                        ? ChooseAlgorithm(ctx)
+                        : options.algorithm;
+  if (WouldRunParallel(ctx, options)) return CubeAlgorithm::kFromCore;
+  switch (a) {
+    case CubeAlgorithm::kAuto:
+    case CubeAlgorithm::kNaive2N:
+    case CubeAlgorithm::kUnionGroupBy:
+      return a;
+    case CubeAlgorithm::kFromCore:
+      return ctx.all_mergeable ? CubeAlgorithm::kFromCore
+                               : CubeAlgorithm::kUnionGroupBy;
+    case CubeAlgorithm::kSortFromCore:
+      if (!ctx.all_mergeable) return CubeAlgorithm::kUnionGroupBy;
+      if (ctx.full_set_index < 0) return CubeAlgorithm::kFromCore;
+      return CubeAlgorithm::kSortFromCore;
+    case CubeAlgorithm::kSortRollup:
+      if (IsChainShape(ctx.sets)) return CubeAlgorithm::kSortRollup;
+      return ctx.all_mergeable ? CubeAlgorithm::kFromCore
+                               : CubeAlgorithm::kUnionGroupBy;
+    case CubeAlgorithm::kArrayCube: {
+      bool is_full_cube =
+          ctx.sets.size() == (1ULL << ctx.num_keys) && ctx.num_keys > 0;
+      if (!ctx.all_mergeable) return CubeAlgorithm::kUnionGroupBy;
+      if (!is_full_cube) return CubeAlgorithm::kFromCore;
+      size_t total_cells = 1;
+      for (size_t c : cardinalities) {
+        size_t dim = c + 1;
+        if (dim != 0 && total_cells > options.array_max_cells / dim) {
+          return CubeAlgorithm::kFromCore;  // exceeds the dense budget
+        }
+        total_cells *= dim;
+      }
+      return CubeAlgorithm::kArrayCube;
+    }
+  }
+  return a;
+}
+
+// Flushes one execution's deltas into the global registry — the cumulative
+// datacube_cube_* series a monitoring scrape reads. One lookup per counter
+// per execution; the hot loops never touch the registry.
+void PublishCubeStats(const CubeStats& stats) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const obs::Labels algo = {
+      {"algorithm", CubeAlgorithmName(stats.algorithm_used)}};
+  reg.GetCounter("datacube_cube_executions_total",
+                 "Cube operator executions by committed algorithm", algo)
+      .Inc();
+  reg.GetHistogram("datacube_cube_execute_seconds",
+                   "End-to-end cube execution wall time", algo)
+      .Observe(stats.wall_seconds);
+  reg.GetCounter("datacube_cube_iter_calls_total",
+                 "AggregateFunction::Iter invocations")
+      .Inc(stats.iter_calls);
+  reg.GetCounter("datacube_cube_merge_calls_total",
+                 "Scratchpad Merge (Iter_super) invocations")
+      .Inc(stats.merge_calls);
+  reg.GetCounter("datacube_cube_final_calls_total",
+                 "AggregateFunction::Final invocations")
+      .Inc(stats.final_calls);
+  reg.GetCounter("datacube_cube_input_scans_total",
+                 "Full passes over cube input tables")
+      .Inc(stats.input_scans);
+  reg.GetCounter("datacube_cube_output_cells_total", "Cube cells produced")
+      .Inc(stats.output_cells);
+  reg.GetCounter("datacube_cube_hash_cells_total",
+                 "Cells allocated by hash group-bys")
+      .Inc(stats.hash_cells);
+  reg.GetCounter("datacube_cube_hash_rehashes_total",
+                 "Hash-table growth events while grouping")
+      .Inc(stats.hash_rehashes);
 }
 
 }  // namespace
@@ -160,16 +261,28 @@ Result<Table> AssembleResult(const CubeContext& ctx, SetMaps& maps,
 
 Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
                                const CubeOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  obs::ScopedSpan span("execute_cube");
+
   DATACUBE_ASSIGN_OR_RETURN(CubeContext ctx, BuildCubeContext(input, spec));
 
   CubeStats stats;
+  stats.algorithm_requested = options.algorithm;
   CubeAlgorithm algorithm = options.algorithm == CubeAlgorithm::kAuto
                                 ? ChooseAlgorithm(ctx)
                                 : options.algorithm;
+  // Refined below: each Compute* implementation self-reports the algorithm
+  // it commits to after its fallback checks.
   stats.algorithm_used = algorithm;
+  if (span.active()) {
+    span.Attr("rows", static_cast<uint64_t>(ctx.num_rows()));
+    span.Attr("grouping_columns", static_cast<uint64_t>(ctx.num_keys));
+    span.Attr("grouping_sets", static_cast<uint64_t>(ctx.sets.size()));
+    span.Attr("requested", CubeAlgorithmName(options.algorithm));
+  }
 
   Result<SetMaps> maps = [&]() -> Result<SetMaps> {
-    if (options.num_threads > 1) {
+    if (WouldRunParallel(ctx, options)) {
       return cube_internal::ComputeParallel(ctx, options, &stats);
     }
     switch (algorithm) {
@@ -192,34 +305,75 @@ Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
   }();
   if (!maps.ok()) return maps.status();
 
-  DATACUBE_ASSIGN_OR_RETURN(
-      Table table, cube_internal::AssembleResult(ctx, maps.value(), &stats));
+  // Per-grouping-set actuals are one map-size read each; estimates cost a
+  // cardinality scan, so they are computed only for a traced execution
+  // (EXPLAIN ANALYZE) where the comparison is the point.
+  stats.per_set.resize(ctx.sets.size());
+  for (size_t s = 0; s < ctx.sets.size(); ++s) {
+    stats.per_set[s].set = ctx.sets[s];
+    stats.per_set[s].actual_cells = maps.value()[s].size();
+  }
+  if (obs::TracingActive()) {
+    std::vector<size_t> cards = cube_internal::KeyCardinalities(ctx);
+    for (size_t s = 0; s < ctx.sets.size(); ++s) {
+      double est = 1.0;
+      for (size_t k = 0; k < ctx.num_keys; ++k) {
+        if (IsGrouped(ctx.sets[s], k)) est *= static_cast<double>(cards[k]);
+      }
+      stats.per_set[s].est_cells = est;
+    }
+  }
+
+  Result<Table> table = [&]() -> Result<Table> {
+    obs::ScopedSpan assemble_span("assemble_result");
+    return cube_internal::AssembleResult(ctx, maps.value(), &stats);
+  }();
+  if (!table.ok()) return table.status();
   if (options.sort_result) {
+    obs::ScopedSpan sort_span("sort_result");
     std::vector<SortKey> keys;
     for (size_t k = 0; k < ctx.num_keys; ++k) {
       keys.push_back(SortKey{k, /*ascending=*/true});
     }
-    DATACUBE_ASSIGN_OR_RETURN(table, SortTable(table, keys));
+    DATACUBE_ASSIGN_OR_RETURN(table, SortTable(table.value(), keys));
   }
-  return CubeResult{std::move(table), stats};
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (span.active()) {
+    span.Attr("algorithm", CubeAlgorithmName(stats.algorithm_used));
+    span.Attr("threads", stats.threads_used);
+    span.Attr("output_cells", stats.output_cells);
+    span.Attr("iter_calls", stats.iter_calls);
+    span.Attr("merge_calls", stats.merge_calls);
+  }
+  PublishCubeStats(stats);
+  return CubeResult{std::move(table).value(), stats};
 }
 
 Result<std::string> ExplainCube(const Table& input, const CubeSpec& spec,
                                 const CubeOptions& options) {
   DATACUBE_ASSIGN_OR_RETURN(CubeContext ctx,
                             BuildCubeContext(input, spec));
-  CubeAlgorithm algorithm = options.algorithm == CubeAlgorithm::kAuto
-                                ? ChooseAlgorithm(ctx)
-                                : options.algorithm;
   std::vector<size_t> cards = cube_internal::KeyCardinalities(ctx);
   cube_internal::LatticePlan plan = cube_internal::PlanLattice(ctx.sets, cards);
+  // The algorithm the execution would actually commit to, including fallback
+  // from a forced choice the input cannot support (e.g. kFromCore with a
+  // holistic aggregate runs as union_groupby).
+  CubeAlgorithm algorithm = PredictAlgorithm(ctx, options, cards);
 
   std::string out;
   out += "cube plan over " + std::to_string(input.num_rows()) + " rows, " +
          std::to_string(ctx.num_keys) + " grouping columns, " +
          std::to_string(ctx.sets.size()) + " grouping sets\n";
   out += "algorithm: " + std::string(CubeAlgorithmName(algorithm));
-  if (options.num_threads > 1) {
+  if (options.algorithm != CubeAlgorithm::kAuto &&
+      options.algorithm != algorithm) {
+    out += " (requested " + std::string(CubeAlgorithmName(options.algorithm)) +
+           ", fell back)";
+  }
+  if (WouldRunParallel(ctx, options)) {
     out += " (partition-parallel x" + std::to_string(options.num_threads) + ")";
   }
   out += "\ncolumn cardinalities:";

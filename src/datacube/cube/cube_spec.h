@@ -138,16 +138,40 @@ struct CubeOptions {
   size_t array_max_cells = 1ULL << 26;
 };
 
+/// Per-grouping-set execution instrumentation (EXPLAIN ANALYZE's actual vs
+/// estimated cell counts). `est_cells` stays negative unless estimates were
+/// computed (they require a cardinality scan, paid only when a trace is
+/// active or EXPLAIN asked for a plan).
+struct GroupingSetExecStats {
+  GroupingSet set = 0;
+  uint64_t actual_cells = 0;
+  double est_cells = -1.0;
+};
+
 /// Instrumentation reported with each execution; the units of the paper's
 /// Section 5 cost claims (T×2^N Iter calls, scan counts, etc.).
+///
+/// This struct is the per-execution view of the observability substrate:
+/// algorithms accumulate into it lock-free, and ExecuteCube flushes the
+/// deltas into obs::MetricsRegistry::Global() (datacube_cube_* series), the
+/// cumulative source of truth a monitoring scrape reads.
 struct CubeStats {
   uint64_t iter_calls = 0;      // AggregateFunction::Iter invocations
   uint64_t merge_calls = 0;     // Merge (Iter_super) invocations
   uint64_t final_calls = 0;     // Final invocations
   uint64_t input_scans = 0;     // full passes over the input table
   uint64_t output_cells = 0;    // cube cells produced
+  uint64_t hash_cells = 0;      // cells allocated by hash group-bys
+  uint64_t hash_rehashes = 0;   // hash-table growth events while grouping
+  double wall_seconds = 0.0;    // end-to-end ExecuteCube wall time
+  /// What the caller asked for (options.algorithm).
+  CubeAlgorithm algorithm_requested = CubeAlgorithm::kAuto;
+  /// What actually ran, after fallbacks (holistic aggregates, non-chain
+  /// rollup shapes, array-size caps). Set by the algorithm that commits.
   CubeAlgorithm algorithm_used = CubeAlgorithm::kAuto;
   int threads_used = 1;
+  /// One entry per grouping set, parallel to CubeSpec::GroupingSets().
+  std::vector<GroupingSetExecStats> per_set;
 };
 
 }  // namespace datacube

@@ -1,6 +1,7 @@
 #include <optional>
 
 #include "datacube/cube/cube_internal.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 namespace cube_internal {
@@ -19,13 +20,26 @@ Result<SetMaps> CascadeFromCore(const CubeContext& ctx,
   GroupingSet full = FullSet(ctx.num_keys);
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
     const LatticePlan::Node& node = plan.nodes[i];
+    obs::ScopedSpan span("compute_set");
+    if (span.active()) {
+      span.Attr("set", GroupingSetToString(node.set, ctx.key_names));
+      span.Attr("est_cells", node.est_cells);
+    }
     if (node.set == full && core.has_value()) {
       maps[i] = std::move(*core);
       core.reset();
+      if (span.active()) {
+        span.Attr("source", "precomputed core");
+        span.Attr("cells", static_cast<uint64_t>(maps[i].size()));
+      }
       continue;
     }
     if (node.parent < 0) {
       maps[i] = HashGroupBy(ctx, node.set, stats);
+      if (span.active()) {
+        span.Attr("source", "base scan");
+        span.Attr("cells", static_cast<uint64_t>(maps[i].size()));
+      }
       continue;
     }
     const CellMap& parent_cells = maps[node.parent];
@@ -35,6 +49,15 @@ Result<SetMaps> CascadeFromCore(const CubeContext& ctx,
       auto [it, inserted] = cells.try_emplace(std::move(key));
       if (inserted) it->second = ctx.NewCell();
       DATACUBE_RETURN_IF_ERROR(ctx.MergeCell(&it->second, parent_cell, stats));
+    }
+    if (span.active()) {
+      span.Attr("source",
+                "merge from " +
+                    GroupingSetToString(
+                        plan.nodes[static_cast<size_t>(node.parent)].set,
+                        ctx.key_names));
+      span.Attr("parent_cells", static_cast<uint64_t>(parent_cells.size()));
+      span.Attr("cells", static_cast<uint64_t>(cells.size()));
     }
   }
   return maps;
@@ -56,6 +79,7 @@ Result<SetMaps> ComputeFromCore(const CubeContext& ctx, CubeStats* stats) {
   if (!ctx.all_mergeable) {
     return ComputeUnionGroupBy(ctx, stats);
   }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kFromCore;
   return CascadeFromCore(ctx, std::nullopt, stats);
 }
 

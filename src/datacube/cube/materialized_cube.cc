@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "datacube/common/codec.h"
+#include "datacube/obs/metrics.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 
@@ -12,6 +14,48 @@ using cube_internal::Cell;
 using cube_internal::CellMap;
 using cube_internal::CubeContext;
 using cube_internal::SetMaps;
+
+namespace {
+
+// Mirrors one maintenance operation's MaintenanceStats delta into the global
+// registry (the cumulative datacube_maintenance_* counters) on scope exit,
+// including early error returns. The per-instance struct stays the exact
+// per-cube view; the registry aggregates across all cubes in the process.
+class ScopedMaintenancePublish {
+ public:
+  explicit ScopedMaintenancePublish(const MaintenanceStats* stats)
+      : stats_(stats), before_(*stats) {}
+  ScopedMaintenancePublish(const ScopedMaintenancePublish&) = delete;
+  ScopedMaintenancePublish& operator=(const ScopedMaintenancePublish&) = delete;
+  ~ScopedMaintenancePublish() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    auto inc = [&reg](const char* name, const char* help, uint64_t delta) {
+      if (delta != 0) reg.GetCounter(name, help).Inc(delta);
+    };
+    inc("datacube_maintenance_inserts_total",
+        "Base rows folded into maintained cubes", stats_->inserts - before_.inserts);
+    inc("datacube_maintenance_deletes_total",
+        "Base rows removed from maintained cubes", stats_->deletes - before_.deletes);
+    inc("datacube_maintenance_cells_updated_total",
+        "Cube cells updated in place by maintenance",
+        stats_->cells_updated - before_.cells_updated);
+    inc("datacube_maintenance_cells_skipped_total",
+        "Cube cells skipped by the maintenance short-circuit",
+        stats_->cells_skipped - before_.cells_skipped);
+    inc("datacube_maintenance_cells_recomputed_total",
+        "Cube cells recomputed from base data (delete-holistic path)",
+        stats_->cells_recomputed - before_.cells_recomputed);
+    inc("datacube_maintenance_recompute_rows_scanned_total",
+        "Base rows re-scanned during maintenance recomputes",
+        stats_->recompute_rows_scanned - before_.recompute_rows_scanned);
+  }
+
+ private:
+  const MaintenanceStats* stats_;
+  MaintenanceStats before_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<MaterializedCube>> MaterializedCube::Build(
     const Table& input, const CubeSpec& spec, const CubeOptions& options) {
@@ -68,6 +112,8 @@ Status MaterializedCube::EvaluateRow(size_t row) {
 }
 
 Status MaterializedCube::ApplyInsert(const std::vector<Value>& row) {
+  ScopedMaintenancePublish publish(&stats_);
+  obs::ScopedSpan span("maintain_insert");
   DATACUBE_RETURN_IF_ERROR(base_->AppendRow(row));
   size_t row_id = base_->num_rows() - 1;
   DATACUBE_RETURN_IF_ERROR(EvaluateRow(row_id));
@@ -127,11 +173,15 @@ Status MaterializedCube::ApplyInsert(const std::vector<Value>& row) {
 Status MaterializedCube::RecomputeAggregate(size_t set_index,
                                             const std::vector<Value>& key,
                                             size_t agg) {
+  obs::ScopedSpan span("recompute_aggregate");
   auto it = maps_[set_index].find(key);
   if (it == maps_[set_index].end()) {
     return Status::Internal("recompute target cell missing");
   }
   GroupingSet set = ctx_.sets[set_index];
+  if (span.active()) {
+    span.Attr("set", GroupingSetToString(set, ctx_.key_names));
+  }
   AggStatePtr fresh = ctx_.aggs[agg]->Init();
   Value argv[8];
   const auto& arg_columns = ctx_.agg_args[agg];
@@ -155,6 +205,8 @@ Status MaterializedCube::RecomputeAggregate(size_t set_index,
 }
 
 Status MaterializedCube::ApplyDelete(const std::vector<Value>& row) {
+  ScopedMaintenancePublish publish(&stats_);
+  obs::ScopedSpan span("maintain_delete");
   // Find a live base row with these values.
   auto range = row_index_.equal_range(row);
   size_t row_id = base_->num_rows();

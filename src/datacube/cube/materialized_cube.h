@@ -12,7 +12,9 @@
 
 namespace datacube {
 
-/// Counters for the Section 6 maintenance claims.
+/// Counters for the Section 6 maintenance claims. Per-cube view; every
+/// maintenance operation also mirrors its delta into the process-wide
+/// obs::MetricsRegistry::Global() datacube_maintenance_* counters.
 struct MaintenanceStats {
   uint64_t inserts = 0;
   uint64_t deletes = 0;

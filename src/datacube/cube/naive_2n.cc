@@ -1,4 +1,5 @@
 #include "datacube/cube/cube_internal.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 namespace cube_internal {
@@ -10,6 +11,12 @@ namespace cube_internal {
 // "no more efficient way" — at the cost of T × |sets| Iter calls per
 // aggregate.
 Result<SetMaps> ComputeNaive2N(const CubeContext& ctx, CubeStats* stats) {
+  obs::ScopedSpan span("scan_2n");
+  if (span.active()) {
+    span.Attr("rows", static_cast<uint64_t>(ctx.num_rows()));
+    span.Attr("sets", static_cast<uint64_t>(ctx.sets.size()));
+  }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kNaive2N;
   SetMaps maps(ctx.sets.size());
   for (size_t row = 0; row < ctx.num_rows(); ++row) {
     for (size_t s = 0; s < ctx.sets.size(); ++s) {

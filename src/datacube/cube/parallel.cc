@@ -2,6 +2,7 @@
 #include <thread>
 
 #include "datacube/cube/cube_internal.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 namespace cube_internal {
@@ -27,6 +28,9 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
   if (threads <= 1 || !ctx.all_mergeable || ctx.full_set_index < 0) {
     return ComputeFromCore(ctx, stats);
   }
+  // The committed parallel path is partition-parallel from-core;
+  // threads_used (set below) records the parallelism.
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kFromCore;
 
   GroupingSet full = FullSet(ctx.num_keys);
   std::vector<CellMap> partials(threads);
@@ -34,36 +38,50 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
   std::vector<std::thread> workers;
   size_t rows = ctx.num_rows();
   size_t chunk = (rows + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      size_t lo = t * chunk;
-      size_t hi = std::min(rows, lo + chunk);
-      CellMap& cells = partials[t];
-      for (size_t row = lo; row < hi; ++row) {
-        std::vector<Value> key = ctx.MaskedKey(row, full);
-        auto [it, inserted] = cells.try_emplace(std::move(key));
-        if (inserted) it->second = ctx.NewCell();
-        ctx.IterRow(&it->second, row, &partial_stats[t]);
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
+  CellMap core;
+  {
+    // Worker spans would need their own thread-local traces; the
+    // coordinating thread's span covers scatter, scan, and gather.
+    obs::ScopedSpan core_span("parallel_core");
+    if (core_span.active()) {
+      core_span.Attr("threads", static_cast<uint64_t>(threads));
+      core_span.Attr("rows", static_cast<uint64_t>(rows));
+      core_span.Attr("chunk", static_cast<uint64_t>(chunk));
+    }
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        size_t lo = t * chunk;
+        size_t hi = std::min(rows, lo + chunk);
+        CellMap& cells = partials[t];
+        for (size_t row = lo; row < hi; ++row) {
+          std::vector<Value> key = ctx.MaskedKey(row, full);
+          auto [it, inserted] = cells.try_emplace(std::move(key));
+          if (inserted) it->second = ctx.NewCell();
+          ctx.IterRow(&it->second, row, &partial_stats[t]);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
 
-  // Combine per-partition cores.
-  CellMap core = std::move(partials[0]);
-  Status merge_status = Status::OK();
-  for (size_t t = 1; t < threads; ++t) {
-    for (auto& [key, cell] : partials[t]) {
-      auto [it, inserted] = core.try_emplace(key);
-      if (inserted) {
-        it->second = std::move(cell);
-      } else {
-        Status st = ctx.MergeCell(&it->second, cell, stats);
-        if (!st.ok() && merge_status.ok()) merge_status = st;
+    // Combine per-partition cores.
+    core = std::move(partials[0]);
+    Status merge_status = Status::OK();
+    for (size_t t = 1; t < threads; ++t) {
+      for (auto& [key, cell] : partials[t]) {
+        auto [it, inserted] = core.try_emplace(key);
+        if (inserted) {
+          it->second = std::move(cell);
+        } else {
+          Status st = ctx.MergeCell(&it->second, cell, stats);
+          if (!st.ok() && merge_status.ok()) merge_status = st;
+        }
       }
     }
+    if (!merge_status.ok()) return merge_status;
+    if (core_span.active()) {
+      core_span.Attr("core_cells", static_cast<uint64_t>(core.size()));
+    }
   }
-  if (!merge_status.ok()) return merge_status;
 
   if (stats != nullptr) {
     ++stats->input_scans;  // the partitions jointly scanned the input once

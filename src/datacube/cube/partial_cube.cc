@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "datacube/obs/metrics.h"
+#include "datacube/obs/trace.h"
+
 namespace datacube {
+
+namespace {
+
+// One bump per Query(): hit/miss counter plus cells folded on the miss path.
+void PublishQueryStats(const PartialCube::QueryStats& qs) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("datacube_partial_queries_total",
+                 "Partial-cube queries by answer source",
+                 {{"source", qs.was_materialized ? "materialized" : "ancestor"}})
+      .Inc();
+  if (qs.cells_scanned > 0) {
+    reg.GetCounter("datacube_partial_cells_scanned_total",
+                   "Ancestor cells folded to answer partial-cube queries")
+        .Inc(qs.cells_scanned);
+  }
+}
+
+}  // namespace
 
 using cube_internal::Cell;
 using cube_internal::CellMap;
@@ -96,11 +117,17 @@ Result<Table> PartialCube::Query(GroupingSet target) {
     return Status::InvalidArgument("query references unknown grouping column");
   }
   last_stats_ = QueryStats{};
+  obs::ScopedSpan span("partial_cube_query");
+  if (span.active()) {
+    span.Attr("target", GroupingSetToString(target, ctx_.key_names));
+  }
   // Materialized directly?
   auto it = std::find(views_.begin(), views_.end(), target);
   if (it != views_.end()) {
     last_stats_.answered_from = target;
     last_stats_.was_materialized = true;
+    if (span.active()) span.Attr("source", "materialized");
+    PublishQueryStats(last_stats_);
     return AssembleSet(maps_[static_cast<size_t>(it - views_.begin())]);
   }
   // Aggregate the cheapest (fewest actual cells) materialized ancestor.
@@ -116,6 +143,12 @@ Result<Table> PartialCube::Query(GroupingSet target) {
   }
   last_stats_.answered_from = views_[best];
   last_stats_.cells_scanned = maps_[best].size();
+  if (span.active()) {
+    span.Attr("source", "fold from " +
+                            GroupingSetToString(views_[best], ctx_.key_names));
+    span.Attr("cells_scanned", static_cast<uint64_t>(maps_[best].size()));
+  }
+  PublishQueryStats(last_stats_);
 
   CellMap result;
   for (const auto& [key, cell] : maps_[best]) {

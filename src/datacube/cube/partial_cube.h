@@ -29,7 +29,9 @@ class PartialCube {
   PartialCube(const PartialCube&) = delete;
   PartialCube& operator=(const PartialCube&) = delete;
 
-  /// Per-query instrumentation.
+  /// Per-query instrumentation: a snapshot of the last Query() call. Each
+  /// query also bumps the process-wide datacube_partial_* counters in
+  /// obs::MetricsRegistry::Global() (queries by hit/miss, cells scanned).
   struct QueryStats {
     GroupingSet answered_from = 0;
     bool was_materialized = false;

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "datacube/cube/cube_internal.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 namespace cube_internal {
@@ -21,40 +22,53 @@ Result<SetMaps> ComputeSortFromCore(const CubeContext& ctx, CubeStats* stats) {
     // GROUPING SETS without the core: nothing to seed; fall back.
     return ComputeFromCore(ctx, stats);
   }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kSortFromCore;
   GroupingSet full = FullSet(ctx.num_keys);
 
   // Sort row indices by the grouping key columns.
   std::vector<size_t> rows(ctx.num_rows());
   std::iota(rows.begin(), rows.end(), 0);
-  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
-    for (size_t k = 0; k < ctx.num_keys; ++k) {
-      int cmp = ctx.key_columns[k][a].Compare(ctx.key_columns[k][b]);
-      if (cmp != 0) return cmp < 0;
+  {
+    obs::ScopedSpan sort_span("sort_rows");
+    if (sort_span.active()) {
+      sort_span.Attr("rows", static_cast<uint64_t>(ctx.num_rows()));
     }
-    return false;
-  });
+    std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < ctx.num_keys; ++k) {
+        int cmp = ctx.key_columns[k][a].Compare(ctx.key_columns[k][b]);
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    });
+  }
   if (stats != nullptr) ++stats->input_scans;
 
   // One sequential scan: close a cell whenever the key changes.
   CellMap core;
-  std::optional<Cell> open;
-  std::vector<Value> open_key;
-  for (size_t r : rows) {
-    bool same = open.has_value();
-    for (size_t k = 0; k < ctx.num_keys && same; ++k) {
-      same = ctx.key_columns[k][r] == open_key[k];
-    }
-    if (!same) {
-      if (open.has_value()) {
-        core.emplace(std::move(open_key), std::move(*open));
+  {
+    obs::ScopedSpan scan_span("scan_sorted_core");
+    std::optional<Cell> open;
+    std::vector<Value> open_key;
+    for (size_t r : rows) {
+      bool same = open.has_value();
+      for (size_t k = 0; k < ctx.num_keys && same; ++k) {
+        same = ctx.key_columns[k][r] == open_key[k];
       }
-      open = ctx.NewCell();
-      open_key = ctx.MaskedKey(r, full);
+      if (!same) {
+        if (open.has_value()) {
+          core.emplace(std::move(open_key), std::move(*open));
+        }
+        open = ctx.NewCell();
+        open_key = ctx.MaskedKey(r, full);
+      }
+      ctx.IterRow(&*open, r, stats);
     }
-    ctx.IterRow(&*open, r, stats);
-  }
-  if (open.has_value()) {
-    core.emplace(std::move(open_key), std::move(*open));
+    if (open.has_value()) {
+      core.emplace(std::move(open_key), std::move(*open));
+    }
+    if (scan_span.active()) {
+      scan_span.Attr("cells", static_cast<uint64_t>(core.size()));
+    }
   }
   return CascadeFromCore(ctx, std::move(core), stats);
 }

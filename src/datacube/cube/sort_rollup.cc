@@ -2,6 +2,7 @@
 #include <numeric>
 
 #include "datacube/cube/cube_internal.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 namespace cube_internal {
@@ -54,6 +55,7 @@ Result<SetMaps> ComputeSortRollup(const CubeContext& ctx, CubeStats* stats) {
   if (!IsChain(ctx.sets)) {
     return ComputeFromCore(ctx, stats);
   }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kSortRollup;
   size_t levels = ctx.sets.size();  // finest = level 0
   std::vector<size_t> column_order = ChainColumnOrder(ctx.sets, ctx.num_keys);
   // Prefix length (in column_order positions) of each level.
@@ -65,14 +67,25 @@ Result<SetMaps> ComputeSortRollup(const CubeContext& ctx, CubeStats* stats) {
   // Sort row indices by the chain column order.
   std::vector<size_t> rows(ctx.num_rows());
   std::iota(rows.begin(), rows.end(), 0);
-  std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
-    for (size_t k : column_order) {
-      int cmp = ctx.key_columns[k][a].Compare(ctx.key_columns[k][b]);
-      if (cmp != 0) return cmp < 0;
+  {
+    obs::ScopedSpan sort_span("sort_rows");
+    if (sort_span.active()) {
+      sort_span.Attr("rows", static_cast<uint64_t>(ctx.num_rows()));
     }
-    return false;
-  });
+    std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      for (size_t k : column_order) {
+        int cmp = ctx.key_columns[k][a].Compare(ctx.key_columns[k][b]);
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    });
+  }
   if (stats != nullptr) ++stats->input_scans;
+  obs::ScopedSpan scan_span("pipelined_rollup_scan");
+  if (scan_span.active()) {
+    scan_span.Attr("levels", static_cast<uint64_t>(levels));
+    scan_span.Attr("mergeable", ctx.all_mergeable ? "true" : "false");
+  }
 
   SetMaps maps(levels);
   struct Open {

@@ -9,6 +9,7 @@ namespace cube_internal {
 // hashes, and a long wait". Each grouping set re-scans and re-hashes the
 // full input.
 Result<SetMaps> ComputeUnionGroupBy(const CubeContext& ctx, CubeStats* stats) {
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kUnionGroupBy;
   SetMaps maps;
   maps.reserve(ctx.sets.size());
   for (GroupingSet set : ctx.sets) {

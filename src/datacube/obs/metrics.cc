@@ -1,0 +1,255 @@
+#include "datacube/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace datacube::obs {
+
+namespace {
+
+// Shortest round-trippable formatting for exposition values.
+std::string FormatDouble(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  double bound = base_;
+  while (i < kNumBuckets && v > bound) {
+    bound *= 2.0;
+    ++i;
+  }
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::bucket_bound(size_t i) const {
+  return base_ * std::ldexp(1.0, static_cast<int>(i));
+}
+
+MetricsRegistry::Family& MetricsRegistry::GetFamily(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind) {
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.kind = kind;
+    family.help = help;
+  } else if (!help.empty() && family.help.empty()) {
+    family.help = help;
+  }
+  return family;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = GetFamily(name, help, Kind::kCounter)
+                  .series[RenderLabels(labels)];
+  if (s.counter == nullptr) {
+    s.label_text = RenderLabels(labels);
+    s.counter = std::make_unique<Counter>();
+  }
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s =
+      GetFamily(name, help, Kind::kGauge).series[RenderLabels(labels)];
+  if (s.gauge == nullptr) {
+    s.label_text = RenderLabels(labels);
+    s.gauge = std::make_unique<Gauge>();
+  }
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const Labels& labels, double base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s =
+      GetFamily(name, help, Kind::kHistogram).series[RenderLabels(labels)];
+  if (s.histogram == nullptr) {
+    s.label_text = RenderLabels(labels);
+    s.histogram = std::make_unique<Histogram>(base);
+  }
+  return *s.histogram;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name,
+                                       const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto family = families_.find(name);
+  if (family == families_.end()) return 0;
+  auto series = family->second.series.find(RenderLabels(labels));
+  if (series == family->second.series.end() ||
+      series->second.counter == nullptr) {
+    return 0;
+  }
+  return series->second.counter->value();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    const char* type = family.kind == Kind::kCounter   ? "counter"
+                       : family.kind == Kind::kGauge   ? "gauge"
+                                                       : "histogram";
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& [label_text, s] : family.series) {
+      if (s.counter != nullptr) {
+        out += name + label_text + " " + std::to_string(s.counter->value()) +
+               "\n";
+      } else if (s.gauge != nullptr) {
+        out += name + label_text + " " + FormatDouble(s.gauge->value()) + "\n";
+      } else if (s.histogram != nullptr) {
+        const Histogram& h = *s.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+          uint64_t c = h.bucket_count(i);
+          if (c == 0 && i < Histogram::kNumBuckets) continue;  // sparse
+          cumulative = 0;
+          for (size_t j = 0; j <= i; ++j) cumulative += h.bucket_count(j);
+          std::string le = i == Histogram::kNumBuckets
+                               ? "+Inf"
+                               : FormatDouble(h.bucket_bound(i));
+          std::string lbl = label_text.empty()
+                                ? "{le=\"" + le + "\"}"
+                                : label_text.substr(0, label_text.size() - 1) +
+                                      ",le=\"" + le + "\"}";
+          out += name + "_bucket" + lbl + " " + std::to_string(cumulative) +
+                 "\n";
+        }
+        out += name + "_sum" + label_text + " " + FormatDouble(h.sum()) + "\n";
+        out += name + "_count" + label_text + " " +
+               std::to_string(h.count()) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  const char* kinds[] = {"counters", "gauges", "histograms"};
+  for (int k = 0; k < 3; ++k) {
+    if (k > 0) out << ",";
+    out << "\"" << kinds[k] << "\":{";
+    bool first = true;
+    for (const auto& [name, family] : families_) {
+      if (static_cast<int>(family.kind) != k) continue;
+      for (const auto& [label_text, s] : family.series) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << EscapeJson(name + label_text) << "\":";
+        if (s.counter != nullptr) {
+          out << s.counter->value();
+        } else if (s.gauge != nullptr) {
+          out << FormatDouble(s.gauge->value());
+        } else if (s.histogram != nullptr) {
+          const Histogram& h = *s.histogram;
+          out << "{\"count\":" << h.count() << ",\"sum\":"
+              << FormatDouble(h.sum()) << ",\"buckets\":[";
+          bool first_bucket = true;
+          for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+            uint64_t c = h.bucket_count(i);
+            if (c == 0) continue;
+            if (!first_bucket) out << ",";
+            first_bucket = false;
+            std::string le = i == Histogram::kNumBuckets
+                                 ? "\"+Inf\""
+                                 : FormatDouble(h.bucket_bound(i));
+            out << "{\"le\":" << le << ",\"count\":" << c << "}";
+          }
+          out << "]}";
+        }
+      }
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace datacube::obs

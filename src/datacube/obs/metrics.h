@@ -1,0 +1,154 @@
+#ifndef DATACUBE_OBS_METRICS_H_
+#define DATACUBE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Process-wide metrics substrate: counters, gauges, and log-bucketed
+// histograms registered by name (plus optional labels) in a thread-safe
+// MetricsRegistry, with text exposition in Prometheus and JSON formats.
+//
+// Naming convention (see DESIGN.md "Observability"):
+//   datacube_<module>_<what>[_<unit>][_total]
+// e.g. datacube_cube_iter_calls_total, datacube_cube_execute_seconds.
+//
+// Hot paths accumulate into plain local counters and flush one delta per
+// operation into the registry, so per-row work never touches an atomic or a
+// lock; registry handles returned by Get* are stable for the registry's
+// lifetime and may be cached.
+
+namespace datacube::obs {
+
+/// Label key/value pairs attached to one time series of a metric family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (e.g. live cells, open cursors).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(double d) { Add(-d); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram: bucket i counts observations <= base * 2^i.
+/// The default base of 1 microsecond with 40 doublings spans 1us .. ~13 days,
+/// which covers any latency this engine can produce; non-latency uses (cell
+/// counts, rows) fit by passing a different base. Observations below base
+/// land in bucket 0; observations beyond the last bound land in the implicit
+/// +Inf bucket.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  explicit Histogram(double base = 1e-6) : base_(base) {}
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Upper bound of bucket i (inclusive).
+  double bucket_bound(size_t i) const;
+  /// Non-cumulative count of bucket i; index kNumBuckets is the +Inf bucket.
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  double base_;
+  std::atomic<uint64_t> buckets_[kNumBuckets + 1] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe registry of metric families. Each (name, labels) pair is one
+/// time series; all series of a name form a family sharing a help string and
+/// a kind. Lookup takes a mutex — cache the returned reference outside hot
+/// loops. Returned references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "",
+                      const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const std::string& help = "",
+                  const Labels& labels = {});
+  /// `base` only takes effect when the series is first created.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          const Labels& labels = {}, double base = 1e-6);
+
+  /// Reads a counter's current value; 0 if the series does not exist.
+  uint64_t CounterValue(const std::string& name,
+                        const Labels& labels = {}) const;
+
+  /// Prometheus text exposition format (HELP/TYPE headers, one line per
+  /// series; histograms expand to _bucket/_sum/_count).
+  std::string RenderPrometheus() const;
+
+  /// JSON exposition: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} keyed by "name{labels}".
+  std::string RenderJson() const;
+
+  /// Drops every registered series. Outstanding references become invalid —
+  /// only for test isolation.
+  void ResetForTest();
+
+  /// The process-wide registry every engine component reports into.
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string label_text;  // rendered {k="v",...} or empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    // label_text -> series (ordered for stable exposition)
+    std::map<std::string, Series> series;
+  };
+
+  Family& GetFamily(const std::string& name, const std::string& help,
+                    Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// Renders labels as Prometheus text: {key="value",...}; empty for no labels.
+std::string RenderLabels(const Labels& labels);
+
+}  // namespace datacube::obs
+
+#endif  // DATACUBE_OBS_METRICS_H_

@@ -1,0 +1,191 @@
+#include "datacube/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace datacube::obs {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread ambient tracing state. Plain pointers: a thread with no
+// installed trace pays exactly one TLS load per ScopedSpan.
+thread_local Trace* tls_trace = nullptr;
+thread_local SpanNode* tls_current = nullptr;
+// Absolute base time of the installed trace, mirrored into TLS so spans can
+// compute offsets without reaching into the Trace.
+thread_local int64_t tls_base_ns = 0;
+
+std::string FormatDuration(int64_t ns) {
+  char buf[32];
+  if (ns < 0) {
+    return "(open)";
+  } else if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+void RenderNode(const SpanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.name + "  " + FormatDuration(node.duration_ns);
+  if (!node.attrs.empty()) {
+    *out += "  [";
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i > 0) *out += " ";
+      *out += node.attrs[i].first + "=" + node.attrs[i].second;
+    }
+    *out += "]";
+  }
+  *out += "\n";
+  for (const auto& child : node.children) {
+    RenderNode(*child, depth + 1, out);
+  }
+}
+
+std::string EscapeJson(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void JsonNode(const SpanNode& node, std::string* out) {
+  *out += "{\"name\":\"" + EscapeJson(node.name) + "\"";
+  *out += ",\"start_ns\":" + std::to_string(node.start_ns);
+  *out += ",\"duration_ns\":" + std::to_string(node.duration_ns);
+  if (!node.attrs.empty()) {
+    *out += ",\"attrs\":{";
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += "\"" + EscapeJson(node.attrs[i].first) + "\":\"" +
+              EscapeJson(node.attrs[i].second) + "\"";
+    }
+    *out += "}";
+  }
+  if (!node.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) *out += ",";
+      JsonNode(*node.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+const std::string* SpanNode::FindAttr(const std::string& key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Trace::Trace(std::string root_name) : start_time_ns_(NowNs()) {
+  root_.name = std::move(root_name);
+  root_.start_ns = 0;
+}
+
+int64_t Trace::ElapsedNs() const { return NowNs() - start_time_ns_; }
+
+std::string Trace::Render() const {
+  std::string out;
+  RenderNode(root_, 0, &out);
+  return out;
+}
+
+std::string Trace::ToJson() const {
+  std::string out;
+  JsonNode(root_, &out);
+  return out;
+}
+
+TraceScope::TraceScope(Trace* trace)
+    : prev_trace_(tls_trace), prev_current_(tls_current) {
+  tls_trace = trace;
+  tls_current = trace != nullptr ? &trace->root() : nullptr;
+  if (trace != nullptr) tls_base_ns = NowNs() - trace->ElapsedNs();
+}
+
+TraceScope::~TraceScope() {
+  if (tls_trace != nullptr) {
+    SpanNode& root = tls_trace->root();
+    if (root.duration_ns < 0) root.duration_ns = tls_trace->ElapsedNs();
+  }
+  tls_trace = prev_trace_;
+  tls_current = prev_current_;
+  if (tls_trace != nullptr) tls_base_ns = NowNs() - tls_trace->ElapsedNs();
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (tls_trace == nullptr) return;
+  trace_ = tls_trace;
+  parent_ = tls_current;
+  auto node = std::make_unique<SpanNode>();
+  node->name = name;
+  node->start_ns = NowNs() - tls_base_ns;
+  node_ = node.get();
+  parent_->children.push_back(std::move(node));
+  tls_current = node_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (node_ == nullptr) return;
+  node_->duration_ns = (NowNs() - tls_base_ns) - node_->start_ns;
+  // Restore the parent only if this thread's trace is still the one we
+  // opened under (scopes are strictly nested by construction).
+  if (tls_trace == trace_) tls_current = parent_;
+}
+
+void ScopedSpan::Attr(const char* key, const std::string& value) {
+  if (node_ != nullptr) node_->attrs.emplace_back(key, value);
+}
+void ScopedSpan::Attr(const char* key, const char* value) {
+  if (node_ != nullptr) node_->attrs.emplace_back(key, value);
+}
+void ScopedSpan::Attr(const char* key, uint64_t value) {
+  if (node_ != nullptr) {
+    node_->attrs.emplace_back(key, std::to_string(value));
+  }
+}
+void ScopedSpan::Attr(const char* key, int64_t value) {
+  if (node_ != nullptr) {
+    node_->attrs.emplace_back(key, std::to_string(value));
+  }
+}
+void ScopedSpan::Attr(const char* key, int value) {
+  if (node_ != nullptr) {
+    node_->attrs.emplace_back(key, std::to_string(value));
+  }
+}
+void ScopedSpan::Attr(const char* key, double value) {
+  if (node_ != nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    node_->attrs.emplace_back(key, buf);
+  }
+}
+
+bool TracingActive() { return tls_trace != nullptr; }
+
+}  // namespace datacube::obs

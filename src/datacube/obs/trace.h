@@ -1,0 +1,107 @@
+#ifndef DATACUBE_OBS_TRACE_H_
+#define DATACUBE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Hierarchical per-query tracing: RAII scoped spans assemble a timing tree
+// (span name, wall time, children, attached attributes like rows scanned or
+// cells emitted). A Trace is installed on the current thread with a
+// TraceScope; every ScopedSpan opened while it is installed attaches under
+// the innermost open span. With no trace installed, ScopedSpan is a no-op
+// costing one thread-local pointer check — instrumentation can therefore
+// live permanently in hot paths. This is the machinery behind the SQL
+// front end's EXPLAIN ANALYZE.
+
+namespace datacube::obs {
+
+/// One node of the timing tree.
+struct SpanNode {
+  std::string name;
+  /// Nanoseconds from the trace's start to this span's start.
+  int64_t start_ns = 0;
+  /// Wall time of the span; -1 while still open.
+  int64_t duration_ns = -1;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  const std::string* FindAttr(const std::string& key) const;
+};
+
+/// A completed or in-progress span tree for one operation (typically one
+/// query). Not thread-safe; one trace belongs to one thread at a time.
+class Trace {
+ public:
+  explicit Trace(std::string root_name);
+
+  SpanNode& root() { return root_; }
+  const SpanNode& root() const { return root_; }
+
+  /// Monotonic nanoseconds since the trace was created.
+  int64_t ElapsedNs() const;
+
+  /// Indented text rendering:
+  ///   name  duration  [key=value ...]
+  /// Durations print in the largest fitting unit (ns/us/ms/s).
+  std::string Render() const;
+
+  /// The tree as nested JSON objects
+  /// {"name":..,"duration_ns":..,"attrs":{..},"children":[..]}.
+  std::string ToJson() const;
+
+ private:
+  int64_t start_time_ns_;  // absolute steady-clock base
+  SpanNode root_;
+};
+
+/// Installs `trace` as the calling thread's active trace for this scope's
+/// lifetime; nested ScopedSpans attach under it. On destruction the root
+/// span's duration is closed and the previous active trace (if any) is
+/// restored.
+class TraceScope {
+ public:
+  explicit TraceScope(Trace* trace);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* prev_trace_;
+  SpanNode* prev_current_;
+};
+
+/// RAII span: opens a child of the innermost open span on construction,
+/// closes it (recording wall time) on destruction. Inactive — all methods
+/// no-ops — when the thread has no installed trace.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return node_ != nullptr; }
+
+  void Attr(const char* key, const std::string& value);
+  void Attr(const char* key, const char* value);
+  void Attr(const char* key, uint64_t value);
+  void Attr(const char* key, int64_t value);
+  void Attr(const char* key, int value);
+  void Attr(const char* key, double value);
+
+ private:
+  SpanNode* node_ = nullptr;
+  SpanNode* parent_ = nullptr;
+  Trace* trace_ = nullptr;
+};
+
+/// True when the calling thread has a trace installed — lets callers skip
+/// work that only feeds span attributes (e.g. computing cell estimates).
+bool TracingActive();
+
+}  // namespace datacube::obs
+
+#endif  // DATACUBE_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "datacube/agg/registry.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 
@@ -11,6 +12,11 @@ Result<Table> PivotToTable(const Table& input,
                            const std::string& pivot_column,
                            const std::string& value_column,
                            const PivotTableOptions& options) {
+  obs::ScopedSpan span("pivot_to_table");
+  if (span.active()) {
+    span.Attr("rows", static_cast<uint64_t>(input.num_rows()));
+    span.Attr("pivot_column", pivot_column);
+  }
   // Resolve columns.
   std::vector<size_t> key_cols;
   for (const std::string& name : row_key_columns) {

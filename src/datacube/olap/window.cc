@@ -4,6 +4,8 @@
 #include <deque>
 #include <functional>
 
+#include "datacube/obs/trace.h"
+
 namespace datacube {
 
 namespace {
@@ -61,8 +63,14 @@ Result<Table> WithComputedColumn(
     DataType output_type, const WindowOptions& options,
     const std::function<void(const Table&, size_t, size_t,
                              std::vector<Value>*)>& compute) {
+  obs::ScopedSpan span("window_function");
   DATACUBE_ASSIGN_OR_RETURN(Partitions parts,
                             Partition(table, value_column, options));
+  if (span.active()) {
+    span.Attr("output", output_name);
+    span.Attr("rows", static_cast<uint64_t>(parts.sorted.num_rows()));
+    span.Attr("partitions", static_cast<uint64_t>(parts.ranges.size()));
+  }
   std::vector<Value> column(parts.sorted.num_rows(), Value::Null());
   for (const auto& [begin, end] : parts.ranges) {
     compute(parts.sorted, begin, end, &column);

@@ -60,10 +60,17 @@ struct SelectStatement {
   int64_t limit = -1;  // -1 = no limit
 };
 
+/// EXPLAIN prefix on a query: kPlan renders the cube execution plan without
+/// running it; kAnalyze executes the query under a trace and renders the
+/// plan, per-grouping-set actual vs estimated cell counts, and the span
+/// tree with measured timings.
+enum class ExplainMode { kNone, kPlan, kAnalyze };
+
 /// A full query: one or more SELECT statements combined with UNION [ALL] —
 /// the Section 2 construct the CUBE operator replaces ("a 64-way union of
 /// 64 different GROUP BY operators").
 struct UnionQuery {
+  ExplainMode explain = ExplainMode::kNone;
   std::vector<SelectStatement> selects;
   /// distinct_union[i] is true when selects[i] was joined to its
   /// predecessor with plain UNION (duplicate-eliminating); index 0 unused.

@@ -7,6 +7,9 @@
 #include "datacube/agg/registry.h"
 #include "datacube/common/str_util.h"
 #include "datacube/cube/cube_operator.h"
+#include "datacube/cube/grouping_set.h"
+#include "datacube/obs/metrics.h"
+#include "datacube/obs/trace.h"
 #include "datacube/sql/parser.h"
 
 namespace datacube::sql {
@@ -418,11 +421,18 @@ Result<Table> ApplyWhere(const Table& input, const ExprPtr& where) {
   if (ContainsAggregate(where)) {
     return Status::InvalidArgument("aggregates are not allowed in WHERE");
   }
+  obs::ScopedSpan span("where_filter");
   DATACUBE_RETURN_IF_ERROR(where->Bind(input.schema()));
   std::vector<bool> mask(input.num_rows());
+  size_t kept = 0;
   for (size_t r = 0; r < input.num_rows(); ++r) {
     DATACUBE_ASSIGN_OR_RETURN(Value v, where->Evaluate(input, r));
     mask[r] = !v.is_special() && v.bool_value();
+    kept += mask[r] ? 1 : 0;
+  }
+  if (span.active()) {
+    span.Attr("rows_in", static_cast<uint64_t>(input.num_rows()));
+    span.Attr("rows_out", static_cast<uint64_t>(kept));
   }
   return input.FilterRows(mask);
 }
@@ -565,10 +575,22 @@ Result<Table> ExecuteProjection(const SelectStatement& stmt, Table filtered) {
   return ApplyOrderAndLimit(std::move(out), /*order_by=*/{}, stmt.limit);
 }
 
-// Aggregation SELECT: plan the cube, execute, filter (HAVING), project.
-Result<Table> ExecuteAggregation(const SelectStatement& stmt,
-                                 const Table& filtered,
-                                 const EngineOptions& options) {
+// Everything the aggregation path derives from the statement before
+// touching data: the cube spec plus the rewritten output / HAVING / ORDER BY
+// expressions over the future cube result relation. EXPLAIN shares this with
+// execution so the rendered plan is exactly what would run.
+struct AggregationPlan {
+  CubeSpec spec;
+  std::vector<ExprPtr> output_exprs;
+  std::vector<std::string> output_names;
+  ExprPtr having;
+  std::vector<ExprPtr> order_keys;
+  std::vector<bool> order_ascending;
+  int64_t limit = -1;
+};
+
+Result<AggregationPlan> PlanAggregation(const SelectStatement& stmt,
+                                        const EngineOptions& options) {
   Plan plan;
   const GroupByClause& gb = stmt.group_by;
   if (!gb.grouping_sets.empty()) {
@@ -686,24 +708,53 @@ Result<Table> ExecuteAggregation(const SelectStatement& stmt,
   spec.add_grouping_columns = plan.uses_grouping;
   spec.add_grouping_id = plan.uses_grouping_id;
 
+  AggregationPlan out;
+  out.spec = std::move(spec);
+  out.output_exprs = std::move(output_exprs);
+  out.output_names = std::move(output_names);
+  out.having = std::move(having);
+  out.order_keys = std::move(order_keys);
+  out.order_ascending = std::move(order_ascending);
+  out.limit = stmt.limit;
+  return out;
+}
+
+// Aggregation SELECT: plan the cube, execute, filter (HAVING), project.
+// When `stats_out` is non-null it receives the cube execution stats
+// (EXPLAIN ANALYZE reads per-grouping-set cell counts from it).
+Result<Table> ExecuteAggregation(const SelectStatement& stmt,
+                                 const Table& filtered,
+                                 const EngineOptions& options,
+                                 CubeStats* stats_out = nullptr) {
+  DATACUBE_ASSIGN_OR_RETURN(AggregationPlan ap,
+                            PlanAggregation(stmt, options));
+
   DATACUBE_ASSIGN_OR_RETURN(CubeResult cube,
-                            ExecuteCube(filtered, spec, options.cube));
+                            ExecuteCube(filtered, ap.spec, options.cube));
+  if (stats_out != nullptr) *stats_out = cube.stats;
   Table result = std::move(cube.table);
 
-  if (having != nullptr) {
-    DATACUBE_RETURN_IF_ERROR(having->Bind(result.schema()));
+  if (ap.having != nullptr) {
+    obs::ScopedSpan span("having_filter");
+    DATACUBE_RETURN_IF_ERROR(ap.having->Bind(result.schema()));
     std::vector<bool> mask(result.num_rows());
     for (size_t r = 0; r < result.num_rows(); ++r) {
-      DATACUBE_ASSIGN_OR_RETURN(Value v, having->Evaluate(result, r));
+      DATACUBE_ASSIGN_OR_RETURN(Value v, ap.having->Evaluate(result, r));
       mask[r] = !v.is_special() && v.bool_value();
     }
+    size_t before = result.num_rows();
     DATACUBE_ASSIGN_OR_RETURN(result, result.FilterRows(mask));
+    if (span.active()) {
+      span.Attr("rows_in", static_cast<uint64_t>(before));
+      span.Attr("rows_out", static_cast<uint64_t>(result.num_rows()));
+    }
   }
 
   // Sort the result relation by the rewritten ORDER BY keys.
-  if (!order_keys.empty()) {
+  if (!ap.order_keys.empty()) {
+    obs::ScopedSpan span("order_by");
     std::vector<std::vector<Value>> keys;
-    for (const ExprPtr& key : order_keys) {
+    for (const ExprPtr& key : ap.order_keys) {
       DATACUBE_RETURN_IF_ERROR(key->Bind(result.schema()));
       std::vector<Value> column(result.num_rows());
       for (size_t r = 0; r < result.num_rows(); ++r) {
@@ -716,26 +767,34 @@ Result<Table> ExecuteAggregation(const SelectStatement& stmt,
     std::stable_sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
       for (size_t k = 0; k < keys.size(); ++k) {
         int cmp = keys[k][a].Compare(keys[k][b]);
-        if (cmp != 0) return order_ascending[k] ? cmp < 0 : cmp > 0;
+        if (cmp != 0) return ap.order_ascending[k] ? cmp < 0 : cmp > 0;
       }
       return false;
     });
     DATACUBE_ASSIGN_OR_RETURN(result, result.TakeRows(indices));
   }
 
-  for (const ExprPtr& e : output_exprs) {
+  obs::ScopedSpan project_span("project_output");
+  for (const ExprPtr& e : ap.output_exprs) {
     DATACUBE_RETURN_IF_ERROR(e->Bind(result.schema()));
   }
-  DATACUBE_ASSIGN_OR_RETURN(Table projected,
-                            Project(result, output_exprs, output_names));
-  return ApplyOrderAndLimit(std::move(projected), /*order_by=*/{}, stmt.limit);
+  DATACUBE_ASSIGN_OR_RETURN(
+      Table projected, Project(result, ap.output_exprs, ap.output_names));
+  return ApplyOrderAndLimit(std::move(projected), /*order_by=*/{}, ap.limit);
 }
 
-}  // namespace
-
-Result<Table> ExecuteSelect(const SelectStatement& stmt, const Catalog& catalog,
-                            const EngineOptions& options) {
+// Shared select driver: filter, expand N_tiles, dispatch. `stats_out`
+// (optional) receives the cube stats of an aggregation query.
+Result<Table> ExecuteSelectImpl(const SelectStatement& stmt,
+                                const Catalog& catalog,
+                                const EngineOptions& options,
+                                CubeStats* stats_out) {
+  obs::ScopedSpan span("execute_select");
   DATACUBE_ASSIGN_OR_RETURN(const Table* base, catalog.Get(stmt.from_table));
+  if (span.active()) {
+    span.Attr("table", stmt.from_table);
+    span.Attr("rows", static_cast<uint64_t>(base->num_rows()));
+  }
   DATACUBE_ASSIGN_OR_RETURN(Table filtered, ApplyWhere(*base, stmt.where));
 
   // Expand Red Brick N_tile calls into precomputed hidden columns (the
@@ -748,10 +807,89 @@ Result<Table> ExecuteSelect(const SelectStatement& stmt, const Catalog& catalog,
   for (const SelectItem& item : prepared.select_list) {
     if (!item.star && ContainsAggregate(item.expr)) any_aggregate = true;
   }
-  if (prepared.group_by.empty() && !any_aggregate) {
+  bool is_projection = prepared.group_by.empty() && !any_aggregate;
+  obs::MetricsRegistry::Global()
+      .GetCounter("datacube_sql_selects_total",
+                  "SQL SELECT statements executed, by query shape",
+                  {{"kind", is_projection ? "projection" : "aggregation"}})
+      .Inc();
+  if (is_projection) {
     return ExecuteProjection(prepared, std::move(filtered));
   }
-  return ExecuteAggregation(prepared, filtered, options);
+  return ExecuteAggregation(prepared, filtered, options, stats_out);
+}
+
+// Renders the EXPLAIN [ANALYZE] text for one select branch. The plan half
+// reuses PlanAggregation + ExplainCube, so what prints is exactly what
+// ExecuteSelect would run; ANALYZE additionally executes the branch under a
+// trace and appends per-grouping-set actual-vs-estimated cell counts and the
+// measured span tree.
+Result<std::string> ExplainSelectText(const SelectStatement& stmt,
+                                      const Catalog& catalog,
+                                      const EngineOptions& options,
+                                      bool analyze) {
+  DATACUBE_ASSIGN_OR_RETURN(const Table* base, catalog.Get(stmt.from_table));
+  DATACUBE_ASSIGN_OR_RETURN(Table filtered, ApplyWhere(*base, stmt.where));
+  SelectStatement prepared = stmt;
+  DATACUBE_ASSIGN_OR_RETURN(filtered,
+                            ExpandNTiles(&prepared, std::move(filtered)));
+
+  bool any_aggregate = prepared.having != nullptr;
+  for (const SelectItem& item : prepared.select_list) {
+    if (!item.star && ContainsAggregate(item.expr)) any_aggregate = true;
+  }
+  std::string out;
+  if (prepared.group_by.empty() && !any_aggregate) {
+    out += "projection over " + prepared.from_table + " (" +
+           std::to_string(filtered.num_rows()) + " rows after WHERE)\n";
+    if (!analyze) return out;
+    obs::Trace trace("query");
+    {
+      obs::TraceScope scope(&trace);
+      DATACUBE_ASSIGN_OR_RETURN(Table discarded,
+                                ExecuteProjection(prepared, filtered));
+      (void)discarded;
+    }
+    out += "trace:\n" + trace.Render();
+    return out;
+  }
+
+  DATACUBE_ASSIGN_OR_RETURN(AggregationPlan ap,
+                            PlanAggregation(prepared, options));
+  DATACUBE_ASSIGN_OR_RETURN(std::string plan_text,
+                            ExplainCube(filtered, ap.spec, options.cube));
+  out += plan_text;
+  if (!analyze) return out;
+
+  CubeStats stats;
+  obs::Trace trace("query");
+  {
+    obs::TraceScope scope(&trace);
+    DATACUBE_ASSIGN_OR_RETURN(
+        Table discarded, ExecuteAggregation(prepared, filtered, options, &stats));
+    (void)discarded;
+  }
+  std::vector<std::string> names;
+  for (const GroupExpr& g : ap.spec.AllGroupExprs()) names.push_back(g.name);
+  out += "grouping sets (actual vs estimated cells):\n";
+  for (const GroupingSetExecStats& ps : stats.per_set) {
+    out += "  " + GroupingSetToString(ps.set, names) +
+           "  actual=" + std::to_string(ps.actual_cells);
+    if (ps.est_cells >= 0) {
+      out +=
+          "  estimated=" + std::to_string(static_cast<uint64_t>(ps.est_cells));
+    }
+    out += "\n";
+  }
+  out += "trace:\n" + trace.Render();
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ExecuteSelect(const SelectStatement& stmt, const Catalog& catalog,
+                            const EngineOptions& options) {
+  return ExecuteSelectImpl(stmt, catalog, options, /*stats_out=*/nullptr);
 }
 
 namespace {
@@ -771,6 +909,34 @@ Result<Table> DedupeRows(const Table& table) {
 Result<Table> ExecuteSql(const std::string& text, const Catalog& catalog,
                          const EngineOptions& options) {
   DATACUBE_ASSIGN_OR_RETURN(UnionQuery query, ParseQuery(text));
+  if (query.explain != ExplainMode::kNone) {
+    bool analyze = query.explain == ExplainMode::kAnalyze;
+    std::string rendered;
+    for (size_t i = 0; i < query.selects.size(); ++i) {
+      if (query.selects.size() > 1) {
+        rendered += "union branch " + std::to_string(i + 1) + ":\n";
+      }
+      DATACUBE_ASSIGN_OR_RETURN(
+          std::string branch,
+          ExplainSelectText(query.selects[i], catalog, options, analyze));
+      rendered += branch;
+    }
+    // One result row per output line, so the plan prints like any relation.
+    std::vector<Field> fields{
+        Field{analyze ? "EXPLAIN ANALYZE" : "EXPLAIN", DataType::kString}};
+    Table plan{Schema{std::move(fields)}};
+    size_t start = 0;
+    while (start <= rendered.size()) {
+      size_t nl = rendered.find('\n', start);
+      if (nl == std::string::npos) nl = rendered.size();
+      if (nl > start || nl < rendered.size()) {
+        DATACUBE_RETURN_IF_ERROR(
+            plan.AppendRow({Value::String(rendered.substr(start, nl - start))}));
+      }
+      start = nl + 1;
+    }
+    return plan;
+  }
   DATACUBE_ASSIGN_OR_RETURN(Table result,
                             ExecuteSelect(query.selects[0], catalog, options));
   for (size_t i = 1; i < query.selects.size(); ++i) {

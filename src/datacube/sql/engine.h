@@ -27,6 +27,12 @@ struct EngineOptions {
 /// clause, aggregate expressions anywhere in the select list (e.g.
 /// SUM(x) / 100), GROUPING() discriminators, HAVING, ORDER BY (names or
 /// ordinals), and LIMIT.
+///
+/// A query may be prefixed with EXPLAIN (render the cube execution plan
+/// without running the query) or EXPLAIN ANALYZE (execute under a trace and
+/// render the plan, per-grouping-set actual vs estimated cell counts, and
+/// the timed span tree). Either form returns a single string column with
+/// one row per output line.
 Result<Table> ExecuteSql(const std::string& text, const Catalog& catalog,
                          const EngineOptions& options = {});
 

@@ -31,6 +31,10 @@ class Parser {
 
   Result<UnionQuery> ParseUnionQuery() {
     UnionQuery query;
+    if (AcceptKeyword("EXPLAIN")) {
+      query.explain =
+          AcceptKeyword("ANALYZE") ? ExplainMode::kAnalyze : ExplainMode::kPlan;
+    }
     query.distinct_union.push_back(false);  // index 0 unused
     DATACUBE_ASSIGN_OR_RETURN(SelectStatement first, ParseSelectBody());
     query.selects.push_back(std::move(first));

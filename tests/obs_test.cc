@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/obs/metrics.h"
+#include "datacube/obs/trace.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube::obs {
+namespace {
+
+// --------------------------------------------------------------- counters
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentWritersLoseNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.Inc();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kIncs);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  g.Set(10.0);
+  g.Add(5.0);
+  g.Sub(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactly) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g] {
+      for (int i = 0; i < kAdds; ++i) g.Add(1.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kAdds);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketBoundsDoubleFromBase) {
+  Histogram h(1e-6);
+  EXPECT_DOUBLE_EQ(h.bucket_bound(0), 1e-6);
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(h.bucket_bound(i), 2.0 * h.bucket_bound(i - 1));
+  }
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram h(1.0);  // bounds 1, 2, 4, 8, ...
+  h.Observe(0.5);    // <= 1 -> bucket 0
+  h.Observe(1.0);    // == bound, inclusive -> bucket 0
+  h.Observe(3.0);    // <= 4 -> bucket 2
+  h.Observe(1e30);   // beyond the last bound -> +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 3.0 + 1e30, 1e18);
+}
+
+TEST(HistogramTest, ConcurrentObserversKeepCountAndSumConsistent) {
+  Histogram h(1.0);
+  constexpr int kThreads = 8;
+  constexpr int kObs = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) {
+        h.Observe(static_cast<double>(1 + (t + i) % 7));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kObs);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+    bucket_total += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());
+  EXPECT_GT(h.sum(), 0.0);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, SameNameAndLabelsIsTheSameSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("datacube_test_total", "help");
+  Counter& b = reg.GetCounter("datacube_test_total");
+  EXPECT_EQ(&a, &b);
+  Counter& labeled =
+      reg.GetCounter("datacube_test_total", "", {{"algorithm", "from_core"}});
+  EXPECT_NE(&a, &labeled);
+  a.Inc(3);
+  labeled.Inc(4);
+  EXPECT_EQ(reg.CounterValue("datacube_test_total"), 3u);
+  EXPECT_EQ(
+      reg.CounterValue("datacube_test_total", {{"algorithm", "from_core"}}),
+      4u);
+  EXPECT_EQ(reg.CounterValue("datacube_missing_total"), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndIncAcrossSeries) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      // Half the threads share one series; the rest get per-thread series.
+      Labels labels = t % 2 == 0
+                          ? Labels{{"shard", "shared"}}
+                          : Labels{{"shard", std::to_string(t)}};
+      for (int i = 0; i < kIncs; ++i) {
+        reg.GetCounter("datacube_contended_total", "h", labels).Inc();
+        reg.GetHistogram("datacube_contended_seconds", "h", labels)
+            .Observe(1e-3);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(reg.CounterValue("datacube_contended_total", {{"shard", "shared"}}),
+            static_cast<uint64_t>(kThreads / 2) * kIncs);
+  for (int t = 1; t < kThreads; t += 2) {
+    EXPECT_EQ(reg.CounterValue("datacube_contended_total",
+                               {{"shard", std::to_string(t)}}),
+              static_cast<uint64_t>(kIncs));
+  }
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("datacube_q_total", "Queries", {{"kind", "cube"}}).Inc(7);
+  reg.GetGauge("datacube_live_cells", "Live cells").Set(12.5);
+  reg.GetHistogram("datacube_q_seconds", "Latency", {}, 1.0).Observe(3.0);
+  std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP datacube_q_total Queries"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE datacube_q_total counter"), std::string::npos);
+  EXPECT_NE(text.find("datacube_q_total{kind=\"cube\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE datacube_live_cells gauge"), std::string::npos);
+  EXPECT_NE(text.find("datacube_live_cells 12.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE datacube_q_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("datacube_q_seconds_bucket{le=\"4\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("datacube_q_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("datacube_q_seconds_sum 3"), std::string::npos);
+  EXPECT_NE(text.find("datacube_q_seconds_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("datacube_j_total", "", {{"a", "b"}}).Inc(2);
+  reg.GetHistogram("datacube_j_seconds", "", {}, 1.0).Observe(1.5);
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"datacube_j_total{a=\\\"b\\\"}\":2"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetForTestDropsSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("datacube_tmp_total").Inc(5);
+  reg.ResetForTest();
+  EXPECT_EQ(reg.CounterValue("datacube_tmp_total"), 0u);
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(TraceTest, SpansAreInactiveWithoutAnInstalledTrace) {
+  ScopedSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  EXPECT_FALSE(TracingActive());
+  span.Attr("ignored", uint64_t{1});  // must be a safe no-op
+}
+
+TEST(TraceTest, BuildsTheSpanTreeWithDurationsAndAttrs) {
+  Trace trace("query");
+  {
+    TraceScope scope(&trace);
+    EXPECT_TRUE(TracingActive());
+    ScopedSpan outer("execute_cube");
+    EXPECT_TRUE(outer.active());
+    outer.Attr("rows", uint64_t{100});
+    {
+      ScopedSpan inner("hash_group_by");
+      inner.Attr("set", "{d0,d1}");
+    }
+    { ScopedSpan sibling("assemble_result"); }
+  }
+  EXPECT_FALSE(TracingActive());
+
+  const SpanNode& root = trace.root();
+  EXPECT_EQ(root.name, "query");
+  EXPECT_GE(root.duration_ns, 0);  // closed by TraceScope destruction
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanNode& outer = *root.children[0];
+  EXPECT_EQ(outer.name, "execute_cube");
+  EXPECT_GE(outer.duration_ns, 0);
+  ASSERT_NE(outer.FindAttr("rows"), nullptr);
+  EXPECT_EQ(*outer.FindAttr("rows"), "100");
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0]->name, "hash_group_by");
+  EXPECT_EQ(outer.children[1]->name, "assemble_result");
+  ASSERT_NE(outer.children[0]->FindAttr("set"), nullptr);
+  EXPECT_EQ(*outer.children[0]->FindAttr("set"), "{d0,d1}");
+  // Children nest inside the parent's time range.
+  EXPECT_GE(outer.children[0]->start_ns, outer.start_ns);
+  EXPECT_LE(outer.children[0]->duration_ns, root.duration_ns);
+
+  std::string text = trace.Render();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("  execute_cube"), std::string::npos);
+  EXPECT_NE(text.find("    hash_group_by"), std::string::npos);
+  EXPECT_NE(text.find("rows=100"), std::string::npos);
+
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\":\"execute_cube\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+}
+
+TEST(TraceTest, NestedTraceScopesRestoreThePreviousTrace) {
+  Trace outer_trace("outer");
+  Trace inner_trace("inner");
+  TraceScope outer_scope(&outer_trace);
+  {
+    ScopedSpan before("before");
+    {
+      TraceScope inner_scope(&inner_trace);
+      ScopedSpan inner_span("inner_work");
+      EXPECT_TRUE(inner_span.active());
+    }
+    // Back on the outer trace.
+    ScopedSpan after("after");
+    EXPECT_TRUE(after.active());
+  }
+  ASSERT_EQ(inner_trace.root().children.size(), 1u);
+  EXPECT_EQ(inner_trace.root().children[0]->name, "inner_work");
+  ASSERT_EQ(outer_trace.root().children.size(), 1u);
+  const SpanNode& before = *outer_trace.root().children[0];
+  EXPECT_EQ(before.name, "before");
+  ASSERT_EQ(before.children.size(), 1u);
+  EXPECT_EQ(before.children[0]->name, "after");
+}
+
+TEST(TraceTest, TracesAreThreadLocal) {
+  Trace trace("main_thread");
+  TraceScope scope(&trace);
+  std::atomic<bool> other_thread_active{true};
+  std::thread other([&] {
+    ScopedSpan span("other_thread_span");
+    other_thread_active = span.active();
+  });
+  other.join();
+  EXPECT_FALSE(other_thread_active.load());
+  EXPECT_TRUE(TracingActive());
+}
+
+// --------------------------------------------- engine integration points
+
+TEST(ObsIntegrationTest, ExecuteCubePublishesCountersAndStats) {
+  Table sales = Table3SalesTable().value();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  uint64_t executions_before = reg.CounterValue(
+      "datacube_cube_executions_total", {{"algorithm", "from_core"}});
+  uint64_t cells_before = reg.CounterValue("datacube_cube_output_cells_total");
+
+  CubeOptions options;
+  options.algorithm = CubeAlgorithm::kFromCore;
+  Result<CubeResult> result =
+      Cube(sales, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+           {Agg("sum", "Units")}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(reg.CounterValue("datacube_cube_executions_total",
+                             {{"algorithm", "from_core"}}),
+            executions_before + 1);
+  EXPECT_EQ(reg.CounterValue("datacube_cube_output_cells_total"),
+            cells_before + result.value().stats.output_cells);
+  EXPECT_GT(result.value().stats.wall_seconds, 0.0);
+  EXPECT_EQ(result.value().stats.algorithm_used, CubeAlgorithm::kFromCore);
+  EXPECT_EQ(result.value().stats.algorithm_requested,
+            CubeAlgorithm::kFromCore);
+  // Per-set actuals are filled for every execution and sum to the output.
+  uint64_t per_set_total = 0;
+  for (const GroupingSetExecStats& ps : result.value().stats.per_set) {
+    per_set_total += ps.actual_cells;
+  }
+  EXPECT_EQ(per_set_total, result.value().stats.output_cells);
+}
+
+TEST(ObsIntegrationTest, TracedExecutionRecordsCubeSpans) {
+  Table sales = Table3SalesTable().value();
+  Trace trace("query");
+  {
+    TraceScope scope(&trace);
+    Result<CubeResult> result =
+        Cube(sales, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+             {Agg("sum", "Units")}, {});
+    ASSERT_TRUE(result.ok());
+    // Estimates are only computed under a trace.
+    for (const GroupingSetExecStats& ps : result.value().stats.per_set) {
+      EXPECT_GE(ps.est_cells, 0.0);
+    }
+  }
+  ASSERT_EQ(trace.root().children.size(), 1u);
+  const SpanNode& exec = *trace.root().children[0];
+  EXPECT_EQ(exec.name, "execute_cube");
+  ASSERT_NE(exec.FindAttr("algorithm"), nullptr);
+  bool saw_compute_set = false;
+  for (const auto& child : exec.children) {
+    if (child->name == "compute_set") saw_compute_set = true;
+  }
+  EXPECT_TRUE(saw_compute_set);
+}
+
+}  // namespace
+}  // namespace datacube::obs

@@ -534,5 +534,90 @@ TEST(AnalyzeTest, CountsAggregatesAndGroupBy) {
   EXPECT_FALSE(stats.has_group_by);
 }
 
+// ------------------------------------------------------------------ explain
+
+// Joins an EXPLAIN result (one string column, one row per line) back into
+// the rendered text.
+std::string PlanText(const Table& t) {
+  std::string text;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    text += t.GetValue(r, 0).string_value();
+    text += '\n';
+  }
+  return text;
+}
+
+TEST(ExplainTest, RendersCubePlanWithoutExecuting) {
+  Catalog catalog = TestCatalog();
+  Table t = MustRun(
+      "EXPLAIN SELECT Model, Year, SUM(Units) FROM Sales "
+      "GROUP BY CUBE Model, Year",
+      catalog);
+  ASSERT_EQ(t.num_columns(), 1u);
+  EXPECT_EQ(t.schema().fields()[0].name, "EXPLAIN");
+  std::string text = PlanText(t);
+  EXPECT_NE(text.find("cube plan over"), std::string::npos) << text;
+  EXPECT_NE(text.find("algorithm:"), std::string::npos) << text;
+  EXPECT_NE(text.find("column cardinalities:"), std::string::npos) << text;
+  EXPECT_NE(text.find("est_cells="), std::string::npos) << text;
+  // Plain EXPLAIN does not execute, so no runtime sections appear.
+  EXPECT_EQ(text.find("trace:"), std::string::npos) << text;
+  EXPECT_EQ(text.find("actual="), std::string::npos) << text;
+}
+
+TEST(ExplainTest, ReportsFallbackFromForcedAlgorithm) {
+  // MEDIAN is holistic, so a forced from_core cascade cannot run; the plan
+  // must name the algorithm that actually executes, not the request.
+  Catalog catalog = TestCatalog();
+  EngineOptions options;
+  options.cube.algorithm = CubeAlgorithm::kFromCore;
+  Table t = MustRun(
+      "EXPLAIN SELECT Model, MEDIAN(Units) FROM Sales GROUP BY CUBE Model",
+      catalog, options);
+  std::string text = PlanText(t);
+  EXPECT_NE(text.find("algorithm: union_groupby (requested from_core, "
+                      "fell back)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExplainTest, AnalyzeExecutesAndRendersTraceAndCellCounts) {
+  Catalog catalog = TestCatalog();
+  Table t = MustRun(
+      "EXPLAIN ANALYZE SELECT Model, Year, Color, SUM(Units) FROM Sales "
+      "GROUP BY CUBE Model, Year, Color",
+      catalog);
+  ASSERT_EQ(t.num_columns(), 1u);
+  EXPECT_EQ(t.schema().fields()[0].name, "EXPLAIN ANALYZE");
+  std::string text = PlanText(t);
+  // Plan half (same as plain EXPLAIN).
+  EXPECT_NE(text.find("cube plan over"), std::string::npos) << text;
+  EXPECT_NE(text.find("algorithm:"), std::string::npos) << text;
+  // Runtime half: per-grouping-set actuals vs estimates and the span tree.
+  EXPECT_NE(text.find("grouping sets (actual vs estimated cells):"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("actual="), std::string::npos) << text;
+  EXPECT_NE(text.find("estimated="), std::string::npos) << text;
+  EXPECT_NE(text.find("{Model, Year, Color}"), std::string::npos) << text;
+  EXPECT_NE(text.find("{}"), std::string::npos) << text;
+  EXPECT_NE(text.find("trace:"), std::string::npos) << text;
+  EXPECT_NE(text.find("execute_cube"), std::string::npos) << text;
+  // Every (Model, Year, Color) combination in the 8-row Sales table is
+  // distinct, so the core grouping set has 8 cells.
+  EXPECT_NE(text.find("{Model, Year, Color}  actual=8"), std::string::npos)
+      << text;
+}
+
+TEST(ExplainTest, AnalyzeProjectionQuery) {
+  Catalog catalog = TestCatalog();
+  Table t = MustRun(
+      "EXPLAIN ANALYZE SELECT Model FROM Sales WHERE Units > 100", catalog);
+  std::string text = PlanText(t);
+  EXPECT_NE(text.find("projection over Sales"), std::string::npos) << text;
+  EXPECT_NE(text.find("rows after WHERE"), std::string::npos) << text;
+  EXPECT_NE(text.find("trace:"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace datacube::sql

@@ -84,6 +84,15 @@ class AggregateFunction {
   virtual void Iter(AggState* state, const Value* args, size_t nargs) const = 0;
   virtual Value Final(const AggState* state) const = 0;
 
+  /// Final with an error channel. The cube pipeline calls this form so that
+  /// functions with partial result domains can reject rather than lie — SUM
+  /// over int64 returns InvalidArgument when the exact sum exceeds INT64
+  /// range instead of a silently wrapped or rounded integer. The default
+  /// simply defers to Final(), which every total function keeps using.
+  virtual Result<Value> FinalChecked(const AggState* state) const {
+    return Final(state);
+  }
+
   /// Whether Merge() is usable. Defaults to the paper's rule — distributive
   /// and algebraic functions have constant-size mergeable scratchpads,
   /// holistic ones do not ("we know of no more efficient way of computing

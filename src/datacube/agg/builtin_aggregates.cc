@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "datacube/common/codec.h"
@@ -119,11 +120,55 @@ class CountFunction : public AggregateFunction {
 
 // -------------------------------------------------------------------- SUM
 
+// Integer inputs accumulate exactly in 128 bits: int64 partial sums overflow
+// legitimately (INT64_MAX + 1 - 1 must come back exact), and signed int64
+// wraparound is UB besides. 2^64 maximal addends fit, so the sum over any
+// materializable input is exact; __builtin_add_overflow latches the
+// (practically unreachable) 128-bit wrap instead of invoking UB.
 struct SumState : AggState {
-  int64_t sum_i = 0;
-  double sum_d = 0.0;
-  int64_t n = 0;  // non-null inputs; 0 yields SQL NULL
+  __int128 sum_i = 0;  // exact sum of int64 inputs
+  double sum_d = 0.0;  // sum of *finite* float64 inputs
+  int64_t n = 0;       // non-null inputs; 0 yields SQL NULL
+  int64_t n_float = 0; // float64 inputs among n
+  // Non-finite floats are counted, not accumulated: once a NaN enters a
+  // running sum it cannot be subtracted back out (NaN - NaN = NaN), which
+  // would leave a maintained cube cell poisoned after the row is deleted.
+  int64_t n_nan = 0;
+  int64_t n_pinf = 0;
+  int64_t n_ninf = 0;
+  bool wide_overflow = false;
 };
+
+// The IEEE value of the float-side sum: NaN if any NaN (or both infinities)
+// participated, else the surviving infinity, else the finite sum.
+double SumFloatPart(const SumState& s) {
+  if (s.n_nan > 0 || (s.n_pinf > 0 && s.n_ninf > 0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (s.n_pinf > 0) return std::numeric_limits<double>::infinity();
+  if (s.n_ninf > 0) return -std::numeric_limits<double>::infinity();
+  return s.sum_d;
+}
+
+bool Int128FitsInt64(__int128 v) {
+  return v >= static_cast<__int128>(INT64_MIN) &&
+         v <= static_cast<__int128>(INT64_MAX);
+}
+
+std::string Int128ToString(__int128 v) {
+  if (v == 0) return "0";
+  bool neg = v < 0;
+  unsigned __int128 u =
+      neg ? -static_cast<unsigned __int128>(v) : static_cast<unsigned __int128>(v);
+  std::string digits;
+  while (u != 0) {
+    digits += static_cast<char>('0' + static_cast<int>(u % 10));
+    u /= 10;
+  }
+  if (neg) digits += '-';
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
 
 class SumFunction : public AggregateFunction {
  public:
@@ -145,52 +190,127 @@ class SumFunction : public AggregateFunction {
     if (args[0].is_special()) return;
     auto* s = As<SumState>(state);
     if (args[0].kind() == Value::Kind::kInt64) {
-      s->sum_i += args[0].int64_value();
+      if (__builtin_add_overflow(s->sum_i,
+                                 static_cast<__int128>(args[0].int64_value()),
+                                 &s->sum_i)) {
+        s->wide_overflow = true;
+      }
+    } else {
+      double x = args[0].float64_value();
+      if (std::isnan(x)) {
+        ++s->n_nan;
+      } else if (std::isinf(x)) {
+        ++(x > 0 ? s->n_pinf : s->n_ninf);
+      } else {
+        s->sum_d += x;
+      }
+      ++s->n_float;
     }
-    s->sum_d += args[0].AsDouble();
     ++s->n;
   }
   Value Final(const AggState* state) const override {
     const auto* s = As<SumState>(state);
     if (s->n == 0) return Value::Null();
-    // If every input was an exact int64, report the exact integer sum.
-    if (s->sum_d == static_cast<double>(s->sum_i)) return Value::Int64(s->sum_i);
-    return Value::Float64(s->sum_d);
+    if (s->n_float == 0 && !s->wide_overflow) {
+      if (Int128FitsInt64(s->sum_i)) {
+        return Value::Int64(static_cast<int64_t>(s->sum_i));
+      }
+      // Infallible caller: report the exact 128-bit sum rounded once to
+      // double — deterministic, never a wrapped integer. The cube pipeline
+      // uses FinalChecked and surfaces an error instead.
+      return Value::Float64(static_cast<double>(s->sum_i));
+    }
+    return Value::Float64(static_cast<double>(s->sum_i) + SumFloatPart(*s));
+  }
+  Result<Value> FinalChecked(const AggState* state) const override {
+    const auto* s = As<SumState>(state);
+    if (s->n_float == 0 &&
+        (s->wide_overflow || (s->n > 0 && !Int128FitsInt64(s->sum_i)))) {
+      return Status::InvalidArgument(
+          "sum: exact result " +
+          (s->wide_overflow ? std::string("(128-bit accumulator overflow)")
+                            : Int128ToString(s->sum_i)) +
+          " out of INT64 range");
+    }
+    return Final(state);
   }
   Status Merge(AggState* dst, const AggState* src) const override {
     auto* d = As<SumState>(dst);
     const auto* s = As<SumState>(src);
-    d->sum_i += s->sum_i;
+    if (__builtin_add_overflow(d->sum_i, s->sum_i, &d->sum_i)) {
+      d->wide_overflow = true;
+    }
+    d->wide_overflow = d->wide_overflow || s->wide_overflow;
     d->sum_d += s->sum_d;
     d->n += s->n;
+    d->n_float += s->n_float;
+    d->n_nan += s->n_nan;
+    d->n_pinf += s->n_pinf;
+    d->n_ninf += s->n_ninf;
     return Status::OK();
   }
   Status Remove(AggState* state, const Value* args, size_t) const override {
     if (args[0].is_special()) return Status::OK();
     auto* s = As<SumState>(state);
     if (args[0].kind() == Value::Kind::kInt64) {
-      s->sum_i -= args[0].int64_value();
+      if (__builtin_sub_overflow(s->sum_i,
+                                 static_cast<__int128>(args[0].int64_value()),
+                                 &s->sum_i)) {
+        s->wide_overflow = true;
+      }
+    } else {
+      double x = args[0].float64_value();
+      if (std::isnan(x)) {
+        --s->n_nan;
+      } else if (std::isinf(x)) {
+        --(x > 0 ? s->n_pinf : s->n_ninf);
+      } else {
+        s->sum_d -= x;
+      }
+      --s->n_float;
     }
-    s->sum_d -= args[0].AsDouble();
     --s->n;
     return Status::OK();
   }
   Status SerializeState(const AggState* state, std::string* out) const override {
     const auto* s = As<SumState>(state);
-    EncodeValue(Value::Int64(s->sum_i), out);
+    // 128-bit sum as (high, low) int64 halves.
+    EncodeValue(Value::Int64(static_cast<int64_t>(s->sum_i >> 64)), out);
+    EncodeValue(
+        Value::Int64(static_cast<int64_t>(
+            static_cast<uint64_t>(static_cast<unsigned __int128>(s->sum_i)))),
+        out);
     EncodeValue(Value::Float64(s->sum_d), out);
     EncodeValue(Value::Int64(s->n), out);
+    EncodeValue(Value::Int64(s->n_float), out);
+    EncodeValue(Value::Int64(s->n_nan), out);
+    EncodeValue(Value::Int64(s->n_pinf), out);
+    EncodeValue(Value::Int64(s->n_ninf), out);
+    EncodeValue(Value::Bool(s->wide_overflow), out);
     return Status::OK();
   }
   Result<AggStatePtr> DeserializeState(const std::string& data,
                                        size_t* pos) const override {
     auto s = std::make_unique<SumState>();
-    DATACUBE_ASSIGN_OR_RETURN(Value sum_i, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value hi, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value lo, DecodeValue(data, pos));
     DATACUBE_ASSIGN_OR_RETURN(Value sum_d, DecodeValue(data, pos));
     DATACUBE_ASSIGN_OR_RETURN(Value n, DecodeValue(data, pos));
-    s->sum_i = sum_i.int64_value();
+    DATACUBE_ASSIGN_OR_RETURN(Value n_float, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n_nan, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n_pinf, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n_ninf, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value wide, DecodeValue(data, pos));
+    s->sum_i = (static_cast<__int128>(hi.int64_value()) << 64) |
+               static_cast<__int128>(
+                   static_cast<uint64_t>(lo.int64_value()));
     s->sum_d = sum_d.float64_value();
     s->n = n.int64_value();
+    s->n_float = n_float.int64_value();
+    s->n_nan = n_nan.int64_value();
+    s->n_pinf = n_pinf.int64_value();
+    s->n_ninf = n_ninf.int64_value();
+    s->wide_overflow = wide.bool_value();
     return AggStatePtr(std::move(s));
   }
   AggStatePtr Clone(const AggState* state) const override {
@@ -288,9 +408,23 @@ class ExtremeFunction : public AggregateFunction {
 // -------------------------------------------------------------------- AVG
 
 struct AvgState : AggState {
-  double sum = 0.0;
-  int64_t n = 0;
+  double sum = 0.0;  // finite inputs only; non-finites are counted below
+  int64_t n = 0;     // all non-null inputs
+  // Counted, not accumulated, so Remove stays an exact inverse (see
+  // SumState).
+  int64_t n_nan = 0;
+  int64_t n_pinf = 0;
+  int64_t n_ninf = 0;
 };
+
+double AvgNumeratorPart(const AvgState& s) {
+  if (s.n_nan > 0 || (s.n_pinf > 0 && s.n_ninf > 0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (s.n_pinf > 0) return std::numeric_limits<double>::infinity();
+  if (s.n_ninf > 0) return -std::numeric_limits<double>::infinity();
+  return 0.0;
+}
 
 // The paper's canonical algebraic function: scratchpad is the (sum, count)
 // pair; H() divides.
@@ -313,25 +447,43 @@ class AvgFunction : public AggregateFunction {
   void Iter(AggState* state, const Value* args, size_t) const override {
     if (args[0].is_special()) return;
     auto* s = As<AvgState>(state);
-    s->sum += args[0].AsDouble();
+    double x = args[0].AsDouble();
+    if (std::isnan(x)) {
+      ++s->n_nan;
+    } else if (std::isinf(x)) {
+      ++(x > 0 ? s->n_pinf : s->n_ninf);
+    } else {
+      s->sum += x;
+    }
     ++s->n;
   }
   Value Final(const AggState* state) const override {
     const auto* s = As<AvgState>(state);
     if (s->n == 0) return Value::Null();
-    return Value::Float64(s->sum / static_cast<double>(s->n));
+    return Value::Float64((s->sum + AvgNumeratorPart(*s)) /
+                          static_cast<double>(s->n));
   }
   Status Merge(AggState* dst, const AggState* src) const override {
     auto* d = As<AvgState>(dst);
     const auto* s = As<AvgState>(src);
     d->sum += s->sum;
     d->n += s->n;
+    d->n_nan += s->n_nan;
+    d->n_pinf += s->n_pinf;
+    d->n_ninf += s->n_ninf;
     return Status::OK();
   }
   Status Remove(AggState* state, const Value* args, size_t) const override {
     if (args[0].is_special()) return Status::OK();
     auto* s = As<AvgState>(state);
-    s->sum -= args[0].AsDouble();
+    double x = args[0].AsDouble();
+    if (std::isnan(x)) {
+      --s->n_nan;
+    } else if (std::isinf(x)) {
+      --(x > 0 ? s->n_pinf : s->n_ninf);
+    } else {
+      s->sum -= x;
+    }
     --s->n;
     return Status::OK();
   }
@@ -339,6 +491,9 @@ class AvgFunction : public AggregateFunction {
     const auto* s = As<AvgState>(state);
     EncodeValue(Value::Float64(s->sum), out);
     EncodeValue(Value::Int64(s->n), out);
+    EncodeValue(Value::Int64(s->n_nan), out);
+    EncodeValue(Value::Int64(s->n_pinf), out);
+    EncodeValue(Value::Int64(s->n_ninf), out);
     return Status::OK();
   }
   Result<AggStatePtr> DeserializeState(const std::string& data,
@@ -346,8 +501,14 @@ class AvgFunction : public AggregateFunction {
     auto s = std::make_unique<AvgState>();
     DATACUBE_ASSIGN_OR_RETURN(Value sum, DecodeValue(data, pos));
     DATACUBE_ASSIGN_OR_RETURN(Value n, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n_nan, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n_pinf, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n_ninf, DecodeValue(data, pos));
     s->sum = sum.float64_value();
     s->n = n.int64_value();
+    s->n_nan = n_nan.int64_value();
+    s->n_pinf = n_pinf.int64_value();
+    s->n_ninf = n_ninf.int64_value();
     return AggStatePtr(std::move(s));
   }
   AggStatePtr Clone(const AggState* state) const override {
@@ -357,12 +518,71 @@ class AvgFunction : public AggregateFunction {
 
 // --------------------------------------------------------- VAR / STDDEV
 
+// Compensated (double-double) accumulator: the value is hi + lo with
+// |lo| <= ulp(hi)/2, ~106 bits of precision. Knuth's TwoSum captures the
+// exact rounding error of every addition, so adding x and later adding -x
+// restores the previous sum to within 2^-106 relative — which is what keeps
+// the moment sums below drift-free under Section 6 insert/delete
+// maintenance, where plain doubles (and inverse-Welford M2) accumulate
+// residue proportional to the largest magnitude ever seen, not the current
+// content.
+struct DD {
+  double hi = 0.0;
+  double lo = 0.0;
+};
+
+DD TwoSum(double a, double b) {
+  double s = a + b;
+  double bv = s - a;
+  return {s, (a - (s - bv)) + (b - bv)};
+}
+
+DD TwoProd(double a, double b) {
+  double p = a * b;
+  return {p, std::fma(a, b, -p)};
+}
+
+void DDAdd(DD* acc, double x) {
+  DD s = TwoSum(acc->hi, x);
+  s.lo += acc->lo;
+  *acc = TwoSum(s.hi, s.lo);
+}
+
+void DDAddDD(DD* acc, const DD& x) {
+  DDAdd(acc, x.hi);
+  DDAdd(acc, x.lo);
+}
+
+DD DDSquare(const DD& a) {
+  DD p = TwoProd(a.hi, a.hi);
+  p.lo += 2.0 * a.hi * a.lo + a.lo * a.lo;
+  return TwoSum(p.hi, p.lo);
+}
+
+DD DDDiv(const DD& a, double d) {
+  double q = a.hi / d;
+  // fma recovers the exact remainder of the hi-part division.
+  double r = std::fma(-q, d, a.hi);
+  return TwoSum(q, (r + a.lo) / d);
+}
+
+// Variance scratchpad: compensated moment sums (n, Σx, Σx²). The textbook
+// single-double sum_sq/n − mean² form cancels catastrophically, and the
+// Welford/Chan (n, mean, M2) triple — while insert/merge-stable — drifts
+// under removal: the inverse update leaves rounding residue in M2 scaled by
+// the largest value ever seen, which sqrt amplifies when the true variance
+// is ~0. Double-double moments are mergeable (sums commute), removable
+// (subtraction is ~exact), and retain enough precision (~106 bits) that the
+// Σx² − (Σx)²/n cancellation still leaves an accurate result.
 struct VarState : AggState {
-  // Sum/sum-of-squares form: exact merge and remove, adequate numerically
-  // for the value ranges in this library's workloads.
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  int64_t n = 0;
+  int64_t n = 0;  // finite inputs folded into the moment sums
+  DD sx;          // Σx
+  DD sxx;         // Σx²  (each x² expanded exactly via TwoProd)
+  // Non-finite inputs are counted instead of folded in: one NaN or infinity
+  // would poison the sums irreversibly, breaking Remove. While any are
+  // present the variance is NaN (the same value a from-scratch two-pass
+  // computation produces).
+  int64_t n_bad = 0;
 };
 
 class VarianceFunction : public AggregateFunction {
@@ -384,51 +604,83 @@ class VarianceFunction : public AggregateFunction {
     if (args[0].is_special()) return;
     auto* s = As<VarState>(state);
     double x = args[0].AsDouble();
-    s->sum += x;
-    s->sum_sq += x * x;
+    if (!std::isfinite(x)) {
+      ++s->n_bad;
+      return;
+    }
     ++s->n;
+    DDAdd(&s->sx, x);
+    DDAddDD(&s->sxx, TwoProd(x, x));
   }
   Value Final(const AggState* state) const override {
     const auto* s = As<VarState>(state);
-    if (s->n == 0) return Value::Null();
-    double mean = s->sum / static_cast<double>(s->n);
-    double var = s->sum_sq / static_cast<double>(s->n) - mean * mean;
-    if (var < 0) var = 0;  // numeric guard
+    if (s->n + s->n_bad == 0) return Value::Null();
+    if (s->n_bad > 0) {
+      return Value::Float64(std::numeric_limits<double>::quiet_NaN());
+    }
+    // var = (Σx² − (Σx)²/n) / n, with the cancelling subtraction done in
+    // double-double so ~106 bits absorb the loss.
+    double dn = static_cast<double>(s->n);
+    DD correction = DDDiv(DDSquare(s->sx), dn);
+    DD diff = s->sxx;
+    DDAddDD(&diff, {-correction.hi, -correction.lo});
+    double var = (diff.hi + diff.lo) / dn;
+    if (var < 0) var = 0;  // rounding guard
     return Value::Float64(stddev_ ? std::sqrt(var) : var);
   }
   Status Merge(AggState* dst, const AggState* src) const override {
     auto* d = As<VarState>(dst);
     const auto* s = As<VarState>(src);
-    d->sum += s->sum;
-    d->sum_sq += s->sum_sq;
+    d->n_bad += s->n_bad;
     d->n += s->n;
+    DDAddDD(&d->sx, s->sx);
+    DDAddDD(&d->sxx, s->sxx);
     return Status::OK();
   }
   Status Remove(AggState* state, const Value* args, size_t) const override {
     if (args[0].is_special()) return Status::OK();
     auto* s = As<VarState>(state);
     double x = args[0].AsDouble();
-    s->sum -= x;
-    s->sum_sq -= x * x;
+    if (!std::isfinite(x)) {
+      --s->n_bad;
+      return Status::OK();
+    }
     --s->n;
+    if (s->n <= 0) {
+      // Removing the last value restores the empty state exactly.
+      s->n = 0;
+      s->sx = DD{};
+      s->sxx = DD{};
+      return Status::OK();
+    }
+    DDAdd(&s->sx, -x);
+    DD x2 = TwoProd(x, x);
+    DDAddDD(&s->sxx, {-x2.hi, -x2.lo});
     return Status::OK();
   }
   Status SerializeState(const AggState* state, std::string* out) const override {
     const auto* s = As<VarState>(state);
-    EncodeValue(Value::Float64(s->sum), out);
-    EncodeValue(Value::Float64(s->sum_sq), out);
     EncodeValue(Value::Int64(s->n), out);
+    EncodeValue(Value::Float64(s->sx.hi), out);
+    EncodeValue(Value::Float64(s->sx.lo), out);
+    EncodeValue(Value::Float64(s->sxx.hi), out);
+    EncodeValue(Value::Float64(s->sxx.lo), out);
+    EncodeValue(Value::Int64(s->n_bad), out);
     return Status::OK();
   }
   Result<AggStatePtr> DeserializeState(const std::string& data,
                                        size_t* pos) const override {
     auto s = std::make_unique<VarState>();
-    DATACUBE_ASSIGN_OR_RETURN(Value sum, DecodeValue(data, pos));
-    DATACUBE_ASSIGN_OR_RETURN(Value sum_sq, DecodeValue(data, pos));
     DATACUBE_ASSIGN_OR_RETURN(Value n, DecodeValue(data, pos));
-    s->sum = sum.float64_value();
-    s->sum_sq = sum_sq.float64_value();
+    DATACUBE_ASSIGN_OR_RETURN(Value sx_hi, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value sx_lo, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value sxx_hi, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value sxx_lo, DecodeValue(data, pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value n_bad, DecodeValue(data, pos));
     s->n = n.int64_value();
+    s->sx = {sx_hi.float64_value(), sx_lo.float64_value()};
+    s->sxx = {sxx_hi.float64_value(), sxx_lo.float64_value()};
+    s->n_bad = n_bad.int64_value();
     return AggStatePtr(std::move(s));
   }
   AggStatePtr Clone(const AggState* state) const override {
@@ -445,6 +697,22 @@ class VarianceFunction : public AggregateFunction {
 struct MedianState : AggState {
   std::vector<double> values;
 };
+
+// IEEE total order for the value-list scratchpads: -inf < finite < +inf <
+// NaN, matching Value::Compare. Plain operator< violates strict weak
+// ordering once a NaN enters the list, making nth_element/sort results
+// depend on input order (different cube algorithms would then disagree).
+bool DoubleTotalLess(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return !std::isnan(a) && std::isnan(b);
+  return a < b;
+}
+
+// Equality consistent with DoubleTotalLess: NaN matches NaN (a removed NaN
+// must find the NaN that was inserted), -0.0 matches +0.0.
+bool DoubleTotalEq(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  return a == b;
+}
 
 // Shared (de)serialization of the value-list scratchpad used by MEDIAN and
 // PERCENTILE.
@@ -494,16 +762,18 @@ class MedianFunction : public AggregateFunction {
     std::vector<double> v = As<MedianState>(state)->values;
     if (v.empty()) return Value::Null();
     size_t mid = v.size() / 2;
-    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    std::nth_element(v.begin(), v.begin() + mid, v.end(), DoubleTotalLess);
     if (v.size() % 2 == 1) return Value::Float64(v[mid]);
     double hi = v[mid];
-    double lo = *std::max_element(v.begin(), v.begin() + mid);
+    double lo = *std::max_element(v.begin(), v.begin() + mid, DoubleTotalLess);
     return Value::Float64((lo + hi) / 2.0);
   }
   Status Remove(AggState* state, const Value* args, size_t) const override {
     if (args[0].is_special()) return Status::OK();
     auto& v = As<MedianState>(state)->values;
-    auto it = std::find(v.begin(), v.end(), args[0].AsDouble());
+    double x = args[0].AsDouble();
+    auto it = std::find_if(v.begin(), v.end(),
+                           [x](double d) { return DoubleTotalEq(d, x); });
     if (it == v.end()) {
       return Status::InvalidArgument("median: removing absent value");
     }
@@ -849,7 +1119,7 @@ class PercentileFunction : public AggregateFunction {
   Value Final(const AggState* state) const override {
     std::vector<double> v = As<MedianState>(state)->values;
     if (v.empty()) return Value::Null();
-    std::sort(v.begin(), v.end());
+    std::sort(v.begin(), v.end(), DoubleTotalLess);
     // Linear interpolation between closest ranks.
     double rank = p_ / 100.0 * static_cast<double>(v.size() - 1);
     size_t lo = static_cast<size_t>(rank);
@@ -860,7 +1130,9 @@ class PercentileFunction : public AggregateFunction {
   Status Remove(AggState* state, const Value* args, size_t) const override {
     if (args[0].is_special()) return Status::OK();
     auto& v = As<MedianState>(state)->values;
-    auto it = std::find(v.begin(), v.end(), args[0].AsDouble());
+    double x = args[0].AsDouble();
+    auto it = std::find_if(v.begin(), v.end(),
+                           [x](double d) { return DoubleTotalEq(d, x); });
     if (it == v.end()) {
       return Status::InvalidArgument("percentile: removing absent value");
     }

@@ -39,14 +39,12 @@ class DistinctAggregate : public AggregateFunction {
   }
 
   Value Final(const AggState* state) const override {
-    // Replay the distinct tuples into a fresh inner scratchpad.
-    AggStatePtr inner_state = inner_->Init();
-    for (const auto& [key, count] :
-         static_cast<const DistinctState*>(state)->seen) {
-      (void)count;
-      inner_->Iter(inner_state.get(), key.data(), key.size());
-    }
-    return inner_->Final(inner_state.get());
+    return inner_->Final(ReplayDistinct(state).get());
+  }
+
+  Result<Value> FinalChecked(const AggState* state) const override {
+    // Propagates the inner function's error domain (e.g. SUM overflow).
+    return inner_->FinalChecked(ReplayDistinct(state).get());
   }
 
   Status Merge(AggState* dst, const AggState* src) const override {
@@ -102,6 +100,17 @@ class DistinctAggregate : public AggregateFunction {
   }
 
  private:
+  // Replays the distinct tuples into a fresh inner scratchpad.
+  AggStatePtr ReplayDistinct(const AggState* state) const {
+    AggStatePtr inner_state = inner_->Init();
+    for (const auto& [key, count] :
+         static_cast<const DistinctState*>(state)->seen) {
+      (void)count;
+      inner_->Iter(inner_state.get(), key.data(), key.size());
+    }
+    return inner_state;
+  }
+
   AggregateFunctionPtr inner_;
   std::string name_;
 };

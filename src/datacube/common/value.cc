@@ -1,5 +1,6 @@
 #include "datacube/common/value.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -58,13 +59,29 @@ Result<Value> Value::CastTo(DataType target) const {
       if (kind_ == Kind::kInt64) return *this;
       if (kind_ == Kind::kBool) return Value::Int64(bool_value() ? 1 : 0);
       if (kind_ == Kind::kFloat64) {
-        return Value::Int64(static_cast<int64_t>(std::llround(float64_value())));
+        double d = float64_value();
+        // llround on NaN or values outside [-2^63, 2^63) is UB; reject them.
+        // The bounds are exact doubles: every double < 2^63 rounds to an
+        // in-range int64 (doubles near 2^63 are all integral).
+        if (std::isnan(d) || d < -9223372036854775808.0 ||
+            d >= 9223372036854775808.0) {
+          return Status::InvalidArgument("FLOAT64 " + ToString() +
+                                         " out of INT64 range");
+        }
+        return Value::Int64(std::llround(d));
       }
       if (kind_ == Kind::kString) {
         char* end = nullptr;
         const std::string& s = string_value();
+        errno = 0;
         long long v = std::strtoll(s.c_str(), &end, 10);
-        if (end != s.c_str() && *end == '\0') return Value::Int64(v);
+        if (end != s.c_str() && *end == '\0') {
+          if (errno == ERANGE) {
+            return Status::InvalidArgument("integer literal " + s +
+                                           " out of INT64 range");
+          }
+          return Value::Int64(v);
+        }
       }
       break;
     case DataType::kFloat64:
@@ -106,7 +123,9 @@ std::string Value::ToString() const {
       return std::to_string(int64_value());
     case Kind::kFloat64: {
       double d = float64_value();
-      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+      // The range guard must run first: casting a double outside int64 range
+      // (or NaN) to int64 is UB. |d| < 1e15 also filters NaN and infinities.
+      if (std::abs(d) < 1e15 && d == static_cast<int64_t>(d)) {
         // Integral doubles print without a trailing ".000000".
         return std::to_string(static_cast<int64_t>(d));
       }
@@ -152,6 +171,54 @@ int Cmp(const T& a, const T& b) {
   return 0;
 }
 
+// Total order over doubles: -inf < finite < +inf < NaN, with -0.0 == +0.0
+// and every NaN equal to every other NaN. Plain operator< breaks the strict
+// weak ordering sorted algorithms rely on when NaN appears in a key column
+// (NaN would compare "equal" to everything), making sorted and hashed
+// group-bys disagree.
+int CmpDouble(double a, double b) {
+  bool na = std::isnan(a), nb = std::isnan(b);
+  if (na || nb) return (na ? 1 : 0) - (nb ? 1 : 0);
+  return Cmp(a, b);  // IEEE compare; -0.0 == +0.0
+}
+
+// Exact int64 vs double comparison. Widening the int64 to double (AsDouble)
+// loses precision beyond 2^53, silently equating distinct grouping keys such
+// as 2^53 and 2^53+1.
+int CmpInt64Double(int64_t i, double d) {
+  if (std::isnan(d)) return -1;  // every number < NaN
+  // 2^63 as a double is exact; any double >= it exceeds every int64, and
+  // any double < -2^63 is below every int64 (-2^63 itself is an int64).
+  if (d >= 9223372036854775808.0) return -1;
+  if (d < -9223372036854775808.0) return 1;
+  // Now floor(d) fits in int64 exactly (doubles in range are either integral
+  // or have an in-range integral floor).
+  double fl = std::floor(d);
+  int64_t fi = static_cast<int64_t>(fl);
+  if (i != fi) return i < fi ? -1 : 1;
+  return d > fl ? -1 : 0;  // equal integer part: fractional d is larger
+}
+
+// True when int64 `i` converts to double and back without loss, i.e. some
+// double is exactly equal to it.
+bool Int64FitsDouble(int64_t i, double* out) {
+  double d = static_cast<double>(i);
+  if (d >= 9223372036854775808.0 || d < -9223372036854775808.0) return false;
+  if (static_cast<int64_t>(d) != i) return false;
+  *out = d;
+  return true;
+}
+
+constexpr size_t kNanHash = 0x7fc00000a110c8edULL;
+
+// Hash of a double consistent with CmpDouble equality: one hash for every
+// NaN, and -0.0 canonicalized to +0.0.
+size_t HashDouble(double d) {
+  if (std::isnan(d)) return kNanHash;
+  if (d == 0.0) return std::hash<double>()(0.0);  // collapse -0.0
+  return std::hash<double>()(d);
+}
+
 }  // namespace
 
 int Value::Compare(const Value& other) const {
@@ -167,9 +234,12 @@ int Value::Compare(const Value& other) const {
       if (other.kind_ == Kind::kInt64) {
         return Cmp(int64_value(), other.int64_value());
       }
-      return Cmp(AsDouble(), other.AsDouble());
+      return CmpInt64Double(int64_value(), other.float64_value());
     case Kind::kFloat64:
-      return Cmp(AsDouble(), other.AsDouble());
+      if (other.kind_ == Kind::kInt64) {
+        return -CmpInt64Double(other.int64_value(), float64_value());
+      }
+      return CmpDouble(float64_value(), other.float64_value());
     case Kind::kString:
       return Cmp(string_value(), other.string_value());
     case Kind::kDate:
@@ -187,12 +257,19 @@ size_t Value::Hash() const {
       return 0x616c6cULL;
     case Kind::kBool:
       return std::hash<bool>()(bool_value()) ^ 0xb0;
-    case Kind::kInt64:
-      return std::hash<double>()(static_cast<double>(int64_value()));
+    case Kind::kInt64: {
+      // An int64 equals a float64 only when some double represents it
+      // exactly; hash through the double in that case so Hash agrees with
+      // Compare. Int64s beyond double precision can equal no double, so they
+      // may hash by integer value.
+      double d;
+      if (Int64FitsDouble(int64_value(), &d)) return std::hash<double>()(d);
+      return std::hash<int64_t>()(int64_value()) ^ 0x164;
+    }
     case Kind::kFloat64:
       // Integral doubles hash identically to the equal int64 (Compare treats
-      // them as equal, so Hash must agree).
-      return std::hash<double>()(float64_value());
+      // them as equal, so Hash must agree); NaN and -0.0 are canonicalized.
+      return HashDouble(float64_value());
     case Kind::kString:
       return std::hash<std::string>()(string_value());
     case Kind::kDate:

@@ -116,7 +116,10 @@ class Value {
 
   /// Total-order comparison used for sorting and B-tree-style keys:
   /// NULL < ALL < concrete values; numerics compare by magnitude across
-  /// int64/float64; otherwise values of different kinds order by kind.
+  /// int64/float64 (exactly — no precision loss beyond 2^53); otherwise
+  /// values of different kinds order by kind. Doubles follow a total order:
+  /// -inf < finite < +inf < NaN, with -0.0 == +0.0 and NaN == NaN, so sorted
+  /// and hashed algorithms group identically on adversarial keys.
   /// Returns <0, 0, >0.
   int Compare(const Value& other) const;
 

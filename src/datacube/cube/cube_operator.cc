@@ -234,7 +234,9 @@ Result<Table> AssembleResult(const CubeContext& ctx, SetMaps& maps,
       }
       // Aggregates.
       for (size_t a = 0; a < ctx.aggs.size(); ++a) {
-        row.push_back(ctx.aggs[a]->Final(cell.states[a].get()));
+        DATACUBE_ASSIGN_OR_RETURN(Value v,
+                                  ctx.aggs[a]->FinalChecked(cell.states[a].get()));
+        row.push_back(std::move(v));
         if (stats != nullptr) ++stats->final_calls;
       }
       // GROUPING() discriminators (Section 3.3/3.4): TRUE where the column

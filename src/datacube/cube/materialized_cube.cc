@@ -373,7 +373,9 @@ Result<Table> MaterializedCube::Slice(
     if (!match) continue;
     std::vector<Value> row = key;
     for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
-      row.push_back(ctx_.aggs[a]->Final(cell.states[a].get()));
+      DATACUBE_ASSIGN_OR_RETURN(Value v,
+                                ctx_.aggs[a]->FinalChecked(cell.states[a].get()));
+      row.push_back(std::move(v));
     }
     DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
   }
@@ -414,7 +416,7 @@ Result<Value> MaterializedCube::ValueAt(
   if (cell_it == maps_[s].end()) {
     return Status::NotFound("empty cube cell");
   }
-  return ctx_.aggs[agg]->Final(cell_it->second.states[agg].get());
+  return ctx_.aggs[agg]->FinalChecked(cell_it->second.states[agg].get());
 }
 
 Result<double> MaterializedCube::PercentOfTotal(

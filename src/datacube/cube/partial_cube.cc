@@ -79,7 +79,9 @@ Result<Table> PartialCube::AssembleSet(const CellMap& cells) const {
   for (const auto& [key, cell] : cells) {
     std::vector<Value> row = key;
     for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
-      row.push_back(ctx_.aggs[a]->Final(cell.states[a].get()));
+      DATACUBE_ASSIGN_OR_RETURN(Value v,
+                                ctx_.aggs[a]->FinalChecked(cell.states[a].get()));
+      row.push_back(std::move(v));
     }
     DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
   }

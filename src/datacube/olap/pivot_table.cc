@@ -121,20 +121,30 @@ Result<Table> PivotToTable(const Table& input,
     std::vector<Value> values = key;
     for (const auto& [pv, s] : pivot_values) {
       bool has = touched.count({key, s}) > 0;
-      values.push_back(has ? fn->Final(row.states[s].get()) : Value::Null());
+      if (has) {
+        DATACUBE_ASSIGN_OR_RETURN(Value v, fn->FinalChecked(row.states[s].get()));
+        values.push_back(std::move(v));
+      } else {
+        values.push_back(Value::Null());
+      }
     }
     if (options.add_row_total) {
-      values.push_back(fn->Final(row.states[pivot_values.size()].get()));
+      DATACUBE_ASSIGN_OR_RETURN(
+          Value v, fn->FinalChecked(row.states[pivot_values.size()].get()));
+      values.push_back(std::move(v));
     }
     DATACUBE_RETURN_IF_ERROR(out.AppendRow(values));
   }
   if (options.add_total_row && !grand_states.empty()) {
     std::vector<Value> values(key_cols.size(), Value::Null());
     for (const auto& [pv, s] : pivot_values) {
-      values.push_back(fn->Final(grand_states[s].get()));
+      DATACUBE_ASSIGN_OR_RETURN(Value v, fn->FinalChecked(grand_states[s].get()));
+      values.push_back(std::move(v));
     }
     if (options.add_row_total) {
-      values.push_back(fn->Final(grand_states[pivot_values.size()].get()));
+      DATACUBE_ASSIGN_OR_RETURN(
+          Value v, fn->FinalChecked(grand_states[pivot_values.size()].get()));
+      values.push_back(std::move(v));
     }
     DATACUBE_RETURN_IF_ERROR(out.AppendRow(values));
   }

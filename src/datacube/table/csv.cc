@@ -1,5 +1,7 @@
 #include "datacube/table/csv.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -10,8 +12,35 @@ namespace datacube {
 
 namespace {
 
-// Splits one logical CSV record (already newline-delimited) into fields,
-// honoring double-quote escaping.
+// Splits raw CSV text into logical records: newlines inside double-quoted
+// fields are data (RFC 4180), so record boundaries are only the newlines
+// seen outside quotes. A CR immediately before a record boundary is stripped
+// (CRLF input); CRs inside quoted fields are preserved. Blank records are
+// skipped, matching the old line-based reader.
+std::vector<std::string> SplitCsvRecords(const std::string& text) {
+  std::vector<std::string> records;
+  std::string cur;
+  bool in_quotes = false;
+  for (char c : text) {
+    if (c == '"') {
+      // An escaped quote ("") toggles twice, landing back in-quotes — the
+      // net state is still correct for record splitting.
+      in_quotes = !in_quotes;
+      cur += c;
+    } else if (c == '\n' && !in_quotes) {
+      if (!cur.empty() && cur.back() == '\r') cur.pop_back();
+      if (!cur.empty()) records.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty() && cur.back() == '\r') cur.pop_back();
+  if (!cur.empty()) records.push_back(std::move(cur));
+  return records;
+}
+
+// Splits one logical CSV record into fields, honoring double-quote escaping.
 std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
   std::vector<std::string> fields;
   std::string cur;
@@ -45,15 +74,23 @@ std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
 bool LooksLikeInt64(const std::string& s) {
   if (s.empty()) return false;
   char* end = nullptr;
+  errno = 0;
   std::strtoll(s.c_str(), &end, 10);
-  return end != s.c_str() && *end == '\0';
+  // strtoll saturates to INT64_MIN/MAX on overflow and signals via ERANGE;
+  // such cells must fall through to Float64/String inference rather than be
+  // silently clamped.
+  return errno != ERANGE && end != s.c_str() && *end == '\0';
 }
 
 bool LooksLikeFloat64(const std::string& s) {
   if (s.empty()) return false;
   char* end = nullptr;
-  std::strtod(s.c_str(), &end);
-  return end != s.c_str() && *end == '\0';
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  // Reject magnitude overflow (strtod returns ±HUGE_VAL with ERANGE); keep
+  // denormal underflow, which still parses to the nearest representable.
+  return !(errno == ERANGE && std::isinf(v));
 }
 
 bool LooksLikeDate(const std::string& s) { return ParseDate(s).ok(); }
@@ -86,10 +123,22 @@ Result<Value> ParseCell(const std::string& cell, DataType type,
       if (EqualsIgnoreCase(cell, "true")) return Value::Bool(true);
       if (EqualsIgnoreCase(cell, "false")) return Value::Bool(false);
       return Status::ParseError("bad bool: " + cell);
-    case DataType::kInt64:
-      return Value::Int64(std::strtoll(cell.c_str(), nullptr, 10));
-    case DataType::kFloat64:
-      return Value::Float64(std::strtod(cell.c_str(), nullptr));
+    case DataType::kInt64: {
+      errno = 0;
+      int64_t v = std::strtoll(cell.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        return Status::ParseError("integer out of INT64 range: " + cell);
+      }
+      return Value::Int64(v);
+    }
+    case DataType::kFloat64: {
+      errno = 0;
+      double v = std::strtod(cell.c_str(), nullptr);
+      if (errno == ERANGE && std::isinf(v)) {
+        return Status::ParseError("float out of FLOAT64 range: " + cell);
+      }
+      return Value::Float64(v);
+    }
     case DataType::kDate: {
       DATACUBE_ASSIGN_OR_RETURN(Date d, ParseDate(cell));
       return Value::FromDate(d);
@@ -119,14 +168,8 @@ std::string EscapeCsv(const std::string& s, char delim) {
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvReadOptions& options) {
   std::vector<std::vector<std::string>> rows;
-  {
-    std::istringstream in(text);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      rows.push_back(SplitCsvLine(line, options.delimiter));
-    }
+  for (const std::string& record : SplitCsvRecords(text)) {
+    rows.push_back(SplitCsvLine(record, options.delimiter));
   }
   if (rows.empty()) return Status::InvalidArgument("empty CSV input");
 

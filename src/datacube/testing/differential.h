@@ -1,0 +1,125 @@
+#ifndef DATACUBE_TESTING_DIFFERENTIAL_H_
+#define DATACUBE_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/testing/random_table.h"
+
+namespace datacube {
+namespace testing {
+
+/// One execution configuration the oracle runs: a forced algorithm plus a
+/// thread count. `label` is what failure reports print, e.g. "from_core" or
+/// "parallel_x8".
+struct OracleConfig {
+  std::string label;
+  CubeAlgorithm algorithm = CubeAlgorithm::kAuto;
+  int num_threads = 1;
+};
+
+/// The full sweep: every Section 5 algorithm forced serially (each falls
+/// back gracefully when the spec shape rules it out, so forcing is always
+/// legal) plus the partition-parallel path at 2 and 8 threads.
+std::vector<OracleConfig> AllOracleConfigs();
+
+/// One cell where two configurations disagreed.
+struct CellDiff {
+  std::string key;       // rendered grouping key, "d0=Chevy, d1=ALL"
+  std::string column;    // output column name
+  std::string baseline;  // rendered value from the baseline config
+  std::string other;     // rendered value from the disagreeing config
+};
+
+/// Outcome of a differential run. `ok()` means every configuration produced
+/// the same relation (or the identical error) as the baseline. On failure the
+/// report carries the first disagreeing configuration pair, up to `max_diffs`
+/// cell diffs, and — when minimization is enabled — the smallest input-row
+/// subset that still reproduces the disagreement, so the counterexample can
+/// be turned into a unit test directly.
+struct DiffReport {
+  bool agreed = true;
+  std::string baseline_label;
+  std::string other_label;
+  /// Structural mismatch (schema/row-count/status) description, if any.
+  std::string mismatch;
+  std::vector<CellDiff> cell_diffs;
+  /// Rows of the (possibly minimized) input that reproduce the failure.
+  std::vector<size_t> counterexample_rows;
+  /// Rendered counterexample table (empty when agreed).
+  std::string counterexample;
+
+  bool ok() const { return agreed; }
+  /// Multi-line human-readable failure report ("" when agreed).
+  std::string ToString() const;
+};
+
+struct DiffOptions {
+  /// Tolerance for FLOAT64 cells: |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+  /// Sound because the generator caps float magnitudes (~1e6), bounding the
+  /// rounding drift between different summation orders. INT64, BOOL, STRING
+  /// and NULL/ALL cells must match exactly; NaN matches NaN.
+  double abs_tol = 1e-6;
+  double rel_tol = 1e-9;
+  size_t max_diffs = 5;
+  /// Shrink a failing input with greedy delta-debugging before reporting.
+  bool minimize = true;
+  /// Cap on cube executions spent minimizing.
+  size_t minimize_budget = 200;
+};
+
+/// Runs `spec` over `input` under every configuration in `configs` (the
+/// first is the baseline) and diffs the results cell-for-cell. Two
+/// configurations also agree when both fail with the same StatusCode —
+/// numeric-edge errors (e.g. SUM overflow) must surface from every
+/// algorithm, though which failing cell is reported first may differ.
+DiffReport RunDifferential(const Table& input, const CubeSpec& spec,
+                           const std::vector<OracleConfig>& configs,
+                           const DiffOptions& options = {});
+
+/// Convenience: RunDifferential over AllOracleConfigs().
+DiffReport RunDifferential(const Table& input, const CubeSpec& spec,
+                           const DiffOptions& options = {});
+
+/// Diffs two already-computed cube results with the oracle's alignment and
+/// tolerance rules (no execution). This is the oracle's sensitivity hook:
+/// tests perturb one cell of a real result and assert the diff is caught,
+/// proving the harness would notice a genuinely wrong algorithm.
+DiffReport DiffResultTables(const Table& baseline, const Table& other,
+                            const CubeSpec& spec,
+                            const DiffOptions& options = {});
+
+struct MaintenanceOptions {
+  /// Number of insert/delete operations to replay.
+  size_t ops = 60;
+  /// Probability an operation is a DELETE of a live row (else INSERT).
+  double delete_rate = 0.45;
+  /// Diff the maintained cube against recompute-from-scratch every this
+  /// many operations (and always once at the end).
+  size_t check_every = 15;
+  /// Checkpoint (SaveToFile/LoadFromFile) halfway through the stream and
+  /// continue on the reloaded cube, proving scratchpad persistence keeps
+  /// maintaining correctly.
+  bool checkpoint_roundtrip = true;
+  /// Directory for the checkpoint file (named by seed, removed after).
+  std::string checkpoint_dir = "/tmp";
+  double abs_tol = 1e-6;
+  double rel_tol = 1e-9;
+};
+
+/// Second oracle mode (Section 6): replays a seeded random insert/delete
+/// stream against a MaterializedCube and periodically diffs its incremental
+/// state (ToTable) against ExecuteCube recomputed from the surviving base
+/// rows. Inserted rows come from the same adversarial generator as the
+/// initial table.
+DiffReport RunMaintenanceDifferential(uint64_t seed,
+                                      const RandomTableProfile& profile,
+                                      const CubeSpec& spec,
+                                      const MaintenanceOptions& options = {});
+
+}  // namespace testing
+}  // namespace datacube
+
+#endif  // DATACUBE_TESTING_DIFFERENTIAL_H_

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <random>
 
 #include "datacube/agg/builtin_aggregates.h"
@@ -414,6 +416,169 @@ TEST(RegistryTest, UserDefinedAggregate) {
   ASSERT_TRUE(fn.ok());
   EXPECT_EQ(RunAgg(**fn, Ints({2, 3, 4})), Value::Float64(24.0));
 }
+
+// ------------------------------------------- numeric edge-case hardening
+
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+constexpr int64_t kTwo53 = int64_t{1} << 53;
+
+TEST(AggNumericEdgeTest, SumIntExactBeyondTwo53) {
+  // 2^53 + 1 is not representable in double, so a double-mirrored integer
+  // accumulator silently rounds it away. The 128-bit path must keep the sum
+  // exact over the full int64 domain.
+  auto fn = MakeSum();
+  EXPECT_EQ(RunAgg(*fn, Ints({kTwo53, 1})), Value::Int64(kTwo53 + 1));
+  EXPECT_EQ(RunAgg(*fn, Ints({kTwo53 + 1, -1})), Value::Int64(kTwo53));
+  EXPECT_EQ(RunAgg(*fn, {Value::Int64(kInt64Max), Value::Int64(-1),
+                         Value::Int64(1)}),
+            Value::Int64(kInt64Max));
+}
+
+TEST(AggNumericEdgeTest, SumOverflowSurfacesErrorNotWrappedInteger) {
+  auto fn = MakeSum();
+  AggStatePtr s = fn->Init();
+  fn->Iter1(s.get(), Value::Int64(kInt64Max));
+  fn->Iter1(s.get(), Value::Int64(kInt64Max));
+  Result<Value> checked = fn->FinalChecked(s.get());
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kInvalidArgument);
+  // The infallible Final() reports the exact 128-bit sum rounded once to
+  // double — never a silently wrapped int64.
+  Value v = fn->Final(s.get());
+  ASSERT_EQ(v.kind(), Value::Kind::kFloat64);
+  EXPECT_NEAR(v.float64_value(), 2.0 * static_cast<double>(kInt64Max), 1e4);
+}
+
+TEST(AggNumericEdgeTest, SumTransientOverflowRecoversUnderDeletes) {
+  // Section 6 maintenance: a partial sum may pass through out-of-range
+  // territory and come back. The exact accumulator recovers instead of
+  // latching a sticky error.
+  auto fn = MakeSum();
+  AggStatePtr s = fn->Init();
+  fn->Iter1(s.get(), Value::Int64(kInt64Max));
+  fn->Iter1(s.get(), Value::Int64(kInt64Max));  // transiently > INT64_MAX
+  Value extra = Value::Int64(kInt64Max);
+  ASSERT_TRUE(fn->Remove(s.get(), &extra, 1).ok());
+  Result<Value> checked = fn->FinalChecked(s.get());
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ(*checked, Value::Int64(kInt64Max));
+}
+
+TEST(AggNumericEdgeTest, VarianceNeverNegativeOrNaNOnFiniteInputs) {
+  // Catastrophic-cancellation shape for the textbook sum_sq/n − mean² form:
+  // huge mean, tiny spread. The result must stay non-negative and finite.
+  std::vector<Value> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(Value::Float64(1e9 + (i % 2 == 0 ? 0.5 : -0.5)));
+  }
+  double var = RunAgg(*MakeVarPop(), xs).AsDouble();
+  EXPECT_GE(var, 0.0);
+  EXPECT_NEAR(var, 0.25, 1e-6);
+  double sd = RunAgg(*MakeStdDevPop(), xs).AsDouble();
+  EXPECT_FALSE(std::isnan(sd));
+  EXPECT_NEAR(sd, 0.5, 1e-6);
+  // All-identical large values: variance ~0 and stddev real, not
+  // sqrt(negative rounding residue).
+  std::vector<Value> same(100, Value::Float64(3.141592653589793e8));
+  EXPECT_NEAR(RunAgg(*MakeVarPop(), same).AsDouble(), 0.0, 1e-9);
+  EXPECT_FALSE(std::isnan(RunAgg(*MakeStdDevPop(), same).AsDouble()));
+}
+
+TEST(AggNumericEdgeTest, NonFiniteInsertThenDeleteDoesNotPoison) {
+  // NaN − NaN = NaN: a plain running sum can never undo an inserted NaN.
+  // sum/avg/var count non-finite inputs instead of folding them in, so
+  // Remove restores the previous finite result exactly.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  for (const char* name : {"sum", "avg", "var_pop", "stddev_pop"}) {
+    Result<AggregateFunctionPtr> made = AggregateRegistry::Global().Make(name);
+    ASSERT_TRUE(made.ok()) << name;
+    const AggregateFunction& fn = **made;
+    AggStatePtr s = fn.Init();
+    fn.Iter1(s.get(), Value::Float64(2.0));
+    fn.Iter1(s.get(), Value::Float64(4.0));
+    const double before = fn.Final(s.get()).AsDouble();
+
+    Value nan = Value::Float64(kNan);
+    fn.Iter1(s.get(), nan);
+    EXPECT_TRUE(std::isnan(fn.Final(s.get()).AsDouble())) << name;
+    ASSERT_TRUE(fn.Remove(s.get(), &nan, 1).ok()) << name;
+    EXPECT_EQ(fn.Final(s.get()).AsDouble(), before) << name;
+
+    // Opposite-sign infinities sum to NaN; removing both must also recover.
+    Value pinf = Value::Float64(kInf);
+    Value ninf = Value::Float64(-kInf);
+    fn.Iter1(s.get(), pinf);
+    fn.Iter1(s.get(), ninf);
+    EXPECT_TRUE(std::isnan(fn.Final(s.get()).AsDouble())) << name;
+    ASSERT_TRUE(fn.Remove(s.get(), &pinf, 1).ok()) << name;
+    ASSERT_TRUE(fn.Remove(s.get(), &ninf, 1).ok()) << name;
+    EXPECT_EQ(fn.Final(s.get()).AsDouble(), before) << name;
+  }
+}
+
+// ---------------------------------------------- serialization round-trips
+
+class SerializePropertyTest : public ::testing::TestWithParam<std::string> {};
+
+// Serialize → Deserialize must reproduce a scratchpad that yields the same
+// Final() and keeps accepting Iter and Merge — MaterializedCube checkpoints
+// (SaveToFile/LoadFromFile) depend on exactly this.
+TEST_P(SerializePropertyTest, RoundTripPreservesResultAndStaysLive) {
+  Result<AggregateFunctionPtr> made =
+      AggregateRegistry::Global().Make(GetParam());
+  ASSERT_TRUE(made.ok());
+  const AggregateFunction& fn = **made;
+  bool wants_bool = GetParam().rfind("bool", 0) == 0;
+  std::mt19937_64 rng(20250806);
+  auto random_value = [&]() -> Value {
+    if (rng() % 8 == 0) return Value::Null();
+    if (wants_bool) return Value::Bool(rng() % 2 == 0);
+    switch (rng() % 5) {
+      case 0:
+        return Value::Int64(static_cast<int64_t>(rng() % 100) - 50);
+      case 1:
+        return Value::Int64(kTwo53 + static_cast<int64_t>(rng() % 4));
+      case 2:
+        return Value::Float64(-0.0);
+      case 3:
+        return Value::Float64(std::ldexp(
+            static_cast<double>(rng() % 1024) - 512.0,
+            static_cast<int>(rng() % 10) - 5));
+      default:
+        return Value::Int64(static_cast<int64_t>(rng() % 1000));
+    }
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    AggStatePtr state = fn.Init();
+    size_t n = rng() % 40;
+    for (size_t i = 0; i < n; ++i) fn.Iter1(state.get(), random_value());
+
+    std::string blob;
+    ASSERT_TRUE(fn.SerializeState(state.get(), &blob).ok()) << fn.name();
+    size_t pos = 0;
+    Result<AggStatePtr> back = fn.DeserializeState(blob, &pos);
+    ASSERT_TRUE(back.ok()) << fn.name() << ": " << back.status().ToString();
+    EXPECT_EQ(pos, blob.size()) << fn.name() << " left trailing bytes";
+    EXPECT_EQ(fn.Final(back->get()), fn.Final(state.get()))
+        << fn.name() << " trial " << trial;
+
+    // The revived scratchpad must keep evolving identically.
+    Value next = wants_bool ? Value::Bool(true) : Value::Int64(17);
+    fn.Iter1(state.get(), next);
+    fn.Iter1(back->get(), next);
+    EXPECT_EQ(fn.Final(back->get()), fn.Final(state.get()))
+        << fn.name() << " diverged after revival";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSerializable, SerializePropertyTest,
+                         ::testing::Values("count_star", "count", "sum", "min",
+                                           "max", "avg", "var_pop",
+                                           "stddev_pop", "median", "mode",
+                                           "count_distinct", "bool_and",
+                                           "bool_or"),
+                         [](const auto& info) { return info.param; });
 
 }  // namespace
 }  // namespace datacube

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "datacube/common/date.h"
 #include "datacube/common/result.h"
 #include "datacube/common/status.h"
@@ -122,6 +125,72 @@ TEST(ValueTest, TypeOfSpecialsIsError) {
   EXPECT_FALSE(Value::Null().type().ok());
   EXPECT_FALSE(Value::All().type().ok());
   EXPECT_EQ(Value::Int64(1).type().value(), DataType::kInt64);
+}
+
+TEST(ValueTest, ToStringLargeAndNonFiniteFloats) {
+  // Regression: the integral-double fast path used to cast to int64 before
+  // range-checking — UB for 1e300, NaN, and the infinities.
+  EXPECT_EQ(Value::Float64(1e300).ToString(), "1e+300");
+  EXPECT_EQ(Value::Float64(-1e300).ToString(), "-1e+300");
+  EXPECT_EQ(Value::Float64(std::numeric_limits<double>::infinity()).ToString(),
+            "inf");
+  const std::string nan_str =
+      Value::Float64(std::numeric_limits<double>::quiet_NaN()).ToString();
+  EXPECT_TRUE(nan_str == "nan" || nan_str == "-nan") << nan_str;
+}
+
+TEST(ValueTest, CastToInt64RejectsOutOfRangeInsteadOfUB) {
+  // Regression: llround on NaN or doubles outside [-2^63, 2^63) is UB; these
+  // must come back as InvalidArgument, never a garbage integer.
+  EXPECT_FALSE(Value::Float64(1e300).CastTo(DataType::kInt64).ok());
+  EXPECT_FALSE(Value::Float64(-1e300).CastTo(DataType::kInt64).ok());
+  EXPECT_FALSE(Value::Float64(std::numeric_limits<double>::quiet_NaN())
+                   .CastTo(DataType::kInt64)
+                   .ok());
+  // 2^63 is exactly the first out-of-range double; -2^63 is the last legal.
+  EXPECT_FALSE(Value::Float64(9223372036854775808.0)
+                   .CastTo(DataType::kInt64)
+                   .ok());
+  EXPECT_EQ(Value::Float64(-9223372036854775808.0)
+                .CastTo(DataType::kInt64)
+                ->int64_value(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(Value::Float64(2.6).CastTo(DataType::kInt64)->int64_value(), 3);
+  // strtoll saturates with ERANGE on overflow; that must be an error, not a
+  // silent INT64_MAX.
+  EXPECT_FALSE(
+      Value::String("99999999999999999999").CastTo(DataType::kInt64).ok());
+  EXPECT_EQ(Value::String("-9223372036854775808")
+                .CastTo(DataType::kInt64)
+                ->int64_value(),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(ValueTest, NanAndNegativeZeroTotalOrderAndHash) {
+  // Grouping keys need a total order and a consistent hash over doubles:
+  // every NaN is one key (sorted after all numbers), and -0.0 is the same
+  // key as +0.0. Without this, sort-based and hash-based cube algorithms
+  // partition NaN/zero rows differently.
+  const Value nan = Value::Float64(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(nan.Compare(nan), 0);
+  EXPECT_EQ(nan, Value::Float64(std::nan("0x1234")));
+  EXPECT_EQ(nan.Hash(), Value::Float64(std::nan("0x1234")).Hash());
+  EXPECT_LT(Value::Float64(std::numeric_limits<double>::infinity()), nan);
+  EXPECT_LT(Value::Int64(std::numeric_limits<int64_t>::max()), nan);
+
+  EXPECT_EQ(Value::Float64(-0.0), Value::Float64(0.0));
+  EXPECT_EQ(Value::Float64(-0.0).Hash(), Value::Float64(0.0).Hash());
+  EXPECT_EQ(Value::Float64(-0.0).Compare(Value::Int64(0)), 0);
+}
+
+TEST(ValueTest, CompareExactBeyondTwo53) {
+  // Comparing int64 keys through a double collapses 2^53 and 2^53+1 into
+  // one grouping key; the comparison must stay exact.
+  const int64_t two53 = int64_t{1} << 53;
+  EXPECT_LT(Value::Int64(two53), Value::Int64(two53 + 1));
+  EXPECT_NE(Value::Int64(two53 + 1), Value::Float64(9007199254740992.0));
+  EXPECT_EQ(Value::Int64(two53), Value::Float64(9007199254740992.0));
+  EXPECT_LT(Value::Float64(9007199254740992.0), Value::Int64(two53 + 1));
 }
 
 // ------------------------------------------------------------------- Date

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "datacube/table/csv.h"
 #include "datacube/table/print.h"
 #include "datacube/table/sort.h"
@@ -206,6 +208,47 @@ TEST(CsvTest, WriteRoundTrip) {
   EXPECT_EQ(back->num_rows(), t.num_rows());
   EXPECT_EQ(back->GetValue(0, 1), Value::Int64(3));
   EXPECT_TRUE(back->GetValue(1, 2).is_null());
+}
+
+TEST(CsvTest, QuotedNewlinesSurviveRecordAssembly) {
+  // Regression: record splitting used to break on every '\n', so a quoted
+  // field containing a newline became two ragged records (RFC 4180 §2.6).
+  Result<Table> t = ReadCsvString(
+      "k,v\n"
+      "\"line one\nline two\",1\n"
+      "plain,2\n");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0), Value::String("line one\nline two"));
+  EXPECT_EQ(t->GetValue(1, 1), Value::Int64(2));
+
+  // Writer and reader must agree: a table holding newlines, commas, and
+  // quotes round-trips exactly.
+  TableBuilder b({Field{"s", DataType::kString}, Field{"n", DataType::kInt64}});
+  b.Row({Value::String("a\nb,c\"d"), Value::Int64(7)});
+  Table original = std::move(b).Build().value();
+  Result<Table> back = ReadCsvString(WriteCsvString(original));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->EqualsExact(original));
+}
+
+TEST(CsvTest, IntegerOverflowFallsBackToFloatInference) {
+  // Regression: strtoll saturates to INT64_MAX with ERANGE on overflow; the
+  // sniffer used to accept that, ingesting 99999999999999999999 as a
+  // silently clamped INT64_MAX. Out-of-range integers must demote the
+  // column, and in-range extremes must stay exact.
+  Result<Table> t = ReadCsvString(
+      "big,exact\n"
+      "99999999999999999999,9223372036854775807\n"
+      "1,-9223372036854775808\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kFloat64);
+  EXPECT_EQ(t->schema().field(1).type, DataType::kInt64);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Float64(1e20));
+  EXPECT_EQ(t->GetValue(0, 1),
+            Value::Int64(std::numeric_limits<int64_t>::max()));
+  EXPECT_EQ(t->GetValue(1, 1),
+            Value::Int64(std::numeric_limits<int64_t>::min()));
 }
 
 // ------------------------------------------------------------------- Sort

@@ -41,6 +41,7 @@ GBENCH_BINARIES=(
   bench_maintenance
   bench_uda_overhead
   bench_tpcd_6d
+  bench_hash_cube
   bench_view_selection
 )
 

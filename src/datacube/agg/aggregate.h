@@ -1,8 +1,12 @@
 #ifndef DATACUBE_AGG_AGGREGATE_H_
 #define DATACUBE_AGG_AGGREGATE_H_
 
+#include <cstddef>
 #include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "datacube/common/result.h"
@@ -70,7 +74,9 @@ class AggregateFunction {
 
   virtual const std::string& name() const = 0;
   virtual AggClass agg_class() const = 0;
-  virtual DeleteClass delete_class() const { return DeleteClass::kDeleteHolistic; }
+  virtual DeleteClass delete_class() const {
+    return DeleteClass::kDeleteHolistic;
+  }
 
   /// Number of input argument columns (0 for count_star, 2 for
   /// center_of_mass(position, mass), else 1).
@@ -115,7 +121,8 @@ class AggregateFunction {
 
   /// Un-applies one input row (Section 6 maintenance). Only meaningful when
   /// delete_class() == kDeletable.
-  virtual Status Remove(AggState* state, const Value* args, size_t nargs) const {
+  virtual Status Remove(AggState* state, const Value* args,
+                        size_t nargs) const {
     (void)state;
     (void)args;
     (void)nargs;
@@ -173,9 +180,123 @@ class AggregateFunction {
 
   /// Convenience for the common single-argument case.
   void Iter1(AggState* state, const Value& v) const { Iter(state, &v, 1); }
+
+  // --- Fixed-slot (placement) state protocol -------------------------------
+  //
+  // The columnar execution core stores scratchpads inline in a per-table
+  // arena: each cell is one contiguous block with a fixed slot per
+  // aggregate. Functions whose state has a fixed footprint (distributive
+  // and algebraic built-ins) advertise it via state_size() > 0 and
+  // construct/destroy states in place; everything else (holistic states,
+  // user aggregates that have not opted in) reports state_size() == 0 and
+  // gets a compatibility slot holding a heap AggStatePtr — the classic
+  // Init() path, unchanged. Derive from WithInlineState<State> (below) to
+  // opt a function in without writing any of these overrides by hand.
+
+  /// In-place state footprint; 0 selects the AggStatePtr compatibility
+  /// slot.
+  virtual size_t state_size() const { return 0; }
+  virtual size_t state_align() const { return alignof(std::max_align_t); }
+
+  /// Constructs a fresh scratchpad in `slot` (placement "start(&handle)").
+  /// The default services the compatibility slot via Init().
+  virtual void InitAt(void* slot) const {
+    ::new (slot) AggStatePtr(Init());
+  }
+
+  /// Destroys the scratchpad living in `slot`.
+  virtual void DestroyAt(void* slot) const {
+    static_cast<AggStatePtr*>(slot)->~AggStatePtr();
+  }
+
+  /// Copy-constructs the scratchpad in `src` into raw storage `dst`.
+  virtual void CloneAt(const void* src, void* dst) const {
+    ::new (dst) AggStatePtr(
+        Clone(static_cast<const AggStatePtr*>(src)->get()));
+  }
+
+  /// Reconstructs a SerializeState blob directly into raw storage `slot`.
+  virtual Status DeserializeAt(const std::string& data, size_t* pos,
+                               void* slot) const {
+    Result<AggStatePtr> state = DeserializeState(data, pos);
+    if (!state.ok()) return state.status();
+    ::new (slot) AggStatePtr(std::move(state).value());
+    return Status::OK();
+  }
+
+  /// The AggState view of a slot, for the virtual Iter/Merge/Remove/Final
+  /// protocol. Overridden by WithInlineState to upcast the inline object;
+  /// the default dereferences the compatibility slot's pointer.
+  virtual AggState* StateAt(void* slot) const {
+    return static_cast<AggStatePtr*>(slot)->get();
+  }
+  const AggState* StateAt(const void* slot) const {
+    return StateAt(const_cast<void*>(slot));
+  }
+
+  // Slot-addressed bridges onto the classic protocol. Hot loops that have
+  // precomputed the slot→state adjustment skip these; maintenance and
+  // serialization paths use them directly.
+  void IterAt(void* slot, const Value* args, size_t nargs) const {
+    Iter(StateAt(slot), args, nargs);
+  }
+  Status MergeAt(void* dst, const void* src) const {
+    return Merge(StateAt(dst), StateAt(src));
+  }
+  Status RemoveAt(void* slot, const Value* args, size_t nargs) const {
+    return Remove(StateAt(slot), args, nargs);
+  }
+  Result<Value> FinalAt(const void* slot) const {
+    return FinalChecked(StateAt(slot));
+  }
+  Status SerializeAt(const void* slot, std::string* out) const {
+    return SerializeState(StateAt(slot), out);
+  }
 };
 
 using AggregateFunctionPtr = std::shared_ptr<const AggregateFunction>;
+
+/// Mixin that opts an aggregate into the fixed-slot protocol: derive the
+/// function from WithInlineState<State, Base> instead of Base and its
+/// scratchpads live inline in cell arenas with zero per-cell heap
+/// allocations. `State` must be the concrete AggState subclass the
+/// function's Init()/Iter()/... already operate on; it must be
+/// copy-constructible (for CloneAt) and move-constructible (for
+/// DeserializeAt).
+template <typename State, typename Base = AggregateFunction>
+class WithInlineState : public Base {
+  static_assert(std::is_base_of_v<AggState, State>,
+                "inline aggregate states must derive from AggState");
+
+ public:
+  using Base::Base;
+
+  size_t state_size() const override { return sizeof(State); }
+  size_t state_align() const override { return alignof(State); }
+
+  void InitAt(void* slot) const override { ::new (slot) State(); }
+  void DestroyAt(void* slot) const override {
+    static_cast<State*>(slot)->~State();
+  }
+  void CloneAt(const void* src, void* dst) const override {
+    ::new (dst) State(*static_cast<const State*>(src));
+  }
+  Status DeserializeAt(const std::string& data, size_t* pos,
+                       void* slot) const override {
+    Result<AggStatePtr> state = this->DeserializeState(data, pos);
+    if (!state.ok()) return state.status();
+    State* concrete = dynamic_cast<State*>(state.value().get());
+    if (concrete == nullptr) {
+      return Status::Internal("DeserializeState produced an unexpected " +
+                              std::string("state type for ") + this->name());
+    }
+    ::new (slot) State(std::move(*concrete));
+    return Status::OK();
+  }
+  AggState* StateAt(void* slot) const override {
+    return static_cast<State*>(slot);
+  }
+};
 
 }  // namespace datacube
 

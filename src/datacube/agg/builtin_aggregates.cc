@@ -29,7 +29,7 @@ struct CountState : AggState {
   int64_t n = 0;
 };
 
-class CountStarFunction : public AggregateFunction {
+class CountStarFunction : public WithInlineState<CountState> {
  public:
   const std::string& name() const override {
     static const std::string kName = "count_star";
@@ -58,7 +58,8 @@ class CountStarFunction : public AggregateFunction {
     --As<CountState>(state)->n;
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     EncodeValue(Value::Int64(As<CountState>(state)->n), out);
     return Status::OK();
   }
@@ -76,7 +77,7 @@ class CountStarFunction : public AggregateFunction {
 
 // ---------------------------------------------------------------- COUNT(x)
 
-class CountFunction : public AggregateFunction {
+class CountFunction : public WithInlineState<CountState> {
  public:
   const std::string& name() const override {
     static const std::string kName = "count";
@@ -102,7 +103,8 @@ class CountFunction : public AggregateFunction {
     if (!args[0].is_special()) --As<CountState>(state)->n;
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     EncodeValue(Value::Int64(As<CountState>(state)->n), out);
     return Status::OK();
   }
@@ -159,7 +161,8 @@ std::string Int128ToString(__int128 v) {
   if (v == 0) return "0";
   bool neg = v < 0;
   unsigned __int128 u =
-      neg ? -static_cast<unsigned __int128>(v) : static_cast<unsigned __int128>(v);
+      neg ? -static_cast<unsigned __int128>(v)
+          : static_cast<unsigned __int128>(v);
   std::string digits;
   while (u != 0) {
     digits += static_cast<char>('0' + static_cast<int>(u % 10));
@@ -170,7 +173,7 @@ std::string Int128ToString(__int128 v) {
   return digits;
 }
 
-class SumFunction : public AggregateFunction {
+class SumFunction : public WithInlineState<SumState> {
  public:
   const std::string& name() const override {
     static const std::string kName = "sum";
@@ -272,7 +275,8 @@ class SumFunction : public AggregateFunction {
     --s->n;
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     const auto* s = As<SumState>(state);
     // 128-bit sum as (high, low) int64 halves.
     EncodeValue(Value::Int64(static_cast<int64_t>(s->sum_i >> 64)), out);
@@ -327,7 +331,7 @@ struct ExtremeState : AggState {
 
 // MIN/MAX: distributive for SELECT and INSERT, holistic for DELETE — the
 // paper's Section 6 example of the orthogonal maintenance hierarchy.
-class ExtremeFunction : public AggregateFunction {
+class ExtremeFunction : public WithInlineState<ExtremeState> {
  public:
   explicit ExtremeFunction(bool is_max)
       : is_max_(is_max), name_(is_max ? "max" : "min") {}
@@ -374,7 +378,8 @@ class ExtremeFunction : public AggregateFunction {
     // Only deleting the incumbent extreme can change the result.
     return s->has_value && args[0].Compare(s->best) == 0;
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     const auto* s = As<ExtremeState>(state);
     EncodeValue(s->has_value ? s->best : Value::Null(), out);
     EncodeValue(Value::Bool(s->has_value), out);
@@ -428,7 +433,7 @@ double AvgNumeratorPart(const AvgState& s) {
 
 // The paper's canonical algebraic function: scratchpad is the (sum, count)
 // pair; H() divides.
-class AvgFunction : public AggregateFunction {
+class AvgFunction : public WithInlineState<AvgState> {
  public:
   const std::string& name() const override {
     static const std::string kName = "avg";
@@ -487,7 +492,8 @@ class AvgFunction : public AggregateFunction {
     --s->n;
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     const auto* s = As<AvgState>(state);
     EncodeValue(Value::Float64(s->sum), out);
     EncodeValue(Value::Int64(s->n), out);
@@ -585,7 +591,7 @@ struct VarState : AggState {
   int64_t n_bad = 0;
 };
 
-class VarianceFunction : public AggregateFunction {
+class VarianceFunction : public WithInlineState<VarState> {
  public:
   explicit VarianceFunction(bool stddev)
       : stddev_(stddev), name_(stddev ? "stddev_pop" : "var_pop") {}
@@ -658,7 +664,8 @@ class VarianceFunction : public AggregateFunction {
     DDAddDD(&s->sxx, {-x2.hi, -x2.lo});
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     const auto* s = As<VarState>(state);
     EncodeValue(Value::Int64(s->n), out);
     EncodeValue(Value::Float64(s->sx.hi), out);
@@ -781,7 +788,8 @@ class MedianFunction : public AggregateFunction {
     v.pop_back();
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     return SerializeMedianState(state, out);
   }
   Result<AggStatePtr> DeserializeState(const std::string& data,
@@ -874,7 +882,8 @@ class ModeFunction : public AggregateFunction {
     if (--it->second == 0) counts.erase(it);
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     return SerializeModeState(state, out);
   }
   Result<AggStatePtr> DeserializeState(const std::string& data,
@@ -924,7 +933,8 @@ class CountDistinctFunction : public AggregateFunction {
     if (--it->second == 0) counts.erase(it);
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     return SerializeModeState(state, out);
   }
   Result<AggStatePtr> DeserializeState(const std::string& data,
@@ -945,7 +955,7 @@ struct TopNState : AggState {
 // The paper's other canonical algebraic examples: "the key to algebraic
 // functions is that a fixed size result (an M-tuple) can summarize the
 // sub-aggregation" — here the M-tuple is the current top-N list.
-class TopNFunction : public AggregateFunction {
+class TopNFunction : public WithInlineState<TopNState> {
  public:
   TopNFunction(bool is_max, int n)
       : is_max_(is_max),
@@ -984,7 +994,8 @@ class TopNFunction : public AggregateFunction {
     for (const Value& v : As<TopNState>(src)->values) Iter1(dst, v);
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     const auto& values = As<TopNState>(state)->values;
     EncodeCount(values.size(), out);
     for (const Value& v : values) EncodeValue(v, out);
@@ -1020,7 +1031,7 @@ struct BoolState : AggState {
 // Distributive; keeping both counters (not just the current verdict) makes
 // the function deletable — another instance of Section 6's point that a
 // richer scratchpad buys cheap maintenance.
-class BoolCombineFunction : public AggregateFunction {
+class BoolCombineFunction : public WithInlineState<BoolState> {
  public:
   explicit BoolCombineFunction(bool is_and)
       : is_and_(is_and), name_(is_and ? "bool_and" : "bool_or") {}
@@ -1066,7 +1077,8 @@ class BoolCombineFunction : public AggregateFunction {
     }
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     const auto* s = As<BoolState>(state);
     EncodeValue(Value::Int64(s->true_count), out);
     EncodeValue(Value::Int64(s->false_count), out);
@@ -1140,7 +1152,8 @@ class PercentileFunction : public AggregateFunction {
     v.pop_back();
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     return SerializeMedianState(state, out);
   }
   Result<AggStatePtr> DeserializeState(const std::string& data,
@@ -1164,7 +1177,7 @@ struct ComState : AggState {
 
 // center_of_mass(position, mass): two-argument algebraic aggregate; the
 // scratchpad is the (Σ p·m, Σ m) pair.
-class CenterOfMassFunction : public AggregateFunction {
+class CenterOfMassFunction : public WithInlineState<ComState> {
  public:
   const std::string& name() const override {
     static const std::string kName = "center_of_mass";
@@ -1202,7 +1215,8 @@ class CenterOfMassFunction : public AggregateFunction {
     d->mass += s->mass;
     return Status::OK();
   }
-  Status Remove(AggState* state, const Value* args, size_t nargs) const override {
+  Status Remove(AggState* state, const Value* args,
+                size_t nargs) const override {
     if (nargs < 2 || args[0].is_special() || args[1].is_special()) {
       return Status::OK();
     }
@@ -1212,7 +1226,8 @@ class CenterOfMassFunction : public AggregateFunction {
     s->mass -= m;
     return Status::OK();
   }
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     const auto* s = As<ComState>(state);
     EncodeValue(Value::Float64(s->moment), out);
     EncodeValue(Value::Float64(s->mass), out);

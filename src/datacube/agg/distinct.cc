@@ -31,7 +31,9 @@ class DistinctAggregate : public AggregateFunction {
     return inner_->ResultType(arg_types);
   }
 
-  AggStatePtr Init() const override { return std::make_unique<DistinctState>(); }
+  AggStatePtr Init() const override {
+    return std::make_unique<DistinctState>();
+  }
 
   void Iter(AggState* state, const Value* args, size_t nargs) const override {
     std::vector<Value> key(args, args + nargs);
@@ -56,7 +58,8 @@ class DistinctAggregate : public AggregateFunction {
     return Status::OK();
   }
 
-  Status Remove(AggState* state, const Value* args, size_t nargs) const override {
+  Status Remove(AggState* state, const Value* args,
+                size_t nargs) const override {
     auto* s = static_cast<DistinctState*>(state);
     std::vector<Value> key(args, args + nargs);
     auto it = s->seen.find(key);
@@ -67,7 +70,8 @@ class DistinctAggregate : public AggregateFunction {
     return Status::OK();
   }
 
-  Status SerializeState(const AggState* state, std::string* out) const override {
+  Status SerializeState(const AggState* state,
+                        std::string* out) const override {
     const auto& seen = static_cast<const DistinctState*>(state)->seen;
     EncodeCount(seen.size(), out);
     for (const auto& [key, count] : seen) {

@@ -11,9 +11,10 @@ namespace {
 int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
   y -= m <= 2;
   const int64_t era = (y >= 0 ? y : y - 399) / 400;
-  const int64_t yoe = y - era * 400;                                   // [0, 399]
-  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
-  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  const int64_t yoe = y - era * 400;  // [0, 399]
+  const int64_t doy =
+      (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;         // [0, 365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
   return era * 146097 + doe - 719468;
 }
 
@@ -21,13 +22,13 @@ int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
 CivilDate CivilFromDays(int64_t z) {
   z += 719468;
   const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
-  const int64_t doe = z - era * 146097;                                // [0, 146096]
+  const int64_t doe = z - era * 146097;  // [0, 146096]
   const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
   const int64_t y = yoe + era * 400;
-  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
-  const int64_t mp = (5 * doy + 2) / 153;                              // [0, 11]
-  const int64_t d = doy - (153 * mp + 2) / 5 + 1;                      // [1, 31]
-  const int64_t m = mp + (mp < 10 ? 3 : -9);                           // [1, 12]
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
   CivilDate civil;
   civil.year = static_cast<int32_t>(y + (m <= 2));
   civil.month = static_cast<int32_t>(m);
@@ -41,7 +42,9 @@ Date DateFromCivil(int32_t year, int32_t month, int32_t day) {
   return Date{static_cast<int32_t>(DaysFromCivil(year, month, day))};
 }
 
-CivilDate CivilFromDate(Date date) { return CivilFromDays(date.days_since_epoch); }
+CivilDate CivilFromDate(Date date) {
+  return CivilFromDays(date.days_since_epoch);
+}
 
 bool IsLeapYear(int32_t year) {
   return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;

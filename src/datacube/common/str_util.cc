@@ -35,7 +35,8 @@ std::string Trim(const std::string& text) {
   while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
     ++begin;
   }
-  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
     --end;
   }
   return text.substr(begin, end - begin);

@@ -27,7 +27,8 @@ bool EqualsIgnoreCase(const std::string& a, const std::string& b);
 
 /// Left-pads (`right_align = true`) or right-pads `text` with spaces to
 /// `width`; never truncates.
-std::string Pad(const std::string& text, size_t width, bool right_align = false);
+std::string Pad(const std::string& text, size_t width,
+                bool right_align = false);
 
 }  // namespace datacube
 

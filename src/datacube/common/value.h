@@ -95,7 +95,9 @@ class Value {
   bool bool_value() const { return std::get<bool>(data_); }
   int64_t int64_value() const { return std::get<int64_t>(data_); }
   double float64_value() const { return std::get<double>(data_); }
-  const std::string& string_value() const { return std::get<std::string>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
   Date date_value() const { return std::get<Date>(data_); }
 
   /// Numeric value widened to double; valid only for numeric kinds.

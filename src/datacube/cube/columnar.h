@@ -1,0 +1,257 @@
+#ifndef DATACUBE_CUBE_COLUMNAR_H_
+#define DATACUBE_CUBE_COLUMNAR_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "datacube/cube/cube_internal.h"
+#include "datacube/cube/key_codec.h"
+
+// The columnar execution core: encoded group keys (KeyCodec), an
+// open-addressing flat hash table of cells (CellStore), and fixed-slot
+// aggregate states living inline in per-store arenas (StateLayout /
+// CellArena). Every cube algorithm has a columnar implementation here; the
+// legacy Value-vector CellMap path in cube_internal.h is kept behind
+// CubeOptions::use_legacy_cellmap as the differential-oracle escape hatch.
+
+namespace datacube {
+namespace cube_internal {
+
+/// Where each aggregate's scratchpad lives inside a cell block: inline
+/// (state_size() > 0 — the fixed-slot protocol) or a compatibility slot
+/// holding a heap AggStatePtr.
+struct StateSlot {
+  size_t offset = 0;
+  bool is_inline = false;
+  /// Byte delta from the slot address to its AggState view, cached once so
+  /// hot loops skip the virtual StateAt per row.
+  ptrdiff_t adjust = 0;
+};
+
+/// Cell block layout: a CellHeader at offset 0 followed by one aligned
+/// slot per aggregate. Blocks are uniform-size, so a free list can recycle
+/// them.
+struct CellHeader {
+  int64_t count = 0;
+  size_t repr_row = 0;
+  bool has_repr = false;
+};
+
+struct StateLayout {
+  std::vector<StateSlot> slots;
+  size_t block_size = 0;
+  size_t block_align = alignof(CellHeader);
+  /// Number of compatibility (heap AggStatePtr) slots — 0 exactly when
+  /// every aggregate is inline, the zero-per-cell-heap-allocation case.
+  size_t num_compat = 0;
+
+  static StateLayout Build(const std::vector<AggregateFunctionPtr>& aggs);
+};
+
+/// Uniform-size block allocator: bump allocation out of chunked slabs
+/// plus a free list of erased cells. Shared between stores when cells
+/// migrate (the dense-array path), hence the shared_ptr handle.
+class CellArena {
+ public:
+  CellArena(size_t block_size, size_t align);
+
+  char* Alloc();
+  void Free(char* block);
+  /// Total bytes reserved in slabs (the arena-bytes obs counter).
+  size_t bytes() const { return bytes_; }
+
+ private:
+  size_t block_size_;
+  size_t blocks_per_chunk_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* next_ = nullptr;
+  size_t left_in_chunk_ = 0;
+  char* free_list_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+using CellArenaPtr = std::shared_ptr<CellArena>;
+
+struct ColumnarContext;
+
+/// Open-addressing flat hash table from packed keys to cell blocks:
+/// power-of-two capacity, linear probing, backward-shift deletion (no
+/// tombstones), ~0.7 load factor. Keys live in one strided uint64_t
+/// array; blocks come from the (possibly shared) arena.
+class CellStore {
+ public:
+  struct Stats {
+    uint64_t probes = 0;
+    uint64_t max_probe = 0;
+    uint64_t rehashes = 0;
+    uint64_t heap_state_allocs = 0;
+  };
+
+  CellStore() = default;
+  explicit CellStore(const ColumnarContext* cc, CellArenaPtr arena = nullptr);
+  CellStore(CellStore&&) noexcept;
+  CellStore& operator=(CellStore&&) noexcept;
+  CellStore(const CellStore&) = delete;
+  CellStore& operator=(const CellStore&) = delete;
+  ~CellStore();
+
+  size_t size() const { return size_; }
+  size_t words() const { return words_; }
+
+  /// Block for `key`, or nullptr.
+  char* Find(const uint64_t* key) const;
+
+  /// Block for `key`, creating (header + InitAt per slot) if absent.
+  char* FindOrInsert(const uint64_t* key, bool* inserted = nullptr);
+
+  /// Inserts a deep copy of `src_block` (from any store sharing the same
+  /// layout) under `key`, which must be absent.
+  char* InsertClone(const uint64_t* key, const char* src_block);
+
+  /// Adopts an existing block (allocated from this store's arena) under
+  /// `key`, which must be absent.
+  void InsertAdopt(const uint64_t* key, char* block);
+
+  /// Destroys the cell and backward-shifts the probe chain. Returns false
+  /// if the key is absent.
+  bool Erase(const uint64_t* key);
+
+  /// Forgets every cell WITHOUT destroying its block — the caller has taken
+  /// ownership (the re-key-after-Relayout path, where blocks move to a
+  /// fresh store under new keys).
+  void ReleaseAll();
+
+  /// f(const uint64_t* key, char* block) for every cell.
+  template <typename F>
+  void ForEach(F f) const {
+    for (size_t i = 0; i < cap_; ++i) {
+      if (blocks_[i] != nullptr) f(keys_.data() + i * words_, blocks_[i]);
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+  Stats& MutableStats() { return stats_; }
+  const CellArenaPtr& arena() const { return arena_; }
+
+ private:
+  size_t ProbeFor(const uint64_t* key, bool* found) const;
+  void Grow();
+  uint64_t HashKey(const uint64_t* key) const;
+  bool KeyEquals(size_t slot, const uint64_t* key) const {
+    return std::memcmp(keys_.data() + slot * words_, key,
+                       words_ * sizeof(uint64_t)) == 0;
+  }
+  void DestroyBlock(char* block);
+
+  const ColumnarContext* cc_ = nullptr;
+  CellArenaPtr arena_;
+  std::vector<uint64_t> keys_;
+  std::vector<char*> blocks_;
+  size_t cap_ = 0;
+  size_t size_ = 0;
+  size_t words_ = 1;
+  mutable Stats stats_;
+};
+
+/// One CellStore per grouping set, parallel to CubeContext::sets.
+using SetStores = std::vector<CellStore>;
+
+/// The columnar view of a built CubeContext: the key codec, the state
+/// layout, and every row's grouping key packed once up front. All cell
+/// operations mirror CubeContext's (IterRow/MergeCell/...) with identical
+/// aggregate semantics — the same virtual Iter/Merge/Remove/Final calls on
+/// the same state types, just addressed through slots instead of
+/// AggStatePtrs.
+struct ColumnarContext {
+  const CubeContext* ctx = nullptr;
+  KeyCodec codec;
+  StateLayout layout;
+  /// row_keys[row * words .. ) = packed full-set key of `row`.
+  std::vector<uint64_t> row_keys;
+  size_t words = 1;
+
+  const uint64_t* RowKey(size_t row) const {
+    return row_keys.data() + row * words;
+  }
+
+  CellStore MakeStore(CellArenaPtr arena = nullptr) const {
+    return CellStore(this, std::move(arena));
+  }
+
+  static CellHeader* Header(char* block) {
+    return reinterpret_cast<CellHeader*>(block);
+  }
+  static const CellHeader* Header(const char* block) {
+    return reinterpret_cast<const CellHeader*>(block);
+  }
+  AggState* StateOf(char* block, size_t a) const {
+    const StateSlot& s = layout.slots[a];
+    char* slot = block + s.offset;
+    if (s.is_inline) return reinterpret_cast<AggState*>(slot + s.adjust);
+    return reinterpret_cast<AggStatePtr*>(slot)->get();
+  }
+  const AggState* StateOf(const char* block, size_t a) const {
+    return StateOf(const_cast<char*>(block), a);
+  }
+
+  /// Re-encodes every row key under the codec's current layout (after
+  /// dictionary growth forced a Relayout).
+  void RepackRowKeys();
+
+  /// Allocates and initializes a fresh cell block straight from `arena`
+  /// (the dense-array fill path, where blocks live outside any store until
+  /// they are adopted). Counts compat allocations into `stats` if given.
+  char* NewBlock(CellArena& arena, CellStore::Stats* stats) const;
+
+  // Cell operations, mirroring CubeContext::{IterRow,RemoveRow,MergeCell}.
+  void IterRow(char* block, size_t row, CubeStats* stats) const;
+  Status RemoveRow(char* block, size_t row) const;
+  Status MergeCell(char* dst, const char* src, CubeStats* stats) const;
+};
+
+Result<ColumnarContext> BuildColumnarContext(const CubeContext& ctx);
+
+/// Hash-aggregates the input into a flat table of `set` cells — the
+/// columnar HashGroupBy.
+CellStore FlatGroupBy(const ColumnarContext& cc, GroupingSet set,
+                      CubeStats* stats);
+
+// Columnar implementations of every algorithm, mirroring the legacy
+// entry points in cube_internal.h (same fallback chains, same
+// CubeStats::algorithm_used self-reporting).
+Result<SetStores> ColumnarNaive2N(const ColumnarContext& cc, CubeStats* stats);
+Result<SetStores> ColumnarUnionGroupBy(const ColumnarContext& cc,
+                                       CubeStats* stats);
+Result<SetStores> ColumnarCascadeFromCore(const ColumnarContext& cc,
+                                          std::optional<CellStore> core,
+                                          CubeStats* stats);
+Result<SetStores> ColumnarFromCore(const ColumnarContext& cc,
+                                   CubeStats* stats);
+Result<SetStores> ColumnarArrayCube(const ColumnarContext& cc,
+                                    const CubeOptions& options,
+                                    CubeStats* stats);
+Result<SetStores> ColumnarSortRollup(const ColumnarContext& cc,
+                                     CubeStats* stats);
+Result<SetStores> ColumnarSortFromCore(const ColumnarContext& cc,
+                                       CubeStats* stats);
+Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
+                                   const CubeOptions& options,
+                                   CubeStats* stats);
+
+/// Folds each store's probe/arena counters into `stats` (the
+/// EXPLAIN ANALYZE kernel counters).
+void FlushStoreStats(const SetStores& stores, CubeStats* stats);
+
+/// Builds the result relation from flat stores — the only place packed
+/// keys are decoded back to Values. Mirrors AssembleResult (ALL/NULL
+/// marking, decorations, GROUPING columns, empty-grouping-set fix-up).
+Result<Table> AssembleColumnarResult(const ColumnarContext& cc,
+                                     SetStores& stores, CubeStats* stats);
+
+}  // namespace cube_internal
+}  // namespace datacube
+
+#endif  // DATACUBE_CUBE_COLUMNAR_H_

@@ -1,0 +1,724 @@
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "datacube/cube/columnar.h"
+#include "datacube/obs/trace.h"
+
+// Columnar twins of the per-algorithm entry points in naive_2n.cc,
+// union_groupby.cc, from_core.cc, array_cube.cc, sort_rollup.cc,
+// sort_groupby.cc, and parallel.cc. Each mirrors its legacy counterpart's
+// structure, fallback chain, and CubeStats bookkeeping exactly; the only
+// difference is the cell representation — packed keys in flat stores and
+// fixed-slot states instead of Value-vector keys in unordered_maps.
+
+namespace datacube {
+namespace cube_internal {
+
+namespace {
+
+// Same chain test as sort_rollup.cc (adjacent containment in canonical
+// order).
+bool IsChain(const std::vector<GroupingSet>& sets) {
+  for (size_t i = 1; i < sets.size(); ++i) {
+    if ((sets[i - 1] & sets[i]) != sets[i] || sets[i - 1] == sets[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Column order that makes every chain set a prefix (sort_rollup.cc).
+std::vector<size_t> ChainColumnOrder(const std::vector<GroupingSet>& sets,
+                                     size_t num_keys) {
+  std::vector<size_t> order;
+  GroupingSet covered = 0;
+  for (size_t i = sets.size(); i-- > 0;) {
+    GroupingSet added = sets[i] & ~covered;
+    for (size_t k = 0; k < num_keys; ++k) {
+      if (IsGrouped(added, k)) order.push_back(k);
+    }
+    covered |= sets[i];
+  }
+  return order;
+}
+
+void MaskKey(const uint64_t* key, const std::vector<uint64_t>& mask,
+             uint64_t* out) {
+  for (size_t w = 0; w < mask.size(); ++w) out[w] = key[w] & mask[w];
+}
+
+}  // namespace
+
+Result<SetStores> ColumnarNaive2N(const ColumnarContext& cc,
+                                  CubeStats* stats) {
+  const CubeContext& ctx = *cc.ctx;
+  obs::ScopedSpan span("scan_2n");
+  if (span.active()) {
+    span.Attr("rows", static_cast<uint64_t>(ctx.num_rows()));
+    span.Attr("sets", static_cast<uint64_t>(ctx.sets.size()));
+  }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kNaive2N;
+  SetStores maps;
+  std::vector<std::vector<uint64_t>> masks;
+  maps.reserve(ctx.sets.size());
+  masks.reserve(ctx.sets.size());
+  for (GroupingSet set : ctx.sets) {
+    maps.push_back(cc.MakeStore());
+    masks.push_back(cc.codec.MaskForSet(set));
+  }
+  std::vector<uint64_t> key(cc.words);
+  for (size_t row = 0; row < ctx.num_rows(); ++row) {
+    const uint64_t* rk = cc.RowKey(row);
+    for (size_t s = 0; s < ctx.sets.size(); ++s) {
+      MaskKey(rk, masks[s], key.data());
+      cc.IterRow(maps[s].FindOrInsert(key.data()), row, stats);
+    }
+  }
+  if (stats != nullptr) ++stats->input_scans;
+  return maps;
+}
+
+Result<SetStores> ColumnarUnionGroupBy(const ColumnarContext& cc,
+                                       CubeStats* stats) {
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kUnionGroupBy;
+  SetStores maps;
+  maps.reserve(cc.ctx->sets.size());
+  for (GroupingSet set : cc.ctx->sets) {
+    maps.push_back(FlatGroupBy(cc, set, stats));
+  }
+  return maps;
+}
+
+Result<SetStores> ColumnarCascadeFromCore(const ColumnarContext& cc,
+                                          std::optional<CellStore> core,
+                                          CubeStats* stats) {
+  const CubeContext& ctx = *cc.ctx;
+  LatticePlan plan = PlanLattice(ctx.sets, cc.codec.Cardinalities());
+  // PlanLattice normalizes to the same canonical order as ctx.sets, so node
+  // i corresponds to ctx.sets[i].
+  SetStores maps;
+  maps.reserve(ctx.sets.size());
+  for (size_t i = 0; i < ctx.sets.size(); ++i) maps.push_back(cc.MakeStore());
+  GroupingSet full = FullSet(ctx.num_keys);
+  std::vector<uint64_t> key(cc.words);
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const LatticePlan::Node& node = plan.nodes[i];
+    obs::ScopedSpan span("compute_set");
+    if (span.active()) {
+      span.Attr("set", GroupingSetToString(node.set, ctx.key_names));
+      span.Attr("est_cells", node.est_cells);
+    }
+    if (node.set == full && core.has_value()) {
+      maps[i] = std::move(*core);
+      core.reset();
+      if (span.active()) {
+        span.Attr("source", "precomputed core");
+        span.Attr("cells", static_cast<uint64_t>(maps[i].size()));
+      }
+      continue;
+    }
+    if (node.parent < 0) {
+      maps[i] = FlatGroupBy(cc, node.set, stats);
+      if (span.active()) {
+        span.Attr("source", "base scan");
+        span.Attr("cells", static_cast<uint64_t>(maps[i].size()));
+      }
+      continue;
+    }
+    const CellStore& parent_cells = maps[static_cast<size_t>(node.parent)];
+    CellStore& cells = maps[i];
+    std::vector<uint64_t> mask = cc.codec.MaskForSet(node.set);
+    Status merge_status = Status::OK();
+    parent_cells.ForEach([&](const uint64_t* parent_key,
+                             const char* parent_block) {
+      MaskKey(parent_key, mask, key.data());
+      Status st = cc.MergeCell(cells.FindOrInsert(key.data()), parent_block,
+                               stats);
+      if (!st.ok() && merge_status.ok()) merge_status = st;
+    });
+    DATACUBE_RETURN_IF_ERROR(merge_status);
+    if (span.active()) {
+      span.Attr("source",
+                "merge from " +
+                    GroupingSetToString(
+                        plan.nodes[static_cast<size_t>(node.parent)].set,
+                        ctx.key_names));
+      span.Attr("parent_cells", static_cast<uint64_t>(parent_cells.size()));
+      span.Attr("cells", static_cast<uint64_t>(cells.size()));
+    }
+  }
+  return maps;
+}
+
+Result<SetStores> ColumnarFromCore(const ColumnarContext& cc,
+                                   CubeStats* stats) {
+  if (!cc.ctx->all_mergeable) {
+    return ColumnarUnionGroupBy(cc, stats);
+  }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kFromCore;
+  return ColumnarCascadeFromCore(cc, std::nullopt, stats);
+}
+
+Result<SetStores> ColumnarSortFromCore(const ColumnarContext& cc,
+                                       CubeStats* stats) {
+  const CubeContext& ctx = *cc.ctx;
+  if (!ctx.all_mergeable) {
+    return ColumnarUnionGroupBy(cc, stats);
+  }
+  if (ctx.full_set_index < 0) {
+    // GROUPING SETS without the core: nothing to seed; fall back.
+    return ColumnarFromCore(cc, stats);
+  }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kSortFromCore;
+
+  // Sort row indices by the packed grouping key. Any total order works for
+  // run detection; packed-word order compares one uint64_t per word instead
+  // of K Values.
+  std::vector<size_t> rows(ctx.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  {
+    obs::ScopedSpan sort_span("sort_rows");
+    if (sort_span.active()) {
+      sort_span.Attr("rows", static_cast<uint64_t>(ctx.num_rows()));
+    }
+    if (cc.words == 1) {
+      const std::vector<uint64_t>& keys = cc.row_keys;
+      std::sort(rows.begin(), rows.end(),
+                [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+    } else {
+      std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+        const uint64_t* ka = cc.RowKey(a);
+        const uint64_t* kb = cc.RowKey(b);
+        for (size_t w = 0; w < cc.words; ++w) {
+          if (ka[w] != kb[w]) return ka[w] < kb[w];
+        }
+        return false;
+      });
+    }
+  }
+  if (stats != nullptr) ++stats->input_scans;
+
+  // One sequential scan: open a new cell whenever the key changes.
+  CellStore core = cc.MakeStore();
+  {
+    obs::ScopedSpan scan_span("scan_sorted_core");
+    char* open = nullptr;
+    const uint64_t* open_key = nullptr;
+    for (size_t r : rows) {
+      const uint64_t* rk = cc.RowKey(r);
+      if (open == nullptr ||
+          std::memcmp(rk, open_key, cc.words * sizeof(uint64_t)) != 0) {
+        open = core.FindOrInsert(rk);
+        open_key = rk;
+      }
+      cc.IterRow(open, r, stats);
+    }
+    if (scan_span.active()) {
+      scan_span.Attr("cells", static_cast<uint64_t>(core.size()));
+    }
+  }
+  return ColumnarCascadeFromCore(cc, std::move(core), stats);
+}
+
+Result<SetStores> ColumnarSortRollup(const ColumnarContext& cc,
+                                     CubeStats* stats) {
+  const CubeContext& ctx = *cc.ctx;
+  if (!IsChain(ctx.sets)) {
+    return ColumnarFromCore(cc, stats);
+  }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kSortRollup;
+  size_t levels = ctx.sets.size();  // finest = level 0
+  std::vector<size_t> column_order = ChainColumnOrder(ctx.sets, ctx.num_keys);
+  std::vector<size_t> prefix_len(levels);
+  for (size_t j = 0; j < levels; ++j) {
+    prefix_len[j] = static_cast<size_t>(PopCount(ctx.sets[j]));
+  }
+
+  // Sort row indices by the chain column order, comparing dictionary codes
+  // — the codes are assigned in Value sort order, so this is the same
+  // ordering the legacy Value comparison produces.
+  std::vector<size_t> rows(ctx.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  {
+    obs::ScopedSpan sort_span("sort_rows");
+    if (sort_span.active()) {
+      sort_span.Attr("rows", static_cast<uint64_t>(ctx.num_rows()));
+    }
+    std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      const uint64_t* ka = cc.RowKey(a);
+      const uint64_t* kb = cc.RowKey(b);
+      for (size_t k : column_order) {
+        uint64_t ca = cc.codec.CodeAt(ka, k);
+        uint64_t cb = cc.codec.CodeAt(kb, k);
+        if (ca != cb) return ca < cb;
+      }
+      return false;
+    });
+  }
+  if (stats != nullptr) ++stats->input_scans;
+  obs::ScopedSpan scan_span("pipelined_rollup_scan");
+  if (scan_span.active()) {
+    scan_span.Attr("levels", static_cast<uint64_t>(levels));
+    scan_span.Attr("mergeable", ctx.all_mergeable ? "true" : "false");
+  }
+
+  SetStores maps;
+  maps.reserve(levels);
+  std::vector<std::vector<uint64_t>> masks;
+  masks.reserve(levels);
+  for (size_t j = 0; j < levels; ++j) {
+    maps.push_back(cc.MakeStore());
+    masks.push_back(cc.codec.MaskForSet(ctx.sets[j]));
+  }
+
+  // Open cells live directly in their destination stores (a sorted scan
+  // touches each key exactly once, so inserting at open time is final);
+  // `open[j]` tracks the live block and its key for the cascade at close.
+  struct Open {
+    char* block = nullptr;
+    std::vector<uint64_t> key;
+  };
+  std::vector<Open> open(levels);
+  for (size_t j = 0; j < levels; ++j) open[j].key.resize(cc.words);
+
+  bool mergeable = ctx.all_mergeable;
+
+  // Closes level j: (mergeable path) folds its cell into the next coarser
+  // open level. The cell itself already sits in maps[j].
+  auto close_level = [&](size_t j) -> Status {
+    Open& o = open[j];
+    if (o.block == nullptr) return Status::OK();
+    if (mergeable && j + 1 < levels) {
+      if (open[j + 1].block == nullptr) {
+        MaskKey(o.key.data(), masks[j + 1], open[j + 1].key.data());
+        open[j + 1].block = maps[j + 1].FindOrInsert(open[j + 1].key.data());
+      }
+      DATACUBE_RETURN_IF_ERROR(
+          cc.MergeCell(open[j + 1].block, o.block, stats));
+    }
+    o.block = nullptr;
+    return Status::OK();
+  };
+
+  size_t prev_row = 0;
+  bool have_prev = false;
+  for (size_t r : rows) {
+    const uint64_t* rk = cc.RowKey(r);
+    // Longest matching prefix (in column_order) with the previous row.
+    size_t match = 0;
+    if (have_prev) {
+      const uint64_t* pk = cc.RowKey(prev_row);
+      while (match < column_order.size() &&
+             cc.codec.CodeAt(rk, column_order[match]) ==
+                 cc.codec.CodeAt(pk, column_order[match])) {
+        ++match;
+      }
+    }
+    // Close every level whose prefix no longer matches, finest first.
+    if (have_prev) {
+      for (size_t j = 0; j < levels && prefix_len[j] > match; ++j) {
+        DATACUBE_RETURN_IF_ERROR(close_level(j));
+      }
+    }
+    // Open missing levels for this row and fold the row in.
+    if (mergeable) {
+      if (open[0].block == nullptr) {
+        MaskKey(rk, masks[0], open[0].key.data());
+        open[0].block = maps[0].FindOrInsert(open[0].key.data());
+      }
+      cc.IterRow(open[0].block, r, stats);
+    } else {
+      for (size_t j = 0; j < levels; ++j) {
+        if (open[j].block == nullptr) {
+          MaskKey(rk, masks[j], open[j].key.data());
+          open[j].block = maps[j].FindOrInsert(open[j].key.data());
+        }
+        cc.IterRow(open[j].block, r, stats);
+      }
+    }
+    prev_row = r;
+    have_prev = true;
+  }
+  for (size_t j = 0; j < levels; ++j) {
+    DATACUBE_RETURN_IF_ERROR(close_level(j));
+  }
+  return maps;
+}
+
+Result<SetStores> ColumnarArrayCube(const ColumnarContext& cc,
+                                    const CubeOptions& options,
+                                    CubeStats* stats) {
+  const CubeContext& ctx = *cc.ctx;
+  bool is_full_cube =
+      ctx.sets.size() == (1ULL << ctx.num_keys) && ctx.num_keys > 0;
+  if (!ctx.all_mergeable || !is_full_cube) {
+    return ColumnarFromCore(cc, stats);
+  }
+
+  // The codec's dictionaries double as the array dimensions: each dimension
+  // holds the column's distinct data values (NULL and a literal data ALL
+  // included, as in the legacy dictionaries) plus one trailing slot for the
+  // ALL plane. Codec codes map to dense indices per column.
+  std::vector<size_t> cards = cc.codec.Cardinalities();
+  struct Dim {
+    size_t values = 0;  // concrete data values incl. NULL / data-ALL
+    bool has_null = false;
+    bool has_all = false;
+    size_t all_idx = 0;  // the projected-plane slot, == values
+  };
+  std::vector<Dim> dims(ctx.num_keys);
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    dims[k].values = cards[k];
+    dims[k].has_null = cc.codec.has_null(k);
+    dims[k].has_all = cc.codec.has_all(k);
+    dims[k].all_idx = cards[k];
+  }
+  // Codec code -> dense index: [NULL][data-ALL][concrete...], then the ALL
+  // plane last. Data rows never carry masked fields, so a 0 code during the
+  // fill is a literal ALL value.
+  auto dense_of = [&](size_t k, uint64_t code) -> size_t {
+    const Dim& d = dims[k];
+    if (code == KeyCodec::kAllCode) return d.has_null ? 1 : 0;
+    if (code == KeyCodec::kNullCode) return 0;
+    return static_cast<size_t>(code - 2) + (d.has_null ? 1 : 0) +
+           (d.has_all ? 1 : 0);
+  };
+  auto code_of = [&](size_t k, size_t idx) -> uint64_t {
+    const Dim& d = dims[k];
+    if (d.has_null && idx == 0) return KeyCodec::kNullCode;
+    if (d.has_all && idx == (d.has_null ? 1u : 0u)) return KeyCodec::kAllCode;
+    return static_cast<uint64_t>(idx - (d.has_null ? 1 : 0) -
+                                 (d.has_all ? 1 : 0)) +
+           2;
+  };
+
+  // Strides for linearizing coordinates; check the Π(C_i + 1) bound.
+  std::vector<size_t> stride(ctx.num_keys);
+  size_t total_cells = 1;
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    stride[k] = total_cells;
+    size_t dim = dims[k].values + 1;
+    if (dim != 0 && total_cells > options.array_max_cells / dim) {
+      return ColumnarFromCore(cc, stats);  // would exceed the dense budget
+    }
+    total_cells *= dim;
+  }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kArrayCube;
+  obs::ScopedSpan span("array_cube");
+  if (span.active()) {
+    span.Attr("dense_cells", static_cast<uint64_t>(total_cells));
+  }
+
+  // The dense array holds cell blocks from an arena shared with the output
+  // stores, so export below can adopt blocks without cloning states.
+  CellArenaPtr arena = std::make_shared<CellArena>(cc.layout.block_size,
+                                                   cc.layout.block_align);
+  CellStore::Stats alloc_stats;
+  std::vector<char*> array(total_cells, nullptr);
+  std::vector<uint64_t> key(cc.words);
+  auto touch = [&](size_t idx) -> char* {
+    if (array[idx] == nullptr) array[idx] = cc.NewBlock(*arena, &alloc_stats);
+    return array[idx];
+  };
+
+  // Fill the core.
+  for (size_t row = 0; row < ctx.num_rows(); ++row) {
+    const uint64_t* rk = cc.RowKey(row);
+    size_t idx = 0;
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      idx += dense_of(k, cc.codec.CodeAt(rk, k)) * stride[k];
+    }
+    cc.IterRow(touch(idx), row, stats);
+  }
+  if (stats != nullptr) ++stats->input_scans;
+
+  // Project one dimension at a time, smallest cardinality first — the
+  // same plane order and merge sequence as the legacy array cube.
+  std::vector<size_t> coord(ctx.num_keys);
+  GroupingSet full = FullSet(ctx.num_keys);
+  for (GroupingSet set : ctx.sets) {
+    if (set == full) continue;
+    size_t best_d = ctx.num_keys;
+    for (size_t d = 0; d < ctx.num_keys; ++d) {
+      if (IsGrouped(set, d)) continue;
+      if (best_d == ctx.num_keys || dims[d].values < dims[best_d].values) {
+        best_d = d;
+      }
+    }
+    GroupingSet parent = set | (1ULL << best_d);
+    std::vector<size_t> grouped_dims;
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      if (IsGrouped(parent, k)) grouped_dims.push_back(k);
+    }
+    std::fill(coord.begin(), coord.end(), 0);
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      if (!IsGrouped(parent, k)) coord[k] = dims[k].all_idx;
+    }
+    while (true) {
+      size_t parent_idx = 0;
+      for (size_t k = 0; k < ctx.num_keys; ++k) {
+        parent_idx += coord[k] * stride[k];
+      }
+      if (array[parent_idx] != nullptr) {
+        size_t child_idx =
+            parent_idx + (dims[best_d].all_idx - coord[best_d]) *
+                             stride[best_d];
+        DATACUBE_RETURN_IF_ERROR(
+            cc.MergeCell(touch(child_idx), array[parent_idx], stats));
+      }
+      size_t pos = 0;
+      for (; pos < grouped_dims.size(); ++pos) {
+        size_t k = grouped_dims[pos];
+        if (++coord[k] < dims[k].values) break;
+        coord[k] = 0;
+      }
+      if (pos == grouped_dims.size()) break;
+    }
+  }
+
+  // Export the array into per-set stores. Blocks are adopted, not cloned —
+  // the stores share the arena. Each cell belongs to exactly one set.
+  SetStores maps;
+  maps.reserve(ctx.sets.size());
+  for (size_t s = 0; s < ctx.sets.size(); ++s) {
+    maps.push_back(cc.MakeStore(arena));
+  }
+  // Fold the dense-fill allocation counters into the first store's stats
+  // so FlushStoreStats sees them.
+  maps[0].MutableStats().heap_state_allocs += alloc_stats.heap_state_allocs;
+  for (size_t s = 0; s < ctx.sets.size(); ++s) {
+    GroupingSet set = ctx.sets[s];
+    std::vector<size_t> grouped_dims;
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      if (IsGrouped(set, k)) grouped_dims.push_back(k);
+    }
+    std::fill(coord.begin(), coord.end(), 0);
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      if (!IsGrouped(set, k)) coord[k] = dims[k].all_idx;
+    }
+    while (true) {
+      size_t idx = 0;
+      for (size_t k = 0; k < ctx.num_keys; ++k) idx += coord[k] * stride[k];
+      if (array[idx] != nullptr) {
+        std::fill(key.begin(), key.end(), 0);
+        for (size_t k : grouped_dims) {
+          cc.codec.SetCode(key.data(), k, code_of(k, coord[k]));
+        }
+        maps[s].InsertAdopt(key.data(), array[idx]);
+        array[idx] = nullptr;
+      }
+      size_t pos = 0;
+      for (; pos < grouped_dims.size(); ++pos) {
+        size_t k = grouped_dims[pos];
+        if (++coord[k] < dims[k].values) break;
+        coord[k] = 0;
+      }
+      if (pos == grouped_dims.size()) break;
+    }
+  }
+  return maps;
+}
+
+Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
+                                   const CubeOptions& options,
+                                   CubeStats* stats) {
+  const CubeContext& ctx = *cc.ctx;
+  size_t threads = options.num_threads < 1
+                       ? 1
+                       : static_cast<size_t>(options.num_threads);
+  constexpr size_t kMinRowsPerThread = 1024;
+  if (threads > 1) {
+    threads = std::min(threads, ctx.num_rows() / kMinRowsPerThread + 1);
+  }
+  if (threads <= 1 || !ctx.all_mergeable || ctx.full_set_index < 0) {
+    return ColumnarFromCore(cc, stats);
+  }
+  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kFromCore;
+
+  std::vector<CellStore> partials;
+  partials.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) partials.push_back(cc.MakeStore());
+  std::vector<CubeStats> partial_stats(threads);
+  std::vector<std::thread> workers;
+  size_t rows = ctx.num_rows();
+  size_t chunk = (rows + threads - 1) / threads;
+  CellStore core;
+  {
+    obs::ScopedSpan core_span("parallel_core");
+    if (core_span.active()) {
+      core_span.Attr("threads", static_cast<uint64_t>(threads));
+      core_span.Attr("rows", static_cast<uint64_t>(rows));
+      core_span.Attr("chunk", static_cast<uint64_t>(chunk));
+    }
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        size_t lo = t * chunk;
+        size_t hi = std::min(rows, lo + chunk);
+        CellStore& cells = partials[t];
+        for (size_t row = lo; row < hi; ++row) {
+          cc.IterRow(cells.FindOrInsert(cc.RowKey(row)), row,
+                     &partial_stats[t]);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+
+    // Combine per-partition cores: absent keys adopt a clone of the partial
+    // cell, present ones merge scratchpads.
+    core = std::move(partials[0]);
+    Status merge_status = Status::OK();
+    for (size_t t = 1; t < threads; ++t) {
+      // Fold the dying partial store's probe counters into the core's
+      // before its blocks are cloned away (arena bytes die with it).
+      const CellStore::Stats& ps = partials[t].stats();
+      core.MutableStats().probes += ps.probes;
+      core.MutableStats().max_probe =
+          std::max(core.MutableStats().max_probe, ps.max_probe);
+      core.MutableStats().rehashes += ps.rehashes;
+      core.MutableStats().heap_state_allocs += ps.heap_state_allocs;
+      partials[t].ForEach([&](const uint64_t* key, const char* block) {
+        char* dst = core.Find(key);
+        if (dst == nullptr) {
+          core.InsertClone(key, block);
+        } else {
+          Status st = cc.MergeCell(dst, block, stats);
+          if (!st.ok() && merge_status.ok()) merge_status = st;
+        }
+      });
+    }
+    if (!merge_status.ok()) return merge_status;
+    if (core_span.active()) {
+      core_span.Attr("core_cells", static_cast<uint64_t>(core.size()));
+    }
+  }
+
+  if (stats != nullptr) {
+    ++stats->input_scans;  // the partitions jointly scanned the input once
+    for (const CubeStats& ps : partial_stats) {
+      stats->iter_calls += ps.iter_calls;
+      stats->merge_calls += ps.merge_calls;
+    }
+    stats->threads_used = static_cast<int>(threads);
+  }
+  return ColumnarCascadeFromCore(cc, std::move(core), stats);
+}
+
+// Assembles the result relation from per-set flat stores — the only place
+// packed keys are decoded back to Values. Mirrors AssembleResult in
+// cube_operator.cc row for row.
+Result<Table> AssembleColumnarResult(const ColumnarContext& cc,
+                                     SetStores& stores, CubeStats* stats) {
+  const CubeContext& ctx = *cc.ctx;
+  const CubeSpec& spec = *ctx.spec;
+
+  // SQL semantics: the empty grouping set produces exactly one row even for
+  // empty input (the aggregate over the empty set).
+  std::vector<uint64_t> zero_key(cc.words, 0);
+  for (size_t s = 0; s < ctx.sets.size(); ++s) {
+    if (ctx.sets[s] == 0 && stores[s].size() == 0) {
+      stores[s].FindOrInsert(zero_key.data());
+    }
+  }
+
+  // Result schema (identical to the legacy assembler's).
+  std::vector<Field> fields;
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    fields.push_back(Field{ctx.key_names[k], ctx.key_types[k],
+                           /*nullable=*/true, /*allow_all=*/true});
+  }
+  for (const Decoration& d : spec.decorations) {
+    fields.push_back(Field{d.name, d.expr->output_type(), /*nullable=*/true,
+                           /*allow_all=*/false});
+  }
+  for (size_t a = 0; a < ctx.aggs.size(); ++a) {
+    std::string name = spec.aggregates[a].output_name.empty()
+                           ? spec.aggregates[a].function
+                           : spec.aggregates[a].output_name;
+    fields.push_back(Field{std::move(name), ctx.agg_result_types[a],
+                           /*nullable=*/true, /*allow_all=*/false});
+  }
+  if (spec.add_grouping_columns) {
+    for (size_t k = 0; k < ctx.num_keys; ++k) {
+      fields.push_back(Field{"grouping_" + ctx.key_names[k], DataType::kBool,
+                             /*nullable=*/false, /*allow_all=*/false});
+    }
+  }
+  if (spec.add_grouping_id) {
+    fields.push_back(Field{"grouping_id", DataType::kInt64,
+                           /*nullable=*/false, /*allow_all=*/false});
+  }
+  Table out{Schema{std::move(fields)}};
+
+  size_t total_cells = 0;
+  for (const CellStore& m : stores) total_cells += m.size();
+  out.Reserve(total_cells);
+  if (stats != nullptr) stats->output_cells = total_cells;
+
+  for (size_t s = 0; s < ctx.sets.size(); ++s) {
+    GroupingSet set = ctx.sets[s];
+    const CellStore& store = stores[s];
+    Status row_status = Status::OK();
+    store.ForEach([&](const uint64_t* key, char* block) {
+      if (!row_status.ok()) return;
+      const CellHeader* cell = ColumnarContext::Header(block);
+      std::vector<Value> row;
+      row.reserve(out.num_columns());
+      // Grouping columns: ALL (or NULL under the minimalist Section 3.4
+      // design) in aggregated-away positions.
+      for (size_t k = 0; k < ctx.num_keys; ++k) {
+        if (IsGrouped(set, k)) {
+          row.push_back(cc.codec.ValueAt(key, k));
+        } else {
+          row.push_back(spec.all_mode == AllMode::kAllToken ? Value::All()
+                                                            : Value::Null());
+        }
+      }
+      // Decorations: value when the grouping set functionally determines it
+      // (covers the determinant), else NULL — Table 7's continent rule.
+      for (const Decoration& d : spec.decorations) {
+        bool determined = (set & d.determinant) == d.determinant;
+        if (determined && cell->has_repr) {
+          Result<Value> v = d.expr->Evaluate(*ctx.input, cell->repr_row);
+          if (!v.ok()) {
+            row_status = v.status();
+            return;
+          }
+          row.push_back(std::move(v).value());
+        } else {
+          row.push_back(Value::Null());
+        }
+      }
+      // Aggregates.
+      for (size_t a = 0; a < ctx.aggs.size(); ++a) {
+        Result<Value> v = ctx.aggs[a]->FinalChecked(cc.StateOf(block, a));
+        if (!v.ok()) {
+          row_status = v.status();
+          return;
+        }
+        row.push_back(std::move(v).value());
+        if (stats != nullptr) ++stats->final_calls;
+      }
+      // GROUPING() discriminators (Section 3.3/3.4): TRUE where the column
+      // is an ALL value.
+      if (spec.add_grouping_columns) {
+        for (size_t k = 0; k < ctx.num_keys; ++k) {
+          row.push_back(Value::Bool(!IsGrouped(set, k)));
+        }
+      }
+      if (spec.add_grouping_id) {
+        int64_t id = 0;
+        for (size_t k = 0; k < ctx.num_keys; ++k) {
+          if (!IsGrouped(set, k)) id |= (1LL << k);
+        }
+        row.push_back(Value::Int64(id));
+      }
+      row_status = out.AppendRow(row);
+    });
+    DATACUBE_RETURN_IF_ERROR(row_status);
+  }
+  return out;
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

@@ -1,0 +1,466 @@
+#include <algorithm>
+#include <cstring>
+
+#include "datacube/cube/columnar.h"
+#include "datacube/obs/trace.h"
+
+namespace datacube {
+namespace cube_internal {
+
+namespace {
+
+constexpr size_t kChunkTargetBytes = 64 * 1024;
+constexpr size_t kInitialCapacity = 16;
+
+size_t RoundUp(size_t n, size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+// splitmix64 finalizer, folded across key words.
+inline uint64_t MixWord(uint64_t h, uint64_t word) {
+  uint64_t x = word + h + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- layout
+
+StateLayout StateLayout::Build(const std::vector<AggregateFunctionPtr>& aggs) {
+  StateLayout layout;
+  size_t offset = sizeof(CellHeader);
+  size_t align = alignof(CellHeader);
+  layout.slots.reserve(aggs.size());
+  for (const AggregateFunctionPtr& fn : aggs) {
+    StateSlot slot;
+    size_t size = fn->state_size();
+    size_t slot_align;
+    if (size > 0) {
+      slot.is_inline = true;
+      slot_align = fn->state_align();
+    } else {
+      size = sizeof(AggStatePtr);
+      slot_align = alignof(AggStatePtr);
+      ++layout.num_compat;
+    }
+    offset = RoundUp(offset, slot_align);
+    slot.offset = offset;
+    offset += size;
+    align = std::max(align, slot_align);
+    layout.slots.push_back(slot);
+  }
+  layout.block_align = align;
+  layout.block_size = RoundUp(std::max(offset, sizeof(char*)), align);
+
+  // Cache the slot -> AggState pointer adjustment for inline states so hot
+  // loops skip the virtual StateAt. The adjustment is a property of the
+  // state type, identical for every block.
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (!layout.slots[a].is_inline) continue;
+    const AggregateFunction& fn = *aggs[a];
+    size_t size = fn.state_size();
+    size_t slot_align = fn.state_align();
+    std::unique_ptr<char[]> raw(new char[size + slot_align]);
+    char* p = reinterpret_cast<char*>(
+        RoundUp(reinterpret_cast<uintptr_t>(raw.get()), slot_align));
+    fn.InitAt(p);
+    layout.slots[a].adjust = reinterpret_cast<char*>(fn.StateAt(p)) - p;
+    fn.DestroyAt(p);
+  }
+  return layout;
+}
+
+// ----------------------------------------------------------------- arena
+
+CellArena::CellArena(size_t block_size, size_t align)
+    : block_size_(RoundUp(std::max(block_size, sizeof(char*)), align)),
+      blocks_per_chunk_(std::max<size_t>(1, kChunkTargetBytes / block_size_)) {
+}
+
+char* CellArena::Alloc() {
+  if (free_list_ != nullptr) {
+    char* block = free_list_;
+    std::memcpy(&free_list_, block, sizeof(char*));
+    return block;
+  }
+  if (left_in_chunk_ == 0) {
+    // operator new aligns to max_align_t, which covers every aggregate
+    // state built-in; block_size_ is a multiple of the block alignment so
+    // successive blocks stay aligned.
+    size_t chunk_bytes = blocks_per_chunk_ * block_size_;
+    chunks_.emplace_back(new char[chunk_bytes]);
+    next_ = chunks_.back().get();
+    left_in_chunk_ = blocks_per_chunk_;
+    bytes_ += chunk_bytes;
+  }
+  char* block = next_;
+  next_ += block_size_;
+  --left_in_chunk_;
+  return block;
+}
+
+void CellArena::Free(char* block) {
+  std::memcpy(block, &free_list_, sizeof(char*));
+  free_list_ = block;
+}
+
+// ----------------------------------------------------------------- store
+
+CellStore::CellStore(const ColumnarContext* cc, CellArenaPtr arena)
+    : cc_(cc),
+      arena_(arena != nullptr
+                 ? std::move(arena)
+                 : std::make_shared<CellArena>(cc->layout.block_size,
+                                               cc->layout.block_align)),
+      words_(cc->words) {}
+
+void CellStore::ReleaseAll() {
+  std::fill(blocks_.begin(), blocks_.end(), nullptr);
+  size_ = 0;
+}
+
+CellStore::CellStore(CellStore&& other) noexcept { *this = std::move(other); }
+
+CellStore& CellStore::operator=(CellStore&& other) noexcept {
+  if (this == &other) return *this;
+  for (char* block : blocks_) {
+    if (block != nullptr) DestroyBlock(block);
+  }
+  cc_ = other.cc_;
+  arena_ = std::move(other.arena_);
+  keys_ = std::move(other.keys_);
+  blocks_ = std::move(other.blocks_);
+  cap_ = other.cap_;
+  size_ = other.size_;
+  words_ = other.words_;
+  stats_ = other.stats_;
+  other.cap_ = 0;
+  other.size_ = 0;
+  other.blocks_.clear();
+  return *this;
+}
+
+CellStore::~CellStore() {
+  if (size_ == 0) return;
+  for (size_t i = 0; i < cap_; ++i) {
+    if (blocks_[i] != nullptr) DestroyBlock(blocks_[i]);
+  }
+  size_ = 0;
+}
+
+uint64_t CellStore::HashKey(const uint64_t* key) const {
+  uint64_t h = 0;
+  for (size_t w = 0; w < words_; ++w) h = MixWord(h, key[w]);
+  return h;
+}
+
+size_t CellStore::ProbeFor(const uint64_t* key, bool* found) const {
+  size_t mask = cap_ - 1;
+  size_t i = HashKey(key) & mask;
+  uint64_t len = 1;
+  while (true) {
+    if (blocks_[i] == nullptr) {
+      *found = false;
+      break;
+    }
+    if (KeyEquals(i, key)) {
+      *found = true;
+      break;
+    }
+    i = (i + 1) & mask;
+    ++len;
+  }
+  stats_.probes += len;
+  stats_.max_probe = std::max(stats_.max_probe, len);
+  return i;
+}
+
+void CellStore::Grow() {
+  size_t new_cap = cap_ == 0 ? kInitialCapacity : cap_ * 2;
+  std::vector<uint64_t> old_keys = std::move(keys_);
+  std::vector<char*> old_blocks = std::move(blocks_);
+  size_t old_cap = cap_;
+  keys_.assign(new_cap * words_, 0);
+  blocks_.assign(new_cap, nullptr);
+  cap_ = new_cap;
+  if (old_cap != 0) ++stats_.rehashes;
+  size_t mask = new_cap - 1;
+  for (size_t i = 0; i < old_cap; ++i) {
+    if (old_blocks[i] == nullptr) continue;
+    const uint64_t* key = old_keys.data() + i * words_;
+    size_t j = HashKey(key) & mask;
+    while (blocks_[j] != nullptr) j = (j + 1) & mask;
+    std::memcpy(keys_.data() + j * words_, key, words_ * sizeof(uint64_t));
+    blocks_[j] = old_blocks[i];
+  }
+}
+
+char* CellStore::Find(const uint64_t* key) const {
+  if (size_ == 0) return nullptr;
+  bool found;
+  size_t i = ProbeFor(key, &found);
+  return found ? blocks_[i] : nullptr;
+}
+
+char* CellStore::FindOrInsert(const uint64_t* key, bool* inserted) {
+  // Grow at ~0.7 load factor.
+  if (cap_ == 0 || (size_ + 1) * 10 > cap_ * 7) Grow();
+  bool found;
+  size_t i = ProbeFor(key, &found);
+  if (inserted != nullptr) *inserted = !found;
+  if (found) return blocks_[i];
+  std::memcpy(keys_.data() + i * words_, key, words_ * sizeof(uint64_t));
+  char* block = arena_->Alloc();
+  ::new (block) CellHeader();
+  const std::vector<AggregateFunctionPtr>& aggs = cc_->ctx->aggs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    aggs[a]->InitAt(block + cc_->layout.slots[a].offset);
+  }
+  stats_.heap_state_allocs += cc_->layout.num_compat;
+  blocks_[i] = block;
+  ++size_;
+  return block;
+}
+
+char* CellStore::InsertClone(const uint64_t* key, const char* src_block) {
+  if (cap_ == 0 || (size_ + 1) * 10 > cap_ * 7) Grow();
+  bool found;
+  size_t i = ProbeFor(key, &found);
+  std::memcpy(keys_.data() + i * words_, key, words_ * sizeof(uint64_t));
+  char* block = arena_->Alloc();
+  ::new (block) CellHeader(*ColumnarContext::Header(src_block));
+  const std::vector<AggregateFunctionPtr>& aggs = cc_->ctx->aggs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    size_t offset = cc_->layout.slots[a].offset;
+    aggs[a]->CloneAt(src_block + offset, block + offset);
+  }
+  stats_.heap_state_allocs += cc_->layout.num_compat;
+  blocks_[i] = block;
+  ++size_;
+  return block;
+}
+
+void CellStore::InsertAdopt(const uint64_t* key, char* block) {
+  if (cap_ == 0 || (size_ + 1) * 10 > cap_ * 7) Grow();
+  bool found;
+  size_t i = ProbeFor(key, &found);
+  std::memcpy(keys_.data() + i * words_, key, words_ * sizeof(uint64_t));
+  blocks_[i] = block;
+  ++size_;
+}
+
+void CellStore::DestroyBlock(char* block) {
+  const std::vector<AggregateFunctionPtr>& aggs = cc_->ctx->aggs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    aggs[a]->DestroyAt(block + cc_->layout.slots[a].offset);
+  }
+  arena_->Free(block);
+}
+
+bool CellStore::Erase(const uint64_t* key) {
+  if (size_ == 0) return false;
+  bool found;
+  size_t i = ProbeFor(key, &found);
+  if (!found) return false;
+  DestroyBlock(blocks_[i]);
+  blocks_[i] = nullptr;
+  --size_;
+  // Backward-shift deletion keeps probe chains gap-free without
+  // tombstones: walk the chain after the hole and move back every entry
+  // whose home slot lies at or before the hole.
+  size_t mask = cap_ - 1;
+  size_t hole = i;
+  size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    if (blocks_[j] == nullptr) break;
+    size_t home = HashKey(keys_.data() + j * words_) & mask;
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      std::memcpy(keys_.data() + hole * words_, keys_.data() + j * words_,
+                  words_ * sizeof(uint64_t));
+      blocks_[hole] = blocks_[j];
+      blocks_[j] = nullptr;
+      hole = j;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- context
+
+Result<ColumnarContext> BuildColumnarContext(const CubeContext& ctx) {
+  obs::ScopedSpan span("build_columnar_context");
+  ColumnarContext cc;
+  cc.ctx = &ctx;
+  // Encode each grouping column from its cheapest source: the typed table
+  // column when the key is a lazily materialized column reference, the
+  // evaluated Value vector otherwise.
+  std::vector<KeyColumnSource> sources(ctx.num_keys);
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    if (ctx.key_columns[k].empty() && ctx.key_source_columns[k] != nullptr &&
+        ctx.num_rows() > 0) {
+      sources[k].column = ctx.key_source_columns[k];
+    } else {
+      sources[k].values = &ctx.key_columns[k];
+    }
+  }
+  std::vector<std::vector<uint32_t>> row_codes;
+  cc.codec = KeyCodec::Build(sources, ctx.num_rows(), &row_codes);
+  cc.layout = StateLayout::Build(ctx.aggs);
+  cc.words = cc.codec.words();
+  cc.row_keys.assign(ctx.num_rows() * cc.words, 0);
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    const std::vector<uint32_t>& codes = row_codes[k];
+    for (size_t row = 0; row < ctx.num_rows(); ++row) {
+      cc.codec.SetCode(&cc.row_keys[row * cc.words], k, codes[row]);
+    }
+  }
+  if (span.active()) {
+    span.Attr("key_bits", static_cast<uint64_t>(cc.codec.total_bits()));
+    span.Attr("key_words", static_cast<uint64_t>(cc.words));
+    span.Attr("block_bytes", static_cast<uint64_t>(cc.layout.block_size));
+    span.Attr("inline_states",
+              static_cast<uint64_t>(ctx.aggs.size() - cc.layout.num_compat));
+  }
+  return cc;
+}
+
+void ColumnarContext::RepackRowKeys() {
+  words = codec.words();
+  row_keys.assign(ctx->num_rows() * words, 0);
+  for (size_t row = 0; row < ctx->num_rows(); ++row) {
+    codec.EncodeRow(ctx->key_columns, row, &row_keys[row * words]);
+  }
+}
+
+char* ColumnarContext::NewBlock(CellArena& arena,
+                                CellStore::Stats* stats) const {
+  char* block = arena.Alloc();
+  ::new (block) CellHeader();
+  const std::vector<AggregateFunctionPtr>& aggs = ctx->aggs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    aggs[a]->InitAt(block + layout.slots[a].offset);
+  }
+  if (stats != nullptr) stats->heap_state_allocs += layout.num_compat;
+  return block;
+}
+
+void ColumnarContext::IterRow(char* block, size_t row,
+                              CubeStats* stats) const {
+  CellHeader* h = Header(block);
+  if (!h->has_repr) {
+    h->repr_row = row;
+    h->has_repr = true;
+  }
+  ++h->count;
+  Value argv[8];
+  const std::vector<AggregateFunctionPtr>& aggs = ctx->aggs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const auto& arg_columns = ctx->agg_args[a];
+    size_t nargs = arg_columns.size();
+    // Single-argument aggregates read the evaluated column in place — no
+    // per-row Value copies on the hot path.
+    const Value* args;
+    if (nargs == 1) {
+      args = &arg_columns[0][row];
+    } else {
+      for (size_t i = 0; i < nargs; ++i) argv[i] = arg_columns[i][row];
+      args = argv;
+    }
+    aggs[a]->Iter(StateOf(block, a), args, nargs);
+  }
+  if (stats != nullptr) stats->iter_calls += aggs.size();
+}
+
+Status ColumnarContext::RemoveRow(char* block, size_t row) const {
+  Value argv[8];
+  const std::vector<AggregateFunctionPtr>& aggs = ctx->aggs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const auto& arg_columns = ctx->agg_args[a];
+    size_t nargs = arg_columns.size();
+    const Value* args;
+    if (nargs == 1) {
+      args = &arg_columns[0][row];
+    } else {
+      for (size_t i = 0; i < nargs; ++i) argv[i] = arg_columns[i][row];
+      args = argv;
+    }
+    DATACUBE_RETURN_IF_ERROR(aggs[a]->Remove(StateOf(block, a), args, nargs));
+  }
+  return Status::OK();
+}
+
+Status ColumnarContext::MergeCell(char* dst, const char* src,
+                                  CubeStats* stats) const {
+  CellHeader* dh = Header(dst);
+  const CellHeader* sh = Header(src);
+  if (!dh->has_repr && sh->has_repr) {
+    dh->repr_row = sh->repr_row;
+    dh->has_repr = true;
+  }
+  dh->count += sh->count;
+  const std::vector<AggregateFunctionPtr>& aggs = ctx->aggs;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    DATACUBE_RETURN_IF_ERROR(
+        aggs[a]->Merge(StateOf(dst, a), StateOf(src, a)));
+  }
+  if (stats != nullptr) stats->merge_calls += aggs.size();
+  return Status::OK();
+}
+
+CellStore FlatGroupBy(const ColumnarContext& cc, GroupingSet set,
+                      CubeStats* stats) {
+  obs::ScopedSpan span("flat_group_by");
+  CellStore cells = cc.MakeStore();
+  std::vector<uint64_t> mask = cc.codec.MaskForSet(set);
+  size_t num_rows = cc.ctx->num_rows();
+  uint64_t before_rehashes = cells.stats().rehashes;
+  if (cc.words == 1) {
+    uint64_t m = mask[0];
+    for (size_t row = 0; row < num_rows; ++row) {
+      uint64_t key = cc.row_keys[row] & m;
+      cc.IterRow(cells.FindOrInsert(&key), row, stats);
+    }
+  } else {
+    std::vector<uint64_t> key(cc.words);
+    for (size_t row = 0; row < num_rows; ++row) {
+      const uint64_t* rk = cc.RowKey(row);
+      for (size_t w = 0; w < cc.words; ++w) key[w] = rk[w] & mask[w];
+      cc.IterRow(cells.FindOrInsert(key.data()), row, stats);
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->input_scans;
+    stats->hash_cells += cells.size();
+  }
+  if (span.active()) {
+    span.Attr("set", GroupingSetToString(set, cc.ctx->key_names));
+    span.Attr("rows", static_cast<uint64_t>(num_rows));
+    span.Attr("cells", static_cast<uint64_t>(cells.size()));
+    span.Attr("rehashes", cells.stats().rehashes - before_rehashes);
+  }
+  return cells;
+}
+
+void FlushStoreStats(const SetStores& stores, CubeStats* stats) {
+  if (stats == nullptr) return;
+  std::vector<const CellArena*> arenas;
+  for (const CellStore& store : stores) {
+    const CellStore::Stats& s = store.stats();
+    stats->hash_probes += s.probes;
+    stats->hash_max_probe = std::max(stats->hash_max_probe, s.max_probe);
+    stats->hash_rehashes += s.rehashes;
+    stats->heap_state_allocs += s.heap_state_allocs;
+    const CellArena* arena = store.arena().get();
+    if (arena != nullptr &&
+        std::find(arenas.begin(), arenas.end(), arena) == arenas.end()) {
+      arenas.push_back(arena);
+      stats->arena_bytes += arena->bytes();
+    }
+  }
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

@@ -90,7 +90,8 @@ Cell CubeContext::CloneCell(const Cell& cell) const {
   return out;
 }
 
-Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec) {
+Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec,
+                                     bool materialize_ref_keys) {
   CubeContext ctx;
   ctx.input = &input;
   ctx.spec = &spec;
@@ -113,6 +114,13 @@ Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec) {
     }
     ctx.key_names.push_back(name);
     ctx.key_types.push_back(g.expr->output_type());
+    bool is_ref = g.expr->kind() == Expr::Kind::kColumnRef;
+    ctx.key_source_columns.push_back(
+        is_ref ? &input.column(g.expr->column_index()) : nullptr);
+    if (is_ref && !materialize_ref_keys) {
+      ctx.key_columns.emplace_back();
+      continue;
+    }
     DATACUBE_ASSIGN_OR_RETURN(std::vector<Value> col,
                               g.expr->EvaluateAll(input));
     ctx.key_columns.push_back(std::move(col));
@@ -213,6 +221,17 @@ std::vector<size_t> KeyCardinalities(const CubeContext& ctx) {
   std::vector<size_t> cards;
   cards.reserve(ctx.num_keys);
   for (size_t k = 0; k < ctx.num_keys; ++k) {
+    if (ctx.key_columns[k].empty() && ctx.key_source_columns[k] != nullptr &&
+        ctx.num_rows() > 0) {
+      // Lazily materialized column reference: count on the table column.
+      // NULL and a literal ALL each count as one distinct value, matching
+      // the Value-set semantics below.
+      const Column& col = *ctx.key_source_columns[k];
+      size_t n = col.CountDistinct() + (col.null_count() > 0 ? 1 : 0) +
+                 (col.all_count() > 0 ? 1 : 0);
+      cards.push_back(std::max<size_t>(1, n));
+      continue;
+    }
     std::unordered_set<Value, ValueHash> distinct;
     for (const Value& v : ctx.key_columns[k]) distinct.insert(v);
     cards.push_back(std::max<size_t>(1, distinct.size()));

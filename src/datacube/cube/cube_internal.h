@@ -45,8 +45,14 @@ struct CubeContext {
   size_t num_keys = 0;
   std::vector<std::string> key_names;
   std::vector<DataType> key_types;
-  /// key_columns[k][row] = evaluated k-th grouping expression.
+  /// key_columns[k][row] = evaluated k-th grouping expression. May be left
+  /// empty for a plain column reference when the caller requested lazy key
+  /// materialization (the columnar one-shot path encodes straight from the
+  /// table); key_source_columns[k] is set in that case.
   std::vector<std::vector<Value>> key_columns;
+  /// key_source_columns[k] = the input column the k-th grouping expression
+  /// references, or nullptr when it is a computed expression.
+  std::vector<const Column*> key_source_columns;
 
   std::vector<AggregateFunctionPtr> aggs;
   std::vector<DataType> agg_result_types;
@@ -84,8 +90,14 @@ struct CubeContext {
   Cell CloneCell(const Cell& cell) const;
 };
 
-/// Evaluates and validates `spec` against `input`.
-Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec);
+/// Evaluates and validates `spec` against `input`. With
+/// `materialize_ref_keys` false, grouping expressions that are plain column
+/// references skip EvaluateAll — their key_columns entry stays empty and
+/// key_source_columns points at the table column instead. Only the columnar
+/// one-shot path may request this; the legacy algorithms and the
+/// maintenance contexts index key_columns per row.
+Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec,
+                                     bool materialize_ref_keys = true);
 
 /// Hash-aggregates the input into cells of `set`. The shared primitive
 /// behind UnionGroupBy, FromCore's core computation, and fallbacks.

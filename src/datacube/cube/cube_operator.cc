@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <string>
 
+#include "datacube/cube/columnar.h"
 #include "datacube/cube/cube_internal.h"
 #include "datacube/obs/metrics.h"
 #include "datacube/obs/trace.h"
@@ -15,6 +18,7 @@ using cube_internal::Cell;
 using cube_internal::CellMap;
 using cube_internal::CubeContext;
 using cube_internal::SetMaps;
+using cube_internal::SetStores;
 
 const char* CubeAlgorithmName(CubeAlgorithm a) {
   switch (a) {
@@ -116,6 +120,15 @@ CubeAlgorithm PredictAlgorithm(const CubeContext& ctx,
   return a;
 }
 
+// Whether this execution runs on the legacy Value-vector CellMap core
+// instead of the columnar default — per-call via CubeOptions, or
+// per-process via DATACUBE_LEGACY_CELLS (any value but "" / "0").
+bool UseLegacyCellMap(const CubeOptions& options) {
+  if (options.use_legacy_cellmap) return true;
+  const char* env = std::getenv("DATACUBE_LEGACY_CELLS");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
 // Flushes one execution's deltas into the global registry — the cumulative
 // datacube_cube_* series a monitoring scrape reads. One lookup per counter
 // per execution; the hot loops never touch the registry.
@@ -149,6 +162,16 @@ void PublishCubeStats(const CubeStats& stats) {
   reg.GetCounter("datacube_cube_hash_rehashes_total",
                  "Hash-table growth events while grouping")
       .Inc(stats.hash_rehashes);
+  // Columnar-core kernel counters; all zero on the legacy CellMap path.
+  reg.GetCounter("datacube_cube_hash_probes_total",
+                 "Flat-hash probe steps across all cell lookups")
+      .Inc(stats.hash_probes);
+  reg.GetCounter("datacube_cube_arena_bytes_total",
+                 "Bytes reserved by cell-state arenas")
+      .Inc(stats.arena_bytes);
+  reg.GetCounter("datacube_cube_heap_state_allocs_total",
+                 "Per-cell heap aggregate-state allocations (compat slots)")
+      .Inc(stats.heap_state_allocs);
 }
 
 }  // namespace
@@ -234,8 +257,8 @@ Result<Table> AssembleResult(const CubeContext& ctx, SetMaps& maps,
       }
       // Aggregates.
       for (size_t a = 0; a < ctx.aggs.size(); ++a) {
-        DATACUBE_ASSIGN_OR_RETURN(Value v,
-                                  ctx.aggs[a]->FinalChecked(cell.states[a].get()));
+        DATACUBE_ASSIGN_OR_RETURN(
+            Value v, ctx.aggs[a]->FinalChecked(cell.states[a].get()));
         row.push_back(std::move(v));
         if (stats != nullptr) ++stats->final_calls;
       }
@@ -266,7 +289,12 @@ Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
   auto start = std::chrono::steady_clock::now();
   obs::ScopedSpan span("execute_cube");
 
-  DATACUBE_ASSIGN_OR_RETURN(CubeContext ctx, BuildCubeContext(input, spec));
+  // The columnar one-shot path encodes plain column-reference keys straight
+  // from the table, so it skips materializing them as Value vectors.
+  bool legacy_core = UseLegacyCellMap(options);
+  DATACUBE_ASSIGN_OR_RETURN(
+      CubeContext ctx,
+      BuildCubeContext(input, spec, /*materialize_ref_keys=*/legacy_core));
 
   CubeStats stats;
   stats.algorithm_requested = options.algorithm;
@@ -283,39 +311,11 @@ Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
     span.Attr("requested", CubeAlgorithmName(options.algorithm));
   }
 
-  Result<SetMaps> maps = [&]() -> Result<SetMaps> {
-    if (WouldRunParallel(ctx, options)) {
-      return cube_internal::ComputeParallel(ctx, options, &stats);
-    }
-    switch (algorithm) {
-      case CubeAlgorithm::kNaive2N:
-        return cube_internal::ComputeNaive2N(ctx, &stats);
-      case CubeAlgorithm::kUnionGroupBy:
-        return cube_internal::ComputeUnionGroupBy(ctx, &stats);
-      case CubeAlgorithm::kFromCore:
-        return cube_internal::ComputeFromCore(ctx, &stats);
-      case CubeAlgorithm::kArrayCube:
-        return cube_internal::ComputeArrayCube(ctx, options, &stats);
-      case CubeAlgorithm::kSortRollup:
-        return cube_internal::ComputeSortRollup(ctx, &stats);
-      case CubeAlgorithm::kSortFromCore:
-        return cube_internal::ComputeSortFromCore(ctx, &stats);
-      case CubeAlgorithm::kAuto:
-        break;
-    }
-    return Status::Internal("unresolved cube algorithm");
-  }();
-  if (!maps.ok()) return maps.status();
-
-  // Per-grouping-set actuals are one map-size read each; estimates cost a
+  // Per-grouping-set actuals are one size read each; estimates cost a
   // cardinality scan, so they are computed only for a traced execution
   // (EXPLAIN ANALYZE) where the comparison is the point.
-  stats.per_set.resize(ctx.sets.size());
-  for (size_t s = 0; s < ctx.sets.size(); ++s) {
-    stats.per_set[s].set = ctx.sets[s];
-    stats.per_set[s].actual_cells = maps.value()[s].size();
-  }
-  if (obs::TracingActive()) {
+  auto fill_estimates = [&]() {
+    if (!obs::TracingActive()) return;
     std::vector<size_t> cards = cube_internal::KeyCardinalities(ctx);
     for (size_t s = 0; s < ctx.sets.size(); ++s) {
       double est = 1.0;
@@ -324,9 +324,79 @@ Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
       }
       stats.per_set[s].est_cells = est;
     }
+  };
+  if (span.active()) {
+    span.Attr("core", legacy_core ? "legacy_cellmap" : "columnar");
   }
 
   Result<Table> table = [&]() -> Result<Table> {
+    if (!legacy_core) {
+      DATACUBE_ASSIGN_OR_RETURN(cube_internal::ColumnarContext cc,
+                                cube_internal::BuildColumnarContext(ctx));
+      Result<SetStores> stores = [&]() -> Result<SetStores> {
+        if (WouldRunParallel(ctx, options)) {
+          return cube_internal::ColumnarParallel(cc, options, &stats);
+        }
+        switch (algorithm) {
+          case CubeAlgorithm::kNaive2N:
+            return cube_internal::ColumnarNaive2N(cc, &stats);
+          case CubeAlgorithm::kUnionGroupBy:
+            return cube_internal::ColumnarUnionGroupBy(cc, &stats);
+          case CubeAlgorithm::kFromCore:
+            return cube_internal::ColumnarFromCore(cc, &stats);
+          case CubeAlgorithm::kArrayCube:
+            return cube_internal::ColumnarArrayCube(cc, options, &stats);
+          case CubeAlgorithm::kSortRollup:
+            return cube_internal::ColumnarSortRollup(cc, &stats);
+          case CubeAlgorithm::kSortFromCore:
+            return cube_internal::ColumnarSortFromCore(cc, &stats);
+          case CubeAlgorithm::kAuto:
+            break;
+        }
+        return Status::Internal("unresolved cube algorithm");
+      }();
+      if (!stores.ok()) return stores.status();
+      stats.per_set.resize(ctx.sets.size());
+      for (size_t s = 0; s < ctx.sets.size(); ++s) {
+        stats.per_set[s].set = ctx.sets[s];
+        stats.per_set[s].actual_cells = stores.value()[s].size();
+      }
+      fill_estimates();
+      cube_internal::FlushStoreStats(stores.value(), &stats);
+      obs::ScopedSpan assemble_span("assemble_result");
+      return cube_internal::AssembleColumnarResult(cc, stores.value(),
+                                                   &stats);
+    }
+
+    Result<SetMaps> maps = [&]() -> Result<SetMaps> {
+      if (WouldRunParallel(ctx, options)) {
+        return cube_internal::ComputeParallel(ctx, options, &stats);
+      }
+      switch (algorithm) {
+        case CubeAlgorithm::kNaive2N:
+          return cube_internal::ComputeNaive2N(ctx, &stats);
+        case CubeAlgorithm::kUnionGroupBy:
+          return cube_internal::ComputeUnionGroupBy(ctx, &stats);
+        case CubeAlgorithm::kFromCore:
+          return cube_internal::ComputeFromCore(ctx, &stats);
+        case CubeAlgorithm::kArrayCube:
+          return cube_internal::ComputeArrayCube(ctx, options, &stats);
+        case CubeAlgorithm::kSortRollup:
+          return cube_internal::ComputeSortRollup(ctx, &stats);
+        case CubeAlgorithm::kSortFromCore:
+          return cube_internal::ComputeSortFromCore(ctx, &stats);
+        case CubeAlgorithm::kAuto:
+          break;
+      }
+      return Status::Internal("unresolved cube algorithm");
+    }();
+    if (!maps.ok()) return maps.status();
+    stats.per_set.resize(ctx.sets.size());
+    for (size_t s = 0; s < ctx.sets.size(); ++s) {
+      stats.per_set[s].set = ctx.sets[s];
+      stats.per_set[s].actual_cells = maps.value()[s].size();
+    }
+    fill_estimates();
     obs::ScopedSpan assemble_span("assemble_result");
     return cube_internal::AssembleResult(ctx, maps.value(), &stats);
   }();
@@ -389,7 +459,8 @@ Result<std::string> ExplainCube(const Table& input, const CubeSpec& spec,
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
     const cube_internal::LatticePlan::Node& node = plan.nodes[i];
     out += "  " + GroupingSetToString(node.set, ctx.key_names);
-    out += "  est_cells=" + std::to_string(static_cast<uint64_t>(node.est_cells));
+    out +=
+        "  est_cells=" + std::to_string(static_cast<uint64_t>(node.est_cells));
     if (cascades && ctx.all_mergeable) {
       if (node.parent < 0) {
         out += "  <- base scan";

@@ -136,6 +136,11 @@ struct CubeOptions {
   bool sort_result = true;
   /// Safety cap for kArrayCube's dense allocation (cells = Π(C_i+1)).
   size_t array_max_cells = 1ULL << 26;
+  /// Escape hatch: run on the legacy Value-vector CellMap core instead of
+  /// the columnar (encoded-key / flat-hash / fixed-slot) core. Also
+  /// switchable per-process with the DATACUBE_LEGACY_CELLS environment
+  /// variable; used by the differential oracle to diff the two cores.
+  bool use_legacy_cellmap = false;
 };
 
 /// Per-grouping-set execution instrumentation (EXPLAIN ANALYZE's actual vs
@@ -163,6 +168,14 @@ struct CubeStats {
   uint64_t output_cells = 0;    // cube cells produced
   uint64_t hash_cells = 0;      // cells allocated by hash group-bys
   uint64_t hash_rehashes = 0;   // hash-table growth events while grouping
+  // Columnar-core kernel counters (zero on the legacy CellMap path).
+  uint64_t hash_probes = 0;     // flat-table probe steps across all lookups
+  uint64_t hash_max_probe = 0;  // longest single probe chain observed
+  uint64_t arena_bytes = 0;     // bytes reserved by cell-state arenas
+  /// Per-cell heap state allocations (compatibility slots). Zero for
+  /// queries whose aggregates are all distributive/algebraic built-ins —
+  /// the inline fixed-slot guarantee the obs counters assert.
+  uint64_t heap_state_allocs = 0;
   double wall_seconds = 0.0;    // end-to-end ExecuteCube wall time
   /// What the caller asked for (options.algorithm).
   CubeAlgorithm algorithm_requested = CubeAlgorithm::kAuto;

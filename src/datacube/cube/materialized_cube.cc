@@ -1,8 +1,11 @@
 #include "datacube/cube/materialized_cube.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "datacube/common/codec.h"
 #include "datacube/obs/metrics.h"
@@ -10,10 +13,10 @@
 
 namespace datacube {
 
-using cube_internal::Cell;
-using cube_internal::CellMap;
-using cube_internal::CubeContext;
-using cube_internal::SetMaps;
+using cube_internal::CellHeader;
+using cube_internal::CellStore;
+using cube_internal::ColumnarContext;
+using cube_internal::SetStores;
 
 namespace {
 
@@ -33,9 +36,11 @@ class ScopedMaintenancePublish {
       if (delta != 0) reg.GetCounter(name, help).Inc(delta);
     };
     inc("datacube_maintenance_inserts_total",
-        "Base rows folded into maintained cubes", stats_->inserts - before_.inserts);
+        "Base rows folded into maintained cubes",
+        stats_->inserts - before_.inserts);
     inc("datacube_maintenance_deletes_total",
-        "Base rows removed from maintained cubes", stats_->deletes - before_.deletes);
+        "Base rows removed from maintained cubes",
+        stats_->deletes - before_.deletes);
     inc("datacube_maintenance_cells_updated_total",
         "Cube cells updated in place by maintenance",
         stats_->cells_updated - before_.cells_updated);
@@ -64,27 +69,29 @@ Result<std::unique_ptr<MaterializedCube>> MaterializedCube::Build(
   cube->spec_ = std::make_unique<CubeSpec>(spec);
   DATACUBE_ASSIGN_OR_RETURN(
       cube->ctx_, cube_internal::BuildCubeContext(*cube->base_, *cube->spec_));
+  DATACUBE_ASSIGN_OR_RETURN(cube->cc_,
+                            cube_internal::BuildColumnarContext(cube->ctx_));
 
   CubeStats build_stats;
-  Result<SetMaps> maps = [&]() -> Result<SetMaps> {
+  Result<SetStores> stores = [&]() -> Result<SetStores> {
     switch (options.algorithm) {
       case CubeAlgorithm::kNaive2N:
-        return cube_internal::ComputeNaive2N(cube->ctx_, &build_stats);
+        return cube_internal::ColumnarNaive2N(cube->cc_, &build_stats);
       case CubeAlgorithm::kUnionGroupBy:
-        return cube_internal::ComputeUnionGroupBy(cube->ctx_, &build_stats);
+        return cube_internal::ColumnarUnionGroupBy(cube->cc_, &build_stats);
       case CubeAlgorithm::kArrayCube:
-        return cube_internal::ComputeArrayCube(cube->ctx_, options,
-                                               &build_stats);
+        return cube_internal::ColumnarArrayCube(cube->cc_, options,
+                                                &build_stats);
       case CubeAlgorithm::kSortRollup:
-        return cube_internal::ComputeSortRollup(cube->ctx_, &build_stats);
+        return cube_internal::ColumnarSortRollup(cube->cc_, &build_stats);
       case CubeAlgorithm::kAuto:
       case CubeAlgorithm::kFromCore:
       default:
-        return cube_internal::ComputeFromCore(cube->ctx_, &build_stats);
+        return cube_internal::ColumnarFromCore(cube->cc_, &build_stats);
     }
   }();
-  if (!maps.ok()) return maps.status();
-  cube->maps_ = std::move(maps).value();
+  if (!stores.ok()) return stores.status();
+  cube->stores_ = std::move(stores).value();
 
   cube->tombstone_.assign(input.num_rows(), false);
   cube->live_rows_ = input.num_rows();
@@ -111,12 +118,57 @@ Status MaterializedCube::EvaluateRow(size_t row) {
   return Status::OK();
 }
 
+void MaterializedCube::RelayoutAndRekey() {
+  // Decode every cell key under the old layout before it changes.
+  std::vector<std::vector<std::pair<std::vector<Value>, char*>>> saved(
+      stores_.size());
+  for (size_t s = 0; s < stores_.size(); ++s) {
+    saved[s].reserve(stores_[s].size());
+    stores_[s].ForEach([&](const uint64_t* key, char* block) {
+      saved[s].emplace_back(cc_.codec.DecodeKey(key), block);
+    });
+  }
+  cc_.codec.Relayout();
+  cc_.RepackRowKeys();
+  for (size_t s = 0; s < stores_.size(); ++s) {
+    // Fresh stores pick up the new key width; the blocks themselves (and
+    // their arenas) are untouched — only the keys are re-encoded.
+    CellStore fresh = cc_.MakeStore(stores_[s].arena());
+    fresh.MutableStats() = stores_[s].stats();
+    stores_[s].ReleaseAll();
+    for (auto& [key, block] : saved[s]) {
+      // Every decoded value is still in the (grown) dictionary.
+      std::optional<std::vector<uint64_t>> packed =
+          cc_.codec.EncodeKey(key, ctx_.sets[s]);
+      fresh.InsertAdopt(packed->data(), block);
+    }
+    stores_[s] = std::move(fresh);
+  }
+}
+
+Status MaterializedCube::AppendRowKey(size_t row_id) {
+  // Grow the dictionaries first: a new code can outgrow its bit field, and
+  // packing must only happen under a layout that fits it.
+  for (size_t k = 0; k < ctx_.num_keys; ++k) {
+    cc_.codec.CodeOfOrAdd(k, ctx_.key_columns[k][row_id]);
+  }
+  if (cc_.codec.needs_relayout()) {
+    RelayoutAndRekey();  // RepackRowKeys covers the new row too
+  } else {
+    cc_.row_keys.resize((row_id + 1) * cc_.words, 0);
+    cc_.codec.EncodeRow(ctx_.key_columns, row_id,
+                        &cc_.row_keys[row_id * cc_.words]);
+  }
+  return Status::OK();
+}
+
 Status MaterializedCube::ApplyInsert(const std::vector<Value>& row) {
   ScopedMaintenancePublish publish(&stats_);
   obs::ScopedSpan span("maintain_insert");
   DATACUBE_RETURN_IF_ERROR(base_->AppendRow(row));
   size_t row_id = base_->num_rows() - 1;
   DATACUBE_RETURN_IF_ERROR(EvaluateRow(row_id));
+  DATACUBE_RETURN_IF_ERROR(AppendRowKey(row_id));
   tombstone_.push_back(false);
   ++live_rows_;
   row_index_.emplace(row, row_id);
@@ -126,6 +178,7 @@ Status MaterializedCube::ApplyInsert(const std::vector<Value>& row) {
   // finest set first, so the paper's short-circuit applies: once the value
   // "loses" at some set, every subset of that set is skipped.
   Value argv[8];
+  std::vector<uint64_t> key(cc_.words);
   std::vector<GroupingSet> lost_at;
   for (size_t s = 0; s < ctx_.sets.size(); ++s) {
     GroupingSet set = ctx_.sets[s];
@@ -136,10 +189,12 @@ Status MaterializedCube::ApplyInsert(const std::vector<Value>& row) {
       ++stats_.cells_skipped;
       continue;
     }
-    std::vector<Value> key = ctx_.MaskedKey(row_id, set);
-    auto [it, inserted] = maps_[s].try_emplace(key);
-    if (inserted) it->second = ctx_.NewCell();
-    Cell& cell = it->second;
+    std::vector<uint64_t> mask = cc_.codec.MaskForSet(set);
+    const uint64_t* rk = cc_.RowKey(row_id);
+    for (size_t w = 0; w < cc_.words; ++w) key[w] = rk[w] & mask[w];
+    bool inserted = false;
+    char* block = stores_[s].FindOrInsert(key.data(), &inserted);
+    CellHeader* header = ColumnarContext::Header(block);
 
     // A cell can be skipped outright only when no aggregate can change.
     bool any_change = inserted;
@@ -148,21 +203,21 @@ Status MaterializedCube::ApplyInsert(const std::vector<Value>& row) {
       for (size_t i = 0; i < arg_columns.size(); ++i) {
         argv[i] = arg_columns[i][row_id];
       }
-      any_change = ctx_.aggs[a]->InsertMightChange(
-          cell.states[a].get(), argv, arg_columns.size());
+      any_change = ctx_.aggs[a]->InsertMightChange(cc_.StateOf(block, a), argv,
+                                                   arg_columns.size());
     }
     if (!any_change) {
       // The row still belongs to the group even though no scratchpad needs
       // an update; keep the membership count exact for cell eviction.
-      ++cell.count;
+      ++header->count;
       lost_at.push_back(set);
       ++stats_.cells_skipped;
       continue;
     }
-    ctx_.IterRow(&cell, row_id, nullptr);
+    cc_.IterRow(block, row_id, nullptr);
     ++stats_.cells_updated;
     if (listener_) {
-      listener_(CellChange{set, std::move(key),
+      listener_(CellChange{set, cc_.codec.DecodeKey(key.data()),
                            inserted ? CellChange::Op::kCreated
                                     : CellChange::Op::kUpdated});
     }
@@ -171,35 +226,39 @@ Status MaterializedCube::ApplyInsert(const std::vector<Value>& row) {
 }
 
 Status MaterializedCube::RecomputeAggregate(size_t set_index,
-                                            const std::vector<Value>& key,
-                                            size_t agg) {
+                                            const uint64_t* key, size_t agg) {
   obs::ScopedSpan span("recompute_aggregate");
-  auto it = maps_[set_index].find(key);
-  if (it == maps_[set_index].end()) {
+  char* block = stores_[set_index].Find(key);
+  if (block == nullptr) {
     return Status::Internal("recompute target cell missing");
   }
   GroupingSet set = ctx_.sets[set_index];
   if (span.active()) {
     span.Attr("set", GroupingSetToString(set, ctx_.key_names));
   }
-  AggStatePtr fresh = ctx_.aggs[agg]->Init();
+  const AggregateFunction& fn = *ctx_.aggs[agg];
+  char* slot = block + cc_.layout.slots[agg].offset;
+  fn.DestroyAt(slot);
+  fn.InitAt(slot);
+  AggState* state = cc_.StateOf(block, agg);
+  std::vector<uint64_t> mask = cc_.codec.MaskForSet(set);
   Value argv[8];
   const auto& arg_columns = ctx_.agg_args[agg];
   for (size_t row = 0; row < base_->num_rows(); ++row) {
     if (tombstone_[row]) continue;
     // Does this live row fall in the cell?
+    const uint64_t* rk = cc_.RowKey(row);
     bool match = true;
-    for (size_t k = 0; k < ctx_.num_keys && match; ++k) {
-      if (IsGrouped(set, k)) match = ctx_.key_columns[k][row] == key[k];
+    for (size_t w = 0; w < cc_.words && match; ++w) {
+      match = (rk[w] & mask[w]) == key[w];
     }
     if (!match) continue;
     for (size_t i = 0; i < arg_columns.size(); ++i) {
       argv[i] = arg_columns[i][row];
     }
-    ctx_.aggs[agg]->Iter(fresh.get(), argv, arg_columns.size());
+    fn.Iter(state, argv, arg_columns.size());
     ++stats_.recompute_rows_scanned;
   }
-  it->second.states[agg] = std::move(fresh);
   ++stats_.cells_recomputed;
   return Status::OK();
 }
@@ -225,20 +284,25 @@ Status MaterializedCube::ApplyDelete(const std::vector<Value>& row) {
   ++stats_.deletes;
 
   Value argv[8];
+  std::vector<uint64_t> key(cc_.words);
   for (size_t s = 0; s < ctx_.sets.size(); ++s) {
     GroupingSet set = ctx_.sets[s];
-    std::vector<Value> key = ctx_.MaskedKey(row_id, set);
-    auto it = maps_[s].find(key);
-    if (it == maps_[s].end()) {
+    std::vector<uint64_t> mask = cc_.codec.MaskForSet(set);
+    const uint64_t* rk = cc_.RowKey(row_id);
+    for (size_t w = 0; w < cc_.words; ++w) key[w] = rk[w] & mask[w];
+    char* block = stores_[s].Find(key.data());
+    if (block == nullptr) {
       return Status::Internal("delete touches a missing cube cell");
     }
-    Cell& cell = it->second;
-    if (--cell.count == 0) {
+    CellHeader* header = ColumnarContext::Header(block);
+    if (--header->count == 0) {
       // The group emptied: drop the cell, as a recomputed cube would.
-      maps_[s].erase(it);
+      std::vector<Value> decoded = cc_.codec.DecodeKey(key.data());
+      stores_[s].Erase(key.data());
       ++stats_.cells_updated;
       if (listener_) {
-        listener_(CellChange{set, std::move(key), CellChange::Op::kErased});
+        listener_(
+            CellChange{set, std::move(decoded), CellChange::Op::kErased});
       }
       continue;
     }
@@ -251,13 +315,13 @@ Status MaterializedCube::ApplyDelete(const std::vector<Value>& row) {
       }
       if (fn.delete_class() == DeleteClass::kDeletable) {
         DATACUBE_RETURN_IF_ERROR(
-            fn.Remove(cell.states[a].get(), argv, arg_columns.size()));
+            fn.Remove(cc_.StateOf(block, a), argv, arg_columns.size()));
         updated = true;
-      } else if (fn.RemoveMightChange(cell.states[a].get(), argv,
+      } else if (fn.RemoveMightChange(cc_.StateOf(block, a), argv,
                                       arg_columns.size())) {
         // Delete-holistic (MIN/MAX losing its incumbent): recompute from
         // base data — the paper's expensive path.
-        DATACUBE_RETURN_IF_ERROR(RecomputeAggregate(s, key, a));
+        DATACUBE_RETURN_IF_ERROR(RecomputeAggregate(s, key.data(), a));
         updated = true;
       } else {
         ++stats_.cells_skipped;
@@ -266,7 +330,8 @@ Status MaterializedCube::ApplyDelete(const std::vector<Value>& row) {
     if (updated) {
       ++stats_.cells_updated;
       if (listener_) {
-        listener_(CellChange{set, std::move(key), CellChange::Op::kUpdated});
+        listener_(CellChange{set, cc_.codec.DecodeKey(key.data()),
+                             CellChange::Op::kUpdated});
       }
     }
   }
@@ -363,22 +428,34 @@ Result<Table> MaterializedCube::Slice(
                            /*nullable=*/true, /*allow_all=*/false});
   }
   Table out{Schema{std::move(fields)}};
-  for (const auto& [key, cell] : maps_[s]) {
-    bool match = true;
-    for (size_t k = 0; k < coords.size() && match; ++k) {
-      if (coords[k].kind == SliceCoord::Kind::kFixed) {
-        match = key[k] == coords[k].value;
-      }
-    }
-    if (!match) continue;
-    std::vector<Value> row = key;
-    for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
-      DATACUBE_ASSIGN_OR_RETURN(Value v,
-                                ctx_.aggs[a]->FinalChecked(cell.states[a].get()));
-      row.push_back(std::move(v));
-    }
-    DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
+
+  // Resolve fixed coordinates to codes once; a fixed value outside the
+  // dictionary matches no cell.
+  std::vector<std::pair<size_t, uint64_t>> fixed;
+  for (size_t k = 0; k < coords.size(); ++k) {
+    if (coords[k].kind != SliceCoord::Kind::kFixed) continue;
+    std::optional<uint64_t> code = cc_.codec.CodeOf(k, coords[k].value);
+    if (!code) return out;
+    fixed.emplace_back(k, *code);
   }
+  Status row_status = Status::OK();
+  stores_[s].ForEach([&](const uint64_t* key, char* block) {
+    if (!row_status.ok()) return;
+    for (const auto& [k, code] : fixed) {
+      if (cc_.codec.CodeAt(key, k) != code) return;
+    }
+    std::vector<Value> row = cc_.codec.DecodeKey(key);
+    for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
+      Result<Value> v = ctx_.aggs[a]->FinalChecked(cc_.StateOf(block, a));
+      if (!v.ok()) {
+        row_status = v.status();
+        return;
+      }
+      row.push_back(std::move(v).value());
+    }
+    row_status = out.AppendRow(row);
+  });
+  DATACUBE_RETURN_IF_ERROR(row_status);
   return out;
 }
 
@@ -412,11 +489,12 @@ Result<Value> MaterializedCube::ValueAt(
     return Status::NotFound("grouping set not materialized in this cube");
   }
   size_t s = static_cast<size_t>(set_it - ctx_.sets.begin());
-  auto cell_it = maps_[s].find(coords);
-  if (cell_it == maps_[s].end()) {
+  std::optional<std::vector<uint64_t>> key = cc_.codec.EncodeKey(coords, set);
+  char* block = key ? stores_[s].Find(key->data()) : nullptr;
+  if (block == nullptr) {
     return Status::NotFound("empty cube cell");
   }
-  return ctx_.aggs[agg]->FinalChecked(cell_it->second.states[agg].get());
+  return ctx_.aggs[agg]->FinalChecked(cc_.StateOf(block, agg));
 }
 
 Result<double> MaterializedCube::PercentOfTotal(
@@ -508,24 +586,30 @@ Status MaterializedCube::SaveToFile(const std::string& path) const {
     if (tombstone_[i]) bits[i] = '1';
   }
   EncodeBlob(bits, &out);
-  // Cells per grouping set.
+  // Cells per grouping set. Keys are decoded to Values on the way out, so
+  // the checkpoint stays layout-independent (format DATACUBE_CKPT_V1).
   EncodeCount(ctx_.aggs.size(), &out);
   EncodeCount(ctx_.sets.size(), &out);
   for (size_t s = 0; s < ctx_.sets.size(); ++s) {
     EncodeCount(ctx_.sets[s], &out);
-    EncodeCount(maps_[s].size(), &out);
-    for (const auto& [key, cell] : maps_[s]) {
-      for (const Value& v : key) EncodeValue(v, &out);
-      EncodeValue(Value::Int64(cell.count), &out);
-      EncodeValue(Value::Int64(static_cast<int64_t>(cell.repr_row)), &out);
-      EncodeValue(Value::Bool(cell.has_repr), &out);
+    EncodeCount(stores_[s].size(), &out);
+    Status cell_status = Status::OK();
+    stores_[s].ForEach([&](const uint64_t* key, char* block) {
+      if (!cell_status.ok()) return;
+      for (const Value& v : cc_.codec.DecodeKey(key)) EncodeValue(v, &out);
+      const CellHeader* header = ColumnarContext::Header(block);
+      EncodeValue(Value::Int64(header->count), &out);
+      EncodeValue(Value::Int64(static_cast<int64_t>(header->repr_row)), &out);
+      EncodeValue(Value::Bool(header->has_repr), &out);
       for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
         std::string blob;
-        DATACUBE_RETURN_IF_ERROR(
-            ctx_.aggs[a]->SerializeState(cell.states[a].get(), &blob));
+        cell_status =
+            ctx_.aggs[a]->SerializeState(cc_.StateOf(block, a), &blob);
+        if (!cell_status.ok()) return;
         EncodeBlob(blob, &out);
       }
-    }
+    });
+    DATACUBE_RETURN_IF_ERROR(cell_status);
   }
   std::ofstream file(path, std::ios::binary);
   if (!file) return Status::IOError("cannot open " + path + " for writing");
@@ -578,6 +662,8 @@ Result<std::unique_ptr<MaterializedCube>> MaterializedCube::LoadFromFile(
   cube->spec_ = std::make_unique<CubeSpec>(spec);
   DATACUBE_ASSIGN_OR_RETURN(
       cube->ctx_, cube_internal::BuildCubeContext(*cube->base_, *cube->spec_));
+  DATACUBE_ASSIGN_OR_RETURN(cube->cc_,
+                            cube_internal::BuildColumnarContext(cube->ctx_));
 
   DATACUBE_ASSIGN_OR_RETURN(uint64_t naggs, DecodeCount(data, &pos));
   if (naggs != cube->ctx_.aggs.size()) {
@@ -589,7 +675,20 @@ Result<std::unique_ptr<MaterializedCube>> MaterializedCube::LoadFromFile(
     return Status::InvalidArgument(
         "checkpoint grouping sets do not match the supplied spec");
   }
-  cube->maps_.resize(nsets);
+  // Re-encodes a checkpointed Value key under the current codec, growing
+  // the dictionaries for any key value no longer present in the base data.
+  auto encode_key = [&cube](const std::vector<Value>& key, GroupingSet set) {
+    std::optional<std::vector<uint64_t>> packed =
+        cube->cc_.codec.EncodeKey(key, set);
+    if (!packed) {
+      for (size_t k = 0; k < cube->ctx_.num_keys; ++k) {
+        if (IsGrouped(set, k)) cube->cc_.codec.CodeOfOrAdd(k, key[k]);
+      }
+      if (cube->cc_.codec.needs_relayout()) cube->RelayoutAndRekey();
+      packed = cube->cc_.codec.EncodeKey(key, set);
+    }
+    return std::move(*packed);
+  };
   for (uint64_t s = 0; s < nsets; ++s) {
     DATACUBE_ASSIGN_OR_RETURN(uint64_t mask, DecodeCount(data, &pos));
     if (mask != cube->ctx_.sets[s]) {
@@ -597,6 +696,8 @@ Result<std::unique_ptr<MaterializedCube>> MaterializedCube::LoadFromFile(
           "checkpoint grouping sets do not match the supplied spec");
     }
     DATACUBE_ASSIGN_OR_RETURN(uint64_t ncells, DecodeCount(data, &pos));
+    CellStore store = cube->cc_.MakeStore();
+    cube->stores_.push_back(std::move(store));
     for (uint64_t i = 0; i < ncells; ++i) {
       std::vector<Value> key;
       key.reserve(cube->ctx_.num_keys);
@@ -604,22 +705,25 @@ Result<std::unique_ptr<MaterializedCube>> MaterializedCube::LoadFromFile(
         DATACUBE_ASSIGN_OR_RETURN(Value v, DecodeValue(data, &pos));
         key.push_back(std::move(v));
       }
-      Cell cell;
       DATACUBE_ASSIGN_OR_RETURN(Value count, DecodeValue(data, &pos));
       DATACUBE_ASSIGN_OR_RETURN(Value repr, DecodeValue(data, &pos));
       DATACUBE_ASSIGN_OR_RETURN(Value has_repr, DecodeValue(data, &pos));
-      cell.count = count.int64_value();
-      cell.repr_row = static_cast<size_t>(repr.int64_value());
-      cell.has_repr = has_repr.bool_value();
+      std::vector<uint64_t> packed = encode_key(key, cube->ctx_.sets[s]);
+      char* block = cube->stores_[s].FindOrInsert(packed.data());
+      CellHeader* header = ColumnarContext::Header(block);
+      header->count = count.int64_value();
+      header->repr_row = static_cast<size_t>(repr.int64_value());
+      header->has_repr = has_repr.bool_value();
       for (size_t a = 0; a < cube->ctx_.aggs.size(); ++a) {
         DATACUBE_ASSIGN_OR_RETURN(std::string blob, DecodeBlob(data, &pos));
         size_t blob_pos = 0;
-        DATACUBE_ASSIGN_OR_RETURN(
-            AggStatePtr state,
-            cube->ctx_.aggs[a]->DeserializeState(blob, &blob_pos));
-        cell.states.push_back(std::move(state));
+        // FindOrInsert initialized the slot; replace it with the
+        // checkpointed scratchpad.
+        const AggregateFunction& fn = *cube->ctx_.aggs[a];
+        char* slot = block + cube->cc_.layout.slots[a].offset;
+        fn.DestroyAt(slot);
+        DATACUBE_RETURN_IF_ERROR(fn.DeserializeAt(blob, &blob_pos, slot));
       }
-      cube->maps_[s].emplace(std::move(key), std::move(cell));
     }
   }
 
@@ -635,17 +739,19 @@ Result<std::unique_ptr<MaterializedCube>> MaterializedCube::LoadFromFile(
 }
 
 Result<Table> MaterializedCube::ToTable() const {
-  // AssembleResult mutates only the empty-grand-total fix-up; operate on a
-  // const_cast'ed view is unsafe, so copy the map headers (cells are not
-  // copied deeply — we rebuild a SetMaps of cloned cells).
-  SetMaps copy(maps_.size());
-  for (size_t s = 0; s < maps_.size(); ++s) {
-    for (const auto& [key, cell] : maps_[s]) {
-      copy[s].emplace(key, ctx_.CloneCell(cell));
-    }
+  // AssembleColumnarResult mutates its stores (the empty-grand-total
+  // fix-up), so assemble from a deep copy of the cells.
+  SetStores copy;
+  copy.reserve(stores_.size());
+  for (size_t s = 0; s < stores_.size(); ++s) {
+    CellStore clone = cc_.MakeStore();
+    stores_[s].ForEach([&](const uint64_t* key, char* block) {
+      clone.InsertClone(key, block);
+    });
+    copy.push_back(std::move(clone));
   }
   CubeStats stats;
-  return cube_internal::AssembleResult(ctx_, copy, &stats);
+  return cube_internal::AssembleColumnarResult(cc_, copy, &stats);
 }
 
 }  // namespace datacube

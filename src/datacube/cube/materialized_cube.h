@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "datacube/cube/columnar.h"
 #include "datacube/cube/cube_internal.h"
 #include "datacube/cube/cube_operator.h"
 
@@ -81,7 +82,8 @@ class MaterializedCube {
   /// Computes the cube over `input` and retains a copy of the base data for
   /// maintenance.
   static Result<std::unique_ptr<MaterializedCube>> Build(
-      const Table& input, const CubeSpec& spec, const CubeOptions& options = {});
+      const Table& input, const CubeSpec& spec,
+      const CubeOptions& options = {});
 
   MaterializedCube(const MaterializedCube&) = delete;
   MaterializedCube& operator=(const MaterializedCube&) = delete;
@@ -188,15 +190,28 @@ class MaterializedCube {
   // column caches (rows appended by ApplyInsert).
   Status EvaluateRow(size_t row);
 
-  // Recomputes aggregate `agg` of the cell keyed by `key` in set `set_index`
-  // from live base rows.
-  Status RecomputeAggregate(size_t set_index, const std::vector<Value>& key,
+  // Grows the key dictionaries with row `row_id`'s key values and packs its
+  // encoded key, re-laying-out the codec (and re-keying every store) when a
+  // new code outgrows its bit field.
+  Status AppendRowKey(size_t row_id);
+
+  // Re-encodes every store's keys after a codec Relayout. Blocks are
+  // adopted across, not cloned.
+  void RelayoutAndRekey();
+
+  // Recomputes aggregate `agg` of the cell keyed by packed `key` in set
+  // `set_index` from live base rows.
+  Status RecomputeAggregate(size_t set_index, const uint64_t* key,
                             size_t agg);
 
   std::unique_ptr<Table> base_;
   std::unique_ptr<CubeSpec> spec_;
   cube_internal::CubeContext ctx_;
-  cube_internal::SetMaps maps_;
+  // The columnar view (key codec + state layout + packed row keys) and the
+  // maintained per-set flat stores. cc_ must outlive stores_ — stores
+  // destroy their cells through it — so declaration order matters here.
+  cube_internal::ColumnarContext cc_;
+  cube_internal::SetStores stores_;
   std::vector<bool> tombstone_;
   size_t live_rows_ = 0;
   // Value-equality index over live base rows, for delete lookup.

@@ -24,7 +24,9 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
                        ? 1
                        : static_cast<size_t>(options.num_threads);
   constexpr size_t kMinRowsPerThread = 1024;
-  if (threads > 1) threads = std::min(threads, ctx.num_rows() / kMinRowsPerThread + 1);
+  if (threads > 1) {
+    threads = std::min(threads, ctx.num_rows() / kMinRowsPerThread + 1);
+  }
   if (threads <= 1 || !ctx.all_mergeable || ctx.full_set_index < 0) {
     return ComputeFromCore(ctx, stats);
   }

@@ -14,7 +14,8 @@ void PublishQueryStats(const PartialCube::QueryStats& qs) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("datacube_partial_queries_total",
                  "Partial-cube queries by answer source",
-                 {{"source", qs.was_materialized ? "materialized" : "ancestor"}})
+                 {{"source",
+                   qs.was_materialized ? "materialized" : "ancestor"}})
       .Inc();
   if (qs.cells_scanned > 0) {
     reg.GetCounter("datacube_partial_cells_scanned_total",
@@ -79,8 +80,8 @@ Result<Table> PartialCube::AssembleSet(const CellMap& cells) const {
   for (const auto& [key, cell] : cells) {
     std::vector<Value> row = key;
     for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
-      DATACUBE_ASSIGN_OR_RETURN(Value v,
-                                ctx_.aggs[a]->FinalChecked(cell.states[a].get()));
+      DATACUBE_ASSIGN_OR_RETURN(
+          Value v, ctx_.aggs[a]->FinalChecked(cell.states[a].get()));
       row.push_back(std::move(v));
     }
     DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));

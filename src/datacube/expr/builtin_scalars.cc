@@ -228,7 +228,8 @@ void RegisterStrings(ScalarFunctionRegistry& r) {
   upper.name = "upper";
   upper.arity = 1;
   upper.result_type = [](const TypeVec& types) -> Result<DataType> {
-    DATACUBE_RETURN_IF_ERROR(CheckArgType(types, 0, DataType::kString, "upper"));
+    DATACUBE_RETURN_IF_ERROR(
+        CheckArgType(types, 0, DataType::kString, "upper"));
     return DataType::kString;
   };
   upper.eval = [](const ValVec& args) -> Result<Value> {
@@ -240,7 +241,8 @@ void RegisterStrings(ScalarFunctionRegistry& r) {
   lower.name = "lower";
   lower.arity = 1;
   lower.result_type = [](const TypeVec& types) -> Result<DataType> {
-    DATACUBE_RETURN_IF_ERROR(CheckArgType(types, 0, DataType::kString, "lower"));
+    DATACUBE_RETURN_IF_ERROR(
+        CheckArgType(types, 0, DataType::kString, "lower"));
     return DataType::kString;
   };
   lower.eval = [](const ValVec& args) -> Result<Value> {

@@ -237,9 +237,10 @@ Status Expr::Bind(const Schema& schema) {
                                      BinaryOpName(binary_op_) +
                                      " requires numeric operands");
           }
-          output_type_ = (lhs == DataType::kFloat64 || rhs == DataType::kFloat64)
-                             ? DataType::kFloat64
-                             : DataType::kInt64;
+          output_type_ =
+              (lhs == DataType::kFloat64 || rhs == DataType::kFloat64)
+                  ? DataType::kFloat64
+                  : DataType::kInt64;
           break;
         case BinaryOp::kDiv:
           if (!IsNumeric(lhs) || !IsNumeric(rhs)) {
@@ -292,7 +293,8 @@ Status Expr::Bind(const Schema& schema) {
       std::vector<DataType> arg_types;
       arg_types.reserve(args_.size());
       for (const ExprPtr& arg : args_) arg_types.push_back(arg->output_type());
-      DATACUBE_ASSIGN_OR_RETURN(output_type_, function_->result_type(arg_types));
+      DATACUBE_ASSIGN_OR_RETURN(output_type_,
+                                function_->result_type(arg_types));
       break;
     }
     case Kind::kCase:
@@ -331,7 +333,9 @@ Result<Value> Expr::EvaluateUnary(const Table& table, size_t row) const {
       return Value::Bool(!v.is_null());
     case UnaryOp::kNeg:
       if (v.is_special()) return v;
-      if (v.kind() == Value::Kind::kInt64) return Value::Int64(-v.int64_value());
+      if (v.kind() == Value::Kind::kInt64) {
+        return Value::Int64(-v.int64_value());
+      }
       return Value::Float64(-v.AsDouble());
     case UnaryOp::kNot:
       if (v.is_special()) return v;
@@ -442,8 +446,15 @@ Result<Value> Expr::EvaluateCall(const Table& table, size_t row) const {
 }
 
 Result<std::vector<Value>> Expr::EvaluateAll(const Table& table) const {
+  if (!bound_) return Status::Internal("expression evaluated before Bind()");
   std::vector<Value> out;
   out.reserve(table.num_rows());
+  if (kind_ == Kind::kColumnRef) {
+    // Plain column reference: bulk-read the column, skipping the per-row
+    // dispatch and Result round-trip.
+    table.column(column_index_).MaterializeValues(&out);
+    return out;
+  }
   for (size_t r = 0; r < table.num_rows(); ++r) {
     DATACUBE_ASSIGN_OR_RETURN(Value v, Evaluate(table, r));
     out.push_back(std::move(v));

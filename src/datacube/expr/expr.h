@@ -92,6 +92,9 @@ class Expr {
   /// Column name this expression references, if it is a plain column ref.
   const std::string* AsColumnName() const;
 
+  /// For kColumnRef after a successful Bind: the referenced column's index.
+  size_t column_index() const { return column_index_; }
+
   /// For kCall: function name. For kColumnRef: column name.
   const std::string& name() const { return name_; }
   const std::vector<ExprPtr>& args() const { return args_; }

@@ -98,7 +98,9 @@ Result<std::string> FormatCrossTab(const Table& cube, size_t row_dim,
     grid.push_back(std::move(line));
   }
   std::vector<std::string> totals = {options.total_label};
-  for (const Value& cv : col_values) totals.push_back(cell_text(Value::All(), cv));
+  for (const Value& cv : col_values) {
+    totals.push_back(cell_text(Value::All(), cv));
+  }
   totals.push_back(cell_text(Value::All(), Value::All()));
   grid.push_back(std::move(totals));
   return RenderGrid(grid);

@@ -122,7 +122,8 @@ Result<Table> PivotToTable(const Table& input,
     for (const auto& [pv, s] : pivot_values) {
       bool has = touched.count({key, s}) > 0;
       if (has) {
-        DATACUBE_ASSIGN_OR_RETURN(Value v, fn->FinalChecked(row.states[s].get()));
+        DATACUBE_ASSIGN_OR_RETURN(Value v,
+                                  fn->FinalChecked(row.states[s].get()));
         values.push_back(std::move(v));
       } else {
         values.push_back(Value::Null());
@@ -138,7 +139,8 @@ Result<Table> PivotToTable(const Table& input,
   if (options.add_total_row && !grand_states.empty()) {
     std::vector<Value> values(key_cols.size(), Value::Null());
     for (const auto& [pv, s] : pivot_values) {
-      DATACUBE_ASSIGN_OR_RETURN(Value v, fn->FinalChecked(grand_states[s].get()));
+      DATACUBE_ASSIGN_OR_RETURN(Value v,
+                                fn->FinalChecked(grand_states[s].get()));
       values.push_back(std::move(v));
     }
     if (options.add_row_total) {

@@ -13,7 +13,8 @@ namespace datacube {
 /// values blank when repeated, and one sub-total column per aggregation
 /// level, each total printed on its own sub-total row:
 ///
-///   Model  Year  Color  Sales by Model by Year by Color  Sales by Model by Year  Sales by Model
+///   Model  Year  Color  Sales by Model by Year by Color  Sales by Model
+///                                                        by Year  ...
 ///   Chevy  1994  black  50
 ///                white  40
 ///                                                        90

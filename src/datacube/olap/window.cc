@@ -103,9 +103,9 @@ Result<Table> AddRank(const Table& table, size_t value_column,
         });
         int64_t rank = 0;
         for (size_t i = 0; i < idx.size(); ++i) {
-          if (i == 0 || t.GetValue(idx[i], value_column)
-                                .Compare(t.GetValue(idx[i - 1], value_column)) !=
-                            0) {
+          if (i == 0 ||
+              t.GetValue(idx[i], value_column)
+                      .Compare(t.GetValue(idx[i - 1], value_column)) != 0) {
             rank = static_cast<int64_t>(i + 1);
           }
           (*out)[idx[i]] = Value::Int64(rank);
@@ -133,7 +133,8 @@ Result<Table> AddNTile(const Table& table, size_t value_column, int n,
         // floor(i * n / m) + 1.
         size_t m = idx.size();
         for (size_t i = 0; i < m; ++i) {
-          int64_t bucket = static_cast<int64_t>(i * static_cast<size_t>(n) / m) + 1;
+          int64_t bucket =
+              static_cast<int64_t>(i * static_cast<size_t>(n) / m) + 1;
           (*out)[idx[i]] = Value::Int64(bucket);
         }
       });

@@ -114,7 +114,8 @@ Result<Table> SnowflakeSchema::Denormalize() const {
     // Resolve the join column in the current wide table: fact links use the
     // fact column; snowflake links use the parent dimension's column, which
     // is present once the parent has been joined.
-    std::optional<size_t> join_col = wide.schema().FieldIndex(link.parent_column);
+    std::optional<size_t> join_col =
+        wide.schema().FieldIndex(link.parent_column);
     if (!join_col.has_value()) {
       return Status::Internal("join column missing during denormalize: " +
                               link.parent_column);

@@ -111,9 +111,10 @@ Result<std::string> InternAggregate(const Expr& e, const std::string& preferred,
     return Status::InvalidArgument("cannot resolve aggregate call " +
                                    e.ToString());
   }
-  spec.output_name = preferred.empty()
-                         ? fn_name + "_" + std::to_string(plan->aggregates.size())
-                         : preferred;
+  spec.output_name =
+      preferred.empty()
+          ? fn_name + "_" + std::to_string(plan->aggregates.size())
+          : preferred;
   // Keep output names unique.
   for (const AggregateSpec& existing : plan->aggregates) {
     if (existing.output_name == spec.output_name) {
@@ -131,8 +132,8 @@ Result<std::string> InternAggregate(const Expr& e, const std::string& preferred,
 // references; anything else must be composed of those plus literals.
 // `preferred` names the aggregate output when the whole expression is one
 // aggregate call with an alias.
-Result<ExprPtr> RewriteOverResult(const ExprPtr& e, const std::string& preferred,
-                                  Plan* plan) {
+Result<ExprPtr> RewriteOverResult(const ExprPtr& e,
+                                  const std::string& preferred, Plan* plan) {
   std::string canon = Canonical(e);
   for (size_t k = 0; k < plan->group_canonical.size(); ++k) {
     if (canon == plan->group_canonical[k]) {
@@ -866,7 +867,8 @@ Result<std::string> ExplainSelectText(const SelectStatement& stmt,
   {
     obs::TraceScope scope(&trace);
     DATACUBE_ASSIGN_OR_RETURN(
-        Table discarded, ExecuteAggregation(prepared, filtered, options, &stats));
+        Table discarded,
+        ExecuteAggregation(prepared, filtered, options, &stats));
     (void)discarded;
   }
   std::vector<std::string> names;
@@ -881,6 +883,12 @@ Result<std::string> ExplainSelectText(const SelectStatement& stmt,
     }
     out += "\n";
   }
+  out += "kernel: hash_probes=" + std::to_string(stats.hash_probes) +
+         "  max_probe=" + std::to_string(stats.hash_max_probe) +
+         "  rehashes=" + std::to_string(stats.hash_rehashes) +
+         "  arena_bytes=" + std::to_string(stats.arena_bytes) +
+         "  heap_state_allocs=" + std::to_string(stats.heap_state_allocs) +
+         "\n";
   out += "trace:\n" + trace.Render();
   return out;
 }
@@ -930,8 +938,8 @@ Result<Table> ExecuteSql(const std::string& text, const Catalog& catalog,
       size_t nl = rendered.find('\n', start);
       if (nl == std::string::npos) nl = rendered.size();
       if (nl > start || nl < rendered.size()) {
-        DATACUBE_RETURN_IF_ERROR(
-            plan.AppendRow({Value::String(rendered.substr(start, nl - start))}));
+        DATACUBE_RETURN_IF_ERROR(plan.AppendRow(
+            {Value::String(rendered.substr(start, nl - start))}));
       }
       start = nl + 1;
     }

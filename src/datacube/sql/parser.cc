@@ -354,7 +354,9 @@ class Parser {
                                        std::move(eq));
     } while (AcceptSymbol(","));
     DATACUBE_RETURN_IF_ERROR(ExpectSymbol(")"));
-    if (not_in) disjunction = Expr::Unary(UnaryOp::kNot, std::move(disjunction));
+    if (not_in) {
+      disjunction = Expr::Unary(UnaryOp::kNot, std::move(disjunction));
+    }
     return disjunction;
   }
 

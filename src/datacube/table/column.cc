@@ -59,7 +59,8 @@ Status Column::Append(const Value& value) {
       return Status::OK();
     case DataType::kString:
       if (value.kind() != Value::Kind::kString) break;
-      std::get<std::vector<std::string>>(buffer_).push_back(value.string_value());
+      std::get<std::vector<std::string>>(buffer_).push_back(
+          value.string_value());
       states_.push_back(kStateValue);
       return Status::OK();
     case DataType::kDate:
@@ -155,6 +156,32 @@ size_t Column::CountDistinct() const {
     if (states_[i] == kStateValue) seen.insert(Get(i));
   }
   return seen.size();
+}
+
+void Column::MaterializeValues(std::vector<Value>* out) const {
+  out->reserve(out->size() + size());
+  std::visit(
+      [&](const auto& buf) {
+        using T = typename std::decay_t<decltype(buf)>::value_type;
+        for (size_t i = 0; i < states_.size(); ++i) {
+          if (states_[i] == kStateNull) {
+            out->push_back(Value::Null());
+          } else if (states_[i] == kStateAll) {
+            out->push_back(Value::All());
+          } else if constexpr (std::is_same_v<T, uint8_t>) {
+            out->push_back(Value::Bool(buf[i] != 0));
+          } else if constexpr (std::is_same_v<T, int64_t>) {
+            out->push_back(Value::Int64(buf[i]));
+          } else if constexpr (std::is_same_v<T, double>) {
+            out->push_back(Value::Float64(buf[i]));
+          } else if constexpr (std::is_same_v<T, std::string>) {
+            out->push_back(Value::String(buf[i]));
+          } else {
+            out->push_back(Value::FromDate(buf[i]));
+          }
+        }
+      },
+      buffer_);
 }
 
 }  // namespace datacube

@@ -50,6 +50,19 @@ class Column {
   /// Count of distinct concrete values (NULL and ALL excluded).
   size_t CountDistinct() const;
 
+  /// Appends every row to `out` as a Value (Get(i) for all i, but with the
+  /// type dispatch hoisted out of the loop).
+  void MaterializeValues(std::vector<Value>* out) const;
+
+  /// Read-only view of the typed buffer for kernel code that must avoid
+  /// per-row Value materialization. T must match type(): uint8_t (bool),
+  /// int64_t, double, std::string, or Date. Rows in a NULL/ALL state hold
+  /// a zeroed slot — check IsNull/IsAll per row.
+  template <typename T>
+  const std::vector<T>& raw() const {
+    return std::get<std::vector<T>>(buffer_);
+  }
+
  private:
   static constexpr uint8_t kStateValue = 0;
   static constexpr uint8_t kStateNull = 1;

@@ -96,8 +96,8 @@ Result<Table> Table::ConcatColumns(const Table& other) const {
   for (size_t i = 0; i < merged.num_fields(); ++i) {
     for (size_t j = i + 1; j < merged.num_fields(); ++j) {
       if (merged.field(i).name == merged.field(j).name) {
-        return Status::AlreadyExists("duplicate column name in ConcatColumns: " +
-                                     merged.field(i).name);
+        return Status::AlreadyExists(
+            "duplicate column name in ConcatColumns: " + merged.field(i).name);
       }
     }
   }
@@ -154,8 +154,9 @@ bool Table::EqualsIgnoringRowOrder(const Table& other) const {
   }
   auto a = RowBag(*this);
   auto b = RowBag(other);
-  return std::equal(a.begin(), a.end(), b.begin(), b.end(),
-                    [](const auto& x, const auto& y) { return x.first == y.first; });
+  return std::equal(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](const auto& x, const auto& y) { return x.first == y.first; });
 }
 
 bool Table::EqualsExact(const Table& other) const {

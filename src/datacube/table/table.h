@@ -75,7 +75,8 @@ class Table {
 };
 
 /// Convenience builder:
-///   TableBuilder b({{"Model", DataType::kString}, {"Units", DataType::kInt64}});
+///   TableBuilder b({{"Model", DataType::kString},
+///                   {"Units", DataType::kInt64}});
 ///   b.Row({Value::String("Chevy"), Value::Int64(50)});
 ///   Table t = std::move(b).Build();
 /// Any error in a Row() call is latched and reported by Build().

@@ -29,6 +29,7 @@ Outcome RunConfig(const Table& input, const CubeSpec& spec,
   CubeOptions options;
   options.algorithm = config.algorithm;
   options.num_threads = config.num_threads;
+  options.use_legacy_cellmap = config.use_legacy_cellmap;
   options.sort_result = true;
   Result<CubeResult> r = ExecuteCube(input, spec, options);
   Outcome out;
@@ -92,7 +93,9 @@ void SplitColumns(const Table& t, const CubeSpec& spec,
                   std::vector<size_t>* key_cols,
                   std::vector<size_t>* agg_cols) {
   std::set<std::string> agg_names;
-  for (const AggregateSpec& a : spec.aggregates) agg_names.insert(a.output_name);
+  for (const AggregateSpec& a : spec.aggregates) {
+    agg_names.insert(a.output_name);
+  }
   for (size_t c = 0; c < t.schema().num_fields(); ++c) {
     if (agg_names.count(t.schema().field(c).name)) {
       agg_cols->push_back(c);
@@ -255,6 +258,9 @@ std::vector<OracleConfig> AllOracleConfigs() {
       {"sort_from_core", CubeAlgorithm::kSortFromCore, 1},
       {"parallel_x2", CubeAlgorithm::kAuto, 2},
       {"parallel_x8", CubeAlgorithm::kAuto, 8},
+      {"legacy_cellmap", CubeAlgorithm::kAuto, 1, /*use_legacy_cellmap=*/true},
+      {"legacy_parallel_x2", CubeAlgorithm::kAuto, 2,
+       /*use_legacy_cellmap=*/true},
   };
 }
 
@@ -360,7 +366,9 @@ DiffReport RunMaintenanceDifferential(uint64_t seed,
 
   std::vector<std::vector<Value>> live;
   live.reserve(initial.num_rows());
-  for (size_t r = 0; r < initial.num_rows(); ++r) live.push_back(initial.GetRow(r));
+  for (size_t r = 0; r < initial.num_rows(); ++r) {
+    live.push_back(initial.GetRow(r));
+  }
 
   // Fresh rows for inserts come from the same adversarial generator, one
   // single-row table per insert so the whole stream is a function of `seed`.
@@ -407,9 +415,10 @@ DiffReport RunMaintenanceDifferential(uint64_t seed,
       return true;
     }
     attempt.agreed = false;
-    attempt.mismatch = "after op " + std::to_string(op) + " (" +
-                       std::to_string(live.size()) + " live rows)" +
-                       (attempt.mismatch.empty() ? "" : ": " + attempt.mismatch);
+    attempt.mismatch =
+        "after op " + std::to_string(op) + " (" + std::to_string(live.size()) +
+        " live rows)" +
+        (attempt.mismatch.empty() ? "" : ": " + attempt.mismatch);
     attempt.counterexample = WriteCsvString(current);
     report = std::move(attempt);
     return false;

@@ -18,11 +18,16 @@ struct OracleConfig {
   std::string label;
   CubeAlgorithm algorithm = CubeAlgorithm::kAuto;
   int num_threads = 1;
+  /// Run on the legacy Value-vector CellMap core instead of the columnar
+  /// one — the escape-hatch config that keeps old-vs-new in the oracle.
+  bool use_legacy_cellmap = false;
 };
 
 /// The full sweep: every Section 5 algorithm forced serially (each falls
 /// back gracefully when the spec shape rules it out, so forcing is always
-/// legal) plus the partition-parallel path at 2 and 8 threads.
+/// legal), the partition-parallel path at 2 and 8 threads, and the legacy
+/// CellMap core — so every run also diffs the columnar core against the
+/// pre-columnar implementation.
 std::vector<OracleConfig> AllOracleConfigs();
 
 /// One cell where two configurations disagreed.

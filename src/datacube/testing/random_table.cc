@@ -76,7 +76,9 @@ Value IntMeasure(std::mt19937_64& rng, bool extremes) {
 Value FloatMeasure(std::mt19937_64& rng, bool adversarial) {
   uint64_t roll = rng() % 100;
   if (adversarial) {
-    if (roll < 3) return Value::Float64(std::numeric_limits<double>::quiet_NaN());
+    if (roll < 3) {
+      return Value::Float64(std::numeric_limits<double>::quiet_NaN());
+    }
     if (roll < 8) return Value::Float64(rng() % 2 ? 0.0 : -0.0);
     if (roll < 12) {
       return Value::Float64(std::numeric_limits<double>::denorm_min() *

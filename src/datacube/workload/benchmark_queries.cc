@@ -24,10 +24,12 @@ std::vector<BenchmarkSuite> Table2Suites() {
           "SELECT c_discount FROM customer WHERE c_id = 17",
           "SELECT i_price FROM item WHERE i_id = 5001",
           "SELECT s_quantity FROM stock WHERE s_i_id = 5001",
-          "SELECT o_id FROM orders WHERE o_c_id = 17 ORDER BY o_id DESC LIMIT 1",
+          "SELECT o_id FROM orders WHERE o_c_id = 17 "
+          "ORDER BY o_id DESC LIMIT 1",
           "SELECT ol_i_id FROM order_line WHERE ol_o_id = 3007",
           "SELECT c_balance FROM customer WHERE c_last = 'BARBARBAR'",
-          "SELECT no_o_id FROM new_order WHERE no_d_id = 4 ORDER BY no_o_id LIMIT 1",
+          "SELECT no_o_id FROM new_order WHERE no_d_id = 4 "
+          "ORDER BY no_o_id LIMIT 1",
           "SELECT c_credit FROM customer WHERE c_id = 17",
           "SELECT i_name FROM item WHERE i_id = 5002",
           "SELECT h_amount FROM history WHERE h_c_id = 17",
@@ -58,7 +60,8 @@ std::vector<BenchmarkSuite> Table2Suites() {
           "WHERE shipdate BETWEEN '1994-01-01' AND '1994-12-31' "
           "AND discount BETWEEN 5 AND 7 AND quantity < 24",
           // Fourteen grouped reporting queries (18 aggregates between them).
-          "SELECT suppkey, SUM(revenue), COUNT(*) FROM lineitem GROUP BY suppkey",
+          "SELECT suppkey, SUM(revenue), COUNT(*) FROM lineitem "
+          "GROUP BY suppkey",
           "SELECT orderpriority, COUNT(*) FROM orders GROUP BY orderpriority",
           "SELECT nation, SUM(revenue) FROM customer_orders GROUP BY nation",
           "SELECT shipyear, SUM(volume), AVG(volume) FROM shipping "
@@ -73,7 +76,8 @@ std::vector<BenchmarkSuite> Table2Suites() {
           "SELECT shipmode, COUNT(*) FROM lineitem GROUP BY shipmode",
           "SELECT brand, container, MAX(quantity) FROM part "
           "GROUP BY brand, container",
-          "SELECT nation, COUNT(DISTINCT suppkey) FROM supplier GROUP BY nation",
+          "SELECT nation, COUNT(DISTINCT suppkey) FROM supplier "
+          "GROUP BY nation",
           "SELECT quarter, SUM(revenue) FROM market_share GROUP BY quarter",
           "SELECT segment, COUNT(*) FROM customer GROUP BY segment",
           "SELECT year, MIN(supplycost) FROM partsupp GROUP BY year",

@@ -95,7 +95,8 @@ TEST(AggTest, CountDistinct) {
 }
 
 TEST(AggTest, MaxNMinNKeepTopValues) {
-  EXPECT_EQ(RunAgg(*MakeMaxN(3), Ints({5, 1, 9, 7, 3})), Value::String("9,7,5"));
+  EXPECT_EQ(RunAgg(*MakeMaxN(3), Ints({5, 1, 9, 7, 3})),
+            Value::String("9,7,5"));
   EXPECT_EQ(RunAgg(*MakeMinN(2), Ints({5, 1, 9, 7, 3})), Value::String("1,3"));
   EXPECT_EQ(RunAgg(*MakeMaxN(10), Ints({2, 1})), Value::String("2,1"));
   EXPECT_TRUE(RunAgg(*MakeMaxN(3), {}).is_null());

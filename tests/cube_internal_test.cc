@@ -104,7 +104,8 @@ TEST(CubeContextTest, MaskedAndProjectedKeys) {
 }
 
 TEST(CubeContextTest, KeyCardinalitiesCountDistincts) {
-  Table t(Schema({Field{"a", DataType::kString}, Field{"x", DataType::kInt64}}));
+  Table t(
+      Schema({Field{"a", DataType::kString}, Field{"x", DataType::kInt64}}));
   for (const char* v : {"p", "q", "p", "r"}) {
     ASSERT_TRUE(t.AppendRow({Value::String(v), Value::Int64(1)}).ok());
   }

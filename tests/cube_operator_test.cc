@@ -82,10 +82,12 @@ TEST(CubeOperatorTest, Table5bCubeAddsSymmetricRows) {
            {Agg("sum", "Units", "Units")});
   ASSERT_TRUE(cube.ok());
   Value chevy = Value::String("Chevy");
-  EXPECT_EQ(Lookup(cube->table, {chevy, Value::All(), Value::String("black")}, 3),
-            Value::Int64(135));
-  EXPECT_EQ(Lookup(cube->table, {chevy, Value::All(), Value::String("white")}, 3),
-            Value::Int64(155));
+  EXPECT_EQ(
+      Lookup(cube->table, {chevy, Value::All(), Value::String("black")}, 3),
+      Value::Int64(135));
+  EXPECT_EQ(
+      Lookup(cube->table, {chevy, Value::All(), Value::String("white")}, 3),
+      Value::Int64(155));
   // Cross-tab totals of Table 6.a/6.b.
   Value ford = Value::String("Ford");
   EXPECT_EQ(Lookup(cube->table, {chevy, Value::All(), Value::All()}, 3),
@@ -164,9 +166,10 @@ TEST(CubeOperatorTest, HistogramGroupingByFunction) {
   CubeSpec spec;
   spec.group_by = {
       GroupExpr{Expr::Call("day", {Expr::Column("Time")}), "day"},
-      GroupExpr{Expr::Call("nation",
-                           {Expr::Column("Latitude"), Expr::Column("Longitude")}),
-                "nation"}};
+      GroupExpr{
+          Expr::Call("nation",
+                     {Expr::Column("Latitude"), Expr::Column("Longitude")}),
+          "nation"}};
   spec.aggregates = {Agg("max", "Temp", "max_temp")};
   Result<CubeResult> r = ExecuteCube(weather, spec);
   ASSERT_TRUE(r.ok()) << r.status().ToString();

@@ -1,0 +1,311 @@
+// Tests for the columnar execution core: bit-packed key encoding against
+// the legacy Value-vector masking (including NULL-vs-ALL), the multi-word
+// key fallback past 64 bits, planning invariance under encoding, the
+// use_legacy_cellmap escape hatch, and the zero-per-cell-heap-allocation
+// guarantee of the fixed-slot state layout.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "datacube/cube/columnar.h"
+#include "datacube/cube/cube_internal.h"
+#include "datacube/cube/cube_operator.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube {
+namespace cube_internal {
+namespace {
+
+// A small table exercising every key edge the codec reserves codes for:
+// NULLs, a literal ALL value in the data, and plain concrete values.
+Table EdgeInput() {
+  std::vector<Field> fields;
+  fields.push_back(Field{"d0", DataType::kString, /*nullable=*/true,
+                         /*allow_all=*/true});
+  fields.push_back(Field{"d1", DataType::kInt64, /*nullable=*/true,
+                         /*allow_all=*/true});
+  fields.push_back(Field{"x", DataType::kInt64});
+  Table t{Schema{std::move(fields)}};
+  auto add = [&t](Value d0, Value d1, int64_t x) {
+    EXPECT_TRUE(t.AppendRow({std::move(d0), std::move(d1), Value::Int64(x)})
+                    .ok());
+  };
+  add(Value::String("a"), Value::Int64(1), 10);
+  add(Value::String("b"), Value::Int64(2), 20);
+  add(Value::Null(), Value::Int64(1), 30);
+  add(Value::String("a"), Value::Null(), 40);
+  add(Value::All(), Value::Int64(3), 50);  // literal ALL in the data
+  add(Value::Null(), Value::Null(), 60);
+  add(Value::String("c"), Value::Int64(2), 70);
+  return t;
+}
+
+CubeSpec TwoDimSumSpec() {
+  CubeSpec spec;
+  spec.cube = {GroupCol("d0"), GroupCol("d1")};
+  spec.aggregates = {Agg("sum", "x", "s")};
+  return spec;
+}
+
+// ------------------------------------------------- masking equivalence
+
+TEST(EncodedKeyTest, MaskedKeysAgreeWithLegacyOnRandomRowsAndSets) {
+  Table input = EdgeInput();
+  CubeSpec spec = TwoDimSumSpec();
+  auto ctx = BuildCubeContext(input, spec);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  auto cc = BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(cc.ok()) << cc.status().ToString();
+
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<size_t> row_dist(0, input.num_rows() - 1);
+  std::uniform_int_distribution<size_t> set_dist(0,
+                                                 ctx.value().sets.size() - 1);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t row = row_dist(rng);
+    GroupingSet set = ctx.value().sets[set_dist(rng)];
+    // Legacy: Value-vector masking. Columnar: bitwise AND, then decode.
+    std::vector<Value> legacy = ctx.value().MaskedKey(row, set);
+    std::vector<uint64_t> mask = cc.value().codec.MaskForSet(set);
+    std::vector<uint64_t> key(cc.value().words);
+    for (size_t w = 0; w < cc.value().words; ++w) {
+      key[w] = cc.value().RowKey(row)[w] & mask[w];
+    }
+    std::vector<Value> decoded = cc.value().codec.DecodeKey(key.data());
+    ASSERT_EQ(legacy.size(), decoded.size());
+    for (size_t k = 0; k < legacy.size(); ++k) {
+      EXPECT_EQ(legacy[k].Compare(decoded[k]), 0)
+          << "row=" << row << " set=" << set << " k=" << k;
+    }
+  }
+}
+
+TEST(EncodedKeyTest, ProjectionAgreesWithLegacyProjectKey) {
+  Table input = EdgeInput();
+  CubeSpec spec = TwoDimSumSpec();
+  auto ctx = BuildCubeContext(input, spec);
+  ASSERT_TRUE(ctx.ok());
+  auto cc = BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(cc.ok());
+
+  // Project every row's full key onto every coarser set both ways.
+  for (size_t row = 0; row < input.num_rows(); ++row) {
+    std::vector<Value> full = ctx.value().MaskedKey(row, FullSet(2));
+    for (GroupingSet set : ctx.value().sets) {
+      std::vector<Value> legacy = ctx.value().ProjectKey(full, set);
+      std::vector<uint64_t> mask = cc.value().codec.MaskForSet(set);
+      std::vector<uint64_t> key(cc.value().words);
+      for (size_t w = 0; w < cc.value().words; ++w) {
+        key[w] = cc.value().RowKey(row)[w] & mask[w];
+      }
+      std::vector<Value> decoded = cc.value().codec.DecodeKey(key.data());
+      for (size_t k = 0; k < legacy.size(); ++k) {
+        EXPECT_EQ(legacy[k].Compare(decoded[k]), 0);
+      }
+    }
+  }
+}
+
+TEST(EncodedKeyTest, NullAndAllStayDistinct) {
+  Table input = EdgeInput();
+  CubeSpec spec = TwoDimSumSpec();
+  auto ctx = BuildCubeContext(input, spec);
+  ASSERT_TRUE(ctx.ok());
+  auto cc = BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(cc.ok());
+  const KeyCodec& codec = cc.value().codec;
+  // NULL groups must not collapse into the ALL plane: distinct codes, and
+  // both decode back to what they were.
+  for (size_t k = 0; k < 2; ++k) {
+    ASSERT_TRUE(codec.CodeOf(k, Value::Null()).has_value());
+    EXPECT_EQ(*codec.CodeOf(k, Value::Null()), KeyCodec::kNullCode);
+    EXPECT_EQ(*codec.CodeOf(k, Value::All()), KeyCodec::kAllCode);
+  }
+  // Row 2 has NULL in d0; masking away d1 keeps the NULL.
+  std::vector<uint64_t> mask = codec.MaskForSet(0b01);
+  std::vector<uint64_t> key(cc.value().words);
+  for (size_t w = 0; w < cc.value().words; ++w) {
+    key[w] = cc.value().RowKey(2)[w] & mask[w];
+  }
+  std::vector<Value> decoded = codec.DecodeKey(key.data());
+  EXPECT_TRUE(decoded[0].is_null());
+  EXPECT_TRUE(decoded[1].is_all());
+}
+
+// --------------------------------------------------- multi-word fallback
+
+TEST(EncodedKeyTest, WideKeysFallBackToMultipleWords) {
+  // 8 dimensions x ~300 distinct values: 9 bits per field, 72 bits total,
+  // so keys must span two words (no field straddles a word boundary).
+  Table input = GenerateCubeInput({.num_rows = 1500,
+                                   .num_dims = 8,
+                                   .cardinality = 300,
+                                   .seed = 9})
+                    .value();
+  CubeSpec spec;
+  for (int d = 0; d < 8; ++d) {
+    spec.group_by.push_back(GroupCol("d" + std::to_string(d)));
+  }
+  spec.aggregates = {Agg("sum", "x", "s"), CountStar("n")};
+  auto ctx = BuildCubeContext(input, spec);
+  ASSERT_TRUE(ctx.ok());
+  auto cc = BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(cc.ok());
+  ASSERT_GT(cc.value().codec.total_bits(), 64u);
+  ASSERT_GE(cc.value().words, 2u);
+
+  // The multi-word path must produce the same relation as the legacy core.
+  CubeOptions columnar;
+  columnar.sort_result = true;
+  CubeOptions legacy = columnar;
+  legacy.use_legacy_cellmap = true;
+  auto a = ExecuteCube(input, spec, columnar);
+  auto b = ExecuteCube(input, spec, legacy);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().table.num_rows(), b.value().table.num_rows());
+  ASSERT_EQ(a.value().table.num_columns(), b.value().table.num_columns());
+  for (size_t r = 0; r < a.value().table.num_rows(); ++r) {
+    for (size_t c = 0; c < a.value().table.num_columns(); ++c) {
+      EXPECT_EQ(a.value().table.GetValue(r, c).Compare(
+                    b.value().table.GetValue(r, c)),
+                0)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+// ------------------------------------------------ planning invariance
+
+TEST(EncodedKeyTest, CardinalitiesMatchLegacySoPlansAreUnchanged) {
+  Table input = EdgeInput();
+  CubeSpec spec = TwoDimSumSpec();
+  auto ctx = BuildCubeContext(input, spec);
+  ASSERT_TRUE(ctx.ok());
+  auto cc = BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(cc.ok());
+  std::vector<size_t> legacy = KeyCardinalities(ctx.value());
+  std::vector<size_t> columnar = cc.value().codec.Cardinalities();
+  ASSERT_EQ(legacy, columnar);
+
+  LatticePlan a = PlanLattice(ctx.value().sets, legacy);
+  LatticePlan b = PlanLattice(ctx.value().sets, columnar);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].set, b.nodes[i].set);
+    EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent);
+    EXPECT_DOUBLE_EQ(a.nodes[i].est_cells, b.nodes[i].est_cells);
+  }
+}
+
+// -------------------------------------------------- legacy escape hatch
+
+TEST(LegacyCellMapTest, OptionKnobMatchesColumnarOnEveryAlgorithm) {
+  Table input = GenerateCubeInput({.num_rows = 400,
+                                   .num_dims = 3,
+                                   .cardinality = 5,
+                                   .seed = 123})
+                    .value();
+  CubeSpec spec;
+  spec.cube = {GroupCol("d0"), GroupCol("d1"), GroupCol("d2")};
+  // Integer-exact aggregates so legacy-vs-columnar must match bit-for-bit
+  // regardless of fold order.
+  spec.aggregates = {Agg("sum", "x", "s"), CountStar("n"),
+                     Agg("min", "x", "lo"), Agg("max", "x", "hi")};
+  for (CubeAlgorithm alg :
+       {CubeAlgorithm::kNaive2N, CubeAlgorithm::kUnionGroupBy,
+        CubeAlgorithm::kFromCore, CubeAlgorithm::kArrayCube,
+        CubeAlgorithm::kSortRollup, CubeAlgorithm::kSortFromCore}) {
+    CubeOptions columnar;
+    columnar.algorithm = alg;
+    columnar.sort_result = true;
+    CubeOptions legacy = columnar;
+    legacy.use_legacy_cellmap = true;
+    auto a = ExecuteCube(input, spec, columnar);
+    auto b = ExecuteCube(input, spec, legacy);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value().table.num_rows(), b.value().table.num_rows());
+    for (size_t r = 0; r < a.value().table.num_rows(); ++r) {
+      for (size_t c = 0; c < a.value().table.num_columns(); ++c) {
+        ASSERT_EQ(a.value()
+                      .table.GetValue(r, c)
+                      .Compare(b.value().table.GetValue(r, c)),
+                  0)
+            << "algorithm " << static_cast<int>(alg) << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(LegacyCellMapTest, EnvVarForcesLegacyCore) {
+  Table input = GenerateCubeInput({.num_rows = 100,
+                                   .num_dims = 2,
+                                   .cardinality = 4,
+                                   .seed = 5})
+                    .value();
+  CubeSpec spec;
+  spec.cube = {GroupCol("d0"), GroupCol("d1")};
+  spec.aggregates = {Agg("sum", "x", "s")};
+
+  // Columnar default: the flat stores report arena bytes.
+  auto columnar = ExecuteCube(input, spec);
+  ASSERT_TRUE(columnar.ok());
+  EXPECT_GT(columnar.value().stats.arena_bytes, 0u);
+
+  // Env override: legacy CellMap, which has no arenas at all.
+  ASSERT_EQ(setenv("DATACUBE_LEGACY_CELLS", "1", /*overwrite=*/1), 0);
+  auto legacy = ExecuteCube(input, spec);
+  ASSERT_EQ(unsetenv("DATACUBE_LEGACY_CELLS"), 0);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy.value().stats.arena_bytes, 0u);
+  // "0" means off, same as unset.
+  ASSERT_EQ(setenv("DATACUBE_LEGACY_CELLS", "0", /*overwrite=*/1), 0);
+  auto off = ExecuteCube(input, spec);
+  ASSERT_EQ(unsetenv("DATACUBE_LEGACY_CELLS"), 0);
+  ASSERT_TRUE(off.ok());
+  EXPECT_GT(off.value().stats.arena_bytes, 0u);
+}
+
+// -------------------------------------------- zero-heap-state guarantee
+
+TEST(InlineStateTest, DistributiveAndAlgebraicQueriesNeverHeapAllocate) {
+  Table input = GenerateCubeInput({.num_rows = 500,
+                                   .num_dims = 3,
+                                   .cardinality = 6,
+                                   .seed = 31})
+                    .value();
+  CubeSpec spec;
+  spec.cube = {GroupCol("d0"), GroupCol("d1"), GroupCol("d2")};
+  spec.aggregates = {Agg("sum", "x", "s"),      CountStar("n"),
+                     Agg("min", "x", "lo"),     Agg("max", "x", "hi"),
+                     Agg("avg", "y", "mean"),   Agg("var_pop", "y", "var")};
+  auto r = ExecuteCube(input, spec);
+  ASSERT_TRUE(r.ok());
+  // Every state is inline in the arena: not one per-cell heap allocation.
+  EXPECT_EQ(r.value().stats.heap_state_allocs, 0u);
+  EXPECT_GT(r.value().stats.arena_bytes, 0u);
+  EXPECT_GT(r.value().stats.hash_probes, 0u);
+}
+
+TEST(InlineStateTest, HolisticAggregatesUseCompatSlots) {
+  Table input = GenerateCubeInput({.num_rows = 200,
+                                   .num_dims = 2,
+                                   .cardinality = 4,
+                                   .seed = 7})
+                    .value();
+  CubeSpec spec;
+  spec.cube = {GroupCol("d0"), GroupCol("d1")};
+  spec.aggregates = {Agg("sum", "x", "s"), Agg("median", "x", "med")};
+  auto r = ExecuteCube(input, spec);
+  ASSERT_TRUE(r.ok());
+  // The holistic median keeps an AggStatePtr compatibility slot per cell.
+  EXPECT_GT(r.value().stats.heap_state_allocs, 0u);
+}
+
+}  // namespace
+}  // namespace cube_internal
+}  // namespace datacube

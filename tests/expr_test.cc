@@ -33,7 +33,8 @@ TEST(ExprTest, LiteralAndColumn) {
   Table t = TestTable();
   EXPECT_EQ(Eval(Expr::Lit(Value::Int64(7)), t, 0), Value::Int64(7));
   EXPECT_EQ(Eval(Expr::Column("i"), t, 0), Value::Int64(10));
-  EXPECT_EQ(Eval(Expr::Column("I"), t, 1), Value::Int64(-3));  // case-insensitive
+  // Column lookup is case-insensitive.
+  EXPECT_EQ(Eval(Expr::Column("I"), t, 1), Value::Int64(-3));
   ExprPtr bad = Expr::Column("nope");
   EXPECT_FALSE(bad->Bind(t.schema()).ok());
 }
@@ -246,10 +247,11 @@ TEST(ScalarRegistryTest, RegisterAndDuplicate) {
 }
 
 TEST(WeatherWorkloadTest, NationResolvesForAllRows) {
-  Result<Table> w = GenerateWeather({.num_rows = 200, .num_days = 7, .seed = 1});
+  Result<Table> w =
+      GenerateWeather({.num_rows = 200, .num_days = 7, .seed = 1});
   ASSERT_TRUE(w.ok());
-  ExprPtr nation =
-      Expr::Call("nation", {Expr::Column("Latitude"), Expr::Column("Longitude")});
+  ExprPtr nation = Expr::Call(
+      "nation", {Expr::Column("Latitude"), Expr::Column("Longitude")});
   ASSERT_TRUE(nation->Bind(w->schema()).ok());
   for (size_t r = 0; r < w->num_rows(); ++r) {
     Result<Value> v = nation->Evaluate(*w, r);

@@ -21,7 +21,8 @@ namespace {
 TEST(ViewSelectionTest, EstimateRespectsBaseBound) {
   std::vector<size_t> cards = {100, 50, 10};
   EXPECT_DOUBLE_EQ(EstimateViewSize(0b111, cards, 1000), 1000.0);  // capped
-  EXPECT_DOUBLE_EQ(EstimateViewSize(0b011, cards, 1000), 1000.0);  // 5000 -> cap
+  // 5000 -> cap
+  EXPECT_DOUBLE_EQ(EstimateViewSize(0b011, cards, 1000), 1000.0);
   EXPECT_DOUBLE_EQ(EstimateViewSize(0b110, cards, 1000), 500.0);
   EXPECT_DOUBLE_EQ(EstimateViewSize(0b100, cards, 1000), 10.0);
   EXPECT_DOUBLE_EQ(EstimateViewSize(0, cards, 1000), 1.0);

@@ -243,9 +243,9 @@ TEST(TimeRollupTest, ExecutesOverDates) {
   // Two years, two quarters each.
   for (auto [y, m] : std::vector<std::pair<int, int>>{
            {1994, 1}, {1994, 2}, {1994, 7}, {1995, 3}, {1995, 8}}) {
-    ASSERT_TRUE(
-        t.AppendRow({Value::FromDate(DateFromCivil(y, m, 15)), Value::Int64(10)})
-            .ok());
+    ASSERT_TRUE(t.AppendRow({Value::FromDate(DateFromCivil(y, m, 15)),
+                             Value::Int64(10)})
+                    .ok());
   }
   Result<CubeSpec> spec =
       TimeRollupSpec("d", {"year", "quarter"}, {Agg("sum", "x", "s")});

@@ -63,7 +63,8 @@ TEST(ValueOrderTest, IntFloatEqualityIsConsistentEverywhere) {
   EXPECT_EQ(i, f);
   EXPECT_EQ(i.Hash(), f.Hash());
   // They group together in a cube key.
-  Table t(Schema({Field{"k", DataType::kFloat64}, Field{"x", DataType::kInt64}}));
+  Table t(
+      Schema({Field{"k", DataType::kFloat64}, Field{"x", DataType::kInt64}}));
   ASSERT_TRUE(t.AppendRow({Value::Float64(41.0), Value::Int64(1)}).ok());
   ASSERT_TRUE(t.AppendRow({Value::Int64(41), Value::Int64(2)}).ok());
   Result<CubeResult> r = GroupBy(t, {GroupCol("k")}, {CountStar("n")});

@@ -63,9 +63,10 @@ TEST(DimensionTest, CreateValidatesKey) {
 
   // NULL keys are rejected.
   Table with_null = OfficeDim();
-  ASSERT_TRUE(
-      with_null.AppendRow({Value::Null(), Value::String("Z"), Value::String("Z")})
-          .ok());
+  ASSERT_TRUE(with_null
+                  .AppendRow(
+                      {Value::Null(), Value::String("Z"), Value::String("Z")})
+                  .ok());
   EXPECT_FALSE(DimensionTable::Create("x", with_null, "Office").ok());
 }
 

@@ -346,8 +346,9 @@ TEST(UnionTest, UnionAllConcatenatesAndUnionDedupes) {
   EXPECT_EQ(distinct.num_rows(), 2u);  // Chevy, Ford
   // Arity mismatch across branches fails.
   EXPECT_FALSE(
-      ExecuteSql("SELECT Model FROM Sales UNION ALL SELECT Model, Year FROM Sales",
-                 catalog)
+      ExecuteSql(
+          "SELECT Model FROM Sales UNION ALL SELECT Model, Year FROM Sales",
+          catalog)
           .ok());
 }
 

@@ -24,7 +24,8 @@ Table SmallTable() {
 // ----------------------------------------------------------------- Schema
 
 TEST(SchemaTest, FieldLookup) {
-  Schema s({Field{"Model", DataType::kString}, Field{"Year", DataType::kInt64}});
+  Schema s(
+      {Field{"Model", DataType::kString}, Field{"Year", DataType::kInt64}});
   EXPECT_EQ(s.FieldIndex("Year").value(), 1u);
   EXPECT_FALSE(s.FieldIndex("year").has_value());
   EXPECT_EQ(s.FieldIndexIgnoreCase("year").value(), 1u);
@@ -265,7 +266,8 @@ TEST(SortTest, MultiKeyWithSpecialsFirst) {
 }
 
 TEST(SortTest, DescendingAndStability) {
-  TableBuilder b({Field{"k", DataType::kInt64}, Field{"tag", DataType::kString}});
+  TableBuilder b(
+      {Field{"k", DataType::kInt64}, Field{"tag", DataType::kString}});
   b.Row({Value::Int64(1), Value::String("first")});
   b.Row({Value::Int64(1), Value::String("second")});
   b.Row({Value::Int64(2), Value::String("third")});

@@ -1,0 +1,95 @@
+// Section 5's closing note: "the distributive, algebraic, and holistic
+// taxonomy is very useful in computing aggregates for parallel database
+// systems ... aggregates are computed for each partition of a database in
+// parallel. Then the results of these parallel computations are combined."
+//
+// Scaling exhibit for the morsel-driven parallel cube path: 1M and 10M row
+// inputs, uniform and Zipf-skewed key distributions, 1/2/4/8 worker
+// threads. The committed BENCH_pre_parallel.json / BENCH_post_parallel.json
+// baselines diff the static-chunk + serial-merge implementation against the
+// morsel + radix-partitioned-merge one.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace datacube;
+using bench_util::Dims;
+using bench_util::Must;
+
+// Tables are built once per (rows, skew) shape and shared across thread
+// counts so the generator does not dominate the benchmark binary's runtime.
+const Table& SharedInput(size_t num_rows, double skew) {
+  static std::map<std::pair<size_t, double>, Table>* cache =
+      new std::map<std::pair<size_t, double>, Table>();
+  auto it = cache->find({num_rows, skew});
+  if (it == cache->end()) {
+    CubeInputOptions input;
+    input.num_rows = num_rows;
+    input.num_dims = 3;
+    input.cardinality = 24;
+    input.skew = skew;
+    input.seed = 7;
+    it = cache->emplace(std::make_pair(num_rows, skew),
+                        Must(GenerateCubeInput(input), "input"))
+             .first;
+  }
+  return it->second;
+}
+
+void RunParallelCube(benchmark::State& state, double skew) {
+  size_t num_rows = static_cast<size_t>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  const Table& t = SharedInput(num_rows, skew);
+  CubeOptions options;
+  options.num_threads = threads;
+  options.sort_result = false;
+  for (auto _ : state) {
+    CubeResult cube = Must(
+        Cube(t, Dims(3), {Agg("sum", "x", "s"), Agg("avg", "y", "a")},
+             options),
+        "cube");
+    benchmark::DoNotOptimize(cube.table);
+    state.counters["threads_used"] =
+        static_cast<double>(cube.stats.threads_used);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * num_rows));
+}
+
+void BM_ParallelCubeUniform(benchmark::State& state) {
+  RunParallelCube(state, /*skew=*/0.0);
+}
+
+void BM_ParallelCubeSkewed(benchmark::State& state) {
+  RunParallelCube(state, /*skew=*/1.1);
+}
+
+void ThreadSweep(benchmark::internal::Benchmark* b) {
+  for (int64_t rows : {1000000, 10000000}) {
+    for (int64_t threads : {1, 2, 4, 8}) {
+      b->Args({rows, threads});
+    }
+  }
+}
+
+BENCHMARK(BM_ParallelCubeUniform)
+    ->Apply(ThreadSweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_ParallelCubeSkewed)
+    ->Apply(ThreadSweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+DATACUBE_BENCH_MAIN(
+    "Section 5: morsel-driven parallel cube with radix-partitioned merge.\n"
+    "args: input rows (1M / 10M) x worker threads, uniform and Zipf-skewed\n"
+    "3-dim key distributions.\n\n")

@@ -36,6 +36,7 @@ GBENCH_BINARIES=(
   bench_aggregate_classes
   bench_rollup_vs_cube
   bench_sparse_vs_dense
+  bench_parallel_cube
   bench_parallel_scaling
   bench_smallest_parent
   bench_maintenance

@@ -77,6 +77,11 @@ using CellArenaPtr = std::shared_ptr<CellArena>;
 
 struct ColumnarContext;
 
+/// Hash of a packed key — the one hash shared by CellStore probing (low
+/// bits pick the slot) and the parallel path's radix partitioner (high bits
+/// pick the partition), so the two stay uncorrelated.
+uint64_t HashPackedKey(const uint64_t* key, size_t words);
+
 /// Open-addressing flat hash table from packed keys to cell blocks:
 /// power-of-two capacity, linear probing, backward-shift deletion (no
 /// tombstones), ~0.7 load factor. Keys live in one strided uint64_t
@@ -124,6 +129,20 @@ class CellStore {
   /// fresh store under new keys).
   void ReleaseAll();
 
+  /// Pre-sizes the table so inserting up to `cells` cells needs no rehash.
+  void Reserve(size_t cells);
+
+  /// Takes every cell of `other` — whose key set must be disjoint from this
+  /// store's, as radix-partitioned shards are — by adopting its blocks in
+  /// place and retaining its arena(s), so no aggregate state is cloned.
+  /// Folds other's probe counters in; `other` is left empty.
+  void AbsorbDisjoint(CellStore&& other);
+
+  /// Arenas kept alive for adopted foreign blocks (AbsorbDisjoint).
+  const std::vector<CellArenaPtr>& retained_arenas() const {
+    return retained_;
+  }
+
   /// f(const uint64_t* key, char* block) for every cell.
   template <typename F>
   void ForEach(F f) const {
@@ -139,6 +158,7 @@ class CellStore {
  private:
   size_t ProbeFor(const uint64_t* key, bool* found) const;
   void Grow();
+  void GrowTo(size_t new_cap);
   uint64_t HashKey(const uint64_t* key) const;
   bool KeyEquals(size_t slot, const uint64_t* key) const {
     return std::memcmp(keys_.data() + slot * words_, key,
@@ -148,6 +168,7 @@ class CellStore {
 
   const ColumnarContext* cc_ = nullptr;
   CellArenaPtr arena_;
+  std::vector<CellArenaPtr> retained_;
   std::vector<uint64_t> keys_;
   std::vector<char*> blocks_;
   size_t cap_ = 0;

@@ -1,6 +1,5 @@
 #include <algorithm>
 #include <numeric>
-#include <thread>
 
 #include "datacube/cube/columnar.h"
 #include "datacube/obs/trace.h"
@@ -520,89 +519,8 @@ Result<SetStores> ColumnarArrayCube(const ColumnarContext& cc,
   return maps;
 }
 
-Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
-                                   const CubeOptions& options,
-                                   CubeStats* stats) {
-  const CubeContext& ctx = *cc.ctx;
-  size_t threads = options.num_threads < 1
-                       ? 1
-                       : static_cast<size_t>(options.num_threads);
-  constexpr size_t kMinRowsPerThread = 1024;
-  if (threads > 1) {
-    threads = std::min(threads, ctx.num_rows() / kMinRowsPerThread + 1);
-  }
-  if (threads <= 1 || !ctx.all_mergeable || ctx.full_set_index < 0) {
-    return ColumnarFromCore(cc, stats);
-  }
-  if (stats != nullptr) stats->algorithm_used = CubeAlgorithm::kFromCore;
-
-  std::vector<CellStore> partials;
-  partials.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) partials.push_back(cc.MakeStore());
-  std::vector<CubeStats> partial_stats(threads);
-  std::vector<std::thread> workers;
-  size_t rows = ctx.num_rows();
-  size_t chunk = (rows + threads - 1) / threads;
-  CellStore core;
-  {
-    obs::ScopedSpan core_span("parallel_core");
-    if (core_span.active()) {
-      core_span.Attr("threads", static_cast<uint64_t>(threads));
-      core_span.Attr("rows", static_cast<uint64_t>(rows));
-      core_span.Attr("chunk", static_cast<uint64_t>(chunk));
-    }
-    for (size_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        size_t lo = t * chunk;
-        size_t hi = std::min(rows, lo + chunk);
-        CellStore& cells = partials[t];
-        for (size_t row = lo; row < hi; ++row) {
-          cc.IterRow(cells.FindOrInsert(cc.RowKey(row)), row,
-                     &partial_stats[t]);
-        }
-      });
-    }
-    for (std::thread& w : workers) w.join();
-
-    // Combine per-partition cores: absent keys adopt a clone of the partial
-    // cell, present ones merge scratchpads.
-    core = std::move(partials[0]);
-    Status merge_status = Status::OK();
-    for (size_t t = 1; t < threads; ++t) {
-      // Fold the dying partial store's probe counters into the core's
-      // before its blocks are cloned away (arena bytes die with it).
-      const CellStore::Stats& ps = partials[t].stats();
-      core.MutableStats().probes += ps.probes;
-      core.MutableStats().max_probe =
-          std::max(core.MutableStats().max_probe, ps.max_probe);
-      core.MutableStats().rehashes += ps.rehashes;
-      core.MutableStats().heap_state_allocs += ps.heap_state_allocs;
-      partials[t].ForEach([&](const uint64_t* key, const char* block) {
-        char* dst = core.Find(key);
-        if (dst == nullptr) {
-          core.InsertClone(key, block);
-        } else {
-          Status st = cc.MergeCell(dst, block, stats);
-          if (!st.ok() && merge_status.ok()) merge_status = st;
-        }
-      });
-    }
-    if (!merge_status.ok()) return merge_status;
-    if (core_span.active()) {
-      core_span.Attr("core_cells", static_cast<uint64_t>(core.size()));
-    }
-  }
-
-  if (stats != nullptr) {
-    ++stats->input_scans;  // the partitions jointly scanned the input once
-    for (const CubeStats& ps : partial_stats) {
-      stats->iter_calls += ps.iter_calls;
-      stats->merge_calls += ps.merge_calls;
-    }
-    stats->threads_used = static_cast<int>(threads);
-  }
-  return ColumnarCascadeFromCore(cc, std::move(core), stats);
-}
+// ColumnarParallel — the morsel-driven scan / radix-partitioned merge /
+// parallel lattice cascade — lives in parallel_columnar.cc.
 
 // Assembles the result relation from per-set flat stores — the only place
 // packed keys are decoded back to Values. Mirrors AssembleResult in

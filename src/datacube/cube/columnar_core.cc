@@ -26,6 +26,12 @@ inline uint64_t MixWord(uint64_t h, uint64_t word) {
 
 }  // namespace
 
+uint64_t HashPackedKey(const uint64_t* key, size_t words) {
+  uint64_t h = 0;
+  for (size_t w = 0; w < words; ++w) h = MixWord(h, key[w]);
+  return h;
+}
+
 // ---------------------------------------------------------------- layout
 
 StateLayout StateLayout::Build(const std::vector<AggregateFunctionPtr>& aggs) {
@@ -130,6 +136,7 @@ CellStore& CellStore::operator=(CellStore&& other) noexcept {
   }
   cc_ = other.cc_;
   arena_ = std::move(other.arena_);
+  retained_ = std::move(other.retained_);
   keys_ = std::move(other.keys_);
   blocks_ = std::move(other.blocks_);
   cap_ = other.cap_;
@@ -151,9 +158,7 @@ CellStore::~CellStore() {
 }
 
 uint64_t CellStore::HashKey(const uint64_t* key) const {
-  uint64_t h = 0;
-  for (size_t w = 0; w < words_; ++w) h = MixWord(h, key[w]);
-  return h;
+  return HashPackedKey(key, words_);
 }
 
 size_t CellStore::ProbeFor(const uint64_t* key, bool* found) const {
@@ -178,7 +183,16 @@ size_t CellStore::ProbeFor(const uint64_t* key, bool* found) const {
 }
 
 void CellStore::Grow() {
-  size_t new_cap = cap_ == 0 ? kInitialCapacity : cap_ * 2;
+  GrowTo(cap_ == 0 ? kInitialCapacity : cap_ * 2);
+}
+
+void CellStore::Reserve(size_t cells) {
+  size_t needed = kInitialCapacity;
+  while (cells * 10 > needed * 7) needed *= 2;
+  if (needed > cap_) GrowTo(needed);
+}
+
+void CellStore::GrowTo(size_t new_cap) {
   std::vector<uint64_t> old_keys = std::move(keys_);
   std::vector<char*> old_blocks = std::move(blocks_);
   size_t old_cap = cap_;
@@ -249,6 +263,24 @@ void CellStore::InsertAdopt(const uint64_t* key, char* block) {
   std::memcpy(keys_.data() + i * words_, key, words_ * sizeof(uint64_t));
   blocks_[i] = block;
   ++size_;
+}
+
+void CellStore::AbsorbDisjoint(CellStore&& other) {
+  Reserve(size_ + other.size_);
+  other.ForEach(
+      [&](const uint64_t* key, char* block) { InsertAdopt(key, block); });
+  stats_.probes += other.stats_.probes;
+  stats_.max_probe = std::max(stats_.max_probe, other.stats_.max_probe);
+  stats_.rehashes += other.stats_.rehashes;
+  stats_.heap_state_allocs += other.stats_.heap_state_allocs;
+  // The adopted blocks still live in other's arena(s); keep them alive for
+  // this store's lifetime. Free() of a foreign block into our free list is
+  // sound — blocks are uniform-size and the chunk owning the memory is
+  // retained here.
+  if (other.arena_ != nullptr) retained_.push_back(std::move(other.arena_));
+  for (CellArenaPtr& a : other.retained_) retained_.push_back(std::move(a));
+  other.retained_.clear();
+  other.ReleaseAll();
 }
 
 void CellStore::DestroyBlock(char* block) {
@@ -447,17 +479,22 @@ CellStore FlatGroupBy(const ColumnarContext& cc, GroupingSet set,
 void FlushStoreStats(const SetStores& stores, CubeStats* stats) {
   if (stats == nullptr) return;
   std::vector<const CellArena*> arenas;
+  auto count_arena = [&](const CellArena* arena) {
+    if (arena != nullptr &&
+        std::find(arenas.begin(), arenas.end(), arena) == arenas.end()) {
+      arenas.push_back(arena);
+      stats->arena_bytes += arena->bytes();
+    }
+  };
   for (const CellStore& store : stores) {
     const CellStore::Stats& s = store.stats();
     stats->hash_probes += s.probes;
     stats->hash_max_probe = std::max(stats->hash_max_probe, s.max_probe);
     stats->hash_rehashes += s.rehashes;
     stats->heap_state_allocs += s.heap_state_allocs;
-    const CellArena* arena = store.arena().get();
-    if (arena != nullptr &&
-        std::find(arenas.begin(), arenas.end(), arena) == arenas.end()) {
-      arenas.push_back(arena);
-      stats->arena_bytes += arena->bytes();
+    count_arena(store.arena().get());
+    for (const CellArenaPtr& a : store.retained_arenas()) {
+      count_arena(a.get());
     }
   }
 }

@@ -7,6 +7,7 @@
 
 #include "datacube/cube/columnar.h"
 #include "datacube/cube/cube_internal.h"
+#include "datacube/cube/thread_pool.h"
 #include "datacube/obs/metrics.h"
 #include "datacube/obs/trace.h"
 #include "datacube/table/sort.h"
@@ -62,16 +63,13 @@ CubeAlgorithm ChooseAlgorithm(const CubeContext& ctx) {
 // rather than silently replaced), the aggregates can merge, the core is in
 // the lattice, and the input is large enough to split.
 bool WouldRunParallel(const CubeContext& ctx, const CubeOptions& options) {
-  if (options.num_threads <= 1) return false;
+  if (options.num_threads == 1) return false;  // the strictly-serial default
   if (options.algorithm != CubeAlgorithm::kAuto &&
       options.algorithm != CubeAlgorithm::kFromCore) {
     return false;
   }
   if (!ctx.all_mergeable || ctx.full_set_index < 0) return false;
-  constexpr size_t kMinRowsPerThread = 1024;
-  size_t threads = std::min(static_cast<size_t>(options.num_threads),
-                            ctx.num_rows() / kMinRowsPerThread + 1);
-  return threads > 1;
+  return cube_internal::ClampThreads(options.num_threads, ctx.num_rows()) > 1;
 }
 
 // Mirrors the fallback chains inside the Compute* implementations, so that
@@ -172,6 +170,19 @@ void PublishCubeStats(const CubeStats& stats) {
   reg.GetCounter("datacube_cube_heap_state_allocs_total",
                  "Per-cell heap aggregate-state allocations (compat slots)")
       .Inc(stats.heap_state_allocs);
+  // Parallel-path counters; all zero on serial executions.
+  reg.GetCounter("datacube_cube_morsels_total",
+                 "Morsels pulled from parallel scan cursors")
+      .Inc(stats.morsels_dispatched);
+  reg.GetCounter("datacube_cube_partitions_total",
+                 "Radix key-space partitions across parallel executions")
+      .Inc(stats.partitions);
+  reg.GetCounter("datacube_cube_merge_tasks_total",
+                 "Partition-merge tasks executed on the thread pool")
+      .Inc(stats.merge_tasks);
+  reg.GetCounter("datacube_cube_cascade_tasks_total",
+                 "Grouping-set cascade tasks executed on the thread pool")
+      .Inc(stats.cascade_tasks);
 }
 
 }  // namespace
@@ -419,6 +430,12 @@ Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
     span.Attr("output_cells", stats.output_cells);
     span.Attr("iter_calls", stats.iter_calls);
     span.Attr("merge_calls", stats.merge_calls);
+    if (stats.threads_used > 1) {
+      span.Attr("morsels", stats.morsels_dispatched);
+      span.Attr("partitions", stats.partitions);
+      span.Attr("merge_tasks", stats.merge_tasks);
+      span.Attr("cascade_tasks", stats.cascade_tasks);
+    }
   }
   PublishCubeStats(stats);
   return CubeResult{std::move(table).value(), stats};
@@ -446,7 +463,10 @@ Result<std::string> ExplainCube(const Table& input, const CubeSpec& spec,
            ", fell back)";
   }
   if (WouldRunParallel(ctx, options)) {
-    out += " (partition-parallel x" + std::to_string(options.num_threads) + ")";
+    out += " (partition-parallel x" +
+           std::to_string(cube_internal::ClampThreads(options.num_threads,
+                                                      ctx.num_rows())) +
+           ")";
   }
   out += "\ncolumn cardinalities:";
   for (size_t k = 0; k < ctx.num_keys; ++k) {

@@ -128,10 +128,23 @@ struct CubeSpec {
 /// Execution options.
 struct CubeOptions {
   CubeAlgorithm algorithm = CubeAlgorithm::kAuto;
-  /// Partition-parallel execution (Section 5's parallel note): > 1 splits
-  /// the input, cubes each partition, and merges scratchpads. Requires
-  /// merge support; falls back to serial otherwise.
+  /// Partition-parallel execution (Section 5's parallel note): > 1 runs the
+  /// morsel-driven scan / radix-partitioned merge / parallel lattice
+  /// cascade on the shared process-wide ThreadPool. Requires merge support;
+  /// falls back to serial otherwise. 1 (the default) is strictly serial;
+  /// <= 0 resolves to DATACUBE_THREADS when set, else
+  /// hardware_concurrency().
   int num_threads = 1;
+  /// Rows per morsel on the parallel scan: workers pull fixed-size row
+  /// ranges from a shared atomic cursor, so a skewed or straggling chunk no
+  /// longer serializes the scan the way static division did. 0 means the
+  /// default.
+  size_t morsel_rows = 64 * 1024;
+  /// Radix partitions of the encoded-key hash space on the parallel path.
+  /// Each worker keeps one CellStore per partition, making the combine
+  /// phase `num_partitions` independent single-threaded merges (no locks,
+  /// no serial combine). 0 = auto (4x the worker count).
+  size_t num_partitions = 0;
   /// Sort the result on the grouping columns for deterministic output.
   bool sort_result = true;
   /// Safety cap for kArrayCube's dense allocation (cells = Π(C_i+1)).
@@ -177,6 +190,16 @@ struct CubeStats {
   /// the inline fixed-slot guarantee the obs counters assert.
   uint64_t heap_state_allocs = 0;
   double wall_seconds = 0.0;    // end-to-end ExecuteCube wall time
+  // Parallel-path counters (zero on serial executions). The three phase
+  // walls are the EXPLAIN ANALYZE breakdown of a parallel run: morsel scan,
+  // radix-partition merge, lattice cascade.
+  uint64_t morsels_dispatched = 0;  // morsels pulled from the scan cursor
+  uint64_t partitions = 0;          // radix partitions of the key space
+  uint64_t merge_tasks = 0;         // partition-merge tasks executed
+  uint64_t cascade_tasks = 0;       // grouping-set cascade tasks executed
+  double scan_seconds = 0.0;        // parallel scan phase wall time
+  double merge_seconds = 0.0;       // partition merge phase wall time
+  double cascade_seconds = 0.0;     // lattice cascade phase wall time
   /// What the caller asked for (options.algorithm).
   CubeAlgorithm algorithm_requested = CubeAlgorithm::kAuto;
   /// What actually ran, after fallbacks (holistic aggregates, non-chain

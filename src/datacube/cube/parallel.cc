@@ -1,7 +1,8 @@
 #include <algorithm>
-#include <thread>
+#include <atomic>
 
 #include "datacube/cube/cube_internal.h"
+#include "datacube/cube/thread_pool.h"
 #include "datacube/obs/trace.h"
 
 namespace datacube {
@@ -13,21 +14,20 @@ namespace cube_internal {
 // database in parallel. Then the results of these parallel computations are
 // combined."
 //
-// We partition the input rows, hash-aggregate each partition's GROUP BY core
-// in its own thread, merge the per-partition cores (scratchpad Merge — the
-// same Iter_super mechanism the lattice cascade uses), then cascade the
-// merged core through the lattice serially. Falls back to the serial
-// from-core path when merging is unavailable or the input is tiny.
+// This is the legacy CellMap edition of that idea, kept as the
+// differential-oracle escape hatch (use_legacy_cellmap): morsel-driven scan
+// tasks on the shared ThreadPool hash-aggregate the GROUP BY core into
+// per-worker CellMaps, a serial combine merges them (scratchpad Merge — the
+// same Iter_super mechanism the lattice cascade uses), and the merged core
+// cascades through the lattice serially. The columnar path in
+// parallel_columnar.cc additionally radix-partitions the merge and
+// parallelizes the cascade. Falls back to the serial from-core path when
+// merging is unavailable or the input is tiny.
 Result<SetMaps> ComputeParallel(const CubeContext& ctx,
                                 const CubeOptions& options, CubeStats* stats) {
-  size_t threads = options.num_threads < 1
-                       ? 1
-                       : static_cast<size_t>(options.num_threads);
-  constexpr size_t kMinRowsPerThread = 1024;
-  if (threads > 1) {
-    threads = std::min(threads, ctx.num_rows() / kMinRowsPerThread + 1);
-  }
+  size_t threads = ClampThreads(options.num_threads, ctx.num_rows());
   if (threads <= 1 || !ctx.all_mergeable || ctx.full_set_index < 0) {
+    if (stats != nullptr) stats->threads_used = 1;
     return ComputeFromCore(ctx, stats);
   }
   // The committed parallel path is partition-parallel from-core;
@@ -37,9 +37,11 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
   GroupingSet full = FullSet(ctx.num_keys);
   std::vector<CellMap> partials(threads);
   std::vector<CubeStats> partial_stats(threads);
-  std::vector<std::thread> workers;
+  std::vector<uint64_t> morsels(threads, 0);
   size_t rows = ctx.num_rows();
-  size_t chunk = (rows + threads - 1) / threads;
+  size_t morsel = options.morsel_rows == 0 ? size_t{64} * 1024
+                                           : options.morsel_rows;
+  std::atomic<size_t> cursor{0};
   CellMap core;
   {
     // Worker spans would need their own thread-local traces; the
@@ -48,24 +50,31 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
     if (core_span.active()) {
       core_span.Attr("threads", static_cast<uint64_t>(threads));
       core_span.Attr("rows", static_cast<uint64_t>(rows));
-      core_span.Attr("chunk", static_cast<uint64_t>(chunk));
+      core_span.Attr("morsel_rows", static_cast<uint64_t>(morsel));
     }
+    ThreadPool& pool = ThreadPool::Global();
+    TaskGroup group(pool);
     for (size_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        size_t lo = t * chunk;
-        size_t hi = std::min(rows, lo + chunk);
+      group.Spawn([&, t] {
         CellMap& cells = partials[t];
-        for (size_t row = lo; row < hi; ++row) {
-          std::vector<Value> key = ctx.MaskedKey(row, full);
-          auto [it, inserted] = cells.try_emplace(std::move(key));
-          if (inserted) it->second = ctx.NewCell();
-          ctx.IterRow(&it->second, row, &partial_stats[t]);
+        while (true) {
+          size_t lo = cursor.fetch_add(morsel, std::memory_order_relaxed);
+          if (lo >= rows) break;
+          size_t hi = std::min(rows, lo + morsel);
+          ++morsels[t];
+          for (size_t row = lo; row < hi; ++row) {
+            std::vector<Value> key = ctx.MaskedKey(row, full);
+            auto [it, inserted] = cells.try_emplace(std::move(key));
+            if (inserted) it->second = ctx.NewCell();
+            ctx.IterRow(&it->second, row, &partial_stats[t]);
+          }
         }
       });
     }
-    for (std::thread& w : workers) w.join();
+    group.Wait();
 
-    // Combine per-partition cores.
+    // Combine per-partition cores serially, keeping the first error in
+    // worker-index order (deterministic regardless of scheduling).
     core = std::move(partials[0]);
     Status merge_status = Status::OK();
     for (size_t t = 1; t < threads; ++t) {
@@ -86,11 +95,12 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
   }
 
   if (stats != nullptr) {
-    ++stats->input_scans;  // the partitions jointly scanned the input once
+    ++stats->input_scans;  // the morsels jointly scanned the input once
     for (const CubeStats& ps : partial_stats) {
       stats->iter_calls += ps.iter_calls;
       stats->merge_calls += ps.merge_calls;
     }
+    for (uint64_t m : morsels) stats->morsels_dispatched += m;
     stats->threads_used = static_cast<int>(threads);
   }
   return CascadeFromCore(ctx, std::move(core), stats);

@@ -1,0 +1,150 @@
+#include "datacube/cube/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace datacube {
+namespace cube_internal {
+
+namespace {
+
+size_t DefaultThreadCount() {
+  const char* env = std::getenv("DATACUBE_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: queries may still run during static destruction of
+  // other translation units, and a joined-at-exit pool would race them.
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task.fn();
+  task.group->TaskDone();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+    task.group->TaskDone();
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_.Enqueue(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::TaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_;
+  // Every completion wakes the waiter: tasks spawned by a finishing task
+  // must be picked up by the (possibly otherwise idle) waiting caller. The
+  // notify happens under the lock on purpose — the waiter may destroy this
+  // TaskGroup the instant it observes pending_ == 0, so the notify must not
+  // interleave with destruction.
+  done_cv_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  while (true) {
+    // Help-first: drain queued tasks (of any group) on this thread instead
+    // of sleeping. A task never blocks on another task, so this cannot
+    // deadlock, and it is what lets a query request more parallelism than
+    // the pool has workers.
+    if (pool_.RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (pending_ == 0) return;
+    // Woken on every TaskDone, not only the last: a finishing task may have
+    // spawned children that this thread should help run.
+    done_cv_.wait(lock);
+  }
+}
+
+Status ParallelStatusFor(ThreadPool& pool, size_t n,
+                         const std::function<Status(size_t)>& fn) {
+  std::vector<Status> statuses(n, Status::OK());
+  {
+    TaskGroup group(pool);
+    for (size_t i = 0; i < n; ++i) {
+      group.Spawn([&statuses, &fn, i] { statuses[i] = fn(i); });
+    }
+    group.Wait();
+  }
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+size_t ClampThreads(int requested, size_t num_rows) {
+  size_t threads = requested > 0 ? static_cast<size_t>(requested)
+                                 : DefaultThreadCount();
+  if (threads > 1) {
+    threads = std::min(threads, num_rows / kMinRowsPerThread + 1);
+  }
+  return std::max<size_t>(1, threads);
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

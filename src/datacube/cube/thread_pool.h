@@ -1,0 +1,110 @@
+#ifndef DATACUBE_CUBE_THREAD_POOL_H_
+#define DATACUBE_CUBE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "datacube/common/status.h"
+
+namespace datacube {
+namespace cube_internal {
+
+class TaskGroup;
+
+/// Process-wide worker pool for parallel cube execution: created lazily,
+/// sized once, and reused by every query instead of spawning std::threads
+/// per execution. Tasks are submitted through a TaskGroup; a waiting caller
+/// drains queued tasks itself, so requesting more parallelism than the pool
+/// has workers degrades gracefully (including on a 1-hardware-thread
+/// machine), and concurrent queries from many caller threads simply
+/// interleave their task batches on the shared workers.
+class ThreadPool {
+ public:
+  /// The shared pool. Sized at first use from DATACUBE_THREADS when set to
+  /// a positive integer, else std::thread::hardware_concurrency(), minimum
+  /// one worker. Never destroyed (it must outlive any static teardown that
+  /// could still run a query).
+  static ThreadPool& Global();
+
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  void Enqueue(Task task);
+  /// Pops and runs one queued task (of any group) on the calling thread.
+  /// Returns false if the queue was empty.
+  bool RunOneTask();
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// One batch of related tasks on a ThreadPool (one phase of one query).
+/// Spawn() is legal from inside a running task of the same group — the
+/// lattice cascade schedules children as their parents finish. Wait()
+/// blocks until every spawned task has run, executing queued tasks on the
+/// waiting thread meanwhile. Tasks must never block on other tasks.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool);
+  /// Waits for stragglers; prefer an explicit Wait().
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Spawn(std::function<void()> fn);
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+  void TaskDone();
+
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t pending_ = 0;
+};
+
+/// Runs fn(0), ..., fn(n-1) as `n` pool tasks and returns the first non-OK
+/// status *by task index* — deterministic regardless of completion order
+/// (the per-query-thread path it replaces surfaced whichever error its
+/// combine loop happened to reach first).
+Status ParallelStatusFor(ThreadPool& pool, size_t n,
+                         const std::function<Status(size_t)>& fn);
+
+/// Minimum rows each parallel worker should own before splitting pays for
+/// itself; ClampThreads's floor.
+inline constexpr size_t kMinRowsPerThread = 1024;
+
+/// Worker count the parallel cube path uses for `requested` threads over
+/// `num_rows` input rows — the single home of the clamp that parallel.cc,
+/// columnar_algorithms.cc, and the operator's parallel gate used to copy.
+/// Non-positive requests resolve to the DATACUBE_THREADS /
+/// hardware_concurrency default; tiny inputs clamp so each worker sees at
+/// least kMinRowsPerThread rows. A result of 1 means "run serial".
+size_t ClampThreads(int requested, size_t num_rows);
+
+}  // namespace cube_internal
+}  // namespace datacube
+
+#endif  // DATACUBE_CUBE_THREAD_POOL_H_

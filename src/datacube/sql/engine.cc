@@ -1,6 +1,7 @@
 #include "datacube/sql/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <unordered_map>
 
@@ -889,6 +890,19 @@ Result<std::string> ExplainSelectText(const SelectStatement& stmt,
          "  arena_bytes=" + std::to_string(stats.arena_bytes) +
          "  heap_state_allocs=" + std::to_string(stats.heap_state_allocs) +
          "\n";
+  if (stats.threads_used > 1) {
+    char walls[96];
+    std::snprintf(walls, sizeof(walls),
+                  "  scan=%.6fs  merge=%.6fs  cascade=%.6fs",
+                  stats.scan_seconds, stats.merge_seconds,
+                  stats.cascade_seconds);
+    out += "parallel: threads=" + std::to_string(stats.threads_used) +
+           "  morsels=" + std::to_string(stats.morsels_dispatched) +
+           "  partitions=" + std::to_string(stats.partitions) +
+           "  merge_tasks=" + std::to_string(stats.merge_tasks) +
+           "  cascade_tasks=" + std::to_string(stats.cascade_tasks) + walls +
+           "\n";
+  }
   out += "trace:\n" + trace.Render();
   return out;
 }

@@ -30,6 +30,10 @@ Outcome RunConfig(const Table& input, const CubeSpec& spec,
   options.algorithm = config.algorithm;
   options.num_threads = config.num_threads;
   options.use_legacy_cellmap = config.use_legacy_cellmap;
+  if (config.morsel_rows != 0) options.morsel_rows = config.morsel_rows;
+  if (config.num_partitions != 0) {
+    options.num_partitions = config.num_partitions;
+  }
   options.sort_result = true;
   Result<CubeResult> r = ExecuteCube(input, spec, options);
   Outcome out;
@@ -258,6 +262,17 @@ std::vector<OracleConfig> AllOracleConfigs() {
       {"sort_from_core", CubeAlgorithm::kSortFromCore, 1},
       {"parallel_x2", CubeAlgorithm::kAuto, 2},
       {"parallel_x8", CubeAlgorithm::kAuto, 8},
+      // Adversarial parallel shapes: one-row morsels maximize cursor
+      // contention; tiny/odd partition counts maximize per-partition skew;
+      // 32 partitions on 3 threads exercises merge tasks outnumbering
+      // workers.
+      {"parallel_x3_m7_p5", CubeAlgorithm::kAuto, 3,
+       /*use_legacy_cellmap=*/false, /*morsel_rows=*/7, /*num_partitions=*/5},
+      {"parallel_x8_m1_p32", CubeAlgorithm::kAuto, 8,
+       /*use_legacy_cellmap=*/false, /*morsel_rows=*/1,
+       /*num_partitions=*/32},
+      {"parallel_x2_p1", CubeAlgorithm::kAuto, 2,
+       /*use_legacy_cellmap=*/false, /*morsel_rows=*/0, /*num_partitions=*/1},
       {"legacy_cellmap", CubeAlgorithm::kAuto, 1, /*use_legacy_cellmap=*/true},
       {"legacy_parallel_x2", CubeAlgorithm::kAuto, 2,
        /*use_legacy_cellmap=*/true},

@@ -21,13 +21,19 @@ struct OracleConfig {
   /// Run on the legacy Value-vector CellMap core instead of the columnar
   /// one — the escape-hatch config that keeps old-vs-new in the oracle.
   bool use_legacy_cellmap = false;
+  /// Parallel-path shape knobs (0 = the engine defaults). Adversarial
+  /// values (morsel_rows=1, num_partitions=5) exercise cursor contention
+  /// and partition skew that the defaults never would.
+  size_t morsel_rows = 0;
+  size_t num_partitions = 0;
 };
 
 /// The full sweep: every Section 5 algorithm forced serially (each falls
 /// back gracefully when the spec shape rules it out, so forcing is always
-/// legal), the partition-parallel path at 2 and 8 threads, and the legacy
-/// CellMap core — so every run also diffs the columnar core against the
-/// pre-columnar implementation.
+/// legal), the morsel-driven parallel path at 2 and 8 threads plus
+/// adversarial morsel/partition shapes (one-row morsels, odd and degenerate
+/// partition counts), and the legacy CellMap core — so every run also diffs
+/// the columnar core against the pre-columnar implementation.
 std::vector<OracleConfig> AllOracleConfigs();
 
 /// One cell where two configurations disagreed.

@@ -1,0 +1,194 @@
+#include "datacube/cube/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "datacube/cube/cube_operator.h"
+#include "datacube/workload/sales.h"
+
+// The shared execution substrate: one process-wide pool reused across
+// queries, help-first TaskGroups (tasks may spawn tasks; waiters drain the
+// queue instead of sleeping, so a query may request more parallelism than
+// the pool has workers), and deterministic first-by-index error selection.
+
+namespace datacube {
+namespace cube_internal {
+namespace {
+
+TEST(ThreadPoolTest, GlobalPoolIsReusedAcrossCalls) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, TaskGroupRunsEveryTask) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 200; ++i) {
+    group.Spawn([&ran] { ran.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, TasksMaySpawnTasks) {
+  // The cascade scheduler spawns a child task the moment its parent
+  // finishes — from inside the parent task.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Spawn([&group, &ran] {
+      ran.fetch_add(1);
+      group.Spawn([&group, &ran] {
+        ran.fetch_add(1);
+        group.Spawn([&ran] { ran.fetch_add(1); });
+      });
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 24);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolStillCompletesFanOut) {
+  // More tasks than workers must complete via help-first waiting, not hang.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Spawn([&ran] { ran.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelStatusForReportsFirstErrorByIndex) {
+  ThreadPool pool(4);
+  // Multiple tasks fail; regardless of completion order, the reported error
+  // must be the lowest-index failure.
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    Status st = ParallelStatusFor(pool, 10, [](size_t i) -> Status {
+      if (i == 7) return Status::Internal("task 7 failed");
+      if (i == 3) return Status::Internal("task 3 failed");
+      return Status::OK();
+    });
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("task 3"), std::string::npos)
+        << st.ToString();
+  }
+}
+
+TEST(ThreadPoolTest, ParallelStatusForAllOk) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  Status st = ParallelStatusFor(pool, 16, [&ran](size_t) -> Status {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(ran.load(), 16);
+}
+
+// ------------------------------------------------ ClampThreads
+
+TEST(ClampThreadsTest, SerialDefaultStaysSerial) {
+  EXPECT_EQ(ClampThreads(1, 1u << 20), 1u);
+}
+
+TEST(ClampThreadsTest, SmallInputsClampToSerial) {
+  EXPECT_EQ(ClampThreads(8, 0), 1u);
+  EXPECT_EQ(ClampThreads(8, 100), 1u);
+  EXPECT_EQ(ClampThreads(8, kMinRowsPerThread - 1), 1u);
+}
+
+TEST(ClampThreadsTest, LargeInputsKeepTheRequest) {
+  EXPECT_EQ(ClampThreads(8, kMinRowsPerThread * 8), 8u);
+  EXPECT_EQ(ClampThreads(2, kMinRowsPerThread + 1), 2u);
+}
+
+TEST(ClampThreadsTest, MidSizeInputsClampProportionally) {
+  EXPECT_EQ(ClampThreads(16, kMinRowsPerThread * 3), 4u);
+}
+
+TEST(ClampThreadsTest, AutoReadsDatacubeThreadsEnv) {
+  ASSERT_EQ(setenv("DATACUBE_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ClampThreads(0, 1u << 20), 3u);
+  EXPECT_EQ(ClampThreads(-1, 1u << 20), 3u);
+  ASSERT_EQ(unsetenv("DATACUBE_THREADS"), 0);
+  EXPECT_GE(ClampThreads(0, 1u << 20), 1u);
+}
+
+// ------------------------------------------------ concurrent queries
+
+TEST(ThreadPoolTest, ConcurrentParallelQueriesShareThePool) {
+  Table input =
+      GenerateCubeInput({.num_rows = 30000, .num_dims = 3, .cardinality = 8,
+                         .skew = 0.5, .seed = 5})
+          .value();
+  // Each caller builds its own CubeSpec: ExecuteCube binds the spec's
+  // expressions against the input schema, so a spec (unlike the input
+  // table, which is only read) must not be shared across concurrent
+  // queries.
+  auto make_spec = [] {
+    CubeSpec spec;
+    spec.cube = {GroupCol("d0"), GroupCol("d1"), GroupCol("d2")};
+    // Integer-valued aggregates keep double arithmetic exact, so every
+    // merge order produces bit-identical results.
+    spec.aggregates = {Agg("sum", "x", "s"), Agg("count", "x", "c")};
+    return spec;
+  };
+  CubeSpec serial_spec = make_spec();
+  Table serial = ExecuteCube(input, serial_spec)->table;
+
+  constexpr int kCallers = 4;
+  std::vector<Status> statuses(kCallers, Status::OK());
+  // Not vector<bool>: concurrent writers need one addressable byte each.
+  std::vector<char> matched(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (int q = 0; q < kCallers; ++q) {
+    callers.emplace_back([&, q] {
+      CubeSpec spec = make_spec();
+      CubeOptions options;
+      options.num_threads = 3;
+      options.morsel_rows = 4096;
+      Result<CubeResult> r = ExecuteCube(input, spec, options);
+      if (!r.ok()) {
+        statuses[q] = r.status();
+        return;
+      }
+      matched[q] = r->table.EqualsIgnoringRowOrder(serial);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int q = 0; q < kCallers; ++q) {
+    EXPECT_TRUE(statuses[q].ok()) << statuses[q].ToString();
+    EXPECT_TRUE(matched[q]) << "caller " << q << " diverged from serial";
+  }
+}
+
+TEST(ThreadPoolTest, RequestBeyondHardwareConcurrencyCompletes) {
+  Table input =
+      GenerateCubeInput({.num_rows = 40000, .num_dims = 2, .cardinality = 16,
+                         .seed = 9})
+          .value();
+  CubeSpec spec;
+  spec.cube = {GroupCol("d0"), GroupCol("d1")};
+  spec.aggregates = {Agg("sum", "x", "s"), Agg("max", "x", "mx")};
+  Table serial = ExecuteCube(input, spec)->table;
+  CubeOptions options;
+  options.num_threads = 32;  // far beyond this machine's cores
+  Result<CubeResult> r = ExecuteCube(input, spec, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.threads_used, 32);
+  EXPECT_TRUE(r->table.EqualsIgnoringRowOrder(serial));
+}
+
+}  // namespace
+}  // namespace cube_internal
+}  // namespace datacube

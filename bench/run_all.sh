@@ -44,6 +44,7 @@ GBENCH_BINARIES=(
   bench_tpcd_6d
   bench_hash_cube
   bench_view_selection
+  bench_lattice_selection
 )
 
 failures=0

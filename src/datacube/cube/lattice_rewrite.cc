@@ -1,0 +1,164 @@
+#include "datacube/cube/lattice_rewrite.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace datacube {
+namespace cube_internal {
+
+bool LatticeRewriteEligible(const CubeContext& ctx) {
+  if (!ctx.all_mergeable || ctx.full_set_index < 0) return false;
+  if (ctx.num_keys > 16) return false;
+  for (const AggregateFunctionPtr& agg : ctx.aggs) {
+    // Holistic functions are excluded even when they happen to support
+    // Merge (count_distinct, mode): their super-aggregate cost is not
+    // bounded by the sub-aggregate sizes the cost model reasons about, and
+    // the paper's contract is that holistic cubes come from base data.
+    if (agg->agg_class() == AggClass::kHolistic) return false;
+  }
+  return true;
+}
+
+size_t ResolveMaterializeBudget(const CubeOptions& options) {
+  if (options.materialize_budget_bytes > 0) {
+    return options.materialize_budget_bytes;
+  }
+  const char* env = std::getenv("DATACUBE_MATERIALIZE_BUDGET");
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) return 0;  // not a number: ignore, no budget
+  return static_cast<size_t>(v);
+}
+
+Result<LatticeRewritePlan> PlanLatticeRewrite(const CubeContext& ctx,
+                                              const ColumnarContext& cc,
+                                              size_t budget_bytes) {
+  LatticeRewritePlan plan;
+  plan.budget_bytes = budget_bytes;
+  plan.model.num_dims = ctx.num_keys;
+  plan.model.cardinalities = cc.codec.Cardinalities();
+  plan.model.base_rows = ctx.num_rows();
+  plan.model.bytes_per_cell = static_cast<double>(
+      cc.words * sizeof(uint64_t) + cc.layout.block_size);
+  plan.model.candidates = ctx.sets;
+  DATACUBE_ASSIGN_OR_RETURN(
+      plan.selection, SelectViewsByByteBudget(
+                          plan.model, static_cast<double>(budget_bytes)));
+  // The selection comes back in greedy-pick order, but the columnar
+  // algorithms require canonical NormalizeSets order: PlanLattice node i
+  // corresponds to ctx.sets[i], and cascades fold each set from a parent
+  // that appears earlier. Re-sort the selection (views and the parallel
+  // per-view arrays) before it is swapped into ctx.sets; the core keeps
+  // slot 0, having the maximal popcount.
+  {
+    std::vector<size_t> order(plan.selection.views.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      GroupingSet x = plan.selection.views[a], y = plan.selection.views[b];
+      int px = PopCount(x), py = PopCount(y);
+      if (px != py) return px > py;
+      return x > y;
+    });
+    ViewSelection canonical = plan.selection;
+    for (size_t i = 0; i < order.size(); ++i) {
+      canonical.views[i] = plan.selection.views[order[i]];
+      canonical.benefits[i] = plan.selection.benefits[order[i]];
+      canonical.view_bytes[i] = plan.selection.view_bytes[order[i]];
+    }
+    plan.selection = std::move(canonical);
+  }
+  plan.planned_source.reserve(ctx.sets.size());
+  for (GroupingSet target : ctx.sets) {
+    bool materialized =
+        std::find(plan.selection.views.begin(), plan.selection.views.end(),
+                  target) != plan.selection.views.end();
+    plan.planned_source.push_back(
+        materialized ? target
+                     : CheapestAncestor(plan.selection, target,
+                                        plan.model.cardinalities,
+                                        plan.model.base_rows));
+  }
+  return plan;
+}
+
+Result<SetStores> FoldSelectedToRequested(
+    const ColumnarContext& cc, const LatticeRewritePlan& plan,
+    const std::vector<GroupingSet>& requested, SetStores selected_stores,
+    CubeStats* stats) {
+  const std::vector<GroupingSet>& views = plan.selection.views;
+
+  stats->lattice_budget_bytes = plan.budget_bytes;
+  stats->lattice_views_materialized = views.size();
+  // Actual bytes resident in the kept views. Always <= the estimate the
+  // selection admitted (actual cells <= min(Π C_k, rows) = estimated
+  // cells), so a selection within budget stays within budget here.
+  double resident = 0;
+  for (const CellStore& store : selected_stores) {
+    resident += static_cast<double>(store.size()) * plan.model.bytes_per_cell;
+  }
+  stats->lattice_bytes_materialized = static_cast<uint64_t>(resident);
+
+  if (stats->per_set.size() < requested.size()) {
+    stats->per_set.resize(requested.size());
+  }
+
+  SetStores out(requested.size());
+  std::vector<uint64_t> key(cc.words);
+
+  // Pass 1: fold every non-materialized set while all selected stores are
+  // still present (a materialized set may itself be the fold source of a
+  // coarser one requested earlier in `requested`).
+  for (size_t i = 0; i < requested.size(); ++i) {
+    GroupingSet target = requested[i];
+    GroupingSetExecStats& ps = stats->per_set[i];
+    ps.set = target;
+    if (std::find(views.begin(), views.end(), target) != views.end()) {
+      ps.materialized = true;  // store adopted in pass 2
+      continue;
+    }
+    // Cheapest usable ancestor by actual materialized cell count.
+    size_t best = views.size();
+    for (size_t j = 0; j < views.size(); ++j) {
+      if ((views[j] & target) != target) continue;
+      if (best == views.size() ||
+          selected_stores[j].size() < selected_stores[best].size()) {
+        best = j;
+      }
+    }
+    if (best == views.size()) {
+      // No materialized superset — unreachable when the core was selected;
+      // recompute from base data rather than fail.
+      out[i] = FlatGroupBy(cc, target, stats);
+      ++stats->lattice_base_fallbacks;
+      continue;
+    }
+    const CellStore& parent = selected_stores[best];
+    std::vector<uint64_t> mask = cc.codec.MaskForSet(target);
+    CellStore folded = cc.MakeStore();
+    Status merge_status = Status::OK();
+    parent.ForEach([&](const uint64_t* pkey, char* pblock) {
+      for (size_t w = 0; w < mask.size(); ++w) key[w] = pkey[w] & mask[w];
+      Status st = cc.MergeCell(folded.FindOrInsert(key.data()), pblock, stats);
+      if (!st.ok() && merge_status.ok()) merge_status = st;
+    });
+    DATACUBE_RETURN_IF_ERROR(merge_status);
+    ps.answered_from = static_cast<int64_t>(views[best]);
+    ++stats->lattice_ancestor_folds;
+    stats->lattice_fold_cells += parent.size();
+    out[i] = std::move(folded);
+  }
+
+  // Pass 2: adopt directly-materialized stores into their request slots.
+  for (size_t j = 0; j < views.size(); ++j) {
+    auto it = std::find(requested.begin(), requested.end(), views[j]);
+    if (it == requested.end()) continue;  // selection ⊆ requested, always hit
+    out[static_cast<size_t>(it - requested.begin())] =
+        std::move(selected_stores[j]);
+  }
+  return out;
+}
+
+}  // namespace cube_internal
+}  // namespace datacube

@@ -1,11 +1,21 @@
 #include "datacube/cube/partial_cube.h"
 
 #include <algorithm>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
 
+#include "datacube/common/codec.h"
 #include "datacube/obs/metrics.h"
 #include "datacube/obs/trace.h"
 
 namespace datacube {
+
+using cube_internal::CellHeader;
+using cube_internal::CellStore;
+using cube_internal::ColumnarContext;
+using cube_internal::SetStores;
 
 namespace {
 
@@ -24,11 +34,24 @@ void PublishQueryStats(const PartialCube::QueryStats& qs) {
   }
 }
 
-}  // namespace
+// The ancestor-folding contract: every aggregate merges AND none is
+// holistic. Holistic functions are refused even when they happen to support
+// Merge (count_distinct, mode) — their super-aggregates must come from base
+// data, never from a rewrite.
+Status ValidateAggregates(const cube_internal::CubeContext& ctx) {
+  bool holistic = false;
+  for (const AggregateFunctionPtr& agg : ctx.aggs) {
+    if (agg->agg_class() == AggClass::kHolistic) holistic = true;
+  }
+  if (!ctx.all_mergeable || holistic) {
+    return Status::InvalidArgument(
+        "PartialCube requires mergeable (distributive/algebraic) aggregates; "
+        "holistic aggregates must be answered from base data");
+  }
+  return Status::OK();
+}
 
-using cube_internal::Cell;
-using cube_internal::CellMap;
-using cube_internal::SetMaps;
+}  // namespace
 
 Result<std::unique_ptr<PartialCube>> PartialCube::Build(
     const Table& input, const CubeSpec& spec,
@@ -45,24 +68,58 @@ Result<std::unique_ptr<PartialCube>> PartialCube::Build(
 
   DATACUBE_ASSIGN_OR_RETURN(
       cube->ctx_, cube_internal::BuildCubeContext(*cube->base_, *cube->spec_));
-  if (!cube->ctx_.all_mergeable) {
-    return Status::InvalidArgument(
-        "PartialCube requires mergeable (distributive/algebraic) aggregates");
-  }
+  DATACUBE_RETURN_IF_ERROR(ValidateAggregates(cube->ctx_));
+  DATACUBE_ASSIGN_OR_RETURN(cube->cc_,
+                            cube_internal::BuildColumnarContext(cube->ctx_));
   CubeStats stats;
-  DATACUBE_ASSIGN_OR_RETURN(cube->maps_,
-                            cube_internal::ComputeFromCore(cube->ctx_, &stats));
+  DATACUBE_ASSIGN_OR_RETURN(
+      cube->stores_, cube_internal::ColumnarFromCore(cube->cc_, &stats));
   cube->views_ = cube->ctx_.sets;
+  return cube;
+}
+
+Result<std::unique_ptr<PartialCube>> PartialCube::BuildWithBudget(
+    const Table& input, const CubeSpec& spec, size_t budget_bytes) {
+  // Probe context over the core alone: the codec's per-column dictionaries
+  // give the cardinality estimates and the state layout gives the per-cell
+  // byte footprint the selection prices views with.
+  CubeSpec probe = spec;
+  size_t num_keys = spec.AllGroupExprs().size();
+  probe.explicit_sets = std::vector<GroupingSet>{FullSet(num_keys)};
+  DATACUBE_ASSIGN_OR_RETURN(cube_internal::CubeContext pctx,
+                            cube_internal::BuildCubeContext(input, probe));
+  DATACUBE_RETURN_IF_ERROR(ValidateAggregates(pctx));
+  DATACUBE_ASSIGN_OR_RETURN(cube_internal::ColumnarContext pcc,
+                            cube_internal::BuildColumnarContext(pctx));
+
+  LatticeByteCostModel model;
+  model.num_dims = num_keys;
+  model.cardinalities = pcc.codec.Cardinalities();
+  model.base_rows = input.num_rows();
+  model.bytes_per_cell = static_cast<double>(
+      pcc.words * sizeof(uint64_t) + pcc.layout.block_size);
+  DATACUBE_ASSIGN_OR_RETURN(
+      ViewSelection sel,
+      SelectViewsByByteBudget(model, static_cast<double>(budget_bytes)));
+  DATACUBE_ASSIGN_OR_RETURN(std::unique_ptr<PartialCube> cube,
+                            Build(input, spec, sel.views));
+  cube->budget_bytes_ = budget_bytes;
+  cube->selection_ = std::move(sel);
   return cube;
 }
 
 size_t PartialCube::materialized_cells() const {
   size_t total = 0;
-  for (const CellMap& m : maps_) total += m.size();
+  for (const CellStore& s : stores_) total += s.size();
   return total;
 }
 
-Result<Table> PartialCube::AssembleSet(const CellMap& cells) const {
+size_t PartialCube::materialized_bytes() const {
+  size_t cell_bytes = cc_.words * sizeof(uint64_t) + cc_.layout.block_size;
+  return materialized_cells() * cell_bytes;
+}
+
+Result<Table> PartialCube::AssembleSet(const CellStore& cells) const {
   std::vector<Field> fields;
   for (size_t k = 0; k < ctx_.num_keys; ++k) {
     fields.push_back(Field{ctx_.key_names[k], ctx_.key_types[k],
@@ -77,16 +134,60 @@ Result<Table> PartialCube::AssembleSet(const CellMap& cells) const {
   }
   Table out{Schema{std::move(fields)}};
   out.Reserve(cells.size());
-  for (const auto& [key, cell] : cells) {
-    std::vector<Value> row = key;
+  Status row_status = Status::OK();
+  cells.ForEach([&](const uint64_t* key, char* block) {
+    if (!row_status.ok()) return;
+    std::vector<Value> row = cc_.codec.DecodeKey(key);
     for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
-      DATACUBE_ASSIGN_OR_RETURN(
-          Value v, ctx_.aggs[a]->FinalChecked(cell.states[a].get()));
-      row.push_back(std::move(v));
+      Result<Value> v = ctx_.aggs[a]->FinalChecked(cc_.StateOf(block, a));
+      if (!v.ok()) {
+        row_status = v.status();
+        return;
+      }
+      row.push_back(std::move(v).value());
     }
-    DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
-  }
+    row_status = out.AppendRow(row);
+  });
+  DATACUBE_RETURN_IF_ERROR(row_status);
   return out;
+}
+
+void PartialCube::RelayoutAndRekey() {
+  std::vector<std::vector<std::pair<std::vector<Value>, char*>>> saved(
+      stores_.size());
+  for (size_t s = 0; s < stores_.size(); ++s) {
+    saved[s].reserve(stores_[s].size());
+    stores_[s].ForEach([&](const uint64_t* key, char* block) {
+      saved[s].emplace_back(cc_.codec.DecodeKey(key), block);
+    });
+  }
+  cc_.codec.Relayout();
+  cc_.RepackRowKeys();
+  for (size_t s = 0; s < stores_.size(); ++s) {
+    CellStore fresh = cc_.MakeStore(stores_[s].arena());
+    fresh.MutableStats() = stores_[s].stats();
+    stores_[s].ReleaseAll();
+    for (auto& [key, block] : saved[s]) {
+      std::optional<std::vector<uint64_t>> packed =
+          cc_.codec.EncodeKey(key, ctx_.sets[s]);
+      fresh.InsertAdopt(packed->data(), block);
+    }
+    stores_[s] = std::move(fresh);
+  }
+}
+
+Status PartialCube::AppendRowKey(size_t row_id) {
+  for (size_t k = 0; k < ctx_.num_keys; ++k) {
+    cc_.codec.CodeOfOrAdd(k, ctx_.key_columns[k][row_id]);
+  }
+  if (cc_.codec.needs_relayout()) {
+    RelayoutAndRekey();  // RepackRowKeys covers the new row too
+  } else {
+    cc_.row_keys.resize((row_id + 1) * cc_.words, 0);
+    cc_.codec.EncodeRow(ctx_.key_columns, row_id,
+                        &cc_.row_keys[row_id * cc_.words]);
+  }
+  return Status::OK();
 }
 
 Status PartialCube::ApplyInsert(const std::vector<Value>& row) {
@@ -106,11 +207,14 @@ Status PartialCube::ApplyInsert(const std::vector<Value>& row) {
       ctx_.agg_args[a][i].push_back(std::move(v));
     }
   }
+  DATACUBE_RETURN_IF_ERROR(AppendRowKey(row_id));
+  std::vector<uint64_t> key(cc_.words);
   for (size_t s = 0; s < views_.size(); ++s) {
-    std::vector<Value> key = ctx_.MaskedKey(row_id, views_[s]);
-    auto [it, inserted] = maps_[s].try_emplace(std::move(key));
-    if (inserted) it->second = ctx_.NewCell();
-    ctx_.IterRow(&it->second, row_id, nullptr);
+    std::vector<uint64_t> mask = cc_.codec.MaskForSet(views_[s]);
+    const uint64_t* rk = cc_.RowKey(row_id);
+    for (size_t w = 0; w < cc_.words; ++w) key[w] = rk[w] & mask[w];
+    char* block = stores_[s].FindOrInsert(key.data());
+    cc_.IterRow(block, row_id, nullptr);
   }
   return Status::OK();
 }
@@ -124,20 +228,32 @@ Result<Table> PartialCube::Query(GroupingSet target) {
   if (span.active()) {
     span.Attr("target", GroupingSetToString(target, ctx_.key_names));
   }
+  // SQL semantics: the empty grouping set produces exactly one row even for
+  // empty input (the aggregate over the empty set).
+  auto assemble_empty_grand_total = [&]() -> Result<Table> {
+    CellStore one = cc_.MakeStore();
+    std::vector<uint64_t> zero(cc_.words, 0);
+    one.FindOrInsert(zero.data());
+    return AssembleSet(one);
+  };
   // Materialized directly?
   auto it = std::find(views_.begin(), views_.end(), target);
   if (it != views_.end()) {
+    size_t s = static_cast<size_t>(it - views_.begin());
     last_stats_.answered_from = target;
     last_stats_.was_materialized = true;
     if (span.active()) span.Attr("source", "materialized");
     PublishQueryStats(last_stats_);
-    return AssembleSet(maps_[static_cast<size_t>(it - views_.begin())]);
+    if (target == 0 && stores_[s].size() == 0) {
+      return assemble_empty_grand_total();
+    }
+    return AssembleSet(stores_[s]);
   }
   // Aggregate the cheapest (fewest actual cells) materialized ancestor.
   size_t best = views_.size();
   for (size_t i = 0; i < views_.size(); ++i) {
     if ((views_[i] & target) != target) continue;
-    if (best == views_.size() || maps_[i].size() < maps_[best].size()) {
+    if (best == views_.size() || stores_[i].size() < stores_[best].size()) {
       best = i;
     }
   }
@@ -145,22 +261,243 @@ Result<Table> PartialCube::Query(GroupingSet target) {
     return Status::Internal("no ancestor view found (core missing?)");
   }
   last_stats_.answered_from = views_[best];
-  last_stats_.cells_scanned = maps_[best].size();
+  last_stats_.cells_scanned = stores_[best].size();
   if (span.active()) {
-    span.Attr("source", "fold from " +
-                            GroupingSetToString(views_[best], ctx_.key_names));
-    span.Attr("cells_scanned", static_cast<uint64_t>(maps_[best].size()));
+    span.Attr("source", "fold from " + GroupingSetToString(views_[best],
+                                                           ctx_.key_names));
+    span.Attr("cells_scanned", static_cast<uint64_t>(stores_[best].size()));
   }
   PublishQueryStats(last_stats_);
 
-  CellMap result;
-  for (const auto& [key, cell] : maps_[best]) {
-    std::vector<Value> child_key = ctx_.ProjectKey(key, target);
-    auto [cit, inserted] = result.try_emplace(std::move(child_key));
-    if (inserted) cit->second = ctx_.NewCell();
-    DATACUBE_RETURN_IF_ERROR(ctx_.MergeCell(&cit->second, cell, nullptr));
+  std::vector<uint64_t> mask = cc_.codec.MaskForSet(target);
+  std::vector<uint64_t> key(cc_.words);
+  CellStore folded = cc_.MakeStore();
+  Status merge_status = Status::OK();
+  stores_[best].ForEach([&](const uint64_t* pkey, char* pblock) {
+    for (size_t w = 0; w < mask.size(); ++w) key[w] = pkey[w] & mask[w];
+    Status st = cc_.MergeCell(folded.FindOrInsert(key.data()), pblock, nullptr);
+    if (!st.ok() && merge_status.ok()) merge_status = st;
+  });
+  DATACUBE_RETURN_IF_ERROR(merge_status);
+  if (target == 0 && folded.size() == 0) {
+    return assemble_empty_grand_total();
   }
-  return AssembleSet(result);
+  return AssembleSet(folded);
+}
+
+namespace {
+
+constexpr const char* kPartialCubeMagic = "DATACUBE_PCUBE_V1\n";
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kFloat64,
+                     DataType::kString, DataType::kDate}) {
+    if (name == DataTypeName(t)) return t;
+  }
+  return Status::ParseError("checkpoint: unknown data type " + name);
+}
+
+}  // namespace
+
+Status PartialCube::SaveToFile(const std::string& path) const {
+  std::string out = kPartialCubeMagic;
+  // Base schema.
+  EncodeCount(base_->num_columns(), &out);
+  for (size_t c = 0; c < base_->num_columns(); ++c) {
+    const Field& f = base_->schema().field(c);
+    EncodeValue(Value::String(f.name), &out);
+    EncodeValue(Value::String(DataTypeName(f.type)), &out);
+  }
+  // Base rows.
+  EncodeCount(base_->num_rows(), &out);
+  for (size_t r = 0; r < base_->num_rows(); ++r) {
+    for (size_t c = 0; c < base_->num_columns(); ++c) {
+      EncodeValue(base_->GetValue(r, c), &out);
+    }
+  }
+  // The byte budget this cube was built under, then the view selection and
+  // every cell's exact scratchpad. Keys are decoded to Values on the way
+  // out, so the checkpoint stays codec-layout-independent.
+  EncodeCount(budget_bytes_, &out);
+  EncodeCount(ctx_.aggs.size(), &out);
+  EncodeCount(views_.size(), &out);
+  for (size_t s = 0; s < views_.size(); ++s) {
+    EncodeCount(views_[s], &out);
+    EncodeCount(stores_[s].size(), &out);
+    Status cell_status = Status::OK();
+    stores_[s].ForEach([&](const uint64_t* key, char* block) {
+      if (!cell_status.ok()) return;
+      for (const Value& v : cc_.codec.DecodeKey(key)) EncodeValue(v, &out);
+      const CellHeader* header = ColumnarContext::Header(block);
+      EncodeValue(Value::Int64(header->count), &out);
+      EncodeValue(Value::Int64(static_cast<int64_t>(header->repr_row)), &out);
+      EncodeValue(Value::Bool(header->has_repr), &out);
+      for (size_t a = 0; a < ctx_.aggs.size(); ++a) {
+        std::string blob;
+        cell_status =
+            ctx_.aggs[a]->SerializeState(cc_.StateOf(block, a), &blob);
+        if (!cell_status.ok()) return;
+        EncodeBlob(blob, &out);
+      }
+    });
+    DATACUBE_RETURN_IF_ERROR(cell_status);
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << out;
+  return file.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<std::unique_ptr<PartialCube>> PartialCube::LoadFromFile(
+    const CubeSpec& spec, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string data = buffer.str();
+  if (data.rfind(kPartialCubeMagic, 0) != 0) {
+    return Status::ParseError("not a partial-cube checkpoint: " + path);
+  }
+  size_t pos = std::string(kPartialCubeMagic).size();
+
+  // Base schema + rows.
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t ncols, DecodeCount(data, &pos));
+  std::vector<Field> fields;
+  for (uint64_t c = 0; c < ncols; ++c) {
+    DATACUBE_ASSIGN_OR_RETURN(Value name, DecodeValue(data, &pos));
+    DATACUBE_ASSIGN_OR_RETURN(Value type_name, DecodeValue(data, &pos));
+    DATACUBE_ASSIGN_OR_RETURN(DataType type,
+                              DataTypeFromName(type_name.string_value()));
+    fields.push_back(Field{name.string_value(), type});
+  }
+  Table base{Schema{std::move(fields)}};
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t nrows, DecodeCount(data, &pos));
+  base.Reserve(nrows);
+  for (uint64_t r = 0; r < nrows; ++r) {
+    std::vector<Value> row;
+    row.reserve(ncols);
+    for (uint64_t c = 0; c < ncols; ++c) {
+      DATACUBE_ASSIGN_OR_RETURN(Value v, DecodeValue(data, &pos));
+      row.push_back(std::move(v));
+    }
+    DATACUBE_RETURN_IF_ERROR(base.AppendRow(row));
+  }
+
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t budget, DecodeCount(data, &pos));
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t naggs, DecodeCount(data, &pos));
+  DATACUBE_ASSIGN_OR_RETURN(uint64_t nviews, DecodeCount(data, &pos));
+
+  auto cube = std::unique_ptr<PartialCube>(new PartialCube());
+  cube->base_ = std::make_unique<Table>(std::move(base));
+  cube->spec_ = std::make_unique<CubeSpec>(spec);
+  cube->budget_bytes_ = static_cast<size_t>(budget);
+
+  // The stored selection is authoritative over anything current statistics
+  // would pick, and the evaluation context must be built over exactly those
+  // grouping sets — which are interleaved with the cell payloads. Stage the
+  // decoded cells per view, then build the context and insert.
+  std::vector<GroupingSet> stored_views;
+  struct StagedCell {
+    std::vector<Value> key;
+    int64_t count = 0;
+    size_t repr_row = 0;
+    bool has_repr = false;
+    std::vector<std::string> blobs;
+  };
+  size_t num_keys = spec.AllGroupExprs().size();
+  std::vector<std::vector<StagedCell>> staged;
+  for (uint64_t s = 0; s < nviews; ++s) {
+    DATACUBE_ASSIGN_OR_RETURN(uint64_t mask, DecodeCount(data, &pos));
+    stored_views.push_back(static_cast<GroupingSet>(mask));
+    DATACUBE_ASSIGN_OR_RETURN(uint64_t ncells, DecodeCount(data, &pos));
+    std::vector<StagedCell> cells;
+    cells.reserve(ncells);
+    for (uint64_t i = 0; i < ncells; ++i) {
+      StagedCell cell;
+      cell.key.reserve(num_keys);
+      for (size_t k = 0; k < num_keys; ++k) {
+        DATACUBE_ASSIGN_OR_RETURN(Value v, DecodeValue(data, &pos));
+        cell.key.push_back(std::move(v));
+      }
+      DATACUBE_ASSIGN_OR_RETURN(Value count, DecodeValue(data, &pos));
+      DATACUBE_ASSIGN_OR_RETURN(Value repr, DecodeValue(data, &pos));
+      DATACUBE_ASSIGN_OR_RETURN(Value has_repr, DecodeValue(data, &pos));
+      cell.count = count.int64_value();
+      cell.repr_row = static_cast<size_t>(repr.int64_value());
+      cell.has_repr = has_repr.bool_value();
+      cell.blobs.reserve(naggs);
+      for (uint64_t a = 0; a < naggs; ++a) {
+        DATACUBE_ASSIGN_OR_RETURN(std::string blob, DecodeBlob(data, &pos));
+        cell.blobs.push_back(std::move(blob));
+      }
+      cells.push_back(std::move(cell));
+    }
+    staged.push_back(std::move(cells));
+  }
+
+  // Rebuild the evaluation context over exactly the stored views.
+  cube->spec_->explicit_sets = stored_views;
+  DATACUBE_ASSIGN_OR_RETURN(
+      cube->ctx_, cube_internal::BuildCubeContext(*cube->base_, *cube->spec_));
+  DATACUBE_RETURN_IF_ERROR(ValidateAggregates(cube->ctx_));
+  if (naggs != cube->ctx_.aggs.size()) {
+    return Status::InvalidArgument(
+        "checkpoint aggregate count does not match the supplied spec");
+  }
+  if (cube->ctx_.sets != stored_views) {
+    // NormalizeSets reordered or deduped — remap staging to context order.
+    std::vector<std::vector<StagedCell>> reordered(cube->ctx_.sets.size());
+    for (size_t s = 0; s < stored_views.size(); ++s) {
+      auto it = std::find(cube->ctx_.sets.begin(), cube->ctx_.sets.end(),
+                          stored_views[s]);
+      if (it == cube->ctx_.sets.end()) {
+        return Status::ParseError("checkpoint view vanished on normalize");
+      }
+      reordered[static_cast<size_t>(it - cube->ctx_.sets.begin())] =
+          std::move(staged[s]);
+    }
+    staged = std::move(reordered);
+  }
+  DATACUBE_ASSIGN_OR_RETURN(cube->cc_,
+                            cube_internal::BuildColumnarContext(cube->ctx_));
+  cube->views_ = cube->ctx_.sets;
+
+  // Re-encodes a checkpointed Value key under the current codec, growing
+  // the dictionaries for any key value no longer present in the base data.
+  auto encode_key = [&cube](const std::vector<Value>& key, GroupingSet set) {
+    std::optional<std::vector<uint64_t>> packed =
+        cube->cc_.codec.EncodeKey(key, set);
+    if (!packed) {
+      for (size_t k = 0; k < cube->ctx_.num_keys; ++k) {
+        if (IsGrouped(set, k)) cube->cc_.codec.CodeOfOrAdd(k, key[k]);
+      }
+      if (cube->cc_.codec.needs_relayout()) cube->RelayoutAndRekey();
+      packed = cube->cc_.codec.EncodeKey(key, set);
+    }
+    return std::move(*packed);
+  };
+  for (size_t s = 0; s < cube->ctx_.sets.size(); ++s) {
+    cube->stores_.push_back(cube->cc_.MakeStore());
+    for (StagedCell& cell : staged[s]) {
+      std::vector<uint64_t> packed = encode_key(cell.key, cube->ctx_.sets[s]);
+      char* block = cube->stores_[s].FindOrInsert(packed.data());
+      CellHeader* header = ColumnarContext::Header(block);
+      header->count = cell.count;
+      header->repr_row = cell.repr_row;
+      header->has_repr = cell.has_repr;
+      for (size_t a = 0; a < cube->ctx_.aggs.size(); ++a) {
+        size_t blob_pos = 0;
+        // FindOrInsert initialized the slot; replace it with the
+        // checkpointed scratchpad.
+        const AggregateFunction& fn = *cube->ctx_.aggs[a];
+        char* slot = block + cube->cc_.layout.slots[a].offset;
+        fn.DestroyAt(slot);
+        DATACUBE_RETURN_IF_ERROR(
+            fn.DeserializeAt(cell.blobs[a], &blob_pos, slot));
+      }
+    }
+  }
+  return cube;
 }
 
 }  // namespace datacube

@@ -2,8 +2,10 @@
 #define DATACUBE_CUBE_PARTIAL_CUBE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "datacube/cube/columnar.h"
 #include "datacube/cube/cube_internal.h"
 #include "datacube/cube/cube_operator.h"
 #include "datacube/cube/view_selection.h"
@@ -11,13 +13,19 @@
 namespace datacube {
 
 /// A partially materialized cube: only a selected subset of the lattice's
-/// grouping sets is stored (typically chosen by SelectViewsGreedy), and any
-/// other grouping-set query is answered by aggregating the cheapest
-/// materialized ancestor view — the Harinarayan-Rajaraman-Ullman scheme the
-/// paper points to in Section 6 for cubes too large to store whole.
+/// grouping sets is stored (chosen explicitly, by SelectViewsGreedy, or by
+/// the benefit-per-byte greedy under BuildWithBudget), and any other
+/// grouping-set query is answered by aggregating the cheapest materialized
+/// ancestor view — the Harinarayan-Rajaraman-Ullman scheme the paper points
+/// to in Section 6 for cubes too large to store whole.
 ///
-/// Requires every aggregate to support Merge (distributive or algebraic;
-/// the scratchpads of the ancestor view are folded into the query's cells).
+/// Views live as columnar CellStore shards (encoded keys, fixed-slot
+/// aggregate states), maintainable under inserts and checkpointable with
+/// exact scratchpads (SaveToFile / LoadFromFile).
+///
+/// Requires every aggregate to support Merge and to be non-holistic
+/// (distributive or algebraic): holistic super-aggregates need base data,
+/// so a holistic cube must not be served by ancestor folding.
 class PartialCube {
  public:
   /// Materializes `views` (each a bitmask over spec's grouping columns; the
@@ -25,6 +33,13 @@ class PartialCube {
   static Result<std::unique_ptr<PartialCube>> Build(
       const Table& input, const CubeSpec& spec,
       const std::vector<GroupingSet>& views);
+
+  /// Runs the HRU benefit-per-byte greedy over the full 2^N lattice under
+  /// `budget_bytes` (cells estimated from column cardinalities, bytes from
+  /// the columnar cell layout) and materializes the selected views. The
+  /// mandatory core is always kept, even when it alone exceeds the budget.
+  static Result<std::unique_ptr<PartialCube>> BuildWithBudget(
+      const Table& input, const CubeSpec& spec, size_t budget_bytes);
 
   PartialCube(const PartialCube&) = delete;
   PartialCube& operator=(const PartialCube&) = delete;
@@ -48,22 +63,57 @@ class PartialCube {
   /// the Section 6 trigger scenario applied to the partial cube.
   Status ApplyInsert(const std::vector<Value>& row);
 
+  /// Checkpoints the partial cube — base data, the view selection, and
+  /// every cell's exact scratchpad — to `path` (format DATACUBE_PCUBE_V1).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Restores a partial cube checkpointed by SaveToFile. The caller
+  /// supplies the same CubeSpec the cube was built with (expressions are
+  /// not serialized). The STORED view selection is authoritative: the
+  /// loaded cube serves exactly the views it saved, even when the current
+  /// data statistics would select differently today.
+  static Result<std::unique_ptr<PartialCube>> LoadFromFile(
+      const CubeSpec& spec, const std::string& path);
+
   const QueryStats& last_query_stats() const { return last_stats_; }
   const std::vector<GroupingSet>& views() const { return views_; }
 
   /// Total materialized cells across all stored views.
   size_t materialized_cells() const;
 
+  /// Bytes resident across all stored views (cells × the columnar cell
+  /// footprint: packed key words + aggregate state block).
+  size_t materialized_bytes() const;
+
+  /// The byte budget this cube was built under (0 for explicit views).
+  size_t budget_bytes() const { return budget_bytes_; }
+
+  /// The greedy selection BuildWithBudget ran (empty for explicit views
+  /// and for loaded checkpoints, whose stored views are authoritative).
+  const ViewSelection& selection() const { return selection_; }
+
  private:
   PartialCube() = default;
 
-  Result<Table> AssembleSet(const cube_internal::CellMap& cells) const;
+  Result<Table> AssembleSet(const cube_internal::CellStore& cells) const;
+
+  // Maintenance-insert key path, mirroring MaterializedCube: grow the
+  // dictionaries with the new row's key values, re-laying-out the codec
+  // (and re-keying every store) when a new code outgrows its bit field.
+  Status AppendRowKey(size_t row_id);
+  void RelayoutAndRekey();
 
   std::unique_ptr<Table> base_;
   std::unique_ptr<CubeSpec> spec_;
   cube_internal::CubeContext ctx_;
-  std::vector<GroupingSet> views_;        // == ctx_.sets
-  cube_internal::SetMaps maps_;
+  // The columnar view (key codec + state layout + packed row keys) and the
+  // per-view flat stores. cc_ must outlive stores_ — stores destroy their
+  // cells through it — so declaration order matters here.
+  cube_internal::ColumnarContext cc_;
+  cube_internal::SetStores stores_;
+  std::vector<GroupingSet> views_;  // == ctx_.sets
+  size_t budget_bytes_ = 0;
+  ViewSelection selection_;
   QueryStats last_stats_;
 };
 

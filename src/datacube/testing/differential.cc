@@ -34,6 +34,9 @@ Outcome RunConfig(const Table& input, const CubeSpec& spec,
   if (config.num_partitions != 0) {
     options.num_partitions = config.num_partitions;
   }
+  if (config.materialize_budget_bytes != 0) {
+    options.materialize_budget_bytes = config.materialize_budget_bytes;
+  }
   options.sort_result = true;
   Result<CubeResult> r = ExecuteCube(input, spec, options);
   Outcome out;
@@ -276,6 +279,22 @@ std::vector<OracleConfig> AllOracleConfigs() {
       {"legacy_cellmap", CubeAlgorithm::kAuto, 1, /*use_legacy_cellmap=*/true},
       {"legacy_parallel_x2", CubeAlgorithm::kAuto, 2,
        /*use_legacy_cellmap=*/true},
+      // Budgeted partial materialization with ancestor answering. Which
+      // views survive the greedy depends on the random table's per-column
+      // cardinalities, so each seed exercises a different selection. 512
+      // bytes keeps only the core (every other set folds an ancestor);
+      // 8 KiB keeps a mid-lattice mix; 1 MiB usually keeps everything but
+      // still routes through the rewrite plumbing, here under 3 threads.
+      // Holistic specs skip the rewrite entirely and trivially agree.
+      {"budget_512b", CubeAlgorithm::kAuto, 1, /*use_legacy_cellmap=*/false,
+       /*morsel_rows=*/0, /*num_partitions=*/0,
+       /*materialize_budget_bytes=*/512},
+      {"budget_8kb", CubeAlgorithm::kAuto, 1, /*use_legacy_cellmap=*/false,
+       /*morsel_rows=*/0, /*num_partitions=*/0,
+       /*materialize_budget_bytes=*/8192},
+      {"budget_1mb_parallel_x3", CubeAlgorithm::kAuto, 3,
+       /*use_legacy_cellmap=*/false, /*morsel_rows=*/0, /*num_partitions=*/0,
+       /*materialize_budget_bytes=*/1u << 20},
   };
 }
 

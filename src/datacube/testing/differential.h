@@ -26,14 +26,22 @@ struct OracleConfig {
   /// and partition skew that the defaults never would.
   size_t morsel_rows = 0;
   size_t num_partitions = 0;
+  /// Byte budget for partial-cube materialization with ancestor answering
+  /// (0 = materialize every requested grouping set directly). Tiny budgets
+  /// force a core-only selection, so every other set is answered by folding
+  /// a materialized ancestor — the rewrite path the oracle must prove
+  /// equivalent to direct computation. Holistic specs skip the rewrite.
+  size_t materialize_budget_bytes = 0;
 };
 
 /// The full sweep: every Section 5 algorithm forced serially (each falls
 /// back gracefully when the spec shape rules it out, so forcing is always
 /// legal), the morsel-driven parallel path at 2 and 8 threads plus
 /// adversarial morsel/partition shapes (one-row morsels, odd and degenerate
-/// partition counts), and the legacy CellMap core — so every run also diffs
-/// the columnar core against the pre-columnar implementation.
+/// partition counts), the legacy CellMap core — so every run also diffs the
+/// columnar core against the pre-columnar implementation — and budgeted
+/// partial materialization at three budgets, so every run also diffs
+/// ancestor answering against direct computation.
 std::vector<OracleConfig> AllOracleConfigs();
 
 /// One cell where two configurations disagreed.

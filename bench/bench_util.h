@@ -6,17 +6,22 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "datacube/cube/cube_operator.h"
+#include "datacube/obs/metrics.h"
 #include "datacube/workload/sales.h"
 
 /// Shared main for google-benchmark binaries. The explanatory banner prints
 /// to stderr so stdout stays machine-readable under --benchmark_format=json;
 /// bench/run_all.sh relies on this to write one BENCH_<name>.json per
 /// binary (every binary also accepts --benchmark_out=FILE
-/// --benchmark_out_format=json directly).
+/// --benchmark_out_format=json directly). When DATACUBE_METRICS_SNAPSHOT
+/// names a file, the process-wide metrics registry (the /varz JSON view) is
+/// written there after the run, so every BENCH_*.json gets a sibling
+/// snapshot of the engine counters the workload produced.
 #define DATACUBE_BENCH_MAIN(banner)                                     \
   int main(int argc, char** argv) {                                     \
     std::fputs(banner, stderr);                                         \
@@ -24,10 +29,28 @@
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                              \
     ::benchmark::Shutdown();                                            \
+    ::datacube::bench_util::MaybeWriteMetricsSnapshot();                \
     return 0;                                                           \
   }
 
 namespace datacube::bench_util {
+
+/// Writes MetricsRegistry::Global() as JSON to the path named by the
+/// DATACUBE_METRICS_SNAPSHOT environment variable; no-op when unset.
+inline void MaybeWriteMetricsSnapshot() {
+  const char* path = std::getenv("DATACUBE_METRICS_SNAPSHOT");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write metrics snapshot to %s\n",
+                 path);
+    return;
+  }
+  const std::string json = obs::MetricsRegistry::Global().RenderJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
 
 /// Grouping columns d0..d{n-1} of a GenerateCubeInput table.
 inline std::vector<GroupExpr> Dims(size_t n) {

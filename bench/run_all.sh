@@ -2,9 +2,11 @@
 # Runs every benchmark binary with machine-readable output.
 #
 # For each google-benchmark binary this writes
-#   <out_dir>/BENCH_<name>.json   google-benchmark JSON results
-#   <out_dir>/BENCH_<name>.txt    the binary's human-readable stdout
-#                                 (exhibit tables, claim banners)
+#   <out_dir>/BENCH_<name>.json          google-benchmark JSON results
+#   <out_dir>/BENCH_<name>.txt           the binary's human-readable stdout
+#                                        (exhibit tables, claim banners)
+#   <out_dir>/BENCH_<name>.metrics.json  engine metrics snapshot (the /varz
+#                                        JSON view) taken after the run
 # bench_exhibits has no google-benchmark timings (it prints the paper's
 # tables), so it only produces the .txt capture.
 #
@@ -57,7 +59,8 @@ fi
 
 for name in "${GBENCH_BINARIES[@]}"; do
   echo "== $name"
-  if ! "$BENCH_DIR/$name" \
+  if ! DATACUBE_METRICS_SNAPSHOT="$OUT_DIR/BENCH_${name#bench_}.metrics.json" \
+      "$BENCH_DIR/$name" \
       --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
       --benchmark_out_format=json \
       "$@" > "$OUT_DIR/BENCH_${name#bench_}.txt"; then

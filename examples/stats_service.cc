@@ -1,0 +1,104 @@
+// Embedded stats server demo + CI smoke target.
+//
+// Starts the observability HTTP server, runs a few queries (including a
+// parallel cube over a synthetic table) so /metrics, /queryz, and /tracez
+// have something to show, prints the listen URL, and serves until
+// interrupted. Usage:
+//
+//   stats_service [--port N] [--once]
+//
+// --port (or DATACUBE_STATS_PORT) picks the port; default 0 = ephemeral.
+// --once exits immediately after the warm-up queries instead of serving
+// forever (handy for smoke tests that only need the warm-up side effects).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "datacube/obs/stats_server.h"
+#include "datacube/sql/engine.h"
+#include "datacube/workload/sales.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Fail(const datacube::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace datacube;
+
+  obs::StatsServer::Options server_options;
+  bool once = false;
+  if (const char* env = std::getenv("DATACUBE_STATS_PORT");
+      env != nullptr && env[0] != '\0') {
+    server_options.port = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      server_options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--port N] [--once]\n";
+      return 2;
+    }
+  }
+
+  Result<std::unique_ptr<obs::StatsServer>> server =
+      obs::StatsServer::Start(server_options);
+  if (!server.ok()) return Fail(server.status());
+
+  // Warm up the metrics and ring buffers with real queries: the paper's
+  // Table 3 cube, then a parallel cube over a synthetic table large enough
+  // to actually split.
+  sql::Catalog catalog;
+  Result<Table> sales = Table3SalesTable();
+  if (!sales.ok()) return Fail(sales.status());
+  Result<Table> big = GenerateSales({.num_rows = 20000});
+  if (!big.ok()) return Fail(big.status());
+  if (Status st = catalog.Register("Sales", *sales); !st.ok()) return Fail(st);
+  if (Status st = catalog.Register("BigSales", *big); !st.ok()) {
+    return Fail(st);
+  }
+
+  const char* queries[] = {
+      "SELECT Model, Year, Color, SUM(Units) FROM Sales "
+      "GROUP BY CUBE Model, Year, Color",
+      "SELECT Model, Color, SUM(Units), AVG(Price) FROM BigSales "
+      "GROUP BY CUBE Model, Color",
+      "EXPLAIN ANALYZE SELECT Model, Year, SUM(Units) FROM BigSales "
+      "GROUP BY CUBE Model, Year",
+  };
+  sql::EngineOptions engine_options;
+  engine_options.cube.num_threads = 4;
+  for (const char* q : queries) {
+    Result<Table> r = sql::ExecuteSql(q, catalog, engine_options);
+    if (!r.ok()) return Fail(r.status());
+  }
+
+  // The smoke script scrapes this exact line for the URL.
+  std::cout << "listening on " << (*server)->url() << "\n";
+  std::cout.flush();
+
+  if (once) return 0;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) usleep(100 * 1000);
+  std::cout << "shutting down\n";
+  return 0;
+}

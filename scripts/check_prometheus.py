@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition format (version 0.0.4).
+
+Reads the exposition from a file argument (or stdin) and checks:
+  - every non-comment line parses as `name[{labels}] value`
+  - metric and label names match the Prometheus grammar
+  - values parse as floats (including +Inf/-Inf/NaN)
+  - each family has at most one HELP and one TYPE line, appearing before
+    its first sample
+  - TYPE is one of counter/gauge/histogram/summary/untyped
+  - no duplicate (name, labels) series
+  - histogram families expose _bucket/_sum/_count consistently
+
+Exits 0 when the input is clean, 1 with one line per problem otherwise.
+Used by the CI observability smoke job against a live /metrics endpoint;
+needs only the Python standard library.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name):
+    """Maps histogram/summary sample names to their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text):
+    errors = []
+    helps = {}      # family -> line number of HELP
+    types = {}      # family -> declared type
+    seen_sample = set()   # families that already emitted a sample
+    series = set()        # (name, canonical labels) pairs
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                errors.append(f"line {lineno}: malformed HELP line")
+                continue
+            family = parts[2]
+            if not METRIC_NAME_RE.match(family):
+                errors.append(f"line {lineno}: bad metric name {family!r}")
+            if family in helps:
+                errors.append(
+                    f"line {lineno}: duplicate HELP for {family} "
+                    f"(first at line {helps[family]})")
+            if family in seen_sample:
+                errors.append(
+                    f"line {lineno}: HELP for {family} after its samples")
+            helps[family] = lineno
+            continue
+
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            family, kind = parts[2], parts[3]
+            if not METRIC_NAME_RE.match(family):
+                errors.append(f"line {lineno}: bad metric name {family!r}")
+            if kind not in VALID_TYPES:
+                errors.append(
+                    f"line {lineno}: unknown type {kind!r} for {family}")
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family}")
+            if family in seen_sample:
+                errors.append(
+                    f"line {lineno}: TYPE for {family} after its samples")
+            types[family] = kind
+            continue
+
+        if line.startswith("#"):
+            continue  # other comments are allowed anywhere
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels_text = m.group("labels")
+        labels = []
+        if labels_text:
+            consumed = 0
+            for lm in LABEL_RE.finditer(labels_text):
+                labels.append((lm.group(1), lm.group(2)))
+                consumed = lm.end()
+                if not LABEL_NAME_RE.match(lm.group(1)):
+                    errors.append(
+                        f"line {lineno}: bad label name {lm.group(1)!r}")
+            leftover = labels_text[consumed:].strip(", ")
+            if leftover:
+                errors.append(
+                    f"line {lineno}: malformed labels near {leftover!r}")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            if m.group("value") not in ("+Inf", "-Inf", "NaN"):
+                errors.append(
+                    f"line {lineno}: bad sample value {m.group('value')!r}")
+
+        key = (name, tuple(sorted(labels)))
+        if key in series:
+            errors.append(f"line {lineno}: duplicate series {line!r}")
+        series.add(key)
+        seen_sample.add(base_family(name))
+
+    # Histogram families must expose all three sample kinds.
+    for family, kind in types.items():
+        if kind != "histogram" or family not in seen_sample:
+            continue
+        names = {n for (n, _) in series}
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family + suffix not in names:
+                errors.append(
+                    f"histogram {family} is missing {family}{suffix} samples")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) > 2 or (len(argv) == 2 and argv[1] in ("-h", "--help")):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if len(argv) == 2:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = check(text)
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"FAIL: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    samples = sum(
+        1 for line in text.splitlines()
+        if line.strip() and not line.startswith("#"))
+    print(f"OK: {samples} samples, valid Prometheus exposition")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,6 +10,7 @@
 #include "datacube/cube/lattice_rewrite.h"
 #include "datacube/cube/thread_pool.h"
 #include "datacube/obs/metrics.h"
+#include "datacube/obs/query_profile.h"
 #include "datacube/obs/trace.h"
 #include "datacube/table/sort.h"
 
@@ -206,6 +207,79 @@ void PublishCubeStats(const CubeStats& stats) {
                    "Bytes resident in budget-selected views")
         .Inc(stats.lattice_bytes_materialized);
   }
+}
+
+// Compact spec description for profiles of programmatic (non-SQL)
+// executions, where there is no query text to record.
+std::string SpecDigest(const CubeContext& ctx, const CubeSpec& spec) {
+  std::string out = "cube(";
+  for (size_t k = 0; k < ctx.num_keys; ++k) {
+    if (k > 0) out += ",";
+    out += ctx.key_names[k];
+  }
+  out += ") aggs[";
+  for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+    if (a > 0) out += ",";
+    out += spec.aggregates[a].function;
+  }
+  out += "] sets=" + std::to_string(ctx.sets.size());
+  return out;
+}
+
+// Emits this execution's QueryProfile into the global ring (and, when it
+// crossed the slow threshold, the slow-query JSONL log). Runs once per
+// ExecuteCube — strings and a lock, nowhere near the hot path.
+void EmitQueryProfile(const CubeContext& ctx, const CubeSpec& spec,
+                      const CubeOptions& options, const CubeStats& stats) {
+  obs::QueryProfileLog& log = obs::QueryProfileLog::Global();
+  obs::QueryProfile p;
+  if (const std::string* text = obs::CurrentQueryText()) {
+    p.query = *text;
+  } else {
+    p.query = SpecDigest(ctx, spec);
+  }
+  p.wall_ms = stats.wall_seconds * 1e3;
+  p.scan_ms = stats.scan_seconds * 1e3;
+  p.merge_ms = stats.merge_seconds * 1e3;
+  p.cascade_ms = stats.cascade_seconds * 1e3;
+  p.algorithm = CubeAlgorithmName(stats.algorithm_used);
+  p.threads = stats.threads_used;
+  p.input_rows = ctx.num_rows();
+  p.output_cells = stats.output_cells;
+  p.arena_peak_bytes = stats.arena_bytes;
+  auto add = [&p](const char* name, uint64_t v) {
+    if (v != 0) p.counters.emplace_back(name, v);
+  };
+  add("iter_calls", stats.iter_calls);
+  add("merge_calls", stats.merge_calls);
+  add("final_calls", stats.final_calls);
+  add("input_scans", stats.input_scans);
+  add("hash_cells", stats.hash_cells);
+  add("hash_probes", stats.hash_probes);
+  add("hash_rehashes", stats.hash_rehashes);
+  add("heap_state_allocs", stats.heap_state_allocs);
+  add("morsels_dispatched", stats.morsels_dispatched);
+  add("partitions", stats.partitions);
+  add("merge_tasks", stats.merge_tasks);
+  add("cascade_tasks", stats.cascade_tasks);
+  if (stats.lattice_budget_bytes > 0) {
+    p.lattice =
+        "budget=" + std::to_string(stats.lattice_budget_bytes) +
+        " views=" + std::to_string(stats.lattice_views_materialized) +
+        " folds=" + std::to_string(stats.lattice_ancestor_folds) +
+        " fold_cells=" + std::to_string(stats.lattice_fold_cells) +
+        " base_fallbacks=" + std::to_string(stats.lattice_base_fallbacks) +
+        " bytes=" + std::to_string(stats.lattice_bytes_materialized);
+  }
+  double threshold = log.EffectiveSlowThresholdMs(options.slow_query_ms);
+  p.slow = threshold >= 0 && p.wall_ms >= threshold;
+  if (p.slow) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("datacube_slow_queries_total",
+                    "Queries at or over the slow-query threshold")
+        .Inc();
+  }
+  log.Record(std::move(p));
 }
 
 }  // namespace
@@ -491,6 +565,7 @@ Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
     }
   }
   PublishCubeStats(stats);
+  EmitQueryProfile(ctx, spec, options, stats);
   return CubeResult{std::move(table).value(), stats};
 }
 

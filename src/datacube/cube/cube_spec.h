@@ -166,6 +166,13 @@ struct CubeOptions {
   /// DATACUBE_MATERIALIZE_BUDGET environment variable (bytes; the option
   /// wins when both are set).
   size_t materialize_budget_bytes = 0;
+  /// Slow-query threshold for this execution's profile, in milliseconds:
+  /// >= 0 overrides the process-wide DATACUBE_SLOW_QUERY_MS; negative (the
+  /// default) defers to it. An execution at or over the effective threshold
+  /// is marked slow in its QueryProfile, counted in
+  /// datacube_slow_queries_total, and appended to the JSONL file named by
+  /// DATACUBE_SLOW_QUERY_LOG when that is set.
+  double slow_query_ms = -1.0;
 };
 
 /// Per-grouping-set execution instrumentation (EXPLAIN ANALYZE's actual vs

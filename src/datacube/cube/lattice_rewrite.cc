@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <limits>
 
+#include "datacube/cube/grouping_set.h"
+#include "datacube/obs/trace.h"
+
 namespace datacube {
 namespace cube_internal {
 
@@ -135,6 +138,7 @@ Result<SetStores> FoldSelectedToRequested(
       continue;
     }
     const CellStore& parent = selected_stores[best];
+    obs::ScopedSpan fold_span("ancestor_fold");
     std::vector<uint64_t> mask = cc.codec.MaskForSet(target);
     CellStore folded = cc.MakeStore();
     Status merge_status = Status::OK();
@@ -147,6 +151,13 @@ Result<SetStores> FoldSelectedToRequested(
     ps.answered_from = static_cast<int64_t>(views[best]);
     ++stats->lattice_ancestor_folds;
     stats->lattice_fold_cells += parent.size();
+    if (fold_span.active()) {
+      fold_span.Attr("set", GroupingSetToString(target, cc.ctx->key_names));
+      fold_span.Attr("from",
+                     GroupingSetToString(views[best], cc.ctx->key_names));
+      fold_span.Attr("cells_absorbed", static_cast<uint64_t>(parent.size()));
+      fold_span.Attr("cells", static_cast<uint64_t>(folded.size()));
+    }
     out[i] = std::move(folded);
   }
 

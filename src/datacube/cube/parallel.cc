@@ -44,8 +44,6 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
   std::atomic<size_t> cursor{0};
   CellMap core;
   {
-    // Worker spans would need their own thread-local traces; the
-    // coordinating thread's span covers scatter, scan, and gather.
     obs::ScopedSpan core_span("parallel_core");
     if (core_span.active()) {
       core_span.Attr("threads", static_cast<uint64_t>(threads));
@@ -56,6 +54,8 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
     TaskGroup group(pool);
     for (size_t t = 0; t < threads; ++t) {
       group.Spawn([&, t] {
+        // Stitched under parallel_core via the TaskGroup's span context.
+        obs::ScopedSpan worker_span("morsel_scan");
         CellMap& cells = partials[t];
         while (true) {
           size_t lo = cursor.fetch_add(morsel, std::memory_order_relaxed);
@@ -68,6 +68,10 @@ Result<SetMaps> ComputeParallel(const CubeContext& ctx,
             if (inserted) it->second = ctx.NewCell();
             ctx.IterRow(&it->second, row, &partial_stats[t]);
           }
+        }
+        if (worker_span.active()) {
+          worker_span.Attr("worker", static_cast<uint64_t>(t));
+          worker_span.Attr("morsels", morsels[t]);
         }
       });
     }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "datacube/cube/columnar.h"
+#include "datacube/cube/grouping_set.h"
 #include "datacube/cube/thread_pool.h"
 #include "datacube/obs/trace.h"
 
@@ -109,6 +110,11 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
     TaskGroup group(pool);
     for (size_t t = 0; t < threads; ++t) {
       group.Spawn([&, t] {
+        // Pool-thread span: stitched under the coordinator's parallel_scan
+        // span via the TaskGroup's propagated context. One TLS check when
+        // the query is untraced.
+        obs::ScopedSpan worker_span("morsel_scan");
+        uint64_t rows_scanned = 0;
         std::vector<CellStore>& parts = partials[t];
         parts.reserve(partitions);
         for (size_t p = 0; p < partitions; ++p) {
@@ -120,6 +126,7 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
           if (lo >= rows) break;
           size_t hi = std::min(rows, lo + morsel);
           ++scan_morsels[t];
+          rows_scanned += hi - lo;
           for (size_t row = lo; row < hi; ++row) {
             const uint64_t* key = cc.RowKey(row);
             size_t p = partitions == 1
@@ -127,6 +134,11 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
                            : PartitionOf(key, cc.words, partitions);
             cc.IterRow(parts[p].FindOrInsert(key), row, &my_stats);
           }
+        }
+        if (worker_span.active()) {
+          worker_span.Attr("worker", static_cast<uint64_t>(t));
+          worker_span.Attr("morsels", scan_morsels[t]);
+          worker_span.Attr("rows", rows_scanned);
         }
       });
     }
@@ -147,6 +159,8 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
     TaskGroup group(pool);
     for (size_t p = 0; p < partitions; ++p) {
       group.Spawn([&, p] {
+        obs::ScopedSpan task_span("merge_partition");
+        uint64_t cells_absorbed = 0;
         // Seed from worker 0's shard (its arena is exclusive to this
         // partition, so moving it is race-free) and fold the rest in.
         CellStore shard = std::move(partials[0][p]);
@@ -161,6 +175,7 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
           shard.MutableStats().rehashes += ps.rehashes;
           shard.MutableStats().heap_state_allocs += ps.heap_state_allocs;
           part.ForEach([&](const uint64_t* key, const char* block) {
+            ++cells_absorbed;
             char* dst = shard.Find(key);
             if (dst == nullptr) {
               shard.InsertClone(key, block);
@@ -171,6 +186,11 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
           });
         }
         my_stats.hash_cells += shard.size();
+        if (task_span.active()) {
+          task_span.Attr("partition", static_cast<uint64_t>(p));
+          task_span.Attr("cells_absorbed", cells_absorbed);
+          task_span.Attr("cells", static_cast<uint64_t>(shard.size()));
+        }
         core_shards[p] = std::move(shard);
         merge_statuses[p] = std::move(status);
       });
@@ -215,6 +235,11 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
     std::function<void(size_t)> run_node = [&](size_t i) {
       cascade_tasks.fetch_add(1, std::memory_order_relaxed);
       const LatticePlan::Node& node = plan.nodes[i];
+      // The span stays open while children are spawned below, so child
+      // cascade spans stitch under this one — the rendered tree mirrors the
+      // lattice fold DAG.
+      obs::ScopedSpan task_span("cascade_set");
+      uint64_t cells_absorbed = 0;
       CubeStats& my_stats = node_stats[i];
       Status status = Status::OK();
       if (node.parent < 0) {
@@ -226,6 +251,7 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
         auto fold_from = [&](const CellStore& parent_cells) {
           parent_cells.ForEach(
               [&](const uint64_t* parent_key, const char* parent_block) {
+                ++cells_absorbed;
                 MaskKey(parent_key, mask, key.data());
                 Status st = cc.MergeCell(cells.FindOrInsert(key.data()),
                                          parent_block, &my_stats);
@@ -237,6 +263,13 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
         } else {
           fold_from(maps[static_cast<size_t>(node.parent)]);
         }
+      }
+      if (task_span.active()) {
+        task_span.Attr("set",
+                       GroupingSetToString(node.set, cc.ctx->key_names));
+        task_span.Attr("cells_absorbed", cells_absorbed);
+        task_span.Attr("cells", static_cast<uint64_t>(maps[i].size()));
+        task_span.Attr("from_base", node.parent < 0 ? "true" : "false");
       }
       node_statuses[i] = std::move(status);
       for (size_t c : children[i]) {

@@ -63,7 +63,10 @@ bool ThreadPool::RunOneTask() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task.fn();
+  {
+    obs::TaskTraceScope trace_scope(task.span);
+    task.fn();
+  }
   task.group->TaskDone();
   return true;
 }
@@ -78,7 +81,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task.fn();
+    {
+      obs::TaskTraceScope trace_scope(task.span);
+      task.fn();
+    }
     task.group->TaskDone();
   }
 }
@@ -92,7 +98,11 @@ void TaskGroup::Spawn(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     ++pending_;
   }
-  pool_.Enqueue(ThreadPool::Task{std::move(fn), this});
+  // Capture the spawner's span context here, not at execution time: the
+  // task must attach under the span open where it was *spawned*, and the
+  // pool thread that runs it has no trace of its own.
+  pool_.Enqueue(
+      ThreadPool::Task{std::move(fn), this, obs::CurrentSpanContext()});
 }
 
 void TaskGroup::TaskDone() {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "datacube/common/status.h"
+#include "datacube/obs/trace.h"
 
 namespace datacube {
 namespace cube_internal {
@@ -44,6 +45,10 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
+    /// Span context captured at Spawn: the task runs under a TaskTraceScope
+    /// so worker-side spans stitch under the spawner's open span. Inactive
+    /// (and free) when the spawning thread was not tracing.
+    obs::SpanContext span;
   };
 
   void Enqueue(Task task);
@@ -64,6 +69,13 @@ class ThreadPool {
 /// lattice cascade schedules children as their parents finish. Wait()
 /// blocks until every spawned task has run, executing queued tasks on the
 /// waiting thread meanwhile. Tasks must never block on other tasks.
+///
+/// Tracing: Spawn captures the spawning thread's obs::SpanContext and each
+/// task executes under it, so ScopedSpans opened inside tasks attach to the
+/// spawner's trace (assembled per task without locks, stitched under the
+/// captured parent span at task completion). Wait() returning guarantees
+/// every task's subtree is stitched, which is what makes reading the trace
+/// after a phase safe.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool);

@@ -1,0 +1,93 @@
+#include "datacube/obs/json_util.h"
+
+#include <cstdio>
+
+namespace datacube::obs {
+
+namespace {
+
+// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
+// bytes at i do not begin one (invalid lead byte, truncated or out-of-range
+// continuation, overlong encoding, surrogate, > U+10FFFF).
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  unsigned char lead = static_cast<unsigned char>(s[i]);
+  size_t len;
+  unsigned char lo = 0x80, hi = 0xBF;  // bounds for the first continuation
+  if (lead < 0x80) return 1;
+  if (lead < 0xC2) return 0;  // continuation byte or overlong C0/C1 lead
+  if (lead < 0xE0) {
+    len = 2;
+  } else if (lead < 0xF0) {
+    len = 3;
+    if (lead == 0xE0) lo = 0xA0;  // reject overlong
+    if (lead == 0xED) hi = 0x9F;  // reject surrogates U+D800..U+DFFF
+  } else if (lead < 0xF5) {
+    len = 4;
+    if (lead == 0xF0) lo = 0x90;  // reject overlong
+    if (lead == 0xF4) hi = 0x8F;  // reject > U+10FFFF
+  } else {
+    return 0;
+  }
+  if (i + len > s.size()) return 0;
+  for (size_t k = 1; k < len; ++k) {
+    unsigned char c = static_cast<unsigned char>(s[i + k]);
+    if (c < (k == 1 ? lo : 0x80) || c > (k == 1 ? hi : 0xBF)) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (size_t i = 0; i < s.size();) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"') {
+      *out += "\\\"";
+      ++i;
+    } else if (c == '\\') {
+      *out += "\\\\";
+      ++i;
+    } else if (c == '\n') {
+      *out += "\\n";
+      ++i;
+    } else if (c == '\t') {
+      *out += "\\t";
+      ++i;
+    } else if (c == '\r') {
+      *out += "\\r";
+      ++i;
+    } else if (c == '\b') {
+      *out += "\\b";
+      ++i;
+    } else if (c == '\f') {
+      *out += "\\f";
+      ++i;
+    } else if (c < 0x20 || c == 0x7F) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+      ++i;
+    } else if (c < 0x80) {
+      out->push_back(static_cast<char>(c));
+      ++i;
+    } else {
+      size_t len = Utf8SequenceLength(s, i);
+      if (len == 0) {
+        *out += "\\ufffd";  // replacement character for the invalid byte
+        ++i;
+      } else {
+        out->append(s.substr(i, len));
+        i += len;
+      }
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  AppendJsonEscaped(s, &out);
+  return out;
+}
+
+}  // namespace datacube::obs

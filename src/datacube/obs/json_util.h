@@ -1,0 +1,28 @@
+#ifndef DATACUBE_OBS_JSON_UTIL_H_
+#define DATACUBE_OBS_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+// Shared JSON string escaping for every observability surface that emits
+// JSON (Trace::ToJson, MetricsRegistry::RenderJson, query-profile JSONL,
+// the stats server). Span names and attribute values come from user data
+// (column names, string keys), so the escaper must produce a valid JSON
+// string for arbitrary bytes, not just the friendly ones.
+
+namespace datacube::obs {
+
+/// Appends `s` escaped as a JSON string body (no surrounding quotes):
+/// - `"` and `\` are backslash-escaped,
+/// - control characters use the short forms (\n, \t, \r, \b, \f) or \u00XX,
+/// - well-formed UTF-8 sequences pass through untouched,
+/// - bytes that are not part of a well-formed UTF-8 sequence are replaced
+///   with U+FFFD so the output is always valid UTF-8 JSON.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// Returns `s` escaped as a JSON string body (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace datacube::obs
+
+#endif  // DATACUBE_OBS_JSON_UTIL_H_

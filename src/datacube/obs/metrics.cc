@@ -1,8 +1,22 @@
 #include "datacube/obs/metrics.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+
+#include "datacube/obs/json_util.h"
+
+// Normalize sanitizer detection: GCC defines __SANITIZE_*__, Clang exposes
+// __has_feature.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#if __has_feature(address_sanitizer) && !defined(__SANITIZE_ADDRESS__)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#endif
 
 namespace datacube::obs {
 
@@ -29,30 +43,6 @@ std::string EscapeLabelValue(const std::string& v) {
       continue;
     }
     out.push_back(c);
-  }
-  return out;
-}
-
-std::string EscapeJson(const std::string& v) {
-  std::string out;
-  out.reserve(v.size());
-  for (char c : v) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out.push_back(c);
-    }
   }
   return out;
 }
@@ -212,7 +202,7 @@ std::string MetricsRegistry::RenderJson() const {
       for (const auto& [label_text, s] : family.series) {
         if (!first) out << ",";
         first = false;
-        out << "\"" << EscapeJson(name + label_text) << "\":";
+        out << "\"" << JsonEscape(name + label_text) << "\":";
         if (s.counter != nullptr) {
           out << s.counter->value();
         } else if (s.gauge != nullptr) {
@@ -247,8 +237,51 @@ void MetricsRegistry::ResetForTest() {
   families_.clear();
 }
 
+void RegisterBuildInfo(MetricsRegistry& registry) {
+#ifdef DATACUBE_VERSION_STRING
+  const char* version = DATACUBE_VERSION_STRING;
+#else
+  const char* version = "0.0.0-dev";
+#endif
+#if defined(__clang__)
+  std::string compiler = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+  std::string compiler = "unknown";
+#endif
+#if defined(__SANITIZE_THREAD__)
+  const char* sanitizer = "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+  const char* sanitizer = "address";
+#else
+  const char* sanitizer = "none";
+#endif
+  registry
+      .GetGauge("datacube_build_info",
+                "Build metadata carried as labels; value is always 1",
+                {{"version", version},
+                 {"compiler", compiler},
+                 {"sanitizer", sanitizer}})
+      .Set(1);
+  // Approximated by metrics-initialization time, which for this engine is
+  // the first metric touch — early enough for uptime dashboards.
+  static const double start_seconds =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  registry
+      .GetGauge("process_start_time_seconds",
+                "Unix time this process initialized its metrics")
+      .Set(start_seconds);
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    RegisterBuildInfo(*r);
+    return r;
+  }();
   return *registry;
 }
 

@@ -149,6 +149,14 @@ class MetricsRegistry {
 /// Renders labels as Prometheus text: {key="value",...}; empty for no labels.
 std::string RenderLabels(const Labels& labels);
 
+/// Registers the standard process-identity series into `registry`:
+/// datacube_build_info (constant-1 gauge carrying version / compiler /
+/// sanitizer labels — joinable onto any other series, the Prometheus idiom
+/// for build metadata) and process_start_time_seconds (Unix time this
+/// process initialized its metrics). Global() calls this once on creation;
+/// tests exercising a fresh registry may call it explicitly.
+void RegisterBuildInfo(MetricsRegistry& registry);
+
 }  // namespace datacube::obs
 
 #endif  // DATACUBE_OBS_METRICS_H_

@@ -1,0 +1,165 @@
+#include "datacube/obs/query_profile.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "datacube/obs/json_util.h"
+
+namespace datacube::obs {
+
+namespace {
+
+thread_local const std::string* tls_query_text = nullptr;
+
+std::string FormatMs(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJsonLine() const {
+  std::string out = "{\"query\":\"";
+  AppendJsonEscaped(query, &out);
+  out += "\",\"start_unix_ms\":" + std::to_string(start_unix_ms);
+  out += ",\"wall_ms\":" + FormatMs(wall_ms);
+  if (scan_ms > 0 || merge_ms > 0 || cascade_ms > 0) {
+    out += ",\"phases\":{\"scan_ms\":" + FormatMs(scan_ms) +
+           ",\"merge_ms\":" + FormatMs(merge_ms) +
+           ",\"cascade_ms\":" + FormatMs(cascade_ms) + "}";
+  }
+  out += ",\"algorithm\":\"";
+  AppendJsonEscaped(algorithm, &out);
+  out += "\",\"threads\":" + std::to_string(threads);
+  out += ",\"input_rows\":" + std::to_string(input_rows);
+  out += ",\"output_cells\":" + std::to_string(output_cells);
+  out += ",\"arena_peak_bytes\":" + std::to_string(arena_peak_bytes);
+  if (!counters.empty()) {
+    out += ",\"counters\":{";
+    for (size_t i = 0; i < counters.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      AppendJsonEscaped(counters[i].first, &out);
+      out += "\":" + std::to_string(counters[i].second);
+    }
+    out += "}";
+  }
+  if (!lattice.empty()) {
+    out += ",\"lattice\":\"";
+    AppendJsonEscaped(lattice, &out);
+    out += "\"";
+  }
+  out += std::string(",\"slow\":") + (slow ? "true" : "false") + "}";
+  return out;
+}
+
+QueryProfileLog::QueryProfileLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+QueryProfileLog& QueryProfileLog::Global() {
+  // Leaked on purpose (same rationale as MetricsRegistry::Global): queries
+  // may still record during static destruction of other translation units.
+  static QueryProfileLog* log = [] {
+    auto* l = new QueryProfileLog();
+    double threshold = -1.0;
+    if (const char* env = std::getenv("DATACUBE_SLOW_QUERY_MS");
+        env != nullptr && env[0] != '\0') {
+      char* end = nullptr;
+      double v = std::strtod(env, &end);
+      if (end != env) threshold = v;
+    }
+    std::string path;
+    if (const char* env = std::getenv("DATACUBE_SLOW_QUERY_LOG");
+        env != nullptr && env[0] != '\0') {
+      path = env;
+    }
+    l->ConfigureSlowLog(threshold, std::move(path));
+    return l;
+  }();
+  return *log;
+}
+
+void QueryProfileLog::Record(QueryProfile profile) {
+  if (profile.start_unix_ms == 0) {
+    profile.start_unix_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (profile.slow) {
+    ++slow_;
+    if (!slow_log_path_.empty()) {
+      // Open-append-close per slow query: slow queries are rare by
+      // definition, and this keeps the log durable and rotation-friendly.
+      if (std::FILE* f = std::fopen(slow_log_path_.c_str(), "a")) {
+        std::string line = profile.ToJsonLine() + "\n";
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fclose(f);
+      }
+    }
+  }
+  ring_.push_back(std::move(profile));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+double QueryProfileLog::EffectiveSlowThresholdMs(double override_ms) const {
+  if (override_ms >= 0) return override_ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_ms_;
+}
+
+void QueryProfileLog::ConfigureSlowLog(double threshold_ms,
+                                       std::string jsonl_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ms_ = threshold_ms;
+  slow_log_path_ = std::move(jsonl_path);
+}
+
+double QueryProfileLog::slow_threshold_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_ms_;
+}
+
+std::vector<QueryProfile> QueryProfileLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryProfile>(ring_.begin(), ring_.end());
+}
+
+std::string QueryProfileLog::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"total\":" + std::to_string(total_) +
+                    ",\"slow\":" + std::to_string(slow_) + ",\"profiles\":[";
+  bool first = true;
+  for (const QueryProfile& p : ring_) {
+    if (!first) out += ",";
+    first = false;
+    out += p.ToJsonLine();
+  }
+  out += "]}";
+  return out;
+}
+
+uint64_t QueryProfileLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t QueryProfileLog::slow_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+QueryTextScope::QueryTextScope(const std::string& text)
+    : prev_(tls_query_text) {
+  tls_query_text = &text;
+}
+
+QueryTextScope::~QueryTextScope() { tls_query_text = prev_; }
+
+const std::string* CurrentQueryText() { return tls_query_text; }
+
+}  // namespace datacube::obs

@@ -1,0 +1,74 @@
+#ifndef DATACUBE_OBS_STATS_SERVER_H_
+#define DATACUBE_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "datacube/common/result.h"
+#include "datacube/common/status.h"
+
+// Embedded observability endpoint: a dependency-free HTTP/1.1 server that
+// exposes the process's metrics and recent-query ring buffers to a scrape or
+// a curl. One blocking accept thread, one connection at a time — monitoring
+// traffic, not serving traffic. Endpoints (GET):
+//
+//   /metrics   Prometheus text exposition of MetricsRegistry::Global()
+//   /varz      the same registry as JSON
+//   /queryz    recent query profiles (QueryProfileLog::Global())
+//   /tracez    recent query traces (TraceLog::Global())
+//   /          plain-text index of the above
+
+namespace datacube::obs {
+
+class StatsServer {
+ public:
+  struct Options {
+    /// Interface to bind; loopback by default — the server has no auth.
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    int port = 0;
+  };
+
+  /// Binds, listens, and starts the accept thread. The returned server is
+  /// already serving; it stops and joins cleanly on destruction.
+  static Result<std::unique_ptr<StatsServer>> Start(const Options& options);
+  /// Start with default Options (loopback, ephemeral port).
+  static Result<std::unique_ptr<StatsServer>> Start();
+
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Idempotent; blocks until the accept thread has exited.
+  void Stop();
+
+  int port() const { return port_; }
+  std::string url() const;
+
+  /// Routes one request path to (status code, content type, body) — the
+  /// server's brain, exposed for tests that don't want a socket.
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+  static Response Handle(const std::string& method, const std::string& path);
+
+ private:
+  StatsServer(int listen_fd, int port, std::string host);
+
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  int listen_fd_;
+  int port_;
+  std::string host_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace datacube::obs
+
+#endif  // DATACUBE_OBS_STATS_SERVER_H_

@@ -1,7 +1,10 @@
 #include "datacube/obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+
+#include "datacube/obs/json_util.h"
 
 namespace datacube::obs {
 
@@ -20,6 +23,13 @@ thread_local SpanNode* tls_current = nullptr;
 // Absolute base time of the installed trace, mirrored into TLS so spans can
 // compute offsets without reaching into the Trace.
 thread_local int64_t tls_base_ns = 0;
+// Detached-task state: when a TaskTraceScope is installed, tls_holder is
+// its task-local collector node and tls_stitch_target the span the subtree
+// will be linked under. CurrentSpanContext must hand out the stitch target
+// — never the holder, which dies with the task — so tasks spawned from
+// inside tasks (the lattice cascade) stitch to a node that outlives them.
+thread_local SpanNode* tls_holder = nullptr;
+thread_local SpanNode* tls_stitch_target = nullptr;
 
 std::string FormatDuration(int64_t ns) {
   char buf[32];
@@ -37,7 +47,7 @@ std::string FormatDuration(int64_t ns) {
   return buf;
 }
 
-void RenderNode(const SpanNode& node, int depth, std::string* out) {
+void RenderLine(const SpanNode& node, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   *out += node.name + "  " + FormatDuration(node.duration_ns);
   if (!node.attrs.empty()) {
@@ -49,35 +59,67 @@ void RenderNode(const SpanNode& node, int depth, std::string* out) {
     *out += "]";
   }
   *out += "\n";
-  for (const auto& child : node.children) {
-    RenderNode(*child, depth + 1, out);
-  }
 }
 
-std::string EscapeJson(const std::string& v) {
-  std::string out;
-  out.reserve(v.size());
-  for (char c : v) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
+void RenderNode(const SpanNode& node, int depth, size_t top_k,
+                std::string* out) {
+  RenderLine(node, depth, out);
+
+  // Group children by name in order of first appearance. A parallel phase
+  // fans out into dozens of same-named task spans (one per partition /
+  // cascade set); rendering all of them would bury the tree, so groups
+  // wider than top_k show their longest members plus one rollup line.
+  std::vector<std::pair<std::string, std::vector<size_t>>> groups;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const std::string& name = node.children[i]->name;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == name; });
+    if (it == groups.end()) {
+      groups.emplace_back(name, std::vector<size_t>{i});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+  for (auto& [name, indices] : groups) {
+    if (top_k == 0 || indices.size() <= top_k) {
+      for (size_t i : indices) {
+        RenderNode(*node.children[i], depth + 1, top_k, out);
+      }
       continue;
     }
-    out.push_back(c);
+    // Top-K by duration, rendered longest first; the rest aggregate.
+    std::stable_sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      return node.children[a]->duration_ns > node.children[b]->duration_ns;
+    });
+    for (size_t k = 0; k < top_k; ++k) {
+      RenderNode(*node.children[indices[k]], depth + 1, top_k, out);
+    }
+    int64_t rest_total = 0;
+    for (size_t k = top_k; k < indices.size(); ++k) {
+      int64_t d = node.children[indices[k]]->duration_ns;
+      if (d > 0) rest_total += d;
+    }
+    out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+    *out += "... " + std::to_string(indices.size() - top_k) + " more " +
+            name + "  total " + FormatDuration(rest_total) + "\n";
   }
-  return out;
 }
 
 void JsonNode(const SpanNode& node, std::string* out) {
-  *out += "{\"name\":\"" + EscapeJson(node.name) + "\"";
+  *out += "{\"name\":\"";
+  AppendJsonEscaped(node.name, out);
+  *out += "\"";
   *out += ",\"start_ns\":" + std::to_string(node.start_ns);
   *out += ",\"duration_ns\":" + std::to_string(node.duration_ns);
   if (!node.attrs.empty()) {
     *out += ",\"attrs\":{";
     for (size_t i = 0; i < node.attrs.size(); ++i) {
       if (i > 0) *out += ",";
-      *out += "\"" + EscapeJson(node.attrs[i].first) + "\":\"" +
-              EscapeJson(node.attrs[i].second) + "\"";
+      *out += "\"";
+      AppendJsonEscaped(node.attrs[i].first, out);
+      *out += "\":\"";
+      AppendJsonEscaped(node.attrs[i].second, out);
+      *out += "\"";
     }
     *out += "}";
   }
@@ -108,9 +150,17 @@ Trace::Trace(std::string root_name) : start_time_ns_(NowNs()) {
 
 int64_t Trace::ElapsedNs() const { return NowNs() - start_time_ns_; }
 
-std::string Trace::Render() const {
+void Trace::AttachDetached(SpanNode* parent,
+                           std::vector<std::unique_ptr<SpanNode>> children) {
+  std::lock_guard<std::mutex> lock(stitch_mu_);
+  for (auto& child : children) {
+    parent->children.push_back(std::move(child));
+  }
+}
+
+std::string Trace::Render(size_t top_k) const {
   std::string out;
-  RenderNode(root_, 0, &out);
+  RenderNode(root_, 0, top_k, &out);
   return out;
 }
 
@@ -124,17 +174,24 @@ TraceScope::TraceScope(Trace* trace)
     : prev_trace_(tls_trace), prev_current_(tls_current) {
   tls_trace = trace;
   tls_current = trace != nullptr ? &trace->root() : nullptr;
-  if (trace != nullptr) tls_base_ns = NowNs() - trace->ElapsedNs();
+  if (trace != nullptr) tls_base_ns = trace->base_ns();
 }
 
 TraceScope::~TraceScope() {
   if (tls_trace != nullptr) {
     SpanNode& root = tls_trace->root();
     if (root.duration_ns < 0) root.duration_ns = tls_trace->ElapsedNs();
+    // The outermost scope of a trace records the finished tree for the
+    // stats server's /tracez ring. (Only reached while tracing, so the
+    // serialization cost is never paid on un-traced queries.)
+    if (prev_trace_ == nullptr) {
+      TraceLog::Global().Record(
+          TraceRecord{root.name, root.duration_ns, tls_trace->ToJson()});
+    }
   }
   tls_trace = prev_trace_;
   tls_current = prev_current_;
-  if (tls_trace != nullptr) tls_base_ns = NowNs() - tls_trace->ElapsedNs();
+  if (tls_trace != nullptr) tls_base_ns = tls_trace->base_ns();
 }
 
 ScopedSpan::ScopedSpan(const char* name) {
@@ -186,6 +243,96 @@ void ScopedSpan::Attr(const char* key, double value) {
   }
 }
 
+SpanContext CurrentSpanContext() {
+  SpanContext ctx;
+  if (tls_trace == nullptr) return ctx;
+  ctx.trace = tls_trace;
+  // Never hand out the task-local holder: it dies with the task, while the
+  // stitch target is guaranteed to outlive every transitively spawned task
+  // (the spawning scope waits on the whole group).
+  ctx.parent =
+      tls_current == tls_holder ? tls_stitch_target : tls_current;
+  ctx.base_ns = tls_base_ns;
+  return ctx;
+}
+
+TaskTraceScope::TaskTraceScope(const SpanContext& ctx)
+    : ctx_(ctx),
+      prev_trace_(tls_trace),
+      prev_current_(tls_current),
+      prev_base_ns_(tls_base_ns),
+      prev_holder_(tls_holder),
+      prev_stitch_target_(tls_stitch_target) {
+  if (ctx_.active()) {
+    tls_trace = ctx_.trace;
+    tls_current = &holder_;
+    tls_base_ns = ctx_.base_ns;
+    tls_holder = &holder_;
+    tls_stitch_target = ctx_.parent;
+  } else {
+    // The task was spawned from an untraced context: suspend whatever trace
+    // the running thread has installed, so a helping waiter that picks up
+    // another query's task does not adopt its spans.
+    tls_trace = nullptr;
+    tls_current = nullptr;
+    tls_holder = nullptr;
+    tls_stitch_target = nullptr;
+  }
+}
+
+TaskTraceScope::~TaskTraceScope() {
+  if (ctx_.active() && !holder_.children.empty()) {
+    ctx_.trace->AttachDetached(ctx_.parent, std::move(holder_.children));
+  }
+  tls_trace = prev_trace_;
+  tls_current = prev_current_;
+  tls_base_ns = prev_base_ns_;
+  tls_holder = prev_holder_;
+  tls_stitch_target = prev_stitch_target_;
+}
+
 bool TracingActive() { return tls_trace != nullptr; }
+
+TraceLog::TraceLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+void TraceLog::Record(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(record));
+  if (ring_.size() > capacity_) ring_.pop_front();
+  ++total_;
+}
+
+std::vector<TraceRecord> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceRecord>(ring_.begin(), ring_.end());
+}
+
+std::string TraceLog::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"total_recorded\":" + std::to_string(total_) +
+                    ",\"traces\":[";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"root\":\"";
+    AppendJsonEscaped(ring_[i].root_name, &out);
+    out += "\",\"duration_ns\":" + std::to_string(ring_[i].duration_ns) +
+           ",\"tree\":" + ring_[i].json + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+uint64_t TraceLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+TraceLog& TraceLog::Global() {
+  // Leaked like the metrics registry: traces may finish during static
+  // teardown of other translation units.
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
 
 }  // namespace datacube::obs

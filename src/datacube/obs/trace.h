@@ -1,8 +1,11 @@
 #ifndef DATACUBE_OBS_TRACE_H_
 #define DATACUBE_OBS_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +18,16 @@
 // costing one thread-local pointer check — instrumentation can therefore
 // live permanently in hot paths. This is the machinery behind the SQL
 // front end's EXPLAIN ANALYZE.
+//
+// Cross-thread propagation: a trace's span context can be captured at
+// task-spawn time (CurrentSpanContext) and re-installed on a pool thread
+// (TaskTraceScope). Spans opened on the worker assemble into a thread-local
+// subtree — no locks on the hot path — and the finished subtree is linked
+// under the captured parent span at task completion, serialized by a
+// per-trace stitch mutex. ThreadPool::TaskGroup does this automatically for
+// every spawned task, so EXPLAIN ANALYZE on a parallel query shows the real
+// task tree (morsel scans, partition merges, cascade tasks) stitched under
+// the query root.
 
 namespace datacube::obs {
 
@@ -31,8 +44,12 @@ struct SpanNode {
   const std::string* FindAttr(const std::string& key) const;
 };
 
-/// A completed or in-progress span tree for one operation (typically one
-/// query). Not thread-safe; one trace belongs to one thread at a time.
+/// A span tree for one operation (typically one query). The tree is built
+/// by one thread at a time per subtree; concurrent workers contribute
+/// detached subtrees that are linked in under the stitch mutex
+/// (AttachDetached). Reading the tree (Render/ToJson/root) is only safe
+/// once every contributing task has completed — e.g. after
+/// TaskGroup::Wait() — which is when EXPLAIN ANALYZE reads it.
 class Trace {
  public:
   explicit Trace(std::string root_name);
@@ -42,25 +59,45 @@ class Trace {
 
   /// Monotonic nanoseconds since the trace was created.
   int64_t ElapsedNs() const;
+  /// Absolute steady-clock nanoseconds of the trace's start.
+  int64_t base_ns() const { return start_time_ns_; }
+
+  /// Links a completed detached subtree under `parent` (a node of this
+  /// trace). Thread-safe: concurrent task completions serialize on the
+  /// trace's stitch mutex. `parent` must stay open (its owning scope alive)
+  /// until every contributor has attached — TaskGroup::Wait guarantees
+  /// this for pool tasks.
+  void AttachDetached(SpanNode* parent,
+                      std::vector<std::unique_ptr<SpanNode>> children);
 
   /// Indented text rendering:
   ///   name  duration  [key=value ...]
   /// Durations print in the largest fitting unit (ns/us/ms/s).
-  std::string Render() const;
+  ///
+  /// Wide fan-outs stay readable: when a node has more than `top_k`
+  /// same-named children (e.g. 64 merge_partition spans), only the top_k
+  /// longest are rendered, followed by one aggregated
+  ///   ... N more <name>  total <duration>
+  /// rollup line. Pass top_k = 0 to render every child.
+  std::string Render(size_t top_k = kDefaultRenderTopK) const;
 
-  /// The tree as nested JSON objects
+  /// The tree as nested JSON objects — always complete, never top-K capped
   /// {"name":..,"duration_ns":..,"attrs":{..},"children":[..]}.
   std::string ToJson() const;
+
+  static constexpr size_t kDefaultRenderTopK = 8;
 
  private:
   int64_t start_time_ns_;  // absolute steady-clock base
   SpanNode root_;
+  std::mutex stitch_mu_;  // serializes AttachDetached into shared parents
 };
 
 /// Installs `trace` as the calling thread's active trace for this scope's
 /// lifetime; nested ScopedSpans attach under it. On destruction the root
 /// span's duration is closed and the previous active trace (if any) is
-/// restored.
+/// restored; the outermost scope also records the finished trace into
+/// TraceLog::Global() for the stats server's /tracez endpoint.
 class TraceScope {
  public:
   explicit TraceScope(Trace* trace);
@@ -98,9 +135,87 @@ class ScopedSpan {
   Trace* trace_ = nullptr;
 };
 
+/// A captured point in a trace that a task spawned onto another thread can
+/// attach spans under. Cheap to copy; inactive (trace == nullptr) when the
+/// capturing thread had no trace installed.
+struct SpanContext {
+  Trace* trace = nullptr;
+  /// Stitch target: the span open at capture time.
+  SpanNode* parent = nullptr;
+  /// Absolute base time of the trace, so worker spans compute offsets
+  /// without touching the Trace object.
+  int64_t base_ns = 0;
+
+  bool active() const { return trace != nullptr; }
+};
+
+/// Captures the calling thread's innermost open span as a stitch target for
+/// work spawned onto other threads. Returns an inactive context when no
+/// trace is installed — the whole propagation machinery then costs the
+/// spawning side one thread-local load and the running side one branch.
+SpanContext CurrentSpanContext();
+
+/// Installs a captured SpanContext on the current (typically pool) thread
+/// for one task's duration. While installed, ScopedSpans attach to a
+/// task-local subtree with no locking; the destructor links the assembled
+/// subtree under the captured parent via Trace::AttachDetached. With an
+/// inactive context this *suspends* any trace installed on the running
+/// thread instead — a task belongs to the query that spawned it, so an
+/// untraced task's spans must not leak into whatever trace the helping
+/// thread happens to have open. Always restores the previous thread state.
+class TaskTraceScope {
+ public:
+  explicit TaskTraceScope(const SpanContext& ctx);
+  ~TaskTraceScope();
+  TaskTraceScope(const TaskTraceScope&) = delete;
+  TaskTraceScope& operator=(const TaskTraceScope&) = delete;
+
+ private:
+  SpanContext ctx_;
+  /// Task-local collector; never rendered itself, only its children are
+  /// stitched under ctx_.parent at completion.
+  SpanNode holder_;
+  Trace* prev_trace_;
+  SpanNode* prev_current_;
+  int64_t prev_base_ns_;
+  SpanNode* prev_holder_;
+  SpanNode* prev_stitch_target_;
+};
+
 /// True when the calling thread has a trace installed — lets callers skip
 /// work that only feeds span attributes (e.g. computing cell estimates).
 bool TracingActive();
+
+/// One finished trace as kept by TraceLog: the rendered JSON tree plus
+/// identifying bits for the /tracez listing.
+struct TraceRecord {
+  std::string root_name;
+  int64_t duration_ns = 0;
+  std::string json;  // Trace::ToJson() of the finished tree
+};
+
+/// Bounded in-memory ring of recently completed traces, recorded by the
+/// outermost TraceScope on destruction and served by the stats server's
+/// /tracez endpoint. Thread-safe; keeps the newest `capacity` traces.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 32);
+
+  void Record(TraceRecord record);
+  std::vector<TraceRecord> Snapshot() const;
+  /// {"traces":[{"root":..,"duration_ns":..,"tree":{..}},..]} newest last.
+  std::string ToJson() const;
+  uint64_t total_recorded() const;
+
+  /// The process-wide ring the stats server reads.
+  static TraceLog& Global();
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceRecord> ring_;
+  uint64_t total_ = 0;
+};
 
 }  // namespace datacube::obs
 

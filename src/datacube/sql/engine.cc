@@ -1,6 +1,7 @@
 #include "datacube/sql/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "datacube/cube/cube_operator.h"
 #include "datacube/cube/grouping_set.h"
 #include "datacube/obs/metrics.h"
+#include "datacube/obs/query_profile.h"
 #include "datacube/obs/trace.h"
 #include "datacube/sql/parser.h"
 
@@ -816,7 +818,30 @@ Result<Table> ExecuteSelectImpl(const SelectStatement& stmt,
                   {{"kind", is_projection ? "projection" : "aggregation"}})
       .Inc();
   if (is_projection) {
-    return ExecuteProjection(prepared, std::move(filtered));
+    // Projections bypass ExecuteCube, so they emit their (thin) profile
+    // here; aggregations profile inside the cube operator.
+    auto start = std::chrono::steady_clock::now();
+    uint64_t input_rows = filtered.num_rows();
+    Result<Table> out = ExecuteProjection(prepared, std::move(filtered));
+    if (out.ok()) {
+      obs::QueryProfileLog& log = obs::QueryProfileLog::Global();
+      obs::QueryProfile p;
+      const std::string* text = obs::CurrentQueryText();
+      p.query = text != nullptr
+                    ? *text
+                    : "projection over " + prepared.from_table;
+      p.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      p.algorithm = "projection";
+      p.input_rows = input_rows;
+      p.output_cells = out.value().num_rows();
+      double threshold =
+          log.EffectiveSlowThresholdMs(options.cube.slow_query_ms);
+      p.slow = threshold >= 0 && p.wall_ms >= threshold;
+      log.Record(std::move(p));
+    }
+    return out;
   }
   return ExecuteAggregation(prepared, filtered, options, stats_out);
 }
@@ -954,6 +979,9 @@ Result<Table> DedupeRows(const Table& table) {
 
 Result<Table> ExecuteSql(const std::string& text, const Catalog& catalog,
                          const EngineOptions& options) {
+  // Ambient query text for this thread: cube executions triggered by the
+  // statement record it as QueryProfile::query instead of a spec digest.
+  obs::QueryTextScope query_text(text);
   DATACUBE_ASSIGN_OR_RETURN(UnionQuery query, ParseQuery(text));
   if (query.explain != ExplainMode::kNone) {
     bool analyze = query.explain == ExplainMode::kAnalyze;

@@ -1,12 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "datacube/cube/cube_operator.h"
+#include "datacube/cube/thread_pool.h"
+#include "datacube/obs/json_util.h"
 #include "datacube/obs/metrics.h"
+#include "datacube/obs/query_profile.h"
 #include "datacube/obs/trace.h"
 #include "datacube/workload/sales.h"
 
@@ -340,6 +347,398 @@ TEST(ObsIntegrationTest, TracedExecutionRecordsCubeSpans) {
     if (child->name == "compute_set") saw_compute_set = true;
   }
   EXPECT_TRUE(saw_compute_set);
+}
+
+// --------------------------------------------------------- JSON escaping
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("SELECT \"x\" FROM \"t\""),
+            "SELECT \\\"x\\\" FROM \\\"t\\\"");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+  EXPECT_EQ(JsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(JsonEscape("\x7f"), "\\u007f");
+  // Embedded NUL must not truncate the output.
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscapeTest, PassesValidUtf8Through) {
+  EXPECT_EQ(JsonEscape("café"), "café");                // 2-byte sequence
+  EXPECT_EQ(JsonEscape("\xe6\x97\xa5"), "\xe6\x97\xa5");  // 3-byte (日)
+  EXPECT_EQ(JsonEscape("\xf0\x9f\x93\x8a"), "\xf0\x9f\x93\x8a");  // 4-byte
+}
+
+TEST(JsonEscapeTest, ReplacesInvalidUtf8Bytes) {
+  // Lone continuation / invalid lead bytes.
+  EXPECT_EQ(JsonEscape("\x80"), "\\ufffd");
+  EXPECT_EQ(JsonEscape("a\xffz"), "a\\ufffdz");
+  // Overlong encoding of '/' (C0 AF) — both bytes rejected.
+  EXPECT_EQ(JsonEscape("\xc0\xaf"), "\\ufffd\\ufffd");
+  // CESU-8 style surrogate (ED A0 80) is not valid UTF-8.
+  EXPECT_EQ(JsonEscape("\xed\xa0\x80"), "\\ufffd\\ufffd\\ufffd");
+  // Truncated 2-byte sequence at end of string.
+  EXPECT_EQ(JsonEscape("ok\xc3"), "ok\\ufffd");
+}
+
+// --------------------------------------------- cross-thread span stitching
+
+TEST(CrossThreadTraceTest, PoolTaskSpansStitchUnderTheSpawnerSpan) {
+  Trace trace("query");
+  {
+    TraceScope scope(&trace);
+    ScopedSpan phase("phase");
+    cube_internal::ThreadPool pool(4);
+    cube_internal::TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+      group.Spawn([i] {
+        ScopedSpan span("task_span");
+        span.Attr("task", static_cast<uint64_t>(i));
+      });
+    }
+    group.Wait();
+  }
+  ASSERT_EQ(trace.root().children.size(), 1u);
+  const SpanNode& phase = *trace.root().children[0];
+  EXPECT_EQ(phase.name, "phase");
+  size_t task_spans = 0;
+  for (const auto& child : phase.children) {
+    if (child->name == "task_span") {
+      ++task_spans;
+      EXPECT_GE(child->duration_ns, 0);  // closed before the stitch
+    }
+  }
+  EXPECT_EQ(task_spans, 8u);
+}
+
+TEST(CrossThreadTraceTest, NestedSpawnsAttachUnderTheOpenTaskSpan) {
+  Trace trace("query");
+  {
+    TraceScope scope(&trace);
+    ScopedSpan phase("phase");
+    cube_internal::ThreadPool pool(2);
+    cube_internal::TaskGroup group(pool);
+    group.Spawn([&group] {
+      ScopedSpan outer("outer_task");
+      // Captured context points at the outer_task span: the child subtree
+      // must appear under it, mirroring the cascade DAG.
+      group.Spawn([] { ScopedSpan inner("inner_task"); });
+    });
+    group.Wait();
+  }
+  const SpanNode& phase = *trace.root().children[0];
+  const SpanNode* outer = nullptr;
+  for (const auto& child : phase.children) {
+    if (child->name == "outer_task") outer = child.get();
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(outer->children.size(), 1u);
+  EXPECT_EQ(outer->children[0]->name, "inner_task");
+}
+
+TEST(CrossThreadTraceTest, SpawnsFromTaskRootStitchToTheSurvivingTarget) {
+  // A task that spawns with no span of its own open must hand children the
+  // durable stitch target, never its stack-local holder node.
+  Trace trace("query");
+  {
+    TraceScope scope(&trace);
+    ScopedSpan phase("phase");
+    cube_internal::ThreadPool pool(2);
+    cube_internal::TaskGroup group(pool);
+    group.Spawn([&group] {
+      group.Spawn([] { ScopedSpan child("bare_child"); });
+    });
+    group.Wait();
+  }
+  const SpanNode& phase = *trace.root().children[0];
+  bool saw_bare_child = false;
+  for (const auto& child : phase.children) {
+    if (child->name == "bare_child") saw_bare_child = true;
+  }
+  EXPECT_TRUE(saw_bare_child);
+}
+
+TEST(CrossThreadTraceTest, InactiveContextSuspendsTheRunningThreadsTrace) {
+  // A help-first waiter running an *untraced* query's task must not adopt
+  // that task's spans into its own trace.
+  Trace trace("mine");
+  TraceScope scope(&trace);
+  {
+    TaskTraceScope task{SpanContext{}};
+    ScopedSpan foreign("foreign_span");
+    EXPECT_FALSE(foreign.active());
+    EXPECT_FALSE(TracingActive());
+  }
+  ScopedSpan after("after");
+  EXPECT_TRUE(after.active());
+  EXPECT_EQ(trace.root().children.size(), 1u);  // only "after"
+}
+
+TEST(CrossThreadTraceTest, UntracedSpawnKeepsTasksFree) {
+  cube_internal::ThreadPool pool(2);
+  cube_internal::TaskGroup group(pool);
+  std::atomic<bool> any_active{false};
+  for (int i = 0; i < 4; ++i) {
+    group.Spawn([&any_active] {
+      ScopedSpan span("should_be_inactive");
+      if (span.active()) any_active = true;
+    });
+  }
+  group.Wait();
+  EXPECT_FALSE(any_active.load());
+}
+
+// --------------------------------------------------------- top-K rendering
+
+TEST(TraceRenderTest, WideFanoutsCollapseToTopKPlusRollup) {
+  Trace trace("query");
+  for (int i = 0; i < 12; ++i) {
+    auto node = std::make_unique<SpanNode>();
+    node->name = "merge_partition";
+    node->duration_ns = (i + 1) * 1000;
+    trace.root().children.push_back(std::move(node));
+  }
+  auto odd = std::make_unique<SpanNode>();
+  odd->name = "assemble_result";
+  odd->duration_ns = 500;
+  trace.root().children.push_back(std::move(odd));
+
+  std::string text = trace.Render(/*top_k=*/3);
+  EXPECT_NE(text.find("... 9 more merge_partition  total"), std::string::npos);
+  // The three longest render; the shortest members do not.
+  EXPECT_NE(text.find("12.0us"), std::string::npos);
+  // Small groups render in full regardless of the cap.
+  EXPECT_NE(text.find("assemble_result"), std::string::npos);
+
+  // top_k = 0 renders everything.
+  std::string full = trace.Render(0);
+  EXPECT_EQ(full.find("more merge_partition"), std::string::npos);
+  size_t count = 0, pos = 0;
+  while ((pos = full.find("merge_partition", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 12u);
+}
+
+// ------------------------------------------------------------- trace ring
+
+TEST(TraceLogTest, KeepsTheNewestCapacityTraces) {
+  TraceLog log(2);
+  log.Record(TraceRecord{"a", 1, "{}"});
+  log.Record(TraceRecord{"b", 2, "{}"});
+  log.Record(TraceRecord{"c", 3, "{}"});
+  std::vector<TraceRecord> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].root_name, "b");
+  EXPECT_EQ(snap[1].root_name, "c");
+  EXPECT_EQ(log.total_recorded(), 3u);
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"total_recorded\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"root\":\"c\""), std::string::npos);
+}
+
+TEST(TraceLogTest, OutermostTraceScopeRecordsIntoTheGlobalRing) {
+  uint64_t before = TraceLog::Global().total_recorded();
+  {
+    Trace trace("ring_test_query");
+    TraceScope scope(&trace);
+    ScopedSpan span("work");
+  }
+  EXPECT_EQ(TraceLog::Global().total_recorded(), before + 1);
+  std::vector<TraceRecord> snap = TraceLog::Global().Snapshot();
+  ASSERT_FALSE(snap.empty());
+  EXPECT_EQ(snap.back().root_name, "ring_test_query");
+  EXPECT_NE(snap.back().json.find("\"name\":\"work\""), std::string::npos);
+}
+
+TEST(TraceLogTest, NestedScopesRecordOnlyTheOutermostTrace) {
+  uint64_t before = TraceLog::Global().total_recorded();
+  {
+    Trace outer("outer");
+    TraceScope outer_scope(&outer);
+    {
+      Trace inner("inner");
+      TraceScope inner_scope(&inner);
+    }
+    // The nested trace is *not* outermost-recorded: its scope restored an
+    // installed trace.
+    EXPECT_EQ(TraceLog::Global().total_recorded(), before);
+  }
+  EXPECT_EQ(TraceLog::Global().total_recorded(), before + 1);
+}
+
+// -------------------------------------------------------------- build info
+
+TEST(BuildInfoTest, RegistersBuildInfoAndStartTime) {
+  MetricsRegistry reg;
+  RegisterBuildInfo(reg);
+  std::string prom = reg.RenderPrometheus();
+  EXPECT_NE(prom.find("# TYPE datacube_build_info gauge"), std::string::npos);
+  EXPECT_NE(prom.find("datacube_build_info{version=\""), std::string::npos);
+  EXPECT_NE(prom.find("compiler=\""), std::string::npos);
+  EXPECT_NE(prom.find("sanitizer=\""), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE process_start_time_seconds gauge"),
+            std::string::npos);
+}
+
+TEST(BuildInfoTest, GlobalRegistryHasBuildInfoByDefault) {
+  std::string prom = MetricsRegistry::Global().RenderPrometheus();
+  EXPECT_NE(prom.find("datacube_build_info{"), std::string::npos);
+  EXPECT_NE(prom.find("process_start_time_seconds"), std::string::npos);
+}
+
+// ----------------------------------------------------------- query profiles
+
+TEST(QueryProfileTest, ToJsonLineCarriesStructureAndEscapes) {
+  QueryProfile p;
+  p.query = "SELECT \"x\"\nFROM t \xff";
+  p.start_unix_ms = 1700000000000;
+  p.wall_ms = 12.5;
+  p.scan_ms = 4.0;
+  p.merge_ms = 2.0;
+  p.cascade_ms = 1.0;
+  p.algorithm = "from_core";
+  p.threads = 4;
+  p.input_rows = 1000;
+  p.output_cells = 64;
+  p.arena_peak_bytes = 4096;
+  p.counters = {{"iter_calls", 1000}, {"merge_tasks", 16}};
+  p.lattice = "budget=1024 views=3";
+  p.slow = true;
+  std::string line = p.ToJsonLine();
+  EXPECT_NE(line.find("\"query\":\"SELECT \\\"x\\\"\\nFROM t \\ufffd\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"wall_ms\":12.500"), std::string::npos);
+  EXPECT_NE(line.find("\"phases\":{\"scan_ms\":4.000"), std::string::npos);
+  EXPECT_NE(line.find("\"algorithm\":\"from_core\""), std::string::npos);
+  EXPECT_NE(line.find("\"threads\":4"), std::string::npos);
+  EXPECT_NE(line.find("\"counters\":{\"iter_calls\":1000,\"merge_tasks\":16}"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"lattice\":\"budget=1024 views=3\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"slow\":true"), std::string::npos);
+  // Serial profile omits the phases object.
+  QueryProfile serial;
+  serial.query = "q";
+  EXPECT_EQ(serial.ToJsonLine().find("\"phases\""), std::string::npos);
+}
+
+TEST(QueryProfileTest, RingEvictsOldestAndCounts) {
+  QueryProfileLog log(2);
+  for (int i = 0; i < 3; ++i) {
+    QueryProfile p;
+    p.query = "q" + std::to_string(i);
+    log.Record(std::move(p));
+  }
+  std::vector<QueryProfile> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].query, "q1");
+  EXPECT_EQ(snap[1].query, "q2");
+  EXPECT_EQ(log.total_recorded(), 3u);
+  EXPECT_GT(snap[0].start_unix_ms, 0);  // stamped by Record
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"profiles\":["), std::string::npos);
+}
+
+TEST(QueryProfileTest, SlowThresholdResolution) {
+  QueryProfileLog log(4);
+  EXPECT_LT(log.EffectiveSlowThresholdMs(-1.0), 0.0);  // disabled by default
+  log.ConfigureSlowLog(100.0, "");
+  EXPECT_EQ(log.EffectiveSlowThresholdMs(-1.0), 100.0);
+  EXPECT_EQ(log.EffectiveSlowThresholdMs(5.0), 5.0);  // per-query override
+  EXPECT_EQ(log.EffectiveSlowThresholdMs(0.0), 0.0);  // 0 = everything slow
+  log.ConfigureSlowLog(-1.0, "");
+  EXPECT_LT(log.EffectiveSlowThresholdMs(-1.0), 0.0);
+}
+
+TEST(QueryProfileTest, SlowProfilesAppendToTheJsonlLog) {
+  std::string path = testing::TempDir() + "datacube_slow_test.jsonl";
+  std::remove(path.c_str());
+  QueryProfileLog log(4);
+  log.ConfigureSlowLog(0.0, path);
+  QueryProfile fast;
+  fast.query = "fast";
+  log.Record(std::move(fast));  // not marked slow: no line
+  QueryProfile slow;
+  slow.query = "slow \"one\"";
+  slow.wall_ms = 9.0;
+  slow.slow = true;
+  log.Record(std::move(slow));
+  EXPECT_EQ(log.slow_recorded(), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"query\":\"slow \\\"one\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"slow\":true"), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));  // exactly one line
+  std::remove(path.c_str());
+}
+
+TEST(QueryProfileTest, QueryTextScopeInstallsAndRestores) {
+  EXPECT_EQ(CurrentQueryText(), nullptr);
+  std::string outer_text = "SELECT 1";
+  {
+    QueryTextScope outer(outer_text);
+    ASSERT_NE(CurrentQueryText(), nullptr);
+    EXPECT_EQ(*CurrentQueryText(), "SELECT 1");
+    std::string inner_text = "SELECT 2";
+    {
+      QueryTextScope inner(inner_text);
+      EXPECT_EQ(*CurrentQueryText(), "SELECT 2");
+    }
+    EXPECT_EQ(*CurrentQueryText(), "SELECT 1");
+  }
+  EXPECT_EQ(CurrentQueryText(), nullptr);
+}
+
+TEST(QueryProfileTest, ExecuteCubeEmitsAProfile) {
+  Table sales = Table3SalesTable().value();
+  uint64_t before = QueryProfileLog::Global().total_recorded();
+  Result<CubeResult> result =
+      Cube(sales, {GroupCol("Model"), GroupCol("Year"), GroupCol("Color")},
+           {Agg("sum", "Units")}, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(QueryProfileLog::Global().total_recorded(), before + 1);
+  QueryProfile p = QueryProfileLog::Global().Snapshot().back();
+  // No SQL text installed: the profile carries the spec digest.
+  EXPECT_NE(p.query.find("cube(Model,Year,Color)"), std::string::npos);
+  EXPECT_NE(p.query.find("sum"), std::string::npos);
+  EXPECT_GT(p.wall_ms, 0.0);
+  EXPECT_FALSE(p.algorithm.empty());
+  EXPECT_EQ(p.input_rows, sales.num_rows());
+  EXPECT_EQ(p.output_cells, result.value().stats.output_cells);
+  bool saw_iter_calls = false;
+  for (const auto& [name, value] : p.counters) {
+    if (name == "iter_calls") {
+      saw_iter_calls = true;
+      EXPECT_EQ(value, result.value().stats.iter_calls);
+    }
+  }
+  EXPECT_TRUE(saw_iter_calls);
+  EXPECT_FALSE(p.slow);  // no threshold configured
+}
+
+TEST(QueryProfileTest, PerQueryThresholdMarksSlowAndCounts) {
+  Table sales = Table3SalesTable().value();
+  uint64_t slow_before =
+      MetricsRegistry::Global().CounterValue("datacube_slow_queries_total");
+  CubeOptions options;
+  options.slow_query_ms = 0.0;  // everything is slow
+  Result<CubeResult> result =
+      Cube(sales, {GroupCol("Model"), GroupCol("Color")},
+           {Agg("sum", "Units")}, options);
+  ASSERT_TRUE(result.ok());
+  QueryProfile p = QueryProfileLog::Global().Snapshot().back();
+  EXPECT_TRUE(p.slow);
+  EXPECT_EQ(
+      MetricsRegistry::Global().CounterValue("datacube_slow_queries_total"),
+      slow_before + 1);
 }
 
 }  // namespace

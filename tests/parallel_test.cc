@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "datacube/cube/cube_operator.h"
+#include "datacube/obs/trace.h"
 #include "datacube/testing/differential.h"
 #include "datacube/testing/random_table.h"
 #include "datacube/workload/sales.h"
@@ -120,6 +121,71 @@ TEST(ParallelDeterminismTest, CountersDescribeTheParallelRun) {
   EXPECT_GE(stats.scan_seconds, 0.0);
   EXPECT_GE(stats.merge_seconds, 0.0);
   EXPECT_GE(stats.cascade_seconds, 0.0);
+}
+
+size_t CountSpans(const obs::SpanNode& node, const std::string& name) {
+  size_t count = node.name == name ? 1 : 0;
+  for (const auto& child : node.children) count += CountSpans(*child, name);
+  return count;
+}
+
+uint64_t SumSpanAttr(const obs::SpanNode& node, const std::string& span_name,
+                     const std::string& attr) {
+  uint64_t total = 0;
+  if (node.name == span_name) {
+    if (const std::string* v = node.FindAttr(attr)) {
+      total += std::stoull(*v);
+    }
+  }
+  for (const auto& child : node.children) {
+    total += SumSpanAttr(*child, span_name, attr);
+  }
+  return total;
+}
+
+TEST(ParallelTraceTest, StitchedTaskSpansMatchTheRunCounters) {
+  Table input = SweepInput();
+  CubeSpec spec = ThreeDimSpec();
+  CubeOptions options;
+  options.num_threads = 2;
+  options.morsel_rows = 1000;
+  options.num_partitions = 4;
+  obs::Trace trace("query");
+  CubeStats stats;
+  {
+    obs::TraceScope scope(&trace);
+    Result<CubeResult> r = ExecuteCube(input, spec, options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    stats = r->stats;
+  }
+  ASSERT_EQ(stats.threads_used, 2);
+  const obs::SpanNode& root = trace.root();
+  // Every pool task's span was stitched back under the query root: counts
+  // agree exactly with what CubeStats says ran.
+  EXPECT_EQ(CountSpans(root, "morsel_scan"),
+            static_cast<size_t>(stats.threads_used));
+  EXPECT_EQ(CountSpans(root, "merge_partition"), stats.merge_tasks);
+  EXPECT_EQ(CountSpans(root, "cascade_set"), stats.cascade_tasks);
+  // The morsel counts the scan workers reported sum to the dispatch total.
+  EXPECT_EQ(SumSpanAttr(root, "morsel_scan", "morsels"),
+            stats.morsels_dispatched);
+  // Merge tasks each report their partition's resulting cells; jointly they
+  // hold the whole GROUP BY core. (cells_absorbed can be legitimately zero
+  // when one fast worker scanned every morsel, so assert on "cells".)
+  EXPECT_GT(SumSpanAttr(root, "merge_partition", "cells"), 0u);
+  // The phase spans are on the spawning thread, under execute_cube.
+  ASSERT_EQ(root.children.size(), 1u);
+  const obs::SpanNode& exec = *root.children[0];
+  EXPECT_EQ(exec.name, "execute_cube");
+  EXPECT_EQ(CountSpans(exec, "parallel_scan"), 1u);
+  EXPECT_EQ(CountSpans(exec, "parallel_merge"), 1u);
+  EXPECT_EQ(CountSpans(exec, "parallel_cascade"), 1u);
+  // Rendering a wide parallel trace aggregates past the top-K cap without
+  // losing the totals.
+  std::string text = trace.Render(/*top_k=*/2);
+  EXPECT_NE(text.find("merge_partition"), std::string::npos);
+  EXPECT_NE(text.find("... 2 more merge_partition  total"), std::string::npos)
+      << text;
 }
 
 TEST(ParallelDeterminismTest, AutoPartitionsAreFourPerWorker) {

@@ -682,6 +682,33 @@ TEST(ExplainTest, BudgetIgnoredForHolisticAggregates) {
       << analyzed_text;
 }
 
+TEST(ExplainTest, AnalyzeParallelQueryShowsStitchedTaskSpans) {
+  Catalog catalog;
+  Table big = GenerateSales({.num_rows = 20000}).value();
+  ASSERT_TRUE(catalog.Register("BigSales", big).ok());
+  EngineOptions options;
+  options.cube.num_threads = 2;
+  options.cube.num_partitions = 4;
+  options.cube.morsel_rows = 1000;
+  Table t = MustRun(
+      "EXPLAIN ANALYZE SELECT Model, Color, SUM(Units) FROM BigSales "
+      "GROUP BY CUBE Model, Color",
+      catalog, options);
+  std::string text = PlanText(t);
+  EXPECT_NE(text.find("parallel: threads=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("partitions=4"), std::string::npos) << text;
+  // The span tree shows the phase spans with the pool-thread task spans
+  // (morsel scans, partition merges, cascade sets) stitched under them —
+  // work that ran on worker threads, attached under the query root.
+  EXPECT_NE(text.find("parallel_scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("morsel_scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("parallel_merge"), std::string::npos) << text;
+  EXPECT_NE(text.find("merge_partition"), std::string::npos) << text;
+  EXPECT_NE(text.find("parallel_cascade"), std::string::npos) << text;
+  EXPECT_NE(text.find("cascade_set"), std::string::npos) << text;
+  EXPECT_NE(text.find("cells_absorbed="), std::string::npos) << text;
+}
+
 TEST(ExplainTest, AnalyzeProjectionQuery) {
   Catalog catalog = TestCatalog();
   Table t = MustRun(

@@ -1,0 +1,186 @@
+#include "datacube/obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "datacube/obs/metrics.h"
+#include "datacube/obs/query_profile.h"
+#include "datacube/sql/engine.h"
+#include "datacube/workload/sales.h"
+
+namespace datacube::obs {
+namespace {
+
+// Minimal raw-socket HTTP client: sends one GET, returns the full response
+// (status line + headers + body) or "" on any failure.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// ------------------------------------------------------- routing (no socket)
+
+TEST(StatsServerHandleTest, MetricsRouteRendersPrometheus) {
+  MetricsRegistry::Global()
+      .GetCounter("datacube_handle_test_total", "route test counter")
+      .Inc(7);
+  StatsServer::Response r = StatsServer::Handle("GET", "/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE datacube_handle_test_total counter"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("datacube_handle_test_total 7"), std::string::npos);
+  EXPECT_NE(r.body.find("datacube_build_info{"), std::string::npos);
+  EXPECT_NE(r.body.find("process_start_time_seconds"), std::string::npos);
+}
+
+TEST(StatsServerHandleTest, VarzRouteRendersJson) {
+  StatsServer::Response r = StatsServer::Handle("GET", "/varz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  EXPECT_EQ(r.body.front(), '{');
+  EXPECT_NE(r.body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"gauges\""), std::string::npos);
+}
+
+TEST(StatsServerHandleTest, QueryzAndTracezRouteToTheRings) {
+  StatsServer::Response q = StatsServer::Handle("GET", "/queryz");
+  EXPECT_EQ(q.status, 200);
+  EXPECT_NE(q.body.find("\"profiles\""), std::string::npos);
+  StatsServer::Response t = StatsServer::Handle("GET", "/tracez");
+  EXPECT_EQ(t.status, 200);
+  EXPECT_NE(t.body.find("\"traces\""), std::string::npos);
+}
+
+TEST(StatsServerHandleTest, IndexUnknownAndMethodRouting) {
+  EXPECT_EQ(StatsServer::Handle("GET", "/").status, 200);
+  EXPECT_NE(StatsServer::Handle("GET", "/").body.find("/metrics"),
+            std::string::npos);
+  EXPECT_EQ(StatsServer::Handle("GET", "/nope").status, 404);
+  EXPECT_EQ(StatsServer::Handle("POST", "/metrics").status, 405);
+  EXPECT_EQ(StatsServer::Handle("DELETE", "/").status, 405);
+}
+
+// ------------------------------------------------------------ socket server
+
+TEST(StatsServerTest, ServesMetricsOverHttp) {
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_GT((*server)->port(), 0);
+  std::string response = HttpGet((*server)->port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("datacube_build_info{"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE"), std::string::npos);
+}
+
+TEST(StatsServerTest, QueryzShowsAJustRunQuery) {
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  Table sales = Table3SalesTable().value();
+  sql::Catalog catalog;
+  ASSERT_TRUE(catalog.Register("Sales", sales).ok());
+  const std::string query =
+      "SELECT Model, Color, SUM(Units) FROM Sales GROUP BY CUBE Model, Color";
+  Result<Table> result = sql::ExecuteSql(query, catalog, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::string response = HttpGet((*server)->port(), "/queryz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("GROUP BY CUBE Model, Color"), std::string::npos);
+  EXPECT_NE(response.find("\"algorithm\":"), std::string::npos);
+}
+
+TEST(StatsServerTest, UnknownPathIs404AndQueryStringIsIgnored) {
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_NE(HttpGet((*server)->port(), "/missing").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(HttpGet((*server)->port(), "/varz?pretty=1")
+                .find("HTTP/1.1 200 OK"),
+            std::string::npos);
+}
+
+TEST(StatsServerTest, CountsRequestsByPathAndCode) {
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  uint64_t before = reg.CounterValue(
+      "datacube_stats_requests_total",
+      {{"path", "/metrics"}, {"code", "200"}});
+  ASSERT_FALSE(HttpGet((*server)->port(), "/metrics").empty());
+  EXPECT_EQ(reg.CounterValue("datacube_stats_requests_total",
+                             {{"path", "/metrics"}, {"code", "200"}}),
+            before + 1);
+  // Unknown paths collapse into one "other" series.
+  ASSERT_FALSE(HttpGet((*server)->port(), "/secret/../../etc").empty());
+  EXPECT_GE(reg.CounterValue("datacube_stats_requests_total",
+                             {{"path", "other"}, {"code", "404"}}),
+            1u);
+}
+
+TEST(StatsServerTest, StartStopIsCleanAndRepeatable) {
+  for (int round = 0; round < 3; ++round) {
+    Result<std::unique_ptr<StatsServer>> server = StatsServer::Start();
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    if (round % 2 == 0) {
+      ASSERT_FALSE(HttpGet((*server)->port(), "/").empty());
+    }
+    (*server)->Stop();  // explicit stop; destructor must tolerate a second
+  }
+}
+
+TEST(StatsServerTest, TwoServersBindDistinctEphemeralPorts) {
+  Result<std::unique_ptr<StatsServer>> a = StatsServer::Start();
+  Result<std::unique_ptr<StatsServer>> b = StatsServer::Start();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE((*a)->port(), (*b)->port());
+  EXPECT_FALSE(HttpGet((*a)->port(), "/").empty());
+  EXPECT_FALSE(HttpGet((*b)->port(), "/").empty());
+}
+
+TEST(StatsServerTest, RejectsBadHost) {
+  StatsServer::Options options;
+  options.host = "not-an-ip";
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start(options);
+  EXPECT_FALSE(server.ok());
+}
+
+}  // namespace
+}  // namespace datacube::obs

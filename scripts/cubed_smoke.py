@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for cubed: concurrent clients, deadlines, slow-loris.
+
+Usage: cubed_smoke.py <base-url>
+
+Drives a running cubed (boot it first, e.g. `cubed --port 0` and scrape the
+"listening on" line) through the serving surface the unit tests can't cover
+end-to-end:
+
+  * N concurrent /query clients issuing mini-SQL, all answers checked
+  * register / query / drop round trip through snapshot swaps under load
+  * a per-query deadline that must come back 504, not hang
+  * a slow-loris client dribbling bytes at /metrics while a fast scrape
+    must still complete promptly (locks in the serial-accept-loop fix),
+    with the loris itself ending in 408
+  * method handling: POST /metrics is 405, HEAD /metrics is headers-only
+  * line protocol: one-line SQL over a raw TCP connection
+
+Exits nonzero with a message on the first failure.
+"""
+
+import json
+import select
+import socket
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def fetch(url, method="GET", data=None, timeout=10):
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode()
+
+
+def query(base, sql, extra=""):
+    q = urllib.parse.quote(sql)
+    return fetch(f"{base}/query?q={q}{extra}")
+
+
+def check_concurrent_queries(base, num_clients=6, per_client=4):
+    sql = "SELECT Model, SUM(Units) FROM Sales GROUP BY CUBE Model"
+    errors = []
+
+    def client(idx):
+        for _ in range(per_client):
+            status, body = query(base, sql)
+            if status != 200:
+                errors.append(f"client {idx}: HTTP {status}: {body.strip()}")
+                return
+            if "ALL,510" not in body:
+                errors.append(f"client {idx}: bad cube result: {body!r}")
+                return
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(num_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for e in errors:
+        fail(e)
+    if not errors:
+        print(f"ok: {num_clients} concurrent clients x {per_client} queries")
+
+
+def check_register_roundtrip(base):
+    csv = "kind,n\ncat,2\ndog,3\n"
+    status, body = fetch(f"{base}/register?name=smoke_pets",
+                         method="POST", data=csv.encode())
+    if status != 200:
+        return fail(f"/register: HTTP {status}: {body.strip()}")
+    status, body = query(base,
+                         "SELECT kind, SUM(n) FROM smoke_pets GROUP BY CUBE kind")
+    if status != 200 or "ALL,5" not in body:
+        return fail(f"query over registered table: HTTP {status}: {body!r}")
+    status, body = fetch(f"{base}/drop?name=smoke_pets", method="POST")
+    if status != 200:
+        return fail(f"/drop: HTTP {status}: {body.strip()}")
+    status, body = query(base, "SELECT kind, SUM(n) FROM smoke_pets GROUP BY kind")
+    if status != 404:
+        return fail(f"query after drop: expected 404, got {status}")
+    print("ok: register / query / drop round trip")
+
+
+def check_deadline(base):
+    sql = ("SELECT Model, Color, Dealer, SUM(Units), AVG(Price) "
+           "FROM BigSales GROUP BY CUBE Model, Color, Dealer")
+    for _ in range(3):
+        status, body = query(base, sql, "&deadline_ms=1")
+        if status == 504:
+            print("ok: 1ms deadline came back 504")
+            return
+    fail(f"deadline query: expected 504, last got {status}: {body.strip()}")
+
+
+def check_slow_loris(base):
+    host, port = urllib.parse.urlparse(base).netloc.rsplit(":", 1)
+    loris_result = {}
+
+    def loris():
+        s = socket.create_connection((host, int(port)), timeout=15)
+        try:
+            s.sendall(b"GET /metrics HTTP/1.1\r\n")
+            # Dribble header bytes until the server answers (408) or the
+            # dribble budget runs out; poll for the response between bytes
+            # so it is read while the server is still draining us.
+            data = b""
+            for ch in b"X-Slow: " + b"a" * 200:
+                if select.select([s], [], [], 0)[0]:
+                    break
+                try:
+                    s.sendall(bytes([ch]))
+                except OSError:
+                    break
+                time.sleep(0.05)
+            s.settimeout(10)
+            try:
+                while chunk := s.recv(4096):
+                    data += chunk
+            except OSError:
+                pass
+            loris_result["response"] = data.decode(errors="replace")
+        finally:
+            s.close()
+
+    t = threading.Thread(target=loris)
+    t.start()
+    time.sleep(0.3)  # let the loris get its claws in
+    start = time.monotonic()
+    status, body = fetch(f"{base}/metrics")
+    elapsed = time.monotonic() - start
+    if status != 200:
+        fail(f"scrape during slow-loris: HTTP {status}")
+    elif elapsed > 2.0:
+        fail(f"scrape during slow-loris took {elapsed:.2f}s "
+             "(serial connection handling regression)")
+    else:
+        print(f"ok: /metrics scraped in {elapsed * 1000:.0f}ms "
+              "while a slow-loris client stalled")
+    t.join()
+    resp = loris_result.get("response", "")
+    if "408" not in resp.split("\r\n", 1)[0]:
+        fail(f"slow-loris client: expected 408, got {resp[:80]!r}")
+    else:
+        print("ok: slow-loris client answered 408")
+
+
+def check_methods(base):
+    status, _ = fetch(f"{base}/metrics", method="POST", data=b"x")
+    if status != 405:
+        fail(f"POST /metrics: expected 405, got {status}")
+    else:
+        print("ok: POST /metrics rejected with 405")
+    req = urllib.request.Request(f"{base}/metrics", method="HEAD")
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        clen = int(resp.headers["Content-Length"])
+        body = resp.read()
+    if clen <= 0 or body:
+        fail(f"HEAD /metrics: Content-Length {clen}, body {len(body)} bytes")
+    else:
+        print("ok: HEAD /metrics is headers-only with true Content-Length")
+
+
+def check_line_protocol(base):
+    host, port = urllib.parse.urlparse(base).netloc.rsplit(":", 1)
+    s = socket.create_connection((host, int(port)), timeout=10)
+    s.sendall(b"SELECT Model, SUM(Units) FROM Sales GROUP BY CUBE Model\n")
+    data = b""
+    while chunk := s.recv(4096):
+        data += chunk
+    s.close()
+    text = data.decode()
+    if "HTTP/" in text or "ALL,510" not in text:
+        return fail(f"line protocol: unexpected response {text[:120]!r}")
+    print("ok: line protocol answered raw CSV")
+
+
+def check_introspection(base):
+    status, body = fetch(f"{base}/healthz")
+    if status != 200 or not json.loads(body).get("ok"):
+        return fail(f"/healthz: HTTP {status}: {body.strip()}")
+    status, body = fetch(f"{base}/tables")
+    names = [t["name"] for t in json.loads(body)["tables"]]
+    if "Sales" not in names or "BigSales" not in names:
+        return fail(f"/tables missing preloads: {names}")
+    status, body = fetch(f"{base}/queries")
+    json.loads(body)
+    print("ok: /healthz /tables /queries")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base = sys.argv[1].rstrip("/")
+    check_concurrent_queries(base)
+    check_register_roundtrip(base)
+    check_deadline(base)
+    check_slow_loris(base)
+    check_methods(base)
+    check_line_protocol(base)
+    check_introspection(base)
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("cubed smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+#ifndef DATACUBE_COMMON_EXEC_CONTROL_H_
+#define DATACUBE_COMMON_EXEC_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "datacube/common/status.h"
+
+namespace datacube {
+
+/// Cooperative cancellation and deadline for one query execution. The owner
+/// (a serving layer, a test, a caller with a timeout) creates one, hands a
+/// pointer to CubeOptions::control, and may Cancel() from any thread; the
+/// execution engine polls Check() at work boundaries (each morsel on the
+/// parallel scan, each grouping set / lattice node on the serial paths) and
+/// unwinds with kCancelled / kDeadlineExceeded when tripped.
+///
+/// All members are atomics: Cancel() and set_deadline* may race with an
+/// in-flight execution's Check() calls by design.
+class ExecControl {
+ public:
+  ExecControl() = default;
+  ExecControl(const ExecControl&) = delete;
+  ExecControl& operator=(const ExecControl&) = delete;
+
+  /// Requests cooperative cancellation; idempotent, callable from any
+  /// thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute deadline on the steady clock; 0 nanoseconds = no deadline.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline `ms` milliseconds from now. ms <= 0 clears it.
+  void set_deadline_after_ms(int64_t ms) {
+    if (ms <= 0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(ms));
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// OK while the execution may continue; kCancelled after Cancel(),
+  /// kDeadlineExceeded once the deadline passes. Cancellation wins when both
+  /// have tripped (it is the more specific caller intent).
+  Status Check() const {
+    if (cancel_requested()) {
+      return Status::Cancelled("query cancelled");
+    }
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in raw time_since_epoch nanoseconds (the rep of
+  /// steady_clock::duration); 0 = none. Stored as an integer so it can be
+  /// (re)set while an execution is polling it.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+/// Null-safe check: no control means never interrupted.
+inline Status CheckControl(const ExecControl* control) {
+  return control == nullptr ? Status::OK() : control->Check();
+}
+
+}  // namespace datacube
+
+#endif  // DATACUBE_COMMON_EXEC_CONTROL_H_

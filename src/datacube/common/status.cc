@@ -24,6 +24,12 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -19,6 +19,12 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kIOError,
+  /// The caller (or an admin) cancelled the operation cooperatively.
+  kCancelled,
+  /// The operation's deadline passed before it finished.
+  kDeadlineExceeded,
+  /// The service is temporarily over capacity (admission control).
+  kUnavailable,
 };
 
 /// A success-or-error outcome. All fallible public APIs in this library
@@ -59,6 +65,15 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

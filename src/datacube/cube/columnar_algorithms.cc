@@ -68,6 +68,7 @@ Result<SetStores> ColumnarNaive2N(const ColumnarContext& cc,
   }
   std::vector<uint64_t> key(cc.words);
   for (size_t row = 0; row < ctx.num_rows(); ++row) {
+    if ((row & 0xFFFF) == 0) DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
     const uint64_t* rk = cc.RowKey(row);
     for (size_t s = 0; s < ctx.sets.size(); ++s) {
       MaskKey(rk, masks[s], key.data());
@@ -84,8 +85,10 @@ Result<SetStores> ColumnarUnionGroupBy(const ColumnarContext& cc,
   SetStores maps;
   maps.reserve(cc.ctx->sets.size());
   for (GroupingSet set : cc.ctx->sets) {
+    DATACUBE_RETURN_IF_ERROR(cc.ctx->ControlStatus());
     maps.push_back(FlatGroupBy(cc, set, stats));
   }
+  DATACUBE_RETURN_IF_ERROR(cc.ctx->ControlStatus());
   return maps;
 }
 
@@ -102,6 +105,7 @@ Result<SetStores> ColumnarCascadeFromCore(const ColumnarContext& cc,
   GroupingSet full = FullSet(ctx.num_keys);
   std::vector<uint64_t> key(cc.words);
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
     const LatticePlan::Node& node = plan.nodes[i];
     obs::ScopedSpan span("compute_set");
     if (span.active()) {
@@ -147,6 +151,7 @@ Result<SetStores> ColumnarCascadeFromCore(const ColumnarContext& cc,
       span.Attr("cells", static_cast<uint64_t>(cells.size()));
     }
   }
+  DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
   return maps;
 }
 
@@ -204,7 +209,11 @@ Result<SetStores> ColumnarSortFromCore(const ColumnarContext& cc,
     obs::ScopedSpan scan_span("scan_sorted_core");
     char* open = nullptr;
     const uint64_t* open_key = nullptr;
+    size_t scanned = 0;
     for (size_t r : rows) {
+      if ((scanned++ & 0xFFFF) == 0) {
+        DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
+      }
       const uint64_t* rk = cc.RowKey(r);
       if (open == nullptr ||
           std::memcmp(rk, open_key, cc.words * sizeof(uint64_t)) != 0) {
@@ -302,7 +311,11 @@ Result<SetStores> ColumnarSortRollup(const ColumnarContext& cc,
 
   size_t prev_row = 0;
   bool have_prev = false;
+  size_t scanned = 0;
   for (size_t r : rows) {
+    if ((scanned++ & 0xFFFF) == 0) {
+      DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
+    }
     const uint64_t* rk = cc.RowKey(r);
     // Longest matching prefix (in column_order) with the previous row.
     size_t match = 0;
@@ -423,6 +436,7 @@ Result<SetStores> ColumnarArrayCube(const ColumnarContext& cc,
 
   // Fill the core.
   for (size_t row = 0; row < ctx.num_rows(); ++row) {
+    if ((row & 0xFFFF) == 0) DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
     const uint64_t* rk = cc.RowKey(row);
     size_t idx = 0;
     for (size_t k = 0; k < ctx.num_keys; ++k) {
@@ -438,6 +452,7 @@ Result<SetStores> ColumnarArrayCube(const ColumnarContext& cc,
   GroupingSet full = FullSet(ctx.num_keys);
   for (GroupingSet set : ctx.sets) {
     if (set == full) continue;
+    DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
     size_t best_d = ctx.num_keys;
     for (size_t d = 0; d < ctx.num_keys; ++d) {
       if (IsGrouped(set, d)) continue;

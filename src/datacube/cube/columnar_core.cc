@@ -449,15 +449,21 @@ CellStore FlatGroupBy(const ColumnarContext& cc, GroupingSet set,
   std::vector<uint64_t> mask = cc.codec.MaskForSet(set);
   size_t num_rows = cc.ctx->num_rows();
   uint64_t before_rehashes = cells.stats().rehashes;
+  // Interruption: break out chunk-wise when the execution's control has
+  // tripped. The partial store is discarded by the caller, which polls
+  // ControlStatus() at the next set/node boundary and unwinds with the error.
+  constexpr size_t kControlChunkMask = 0xFFFF;
   if (cc.words == 1) {
     uint64_t m = mask[0];
     for (size_t row = 0; row < num_rows; ++row) {
+      if ((row & kControlChunkMask) == 0 && cc.ctx->Interrupted()) break;
       uint64_t key = cc.row_keys[row] & m;
       cc.IterRow(cells.FindOrInsert(&key), row, stats);
     }
   } else {
     std::vector<uint64_t> key(cc.words);
     for (size_t row = 0; row < num_rows; ++row) {
+      if ((row & kControlChunkMask) == 0 && cc.ctx->Interrupted()) break;
       const uint64_t* rk = cc.RowKey(row);
       for (size_t w = 0; w < cc.words; ++w) key[w] = rk[w] & mask[w];
       cc.IterRow(cells.FindOrInsert(key.data()), row, stats);

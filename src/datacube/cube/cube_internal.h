@@ -65,7 +65,21 @@ struct CubeContext {
   int full_set_index = -1;
   bool all_mergeable = true;
 
+  /// Cooperative cancellation for this execution (CubeOptions::control);
+  /// set by ExecuteCube, nullptr for uncontrolled executions. Algorithms
+  /// poll ControlStatus() at work boundaries.
+  const ExecControl* control = nullptr;
+
   size_t num_rows() const { return input->num_rows(); }
+
+  /// OK, or why the execution must stop (cancelled / deadline exceeded).
+  Status ControlStatus() const { return CheckControl(control); }
+
+  /// Cheap interrupted test for inner loops that unwind through a caller's
+  /// ControlStatus() check rather than returning a Status themselves.
+  bool Interrupted() const {
+    return control != nullptr && !control->Check().ok();
+  }
 
   /// Full-width key for `row` under `set` (ALL in ungrouped positions).
   std::vector<Value> MaskedKey(size_t row, GroupingSet set) const;

@@ -399,10 +399,12 @@ Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
 
   // The columnar one-shot path encodes plain column-reference keys straight
   // from the table, so it skips materializing them as Value vectors.
+  DATACUBE_RETURN_IF_ERROR(CheckControl(options.control));
   bool legacy_core = UseLegacyCellMap(options);
   DATACUBE_ASSIGN_OR_RETURN(
       CubeContext ctx,
       BuildCubeContext(input, spec, /*materialize_ref_keys=*/legacy_core));
+  ctx.control = options.control;
 
   CubeStats stats;
   stats.algorithm_requested = options.algorithm;

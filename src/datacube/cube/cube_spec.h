@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "datacube/common/exec_control.h"
 #include "datacube/cube/grouping_set.h"
 #include "datacube/expr/expr.h"
 
@@ -166,6 +167,13 @@ struct CubeOptions {
   /// DATACUBE_MATERIALIZE_BUDGET environment variable (bytes; the option
   /// wins when both are set).
   size_t materialize_budget_bytes = 0;
+  /// Cooperative cancellation / deadline for this execution. Not owned; the
+  /// caller keeps it alive for the duration of the call and may Cancel()
+  /// from any thread. The engine polls it at work boundaries — each morsel
+  /// on the parallel scan, each partition merge and cascade task, each
+  /// grouping set / lattice node on the serial paths — and unwinds with
+  /// kCancelled / kDeadlineExceeded. nullptr (the default) = uncontrolled.
+  const ExecControl* control = nullptr;
   /// Slow-query threshold for this execution's profile, in milliseconds:
   /// >= 0 overrides the process-wide DATACUBE_SLOW_QUERY_MS; negative (the
   /// default) defers to it. An execution at or over the effective threshold

@@ -97,6 +97,7 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
   std::vector<std::vector<CellStore>> partials(threads);
   std::vector<CubeStats> scan_stats(threads);
   std::vector<uint64_t> scan_morsels(threads, 0);
+  std::vector<Status> scan_statuses(threads, Status::OK());
   std::atomic<size_t> cursor{0};
   auto scan_start = std::chrono::steady_clock::now();
   {
@@ -122,6 +123,13 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
         }
         CubeStats& my_stats = scan_stats[t];
         while (true) {
+          // Morsel boundary: the cancellation point of the parallel scan. A
+          // tripped control abandons the worker's remaining morsels; the
+          // coordinator surfaces the status after the barrier.
+          if (Status st = ctx.ControlStatus(); !st.ok()) {
+            scan_statuses[t] = std::move(st);
+            break;
+          }
           size_t lo = cursor.fetch_add(morsel, std::memory_order_relaxed);
           if (lo >= rows) break;
           size_t hi = std::min(rows, lo + morsel);
@@ -145,6 +153,9 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
     group.Wait();
   }
   double scan_seconds = SecondsSince(scan_start);
+  for (const Status& st : scan_statuses) {
+    DATACUBE_RETURN_IF_ERROR(st);
+  }
 
   // ---- Phase 2: P independent single-threaded partition merges.
   std::vector<CellStore> core_shards(partitions);
@@ -160,6 +171,10 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
     for (size_t p = 0; p < partitions; ++p) {
       group.Spawn([&, p] {
         obs::ScopedSpan task_span("merge_partition");
+        if (Status st = ctx.ControlStatus(); !st.ok()) {
+          merge_statuses[p] = std::move(st);
+          return;
+        }
         uint64_t cells_absorbed = 0;
         // Seed from worker 0's shard (its arena is exclusive to this
         // partition, so moving it is race-free) and fold the rest in.
@@ -234,6 +249,12 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
     // group.Wait() below keeps it alive until every task has finished.
     std::function<void(size_t)> run_node = [&](size_t i) {
       cascade_tasks.fetch_add(1, std::memory_order_relaxed);
+      if (Status st = ctx.ControlStatus(); !st.ok()) {
+        // Record and stop descending; unspawned children are fine because
+        // the coordinator returns this error after the barrier.
+        node_statuses[i] = std::move(st);
+        return;
+      }
       const LatticePlan::Node& node = plan.nodes[i];
       // The span stays open while children are spawned below, so child
       // cascade spans stitch under this one — the rendered tree mirrors the

@@ -1,0 +1,474 @@
+#include "datacube/obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace datacube::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kLoopPollMs = 200;     // stop-flag check cadence
+constexpr int kWritePollMs = 10000;  // per-wait budget for a slow reader
+constexpr int kDrainMs = 2000;       // grace for a client to read its error
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Content Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 499:
+      return "Client Closed Request";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return status >= 500 ? "Internal Server Error" : "Bad Request";
+  }
+}
+
+/// Blocking-style send over a non-blocking fd: polls POLLOUT on EAGAIN so a
+/// slow reader stalls only the worker writing to it, never the event loop.
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, kWritePollMs) <= 0) return false;  // dead/stuck peer
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  return SendAll(fd, data.data(), data.size());
+}
+
+std::string FormatHead(const HttpResponse& resp) {
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     StatusText(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " + std::to_string(resp.body.size());
+  for (const auto& [name, value] : resp.headers) {
+    head += "\r\n" + name + ": " + value;
+  }
+  head += "\r\nConnection: close\r\n\r\n";
+  return head;
+}
+
+/// Writes `resp` for `method` ("HEAD" suppresses the body; "LINE" suppresses
+/// the framing) and closes the fd.
+void WriteResponse(int fd, const std::string& method,
+                   const HttpResponse& resp) {
+  if (method == "LINE") {
+    SendAll(fd, resp.body);
+  } else if (method == "HEAD") {
+    SendAll(fd, FormatHead(resp));
+  } else {
+    SendAll(fd, FormatHead(resp)) && SendAll(fd, resp.body);
+  }
+  ::close(fd);
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string UrlDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(in[i + 1]);
+      int lo = hex(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+std::string HttpRequest::Header(const std::string& name) const {
+  for (const auto& [n, v] : headers) {
+    if (n == name) return v;
+  }
+  return "";
+}
+
+std::string HttpRequest::QueryParam(const std::string& key) const {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    std::string pair = query.substr(pos, end - pos);
+    size_t eq = pair.find('=');
+    std::string k = eq == std::string::npos ? pair : pair.substr(0, eq);
+    if (UrlDecode(k) == key) {
+      return eq == std::string::npos ? "" : UrlDecode(pair.substr(eq + 1));
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
+/// One connection owned by the event loop while its request is being read.
+struct HttpServer::Conn {
+  int fd = -1;
+  std::string buffer;
+  Clock::time_point deadline;
+  /// Set once the blank line has been seen; body bytes still pending.
+  bool head_done = false;
+  /// Error response sent and write side shut; discarding reads until the
+  /// peer closes or the drain grace expires.
+  bool draining = false;
+  size_t head_bytes = 0;     // request bytes before the body
+  size_t content_length = 0;
+  HttpRequest request;
+};
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(const Options& options,
+                                                      HttpHandler handler) {
+  // Non-blocking: the event loop drains accept4 until EAGAIN, which must
+  // not block when the backlog empties.
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("http server: bad host " + options.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IOError(std::string("bind ") + options.host + ":" +
+                                std::to_string(options.port) + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status st =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<HttpServer>(new HttpServer(
+      fd, ntohs(bound.sin_port), options, std::move(handler)));
+}
+
+HttpServer::HttpServer(int listen_fd, int port, Options options,
+                       HttpHandler handler)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      listen_fd_(listen_fd),
+      port_(port),
+      host_(options_.host) {
+  thread_ = std::thread([this] { EventLoop(); });
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Stop() {
+  if (stop_.exchange(true)) return;
+  // Unblock a pending poll; the loop timeout covers the re-arm race.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  // Wait for dispatched handlers to finish writing their responses; they
+  // hold the only references to their connection fds.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::string HttpServer::url() const {
+  return "http://" + host_ + ":" + std::to_string(port_);
+}
+
+void HttpServer::BeginDrain(Conn& conn, int status, const std::string& reason) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = reason + "\n";
+  // Best-effort: error responses are tiny, so this never stalls the loop.
+  SendAll(conn.fd, FormatHead(resp) + resp.body);
+  // Half-close instead of close: closing with unread bytes in the receive
+  // queue sends RST, which flushes the error response out of the peer's
+  // buffer before it reads it — a mid-send slow client would see a reset
+  // instead of its 408. Keep reading (and discarding) for a grace period.
+  ::shutdown(conn.fd, SHUT_WR);
+  conn.draining = true;
+  conn.deadline = Clock::now() + std::chrono::milliseconds(kDrainMs);
+  conn.buffer.clear();
+}
+
+void HttpServer::Dispatch(int fd, HttpRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++in_flight_;
+  }
+  auto work = [this, fd, request = std::move(request)]() mutable {
+    WriteResponse(fd, request.method, handler_(request));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  };
+  if (options_.dispatcher) {
+    options_.dispatcher(std::move(work));
+  } else {
+    std::thread(std::move(work)).detach();
+  }
+}
+
+bool HttpServer::PumpConn(Conn& conn) {
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (conn.draining) continue;  // discard; just waiting for the close
+      conn.buffer.append(buf, static_cast<size_t>(n));
+      if (conn.buffer.size() > options_.max_request_bytes +
+                                   options_.max_body_bytes + sizeof(buf)) {
+        BeginDrain(conn, 413, "request too large");
+        return true;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed (or finished reading its error response)
+      ::close(conn.fd);
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    ::close(conn.fd);
+    return false;
+  }
+  if (conn.draining) return true;
+
+  if (!conn.head_done) {
+    size_t head_end = conn.buffer.find("\r\n\r\n");
+    size_t line_end = conn.buffer.find('\n');
+    if (head_end == std::string::npos) {
+      // Line protocol: a complete non-HTTP first line is a whole request.
+      if (options_.enable_line_protocol && line_end != std::string::npos) {
+        std::string line = conn.buffer.substr(0, line_end);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.find(" HTTP/") == std::string::npos) {
+          HttpRequest req;
+          req.method = "LINE";
+          req.path = std::move(line);
+          Dispatch(conn.fd, std::move(req));
+          return false;
+        }
+      }
+      if (conn.buffer.size() >= options_.max_request_bytes) {
+        // Seed bug: this fell out of the read loop and was parsed as if
+        // complete; answer 431 instead.
+        BeginDrain(conn, 431, "request head too large");
+        return true;
+      }
+      return true;  // keep reading the head
+    }
+
+    // Parse request line + headers.
+    std::string head = conn.buffer.substr(0, head_end);
+    size_t req_line_end = head.find("\r\n");
+    std::string line = head.substr(
+        0, req_line_end == std::string::npos ? head.size() : req_line_end);
+    size_t sp1 = line.find(' ');
+    size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+      BeginDrain(conn, 400, "malformed request line");
+      return true;
+    }
+    HttpRequest req;
+    req.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (size_t q = target.find('?'); q != std::string::npos) {
+      req.query = target.substr(q + 1);
+      target.resize(q);
+    }
+    req.path = std::move(target);
+
+    size_t pos = req_line_end == std::string::npos ? head.size()
+                                                   : req_line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      std::string hline = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      size_t colon = hline.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = ToLower(hline.substr(0, colon));
+      size_t vstart = colon + 1;
+      while (vstart < hline.size() && hline[vstart] == ' ') ++vstart;
+      req.headers.emplace_back(std::move(name), hline.substr(vstart));
+    }
+
+    size_t content_length = 0;
+    std::string cl = req.Header("content-length");
+    if (!cl.empty()) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(cl.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        BeginDrain(conn, 400, "bad content-length");
+        return true;
+      }
+      content_length = static_cast<size_t>(v);
+    }
+    if (content_length > options_.max_body_bytes) {
+      BeginDrain(conn, 413, "request body too large");
+      return true;
+    }
+    conn.head_done = true;
+    conn.head_bytes = head_end + 4;
+    conn.content_length = content_length;
+    conn.request = std::move(req);
+  }
+
+  if (conn.buffer.size() >= conn.head_bytes + conn.content_length) {
+    conn.request.body =
+        conn.buffer.substr(conn.head_bytes, conn.content_length);
+    Dispatch(conn.fd, std::move(conn.request));
+    return false;
+  }
+  return true;  // keep reading the body
+}
+
+void HttpServer::EventLoop() {
+  std::vector<Conn> conns;
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns) fds.push_back(pollfd{c.fd, POLLIN, 0});
+
+    // Wake early enough to expire the nearest per-connection deadline.
+    int timeout = kLoopPollMs;
+    Clock::time_point now = Clock::now();
+    for (const Conn& c : conns) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      c.deadline - now)
+                      .count();
+      timeout = std::max(0, std::min<int>(timeout, static_cast<int>(left)));
+    }
+    ::poll(fds.data(), fds.size(), timeout);
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    // Connections polled this round; ones accepted below have no revents
+    // yet and are pumped on the next iteration (their pending data makes
+    // that poll return immediately).
+    const size_t polled = conns.size();
+    if ((fds[0].revents & POLLIN) != 0) {
+      while (true) {
+        int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        Conn conn;
+        conn.fd = fd;
+        conn.deadline =
+            Clock::now() + std::chrono::milliseconds(options_.head_timeout_ms);
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    now = Clock::now();
+    size_t keep = 0;
+    for (size_t i = 0; i < conns.size(); ++i) {
+      Conn& conn = conns[i];
+      bool alive = true;
+      // fds[i + 1] matches conns[i] for the first `polled` entries; both
+      // vectors are rebuilt per-iteration and conns is only compacted
+      // after this loop.
+      if (i < polled &&
+          (fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        alive = PumpConn(conn);
+      }
+      if (alive && now >= conn.deadline) {
+        if (conn.draining) {  // grace over; the peer never read its error
+          ::close(conn.fd);
+          alive = false;
+        } else {
+          // Seed bug: stalled clients were dropped with no response.
+          BeginDrain(conn, 408, "timed out reading request");
+        }
+      }
+      if (alive) {
+        // No self-move when nothing before it was removed — a self-assigned
+        // string may clear, losing the partially read request.
+        if (keep != i) conns[keep] = std::move(conn);
+        ++keep;
+      }
+    }
+    conns.resize(keep);
+  }
+  for (Conn& c : conns) ::close(c.fd);
+}
+
+}  // namespace datacube::obs

@@ -1,0 +1,160 @@
+#ifndef DATACUBE_OBS_HTTP_SERVER_H_
+#define DATACUBE_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/common/status.h"
+
+// Reusable dependency-free HTTP/1.1 (plus optional line-protocol) transport.
+// Extracted from the PR 7 stats server so the cube server and the stats
+// endpoints can share one listener, and hardened against the seed's serving
+// bugs:
+//
+//   * The accept thread never blocks on a client. It owns every in-progress
+//     read through a poll()-based event loop over non-blocking sockets, so a
+//     slow-loris sender cannot delay other connections (the seed handled
+//     connections serially on the accept thread).
+//   * Protocol errors get real responses instead of silent closes: a head
+//     that reaches max_request_bytes without a blank line is answered `431
+//     Request Header Fields Too Large`, a client that stalls mid-request is
+//     answered `408 Request Timeout`, an oversized body `413`, and a
+//     malformed request line `400` (the seed parsed truncated heads as if
+//     complete and dropped timeouts with no response).
+//   * Only fully-parsed requests are dispatched to workers; the handler runs
+//     off the event loop via a pluggable Dispatcher (defaulting to one
+//     detached thread per request), so the transport composes with the cube
+//     ThreadPool without the obs library linking it.
+//   * HEAD is first-class: the transport emits status line + headers with
+//     the true Content-Length and omits the body.
+//
+// Line protocol: when `enable_line_protocol` is set and the first request
+// line is not HTTP (no trailing " HTTP/x.y"), the line up to `\n` is treated
+// as a complete request with method "LINE" and the handler's body is written
+// raw with no HTTP framing — one-line SQL over `nc`.
+
+namespace datacube::obs {
+
+/// One parsed request, handed to the handler off the event loop.
+struct HttpRequest {
+  /// "GET", "POST", ... — or "LINE" for line-protocol requests, where
+  /// `path` carries the whole stripped line and the other fields are empty.
+  std::string method;
+  /// Path with any query string removed ("/query").
+  std::string path;
+  /// Raw query string after '?', no leading '?' ("q=SELECT...&deadline_ms=5").
+  std::string query;
+  /// Lower-cased header names with unmodified values, in arrival order.
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// Request body (Content-Length bytes), empty if none.
+  std::string body;
+
+  /// First value of header `name` (lower-case), or "" if absent.
+  std::string Header(const std::string& name) const;
+  /// %-decoded value of query parameter `key`, or "" if absent.
+  std::string QueryParam(const std::string& key) const;
+};
+
+/// What the handler returns; the transport adds framing.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra response headers appended verbatim (name, value).
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// Runs `fn`, possibly asynchronously — the seam that lets a serving layer
+/// route transport work onto its own thread pool without this library
+/// depending on it. Must eventually run every accepted closure exactly once.
+using HttpDispatcher = std::function<void(std::function<void()>)>;
+
+/// The routing brain: one fully-parsed request in, one response out. Runs
+/// off the event loop (on a dispatcher thread); may block.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Options {
+    /// Interface to bind; loopback by default — the server has no auth.
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    int port = 0;
+    /// A connection that has not delivered a complete request within this
+    /// window is answered 408 and closed.
+    int head_timeout_ms = 2000;
+    /// Request-head cap; heads that hit it without a blank line get 431.
+    size_t max_request_bytes = 8192;
+    /// Body cap (Content-Length above it gets 413).
+    size_t max_body_bytes = 4 << 20;
+    /// Accept bare "<text>\n" requests as method "LINE" (see file comment).
+    bool enable_line_protocol = false;
+    /// Runs handler invocations; null = one detached thread per request.
+    HttpDispatcher dispatcher;
+  };
+
+  /// Binds, listens, and starts the event-loop thread. The returned server
+  /// is already serving `handler`; it stops and joins on destruction.
+  static Result<std::unique_ptr<HttpServer>> Start(const Options& options,
+                                                   HttpHandler handler);
+
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Idempotent. Joins the event loop, closes pending connections, and
+  /// waits for all dispatched handlers to finish writing.
+  void Stop();
+
+  int port() const { return port_; }
+  std::string host() const { return host_; }
+  std::string url() const;
+
+ private:
+  struct Conn;
+
+  HttpServer(int listen_fd, int port, Options options, HttpHandler handler);
+
+  void EventLoop();
+  /// Reads what is available on `conn`; returns false when the connection
+  /// is finished with the event loop (dispatched, errored, or closed).
+  bool PumpConn(Conn& conn);
+  /// Sends a transport-level error (408/431/413/400), half-closes the
+  /// write side, and leaves the connection draining: the loop keeps
+  /// discarding the client's bytes for a grace period so the close never
+  /// RSTs the error response out of the client's receive buffer (which is
+  /// exactly how a mid-send slow client would otherwise lose its 408).
+  void BeginDrain(Conn& conn, int status, const std::string& reason);
+  /// Hands a complete request off to the dispatcher; takes ownership of fd.
+  void Dispatch(int fd, HttpRequest request);
+
+  const Options options_;
+  const HttpHandler handler_;
+  int listen_fd_;
+  int port_;
+  std::string host_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+
+  // In-flight dispatched handlers (responses being computed/written).
+  std::mutex mu_;
+  std::condition_variable idle_cv_;
+  int in_flight_ = 0;
+};
+
+/// %XX and '+' decoding for query-string values.
+std::string UrlDecode(const std::string& in);
+
+}  // namespace datacube::obs
+
+#endif  // DATACUBE_OBS_HTTP_SERVER_H_

@@ -1,13 +1,5 @@
 #include "datacube/obs/stats_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <utility>
 
 #include "datacube/obs/metrics.h"
@@ -17,23 +9,6 @@
 namespace datacube::obs {
 
 namespace {
-
-constexpr int kAcceptPollMs = 200;   // stop-flag check cadence
-constexpr int kClientPollMs = 2000;  // per-read client timeout
-constexpr size_t kMaxRequestBytes = 8192;
-
-const char* StatusText(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    default:
-      return "Bad Request";
-  }
-}
 
 // Counts requests per known endpoint; unknown paths share one series so an
 // attacker (or a typo) can't grow label cardinality.
@@ -54,27 +29,16 @@ void CountRequest(const std::string& path, int status) {
       .Inc();
 }
 
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
 StatsServer::Response StatsServer::Handle(const std::string& method,
                                           const std::string& path) {
-  if (method != "GET") {
+  // HEAD is routed exactly like GET; the transport omits the body while
+  // keeping the true Content-Length. Everything else is rejected (the seed
+  // served POST /metrics as a GET).
+  if (method != "GET" && method != "HEAD") {
     return Response{405, "text/plain; charset=utf-8",
-                    "only GET is supported\n"};
+                    "only GET and HEAD are supported\n"};
   }
   if (path == "/metrics") {
     return Response{200, "text/plain; version=0.0.4; charset=utf-8",
@@ -102,123 +66,45 @@ StatsServer::Response StatsServer::Handle(const std::string& method,
   return Response{404, "text/plain; charset=utf-8", "not found\n"};
 }
 
+HttpResponse StatsServer::HandleHttp(const HttpRequest& request) {
+  Response r = Handle(request.method, request.path);
+  CountRequest(request.path, r.status);
+  HttpResponse resp;
+  resp.status = r.status;
+  resp.content_type = std::move(r.content_type);
+  resp.body = std::move(r.body);
+  return resp;
+}
+
 Result<std::unique_ptr<StatsServer>> StatsServer::Start() {
   return Start(Options());
 }
 
 Result<std::unique_ptr<StatsServer>> StatsServer::Start(
     const Options& options) {
-  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  HttpServer::Options server_options;
+  server_options.host = options.host;
+  server_options.port = options.port;
+  if (options.head_timeout_ms > 0) {
+    server_options.head_timeout_ms = options.head_timeout_ms;
   }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options.port));
-  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("stats server: bad host " + options.host);
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Status::IOError(std::string("bind ") + options.host + ":" +
-                                std::to_string(options.port) + ": " +
-                                std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  if (::listen(fd, 16) != 0) {
-    Status st =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    Status st =
-        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  return std::unique_ptr<StatsServer>(
-      new StatsServer(fd, ntohs(bound.sin_port), options.host));
+  DATACUBE_ASSIGN_OR_RETURN(
+      std::unique_ptr<HttpServer> server,
+      HttpServer::Start(server_options, &StatsServer::HandleHttp));
+  return std::unique_ptr<StatsServer>(new StatsServer(std::move(server)));
 }
 
-StatsServer::StatsServer(int listen_fd, int port, std::string host)
-    : listen_fd_(listen_fd), port_(port), host_(std::move(host)) {
-  thread_ = std::thread([this] { ServeLoop(); });
-}
+StatsServer::StatsServer(std::unique_ptr<HttpServer> server)
+    : server_(std::move(server)) {}
 
 StatsServer::~StatsServer() { Stop(); }
 
 void StatsServer::Stop() {
-  if (stop_.exchange(true)) return;
-  // Unblock a pending accept; the poll timeout covers the race where the
-  // thread re-arms between the exchange and the shutdown.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  thread_.join();
-  ::close(listen_fd_);
+  if (server_ != nullptr) server_->Stop();
 }
 
 std::string StatsServer::url() const {
-  return "http://" + host_ + ":" + std::to_string(port_);
-}
-
-void StatsServer::ServeLoop() {
-  while (!stop_.load(std::memory_order_acquire)) {
-    pollfd p{listen_fd_, POLLIN, 0};
-    int r = ::poll(&p, 1, kAcceptPollMs);
-    if (stop_.load(std::memory_order_acquire)) return;
-    if (r <= 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    HandleConnection(fd);
-    ::close(fd);
-  }
-}
-
-void StatsServer::HandleConnection(int fd) {
-  // Read until the end of the request head; the server ignores bodies, so
-  // the head is the whole request.
-  std::string request;
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
-    pollfd p{fd, POLLIN, 0};
-    if (::poll(&p, 1, kClientPollMs) <= 0) return;  // slow or dead client
-    char buf[2048];
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;
-    }
-    request.append(buf, static_cast<size_t>(n));
-  }
-
-  // Request line: METHOD SP PATH SP VERSION. Query strings are ignored.
-  size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) return;
-  std::string line = request.substr(0, line_end);
-  size_t sp1 = line.find(' ');
-  size_t sp2 = sp1 == std::string::npos ? std::string::npos
-                                        : line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) return;
-  std::string method = line.substr(0, sp1);
-  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (size_t q = path.find('?'); q != std::string::npos) path.resize(q);
-
-  Response resp = Handle(method, path);
-  CountRequest(path, resp.status);
-
-  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
-                     StatusText(resp.status) +
-                     "\r\nContent-Type: " + resp.content_type +
-                     "\r\nContent-Length: " +
-                     std::to_string(resp.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
-  SendAll(fd, head) && SendAll(fd, resp.body);
+  return server_ == nullptr ? "" : server_->url();
 }
 
 }  // namespace datacube::obs

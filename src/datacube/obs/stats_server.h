@@ -1,18 +1,17 @@
 #ifndef DATACUBE_OBS_STATS_SERVER_H_
 #define DATACUBE_OBS_STATS_SERVER_H_
 
-#include <atomic>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "datacube/common/result.h"
 #include "datacube/common/status.h"
+#include "datacube/obs/http_server.h"
 
-// Embedded observability endpoint: a dependency-free HTTP/1.1 server that
-// exposes the process's metrics and recent-query ring buffers to a scrape or
-// a curl. One blocking accept thread, one connection at a time — monitoring
-// traffic, not serving traffic. Endpoints (GET):
+// Embedded observability endpoint: the process's metrics and recent-query
+// ring buffers behind the shared HttpServer transport (event-loop accepts,
+// per-request dispatch — a stalled scraper no longer delays others).
+// Endpoints (GET or HEAD):
 //
 //   /metrics   Prometheus text exposition of MetricsRegistry::Global()
 //   /varz      the same registry as JSON
@@ -29,10 +28,12 @@ class StatsServer {
     std::string host = "127.0.0.1";
     /// TCP port; 0 picks an ephemeral port (read it back via port()).
     int port = 0;
+    /// Stalled-request window (408 after this); transport default when <= 0.
+    int head_timeout_ms = 0;
   };
 
-  /// Binds, listens, and starts the accept thread. The returned server is
-  /// already serving; it stops and joins cleanly on destruction.
+  /// Binds, listens, and starts serving. The returned server is already
+  /// live; it stops and joins cleanly on destruction.
   static Result<std::unique_ptr<StatsServer>> Start(const Options& options);
   /// Start with default Options (loopback, ephemeral port).
   static Result<std::unique_ptr<StatsServer>> Start();
@@ -41,14 +42,17 @@ class StatsServer {
   StatsServer(const StatsServer&) = delete;
   StatsServer& operator=(const StatsServer&) = delete;
 
-  /// Idempotent; blocks until the accept thread has exited.
+  /// Idempotent; blocks until the transport has fully stopped.
   void Stop();
 
-  int port() const { return port_; }
+  int port() const { return server_ == nullptr ? 0 : server_->port(); }
   std::string url() const;
 
-  /// Routes one request path to (status code, content type, body) — the
-  /// server's brain, exposed for tests that don't want a socket.
+  /// Routes one request to (status code, content type, body) — the server's
+  /// brain, exposed for tests that don't want a socket and reused by the
+  /// cube server to mount these endpoints on its own listener. GET and HEAD
+  /// are served (the transport strips the body for HEAD); anything else is
+  /// 405.
   struct Response {
     int status = 200;
     std::string content_type;
@@ -56,17 +60,14 @@ class StatsServer {
   };
   static Response Handle(const std::string& method, const std::string& path);
 
+  /// Handle() as an HttpServer handler, including per-endpoint request
+  /// counting; mount this to serve the stats endpoints from any listener.
+  static HttpResponse HandleHttp(const HttpRequest& request);
+
  private:
-  StatsServer(int listen_fd, int port, std::string host);
+  explicit StatsServer(std::unique_ptr<HttpServer> server);
 
-  void ServeLoop();
-  void HandleConnection(int fd);
-
-  int listen_fd_;
-  int port_;
-  std::string host_;
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
+  std::unique_ptr<HttpServer> server_;
 };
 
 }  // namespace datacube::obs

@@ -1,0 +1,100 @@
+#ifndef DATACUBE_SERVER_ADMISSION_H_
+#define DATACUBE_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+#include "datacube/common/result.h"
+#include "datacube/common/status.h"
+
+namespace datacube::server {
+
+/// Bounds concurrently executing queries. Admit() hands out an RAII ticket
+/// when a slot is free, optionally waiting up to `max_wait_ms` for one, and
+/// fails kUnavailable when the server is saturated — load shedding at the
+/// front door instead of queueing unboundedly behind the thread pool.
+class AdmissionGate {
+ public:
+  /// `max_concurrent` <= 0 means unlimited.
+  explicit AdmissionGate(int max_concurrent, int max_wait_ms = 0)
+      : max_concurrent_(max_concurrent), max_wait_ms_(max_wait_ms) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    Ticket(Ticket&& other) noexcept : gate_(other.gate_) {
+      other.gate_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gate_ = other.gate_;
+        other.gate_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release() {
+      if (gate_ != nullptr) {
+        gate_->ReleaseSlot();
+        gate_ = nullptr;
+      }
+    }
+
+   private:
+    AdmissionGate* gate_ = nullptr;
+  };
+
+  Result<Ticket> Admit() {
+    if (max_concurrent_ <= 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++in_flight_;
+      return Ticket(this);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    auto free_slot = [this] { return in_flight_ < max_concurrent_; };
+    if (!free_slot() && max_wait_ms_ > 0) {
+      cv_.wait_for(lock, std::chrono::milliseconds(max_wait_ms_), free_slot);
+    }
+    if (!free_slot()) {
+      return Status::Unavailable("server over capacity (" +
+                                 std::to_string(max_concurrent_) +
+                                 " queries in flight)");
+    }
+    ++in_flight_;
+    return Ticket(this);
+  }
+
+  int in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_;
+  }
+
+ private:
+  void ReleaseSlot() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    cv_.notify_one();
+  }
+
+  const int max_concurrent_;
+  const int max_wait_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int in_flight_ = 0;
+};
+
+}  // namespace datacube::server
+
+#endif  // DATACUBE_SERVER_ADMISSION_H_

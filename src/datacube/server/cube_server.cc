@@ -1,0 +1,542 @@
+#include "datacube/server/cube_server.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "datacube/common/str_util.h"
+#include "datacube/cube/thread_pool.h"
+#include "datacube/expr/expr.h"
+#include "datacube/obs/json_util.h"
+#include "datacube/obs/metrics.h"
+#include "datacube/obs/stats_server.h"
+#include "datacube/sql/engine.h"
+#include "datacube/table/csv.h"
+
+namespace datacube::server {
+
+namespace {
+
+using obs::HttpRequest;
+using obs::HttpResponse;
+
+/// Maps an execution Status to the HTTP code the client sees.
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kCancelled:
+      return 499;  // client closed / cancelled the request
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kTypeError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotImplemented:
+      return 501;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  HttpResponse resp;
+  resp.status = HttpStatusFor(status);
+  resp.content_type = "text/plain; charset=utf-8";
+  resp.body = std::string(StatusCodeName(status.code())) + ": " +
+              status.message() + "\n";
+  return resp;
+}
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "text/plain; charset=utf-8";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse JsonResponse(std::string body) {
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse CsvResponse(const Table& table) {
+  HttpResponse resp;
+  resp.content_type = "text/csv; charset=utf-8";
+  resp.body = WriteCsvString(table);
+  return resp;
+}
+
+void CountQuery(int http_status) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("datacube_server_queries_total",
+                  "SQL queries served by cubed, by HTTP status",
+                  {{"code", std::to_string(http_status)}})
+      .Inc();
+}
+
+bool MethodIs(const HttpRequest& r, const char* a, const char* b = nullptr) {
+  return r.method == a || (b != nullptr && r.method == b);
+}
+
+/// GET with HEAD served identically (the transport strips HEAD bodies).
+bool IsRead(const HttpRequest& r) { return MethodIs(r, "GET", "HEAD"); }
+
+std::vector<std::string> SplitCsvList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t end = s.find(',', pos);
+    if (end == std::string::npos) end = s.size();
+    std::string item = s.substr(pos, end - pos);
+    // trim spaces
+    while (!item.empty() && item.front() == ' ') item.erase(item.begin());
+    while (!item.empty() && item.back() == ' ') item.pop_back();
+    if (!item.empty()) out.push_back(std::move(item));
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// Parses "fn(col)", "fn(*)", or "fn" into an AggregateSpec. count(*) and
+/// bare count map to count_star.
+Result<AggregateSpec> ParseAggSpec(const std::string& text) {
+  AggregateSpec spec;
+  size_t open = text.find('(');
+  std::string fn = open == std::string::npos ? text : text.substr(0, open);
+  std::string arg;
+  if (open != std::string::npos) {
+    size_t close = text.rfind(')');
+    if (close == std::string::npos || close < open) {
+      return Status::InvalidArgument("bad aggregate: " + text);
+    }
+    arg = text.substr(open + 1, close - open - 1);
+    while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+    while (!arg.empty() && arg.back() == ' ') arg.pop_back();
+  }
+  if (fn.empty()) return Status::InvalidArgument("bad aggregate: " + text);
+  if (EqualsIgnoreCase(fn, "count") && (arg.empty() || arg == "*")) {
+    spec.function = "count_star";
+  } else {
+    spec.function = fn;
+    if (arg.empty() || arg == "*") {
+      return Status::InvalidArgument("aggregate needs a column: " + text);
+    }
+    spec.args.push_back(Expr::Column(arg));
+  }
+  spec.output_name = text;
+  return spec;
+}
+
+int64_t ParseInt64(const std::string& s, int64_t fallback) {
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  return (end == nullptr || *end != '\0') ? fallback : v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CubeServer>> CubeServer::Start(const Options& options) {
+  std::unique_ptr<CubeServer> server(new CubeServer(options));
+
+  obs::HttpServer::Options http_options;
+  http_options.host = options.host;
+  http_options.port = options.port;
+  http_options.head_timeout_ms = options.head_timeout_ms;
+  http_options.enable_line_protocol = options.enable_line_protocol;
+  if (options.use_thread_pool) {
+    // Connection handling shares the cube execution pool: the event loop
+    // fire-and-forgets each complete request into a long-lived TaskGroup
+    // (Spawn is thread-safe and never blocks the loop). Handlers that run
+    // parallel cubes nest their own TaskGroup::Wait, which is help-first,
+    // so this stays deadlock-free even on a 1-worker pool. Detached-thread
+    // fallback stays available via Options::use_thread_pool = false.
+    server->pool_group_ = std::make_unique<cube_internal::TaskGroup>(
+        cube_internal::ThreadPool::Global());
+    cube_internal::TaskGroup* group = server->pool_group_.get();
+    http_options.dispatcher = [group](std::function<void()> work) {
+      group->Spawn(std::move(work));
+    };
+  }
+
+  CubeServer* raw = server.get();
+  DATACUBE_ASSIGN_OR_RETURN(
+      server->http_,
+      obs::HttpServer::Start(http_options, [raw](const HttpRequest& request) {
+        return raw->Handle(request);
+      }));
+  return server;
+}
+
+CubeServer::CubeServer(const Options& options)
+    : options_(options),
+      gate_(options.max_concurrent_queries, options.admission_wait_ms) {}
+
+CubeServer::~CubeServer() { Stop(); }
+
+void CubeServer::Stop() {
+  if (http_ == nullptr) return;
+  // Cancel whatever is still executing so the transport's drain is bounded
+  // by a few morsel boundaries, not by the slowest in-flight cube.
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    for (LiveQuery& q : live_) q.control->Cancel();
+  }
+  // Transport first (its in-flight wait covers every dispatched handler),
+  // then the pool group's own drain, then members may die.
+  http_->Stop();
+  if (pool_group_ != nullptr) pool_group_->Wait();
+}
+
+int CubeServer::port() const { return http_ == nullptr ? 0 : http_->port(); }
+
+std::string CubeServer::url() const {
+  return http_ == nullptr ? "" : http_->url();
+}
+
+Status CubeServer::RegisterTable(const std::string& name, Table table,
+                                 bool replace) {
+  auto shared = std::make_shared<const Table>(std::move(table));
+  return snapshots_.Update([&](ServerSnapshot& snap) {
+    if (replace) {
+      snap.catalog.PutShared(name, shared);
+      return Status::OK();
+    }
+    return snap.catalog.RegisterShared(name, shared);
+  });
+}
+
+uint64_t CubeServer::RegisterLive(const std::string& sql,
+                                  std::shared_ptr<ExecControl> control) {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  LiveQuery q;
+  q.id = next_query_id_++;
+  q.sql = sql;
+  q.start = std::chrono::steady_clock::now();
+  q.control = std::move(control);
+  live_.push_back(std::move(q));
+  return live_.back().id;
+}
+
+void CubeServer::UnregisterLive(uint64_t id) {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [id](const LiveQuery& q) { return q.id == id; }),
+              live_.end());
+}
+
+obs::HttpResponse CubeServer::RunSql(const std::string& sql,
+                                     int64_t deadline_ms) {
+  if (sql.empty()) {
+    CountQuery(400);
+    return TextResponse(400, "empty query (pass ?q= or a request body)\n");
+  }
+
+  Result<AdmissionGate::Ticket> ticket = gate_.Admit();
+  if (!ticket.ok()) {
+    CountQuery(503);
+    return ErrorResponse(ticket.status());
+  }
+
+  auto control = std::make_shared<ExecControl>();
+  if (deadline_ms > 0) control->set_deadline_after_ms(deadline_ms);
+  uint64_t id = RegisterLive(sql, control);
+
+  // The snapshot pin: this query sees exactly one catalog version, and its
+  // shared_ptr keeps that version's tables alive across any concurrent swap.
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+
+  sql::EngineOptions engine_options;
+  engine_options.cube.control = control.get();
+  engine_options.cube.num_threads = options_.query_threads;
+  Result<Table> result = sql::ExecuteSql(sql, snap->catalog, engine_options);
+
+  UnregisterLive(id);
+  if (!result.ok()) {
+    CountQuery(HttpStatusFor(result.status()));
+    return ErrorResponse(result.status());
+  }
+  CountQuery(200);
+  return CsvResponse(result.value());
+}
+
+obs::HttpResponse CubeServer::HandleQuery(const HttpRequest& request) {
+  std::string sql = request.QueryParam("q");
+  if (sql.empty()) sql = request.body;
+  int64_t deadline_ms = ParseInt64(request.QueryParam("deadline_ms"),
+                                   options_.default_deadline_ms);
+  return RunSql(sql, deadline_ms);
+}
+
+obs::HttpResponse CubeServer::HandleRegister(const HttpRequest& request) {
+  std::string name = request.QueryParam("name");
+  if (name.empty()) return TextResponse(400, "missing ?name=\n");
+  if (request.body.empty()) return TextResponse(400, "missing CSV body\n");
+  Result<Table> table = ReadCsvString(request.body);
+  if (!table.ok()) return ErrorResponse(table.status());
+  bool replace = request.QueryParam("replace") == "1";
+  size_t rows = table.value().num_rows();
+  Status st = RegisterTable(name, std::move(table).value(), replace);
+  if (!st.ok()) return ErrorResponse(st);
+  return TextResponse(
+      200, "registered " + name + " (" + std::to_string(rows) + " rows)\n");
+}
+
+obs::HttpResponse CubeServer::HandleDrop(const HttpRequest& request) {
+  std::string name = request.QueryParam("name");
+  if (name.empty()) return TextResponse(400, "missing ?name=\n");
+  bool dropped = false;
+  Status st = snapshots_.Update([&](ServerSnapshot& snap) {
+    dropped = snap.catalog.Drop(name);
+    // Cubes built from the table go with it.
+    snap.cubes.erase(std::remove_if(snap.cubes.begin(), snap.cubes.end(),
+                                    [&](const MaterializedCubeEntry& e) {
+                                      return EqualsIgnoreCase(e.table, name);
+                                    }),
+                     snap.cubes.end());
+    return Status::OK();
+  });
+  if (!st.ok()) return ErrorResponse(st);
+  if (!dropped) return TextResponse(404, "no table named " + name + "\n");
+  return TextResponse(200, "dropped " + name + "\n");
+}
+
+obs::HttpResponse CubeServer::HandleTables() const {
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+  std::string json = "{\"version\":" + std::to_string(snap->version) +
+                     ",\"tables\":[";
+  bool first = true;
+  for (const std::string& name : snap->catalog.Names()) {
+    Result<const Table*> table = snap->catalog.Get(name);
+    if (!table.ok()) continue;
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"" + obs::JsonEscape(name) +
+            "\",\"rows\":" + std::to_string(table.value()->num_rows()) + "}";
+  }
+  json += "],\"cubes\":[";
+  first = true;
+  for (const MaterializedCubeEntry& e : snap->cubes) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"" + obs::JsonEscape(e.name) + "\",\"table\":\"" +
+            obs::JsonEscape(e.table) +
+            "\",\"views\":" + std::to_string(e.cube->views().size()) +
+            ",\"cells\":" + std::to_string(e.cube->materialized_cells()) +
+            ",\"budget_bytes\":" + std::to_string(e.budget_bytes) + "}";
+  }
+  json += "]}";
+  return JsonResponse(std::move(json));
+}
+
+obs::HttpResponse CubeServer::HandleMaterialize(const HttpRequest& request) {
+  std::string name = request.QueryParam("name");
+  std::string table_name = request.QueryParam("table");
+  std::vector<std::string> keys = SplitCsvList(request.QueryParam("keys"));
+  std::vector<std::string> aggs = SplitCsvList(request.QueryParam("aggs"));
+  if (name.empty() || table_name.empty() || keys.empty() || aggs.empty()) {
+    return TextResponse(400,
+                        "need ?name=, ?table=, ?keys=a,b and ?aggs=sum(x)\n");
+  }
+  size_t budget_bytes = static_cast<size_t>(
+      std::max<int64_t>(0, ParseInt64(request.QueryParam("budget_bytes"), 0)));
+
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+  Result<std::shared_ptr<const Table>> table =
+      snap->catalog.GetShared(table_name);
+  if (!table.ok()) return ErrorResponse(table.status());
+
+  CubeSpec spec;
+  for (const std::string& k : keys) {
+    spec.cube.push_back(GroupExpr{Expr::Column(k), k});
+  }
+  for (const std::string& a : aggs) {
+    Result<AggregateSpec> agg = ParseAggSpec(a);
+    if (!agg.ok()) return ErrorResponse(agg.status());
+    spec.aggregates.push_back(std::move(agg).value());
+  }
+
+  Result<std::unique_ptr<PartialCube>> cube =
+      budget_bytes > 0
+          ? PartialCube::BuildWithBudget(*table.value(), spec, budget_bytes)
+          : PartialCube::Build(*table.value(), spec, /*views=*/{});
+  if (!cube.ok()) return ErrorResponse(cube.status());
+
+  MaterializedCubeEntry entry;
+  entry.name = name;
+  entry.table = table_name;
+  entry.keys = keys;
+  entry.cube = std::shared_ptr<PartialCube>(std::move(cube).value());
+  entry.mu = std::make_shared<std::mutex>();
+  entry.budget_bytes = budget_bytes;
+  size_t views = entry.cube->views().size();
+  size_t cells = entry.cube->materialized_cells();
+
+  Status st = snapshots_.Update([&](ServerSnapshot& s) {
+    s.cubes.erase(std::remove_if(s.cubes.begin(), s.cubes.end(),
+                                 [&](const MaterializedCubeEntry& e) {
+                                   return e.name == name;
+                                 }),
+                  s.cubes.end());
+    s.cubes.push_back(entry);
+    return Status::OK();
+  });
+  if (!st.ok()) return ErrorResponse(st);
+  return TextResponse(200, "materialized " + name + " (" +
+                               std::to_string(views) + " views, " +
+                               std::to_string(cells) + " cells)\n");
+}
+
+obs::HttpResponse CubeServer::HandleCubeQuery(const HttpRequest& request) {
+  std::string name = request.QueryParam("name");
+  if (name.empty()) return TextResponse(400, "missing ?name=\n");
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+  const MaterializedCubeEntry* entry = snap->FindCube(name);
+  if (entry == nullptr) {
+    return TextResponse(404, "no cube named " + name + "\n");
+  }
+  GroupingSet target = 0;
+  for (const std::string& k : SplitCsvList(request.QueryParam("set"))) {
+    auto it = std::find_if(
+        entry->keys.begin(), entry->keys.end(),
+        [&](const std::string& key) { return EqualsIgnoreCase(key, k); });
+    if (it == entry->keys.end()) {
+      return TextResponse(400, "cube " + name + " has no key " + k + "\n");
+    }
+    target |= GroupingSet{1}
+              << static_cast<size_t>(it - entry->keys.begin());
+  }
+  // PartialCube::Query mutates its per-query stats; readers of one cube
+  // serialize here while the snapshot itself stays lock-free.
+  std::lock_guard<std::mutex> lock(*entry->mu);
+  Result<Table> result = entry->cube->Query(target);
+  if (!result.ok()) return ErrorResponse(result.status());
+  return CsvResponse(result.value());
+}
+
+obs::HttpResponse CubeServer::HandleQueries() const {
+  std::string json = "[";
+  std::lock_guard<std::mutex> lock(live_mu_);
+  auto now = std::chrono::steady_clock::now();
+  bool first = true;
+  for (const LiveQuery& q : live_) {
+    if (!first) json += ",";
+    first = false;
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(now - q.start).count();
+    json += "{\"id\":" + std::to_string(q.id) + ",\"sql\":\"" +
+            obs::JsonEscape(q.sql) +
+            "\",\"elapsed_ms\":" + std::to_string(elapsed_ms) +
+            ",\"cancel_requested\":" +
+            (q.control->cancel_requested() ? "true" : "false") + "}";
+  }
+  json += "]";
+  return JsonResponse(std::move(json));
+}
+
+obs::HttpResponse CubeServer::HandleCancel(const HttpRequest& request) {
+  uint64_t id =
+      static_cast<uint64_t>(ParseInt64(request.QueryParam("id"), 0));
+  if (id == 0) return TextResponse(400, "missing ?id=\n");
+  std::lock_guard<std::mutex> lock(live_mu_);
+  for (LiveQuery& q : live_) {
+    if (q.id == id) {
+      q.control->Cancel();
+      return TextResponse(200, "cancel requested for query " +
+                                   std::to_string(id) + "\n");
+    }
+  }
+  return TextResponse(404, "no in-flight query " + std::to_string(id) + "\n");
+}
+
+obs::HttpResponse CubeServer::Handle(const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (request.method == "LINE") {
+    // Bare one-line SQL over TCP: raw CSV back, or a one-line error.
+    HttpResponse resp = RunSql(request.path, options_.default_deadline_ms);
+    if (resp.status != 200) {
+      resp.body = "ERROR: " + resp.body;
+    }
+    return resp;
+  }
+
+  if (path == "/query") {
+    if (!MethodIs(request, "GET", "POST") && request.method != "HEAD") {
+      return TextResponse(405, "use GET or POST\n");
+    }
+    return HandleQuery(request);
+  }
+  if (path == "/register") {
+    if (!MethodIs(request, "POST")) return TextResponse(405, "use POST\n");
+    return HandleRegister(request);
+  }
+  if (path == "/drop") {
+    if (!MethodIs(request, "POST")) return TextResponse(405, "use POST\n");
+    return HandleDrop(request);
+  }
+  if (path == "/materialize") {
+    if (!MethodIs(request, "POST")) return TextResponse(405, "use POST\n");
+    return HandleMaterialize(request);
+  }
+  if (path == "/cancel") {
+    if (!MethodIs(request, "POST")) return TextResponse(405, "use POST\n");
+    return HandleCancel(request);
+  }
+  if (path == "/tables") {
+    if (!IsRead(request)) return TextResponse(405, "use GET\n");
+    return HandleTables();
+  }
+  if (path == "/cube") {
+    if (!IsRead(request)) return TextResponse(405, "use GET\n");
+    return HandleCubeQuery(request);
+  }
+  if (path == "/queries") {
+    if (!IsRead(request)) return TextResponse(405, "use GET\n");
+    return HandleQueries();
+  }
+  if (path == "/healthz") {
+    if (!IsRead(request)) return TextResponse(405, "use GET\n");
+    std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+    return JsonResponse("{\"ok\":true,\"version\":" +
+                        std::to_string(snap->version) + ",\"in_flight\":" +
+                        std::to_string(gate_.in_flight()) + "}");
+  }
+  if (path == "/metrics" || path == "/varz" || path == "/queryz" ||
+      path == "/tracez") {
+    // The stats endpoints, mounted on this listener (one port for queries
+    // and observability).
+    return obs::StatsServer::HandleHttp(request);
+  }
+  if (path == "/") {
+    if (!IsRead(request)) return TextResponse(405, "use GET\n");
+    return TextResponse(
+        200,
+        "cubed — data cube server\n"
+        "  /query?q=<sql>[&deadline_ms=N]   run mini-SQL (GET or POST body)\n"
+        "  /register?name=<t> (POST CSV)    register a table\n"
+        "  /drop?name=<t> (POST)            drop a table\n"
+        "  /tables                          list tables and cubes\n"
+        "  /materialize?name=&table=&keys=&aggs=[&budget_bytes=] (POST)\n"
+        "  /cube?name=<c>[&set=a,b]         query a materialized cube\n"
+        "  /queries                         in-flight queries\n"
+        "  /cancel?id=N (POST)              cancel an in-flight query\n"
+        "  /healthz                         liveness\n"
+        "  /metrics /varz /queryz /tracez   observability\n"
+        "or send one line of SQL over a raw TCP connection.\n");
+  }
+  return TextResponse(404, "not found\n");
+}
+
+}  // namespace datacube::server

@@ -1,0 +1,89 @@
+#ifndef DATACUBE_SERVER_SNAPSHOT_H_
+#define DATACUBE_SERVER_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/cube/partial_cube.h"
+#include "datacube/sql/catalog.h"
+
+// Immutable serving state for the cube server, swapped atomically so reads
+// never block on writes: every query loads one shared_ptr snapshot and runs
+// entirely against it, while registration/refresh copies the current
+// snapshot (cheap — the catalog holds tables by shared_ptr), edits the copy,
+// and publishes it with a single atomic store. In-flight queries keep their
+// (old) snapshot's tables alive through the shared_ptr graph; there is never
+// a moment where a reader sees half of an update.
+
+namespace datacube::server {
+
+/// One budgeted partial cube mounted in the snapshot. PartialCube::Query
+/// mutates per-cube stats, so concurrent readers of the *same* cube
+/// serialize on `mu`; the cube and its mutex are shared across snapshot
+/// versions until the cube is replaced or dropped.
+struct MaterializedCubeEntry {
+  std::string name;
+  std::string table;  // source table at build time
+  /// Grouping-key column names, in bit order of the cube's GroupingSets.
+  std::vector<std::string> keys;
+  std::shared_ptr<PartialCube> cube;
+  std::shared_ptr<std::mutex> mu;
+  size_t budget_bytes = 0;
+};
+
+/// One immutable version of the serving state.
+struct ServerSnapshot {
+  sql::Catalog catalog;
+  std::vector<MaterializedCubeEntry> cubes;
+  /// Monotonic publish counter (1 = first published version).
+  uint64_t version = 0;
+
+  const MaterializedCubeEntry* FindCube(const std::string& name) const {
+    for (const MaterializedCubeEntry& e : cubes) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  }
+};
+
+/// Holder of the authoritative snapshot. Readers call Get() (one atomic
+/// shared_ptr load, wait-free with respect to writers); writers call
+/// Update(), which serializes writers on a mutex but never makes a reader
+/// wait.
+class SnapshotHolder {
+ public:
+  SnapshotHolder()
+      : current_(std::make_shared<const ServerSnapshot>()) {}
+
+  std::shared_ptr<const ServerSnapshot> Get() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Copy-edit-publish. `edit` sees a private copy of the current snapshot;
+  /// on OK the copy (with a bumped version) becomes current. On error
+  /// nothing is published.
+  Status Update(const std::function<Status(ServerSnapshot&)>& edit) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    auto next = std::make_shared<ServerSnapshot>(
+        *current_.load(std::memory_order_acquire));
+    DATACUBE_RETURN_IF_ERROR(edit(*next));
+    next->version += 1;
+    current_.store(std::shared_ptr<const ServerSnapshot>(std::move(next)),
+                   std::memory_order_release);
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ServerSnapshot>> current_;
+  std::mutex writer_mu_;  // serializes Update() copy-edit-publish cycles
+};
+
+}  // namespace datacube::server
+
+#endif  // DATACUBE_SERVER_SNAPSHOT_H_

@@ -7,6 +7,12 @@
 namespace datacube::sql {
 
 Status Catalog::Register(std::string name, Table table) {
+  return RegisterShared(std::move(name),
+                        std::make_shared<const Table>(std::move(table)));
+}
+
+Status Catalog::RegisterShared(std::string name,
+                               std::shared_ptr<const Table> table) {
   for (const auto& [existing, _] : tables_) {
     if (EqualsIgnoreCase(existing, name)) {
       return Status::AlreadyExists("table already registered: " + name);
@@ -17,6 +23,11 @@ Status Catalog::Register(std::string name, Table table) {
 }
 
 void Catalog::Put(std::string name, Table table) {
+  PutShared(std::move(name), std::make_shared<const Table>(std::move(table)));
+}
+
+void Catalog::PutShared(std::string name,
+                        std::shared_ptr<const Table> table) {
   for (auto& [existing, t] : tables_) {
     if (EqualsIgnoreCase(existing, name)) {
       t = std::move(table);
@@ -26,9 +37,27 @@ void Catalog::Put(std::string name, Table table) {
   tables_.emplace_back(std::move(name), std::move(table));
 }
 
+bool Catalog::Drop(const std::string& name) {
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if (EqualsIgnoreCase(it->first, name)) {
+      tables_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<const Table*> Catalog::Get(const std::string& name) const {
   for (const auto& [existing, table] : tables_) {
-    if (EqualsIgnoreCase(existing, name)) return &table;
+    if (EqualsIgnoreCase(existing, name)) return table.get();
+  }
+  return Status::NotFound("no table named " + name);
+}
+
+Result<std::shared_ptr<const Table>> Catalog::GetShared(
+    const std::string& name) const {
+  for (const auto& [existing, table] : tables_) {
+    if (EqualsIgnoreCase(existing, name)) return table;
   }
   return Status::NotFound("no table named " + name);
 }

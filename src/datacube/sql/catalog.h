@@ -1,7 +1,9 @@
 #ifndef DATACUBE_SQL_CATALOG_H_
 #define DATACUBE_SQL_CATALOG_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datacube/common/result.h"
@@ -11,21 +13,36 @@ namespace datacube::sql {
 
 /// A name → table binding used by the SQL engine. Lookup is
 /// case-insensitive.
+///
+/// Tables are held by shared_ptr-to-const, so copying a Catalog copies
+/// bindings, not data — the serving layer snapshots the catalog per query by
+/// value and swaps the authoritative copy atomically, with in-flight queries
+/// keeping their tables alive through their snapshot's references.
 class Catalog {
  public:
   /// Registers a table; fails if the name is taken.
   Status Register(std::string name, Table table);
+  Status RegisterShared(std::string name, std::shared_ptr<const Table> table);
 
   /// Replaces or adds a table binding.
   void Put(std::string name, Table table);
+  void PutShared(std::string name, std::shared_ptr<const Table> table);
+
+  /// Removes a binding; false if the name was not bound. Tables referenced
+  /// by existing snapshot copies stay alive until those copies die.
+  bool Drop(const std::string& name);
 
   Result<const Table*> Get(const std::string& name) const;
+  Result<std::shared_ptr<const Table>> GetShared(
+      const std::string& name) const;
+
+  size_t size() const { return tables_.size(); }
 
   /// Sorted table names.
   std::vector<std::string> Names() const;
 
  private:
-  std::vector<std::pair<std::string, Table>> tables_;
+  std::vector<std::pair<std::string, std::shared_ptr<const Table>>> tables_;
 };
 
 }  // namespace datacube::sql

@@ -794,6 +794,10 @@ Result<Table> ExecuteSelectImpl(const SelectStatement& stmt,
                                 const EngineOptions& options,
                                 CubeStats* stats_out) {
   obs::ScopedSpan span("execute_select");
+  // Serving layer's deadline/cancel hook: fail fast before touching the
+  // table (a pre-expired deadline never starts scanning); the cube operator
+  // re-polls the same control at its work boundaries.
+  DATACUBE_RETURN_IF_ERROR(CheckControl(options.cube.control));
   DATACUBE_ASSIGN_OR_RETURN(const Table* base, catalog.Get(stmt.from_table));
   if (span.active()) {
     span.Attr("table", stmt.from_table);

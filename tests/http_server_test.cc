@@ -1,0 +1,354 @@
+#include "datacube/obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace datacube::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int MillisSince(Clock::time_point start) {
+  return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - start)
+                              .count());
+}
+
+// Raw TCP client so tests control exactly what bytes hit the wire and when —
+// urllib-style helpers hide the split-send and slow-loris shapes this
+// transport exists to handle.
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RawClient(const RawClient&) = delete;
+  RawClient& operator=(const RawClient&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until the peer closes (the server always closes after one
+  /// response); returns everything received.
+  std::string RecvAll() {
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd_, buf, sizeof(buf), 0)) > 0) {
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+std::string StatusLine(const std::string& response) {
+  return response.substr(0, response.find("\r\n"));
+}
+
+/// Starts a server whose handler echoes the parsed request back, so tests
+/// can assert on exactly what the transport delivered.
+std::unique_ptr<HttpServer> StartEcho(HttpServer::Options options) {
+  auto handler = [](const HttpRequest& req) {
+    HttpResponse resp;
+    if (req.method == "POST" && req.path == "/reject") resp.status = 405;
+    resp.body = "method=" + req.method + " path=" + req.path +
+                " query=" + req.query + " body=[" + req.body + "]";
+    return resp;
+  };
+  Result<std::unique_ptr<HttpServer>> server =
+      HttpServer::Start(options, handler);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return server.ok() ? std::move(*server) : nullptr;
+}
+
+// ----------------------------------------------------------------- parsing
+
+TEST(HttpServerTest, ParsesMethodPathQueryAndBody) {
+  auto server = StartEcho({});
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(
+      c.Send("POST /query?q=SELECT+1&deadline_ms=5 HTTP/1.1\r\n"
+             "Host: x\r\nContent-Length: 5\r\n\r\nhello"));
+  std::string response = c.RecvAll();
+  EXPECT_NE(StatusLine(response).find("200"), std::string::npos);
+  EXPECT_NE(response.find("method=POST path=/query "
+                          "query=q=SELECT+1&deadline_ms=5 body=[hello]"),
+            std::string::npos);
+}
+
+TEST(HttpServerTest, SplitHeadAndBodyStillParses) {
+  // Regression: compacting the connection list self-moved the Conn whose
+  // index did not change, and a self-moved std::string may clear — the
+  // buffered head vanished and the later body bytes never completed the
+  // request, so split sends timed out with 408 instead of being served.
+  auto server = StartEcho({});
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.Send("POST /p HTTP/1.1\r\nContent-Length: 4\r\n\r\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  Clock::time_point start = Clock::now();
+  ASSERT_TRUE(c.Send("wxyz"));
+  std::string response = c.RecvAll();
+  EXPECT_NE(StatusLine(response).find("200"), std::string::npos);
+  EXPECT_NE(response.find("body=[wxyz]"), std::string::npos);
+  EXPECT_LT(MillisSince(start), 1000) << "body completion was not prompt";
+}
+
+TEST(HttpServerTest, HeadIsHeadersOnlyWithTrueContentLength) {
+  auto server = StartEcho({});
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.Send("HEAD /h HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string response = c.RecvAll();
+  EXPECT_NE(StatusLine(response).find("200"), std::string::npos);
+  // The handler body for "HEAD /h" is known; Content-Length must match it
+  // even though the body itself is suppressed.
+  std::string body = "method=HEAD path=/h query= body=[]";
+  EXPECT_NE(response.find("Content-Length: " + std::to_string(body.size())),
+            std::string::npos);
+  EXPECT_EQ(response.find("method=HEAD"), std::string::npos)
+      << "HEAD response leaked a body";
+  EXPECT_NE(response.find("\r\n\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.find("\r\n\r\n") + 4), "");
+}
+
+TEST(HttpServerTest, HandlerStatusPassesThrough) {
+  auto server = StartEcho({});
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.Send("POST /reject HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+  EXPECT_NE(StatusLine(c.RecvAll()).find("405"), std::string::npos);
+}
+
+// ------------------------------------------------------- protocol errors
+
+TEST(HttpServerTest, OversizedHeadGets431NotSilentParse) {
+  // Seed bug: a head that filled the read budget without a blank line was
+  // parsed as if complete. It must be answered 431.
+  HttpServer::Options options;
+  options.max_request_bytes = 512;
+  auto server = StartEcho(options);
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.Send("GET /big HTTP/1.1\r\nX-Huge: " +
+                     std::string(2048, 'a')));  // no terminating blank line
+  std::string response = c.RecvAll();
+  EXPECT_NE(StatusLine(response).find("431"), std::string::npos)
+      << "got: " << StatusLine(response);
+}
+
+TEST(HttpServerTest, StalledClientGets408NotSilentDrop) {
+  // Seed bug: clients that stalled mid-request were dropped without any
+  // response. The transport must answer 408 after head_timeout_ms.
+  HttpServer::Options options;
+  options.head_timeout_ms = 200;
+  auto server = StartEcho(options);
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  Clock::time_point start = Clock::now();
+  ASSERT_TRUE(c.Send("GET /slow HTTP/1.1\r\nX-Part"));  // never finishes
+  std::string response = c.RecvAll();
+  EXPECT_NE(StatusLine(response).find("408"), std::string::npos)
+      << "got: " << response.substr(0, 60);
+  EXPECT_GE(MillisSince(start), 150);
+  EXPECT_LT(MillisSince(start), 5000);
+}
+
+TEST(HttpServerTest, MalformedRequestLineGets400) {
+  auto server = StartEcho({});
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.Send("NOT A VALID REQUEST\r\nHost: x\r\n\r\n"));
+  EXPECT_NE(StatusLine(c.RecvAll()).find("400"), std::string::npos);
+}
+
+TEST(HttpServerTest, BadAndOversizedContentLength) {
+  HttpServer::Options options;
+  options.max_body_bytes = 1024;
+  auto server = StartEcho(options);
+  ASSERT_NE(server, nullptr);
+  {
+    RawClient c(server->port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.Send("POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n"));
+    EXPECT_NE(StatusLine(c.RecvAll()).find("400"), std::string::npos);
+  }
+  {
+    RawClient c(server->port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.Send("POST /p HTTP/1.1\r\nContent-Length: 99999\r\n\r\n"));
+    EXPECT_NE(StatusLine(c.RecvAll()).find("413"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------------- slow-loris fix
+
+TEST(HttpServerTest, SlowClientDoesNotDelayConcurrentRequests) {
+  // Regression for the tentpole bug: the seed accepted and served
+  // connections serially on one thread, so a slow sender stalled every
+  // later client. Here a client that never completes its request must not
+  // delay a well-behaved one.
+  HttpServer::Options options;
+  options.head_timeout_ms = 3000;
+  auto server = StartEcho(options);
+  ASSERT_NE(server, nullptr);
+
+  RawClient slow(server->port());
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(slow.Send("GET /stall HTTP/1.1\r\nX-Slow: a"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Clock::time_point start = Clock::now();
+  RawClient fast(server->port());
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(fast.Send("GET /fast HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string response = fast.RecvAll();
+  EXPECT_NE(StatusLine(response).find("200"), std::string::npos);
+  EXPECT_NE(response.find("path=/fast"), std::string::npos);
+  EXPECT_LT(MillisSince(start), 1500)
+      << "fast request was serialized behind the stalled client";
+  // And the stalled client still gets its 408 rather than a silent drop.
+  EXPECT_NE(StatusLine(slow.RecvAll()).find("408"), std::string::npos);
+}
+
+TEST(HttpServerTest, ManyConcurrentClientsAllAnswered) {
+  auto server = StartEcho({});
+  ASSERT_NE(server, nullptr);
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      RawClient c(server->port());
+      if (!c.ok()) return;
+      if (!c.Send("GET /c" + std::to_string(i) + " HTTP/1.1\r\n\r\n")) return;
+      std::string response = c.RecvAll();
+      if (response.find("path=/c" + std::to_string(i)) != std::string::npos) {
+        ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kClients);
+}
+
+// ----------------------------------------------------------- line protocol
+
+TEST(HttpServerTest, LineProtocolBypassesHttpFraming) {
+  HttpServer::Options options;
+  options.enable_line_protocol = true;
+  auto server = StartEcho(options);
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.Send("SELECT 1 FROM T\n"));
+  std::string response = c.RecvAll();
+  EXPECT_EQ(response, "method=LINE path=SELECT 1 FROM T query= body=[]");
+  EXPECT_EQ(response.find("HTTP/"), std::string::npos);
+}
+
+TEST(HttpServerTest, LineProtocolOffMeansRawLinesAreMalformed) {
+  auto server = StartEcho({});  // enable_line_protocol defaults to false
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.Send("SELECT 1 FROM T\nmore\r\n\r\n"));
+  EXPECT_NE(StatusLine(c.RecvAll()).find("400"), std::string::npos);
+}
+
+// ------------------------------------------------------------- lifecycle
+
+TEST(HttpServerTest, StopWithPendingConnectionIsClean) {
+  HttpServer::Options options;
+  options.head_timeout_ms = 30000;
+  auto server = StartEcho(options);
+  ASSERT_NE(server, nullptr);
+  RawClient pending(server->port());
+  ASSERT_TRUE(pending.ok());
+  ASSERT_TRUE(pending.Send("GET /never HTTP/1.1\r\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server->Stop();  // must not hang on the half-read connection
+  server->Stop();  // idempotent
+}
+
+TEST(HttpServerTest, DispatcherReceivesTheWork) {
+  std::atomic<int> dispatched{0};
+  HttpServer::Options options;
+  options.dispatcher = [&dispatched](std::function<void()> work) {
+    dispatched.fetch_add(1);
+    std::thread(std::move(work)).detach();
+  };
+  auto server = StartEcho(options);
+  ASSERT_NE(server, nullptr);
+  RawClient c(server->port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.Send("GET /via-pool HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(c.RecvAll().find("path=/via-pool"), std::string::npos);
+  EXPECT_EQ(dispatched.load(), 1);
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(HttpServerTest, UrlDecodeHandlesEscapesAndPlus) {
+  EXPECT_EQ(UrlDecode("SELECT+Model%2C+SUM(Units)"),
+            "SELECT Model, SUM(Units)");
+  EXPECT_EQ(UrlDecode("a%20b%3D%26"), "a b=&");
+  EXPECT_EQ(UrlDecode("trailing%"), "trailing%");
+  EXPECT_EQ(UrlDecode("bad%zzescape"), "bad%zzescape");
+}
+
+TEST(HttpServerTest, QueryParamLookup) {
+  HttpRequest req;
+  req.query = "q=SELECT+1&deadline_ms=25&flag";
+  EXPECT_EQ(req.QueryParam("q"), "SELECT 1");
+  EXPECT_EQ(req.QueryParam("deadline_ms"), "25");
+  EXPECT_EQ(req.QueryParam("flag"), "");
+  EXPECT_EQ(req.QueryParam("absent"), "");
+}
+
+}  // namespace
+}  // namespace datacube::obs

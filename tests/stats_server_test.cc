@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -173,6 +174,109 @@ TEST(StatsServerTest, TwoServersBindDistinctEphemeralPorts) {
   EXPECT_NE((*a)->port(), (*b)->port());
   EXPECT_FALSE(HttpGet((*a)->port(), "/").empty());
   EXPECT_FALSE(HttpGet((*b)->port(), "/").empty());
+}
+
+// ------------------------------------------------- transport regressions
+
+// Raw client for the protocol-error shapes HttpGet can't produce.
+int RawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string RawExchange(int fd, const std::string& request) {
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(StatsServerTest, OversizedHeadIs431NotParsedAsComplete) {
+  // Seed bug: a request head that filled the buffer without a blank line
+  // was parsed as if complete and answered 200. It must be refused.
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  int fd = RawConnect((*server)->port());
+  ASSERT_GE(fd, 0);
+  std::string response = RawExchange(
+      fd, "GET /metrics HTTP/1.1\r\nX-Pad: " + std::string(16384, 'p'));
+  EXPECT_NE(response.find("431"), std::string::npos)
+      << response.substr(0, 60);
+  EXPECT_EQ(response.find("200 OK"), std::string::npos);
+}
+
+TEST(StatsServerTest, StalledScraperIs408NotSilentDrop) {
+  // Seed bug: a client that stalled mid-request was dropped with no
+  // response once the socket timeout fired.
+  StatsServer::Options options;
+  options.head_timeout_ms = 200;
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  int fd = RawConnect((*server)->port());
+  ASSERT_GE(fd, 0);
+  std::string response = RawExchange(fd, "GET /metrics HTTP/1.1\r\nX-Sl");
+  EXPECT_NE(response.find("408"), std::string::npos)
+      << response.substr(0, 60);
+}
+
+TEST(StatsServerTest, SlowClientDoesNotDelayConcurrentScrape) {
+  // The tentpole regression: the seed served connections serially on the
+  // accept thread, so one slow scraper stalled every other one.
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  int slow = RawConnect((*server)->port());
+  ASSERT_GE(slow, 0);
+  std::string partial = "GET /metrics HTTP/1.1\r\nX-Never: finis";
+  ASSERT_GT(::send(slow, partial.data(), partial.size(), MSG_NOSIGNAL), 0);
+
+  auto start = std::chrono::steady_clock::now();
+  std::string response = HttpGet((*server)->port(), "/metrics");
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_LT(elapsed_ms, 1500)
+      << "scrape was serialized behind the stalled client";
+  ::close(slow);
+}
+
+TEST(StatsServerTest, PostOverSocketIs405AndHeadIsHeadersOnly) {
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  int fd = RawConnect((*server)->port());
+  ASSERT_GE(fd, 0);
+  std::string post = RawExchange(
+      fd, "POST /metrics HTTP/1.1\r\nContent-Length: 1\r\n\r\nx");
+  EXPECT_NE(post.find("405"), std::string::npos) << post.substr(0, 60);
+
+  fd = RawConnect((*server)->port());
+  ASSERT_GE(fd, 0);
+  std::string head =
+      RawExchange(fd, "HEAD /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length:"), std::string::npos);
+  // Headers only: nothing after the blank line.
+  EXPECT_EQ(head.substr(head.find("\r\n\r\n") + 4), "");
 }
 
 TEST(StatsServerTest, RejectsBadHost) {

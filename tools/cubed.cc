@@ -1,0 +1,110 @@
+// cubed — the long-lived data cube server.
+//
+// Boots a CubeServer (mini-SQL over HTTP + bare line protocol, admission
+// control, per-query deadlines, snapshot-swapped catalog, stats endpoints
+// on the same listener), preloads the paper's Table 3 sales data plus a
+// larger synthetic table so clients have something to query, prints the
+// listen URL, and serves until interrupted. Usage:
+//
+//   cubed [--port N] [--host H] [--max-concurrent N] [--deadline-ms N]
+//         [--threads N] [--once]
+//
+// --port (or DATACUBE_CUBED_PORT) picks the port; default 0 = ephemeral.
+// --max-concurrent bounds concurrently executing queries (503 beyond it).
+// --deadline-ms applies a default per-query deadline when the client sends
+// none. --threads sets per-query cube parallelism. --once exits right
+// after booting (config smoke). Example session:
+//
+//   $ cubed --port 8080 &
+//   $ curl 'localhost:8080/query?q=SELECT+Model,SUM(Units)+FROM+Sales\
+//       +GROUP+BY+CUBE+Model'
+//   $ echo 'SELECT Model, SUM(Units) FROM Sales GROUP BY CUBE Model' \
+//       | nc localhost 8080
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "datacube/server/cube_server.h"
+#include "datacube/workload/sales.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Fail(const datacube::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace datacube;
+
+  server::CubeServer::Options options;
+  bool once = false;
+  if (const char* env = std::getenv("DATACUBE_CUBED_PORT");
+      env != nullptr && env[0] != '\0') {
+    options.port = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-concurrent") == 0 && i + 1 < argc) {
+      options.max_concurrent_queries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.default_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.query_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--port N] [--host H] [--max-concurrent N]"
+                   " [--deadline-ms N] [--threads N] [--once]\n";
+      return 2;
+    }
+  }
+
+  Result<std::unique_ptr<server::CubeServer>> server =
+      server::CubeServer::Start(options);
+  if (!server.ok()) return Fail(server.status());
+
+  // Preload: the paper's Table 3 cars, and a synthetic table big enough for
+  // parallel execution and visible deadlines.
+  Result<Table> sales = Table3SalesTable();
+  if (!sales.ok()) return Fail(sales.status());
+  Result<Table> big = GenerateSales({.num_rows = 50000});
+  if (!big.ok()) return Fail(big.status());
+  if (Status st = (*server)->RegisterTable("Sales", std::move(*sales));
+      !st.ok()) {
+    return Fail(st);
+  }
+  if (Status st = (*server)->RegisterTable("BigSales", std::move(*big));
+      !st.ok()) {
+    return Fail(st);
+  }
+
+  // The smoke script scrapes this exact line for the URL.
+  std::cout << "listening on " << (*server)->url() << "\n";
+  std::cout.flush();
+
+  if (once) return 0;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) usleep(100 * 1000);
+  std::cout << "shutting down\n";
+  (*server)->Stop();
+  return 0;
+}

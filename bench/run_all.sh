@@ -42,6 +42,7 @@ GBENCH_BINARIES=(
   bench_parallel_scaling
   bench_smallest_parent
   bench_maintenance
+  bench_partitioned_ingest
   bench_uda_overhead
   bench_tpcd_6d
   bench_hash_cube

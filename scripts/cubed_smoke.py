@@ -15,6 +15,10 @@ end-to-end:
     with the loris itself ending in 408
   * method handling: POST /metrics is 405, HEAD /metrics is headers-only
   * line protocol: one-line SQL over a raw TCP connection
+  * ingest-under-query: one ingester streaming rows into the partitioned
+    Events store while four queriers watch COUNT(*) (which must be
+    monotonically non-decreasing — snapshots may lag but never travel
+    backwards) and one client forces compaction passes throughout
 
 Exits nonzero with a message on the first failure.
 """
@@ -202,6 +206,89 @@ def check_introspection(base):
     print("ok: /healthz /tables /queries")
 
 
+def check_ingest_under_query(base, batches=30, rows_per_batch=20):
+    """One ingester, four COUNT(*) queriers, one compaction forcer.
+
+    The partitioned store swaps immutable partition lists while ingest
+    appends to open deltas, so a reader may see a count that lags the
+    ingester -- but it must never see one shrink (that would mean a read
+    caught a half-published compaction or lost a delta)."""
+    status, body = fetch(f"{base}/partitions")
+    if status != 200 or "Events" not in body:
+        return fail(f"/partitions: HTTP {status}: {body[:120]!r}")
+    status, body = query(base, "SELECT COUNT(*) FROM Events")
+    if status != 200:
+        return fail(f"COUNT over Events: HTTP {status}: {body.strip()}")
+    base_count = int(body.strip().splitlines()[-1])
+
+    stop = threading.Event()
+    errors = []
+
+    def ingester():
+        sources = ["web", "app", "api"]
+        for b in range(batches):
+            lines = []
+            for r in range(rows_per_batch):
+                ts = 100_000 + b * 500 + r  # crosses window boundaries
+                lines.append(f"{ts},{sources[r % 3]},smoke,{r}")
+            body = "\n".join(lines).encode()
+            status, text = fetch(f"{base}/ingest?table=Events&header=0",
+                                 method="POST", data=body)
+            if status != 200:
+                errors.append(f"ingester: HTTP {status}: {text.strip()}")
+                return
+            time.sleep(0.01)
+
+    def querier(idx):
+        last = base_count
+        while not stop.is_set():
+            status, body = query(base, "SELECT COUNT(*) FROM Events")
+            if status != 200:
+                errors.append(f"querier {idx}: HTTP {status}: {body.strip()}")
+                return
+            count = int(body.strip().splitlines()[-1])
+            if count < last:
+                errors.append(
+                    f"querier {idx}: COUNT(*) went backwards: {last} -> {count}")
+                return
+            last = count
+
+    def compactor():
+        while not stop.is_set():
+            status, body = fetch(f"{base}/compact?table=Events",
+                                 method="POST", data=b"")
+            if status != 200:
+                errors.append(f"compactor: HTTP {status}: {body.strip()}")
+                return
+            time.sleep(0.05)
+
+    ingest_thread = threading.Thread(target=ingester)
+    others = [threading.Thread(target=querier, args=(i,)) for i in range(4)]
+    others.append(threading.Thread(target=compactor))
+    ingest_thread.start()
+    for t in others:
+        t.start()
+    ingest_thread.join()
+    stop.set()
+    for t in others:
+        t.join()
+    for e in errors:
+        fail(e)
+    if errors:
+        return
+    status, body = query(base, "SELECT COUNT(*) FROM Events")
+    final = int(body.strip().splitlines()[-1])
+    expected = base_count + batches * rows_per_batch
+    if final != expected:
+        return fail(f"ingest total: expected {expected}, got {final}")
+    status, body = query(
+        base, "SELECT COUNT(*) FROM Events WHERE ts >= 100000")
+    if status != 200 or int(body.strip().splitlines()[-1]) != batches * rows_per_batch:
+        return fail(f"pruned count over ingested range: HTTP {status}: {body!r}")
+    print(f"ok: ingest-under-query ({expected} rows, 4 queriers monotonic, "
+          "compaction forced throughout)")
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -214,6 +301,7 @@ def main():
     check_methods(base)
     check_line_protocol(base)
     check_introspection(base)
+    check_ingest_under_query(base)
     if FAILURES:
         print(f"{len(FAILURES)} failure(s)", file=sys.stderr)
         return 1

@@ -1,0 +1,61 @@
+#ifndef DATACUBE_CUBE_CUBE_STORE_H_
+#define DATACUBE_CUBE_CUBE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "datacube/common/result.h"
+#include "datacube/cube/cube_spec.h"
+#include "datacube/cube/grouping_set.h"
+#include "datacube/table/table.h"
+
+namespace datacube {
+
+/// The common surface of every cube storage engine: the fully maintained
+/// MaterializedCube, the budget-selected PartialCube, and the
+/// time-partitioned PartitionedCube. Query, ingest, and checkpoint code
+/// programs against this interface instead of hard-coding the monolithic
+/// type, so a serving layer can mount any of the three interchangeably.
+///
+/// Semantics shared by all implementations:
+///  * ApplyInsert folds one full-width base row in via the Section 6
+///    incremental maintenance path (never a rebuild).
+///  * QuerySet answers GROUP BY over one grouping set of the store's spec,
+///    returning full-width grouping columns (ALL in aggregated-away
+///    positions) plus the aggregate values.
+///  * ToTable is the store's current relational form — every grouping set
+///    it serves, concatenated.
+///  * SaveToFile checkpoints exact aggregate scratchpads so maintenance
+///    keeps working after a reload. MaterializedCube and PartialCube write
+///    one file; PartitionedCube writes a directory (one checkpoint per
+///    partition delta plus a manifest).
+class CubeStoreInterface {
+ public:
+  virtual ~CubeStoreInterface() = default;
+
+  /// The cube definition this store was built with.
+  virtual const CubeSpec& spec() const = 0;
+
+  /// Storage kind tag: "materialized", "partial", or "partitioned".
+  virtual const char* kind() const = 0;
+
+  /// Number of live base rows backing the store.
+  virtual size_t num_base_rows() const = 0;
+
+  /// Incremental insert of one full-width base row.
+  virtual Status ApplyInsert(const std::vector<Value>& row) = 0;
+
+  /// Answers GROUP BY over `target` (a bitmask over the spec's grouping
+  /// columns). Non-const: implementations may record per-query stats.
+  virtual Result<Table> QuerySet(GroupingSet target) = 0;
+
+  /// The store's current relational form.
+  virtual Result<Table> ToTable() = 0;
+
+  /// Checkpoints the store (file or directory, by implementation).
+  virtual Status SaveToFile(const std::string& path) const = 0;
+};
+
+}  // namespace datacube
+
+#endif  // DATACUBE_CUBE_CUBE_STORE_H_

@@ -738,6 +738,36 @@ Result<std::unique_ptr<MaterializedCube>> MaterializedCube::LoadFromFile(
   return cube;
 }
 
+Result<Table> MaterializedCube::QuerySet(GroupingSet target) {
+  std::vector<SliceCoord> coords;
+  coords.reserve(ctx_.num_keys);
+  for (size_t k = 0; k < ctx_.num_keys; ++k) {
+    coords.push_back(IsGrouped(target, k) ? SliceCoord::Wildcard()
+                                          : SliceCoord::AllPlane());
+  }
+  return Slice(coords);
+}
+
+void MaterializedCube::ForEachCell(
+    size_t set_index,
+    const std::function<void(const std::vector<Value>& key,
+                             const char* block)>& fn) const {
+  const cube_internal::CellStore& store = stores_[set_index];
+  store.ForEach([&](const uint64_t* key, char* block) {
+    fn(cc_.codec.DecodeKey(key), block);
+  });
+}
+
+Result<Table> MaterializedCube::LiveRows() const {
+  Table out{base_->schema()};
+  out.Reserve(live_rows_);
+  for (size_t r = 0; r < base_->num_rows(); ++r) {
+    if (tombstone_[r]) continue;
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(base_->GetRow(r)));
+  }
+  return out;
+}
+
 Result<Table> MaterializedCube::ToTable() const {
   // AssembleColumnarResult mutates its stores (the empty-grand-total
   // fix-up), so assemble from a deep copy of the cells.

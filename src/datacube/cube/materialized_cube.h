@@ -10,6 +10,7 @@
 #include "datacube/cube/columnar.h"
 #include "datacube/cube/cube_internal.h"
 #include "datacube/cube/cube_operator.h"
+#include "datacube/cube/cube_store.h"
 
 namespace datacube {
 
@@ -77,7 +78,7 @@ struct SliceCoord {
 ///
 /// The cube also answers the Section 4 addressing forms: cube.v(i, j, ...)
 /// point lookups with ALL coordinates, and percent-of-total.
-class MaterializedCube {
+class MaterializedCube : public CubeStoreInterface {
  public:
   /// Computes the cube over `input` and retains a copy of the base data for
   /// maintenance.
@@ -89,7 +90,7 @@ class MaterializedCube {
   MaterializedCube& operator=(const MaterializedCube&) = delete;
 
   /// Applies one inserted base row (full base-table width).
-  Status ApplyInsert(const std::vector<Value>& row);
+  Status ApplyInsert(const std::vector<Value>& row) override;
 
   /// Applies one deleted base row. The row must currently exist in the base
   /// data (value-equal match).
@@ -163,6 +164,14 @@ class MaterializedCube {
 
   /// The cube's current relational form.
   Result<Table> ToTable() const;
+  Result<Table> ToTable() override {
+    return static_cast<const MaterializedCube*>(this)->ToTable();
+  }
+
+  /// CubeStoreInterface: one grouping set's plane, via Slice with
+  /// wildcards in grouped positions and ALL elsewhere. `target` must be
+  /// one of the spec's grouping sets.
+  Result<Table> QuerySet(GroupingSet target) override;
 
   /// Checkpoints the cube — base data, tombstones, and every cell's exact
   /// scratchpad — to `path`. The Section 6 customers "compute and store the
@@ -178,10 +187,32 @@ class MaterializedCube {
       const CubeSpec& spec, const std::string& path);
 
   /// Number of live base rows.
-  size_t num_base_rows() const { return live_rows_; }
+  size_t num_base_rows() const override { return live_rows_; }
 
   const MaintenanceStats& maintenance_stats() const { return stats_; }
-  const CubeSpec& spec() const { return *spec_; }
+  const CubeSpec& spec() const override { return *spec_; }
+  const char* kind() const override { return "materialized"; }
+
+  /// The normalized grouping-set list, in store order.
+  const std::vector<GroupingSet>& grouping_sets() const { return ctx_.sets; }
+
+  /// The columnar view (codec + state layout). The state layout depends
+  /// only on the aggregate list, so two cubes built from the same spec
+  /// have byte-identical cell blocks — the property cross-cube merging
+  /// (PartitionedCube) relies on.
+  const cube_internal::ColumnarContext& columnar() const { return cc_; }
+
+  /// Visits every maintained cell of grouping set `set_index` (an index
+  /// into grouping_sets()): the decoded full-width key (ALL in
+  /// aggregated-away positions) and the cell's state block. Read-only —
+  /// callers may Merge the block's states into another same-spec cube's
+  /// cells but must not mutate this one.
+  void ForEachCell(size_t set_index,
+                   const std::function<void(const std::vector<Value>& key,
+                                            const char* block)>& fn) const;
+
+  /// Live (non-tombstoned) base rows, copied out as a table.
+  Result<Table> LiveRows() const;
 
  private:
   MaterializedCube() = default;

@@ -80,6 +80,12 @@ Result<std::unique_ptr<PartialCube>> PartialCube::Build(
 
 Result<std::unique_ptr<PartialCube>> PartialCube::BuildWithBudget(
     const Table& input, const CubeSpec& spec, size_t budget_bytes) {
+  return BuildWithBudget(input, spec, budget_bytes, /*observed=*/nullptr);
+}
+
+Result<std::unique_ptr<PartialCube>> PartialCube::BuildWithBudget(
+    const Table& input, const CubeSpec& spec, size_t budget_bytes,
+    const ObservedCellCounts* observed) {
   // Probe context over the core alone: the codec's per-column dictionaries
   // give the cardinality estimates and the state layout gives the per-cell
   // byte footprint the selection prices views with.
@@ -98,6 +104,10 @@ Result<std::unique_ptr<PartialCube>> PartialCube::BuildWithBudget(
   model.base_rows = input.num_rows();
   model.bytes_per_cell = static_cast<double>(
       pcc.words * sizeof(uint64_t) + pcc.layout.block_size);
+  // Observed-cardinality feedback: actual per-set cell counts from a prior
+  // materialization override the cardinality-product estimates, so the
+  // greedy re-prices views with what the data really did.
+  if (observed != nullptr) model.observed_cells = *observed;
   DATACUBE_ASSIGN_OR_RETURN(
       ViewSelection sel,
       SelectViewsByByteBudget(model, static_cast<double>(budget_bytes)));
@@ -112,6 +122,28 @@ size_t PartialCube::materialized_cells() const {
   size_t total = 0;
   for (const CellStore& s : stores_) total += s.size();
   return total;
+}
+
+PartialCube::ObservedCellCounts PartialCube::ObservedCells() const {
+  ObservedCellCounts out;
+  out.reserve(views_.size());
+  for (size_t s = 0; s < views_.size(); ++s) {
+    out.emplace_back(views_[s], static_cast<double>(stores_[s].size()));
+  }
+  return out;
+}
+
+Result<Table> PartialCube::ToTable() {
+  Table out;
+  for (size_t s = 0; s < views_.size(); ++s) {
+    DATACUBE_ASSIGN_OR_RETURN(Table view, Query(views_[s]));
+    if (s == 0) {
+      out = std::move(view);
+    } else {
+      DATACUBE_RETURN_IF_ERROR(out.AppendTable(view));
+    }
+  }
+  return out;
 }
 
 size_t PartialCube::materialized_bytes() const {

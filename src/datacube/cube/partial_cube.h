@@ -8,6 +8,7 @@
 #include "datacube/cube/columnar.h"
 #include "datacube/cube/cube_internal.h"
 #include "datacube/cube/cube_operator.h"
+#include "datacube/cube/cube_store.h"
 #include "datacube/cube/view_selection.h"
 
 namespace datacube {
@@ -26,7 +27,7 @@ namespace datacube {
 /// Requires every aggregate to support Merge and to be non-holistic
 /// (distributive or algebraic): holistic super-aggregates need base data,
 /// so a holistic cube must not be served by ancestor folding.
-class PartialCube {
+class PartialCube : public CubeStoreInterface {
  public:
   /// Materializes `views` (each a bitmask over spec's grouping columns; the
   /// core is added if missing) for spec's aggregates over `input`.
@@ -38,6 +39,18 @@ class PartialCube {
   /// `budget_bytes` (cells estimated from column cardinalities, bytes from
   /// the columnar cell layout) and materializes the selected views. The
   /// mandatory core is always kept, even when it alone exceeds the budget.
+  /// Per-set observed cell counts — the feedback a re-materialization can
+  /// hand back to the cost model in place of cardinality estimates.
+  using ObservedCellCounts = std::vector<std::pair<GroupingSet, double>>;
+
+  /// As BuildWithBudget below, with `observed` (when non-null) overriding
+  /// the cardinality-product cell estimates per grouping set — the
+  /// CubeStats-observed-cardinality feedback loop: a prior build's actual
+  /// view sizes (ObservedCells()) replace guesses on re-materialization.
+  static Result<std::unique_ptr<PartialCube>> BuildWithBudget(
+      const Table& input, const CubeSpec& spec, size_t budget_bytes,
+      const ObservedCellCounts* observed);
+
   static Result<std::unique_ptr<PartialCube>> BuildWithBudget(
       const Table& input, const CubeSpec& spec, size_t budget_bytes);
 
@@ -58,14 +71,22 @@ class PartialCube {
   /// returning the grouping columns + aggregate values relation.
   Result<Table> Query(GroupingSet target);
 
+  // CubeStoreInterface. QuerySet answers any set (materialized or folded
+  // from an ancestor); ToTable concatenates the materialized views.
+  Result<Table> QuerySet(GroupingSet target) override { return Query(target); }
+  Result<Table> ToTable() override;
+  const CubeSpec& spec() const override { return *spec_; }
+  const char* kind() const override { return "partial"; }
+  size_t num_base_rows() const override { return base_->num_rows(); }
+
   /// Incremental insert maintenance: folds one new base row into every
   /// materialized view (|views| scratchpad visits instead of a rebuild) —
   /// the Section 6 trigger scenario applied to the partial cube.
-  Status ApplyInsert(const std::vector<Value>& row);
+  Status ApplyInsert(const std::vector<Value>& row) override;
 
   /// Checkpoints the partial cube — base data, the view selection, and
   /// every cell's exact scratchpad — to `path` (format DATACUBE_PCUBE_V1).
-  Status SaveToFile(const std::string& path) const;
+  Status SaveToFile(const std::string& path) const override;
 
   /// Restores a partial cube checkpointed by SaveToFile. The caller
   /// supplies the same CubeSpec the cube was built with (expressions are
@@ -80,6 +101,11 @@ class PartialCube {
 
   /// Total materialized cells across all stored views.
   size_t materialized_cells() const;
+
+  /// Exact observed cell count per materialized view (the stores' sizes),
+  /// in views() order — feed this to BuildWithBudget's `observed` on the
+  /// next materialization of the same spec.
+  ObservedCellCounts ObservedCells() const;
 
   /// Bytes resident across all stored views (cells × the columnar cell
   /// footprint: packed key words + aggregate state block).

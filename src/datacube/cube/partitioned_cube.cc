@@ -1,0 +1,864 @@
+#include "datacube/cube/partitioned_cube.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "datacube/cube/columnar.h"
+#include "datacube/cube/cube_internal.h"
+#include "datacube/cube/cube_operator.h"
+#include "datacube/obs/metrics.h"
+#include "datacube/obs/trace.h"
+
+namespace datacube {
+
+namespace {
+
+using cube_internal::BuildColumnarContext;
+using cube_internal::BuildCubeContext;
+using cube_internal::CellStore;
+using cube_internal::ColumnarContext;
+using cube_internal::CubeContext;
+using cube_internal::SetStores;
+using cube_internal::TaskGroup;
+using cube_internal::ThreadPool;
+
+/// Floor division, so negative partition keys window correctly
+/// (e.g. key -1, width 10 → window -1 covering [-10, 0)).
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+obs::Counter& PartCounter(const char* name, const char* help) {
+  return obs::MetricsRegistry::Global().GetCounter(name, help);
+}
+
+obs::Gauge& PartGauge(const char* name, const char* help) {
+  return obs::MetricsRegistry::Global().GetGauge(name, help);
+}
+
+/// A merge sink: the columnar machinery of a same-spec cube over an EMPTY
+/// base table. Partition cells fold in via the cross-cube Merge protocol —
+/// the state layout depends only on the aggregate list, so every
+/// partition's cell blocks are byte-compatible with the sink's.
+/// Heap-allocated and never moved: ctx/cc hold internal pointers.
+struct MergeSink {
+  Table empty;
+  CubeSpec spec;
+  CubeContext ctx;
+  ColumnarContext cc;
+  // Declaration order matters: stores destroy their cells through cc.
+  SetStores stores;
+};
+
+/// Re-encodes every sink store's keys after dictionary growth forced a
+/// codec Relayout (the MaterializedCube::RelayoutAndRekey dance, minus row
+/// keys — the sink's base table is empty).
+void RekeySinkStores(MergeSink& sink) {
+  std::vector<std::vector<std::pair<std::vector<Value>, char*>>> saved(
+      sink.stores.size());
+  for (size_t s = 0; s < sink.stores.size(); ++s) {
+    saved[s].reserve(sink.stores[s].size());
+    sink.stores[s].ForEach([&](const uint64_t* key, char* block) {
+      saved[s].emplace_back(sink.cc.codec.DecodeKey(key), block);
+    });
+  }
+  sink.cc.codec.Relayout();
+  sink.cc.RepackRowKeys();
+  for (size_t s = 0; s < sink.stores.size(); ++s) {
+    CellStore fresh = sink.cc.MakeStore(sink.stores[s].arena());
+    fresh.MutableStats() = sink.stores[s].stats();
+    sink.stores[s].ReleaseAll();
+    for (auto& [key, block] : saved[s]) {
+      std::optional<std::vector<uint64_t>> packed =
+          sink.cc.codec.EncodeKey(key, sink.ctx.sets[s]);
+      fresh.InsertAdopt(packed->data(), block);
+    }
+    sink.stores[s] = std::move(fresh);
+  }
+}
+
+Result<std::unique_ptr<MergeSink>> MakeSink(
+    const Schema& schema, const CubeSpec& spec,
+    const std::optional<GroupingSet>& only) {
+  auto sink = std::make_unique<MergeSink>();
+  sink->empty = Table(schema);
+  sink->spec = spec;
+  if (only.has_value()) {
+    sink->spec.explicit_sets = std::vector<GroupingSet>{*only};
+  }
+  DATACUBE_ASSIGN_OR_RETURN(sink->ctx,
+                            BuildCubeContext(sink->empty, sink->spec));
+  DATACUBE_ASSIGN_OR_RETURN(sink->cc, BuildColumnarContext(sink->ctx));
+  sink->stores.reserve(sink->ctx.sets.size());
+  for (size_t s = 0; s < sink->ctx.sets.size(); ++s) {
+    sink->stores.push_back(sink->cc.MakeStore());
+  }
+  return sink;
+}
+
+/// Folds every cell of `src` into the sink: decode the key under src's
+/// codec, re-encode under the sink's (growing its dictionaries as new
+/// values arrive), and Merge the state blocks.
+Status FoldCube(MergeSink& sink, const MaterializedCube& src) {
+  const std::vector<GroupingSet>& src_sets = src.grouping_sets();
+  for (size_t s = 0; s < sink.ctx.sets.size(); ++s) {
+    GroupingSet set = sink.ctx.sets[s];
+    auto it = std::find(src_sets.begin(), src_sets.end(), set);
+    if (it == src_sets.end()) {
+      return Status::Internal("partition delta is missing a grouping set");
+    }
+    size_t src_idx = static_cast<size_t>(it - src_sets.begin());
+    Status st = Status::OK();
+    src.ForEachCell(
+        src_idx, [&](const std::vector<Value>& key, const char* block) {
+          if (!st.ok()) return;
+          std::optional<std::vector<uint64_t>> packed =
+              sink.cc.codec.EncodeKey(key, set);
+          if (!packed.has_value()) {
+            for (size_t k = 0; k < sink.ctx.num_keys; ++k) {
+              if (IsGrouped(set, k)) sink.cc.codec.CodeOfOrAdd(k, key[k]);
+            }
+            if (sink.cc.codec.needs_relayout()) RekeySinkStores(sink);
+            packed = sink.cc.codec.EncodeKey(key, set);
+          }
+          char* dst = sink.stores[s].FindOrInsert(packed->data());
+          st = sink.cc.MergeCell(dst, block, nullptr);
+        });
+    DATACUBE_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+constexpr char kManifestMagic[] = "DATACUBE_PART_V1";
+
+}  // namespace
+
+Result<std::unique_ptr<PartitionedCube>> PartitionedCube::Create(
+    const Schema& base_schema, const CubeSpec& spec,
+    const PartitionedCubeOptions& options) {
+  if (options.window_width <= 0) {
+    return Status::InvalidArgument("partition window_width must be positive");
+  }
+  if (options.partition_column.empty()) {
+    return Status::InvalidArgument("partition_column is required");
+  }
+  std::optional<size_t> col =
+      base_schema.FieldIndexIgnoreCase(options.partition_column);
+  if (!col.has_value()) {
+    return Status::InvalidArgument("partition column '" +
+                                   options.partition_column +
+                                   "' is not in the base schema");
+  }
+  if (base_schema.field(*col).type != DataType::kInt64) {
+    return Status::InvalidArgument("partition column '" +
+                                   options.partition_column +
+                                   "' must be INT64");
+  }
+  if (!spec.decorations.empty()) {
+    return Status::InvalidArgument(
+        "partitioned cubes do not support decorations: a merged cell has no "
+        "representative row in any single partition's base table");
+  }
+
+  auto cube = std::unique_ptr<PartitionedCube>(new PartitionedCube());
+  cube->base_schema_ = base_schema;
+  cube->spec_ = std::make_unique<CubeSpec>(spec);
+  cube->options_ = options;
+  cube->partition_col_ = *col;
+  cube->retention_windows_.store(options.retention_windows,
+                                 std::memory_order_relaxed);
+  cube->list_ = std::make_shared<const PartitionList>();
+  cube->compact_group_ = std::make_unique<TaskGroup>(ThreadPool::Global());
+
+  // Validate the spec against the schema up front (and learn whether every
+  // aggregate supports Merge) by building a context over an empty table.
+  Table probe(base_schema);
+  DATACUBE_ASSIGN_OR_RETURN(CubeContext ctx, BuildCubeContext(probe, spec));
+  cube->mergeable_ = ctx.all_mergeable;
+  return cube;
+}
+
+Result<std::unique_ptr<PartitionedCube>> PartitionedCube::Build(
+    const Table& input, const CubeSpec& spec,
+    const PartitionedCubeOptions& options) {
+  DATACUBE_ASSIGN_OR_RETURN(std::unique_ptr<PartitionedCube> cube,
+                            Create(input.schema(), spec, options));
+  DATACUBE_RETURN_IF_ERROR(cube->IngestRows(input));
+  return cube;
+}
+
+PartitionedCube::~PartitionedCube() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  if (compact_group_ != nullptr) compact_group_->Wait();
+}
+
+Result<PartitionedCube::WindowKey> PartitionedCube::WindowOf(
+    const Value& v) const {
+  WindowKey key;
+  if (v.is_null()) {
+    key.null_window = true;
+    return key;
+  }
+  if (v.kind() != Value::Kind::kInt64) {
+    return Status::TypeError("partition key must be INT64 or NULL");
+  }
+  key.id = FloorDiv(v.int64_value(), options_.window_width);
+  return key;
+}
+
+Status PartitionedCube::IngestRowLocked(const std::vector<Value>& row,
+                                        size_t* late_rows) {
+  if (row.size() != base_schema_.num_fields()) {
+    return Status::InvalidArgument("ingest row width does not match schema");
+  }
+  DATACUBE_ASSIGN_OR_RETURN(WindowKey wk, WindowOf(row[partition_col_]));
+  auto it = open_.find(wk);
+  if (it == open_.end()) {
+    Table empty(base_schema_);
+    DATACUBE_ASSIGN_OR_RETURN(std::unique_ptr<MaterializedCube> delta,
+                              MaterializedCube::Build(empty, *spec_,
+                                                      options_.cube));
+    it = open_.emplace(wk, std::move(delta)).first;
+  }
+  // A row landing behind the newest window (or into an already-sealed one)
+  // is a late arrival — it reopens a delta for its own window.
+  if (!wk.null_window && max_window_.has_value() && wk.id < *max_window_) {
+    ++*late_rows;
+  }
+  DATACUBE_RETURN_IF_ERROR(it->second->ApplyInsert(row));
+  if (!wk.null_window) {
+    max_window_ = max_window_.has_value() ? std::max(*max_window_, wk.id)
+                                          : wk.id;
+  }
+  return Status::OK();
+}
+
+Status PartitionedCube::ApplyInsert(const std::vector<Value>& row) {
+  size_t late = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DATACUBE_RETURN_IF_ERROR(IngestRowLocked(row, &late));
+    UpdateGaugesLocked();
+  }
+  PartCounter("datacube_partition_ingest_rows_total",
+              "Rows ingested into the partitioned store")
+      .Inc(1);
+  if (late > 0) {
+    PartCounter("datacube_partition_late_rows_total",
+                "Rows that arrived behind the newest window")
+        .Inc(late);
+  }
+  MaybeScheduleCompaction();
+  return Status::OK();
+}
+
+Status PartitionedCube::IngestRows(const Table& rows) {
+  obs::ScopedSpan span("partition_ingest");
+  if (span.active()) {
+    span.Attr("rows", static_cast<uint64_t>(rows.num_rows()));
+  }
+  size_t late = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      DATACUBE_RETURN_IF_ERROR(IngestRowLocked(rows.GetRow(r), &late));
+    }
+    UpdateGaugesLocked();
+  }
+  PartCounter("datacube_partition_ingest_rows_total",
+              "Rows ingested into the partitioned store")
+      .Inc(rows.num_rows());
+  if (late > 0) {
+    PartCounter("datacube_partition_late_rows_total",
+                "Rows that arrived behind the newest window")
+        .Inc(late);
+  }
+  if (span.active()) span.Attr("late_rows", static_cast<uint64_t>(late));
+  MaybeScheduleCompaction();
+  return Status::OK();
+}
+
+std::shared_ptr<const PartitionedCube::Partition> PartitionedCube::FindLocked(
+    const WindowKey& key) const {
+  for (const std::shared_ptr<const Partition>& p : list_->parts) {
+    if (p->key == key) return p;
+  }
+  return nullptr;
+}
+
+void PartitionedCube::PublishLocked(
+    std::vector<std::shared_ptr<const Partition>> parts) {
+  std::sort(parts.begin(), parts.end(),
+            [](const std::shared_ptr<const Partition>& a,
+               const std::shared_ptr<const Partition>& b) {
+              return a->key < b->key;
+            });
+  auto next = std::make_shared<PartitionList>();
+  next->parts = std::move(parts);
+  next->version = list_->version + 1;
+  list_ = std::move(next);
+}
+
+void PartitionedCube::SealLocked(bool all) {
+  if (open_.empty()) return;
+  const WindowKey newest = open_.rbegin()->first;
+  std::vector<std::pair<WindowKey, std::shared_ptr<const MaterializedCube>>>
+      sealed;
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (!all && it->first == newest) {
+      ++it;
+      continue;
+    }
+    if (it->second->num_base_rows() == 0) {
+      // An empty open delta (created then never written) just evaporates.
+      it = open_.erase(it);
+      continue;
+    }
+    sealed.emplace_back(it->first, std::shared_ptr<const MaterializedCube>(
+                                       std::move(it->second)));
+    it = open_.erase(it);
+  }
+  if (sealed.empty()) return;
+
+  std::vector<std::shared_ptr<const Partition>> parts = list_->parts;
+  for (auto& [wk, delta] : sealed) {
+    auto np = std::make_shared<Partition>();
+    auto pit = std::find_if(parts.begin(), parts.end(),
+                            [&wk](const std::shared_ptr<const Partition>& p) {
+                              return p->key == wk;
+                            });
+    if (pit != parts.end()) {
+      *np = **pit;  // key, epoch, deltas, rows
+    } else {
+      np->key = wk;
+    }
+    np->deltas.push_back(delta);
+    np->rows += delta->num_base_rows();
+    np->compacted = false;
+    ++np->epoch;
+    if (pit != parts.end()) {
+      *pit = std::move(np);
+    } else {
+      parts.push_back(std::move(np));
+    }
+  }
+  PublishLocked(std::move(parts));
+  PartCounter("datacube_partition_sealed_total",
+              "Open deltas sealed into the partition list")
+      .Inc(sealed.size());
+}
+
+void PartitionedCube::UpdateGaugesLocked() const {
+  size_t open = open_.size();
+  size_t sealed = 0;
+  size_t compacted = 0;
+  for (const std::shared_ptr<const Partition>& p : list_->parts) {
+    if (open_.count(p->key) > 0) continue;  // reported as open
+    if (p->compacted) {
+      ++compacted;
+    } else {
+      ++sealed;
+    }
+  }
+  PartGauge("datacube_partition_open", "Windows with a mutable open delta")
+      .Set(static_cast<double>(open));
+  PartGauge("datacube_partition_sealed",
+            "Windows sealed but not yet compacted")
+      .Set(static_cast<double>(sealed));
+  PartGauge("datacube_partition_compacted",
+            "Windows compacted to a single delta")
+      .Set(static_cast<double>(compacted));
+}
+
+size_t PartitionedCube::CompactPass(bool seal_newest) {
+  obs::ScopedSpan span("partition_compact");
+  struct Candidate {
+    WindowKey key;
+    uint64_t epoch = 0;
+    std::vector<std::shared_ptr<const MaterializedCube>> deltas;
+  };
+  std::vector<Candidate> cands;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SealLocked(seal_newest);
+    bool flipped = false;
+    std::vector<std::shared_ptr<const Partition>> parts = list_->parts;
+    for (std::shared_ptr<const Partition>& p : parts) {
+      if (p->deltas.size() > 1) {
+        cands.push_back(Candidate{p->key, p->epoch, p->deltas});
+      } else if (!p->compacted) {
+        // One sealed delta IS its compacted form; flip the state in place
+        // (same epoch — the delta set did not change).
+        auto np = std::make_shared<Partition>(*p);
+        np->compacted = true;
+        p = std::move(np);
+        flipped = true;
+      }
+    }
+    if (flipped) PublishLocked(std::move(parts));
+    UpdateGaugesLocked();
+  }
+
+  size_t rebuilt = 0;
+  for (Candidate& c : cands) {
+    auto t0 = std::chrono::steady_clock::now();
+    // Rebuild off-lock from the concatenated delta rows; readers keep
+    // merging the old deltas meanwhile.
+    Table rows(base_schema_);
+    bool ok = true;
+    for (const std::shared_ptr<const MaterializedCube>& d : c.deltas) {
+      Result<Table> live = d->LiveRows();
+      if (!live.ok() || !rows.AppendTable(live.value()).ok()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    Result<std::unique_ptr<MaterializedCube>> built =
+        MaterializedCube::Build(rows, *spec_, options_.cube);
+    if (!built.ok()) continue;
+    std::shared_ptr<const MaterializedCube> merged = std::move(built.value());
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<const Partition> cur = FindLocked(c.key);
+      if (cur == nullptr || cur->epoch != c.epoch) {
+        // A late arrival sealed into this window (or retention dropped it)
+        // while we rebuilt; the rebuild is stale — throw it away.
+        PartCounter("datacube_partition_compaction_aborts_total",
+                    "Compaction rebuilds discarded by a concurrent seal/drop")
+            .Inc(1);
+        continue;
+      }
+      auto np = std::make_shared<Partition>();
+      np->key = c.key;
+      np->compacted = true;
+      np->epoch = cur->epoch + 1;
+      np->deltas = {merged};
+      np->rows = merged->num_base_rows();
+      std::vector<std::shared_ptr<const Partition>> parts = list_->parts;
+      for (std::shared_ptr<const Partition>& p : parts) {
+        if (p->key == c.key) p = std::move(np);
+      }
+      PublishLocked(std::move(parts));
+      UpdateGaugesLocked();
+    }
+    ++rebuilt;
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    PartCounter("datacube_partition_compactions_total",
+                "Multi-delta windows rebuilt into one cube")
+        .Inc(1);
+    PartGauge("datacube_partition_compaction_wall_ms",
+              "Wall milliseconds of the most recent window rebuild")
+        .Set(ms);
+  }
+  if (span.active()) {
+    span.Attr("rebuilt", static_cast<uint64_t>(rebuilt));
+  }
+  ApplyRetention();
+  return rebuilt;
+}
+
+size_t PartitionedCube::CompactNow() {
+  return CompactPass(/*seal_newest=*/true);
+}
+
+void PartitionedCube::MaybeScheduleCompaction() {
+  if (!options_.background_compaction) return;
+  if (shutdown_.load(std::memory_order_relaxed)) return;
+  bool wanted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Cold open windows to seal, multi-delta windows to rebuild, or
+    // windows past the retention horizon to drop?
+    wanted = open_.size() > 1;
+    if (!wanted) {
+      for (const std::shared_ptr<const Partition>& p : list_->parts) {
+        if (p->deltas.size() > 1) {
+          wanted = true;
+          break;
+        }
+      }
+    }
+    int64_t keep = retention_windows_.load(std::memory_order_relaxed);
+    if (!wanted && keep > 0 && max_window_.has_value()) {
+      int64_t min_keep = *max_window_ - keep + 1;
+      for (const std::shared_ptr<const Partition>& p : list_->parts) {
+        if (!p->key.null_window && p->key.id < min_keep) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted && !open_.empty()) {
+        const WindowKey& oldest = open_.begin()->first;
+        wanted = !oldest.null_window && oldest.id < min_keep;
+      }
+    }
+  }
+  if (!wanted) return;
+  if (compaction_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  compact_group_->Spawn([this] {
+    if (!shutdown_.load(std::memory_order_relaxed)) {
+      CompactPass(/*seal_newest=*/false);
+    }
+    compaction_pending_.store(false, std::memory_order_release);
+  });
+}
+
+size_t PartitionedCube::ApplyRetention() {
+  int64_t keep = retention_windows_.load(std::memory_order_relaxed);
+  if (keep <= 0) return 0;
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!max_window_.has_value()) return 0;
+    const int64_t min_keep = *max_window_ - keep + 1;
+    std::set<int64_t> dropped_windows;
+    for (auto it = open_.begin(); it != open_.end();) {
+      if (!it->first.null_window && it->first.id < min_keep) {
+        dropped_windows.insert(it->first.id);
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    bool changed = false;
+    std::vector<std::shared_ptr<const Partition>> kept;
+    kept.reserve(list_->parts.size());
+    for (const std::shared_ptr<const Partition>& p : list_->parts) {
+      if (!p->key.null_window && p->key.id < min_keep) {
+        dropped_windows.insert(p->key.id);
+        changed = true;
+      } else {
+        kept.push_back(p);
+      }
+    }
+    if (changed) PublishLocked(std::move(kept));
+    dropped = dropped_windows.size();
+    if (dropped > 0) UpdateGaugesLocked();
+  }
+  if (dropped > 0) {
+    PartCounter("datacube_partition_dropped_total",
+                "Windows dropped past the retention horizon")
+        .Inc(dropped);
+  }
+  return dropped;
+}
+
+Result<Table> PartitionedCube::PrunedRows(const std::optional<int64_t>& lo,
+                                          const std::optional<int64_t>& hi,
+                                          PartitionPruneStats* stats) const {
+  obs::ScopedSpan span("partition_prune");
+  const bool has_bound = lo.has_value() || hi.has_value();
+  // Comparing WINDOW ids (not raw keys) keeps the arithmetic overflow-free.
+  const int64_t wlo =
+      lo.has_value() ? FloorDiv(*lo, options_.window_width) : 0;
+  const int64_t whi =
+      hi.has_value() ? FloorDiv(*hi, options_.window_width) : 0;
+  const bool has_lo = lo.has_value();
+  const bool has_hi = hi.has_value();
+  // A window survives when it can hold a key in [lo, hi]. The NULL window
+  // never can once any bound exists: NULL fails every comparison.
+  auto selected = [&](const WindowKey& k) {
+    if (k.null_window) return !has_bound;
+    if (has_lo && k.id < wlo) return false;
+    if (has_hi && k.id > whi) return false;
+    return true;
+  };
+
+  Table out(base_schema_);
+  std::vector<std::shared_ptr<const MaterializedCube>> frozen;
+  std::set<std::pair<bool, int64_t>> all_windows;
+  std::set<std::pair<bool, int64_t>> scanned_windows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [wk, delta] : open_) {
+      all_windows.emplace(wk.null_window, wk.id);
+      if (!selected(wk)) continue;
+      scanned_windows.emplace(wk.null_window, wk.id);
+      // Open deltas are mutable: copy their rows out under the lock.
+      DATACUBE_ASSIGN_OR_RETURN(Table live, delta->LiveRows());
+      DATACUBE_RETURN_IF_ERROR(out.AppendTable(live));
+    }
+    for (const std::shared_ptr<const Partition>& p : list_->parts) {
+      all_windows.emplace(p->key.null_window, p->key.id);
+      if (!selected(p->key)) continue;
+      scanned_windows.emplace(p->key.null_window, p->key.id);
+      for (const std::shared_ptr<const MaterializedCube>& d : p->deltas) {
+        frozen.push_back(d);
+      }
+    }
+  }
+  // Sealed deltas are immutable; read them off-lock.
+  for (const std::shared_ptr<const MaterializedCube>& d : frozen) {
+    DATACUBE_ASSIGN_OR_RETURN(Table live, d->LiveRows());
+    DATACUBE_RETURN_IF_ERROR(out.AppendTable(live));
+  }
+  const size_t total = all_windows.size();
+  const size_t scanned = scanned_windows.size();
+  if (stats != nullptr) {
+    stats->total = total;
+    stats->scanned = scanned;
+    stats->pruned = total - scanned;
+  }
+  if (total > scanned) {
+    PartCounter("datacube_partition_pruned_total",
+                "Windows skipped by partition-key pruning")
+        .Inc(total - scanned);
+  }
+  if (span.active()) {
+    span.Attr("partitions_total", static_cast<uint64_t>(total));
+    span.Attr("partitions_scanned", static_cast<uint64_t>(scanned));
+    span.Attr("partitions_pruned", static_cast<uint64_t>(total - scanned));
+  }
+  return out;
+}
+
+Result<Table> PartitionedCube::MergedTable(
+    const std::optional<GroupingSet>& only) {
+  if (!mergeable_) {
+    // Holistic aggregates cannot merge partition scratchpads; recompute
+    // over the concatenated live rows instead.
+    DATACUBE_ASSIGN_OR_RETURN(Table rows,
+                              PrunedRows(std::nullopt, std::nullopt));
+    CubeSpec qspec = *spec_;
+    if (only.has_value()) {
+      qspec.explicit_sets = std::vector<GroupingSet>{*only};
+    }
+    DATACUBE_ASSIGN_OR_RETURN(CubeResult r,
+                              ExecuteCube(rows, qspec, options_.cube));
+    return std::move(r.table);
+  }
+
+  obs::ScopedSpan span("partition_merge_read");
+  DATACUBE_ASSIGN_OR_RETURN(std::unique_ptr<MergeSink> sink,
+                            MakeSink(base_schema_, *spec_, only));
+  std::vector<std::shared_ptr<const MaterializedCube>> frozen;
+  size_t open_folded = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Fold the (small, mutable) open deltas under the lock; pin the sealed
+    // deltas and fold them lock-free below.
+    for (const auto& [wk, delta] : open_) {
+      DATACUBE_RETURN_IF_ERROR(FoldCube(*sink, *delta));
+      ++open_folded;
+    }
+    for (const std::shared_ptr<const Partition>& p : list_->parts) {
+      for (const std::shared_ptr<const MaterializedCube>& d : p->deltas) {
+        frozen.push_back(d);
+      }
+    }
+  }
+  for (const std::shared_ptr<const MaterializedCube>& d : frozen) {
+    DATACUBE_RETURN_IF_ERROR(FoldCube(*sink, *d));
+  }
+  if (span.active()) {
+    span.Attr("deltas_merged",
+              static_cast<uint64_t>(frozen.size() + open_folded));
+  }
+  CubeStats stats;
+  return AssembleColumnarResult(sink->cc, sink->stores, &stats);
+}
+
+Result<Table> PartitionedCube::QuerySet(GroupingSet target) {
+  std::vector<GroupingSet> sets = spec_->GroupingSets();
+  if (std::find(sets.begin(), sets.end(), target) == sets.end()) {
+    return Status::NotFound("grouping set is not part of this cube's spec");
+  }
+  return MergedTable(target);
+}
+
+Result<Table> PartitionedCube::ToTable() { return MergedTable(std::nullopt); }
+
+size_t PartitionedCube::num_base_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t rows = 0;
+  for (const auto& [wk, delta] : open_) rows += delta->num_base_rows();
+  for (const std::shared_ptr<const Partition>& p : list_->parts) {
+    rows += p->rows;
+  }
+  return rows;
+}
+
+size_t PartitionedCube::num_partitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::pair<bool, int64_t>> windows;
+  for (const auto& [wk, delta] : open_) {
+    windows.emplace(wk.null_window, wk.id);
+  }
+  for (const std::shared_ptr<const Partition>& p : list_->parts) {
+    windows.emplace(p->key.null_window, p->key.id);
+  }
+  return windows.size();
+}
+
+std::vector<PartitionedCube::PartitionInfo> PartitionedCube::Partitions()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<WindowKey, PartitionInfo> infos;
+  for (const std::shared_ptr<const Partition>& p : list_->parts) {
+    PartitionInfo& info = infos[p->key];
+    info.window_id = p->key.id;
+    info.null_window = p->key.null_window;
+    info.state = p->compacted ? "compacted" : "sealed";
+    info.deltas = p->deltas.size();
+    info.rows = p->rows;
+  }
+  for (const auto& [wk, delta] : open_) {
+    PartitionInfo& info = infos[wk];
+    info.window_id = wk.id;
+    info.null_window = wk.null_window;
+    info.state = "open";
+    info.deltas += 1;
+    info.rows += delta->num_base_rows();
+  }
+  std::vector<PartitionInfo> out;
+  out.reserve(infos.size());
+  for (auto& [wk, info] : infos) out.push_back(info);
+  return out;
+}
+
+Status PartitionedCube::SaveToFile(const std::string& path) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint directory " + path +
+                           ": " + ec.message());
+  }
+  // Hold the lock across the whole save: open deltas must not move under
+  // the serializer. (Checkpointing is an admin operation, not a hot path.)
+  std::lock_guard<std::mutex> lock(mu_);
+  struct Entry {
+    WindowKey key;
+    bool compacted = false;
+    std::vector<const MaterializedCube*> deltas;
+  };
+  std::map<WindowKey, Entry> entries;
+  for (const std::shared_ptr<const Partition>& p : list_->parts) {
+    Entry& e = entries[p->key];
+    e.key = p->key;
+    e.compacted = p->compacted;
+    for (const std::shared_ptr<const MaterializedCube>& d : p->deltas) {
+      e.deltas.push_back(d.get());
+    }
+  }
+  for (const auto& [wk, delta] : open_) {
+    if (delta->num_base_rows() == 0) continue;
+    Entry& e = entries[wk];
+    e.key = wk;
+    e.compacted = false;
+    e.deltas.push_back(delta.get());
+  }
+
+  std::ostringstream manifest;
+  manifest << kManifestMagic << "\n";
+  manifest << "window_width " << options_.window_width << "\n";
+  manifest << "partition_column " << options_.partition_column << "\n";
+  manifest << "partitions " << entries.size() << "\n";
+  size_t index = 0;
+  for (const auto& [wk, e] : entries) {
+    manifest << "part " << (wk.null_window ? 1 : 0) << " " << wk.id << " "
+             << (e.compacted ? 1 : 0) << " " << e.deltas.size() << "\n";
+    for (size_t d = 0; d < e.deltas.size(); ++d) {
+      fs::path file =
+          fs::path(path) / ("part" + std::to_string(index) + "_delta" +
+                            std::to_string(d) + ".ckpt");
+      DATACUBE_RETURN_IF_ERROR(e.deltas[d]->SaveToFile(file.string()));
+    }
+    ++index;
+  }
+  std::ofstream out(fs::path(path) / "MANIFEST",
+                    std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot write manifest under " + path);
+  }
+  out << manifest.str();
+  out.flush();
+  if (!out) {
+    return Status::IOError("manifest write failed under " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PartitionedCube>> PartitionedCube::LoadFromDir(
+    const Schema& base_schema, const CubeSpec& spec,
+    const PartitionedCubeOptions& options, const std::string& path) {
+  namespace fs = std::filesystem;
+  DATACUBE_ASSIGN_OR_RETURN(std::unique_ptr<PartitionedCube> cube,
+                            Create(base_schema, spec, options));
+  std::ifstream in(fs::path(path) / "MANIFEST", std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open partition manifest under " + path);
+  }
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kManifestMagic) {
+    return Status::ParseError("bad partition manifest magic under " + path);
+  }
+  std::string word;
+  int64_t width = 0;
+  std::string column;
+  size_t num_parts = 0;
+  if (!(in >> word >> width) || word != "window_width") {
+    return Status::ParseError("bad partition manifest: window_width");
+  }
+  if (!(in >> word >> column) || word != "partition_column") {
+    return Status::ParseError("bad partition manifest: partition_column");
+  }
+  if (width != options.window_width ||
+      column != options.partition_column) {
+    return Status::InvalidArgument(
+        "partition checkpoint was written with a different window layout");
+  }
+  if (!(in >> word >> num_parts) || word != "partitions") {
+    return Status::ParseError("bad partition manifest: partitions");
+  }
+  std::vector<std::shared_ptr<const Partition>> parts;
+  parts.reserve(num_parts);
+  for (size_t i = 0; i < num_parts; ++i) {
+    int null_window = 0;
+    int64_t id = 0;
+    int compacted = 0;
+    size_t num_deltas = 0;
+    if (!(in >> word >> null_window >> id >> compacted >> num_deltas) ||
+        word != "part") {
+      return Status::ParseError("bad partition manifest: part entry");
+    }
+    auto p = std::make_shared<Partition>();
+    p->key.null_window = (null_window != 0);
+    p->key.id = id;
+    p->compacted = (compacted != 0);
+    p->epoch = num_deltas;
+    for (size_t d = 0; d < num_deltas; ++d) {
+      fs::path file = fs::path(path) / ("part" + std::to_string(i) +
+                                        "_delta" + std::to_string(d) +
+                                        ".ckpt");
+      DATACUBE_ASSIGN_OR_RETURN(
+          std::unique_ptr<MaterializedCube> delta,
+          MaterializedCube::LoadFromFile(spec, file.string()));
+      p->rows += delta->num_base_rows();
+      p->deltas.emplace_back(std::move(delta));
+    }
+    if (!p->key.null_window) {
+      cube->max_window_ = cube->max_window_.has_value()
+                              ? std::max(*cube->max_window_, p->key.id)
+                              : p->key.id;
+    }
+    parts.push_back(std::move(p));
+  }
+  std::lock_guard<std::mutex> lock(cube->mu_);
+  cube->PublishLocked(std::move(parts));
+  cube->UpdateGaugesLocked();
+  return cube;
+}
+
+}  // namespace datacube

@@ -146,6 +146,36 @@ int64_t ParseInt64(const std::string& s, int64_t fallback) {
   return (end == nullptr || *end != '\0') ? fallback : v;
 }
 
+/// Parses ingest CSV against the target table's schema: cells come in as
+/// text and are cast per declared column type, so "5" lands as INT64 or
+/// FLOAT64 according to the schema instead of whatever inference guesses.
+/// Columns are positional and must match the base schema's count.
+Result<Table> ParseIngestRows(const Schema& schema, const std::string& text,
+                              bool has_header) {
+  CsvReadOptions csv;
+  csv.has_header = has_header;
+  csv.infer_types = false;  // schema-directed casts below
+  Result<Table> raw = ReadCsvString(text, csv);
+  if (!raw.ok()) return raw.status();
+  if (raw.value().num_columns() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "ingest rows have " + std::to_string(raw.value().num_columns()) +
+        " columns; table has " + std::to_string(schema.num_fields()));
+  }
+  Table out{schema};
+  std::vector<Value> row(schema.num_fields());
+  for (size_t r = 0; r < raw.value().num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      Result<Value> cast =
+          raw.value().GetValue(r, c).CastTo(schema.field(c).type);
+      if (!cast.ok()) return cast.status();
+      row[c] = std::move(cast).value();
+    }
+    DATACUBE_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<CubeServer>> CubeServer::Start(const Options& options) {
@@ -218,6 +248,22 @@ Status CubeServer::RegisterTable(const std::string& name, Table table,
   });
 }
 
+Status CubeServer::RegisterPartitioned(const std::string& name,
+                                       std::shared_ptr<PartitionedCube> store,
+                                       bool replace) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null partitioned store: " + name);
+  }
+  return snapshots_.Update([&](ServerSnapshot& snap) {
+    if (!replace && snap.catalog.GetPartitioned(name) != nullptr) {
+      return Status::AlreadyExists("partitioned store already registered: " +
+                                   name);
+    }
+    snap.catalog.PutPartitioned(name, store);
+    return Status::OK();
+  });
+}
+
 uint64_t CubeServer::RegisterLive(const std::string& sql,
                                   std::shared_ptr<ExecControl> control) {
   std::lock_guard<std::mutex> lock(live_mu_);
@@ -256,7 +302,7 @@ obs::HttpResponse CubeServer::RunSql(const std::string& sql,
 
   // The snapshot pin: this query sees exactly one catalog version, and its
   // shared_ptr keeps that version's tables alive across any concurrent swap.
-  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
 
   sql::EngineOptions engine_options;
   engine_options.cube.control = control.get();
@@ -300,6 +346,9 @@ obs::HttpResponse CubeServer::HandleDrop(const HttpRequest& request) {
   bool dropped = false;
   Status st = snapshots_.Update([&](ServerSnapshot& snap) {
     dropped = snap.catalog.Drop(name);
+    // Partitioned stores share the table namespace; in-flight ingests keep
+    // the store alive through their own shared_ptr pins.
+    dropped = snap.catalog.DropPartitioned(name) || dropped;
     // Cubes built from the table go with it.
     snap.cubes.erase(std::remove_if(snap.cubes.begin(), snap.cubes.end(),
                                     [&](const MaterializedCubeEntry& e) {
@@ -314,7 +363,7 @@ obs::HttpResponse CubeServer::HandleDrop(const HttpRequest& request) {
 }
 
 obs::HttpResponse CubeServer::HandleTables() const {
-  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
   std::string json = "{\"version\":" + std::to_string(snap->version) +
                      ",\"tables\":[";
   bool first = true;
@@ -325,6 +374,21 @@ obs::HttpResponse CubeServer::HandleTables() const {
     first = false;
     json += "{\"name\":\"" + obs::JsonEscape(name) +
             "\",\"rows\":" + std::to_string(table.value()->num_rows()) + "}";
+  }
+  json += "],\"partitioned\":[";
+  first = true;
+  for (const std::string& name : snap->catalog.PartitionedNames()) {
+    std::shared_ptr<PartitionedCube> store = snap->catalog.GetPartitioned(name);
+    if (store == nullptr) continue;
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"" + obs::JsonEscape(name) +
+            "\",\"rows\":" + std::to_string(store->num_base_rows()) +
+            ",\"partitions\":" + std::to_string(store->num_partitions()) +
+            ",\"window_width\":" +
+            std::to_string(store->options().window_width) +
+            ",\"retention_windows\":" + std::to_string(store->retention()) +
+            "}";
   }
   json += "],\"cubes\":[";
   first = true;
@@ -353,7 +417,7 @@ obs::HttpResponse CubeServer::HandleMaterialize(const HttpRequest& request) {
   size_t budget_bytes = static_cast<size_t>(
       std::max<int64_t>(0, ParseInt64(request.QueryParam("budget_bytes"), 0)));
 
-  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
   Result<std::shared_ptr<const Table>> table =
       snap->catalog.GetShared(table_name);
   if (!table.ok()) return ErrorResponse(table.status());
@@ -368,9 +432,23 @@ obs::HttpResponse CubeServer::HandleMaterialize(const HttpRequest& request) {
     spec.aggregates.push_back(std::move(agg).value());
   }
 
+  // Re-materialization feedback: when a same-name cube over the same table
+  // is being replaced, its observed per-view cell counts supersede the
+  // cost model's cardinality-product estimates.
+  PartialCube::ObservedCellCounts observed;
+  const PartialCube::ObservedCellCounts* observed_ptr = nullptr;
+  const MaterializedCubeEntry* prior = snap->FindCube(name);
+  if (prior != nullptr && budget_bytes > 0 &&
+      EqualsIgnoreCase(prior->table, table_name)) {
+    std::lock_guard<std::mutex> lock(*prior->mu);
+    observed = prior->cube->ObservedCells();
+    observed_ptr = &observed;
+  }
+
   Result<std::unique_ptr<PartialCube>> cube =
       budget_bytes > 0
-          ? PartialCube::BuildWithBudget(*table.value(), spec, budget_bytes)
+          ? PartialCube::BuildWithBudget(*table.value(), spec, budget_bytes,
+                                         observed_ptr)
           : PartialCube::Build(*table.value(), spec, /*views=*/{});
   if (!cube.ok()) return ErrorResponse(cube.status());
 
@@ -385,6 +463,15 @@ obs::HttpResponse CubeServer::HandleMaterialize(const HttpRequest& request) {
   size_t cells = entry.cube->materialized_cells();
 
   Status st = snapshots_.Update([&](ServerSnapshot& s) {
+    // The build above ran against a pinned (possibly stale) snapshot.
+    // Re-check the source table in the snapshot being published: if a
+    // concurrent /drop removed it, mounting the cube would leave an entry
+    // no table-drop can ever clean up. 409 and let the client retry.
+    if (!s.catalog.GetShared(table_name).ok()) {
+      return Status::AlreadyExists("source table " + table_name +
+                                   " was dropped while materializing " +
+                                   name + "; not mounted");
+    }
     s.cubes.erase(std::remove_if(s.cubes.begin(), s.cubes.end(),
                                  [&](const MaterializedCubeEntry& e) {
                                    return e.name == name;
@@ -402,7 +489,7 @@ obs::HttpResponse CubeServer::HandleMaterialize(const HttpRequest& request) {
 obs::HttpResponse CubeServer::HandleCubeQuery(const HttpRequest& request) {
   std::string name = request.QueryParam("name");
   if (name.empty()) return TextResponse(400, "missing ?name=\n");
-  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
   const MaterializedCubeEntry* entry = snap->FindCube(name);
   if (entry == nullptr) {
     return TextResponse(404, "no cube named " + name + "\n");
@@ -461,11 +548,119 @@ obs::HttpResponse CubeServer::HandleCancel(const HttpRequest& request) {
   return TextResponse(404, "no in-flight query " + std::to_string(id) + "\n");
 }
 
+obs::HttpResponse CubeServer::HandleIngest(const HttpRequest& request) {
+  std::string table = request.QueryParam("table");
+  if (table.empty()) return TextResponse(400, "missing ?table=\n");
+  if (request.body.empty()) return TextResponse(400, "missing CSV body\n");
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
+  std::shared_ptr<PartitionedCube> store = snap->catalog.GetPartitioned(table);
+  if (store == nullptr) {
+    return TextResponse(404, "no partitioned table named " + table + "\n");
+  }
+  // The store is shared and internally synchronized: rows become visible
+  // to concurrent queries without a snapshot republish.
+  bool has_header = request.QueryParam("header") != "0";
+  Result<Table> rows =
+      ParseIngestRows(store->base_schema(), request.body, has_header);
+  if (!rows.ok()) return ErrorResponse(rows.status());
+  size_t n = rows.value().num_rows();
+  Status st = store->IngestRows(rows.value());
+  if (!st.ok()) return ErrorResponse(st);
+  return TextResponse(200, "ingested " + std::to_string(n) + " rows into " +
+                               table + "\n");
+}
+
+obs::HttpResponse CubeServer::HandleRetention(const HttpRequest& request) {
+  std::string table = request.QueryParam("table");
+  if (table.empty()) return TextResponse(400, "missing ?table=\n");
+  int64_t windows = ParseInt64(request.QueryParam("windows"), -1);
+  if (windows < 0) {
+    return TextResponse(400, "missing or bad ?windows=N (0 = unlimited)\n");
+  }
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
+  std::shared_ptr<PartitionedCube> store = snap->catalog.GetPartitioned(table);
+  if (store == nullptr) {
+    return TextResponse(404, "no partitioned table named " + table + "\n");
+  }
+  store->SetRetention(windows);
+  size_t dropped = store->ApplyRetention();
+  return TextResponse(200, "retention for " + table + " set to " +
+                               std::to_string(windows) +
+                               " windows; dropped " +
+                               std::to_string(dropped) + "\n");
+}
+
+obs::HttpResponse CubeServer::HandleCompact(const HttpRequest& request) {
+  std::string table = request.QueryParam("table");
+  if (table.empty()) return TextResponse(400, "missing ?table=\n");
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
+  std::shared_ptr<PartitionedCube> store = snap->catalog.GetPartitioned(table);
+  if (store == nullptr) {
+    return TextResponse(404, "no partitioned table named " + table + "\n");
+  }
+  size_t rebuilt = store->CompactNow();
+  return TextResponse(200, "compacted " + table + ": " +
+                               std::to_string(rebuilt) +
+                               " windows rebuilt\n");
+}
+
+obs::HttpResponse CubeServer::HandlePartitions() const {
+  std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
+  std::string json = "{\"stores\":[";
+  bool first_store = true;
+  for (const std::string& name : snap->catalog.PartitionedNames()) {
+    std::shared_ptr<PartitionedCube> store = snap->catalog.GetPartitioned(name);
+    if (store == nullptr) continue;
+    if (!first_store) json += ",";
+    first_store = false;
+    json += "{\"name\":\"" + obs::JsonEscape(name) +
+            "\",\"partition_column\":\"" +
+            obs::JsonEscape(store->options().partition_column) +
+            "\",\"window_width\":" +
+            std::to_string(store->options().window_width) +
+            ",\"retention_windows\":" + std::to_string(store->retention()) +
+            ",\"rows\":" + std::to_string(store->num_base_rows()) +
+            ",\"partitions\":[";
+    bool first_part = true;
+    for (const PartitionedCube::PartitionInfo& p : store->Partitions()) {
+      if (!first_part) json += ",";
+      first_part = false;
+      json += "{\"window\":" +
+              (p.null_window ? std::string("null")
+                             : std::to_string(p.window_id)) +
+              ",\"state\":\"" + p.state +
+              "\",\"deltas\":" + std::to_string(p.deltas) +
+              ",\"rows\":" + std::to_string(p.rows) + "}";
+    }
+    json += "]}";
+  }
+  json += "]}";
+  return JsonResponse(std::move(json));
+}
+
 obs::HttpResponse CubeServer::Handle(const HttpRequest& request) {
   const std::string& path = request.path;
   if (request.method == "LINE") {
-    // Bare one-line SQL over TCP: raw CSV back, or a one-line error.
-    HttpResponse resp = RunSql(request.path, options_.default_deadline_ms);
+    // "INGEST <table> v1,v2,..." appends headerless CSV rows; anything
+    // else is bare one-line SQL. Raw CSV back, or a one-line error.
+    const std::string& line = request.path;
+    if (line.size() > 7 && EqualsIgnoreCase(line.substr(0, 7), "INGEST ")) {
+      size_t name_start = line.find_first_not_of(' ', 7);
+      size_t name_end = line.find(' ', name_start);
+      if (name_start == std::string::npos || name_end == std::string::npos) {
+        return TextResponse(400, "ERROR: usage: INGEST <table> <csv row>\n");
+      }
+      HttpRequest ingest;
+      ingest.method = "POST";
+      ingest.path = "/ingest";
+      ingest.query = "table=" + line.substr(name_start, name_end - name_start) +
+                     "&header=0";
+      ingest.body = line.substr(name_end + 1);
+      HttpResponse resp = HandleIngest(ingest);
+      if (resp.status != 200) resp.body = "ERROR: " + resp.body;
+      return resp;
+    }
+    HttpResponse resp = RunSql(line, options_.default_deadline_ms);
     if (resp.status != 200) {
       resp.body = "ERROR: " + resp.body;
     }
@@ -494,6 +689,22 @@ obs::HttpResponse CubeServer::Handle(const HttpRequest& request) {
     if (!MethodIs(request, "POST")) return TextResponse(405, "use POST\n");
     return HandleCancel(request);
   }
+  if (path == "/ingest") {
+    if (!MethodIs(request, "POST")) return TextResponse(405, "use POST\n");
+    return HandleIngest(request);
+  }
+  if (path == "/retention") {
+    if (!MethodIs(request, "POST")) return TextResponse(405, "use POST\n");
+    return HandleRetention(request);
+  }
+  if (path == "/compact") {
+    if (!MethodIs(request, "POST")) return TextResponse(405, "use POST\n");
+    return HandleCompact(request);
+  }
+  if (path == "/partitions") {
+    if (!IsRead(request)) return TextResponse(405, "use GET\n");
+    return HandlePartitions();
+  }
   if (path == "/tables") {
     if (!IsRead(request)) return TextResponse(405, "use GET\n");
     return HandleTables();
@@ -508,7 +719,7 @@ obs::HttpResponse CubeServer::Handle(const HttpRequest& request) {
   }
   if (path == "/healthz") {
     if (!IsRead(request)) return TextResponse(405, "use GET\n");
-    std::shared_ptr<const ServerSnapshot> snap = snapshots_.Get();
+    std::shared_ptr<const ServerSnapshot> snap = snapshots_.Pin();
     return JsonResponse("{\"ok\":true,\"version\":" +
                         std::to_string(snap->version) + ",\"in_flight\":" +
                         std::to_string(gate_.in_flight()) + "}");
@@ -530,11 +741,17 @@ obs::HttpResponse CubeServer::Handle(const HttpRequest& request) {
         "  /tables                          list tables and cubes\n"
         "  /materialize?name=&table=&keys=&aggs=[&budget_bytes=] (POST)\n"
         "  /cube?name=<c>[&set=a,b]         query a materialized cube\n"
+        "  /ingest?table=<t> (POST CSV)     append rows to a partitioned "
+        "table\n"
+        "  /retention?table=<t>&windows=N (POST)  set + apply retention\n"
+        "  /compact?table=<t> (POST)        force a compaction pass\n"
+        "  /partitions                      partitioned-store state (JSON)\n"
         "  /queries                         in-flight queries\n"
         "  /cancel?id=N (POST)              cancel an in-flight query\n"
         "  /healthz                         liveness\n"
         "  /metrics /varz /queryz /tracez   observability\n"
-        "or send one line of SQL over a raw TCP connection.\n");
+        "or send one line of SQL over a raw TCP connection\n"
+        "(\"INGEST <table> <csv row>\" appends over the same socket).\n");
   }
   return TextResponse(404, "not found\n");
 }

@@ -10,6 +10,7 @@
 
 #include "datacube/common/exec_control.h"
 #include "datacube/common/result.h"
+#include "datacube/cube/partitioned_cube.h"
 #include "datacube/cube/thread_pool.h"
 #include "datacube/obs/http_server.h"
 #include "datacube/server/admission.h"
@@ -34,13 +35,21 @@
 //                         [&budget_bytes=N] → budgeted PartialCube
 //   GET      /cube        ?name=<cube>[&set=a,b] → answers GROUP BY over
 //                         the listed key subset from the partial cube
+//   POST     /ingest      ?table=<t>, CSV body → appends rows to a
+//                         partitioned store (headerless with ?header=0);
+//                         visible to readers without a snapshot swap
+//   POST     /retention   ?table=<t>&windows=N → set + apply the retention
+//                         horizon (0 = unlimited)
+//   POST     /compact     ?table=<t> → synchronous compaction pass
+//   GET      /partitions  per-store partition lifecycle state (JSON)
 //   GET      /queries     in-flight queries (JSON; id, sql, elapsed)
 //   POST     /cancel      ?id=N → cooperative cancel of an in-flight query
 //   GET      /healthz     liveness + snapshot version
 //   GET      /metrics /varz /queryz /tracez   the stats-server endpoints
 //
 // Line protocol: a bare "<sql>\n" on a fresh connection executes the query
-// and returns raw CSV (or "ERROR: ..."), so `nc` works as a client.
+// and returns raw CSV (or "ERROR: ..."), so `nc` works as a client;
+// "INGEST <table> <csv row>\n" appends one headerless row the same way.
 
 namespace datacube::server {
 
@@ -88,6 +97,14 @@ class CubeServer {
   Status RegisterTable(const std::string& name, Table table,
                        bool replace = false);
 
+  /// Mounts a partitioned store under `name`. The store itself is shared
+  /// and internally synchronized, so /ingest mutates it without a snapshot
+  /// republish; the binding (name → store) still goes through the
+  /// copy-edit-publish cycle like any catalog change.
+  Status RegisterPartitioned(const std::string& name,
+                             std::shared_ptr<PartitionedCube> store,
+                             bool replace = false);
+
   /// Current snapshot (for tests and embedding processes).
   std::shared_ptr<const ServerSnapshot> snapshot() const {
     return snapshots_.Get();
@@ -115,6 +132,10 @@ class CubeServer {
   obs::HttpResponse HandleCubeQuery(const obs::HttpRequest& request);
   obs::HttpResponse HandleQueries() const;
   obs::HttpResponse HandleCancel(const obs::HttpRequest& request);
+  obs::HttpResponse HandleIngest(const obs::HttpRequest& request);
+  obs::HttpResponse HandleRetention(const obs::HttpRequest& request);
+  obs::HttpResponse HandleCompact(const obs::HttpRequest& request);
+  obs::HttpResponse HandlePartitions() const;
 
   /// Runs one SQL text under admission/deadline/cancellation; the CSV (or
   /// error) response is protocol-independent.

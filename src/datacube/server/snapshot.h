@@ -65,6 +65,16 @@ class SnapshotHolder {
     return current_.load(std::memory_order_acquire);
   }
 
+  /// Reader entry point: pins the current snapshot for the duration of one
+  /// request. Identical to Get() — the alias exists so every handler reads
+  /// as "pin once, use the pin everywhere" instead of repeating the
+  /// load-and-hold pattern inline (and so a future Pin() can add
+  /// per-request accounting without touching call sites). Handlers must
+  /// pin exactly once and route every lookup through that pin; loading
+  /// twice in one request can straddle a concurrent publish and observe
+  /// two different catalogs.
+  std::shared_ptr<const ServerSnapshot> Pin() const { return Get(); }
+
   /// Copy-edit-publish. `edit` sees a private copy of the current snapshot;
   /// on OK the copy (with a bumped version) becomes current. On error
   /// nothing is published.

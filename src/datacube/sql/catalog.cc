@@ -70,4 +70,41 @@ std::vector<std::string> Catalog::Names() const {
   return names;
 }
 
+void Catalog::PutPartitioned(std::string name,
+                             std::shared_ptr<PartitionedCube> cube) {
+  for (auto& [existing, c] : partitioned_) {
+    if (EqualsIgnoreCase(existing, name)) {
+      c = std::move(cube);
+      return;
+    }
+  }
+  partitioned_.emplace_back(std::move(name), std::move(cube));
+}
+
+bool Catalog::DropPartitioned(const std::string& name) {
+  for (auto it = partitioned_.begin(); it != partitioned_.end(); ++it) {
+    if (EqualsIgnoreCase(it->first, name)) {
+      partitioned_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<PartitionedCube> Catalog::GetPartitioned(
+    const std::string& name) const {
+  for (const auto& [existing, cube] : partitioned_) {
+    if (EqualsIgnoreCase(existing, name)) return cube;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::PartitionedNames() const {
+  std::vector<std::string> names;
+  names.reserve(partitioned_.size());
+  for (const auto& [name, _] : partitioned_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 }  // namespace datacube::sql

@@ -9,6 +9,10 @@
 #include "datacube/common/result.h"
 #include "datacube/table/table.h"
 
+namespace datacube {
+class PartitionedCube;
+}  // namespace datacube
+
 namespace datacube::sql {
 
 /// A name → table binding used by the SQL engine. Lookup is
@@ -41,8 +45,23 @@ class Catalog {
   /// Sorted table names.
   std::vector<std::string> Names() const;
 
+  // Partitioned stores, bound by name alongside plain tables. Unlike
+  // tables these are shared MUTABLE objects (internally synchronized):
+  // every catalog snapshot sees the same live store, so ingest is visible
+  // to in-flight readers without republishing the catalog.
+  void PutPartitioned(std::string name,
+                      std::shared_ptr<PartitionedCube> cube);
+  bool DropPartitioned(const std::string& name);
+  /// The store bound to `name` (case-insensitive), or nullptr.
+  std::shared_ptr<PartitionedCube> GetPartitioned(
+      const std::string& name) const;
+  /// Sorted partitioned-store names.
+  std::vector<std::string> PartitionedNames() const;
+
  private:
   std::vector<std::pair<std::string, std::shared_ptr<const Table>>> tables_;
+  std::vector<std::pair<std::string, std::shared_ptr<PartitionedCube>>>
+      partitioned_;
 };
 
 }  // namespace datacube::sql

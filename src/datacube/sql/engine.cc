@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 #include <unordered_map>
 
@@ -10,6 +11,7 @@
 #include "datacube/common/str_util.h"
 #include "datacube/cube/cube_operator.h"
 #include "datacube/cube/grouping_set.h"
+#include "datacube/cube/partitioned_cube.h"
 #include "datacube/obs/metrics.h"
 #include "datacube/obs/query_profile.h"
 #include "datacube/obs/trace.h"
@@ -441,6 +443,122 @@ Result<Table> ApplyWhere(const Table& input, const ExprPtr& where) {
   return input.FilterRows(mask);
 }
 
+// ---- Partition pruning ----------------------------------------------------
+//
+// When the FROM source is a PartitionedCube, the scan is the concatenation
+// of the store's windows — and WHERE bounds on the partition key let whole
+// windows be skipped before a row is touched. Bound extraction is
+// deliberately conservative (superset-safe): only `key <cmp> INT-literal`
+// conjuncts tighten the range, anything else contributes no bound, and the
+// full WHERE still runs over the surviving rows afterwards.
+
+void TightenLow(std::optional<int64_t>* lo, int64_t v) {
+  *lo = lo->has_value() ? std::max(**lo, v) : v;
+}
+
+void TightenHigh(std::optional<int64_t>* hi, int64_t v) {
+  *hi = hi->has_value() ? std::min(**hi, v) : v;
+}
+
+void ExtractPartitionBounds(const ExprPtr& e, const std::string& column,
+                            std::optional<int64_t>* lo,
+                            std::optional<int64_t>* hi) {
+  if (e == nullptr || e->kind() != Expr::Kind::kBinary) return;
+  const BinaryOp op = e->binary_op();
+  if (op == BinaryOp::kAnd) {
+    ExtractPartitionBounds(e->args()[0], column, lo, hi);
+    ExtractPartitionBounds(e->args()[1], column, lo, hi);
+    return;
+  }
+  const std::string* name = e->args()[0]->AsColumnName();
+  const Expr* lit = e->args()[1].get();
+  bool flipped = false;  // literal <cmp> column
+  if (name == nullptr) {
+    name = e->args()[1]->AsColumnName();
+    lit = e->args()[0].get();
+    flipped = true;
+  }
+  if (name == nullptr || !EqualsIgnoreCase(*name, column)) return;
+  if (lit->kind() != Expr::Kind::kLiteral ||
+      lit->literal().kind() != Value::Kind::kInt64) {
+    return;
+  }
+  const int64_t v = lit->literal().int64_value();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  switch (op) {
+    case BinaryOp::kEq:
+      TightenLow(lo, v);
+      TightenHigh(hi, v);
+      break;
+    case BinaryOp::kLt:  // col < v, or (flipped) v < col
+      if (!flipped) {
+        TightenHigh(hi, v == kMin ? v : v - 1);
+      } else {
+        TightenLow(lo, v == kMax ? v : v + 1);
+      }
+      break;
+    case BinaryOp::kLe:
+      if (!flipped) {
+        TightenHigh(hi, v);
+      } else {
+        TightenLow(lo, v);
+      }
+      break;
+    case BinaryOp::kGt:
+      if (!flipped) {
+        TightenLow(lo, v == kMax ? v : v + 1);
+      } else {
+        TightenHigh(hi, v == kMin ? v : v - 1);
+      }
+      break;
+    case BinaryOp::kGe:
+      if (!flipped) {
+        TightenLow(lo, v);
+      } else {
+        TightenHigh(hi, v);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+struct ScanInfo {
+  bool partitioned = false;
+  PartitionPruneStats prune;
+};
+
+// Resolves the FROM source and applies WHERE: plain tables filter in
+// place; a partitioned store scans only the windows surviving its
+// partition-key bounds (then the full WHERE runs over the survivors).
+Result<Table> ResolveScanAndFilter(const SelectStatement& stmt,
+                                   const Catalog& catalog, ScanInfo* info) {
+  std::shared_ptr<PartitionedCube> store =
+      catalog.GetPartitioned(stmt.from_table);
+  if (store == nullptr) {
+    DATACUBE_ASSIGN_OR_RETURN(const Table* base,
+                              catalog.Get(stmt.from_table));
+    return ApplyWhere(*base, stmt.where);
+  }
+  info->partitioned = true;
+  std::optional<int64_t> lo;
+  std::optional<int64_t> hi;
+  ExtractPartitionBounds(stmt.where, store->options().partition_column, &lo,
+                         &hi);
+  DATACUBE_ASSIGN_OR_RETURN(Table rows,
+                            store->PrunedRows(lo, hi, &info->prune));
+  return ApplyWhere(rows, stmt.where);
+}
+
+void FillPartitionStats(const ScanInfo& info, CubeStats* stats) {
+  if (stats == nullptr || !info.partitioned) return;
+  stats->partition_source = true;
+  stats->partitions_total = info.prune.total;
+  stats->partitions_scanned = info.prune.scanned;
+  stats->partitions_pruned = info.prune.pruned;
+}
+
 // Evaluates `exprs` (already bound) into a projection table with `names`.
 Result<Table> Project(const Table& input, const std::vector<ExprPtr>& exprs,
                       const std::vector<std::string>& names) {
@@ -798,12 +916,19 @@ Result<Table> ExecuteSelectImpl(const SelectStatement& stmt,
   // table (a pre-expired deadline never starts scanning); the cube operator
   // re-polls the same control at its work boundaries.
   DATACUBE_RETURN_IF_ERROR(CheckControl(options.cube.control));
-  DATACUBE_ASSIGN_OR_RETURN(const Table* base, catalog.Get(stmt.from_table));
+  ScanInfo scan;
+  DATACUBE_ASSIGN_OR_RETURN(Table filtered,
+                            ResolveScanAndFilter(stmt, catalog, &scan));
   if (span.active()) {
     span.Attr("table", stmt.from_table);
-    span.Attr("rows", static_cast<uint64_t>(base->num_rows()));
+    span.Attr("rows", static_cast<uint64_t>(filtered.num_rows()));
+    if (scan.partitioned) {
+      span.Attr("partitions_scanned",
+                static_cast<uint64_t>(scan.prune.scanned));
+      span.Attr("partitions_pruned",
+                static_cast<uint64_t>(scan.prune.pruned));
+    }
   }
-  DATACUBE_ASSIGN_OR_RETURN(Table filtered, ApplyWhere(*base, stmt.where));
 
   // Expand Red Brick N_tile calls into precomputed hidden columns (the
   // statement copy is rewritten to reference them).
@@ -847,7 +972,12 @@ Result<Table> ExecuteSelectImpl(const SelectStatement& stmt,
     }
     return out;
   }
-  return ExecuteAggregation(prepared, filtered, options, stats_out);
+  Result<Table> out = ExecuteAggregation(prepared, filtered, options,
+                                         stats_out);
+  // ExecuteAggregation overwrites *stats_out wholesale; the partition
+  // accounting belongs to the scan we already did, so restore it on top.
+  FillPartitionStats(scan, stats_out);
+  return out;
 }
 
 // Renders the EXPLAIN [ANALYZE] text for one select branch. The plan half
@@ -859,11 +989,22 @@ Result<std::string> ExplainSelectText(const SelectStatement& stmt,
                                       const Catalog& catalog,
                                       const EngineOptions& options,
                                       bool analyze) {
-  DATACUBE_ASSIGN_OR_RETURN(const Table* base, catalog.Get(stmt.from_table));
-  DATACUBE_ASSIGN_OR_RETURN(Table filtered, ApplyWhere(*base, stmt.where));
+  ScanInfo scan;
+  DATACUBE_ASSIGN_OR_RETURN(Table filtered,
+                            ResolveScanAndFilter(stmt, catalog, &scan));
   SelectStatement prepared = stmt;
   DATACUBE_ASSIGN_OR_RETURN(filtered,
                             ExpandNTiles(&prepared, std::move(filtered)));
+
+  // One line of partition accounting whenever the source is partitioned —
+  // the EXPLAIN proof that WHERE on the partition key skipped windows.
+  std::string partition_line;
+  if (scan.partitioned) {
+    partition_line = "partitions: scanned=" +
+                     std::to_string(scan.prune.scanned) +
+                     "  pruned=" + std::to_string(scan.prune.pruned) +
+                     "  total=" + std::to_string(scan.prune.total) + "\n";
+  }
 
   bool any_aggregate = prepared.having != nullptr;
   for (const SelectItem& item : prepared.select_list) {
@@ -873,6 +1014,7 @@ Result<std::string> ExplainSelectText(const SelectStatement& stmt,
   if (prepared.group_by.empty() && !any_aggregate) {
     out += "projection over " + prepared.from_table + " (" +
            std::to_string(filtered.num_rows()) + " rows after WHERE)\n";
+    out += partition_line;
     if (!analyze) return out;
     obs::Trace trace("query");
     {
@@ -890,6 +1032,7 @@ Result<std::string> ExplainSelectText(const SelectStatement& stmt,
   DATACUBE_ASSIGN_OR_RETURN(std::string plan_text,
                             ExplainCube(filtered, ap.spec, options.cube));
   out += plan_text;
+  out += partition_line;
   if (!analyze) return out;
 
   CubeStats stats;

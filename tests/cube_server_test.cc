@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "datacube/expr/expr.h"
 #include "datacube/server/admission.h"
 #include "datacube/server/snapshot.h"
 #include "datacube/table/csv.h"
@@ -449,6 +450,99 @@ TEST(CubeServerTest, StopIsCleanWithInFlightWork) {
 }
 
 // ---------------------------------------------------------------- units
+
+TEST(CubeServerTest, PartitionedIngestRetentionOverHttp) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+
+  Schema schema{{{"ts", DataType::kInt64},
+                 {"d", DataType::kString},
+                 {"m", DataType::kInt64}}};
+  CubeSpec spec;
+  spec.cube.push_back(GroupExpr{Expr::Column("d"), "d"});
+  AggregateSpec count;
+  count.function = "count_star";
+  count.output_name = "n";
+  spec.aggregates.push_back(count);
+  PartitionedCubeOptions popts;
+  popts.partition_column = "ts";
+  popts.window_width = 10;
+  Result<std::unique_ptr<PartitionedCube>> store =
+      PartitionedCube::Create(schema, spec, popts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(server
+                  ->RegisterPartitioned(
+                      "events", std::shared_ptr<PartitionedCube>(
+                                    std::move(*store)))
+                  .ok());
+
+  // CSV with header, then headerless, then the line protocol.
+  std::string resp = Post(server->port(), "/ingest?table=events",
+                          "ts,d,m\n5,a,1\n15,b,2\n25,c,3\n");
+  EXPECT_EQ(StatusOf(resp), 200) << resp.substr(0, 200);
+  resp = Post(server->port(), "/ingest?table=events&header=0", "35,a,4\n");
+  EXPECT_EQ(StatusOf(resp), 200) << resp.substr(0, 200);
+  resp = HttpExchange(server->port(), "INGEST events 45,b,5\n");
+  EXPECT_NE(resp.find("ingested 1 rows"), std::string::npos) << resp;
+
+  // Visible to SQL without any snapshot republish, and WHERE on the
+  // partition key prunes (EXPLAIN carries the counts).
+  resp = Query(server->port(), "SELECT COUNT(*) FROM events");
+  EXPECT_NE(BodyOf(resp).find("5"), std::string::npos) << resp;
+  resp = Query(server->port(),
+               "EXPLAIN SELECT COUNT(*) FROM events WHERE ts >= 30");
+  EXPECT_NE(BodyOf(resp).find("partitions: scanned=2  pruned=3  total=5"),
+            std::string::npos)
+      << BodyOf(resp);
+
+  resp = Get(server->port(), "/partitions");
+  EXPECT_EQ(StatusOf(resp), 200);
+  EXPECT_NE(BodyOf(resp).find("\"name\":\"events\""), std::string::npos);
+
+  resp = Post(server->port(), "/compact?table=events");
+  EXPECT_EQ(StatusOf(resp), 200) << resp.substr(0, 200);
+  resp = Post(server->port(), "/retention?table=events&windows=2");
+  EXPECT_EQ(StatusOf(resp), 200) << resp.substr(0, 200);
+  resp = Query(server->port(), "SELECT COUNT(*) FROM events");
+  EXPECT_NE(BodyOf(resp).find("2"), std::string::npos) << resp;
+
+  // /drop unbinds it like any table.
+  resp = Post(server->port(), "/drop?name=events");
+  EXPECT_EQ(StatusOf(resp), 200);
+  resp = Query(server->port(), "SELECT COUNT(*) FROM events");
+  EXPECT_EQ(StatusOf(resp), 404);
+}
+
+TEST(CubeServerTest, MaterializeDropRaceNeverLeavesOrphanCube) {
+  // /materialize builds against a pinned snapshot, then republishes; a
+  // concurrent /drop of the source table must either lose (the drop also
+  // erases the new cube) or make the materialize fail with 409 — never
+  // leave a mounted cube whose source table is gone.
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        server->RegisterTable("race_src", UniformTable(2000, 1), true).ok());
+    std::thread mat([&] {
+      std::string resp =
+          Post(server->port(),
+               "/materialize?name=race_cube&table=race_src&keys=k"
+               "&aggs=sum(v)&budget_bytes=100000");
+      // 200: built and mounted before the drop (which then erases it);
+      // 409: the drop won between the build and the publish;
+      // 404: the drop won before the build even pinned the table.
+      int status = StatusOf(resp);
+      EXPECT_TRUE(status == 200 || status == 409 || status == 404)
+          << resp.substr(0, 200);
+    });
+    std::string resp = Post(server->port(), "/drop?name=race_src");
+    EXPECT_EQ(StatusOf(resp), 200) << resp.substr(0, 200);
+    mat.join();
+    std::string tables = BodyOf(Get(server->port(), "/tables"));
+    EXPECT_EQ(tables.find("race_cube"), std::string::npos)
+        << "orphan cube after iteration " << i << ": " << tables;
+  }
+}
 
 TEST(AdmissionGateTest, TicketsReleaseSlots) {
   AdmissionGate gate(2, 0);

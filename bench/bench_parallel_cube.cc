@@ -11,9 +11,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
+#include "datacube/cube/columnar.h"
+#include "datacube/cube/cube_internal.h"
 
 namespace {
 
@@ -68,6 +73,137 @@ void BM_ParallelCubeUniform(benchmark::State& state) {
 void BM_ParallelCubeSkewed(benchmark::State& state) {
   RunParallelCube(state, /*skew=*/1.1);
 }
+
+// --------------------------------------------------- kernel micro-benches
+//
+// The batched-kernel layers in isolation, each at batch=1 (the morsel
+// kernels) vs batch=0 (the per-row scalar path), over the shared 1M-row
+// uniform input's full grouping set:
+//   ProbeOnly  the hash+probe layer alone — BatchUpsert's hashed sweep with
+//              software prefetch vs one FindOrInsert per row
+//   SumOnly    the aggregate sweep alone — group-id vector precomputed, one
+//              SUM(x) IterBatch per morsel vs one virtual Iter per row
+//   Fused      both layers as FlatGroupBy runs them, morsel at a time
+
+using cube_internal::BuildColumnarContext;
+using cube_internal::BuildCubeContext;
+using cube_internal::CellStore;
+using cube_internal::ColumnarContext;
+using cube_internal::CubeContext;
+using cube_internal::kBatchRows;
+
+struct KernelFixture {
+  CubeContext ctx;
+  ColumnarContext cc;
+};
+
+// Context over the shared 1M-row uniform input for GROUP BY d0,d1,d2 with
+// SUM(x): built once, shared by every kernel micro-bench iteration.
+const KernelFixture& SharedKernelFixture() {
+  static KernelFixture* fixture = [] {
+    const Table& t = SharedInput(1000000, /*skew=*/0.0);
+    CubeSpec spec;
+    spec.group_by = Dims(3);
+    spec.aggregates = {Agg("sum", "x", "s")};
+    auto* f = new KernelFixture();
+    f->ctx = Must(BuildCubeContext(t, spec), "ctx");
+    f->cc = Must(BuildColumnarContext(f->ctx), "cc");
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_KernelProbeOnly(benchmark::State& state) {
+  const bool batch = state.range(0) != 0;
+  const KernelFixture& f = SharedKernelFixture();
+  const size_t rows = f.cc.row_keys.size() / f.cc.words;
+  std::vector<char*> blocks(kBatchRows);
+  for (auto _ : state) {
+    CellStore store = f.cc.MakeStore();
+    if (batch) {
+      for (size_t row = 0; row < rows; row += kBatchRows) {
+        size_t n = std::min(kBatchRows, rows - row);
+        store.BatchUpsert(f.cc.RowKey(row), n, blocks.data());
+      }
+    } else {
+      for (size_t row = 0; row < rows; ++row) {
+        benchmark::DoNotOptimize(store.FindOrInsert(f.cc.RowKey(row)));
+      }
+    }
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+}
+
+void BM_KernelSumOnly(benchmark::State& state) {
+  const bool batch = state.range(0) != 0;
+  const KernelFixture& f = SharedKernelFixture();
+  const size_t rows = f.cc.row_keys.size() / f.cc.words;
+  // Resolve the group-id vector once; the benchmark measures only the
+  // aggregate sweep over it. States accumulate across iterations, which is
+  // fine: SUM folds into a 128-bit accumulator and Final never runs here.
+  CellStore store = f.cc.MakeStore();
+  std::vector<char*> all_blocks(rows);
+  for (size_t row = 0; row < rows; row += kBatchRows) {
+    size_t n = std::min(kBatchRows, rows - row);
+    store.BatchUpsert(f.cc.RowKey(row), n, all_blocks.data() + row);
+  }
+  CubeStats stats;
+  for (auto _ : state) {
+    if (batch) {
+      for (size_t row = 0; row < rows; row += kBatchRows) {
+        size_t n = std::min(kBatchRows, rows - row);
+        f.cc.BatchIterRows(all_blocks.data() + row, nullptr, row, n, &stats);
+      }
+    } else {
+      for (size_t row = 0; row < rows; ++row) {
+        f.cc.IterRow(all_blocks[row], row, &stats);
+      }
+    }
+    benchmark::DoNotOptimize(stats.iter_calls);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+}
+
+void BM_KernelFused(benchmark::State& state) {
+  const bool batch = state.range(0) != 0;
+  const KernelFixture& f = SharedKernelFixture();
+  const size_t rows = f.cc.row_keys.size() / f.cc.words;
+  std::vector<char*> blocks(kBatchRows);
+  CubeStats stats;
+  for (auto _ : state) {
+    CellStore store = f.cc.MakeStore();
+    if (batch) {
+      for (size_t row = 0; row < rows; row += kBatchRows) {
+        size_t n = std::min(kBatchRows, rows - row);
+        store.BatchUpsert(f.cc.RowKey(row), n, blocks.data());
+        f.cc.BatchIterRows(blocks.data(), nullptr, row, n, &stats);
+      }
+    } else {
+      for (size_t row = 0; row < rows; ++row) {
+        f.cc.IterRow(store.FindOrInsert(f.cc.RowKey(row)), row, &stats);
+      }
+    }
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+}
+
+BENCHMARK(BM_KernelProbeOnly)
+    ->ArgName("batch")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelSumOnly)
+    ->ArgName("batch")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelFused)
+    ->ArgName("batch")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void ThreadSweep(benchmark::internal::Benchmark* b) {
   for (int64_t rows : {1000000, 10000000}) {

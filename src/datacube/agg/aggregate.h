@@ -2,6 +2,7 @@
 #define DATACUBE_AGG_AGGREGATE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <new>
 #include <string>
@@ -41,6 +42,46 @@ enum class DeleteClass {
 };
 
 const char* AggClassName(AggClass c);
+
+/// One argument column of a batched Iter sweep. Kernels prefer the raw
+/// typed buffer (`data` + per-row `states`) when the planner bound the
+/// argument straight to a table column; `values` is always present as the
+/// materialized fallback. Rows are addressed by ABSOLUTE row id (see
+/// AggBatch::RowId), so both views span the whole input, not the morsel.
+struct AggBatchArg {
+  /// Materialized argument values for every input row (never null).
+  const Value* values = nullptr;
+  /// Raw column storage (int64_t* / double* per `type`), or null when the
+  /// argument is a computed expression or a non-numeric column.
+  const void* data = nullptr;
+  /// Per-row value/NULL/ALL codes (0 = plain value); set whenever the
+  /// argument is a plain column reference, even if `data` is null.
+  const uint8_t* states = nullptr;
+  DataType type = DataType::kInt64;
+};
+
+/// A morsel handed to IterBatch: `n` (row, cell) pairs sharing one
+/// aggregate. Position i folds input row RowId(i) into the scratchpad at
+/// `blocks[i] + slot_offset` — the exact pointer InitAt() constructed, so
+/// inline-state kernels cast it straight to their concrete state type.
+struct AggBatch {
+  /// Per-position cell block (duplicates when rows share a group).
+  char* const* blocks = nullptr;
+  /// Byte offset of this aggregate's slot within each block.
+  size_t slot_offset = 0;
+  /// Optional row-id indirection; when null the morsel is the contiguous
+  /// range [base, base + n).
+  const uint32_t* rows = nullptr;
+  size_t base = 0;
+  size_t n = 0;
+  const AggBatchArg* args = nullptr;
+  size_t nargs = 0;
+
+  size_t RowId(size_t i) const {
+    return rows != nullptr ? rows[i] : base + i;
+  }
+  void* Slot(size_t i) const { return blocks[i] + slot_offset; }
+};
 
 /// Opaque per-cell scratchpad ("handle" in the paper's Figure 7 / Informix
 /// Init/Iter/Final description). Each AggregateFunction defines its own
@@ -176,6 +217,20 @@ class AggregateFunction {
     (void)pos;
     return Status::NotImplemented("DeserializeState not supported for " +
                                   name());
+  }
+
+  /// Folds a whole morsel in one virtual call. Returns true when the
+  /// function handled every row of the batch; false means "no batch kernel
+  /// for this shape" and the caller MUST replay the same rows through the
+  /// scalar Iter path — an implementation may only return false before
+  /// mutating any state (all-or-nothing). The default keeps holistic and
+  /// user-defined aggregates on the classic per-row protocol. Kernels must
+  /// be row-order-insensitive per cell (every built-in Iter is), because
+  /// batched dispatch sweeps aggregates one at a time rather than
+  /// interleaving them per row.
+  virtual bool IterBatch(const AggBatch& batch) const {
+    (void)batch;
+    return false;
   }
 
   /// Convenience for the common single-argument case.

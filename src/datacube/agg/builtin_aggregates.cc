@@ -23,6 +23,16 @@ const T* As(const AggState* s) {
   return static_cast<const T*>(s);
 }
 
+// Batch kernels below cast AggBatch slots straight to their concrete state
+// type: the slot pointer is exactly where WithInlineState::InitAt placement-
+// constructed the state, and the dispatcher only hands batches to inline
+// slots. Each kernel must fold rows exactly like the scalar Iter it shadows
+// — the differential oracle and kernel_test diff them cell for cell.
+template <typename State>
+State* SlotState(const AggBatch& b, size_t i) {
+  return static_cast<State*>(b.Slot(i));
+}
+
 // ---------------------------------------------------------------- COUNT(*)
 
 struct CountState : AggState {
@@ -44,6 +54,11 @@ class CountStarFunction : public WithInlineState<CountState> {
   AggStatePtr Init() const override { return std::make_unique<CountState>(); }
   void Iter(AggState* state, const Value*, size_t) const override {
     ++As<CountState>(state)->n;
+  }
+  bool IterBatch(const AggBatch& b) const override {
+    // Every row counts — NULL/ALL included (Section 3.3).
+    for (size_t i = 0; i < b.n; ++i) ++SlotState<CountState>(b, i)->n;
+    return true;
   }
   Value Final(const AggState* state) const override {
     return Value::Int64(As<CountState>(state)->n);
@@ -91,6 +106,24 @@ class CountFunction : public WithInlineState<CountState> {
   AggStatePtr Init() const override { return std::make_unique<CountState>(); }
   void Iter(AggState* state, const Value* args, size_t) const override {
     if (!args[0].is_special()) ++As<CountState>(state)->n;
+  }
+  bool IterBatch(const AggBatch& b) const override {
+    const AggBatchArg& arg = b.args[0];
+    if (arg.states != nullptr) {
+      // Column-backed argument: the state-code byte IS is_special(), so the
+      // whole sweep is a branch-free add of (code == 0).
+      for (size_t i = 0; i < b.n; ++i) {
+        SlotState<CountState>(b, i)->n +=
+            static_cast<int64_t>(arg.states[b.RowId(i)] == 0);
+      }
+      return true;
+    }
+    for (size_t i = 0; i < b.n; ++i) {
+      if (!arg.values[b.RowId(i)].is_special()) {
+        ++SlotState<CountState>(b, i)->n;
+      }
+    }
+    return true;
   }
   Value Final(const AggState* state) const override {
     return Value::Int64(As<CountState>(state)->n);
@@ -210,6 +243,46 @@ class SumFunction : public WithInlineState<SumState> {
       ++s->n_float;
     }
     ++s->n;
+  }
+  bool IterBatch(const AggBatch& b) const override {
+    const AggBatchArg& arg = b.args[0];
+    if (arg.data != nullptr && arg.type == DataType::kInt64) {
+      const int64_t* x = static_cast<const int64_t*>(arg.data);
+      for (size_t i = 0; i < b.n; ++i) {
+        size_t row = b.RowId(i);
+        if (arg.states[row] != 0) continue;
+        auto* s = SlotState<SumState>(b, i);
+        if (__builtin_add_overflow(s->sum_i, static_cast<__int128>(x[row]),
+                                   &s->sum_i)) {
+          s->wide_overflow = true;
+        }
+        ++s->n;
+      }
+      return true;
+    }
+    if (arg.data != nullptr && arg.type == DataType::kFloat64) {
+      const double* x = static_cast<const double*>(arg.data);
+      for (size_t i = 0; i < b.n; ++i) {
+        size_t row = b.RowId(i);
+        if (arg.states[row] != 0) continue;
+        auto* s = SlotState<SumState>(b, i);
+        double v = x[row];
+        if (std::isnan(v)) {
+          ++s->n_nan;
+        } else if (std::isinf(v)) {
+          ++(v > 0 ? s->n_pinf : s->n_ninf);
+        } else {
+          s->sum_d += v;
+        }
+        ++s->n_float;
+        ++s->n;
+      }
+      return true;
+    }
+    for (size_t i = 0; i < b.n; ++i) {
+      Iter(SlotState<SumState>(b, i), &arg.values[b.RowId(i)], 1);
+    }
+    return true;
   }
   Value Final(const AggState* state) const override {
     const auto* s = As<SumState>(state);
@@ -356,6 +429,53 @@ class ExtremeFunction : public WithInlineState<ExtremeState> {
       s->has_value = true;
     }
   }
+  bool IterBatch(const AggBatch& b) const override {
+    const AggBatchArg& arg = b.args[0];
+    if (arg.data != nullptr && arg.type == DataType::kInt64) {
+      const int64_t* x = static_cast<const int64_t*>(arg.data);
+      for (size_t i = 0; i < b.n; ++i) {
+        size_t row = b.RowId(i);
+        if (arg.states[row] != 0) continue;
+        auto* s = SlotState<ExtremeState>(b, i);
+        int64_t v = x[row];
+        // A column-backed int64 argument only ever feeds int64 candidates,
+        // so once the incumbent is int64 the competition is a raw compare.
+        if (s->has_value && s->best.kind() == Value::Kind::kInt64) {
+          int64_t cur = s->best.int64_value();
+          if (is_max_ ? v > cur : v < cur) s->best = Value::Int64(v);
+        } else {
+          Iter1(s, Value::Int64(v));
+        }
+      }
+      return true;
+    }
+    if (arg.data != nullptr && arg.type == DataType::kFloat64) {
+      const double* x = static_cast<const double*>(arg.data);
+      for (size_t i = 0; i < b.n; ++i) {
+        size_t row = b.RowId(i);
+        if (arg.states[row] != 0) continue;
+        auto* s = SlotState<ExtremeState>(b, i);
+        double v = x[row];
+        if (s->has_value && s->best.kind() == Value::Kind::kFloat64) {
+          // Value::Compare's double order: NaN greatest, NaNs equal,
+          // -0.0 == +0.0. Replicated here so the kernel agrees with the
+          // scalar path on every adversarial buffer.
+          double cur = s->best.float64_value();
+          bool vn = std::isnan(v), cn = std::isnan(cur);
+          int cmp = vn || cn ? (vn ? 1 : 0) - (cn ? 1 : 0)
+                             : (v < cur ? -1 : (cur < v ? 1 : 0));
+          if (is_max_ ? cmp > 0 : cmp < 0) s->best = Value::Float64(v);
+        } else {
+          Iter1(s, Value::Float64(v));
+        }
+      }
+      return true;
+    }
+    for (size_t i = 0; i < b.n; ++i) {
+      Iter(SlotState<ExtremeState>(b, i), &arg.values[b.RowId(i)], 1);
+    }
+    return true;
+  }
   Value Final(const AggState* state) const override {
     const auto* s = As<ExtremeState>(state);
     return s->has_value ? s->best : Value::Null();
@@ -461,6 +581,44 @@ class AvgFunction : public WithInlineState<AvgState> {
       s->sum += x;
     }
     ++s->n;
+  }
+  bool IterBatch(const AggBatch& b) const override {
+    const AggBatchArg& arg = b.args[0];
+    if (arg.data != nullptr && arg.type == DataType::kInt64) {
+      // AsDouble of an int64 is the plain widening cast; the result can
+      // never be NaN or infinite, so the sweep is two adds per row.
+      const int64_t* x = static_cast<const int64_t*>(arg.data);
+      for (size_t i = 0; i < b.n; ++i) {
+        size_t row = b.RowId(i);
+        if (arg.states[row] != 0) continue;
+        auto* s = SlotState<AvgState>(b, i);
+        s->sum += static_cast<double>(x[row]);
+        ++s->n;
+      }
+      return true;
+    }
+    if (arg.data != nullptr && arg.type == DataType::kFloat64) {
+      const double* x = static_cast<const double*>(arg.data);
+      for (size_t i = 0; i < b.n; ++i) {
+        size_t row = b.RowId(i);
+        if (arg.states[row] != 0) continue;
+        auto* s = SlotState<AvgState>(b, i);
+        double v = x[row];
+        if (std::isnan(v)) {
+          ++s->n_nan;
+        } else if (std::isinf(v)) {
+          ++(v > 0 ? s->n_pinf : s->n_ninf);
+        } else {
+          s->sum += v;
+        }
+        ++s->n;
+      }
+      return true;
+    }
+    for (size_t i = 0; i < b.n; ++i) {
+      Iter(SlotState<AvgState>(b, i), &arg.values[b.RowId(i)], 1);
+    }
+    return true;
   }
   Value Final(const AggState* state) const override {
     const auto* s = As<AvgState>(state);

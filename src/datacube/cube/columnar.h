@@ -132,6 +132,15 @@ class CellStore {
   /// Pre-sizes the table so inserting up to `cells` cells needs no rehash.
   void Reserve(size_t cells);
 
+  /// Batched FindOrInsert: resolves `n` packed keys (strided by words())
+  /// to cell blocks, out_blocks[i] = block of keys[i*words..]. Hashes every
+  /// key up front in an auto-vectorizable sweep (the hash is
+  /// capacity-independent, so it survives rehashes), then probes with the
+  /// cached hashes while software-prefetching the slot a few keys ahead.
+  /// Growth schedule and probe counters match n scalar FindOrInsert calls
+  /// row for row.
+  void BatchUpsert(const uint64_t* keys, size_t n, char** out_blocks);
+
   /// Takes every cell of `other` — whose key set must be disjoint from this
   /// store's, as radix-partitioned shards are — by adopting its blocks in
   /// place and retaining its arena(s), so no aggregate state is cloned.
@@ -157,6 +166,8 @@ class CellStore {
 
  private:
   size_t ProbeFor(const uint64_t* key, bool* found) const;
+  size_t ProbeWithHash(uint64_t hash, const uint64_t* key, bool* found) const;
+  char* InsertAtSlot(size_t slot, const uint64_t* key);
   void Grow();
   void GrowTo(size_t new_cap);
   uint64_t HashKey(const uint64_t* key) const;
@@ -175,6 +186,8 @@ class CellStore {
   size_t size_ = 0;
   size_t words_ = 1;
   mutable Stats stats_;
+  /// BatchUpsert's hash cache, kept across calls to avoid reallocation.
+  std::vector<uint64_t> batch_hash_;
 };
 
 /// One CellStore per grouping set, parallel to CubeContext::sets.
@@ -193,6 +206,16 @@ struct ColumnarContext {
   /// row_keys[row * words .. ) = packed full-set key of `row`.
   std::vector<uint64_t> row_keys;
   size_t words = 1;
+
+  /// Resolved batch-kernel gate. BuildColumnarContext seeds it from the
+  /// DATACUBE_SCALAR_KERNELS environment hatch; ExecuteCube overrides it
+  /// from CubeOptions::use_batch_kernels. When false every scan stays on
+  /// the per-row IterRow path.
+  bool use_batch = true;
+  /// Prebuilt per-aggregate argument descriptors for IterBatch (typed
+  /// buffers + state codes where the argument is a plain column reference,
+  /// materialized Values always).
+  std::vector<std::vector<AggBatchArg>> batch_args;
 
   const uint64_t* RowKey(size_t row) const {
     return row_keys.data() + row * words;
@@ -231,7 +254,21 @@ struct ColumnarContext {
   void IterRow(char* block, size_t row, CubeStats* stats) const;
   Status RemoveRow(char* block, size_t row) const;
   Status MergeCell(char* dst, const char* src, CubeStats* stats) const;
+
+  /// Batched IterRow over n (row, cell) pairs: one header sweep, then one
+  /// IterBatch call per aggregate over the whole morsel (scalar Iter
+  /// replay for aggregates without a kernel). blocks[i] receives row
+  /// `rows ? rows[i] : base + i`; duplicate blocks are expected (rows
+  /// sharing a group). Aggregate semantics and iter_calls accounting match
+  /// n scalar IterRow calls exactly.
+  void BatchIterRows(char* const* blocks, const uint32_t* rows, size_t base,
+                     size_t n, CubeStats* stats) const;
 };
+
+/// Rows per batched dispatch chunk: big enough to amortize the per-morsel
+/// virtual calls, small enough that the group-id and block scratch vectors
+/// stay cache-resident (and well under the control-poll interval).
+inline constexpr size_t kBatchRows = 2048;
 
 Result<ColumnarContext> BuildColumnarContext(const CubeContext& ctx);
 

@@ -66,13 +66,31 @@ Result<SetStores> ColumnarNaive2N(const ColumnarContext& cc,
     maps.push_back(cc.MakeStore());
     masks.push_back(cc.codec.MaskForSet(set));
   }
-  std::vector<uint64_t> key(cc.words);
-  for (size_t row = 0; row < ctx.num_rows(); ++row) {
-    if ((row & 0xFFFF) == 0) DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
-    const uint64_t* rk = cc.RowKey(row);
-    for (size_t s = 0; s < ctx.sets.size(); ++s) {
-      MaskKey(rk, masks[s], key.data());
-      cc.IterRow(maps[s].FindOrInsert(key.data()), row, stats);
+  if (cc.use_batch) {
+    // Batched 2^N: chunk the scan and run the two-phase dispatch once per
+    // set per chunk. Same single input scan, same per-set stores — only
+    // the (independent) per-store fold order changes.
+    std::vector<uint64_t> masked(kBatchRows * cc.words);
+    std::vector<char*> blocks(kBatchRows);
+    for (size_t row = 0; row < ctx.num_rows(); row += kBatchRows) {
+      DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
+      size_t n = std::min(kBatchRows, ctx.num_rows() - row);
+      for (size_t s = 0; s < ctx.sets.size(); ++s) {
+        KeyCodec::MaskKeysBatch(cc.RowKey(row), n, cc.words, masks[s].data(),
+                                masked.data());
+        maps[s].BatchUpsert(masked.data(), n, blocks.data());
+        cc.BatchIterRows(blocks.data(), nullptr, row, n, stats);
+      }
+    }
+  } else {
+    std::vector<uint64_t> key(cc.words);
+    for (size_t row = 0; row < ctx.num_rows(); ++row) {
+      if ((row & 0xFFFF) == 0) DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
+      const uint64_t* rk = cc.RowKey(row);
+      for (size_t s = 0; s < ctx.sets.size(); ++s) {
+        MaskKey(rk, masks[s], key.data());
+        cc.IterRow(maps[s].FindOrInsert(key.data()), row, stats);
+      }
     }
   }
   if (stats != nullptr) ++stats->input_scans;
@@ -435,14 +453,34 @@ Result<SetStores> ColumnarArrayCube(const ColumnarContext& cc,
   };
 
   // Fill the core.
-  for (size_t row = 0; row < ctx.num_rows(); ++row) {
-    if ((row & 0xFFFF) == 0) DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
-    const uint64_t* rk = cc.RowKey(row);
-    size_t idx = 0;
-    for (size_t k = 0; k < ctx.num_keys; ++k) {
-      idx += dense_of(k, cc.codec.CodeAt(rk, k)) * stride[k];
+  if (cc.use_batch) {
+    // Dense addressing replaces the hash probe; the aggregate sweep still
+    // batches, touching each row's block once then dispatching per
+    // aggregate.
+    std::vector<char*> blocks(kBatchRows);
+    for (size_t row = 0; row < ctx.num_rows(); row += kBatchRows) {
+      DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
+      size_t n = std::min(kBatchRows, ctx.num_rows() - row);
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t* rk = cc.RowKey(row + i);
+        size_t idx = 0;
+        for (size_t k = 0; k < ctx.num_keys; ++k) {
+          idx += dense_of(k, cc.codec.CodeAt(rk, k)) * stride[k];
+        }
+        blocks[i] = touch(idx);
+      }
+      cc.BatchIterRows(blocks.data(), nullptr, row, n, stats);
     }
-    cc.IterRow(touch(idx), row, stats);
+  } else {
+    for (size_t row = 0; row < ctx.num_rows(); ++row) {
+      if ((row & 0xFFFF) == 0) DATACUBE_RETURN_IF_ERROR(ctx.ControlStatus());
+      const uint64_t* rk = cc.RowKey(row);
+      size_t idx = 0;
+      for (size_t k = 0; k < ctx.num_keys; ++k) {
+        idx += dense_of(k, cc.codec.CodeAt(rk, k)) * stride[k];
+      }
+      cc.IterRow(touch(idx), row, stats);
+    }
   }
   if (stats != nullptr) ++stats->input_scans;
 

@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "datacube/cube/columnar.h"
 #include "datacube/obs/trace.h"
@@ -22,6 +24,13 @@ inline uint64_t MixWord(uint64_t h, uint64_t word) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+// Process-wide escape hatch mirroring DATACUBE_LEGACY_CELLS: any
+// non-empty value other than "0" forces the scalar per-row Iter path.
+bool ScalarKernelsForced() {
+  const char* env = std::getenv("DATACUBE_SCALAR_KERNELS");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
 }
 
 }  // namespace
@@ -162,8 +171,13 @@ uint64_t CellStore::HashKey(const uint64_t* key) const {
 }
 
 size_t CellStore::ProbeFor(const uint64_t* key, bool* found) const {
+  return ProbeWithHash(HashKey(key), key, found);
+}
+
+size_t CellStore::ProbeWithHash(uint64_t hash, const uint64_t* key,
+                                bool* found) const {
   size_t mask = cap_ - 1;
-  size_t i = HashKey(key) & mask;
+  size_t i = hash & mask;
   uint64_t len = 1;
   while (true) {
     if (blocks_[i] == nullptr) {
@@ -218,14 +232,8 @@ char* CellStore::Find(const uint64_t* key) const {
   return found ? blocks_[i] : nullptr;
 }
 
-char* CellStore::FindOrInsert(const uint64_t* key, bool* inserted) {
-  // Grow at ~0.7 load factor.
-  if (cap_ == 0 || (size_ + 1) * 10 > cap_ * 7) Grow();
-  bool found;
-  size_t i = ProbeFor(key, &found);
-  if (inserted != nullptr) *inserted = !found;
-  if (found) return blocks_[i];
-  std::memcpy(keys_.data() + i * words_, key, words_ * sizeof(uint64_t));
+char* CellStore::InsertAtSlot(size_t slot, const uint64_t* key) {
+  std::memcpy(keys_.data() + slot * words_, key, words_ * sizeof(uint64_t));
   char* block = arena_->Alloc();
   ::new (block) CellHeader();
   const std::vector<AggregateFunctionPtr>& aggs = cc_->ctx->aggs;
@@ -233,9 +241,51 @@ char* CellStore::FindOrInsert(const uint64_t* key, bool* inserted) {
     aggs[a]->InitAt(block + cc_->layout.slots[a].offset);
   }
   stats_.heap_state_allocs += cc_->layout.num_compat;
-  blocks_[i] = block;
+  blocks_[slot] = block;
   ++size_;
   return block;
+}
+
+char* CellStore::FindOrInsert(const uint64_t* key, bool* inserted) {
+  // Grow at ~0.7 load factor.
+  if (cap_ == 0 || (size_ + 1) * 10 > cap_ * 7) Grow();
+  bool found;
+  size_t i = ProbeFor(key, &found);
+  if (inserted != nullptr) *inserted = !found;
+  if (found) return blocks_[i];
+  return InsertAtSlot(i, key);
+}
+
+void CellStore::BatchUpsert(const uint64_t* keys, size_t n,
+                            char** out_blocks) {
+  if (n == 0) return;
+  // Phase 1 — hash every key in one auto-vectorizable sweep. The hash is
+  // capacity-independent, so the cache survives any Grow() below.
+  batch_hash_.resize(n);
+  if (words_ == 1) {
+    for (size_t i = 0; i < n; ++i) batch_hash_[i] = MixWord(0, keys[i]);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      batch_hash_[i] = HashPackedKey(keys + i * words_, words_);
+    }
+  }
+  // Phase 2 — probe with the cached hashes, prefetching the home slot a
+  // few keys ahead so the random access into keys_/blocks_ overlaps the
+  // current chain walk. Growth schedule and probe counters are the same as
+  // n scalar FindOrInsert calls.
+  constexpr size_t kPrefetchAhead = 8;
+  for (size_t i = 0; i < n; ++i) {
+    if (cap_ == 0 || (size_ + 1) * 10 > cap_ * 7) Grow();
+    if (i + kPrefetchAhead < n) {
+      size_t ahead = batch_hash_[i + kPrefetchAhead] & (cap_ - 1);
+      __builtin_prefetch(&blocks_[ahead]);
+      __builtin_prefetch(keys_.data() + ahead * words_);
+    }
+    const uint64_t* key = keys + i * words_;
+    bool found;
+    size_t slot = ProbeWithHash(batch_hash_[i], key, &found);
+    out_blocks[i] = found ? blocks_[slot] : InsertAtSlot(slot, key);
+  }
 }
 
 char* CellStore::InsertClone(const uint64_t* key, const char* src_block) {
@@ -344,9 +394,38 @@ Result<ColumnarContext> BuildColumnarContext(const CubeContext& ctx) {
   cc.words = cc.codec.words();
   cc.row_keys.assign(ctx.num_rows() * cc.words, 0);
   for (size_t k = 0; k < ctx.num_keys; ++k) {
-    const std::vector<uint32_t>& codes = row_codes[k];
-    for (size_t row = 0; row < ctx.num_rows(); ++row) {
-      cc.codec.SetCode(&cc.row_keys[row * cc.words], k, codes[row]);
+    cc.codec.SetCodesBatch(k, row_codes[k].data(), ctx.num_rows(),
+                           cc.row_keys.data(), cc.words);
+  }
+  // Batch-kernel plan: one argument descriptor per (aggregate, arg). The
+  // materialized Value column is always present; the raw typed buffer and
+  // state codes ride along when the argument is a plain column reference,
+  // letting type-specialized kernels skip Value dispatch entirely.
+  cc.use_batch = !ScalarKernelsForced();
+  cc.batch_args.resize(ctx.aggs.size());
+  for (size_t a = 0; a < ctx.aggs.size(); ++a) {
+    const auto& arg_columns = ctx.agg_args[a];
+    cc.batch_args[a].resize(arg_columns.size());
+    for (size_t i = 0; i < arg_columns.size(); ++i) {
+      AggBatchArg& ba = cc.batch_args[a][i];
+      ba.values = arg_columns[i].data();
+      const Column* col = a < ctx.agg_source_columns.size() &&
+                                  i < ctx.agg_source_columns[a].size()
+                              ? ctx.agg_source_columns[a][i]
+                              : nullptr;
+      if (col == nullptr || col->size() != ctx.num_rows()) continue;
+      ba.type = col->type();
+      ba.states = col->state_codes();
+      switch (col->type()) {
+        case DataType::kInt64:
+          ba.data = col->raw<int64_t>().data();
+          break;
+        case DataType::kFloat64:
+          ba.data = col->raw<double>().data();
+          break;
+        default:
+          break;  // Kernels take the Value view for other types.
+      }
     }
   }
   if (span.active()) {
@@ -406,6 +485,53 @@ void ColumnarContext::IterRow(char* block, size_t row,
   if (stats != nullptr) stats->iter_calls += aggs.size();
 }
 
+void ColumnarContext::BatchIterRows(char* const* blocks, const uint32_t* rows,
+                                    size_t base, size_t n,
+                                    CubeStats* stats) const {
+  // Header sweep first: per-cell row counts and first-touch representative
+  // rows do not depend on any aggregate, so one pass covers them all.
+  for (size_t i = 0; i < n; ++i) {
+    CellHeader* h = Header(blocks[i]);
+    if (!h->has_repr) {
+      h->repr_row = rows != nullptr ? rows[i] : base + i;
+      h->has_repr = true;
+    }
+    ++h->count;
+  }
+  // Then one column sweep per aggregate. Sweeping aggregates one at a time
+  // (rather than per row) reorders only *between* independent states —
+  // each cell still folds its rows in input order.
+  const std::vector<AggregateFunctionPtr>& aggs = ctx->aggs;
+  AggBatch batch;
+  batch.blocks = blocks;
+  batch.rows = rows;
+  batch.base = base;
+  batch.n = n;
+  Value argv[8];
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    batch.slot_offset = layout.slots[a].offset;
+    batch.args = batch_args[a].data();
+    batch.nargs = batch_args[a].size();
+    if (layout.slots[a].is_inline && aggs[a]->IterBatch(batch)) continue;
+    // Scalar replay: aggregates without a batch kernel (holistic,
+    // DISTINCT-wrapped, UDAs) keep the exact per-row protocol.
+    const auto& arg_columns = ctx->agg_args[a];
+    size_t nargs = arg_columns.size();
+    for (size_t i = 0; i < n; ++i) {
+      size_t row = rows != nullptr ? rows[i] : base + i;
+      const Value* args;
+      if (nargs == 1) {
+        args = &arg_columns[0][row];
+      } else {
+        for (size_t j = 0; j < nargs; ++j) argv[j] = arg_columns[j][row];
+        args = argv;
+      }
+      aggs[a]->Iter(StateOf(blocks[i], a), args, nargs);
+    }
+  }
+  if (stats != nullptr) stats->iter_calls += aggs.size() * n;
+}
+
 Status ColumnarContext::RemoveRow(char* block, size_t row) const {
   Value argv[8];
   const std::vector<AggregateFunctionPtr>& aggs = ctx->aggs;
@@ -453,7 +579,21 @@ CellStore FlatGroupBy(const ColumnarContext& cc, GroupingSet set,
   // tripped. The partial store is discarded by the caller, which polls
   // ControlStatus() at the next set/node boundary and unwinds with the error.
   constexpr size_t kControlChunkMask = 0xFFFF;
-  if (cc.words == 1) {
+  if (cc.use_batch) {
+    // Two-phase batched dispatch, kBatchRows rows at a time: mask the
+    // packed keys in one sweep, resolve them all to cell blocks
+    // (BatchUpsert), then run one IterBatch per aggregate over the chunk.
+    std::vector<uint64_t> masked(kBatchRows * cc.words);
+    std::vector<char*> blocks(kBatchRows);
+    for (size_t row = 0; row < num_rows; row += kBatchRows) {
+      if (cc.ctx->Interrupted()) break;
+      size_t n = std::min(kBatchRows, num_rows - row);
+      KeyCodec::MaskKeysBatch(cc.RowKey(row), n, cc.words, mask.data(),
+                              masked.data());
+      cells.BatchUpsert(masked.data(), n, blocks.data());
+      cc.BatchIterRows(blocks.data(), nullptr, row, n, stats);
+    }
+  } else if (cc.words == 1) {
     uint64_t m = mask[0];
     for (size_t row = 0; row < num_rows; ++row) {
       if ((row & kControlChunkMask) == 0 && cc.ctx->Interrupted()) break;

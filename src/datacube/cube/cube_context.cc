@@ -144,9 +144,13 @@ Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec,
     }
     std::vector<DataType> arg_types;
     std::vector<std::vector<Value>> arg_columns;
+    std::vector<const Column*> arg_sources;
     for (const ExprPtr& arg : a.args) {
       DATACUBE_RETURN_IF_ERROR(arg->Bind(input.schema()));
       arg_types.push_back(arg->output_type());
+      arg_sources.push_back(arg->kind() == Expr::Kind::kColumnRef
+                                ? &input.column(arg->column_index())
+                                : nullptr);
       DATACUBE_ASSIGN_OR_RETURN(std::vector<Value> col,
                                 arg->EvaluateAll(input));
       arg_columns.push_back(std::move(col));
@@ -157,6 +161,7 @@ Result<CubeContext> BuildCubeContext(const Table& input, const CubeSpec& spec,
     ctx.aggs.push_back(std::move(fn));
     ctx.agg_result_types.push_back(result_type);
     ctx.agg_args.push_back(std::move(arg_columns));
+    ctx.agg_source_columns.push_back(std::move(arg_sources));
   }
 
   // Bind decorations and validate determinants.

@@ -58,6 +58,11 @@ struct CubeContext {
   std::vector<DataType> agg_result_types;
   /// agg_args[a][i][row] = evaluated i-th argument of aggregate a.
   std::vector<std::vector<std::vector<Value>>> agg_args;
+  /// agg_source_columns[a][i] = the input column the i-th argument of
+  /// aggregate a references, or nullptr for computed expressions. Batch
+  /// kernels read the raw typed buffer through this; agg_args stays the
+  /// materialized source of truth for every scalar path.
+  std::vector<std::vector<const Column*>> agg_source_columns;
 
   std::vector<GroupingSet> sets;
   /// Index of the full set within `sets`, or -1 if the spec's grouping sets

@@ -129,6 +129,16 @@ bool UseLegacyCellMap(const CubeOptions& options) {
   return env != nullptr && env[0] != '\0' && std::string(env) != "0";
 }
 
+// Whether this execution runs the batched (morsel-at-a-time) aggregation
+// kernels on the columnar core. Off per-call via CubeOptions, or
+// per-process via DATACUBE_SCALAR_KERNELS (any value but "" / "0") — the
+// scalar escape hatch the differential oracle cross-checks.
+bool UseBatchKernels(const CubeOptions& options) {
+  if (!options.use_batch_kernels) return false;
+  const char* env = std::getenv("DATACUBE_SCALAR_KERNELS");
+  return !(env != nullptr && env[0] != '\0' && std::string(env) != "0");
+}
+
 // Flushes one execution's deltas into the global registry — the cumulative
 // datacube_cube_* series a monitoring scrape reads. One lookup per counter
 // per execution; the hot loops never touch the registry.
@@ -443,6 +453,7 @@ Result<CubeResult> ExecuteCube(const Table& input, const CubeSpec& spec,
     if (!legacy_core) {
       DATACUBE_ASSIGN_OR_RETURN(cube_internal::ColumnarContext cc,
                                 cube_internal::BuildColumnarContext(ctx));
+      cc.use_batch = UseBatchKernels(options);
       auto dispatch = [&]() -> Result<SetStores> {
         if (WouldRunParallel(ctx, options)) {
           return cube_internal::ColumnarParallel(cc, options, &stats);

@@ -155,6 +155,14 @@ struct CubeOptions {
   /// switchable per-process with the DATACUBE_LEGACY_CELLS environment
   /// variable; used by the differential oracle to diff the two cores.
   bool use_legacy_cellmap = false;
+  /// Batched aggregation on the columnar core: morsel-at-a-time group-id
+  /// probing in CellStore plus per-aggregate IterBatch column sweeps, so
+  /// one virtual call covers a whole morsel instead of one per row.
+  /// Default on; aggregates without a batch kernel (holistic, DISTINCT,
+  /// UDAs) fall back to scalar Iter per morsel. Escape hatch: set the
+  /// DATACUBE_SCALAR_KERNELS environment variable to force the scalar
+  /// per-row path process-wide; the differential oracle diffs both.
+  bool use_batch_kernels = true;
   /// Byte budget for cost-based partial materialization (the HRU-style
   /// benefit-per-byte view selection over the grouping-set lattice).
   /// When > 0, ExecuteCube materializes only the selected grouping sets —

@@ -40,6 +40,80 @@ uint64_t CanonicalDoubleBits(double v) {
   return bits;
 }
 
+// splitmix64 finalizer — the id map's hash for integral keys. Matches the
+// quality bar of the CellStore hash without pulling columnar.h in here.
+inline uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t IdHash(uint8_t k) { return MixBits(k); }
+inline uint64_t IdHash(int64_t k) { return MixBits(static_cast<uint64_t>(k)); }
+inline uint64_t IdHash(uint64_t k) { return MixBits(k); }
+inline uint64_t IdHash(std::string_view k) {
+  return std::hash<std::string_view>{}(k);
+}
+
+// Open-addressing key -> first-appearance-id map for the per-row
+// dictionary lookups of EncodeTypedColumn. The dictionary build is the
+// dominant per-row cost of the columnar context, and node-based
+// unordered_map lookups were most of it; a flat power-of-two table with
+// linear probing stays resident in L1 for typical key cardinalities.
+template <typename Key>
+class FlatIdMap {
+ public:
+  FlatIdMap() { Rehash(64); }
+
+  // Id of `key`, assigning the next id on first appearance (reported via
+  // `inserted`).
+  uint32_t IdOf(const Key& key, bool* inserted) {
+    if ((size_ + 1) * 10 > cap_ * 7) Rehash(cap_ * 2);
+    size_t slot = IdHash(key) & (cap_ - 1);
+    while (used_[slot]) {
+      if (slots_[slot].key == key) {
+        *inserted = false;
+        return slots_[slot].id;
+      }
+      slot = (slot + 1) & (cap_ - 1);
+    }
+    used_[slot] = 1;
+    slots_[slot].key = key;
+    slots_[slot].id = static_cast<uint32_t>(size_);
+    ++size_;
+    *inserted = true;
+    return slots_[slot].id;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    uint32_t id = 0;
+  };
+
+  void Rehash(size_t new_cap) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_.assign(new_cap, Slot{});
+    used_.assign(new_cap, 0);
+    size_t old_cap = cap_;
+    cap_ = new_cap;
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (!old_used[i]) continue;
+      size_t slot = IdHash(old_slots[i].key) & (cap_ - 1);
+      while (used_[slot]) slot = (slot + 1) & (cap_ - 1);
+      used_[slot] = 1;
+      slots_[slot] = old_slots[i];
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> used_;
+  size_t cap_ = 0;
+  size_t size_ = 0;
+};
+
 // Dictionary-encodes a typed column without constructing a Value per row.
 // `make_key(r)` produces the hashable key for row r's concrete value;
 // `make_value(r)` its Value form (called once per distinct value only).
@@ -47,23 +121,24 @@ template <typename Key, typename MakeKey, typename MakeValue>
 void EncodeTypedColumn(const datacube::Column& col, size_t num_rows,
                        MakeKey make_key, MakeValue make_value,
                        ProvisionalColumn* out) {
-  std::unordered_map<Key, uint32_t> ids;
+  FlatIdMap<Key> ids;
+  const uint8_t* states = col.state_codes();
   out->codes.resize(num_rows);
   for (size_t r = 0; r < num_rows; ++r) {
-    if (col.IsNull(r)) {
-      out->has_null = true;
-      out->codes[r] = static_cast<uint32_t>(KeyCodec::kNullCode);
+    if (states[r] != 0) {
+      if (col.IsNull(r)) {
+        out->has_null = true;
+        out->codes[r] = static_cast<uint32_t>(KeyCodec::kNullCode);
+      } else {
+        out->has_all = true;
+        out->codes[r] = static_cast<uint32_t>(KeyCodec::kAllCode);
+      }
       continue;
     }
-    if (col.IsAll(r)) {
-      out->has_all = true;
-      out->codes[r] = static_cast<uint32_t>(KeyCodec::kAllCode);
-      continue;
-    }
-    auto [it, inserted] =
-        ids.emplace(make_key(r), static_cast<uint32_t>(out->distinct.size()));
+    bool inserted;
+    uint32_t id = ids.IdOf(make_key(r), &inserted);
     if (inserted) out->distinct.push_back(make_value(r));
-    out->codes[r] = 2 + it->second;
+    out->codes[r] = 2 + id;
   }
 }
 

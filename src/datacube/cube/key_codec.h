@@ -103,6 +103,25 @@ class KeyCodec {
   /// aggregated-away field. masks[w] covers word w.
   std::vector<uint64_t> MaskForSet(GroupingSet set) const;
 
+  /// Applies a MaskForSet mask to `n` consecutive packed keys in one
+  /// auto-vectorizable sweep: dst[i*words + w] = src[i*words + w] &
+  /// mask[w]. `src` and `dst` may alias exactly (in-place) but must not
+  /// partially overlap. This is the batched form of the per-key MaskKey
+  /// loop the scalar algorithms use.
+  static void MaskKeysBatch(const uint64_t* src, size_t n, size_t words,
+                            const uint64_t* mask, uint64_t* dst) {
+    if (words == 1) {
+      const uint64_t m = mask[0];
+      for (size_t i = 0; i < n; ++i) dst[i] = src[i] & m;
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t* s = src + i * words;
+      uint64_t* d = dst + i * words;
+      for (size_t w = 0; w < words; ++w) d[w] = s[w] & mask[w];
+    }
+  }
+
   /// Field value of column `k` inside a packed key.
   uint64_t CodeAt(const uint64_t* key, size_t k) const {
     const Column& c = cols_[k];
@@ -113,6 +132,27 @@ class KeyCodec {
   void SetCode(uint64_t* key, size_t k, uint64_t code) const {
     const Column& c = cols_[k];
     key[c.word] |= code << c.shift;
+  }
+
+  /// Batched SetCode: ORs codes[i] into column `k`'s field of key i for
+  /// `n` consecutive packed keys. The field's word/shift lookup is hoisted
+  /// out of the loop, so the single-word common case compiles to one
+  /// auto-vectorizable shift-or sweep — this is how BuildColumnarContext
+  /// packs every row's key.
+  void SetCodesBatch(size_t k, const uint32_t* codes, size_t n,
+                     uint64_t* keys, size_t words) const {
+    const Column& c = cols_[k];
+    const uint32_t shift = c.shift;
+    uint64_t* base = keys + c.word;
+    if (words == 1) {
+      for (size_t i = 0; i < n; ++i) {
+        base[i] |= static_cast<uint64_t>(codes[i]) << shift;
+      }
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      base[i * words] |= static_cast<uint64_t>(codes[i]) << shift;
+    }
   }
 
   /// Whether a NULL / a literal ALL appeared in column `k`'s build data

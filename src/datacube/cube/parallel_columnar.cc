@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -122,6 +123,19 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
           parts.push_back(cc.MakeStore());
         }
         CubeStats& my_stats = scan_stats[t];
+        // Batched morsel scan scratch: rows of a chunk are counting-sorted
+        // into per-partition row-id buckets, then each bucket's keys are
+        // gathered contiguously and probed/swept as one batch. Row ids ride
+        // in uint32 group-id vectors, so gate on the input fitting.
+        const bool batch = cc.use_batch && rows <= UINT32_MAX;
+        std::vector<std::vector<uint32_t>> bucket;
+        std::vector<uint64_t> gathered;
+        std::vector<char*> blocks;
+        if (batch) {
+          bucket.resize(partitions);
+          gathered.resize(kBatchRows * cc.words);
+          blocks.resize(kBatchRows);
+        }
         while (true) {
           // Morsel boundary: the cancellation point of the parallel scan. A
           // tripped control abandons the worker's remaining morsels; the
@@ -135,12 +149,45 @@ Result<SetStores> ColumnarParallel(const ColumnarContext& cc,
           size_t hi = std::min(rows, lo + morsel);
           ++scan_morsels[t];
           rows_scanned += hi - lo;
-          for (size_t row = lo; row < hi; ++row) {
-            const uint64_t* key = cc.RowKey(row);
-            size_t p = partitions == 1
-                           ? 0
-                           : PartitionOf(key, cc.words, partitions);
-            cc.IterRow(parts[p].FindOrInsert(key), row, &my_stats);
+          if (batch) {
+            for (size_t chunk = lo; chunk < hi; chunk += kBatchRows) {
+              size_t n = std::min(kBatchRows, hi - chunk);
+              if (partitions == 1) {
+                // Keys are already contiguous in row_keys — probe straight
+                // through without bucketing.
+                parts[0].BatchUpsert(cc.RowKey(chunk), n, blocks.data());
+                cc.BatchIterRows(blocks.data(), nullptr, chunk, n,
+                                 &my_stats);
+                continue;
+              }
+              for (std::vector<uint32_t>& b : bucket) b.clear();
+              for (size_t i = 0; i < n; ++i) {
+                const uint64_t* key = cc.RowKey(chunk + i);
+                bucket[PartitionOf(key, cc.words, partitions)].push_back(
+                    static_cast<uint32_t>(chunk + i));
+              }
+              for (size_t p = 0; p < partitions; ++p) {
+                const std::vector<uint32_t>& prows = bucket[p];
+                if (prows.empty()) continue;
+                for (size_t j = 0; j < prows.size(); ++j) {
+                  std::memcpy(gathered.data() + j * cc.words,
+                              cc.RowKey(prows[j]),
+                              cc.words * sizeof(uint64_t));
+                }
+                parts[p].BatchUpsert(gathered.data(), prows.size(),
+                                     blocks.data());
+                cc.BatchIterRows(blocks.data(), prows.data(), 0,
+                                 prows.size(), &my_stats);
+              }
+            }
+          } else {
+            for (size_t row = lo; row < hi; ++row) {
+              const uint64_t* key = cc.RowKey(row);
+              size_t p = partitions == 1
+                             ? 0
+                             : PartitionOf(key, cc.words, partitions);
+              cc.IterRow(parts[p].FindOrInsert(key), row, &my_stats);
+            }
           }
         }
         if (worker_span.active()) {

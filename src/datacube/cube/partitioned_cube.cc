@@ -23,6 +23,7 @@ using cube_internal::BuildCubeContext;
 using cube_internal::CellStore;
 using cube_internal::ColumnarContext;
 using cube_internal::CubeContext;
+using cube_internal::ParallelStatusFor;
 using cube_internal::SetStores;
 using cube_internal::TaskGroup;
 using cube_internal::ThreadPool;
@@ -84,12 +85,38 @@ void RekeySinkStores(MergeSink& sink) {
   }
 }
 
+/// Deep-copies the spec's expression trees. Expr::Bind caches column
+/// indexes inside the nodes, so sinks and deltas built concurrently from
+/// one shared spec must each bind a private copy — a clone shares no
+/// nodes, making concurrent ingest / merged reads / compaction rebuilds
+/// race-free without a lock.
+CubeSpec CloneSpecExprs(const CubeSpec& spec) {
+  CubeSpec out = spec;
+  auto clone_groups = [](std::vector<GroupExpr>& gs) {
+    for (GroupExpr& g : gs) {
+      if (g.expr != nullptr) g.expr = g.expr->Clone();
+    }
+  };
+  clone_groups(out.group_by);
+  clone_groups(out.rollup);
+  clone_groups(out.cube);
+  for (AggregateSpec& a : out.aggregates) {
+    for (ExprPtr& arg : a.args) {
+      if (arg != nullptr) arg = arg->Clone();
+    }
+  }
+  for (Decoration& d : out.decorations) {
+    if (d.expr != nullptr) d.expr = d.expr->Clone();
+  }
+  return out;
+}
+
 Result<std::unique_ptr<MergeSink>> MakeSink(
     const Schema& schema, const CubeSpec& spec,
     const std::optional<GroupingSet>& only) {
   auto sink = std::make_unique<MergeSink>();
   sink->empty = Table(schema);
-  sink->spec = spec;
+  sink->spec = CloneSpecExprs(spec);
   if (only.has_value()) {
     sink->spec.explicit_sets = std::vector<GroupingSet>{*only};
   }
@@ -135,6 +162,41 @@ Status FoldCube(MergeSink& sink, const MaterializedCube& src) {
   }
   return Status::OK();
 }
+
+/// FoldCube's sink-to-sink form: folds every cell of a shard sink into
+/// `dst`. Both sinks were built from the same spec and `only` restriction,
+/// so their grouping-set order is identical by construction. Used by the
+/// partition-parallel merged read to combine per-shard results.
+Status FoldSink(MergeSink& dst, const MergeSink& src) {
+  for (size_t s = 0; s < dst.ctx.sets.size(); ++s) {
+    GroupingSet set = dst.ctx.sets[s];
+    Status st = Status::OK();
+    src.stores[s].ForEach([&](const uint64_t* key, char* block) {
+      if (!st.ok()) return;
+      std::vector<Value> decoded = src.cc.codec.DecodeKey(key);
+      std::optional<std::vector<uint64_t>> packed =
+          dst.cc.codec.EncodeKey(decoded, set);
+      if (!packed.has_value()) {
+        for (size_t k = 0; k < dst.ctx.num_keys; ++k) {
+          if (IsGrouped(set, k)) dst.cc.codec.CodeOfOrAdd(k, decoded[k]);
+        }
+        if (dst.cc.codec.needs_relayout()) RekeySinkStores(dst);
+        packed = dst.cc.codec.EncodeKey(decoded, set);
+      }
+      char* cell = dst.stores[s].FindOrInsert(packed->data());
+      st = dst.cc.MergeCell(cell, block, nullptr);
+    });
+    DATACUBE_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+/// Shards of the partition-parallel merged read. Fixed (never derived from
+/// the pool size) so a merged read's result — including the floating-point
+/// fold order — is byte-identical no matter how many workers the pool has:
+/// delta d folds into shard d % shards, shards fold into the main sink in
+/// shard order.
+constexpr size_t kMergeReadFanout = 8;
 
 constexpr char kManifestMagic[] = "DATACUBE_PART_V1";
 
@@ -222,9 +284,10 @@ Status PartitionedCube::IngestRowLocked(const std::vector<Value>& row,
   auto it = open_.find(wk);
   if (it == open_.end()) {
     Table empty(base_schema_);
-    DATACUBE_ASSIGN_OR_RETURN(std::unique_ptr<MaterializedCube> delta,
-                              MaterializedCube::Build(empty, *spec_,
-                                                      options_.cube));
+    DATACUBE_ASSIGN_OR_RETURN(
+        std::unique_ptr<MaterializedCube> delta,
+        MaterializedCube::Build(empty, CloneSpecExprs(*spec_),
+                                options_.cube));
     it = open_.emplace(wk, std::move(delta)).first;
   }
   // A row landing behind the newest window (or into an already-sealed one)
@@ -421,8 +484,8 @@ size_t PartitionedCube::CompactPass(bool seal_newest) {
       }
     }
     if (!ok) continue;
-    Result<std::unique_ptr<MaterializedCube>> built =
-        MaterializedCube::Build(rows, *spec_, options_.cube);
+    Result<std::unique_ptr<MaterializedCube>> built = MaterializedCube::Build(
+        rows, CloneSpecExprs(*spec_), options_.cube);
     if (!built.ok()) continue;
     std::shared_ptr<const MaterializedCube> merged = std::move(built.value());
 
@@ -630,7 +693,7 @@ Result<Table> PartitionedCube::MergedTable(
     // over the concatenated live rows instead.
     DATACUBE_ASSIGN_OR_RETURN(Table rows,
                               PrunedRows(std::nullopt, std::nullopt));
-    CubeSpec qspec = *spec_;
+    CubeSpec qspec = CloneSpecExprs(*spec_);
     if (only.has_value()) {
       qspec.explicit_sets = std::vector<GroupingSet>{*only};
     }
@@ -658,12 +721,35 @@ Result<Table> PartitionedCube::MergedTable(
       }
     }
   }
-  for (const std::shared_ptr<const MaterializedCube>& d : frozen) {
-    DATACUBE_RETURN_IF_ERROR(FoldCube(*sink, *d));
+  size_t shards = 0;
+  if (frozen.size() >= 2) {
+    // Partition-parallel read: fan the sealed-delta folds over the pool,
+    // one private sink per shard, then combine shard sinks in shard order.
+    // ParallelStatusFor surfaces the first error by shard index, so even
+    // failures are deterministic.
+    shards = std::min(frozen.size(), kMergeReadFanout);
+    std::vector<std::unique_ptr<MergeSink>> shard_sinks(shards);
+    DATACUBE_RETURN_IF_ERROR(ParallelStatusFor(
+        ThreadPool::Global(), shards, [&](size_t i) -> Status {
+          DATACUBE_ASSIGN_OR_RETURN(shard_sinks[i],
+                                    MakeSink(base_schema_, *spec_, only));
+          for (size_t d = i; d < frozen.size(); d += shards) {
+            DATACUBE_RETURN_IF_ERROR(FoldCube(*shard_sinks[i], *frozen[d]));
+          }
+          return Status::OK();
+        }));
+    for (size_t i = 0; i < shards; ++i) {
+      DATACUBE_RETURN_IF_ERROR(FoldSink(*sink, *shard_sinks[i]));
+    }
+  } else {
+    for (const std::shared_ptr<const MaterializedCube>& d : frozen) {
+      DATACUBE_RETURN_IF_ERROR(FoldCube(*sink, *d));
+    }
   }
   if (span.active()) {
     span.Attr("deltas_merged",
               static_cast<uint64_t>(frozen.size() + open_folded));
+    span.Attr("merge_shards", static_cast<uint64_t>(shards));
   }
   CubeStats stats;
   return AssembleColumnarResult(sink->cc, sink->stores, &stats);
@@ -844,7 +930,8 @@ Result<std::unique_ptr<PartitionedCube>> PartitionedCube::LoadFromDir(
                                         ".ckpt");
       DATACUBE_ASSIGN_OR_RETURN(
           std::unique_ptr<MaterializedCube> delta,
-          MaterializedCube::LoadFromFile(spec, file.string()));
+          MaterializedCube::LoadFromFile(CloneSpecExprs(spec),
+                                         file.string()));
       p->rows += delta->num_base_rows();
       p->deltas.emplace_back(std::move(delta));
     }

@@ -123,6 +123,12 @@ const std::string* Expr::AsColumnName() const {
   return kind_ == Kind::kColumnRef ? &name_ : nullptr;
 }
 
+ExprPtr Expr::Clone() const {
+  auto copy = ExprPtr(new Expr(*this));
+  for (ExprPtr& arg : copy->args_) arg = arg->Clone();
+  return copy;
+}
+
 Status Expr::BindCase() {
   size_t num_branches = (args_.size() - (case_has_else_ ? 1 : 0)) / 2;
   if (num_branches == 0) {

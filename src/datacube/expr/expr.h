@@ -76,6 +76,11 @@ class Expr {
   /// type. Must be called (and succeed) before Evaluate.
   Status Bind(const Schema& schema);
 
+  /// Deep copy: the clone shares no nodes with this tree, so Bind on one
+  /// never touches memory the other reads. Bind caches are copied, so a
+  /// bound tree clones to a bound tree.
+  ExprPtr Clone() const;
+
   /// Output type; valid after Bind.
   DataType output_type() const { return output_type_; }
 

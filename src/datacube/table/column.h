@@ -63,6 +63,11 @@ class Column {
     return std::get<std::vector<T>>(buffer_);
   }
 
+  /// Per-row state codes backing IsNull/IsAll (0 = concrete value, nonzero
+  /// = NULL or ALL), for batch kernels that test whole buffers without a
+  /// virtual call per row. Parallel to raw<T>().
+  const uint8_t* state_codes() const { return states_.data(); }
+
  private:
   static constexpr uint8_t kStateValue = 0;
   static constexpr uint8_t kStateNull = 1;

@@ -30,6 +30,7 @@ Outcome RunConfig(const Table& input, const CubeSpec& spec,
   options.algorithm = config.algorithm;
   options.num_threads = config.num_threads;
   options.use_legacy_cellmap = config.use_legacy_cellmap;
+  options.use_batch_kernels = config.use_batch_kernels;
   if (config.morsel_rows != 0) options.morsel_rows = config.morsel_rows;
   if (config.num_partitions != 0) {
     options.num_partitions = config.num_partitions;
@@ -295,6 +296,17 @@ std::vector<OracleConfig> AllOracleConfigs() {
       {"budget_1mb_parallel_x3", CubeAlgorithm::kAuto, 3,
        /*use_legacy_cellmap=*/false, /*morsel_rows=*/0, /*num_partitions=*/0,
        /*materialize_budget_bytes=*/1u << 20},
+      // Scalar-kernel escape hatch: the same engine with batched
+      // aggregation disabled, serially and in an adversarial parallel
+      // shape, so every sweep diffs the morsel-at-a-time kernels against
+      // the per-row Iter path (and both against every config above, which
+      // all run with kernels on).
+      {"scalar_kernels", CubeAlgorithm::kAuto, 1,
+       /*use_legacy_cellmap=*/false, /*morsel_rows=*/0, /*num_partitions=*/0,
+       /*materialize_budget_bytes=*/0, /*use_batch_kernels=*/false},
+      {"scalar_kernels_parallel_x3_m7_p5", CubeAlgorithm::kAuto, 3,
+       /*use_legacy_cellmap=*/false, /*morsel_rows=*/7, /*num_partitions=*/5,
+       /*materialize_budget_bytes=*/0, /*use_batch_kernels=*/false},
   };
 }
 

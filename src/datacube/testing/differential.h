@@ -32,6 +32,10 @@ struct OracleConfig {
   /// a materialized ancestor — the rewrite path the oracle must prove
   /// equivalent to direct computation. Holistic specs skip the rewrite.
   size_t materialize_budget_bytes = 0;
+  /// Batched aggregation kernels (the columnar default). The scalar_kernels
+  /// configs flip this off, so every sweep also diffs the morsel-at-a-time
+  /// kernels against the per-row Iter path cell for cell.
+  bool use_batch_kernels = true;
 };
 
 /// The full sweep: every Section 5 algorithm forced serially (each falls

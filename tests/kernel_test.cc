@@ -1,0 +1,406 @@
+// Kernel-level differential tier for the batched aggregation kernels: every
+// typed IterBatch kernel (COUNT(*)/COUNT/SUM/MIN/MAX/AVG over INT64 and
+// FLOAT64, plus the Value fallback for strings) is diffed against the
+// scalar per-row Iter path on adversarial buffers — NaN/±inf floats,
+// int64 overflow edges, all-NULL columns, all-duplicate keys, and row
+// counts straddling the morsel boundary. A property test proves the
+// group-id vectors BatchUpsert produces are a permutation-stable partition
+// of the rows, and a counter test pins the per-row probe/iter semantics
+// EXPLAIN ANALYZE depends on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datacube/cube/columnar.h"
+#include "datacube/cube/cube_internal.h"
+#include "datacube/cube/cube_operator.h"
+#include "datacube/testing/differential.h"
+#include "datacube/testing/random_table.h"
+
+namespace datacube {
+namespace {
+
+using cube_internal::kBatchRows;
+using cube_internal::KeyCodec;
+using datacube::testing::DiffReport;
+using datacube::testing::DiffResultTables;
+
+// The aggregate list every differential case sweeps: one output per kernel
+// (COUNT(*) and COUNT/SUM/MIN/MAX/AVG over the measure column `x`).
+std::vector<AggregateSpec> AllKernelAggs() {
+  return {CountStar("c"),       Agg("count", "x", "cx"),
+          Agg("sum", "x", "s"), Agg("min", "x", "lo"),
+          Agg("max", "x", "hi"), Agg("avg", "x", "a")};
+}
+
+CubeOptions BatchOptions(bool on) {
+  CubeOptions options;
+  options.use_batch_kernels = on;
+  return options;
+}
+
+// Runs `spec` over `input` with batch kernels on and off and requires the
+// two paths to agree exactly: same status code on failure, cell-identical
+// relations on success. Both paths fold rows in input order, so even float
+// results must match bit for bit (modulo the Value total order, which puts
+// -0.0 == +0.0 and NaN == NaN).
+void ExpectBatchMatchesScalar(const Table& input, const CubeSpec& spec,
+                              const std::string& what) {
+  auto batch = ExecuteCube(input, spec, BatchOptions(true));
+  auto scalar = ExecuteCube(input, spec, BatchOptions(false));
+  ASSERT_EQ(batch.ok(), scalar.ok())
+      << what << ": batch status " << batch.status().ToString()
+      << " vs scalar status " << scalar.status().ToString();
+  if (!batch.ok()) {
+    EXPECT_EQ(batch.status().code(), scalar.status().code()) << what;
+    return;
+  }
+  DiffReport report = DiffResultTables(scalar.value().table,
+                                       batch.value().table, spec);
+  EXPECT_TRUE(report.ok()) << what << "\n" << report.ToString();
+  EXPECT_TRUE(batch.value().table.EqualsExact(scalar.value().table)) << what;
+}
+
+// ------------------------------------------------- adversarial buffers
+
+// INT64 measure with both extremes, zero crossings, and NULL holes, keyed
+// by a small int dimension so every group sees edge values.
+Table Int64EdgeTable(size_t rows, size_t cardinality) {
+  std::vector<Field> fields;
+  fields.push_back(Field{"d", DataType::kInt64, /*nullable=*/true,
+                         /*allow_all=*/true});
+  fields.push_back(Field{"x", DataType::kInt64, /*nullable=*/true});
+  Table t{Schema{std::move(fields)}};
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  // Edge palette: extremes appear but alternate in sign so per-group sums
+  // stay inside int64 (the overflow case gets its own test).
+  const int64_t palette[] = {kMax, kMin, 0, -1, 1, kMax, kMin + 1, 42};
+  for (size_t i = 0; i < rows; ++i) {
+    Value d = (i % 7 == 3) ? Value::Null()
+                           : Value::Int64(static_cast<int64_t>(i % cardinality));
+    Value x = (i % 5 == 4) ? Value::Null()
+                           : Value::Int64(palette[i % 8]);
+    EXPECT_TRUE(t.AppendRow({std::move(d), std::move(x)}).ok());
+  }
+  return t;
+}
+
+// FLOAT64 measure cycling through NaN, ±inf, ±0.0, denormals, and plain
+// values, with NULL holes.
+Table Float64EdgeTable(size_t rows, size_t cardinality) {
+  std::vector<Field> fields;
+  fields.push_back(Field{"d", DataType::kInt64, /*nullable=*/true,
+                         /*allow_all=*/true});
+  fields.push_back(Field{"x", DataType::kFloat64, /*nullable=*/true});
+  Table t{Schema{std::move(fields)}};
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  const double palette[] = {nan, inf, -inf, -0.0, 0.0, denorm, 1.5, -2.5, 1e6};
+  for (size_t i = 0; i < rows; ++i) {
+    Value d = (i % 11 == 7) ? Value::Null()
+                            : Value::Int64(static_cast<int64_t>(i % cardinality));
+    Value x = (i % 6 == 5) ? Value::Null()
+                           : Value::Float64(palette[i % 9]);
+    EXPECT_TRUE(t.AppendRow({std::move(d), std::move(x)}).ok());
+  }
+  return t;
+}
+
+// ------------------------------------------------- per-kernel differentials
+
+TEST(KernelDiffTest, Int64KernelsOnExtremeBuffer) {
+  Table input = Int64EdgeTable(500, 4);
+  CubeSpec spec;
+  spec.cube = {GroupCol("d")};
+  spec.aggregates = AllKernelAggs();
+  ExpectBatchMatchesScalar(input, spec, "int64 edge cube");
+}
+
+TEST(KernelDiffTest, Float64KernelsOnNaNInfBuffer) {
+  Table input = Float64EdgeTable(500, 4);
+  CubeSpec spec;
+  spec.cube = {GroupCol("d")};
+  spec.aggregates = AllKernelAggs();
+  ExpectBatchMatchesScalar(input, spec, "float64 NaN/inf cube");
+}
+
+TEST(KernelDiffTest, SumOverflowSurfacesFromBothPaths) {
+  std::vector<Field> fields;
+  fields.push_back(Field{"d", DataType::kInt64, /*nullable=*/false,
+                         /*allow_all=*/true});
+  fields.push_back(Field{"x", DataType::kInt64});
+  Table t{Schema{std::move(fields)}};
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int64(0), Value::Int64(kMax)}).ok());
+  }
+  CubeSpec spec;
+  spec.cube = {GroupCol("d")};
+  spec.aggregates = {Agg("sum", "x", "s")};
+  auto batch = ExecuteCube(t, spec, BatchOptions(true));
+  auto scalar = ExecuteCube(t, spec, BatchOptions(false));
+  ASSERT_FALSE(batch.ok());
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_EQ(batch.status().code(), scalar.status().code())
+      << batch.status().ToString() << " vs " << scalar.status().ToString();
+}
+
+TEST(KernelDiffTest, AllNullMeasureColumn) {
+  std::vector<Field> fields;
+  fields.push_back(Field{"d", DataType::kInt64, /*nullable=*/false,
+                         /*allow_all=*/true});
+  fields.push_back(Field{"x", DataType::kFloat64, /*nullable=*/true});
+  Table t{Schema{std::move(fields)}};
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Int64(static_cast<int64_t>(i % 3)), Value::Null()})
+            .ok());
+  }
+  CubeSpec spec;
+  spec.cube = {GroupCol("d")};
+  spec.aggregates = AllKernelAggs();
+  auto batch = ExecuteCube(t, spec, BatchOptions(true));
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ExpectBatchMatchesScalar(t, spec, "all-NULL measure");
+}
+
+TEST(KernelDiffTest, AllDuplicateKeysSingleGroup) {
+  Table input = Int64EdgeTable(kBatchRows + 17, /*cardinality=*/1);
+  CubeSpec spec;
+  spec.group_by = {GroupCol("d")};
+  spec.aggregates = AllKernelAggs();
+  ExpectBatchMatchesScalar(input, spec, "all-duplicate keys");
+}
+
+TEST(KernelDiffTest, RowCountsStraddleTheMorselBoundary) {
+  for (size_t rows : {size_t{0}, size_t{1}, kBatchRows - 1, kBatchRows,
+                      kBatchRows + 1}) {
+    Table input = Float64EdgeTable(rows, 5);
+    CubeSpec spec;
+    spec.cube = {GroupCol("d")};
+    spec.aggregates = AllKernelAggs();
+    ExpectBatchMatchesScalar(input, spec,
+                             "rows=" + std::to_string(rows));
+  }
+}
+
+// MIN/MAX over strings have no typed kernel; the batch still flows through
+// the Value-fallback loop inside the kernel, which must match scalar.
+TEST(KernelDiffTest, StringExtremesUseTheValueFallback) {
+  std::vector<Field> fields;
+  fields.push_back(Field{"d", DataType::kInt64, /*nullable=*/false,
+                         /*allow_all=*/true});
+  fields.push_back(Field{"x", DataType::kString, /*nullable=*/true});
+  Table t{Schema{std::move(fields)}};
+  const char* words[] = {"pear", "apple", "zebra", "", "mango"};
+  for (size_t i = 0; i < 333; ++i) {
+    Value x = (i % 4 == 3) ? Value::Null() : Value::String(words[i % 5]);
+    ASSERT_TRUE(
+        t.AppendRow({Value::Int64(static_cast<int64_t>(i % 3)), std::move(x)})
+            .ok());
+  }
+  CubeSpec spec;
+  spec.cube = {GroupCol("d")};
+  spec.aggregates = {CountStar("c"), Agg("min", "x", "lo"),
+                     Agg("max", "x", "hi")};
+  ExpectBatchMatchesScalar(t, spec, "string extremes");
+}
+
+// Random sweep across the adversarial generator profiles, serial and
+// parallel, so the batch path also diffs under morsel-parallel scans.
+TEST(KernelDiffTest, RandomProfilesSerialAndParallel) {
+  auto profiles = datacube::testing::AdversarialProfiles();
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    Table input = datacube::testing::MakeRandomTable(1000 + i, profiles[i]);
+    CubeSpec spec =
+        datacube::testing::MakeRandomSpec(2000 + i, profiles[i],
+                                          /*include_holistic=*/false);
+    for (int threads : {1, 4}) {
+      CubeOptions batch_on = BatchOptions(true);
+      batch_on.num_threads = threads;
+      CubeOptions batch_off = BatchOptions(false);
+      batch_off.num_threads = threads;
+      auto a = ExecuteCube(input, spec, batch_on);
+      auto b = ExecuteCube(input, spec, batch_off);
+      ASSERT_EQ(a.ok(), b.ok()) << profiles[i].label;
+      if (!a.ok()) {
+        EXPECT_EQ(a.status().code(), b.status().code()) << profiles[i].label;
+        continue;
+      }
+      DiffReport report =
+          DiffResultTables(b.value().table, a.value().table, spec);
+      EXPECT_TRUE(report.ok())
+          << profiles[i].label << " threads=" << threads << "\n"
+          << report.ToString();
+    }
+  }
+}
+
+// ------------------------------------------------- counter semantics
+
+// Batching must not change the per-row meaning of the kernel counters:
+// BatchUpsert walks the same probe chains FindOrInsert would, and the
+// dispatcher charges one Iter per (row, aggregate) whether or not a typed
+// kernel handled the morsel. EXPLAIN ANALYZE and the obs assertions read
+// these counters, so they must stay identical across the gate.
+TEST(KernelCounterTest, BatchAndScalarCountersAgreePerRow) {
+  // Modest measure values: the ALL cell sums every row, so extremes would
+  // (correctly) error out of both paths instead of producing stats.
+  std::vector<Field> fields;
+  fields.push_back(Field{"d", DataType::kInt64, /*nullable=*/true,
+                         /*allow_all=*/true});
+  fields.push_back(Field{"x", DataType::kInt64, /*nullable=*/true});
+  Table input{Schema{std::move(fields)}};
+  for (size_t i = 0; i < 1000; ++i) {
+    Value d = (i % 7 == 3) ? Value::Null()
+                           : Value::Int64(static_cast<int64_t>(i % 6));
+    Value x = (i % 5 == 4) ? Value::Null()
+                           : Value::Int64(static_cast<int64_t>(i) - 500);
+    ASSERT_TRUE(input.AppendRow({std::move(d), std::move(x)}).ok());
+  }
+  CubeSpec spec;
+  spec.cube = {GroupCol("d")};
+  spec.aggregates = AllKernelAggs();
+  auto batch = ExecuteCube(input, spec, BatchOptions(true));
+  auto scalar = ExecuteCube(input, spec, BatchOptions(false));
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  const CubeStats& b = batch.value().stats;
+  const CubeStats& s = scalar.value().stats;
+  EXPECT_GT(b.hash_probes, 0u);
+  EXPECT_EQ(b.hash_probes, s.hash_probes);
+  EXPECT_EQ(b.hash_max_probe, s.hash_max_probe);
+  EXPECT_EQ(b.hash_cells, s.hash_cells);
+  EXPECT_EQ(b.hash_rehashes, s.hash_rehashes);
+  EXPECT_EQ(b.iter_calls, s.iter_calls);
+  EXPECT_EQ(b.output_cells, s.output_cells);
+}
+
+// ------------------------------------------------- gating
+
+TEST(KernelGateTest, EnvHatchForcesScalarInBuildColumnarContext) {
+  Table input = Int64EdgeTable(20, 3);
+  CubeSpec spec;
+  spec.cube = {GroupCol("d")};
+  spec.aggregates = {Agg("sum", "x", "s")};
+  auto ctx = cube_internal::BuildCubeContext(input, spec);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+
+  ::setenv("DATACUBE_SCALAR_KERNELS", "1", 1);
+  auto forced = cube_internal::BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(forced.ok());
+  EXPECT_FALSE(forced.value().use_batch);
+
+  ::setenv("DATACUBE_SCALAR_KERNELS", "0", 1);
+  auto zero = cube_internal::BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero.value().use_batch);
+
+  ::unsetenv("DATACUBE_SCALAR_KERNELS");
+  auto unset = cube_internal::BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(unset.ok());
+  EXPECT_TRUE(unset.value().use_batch);
+}
+
+// ------------------------------------------------- group-id property test
+
+// BatchUpsert's out_blocks vector is the morsel's group-id vector: rows
+// mapping to the same masked key must share a block, distinct keys must get
+// distinct blocks, and the partition of rows it induces must be stable
+// under any permutation of the input — the property that makes the
+// per-aggregate sweep independent of scan order.
+TEST(KernelPropertyTest, GroupIdVectorsAreAPermutationStablePartition) {
+  using cube_internal::BuildColumnarContext;
+  using cube_internal::BuildCubeContext;
+  using cube_internal::CellStore;
+
+  Table input = Int64EdgeTable(777, 5);
+  CubeSpec spec;
+  spec.cube = {GroupCol("d")};
+  spec.aggregates = {Agg("sum", "x", "s")};
+  auto ctx = BuildCubeContext(input, spec);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  auto cc = BuildColumnarContext(ctx.value());
+  ASSERT_TRUE(cc.ok()) << cc.status().ToString();
+  const size_t words = cc.value().words;
+  const size_t rows = input.num_rows();
+
+  std::mt19937_64 rng(2026);
+  for (const GroupingSet& set : ctx.value().sets) {
+    std::vector<uint64_t> mask = cc.value().codec.MaskForSet(set);
+
+    // Masked keys in input order, and a reference partition keyed by the
+    // masked words themselves.
+    std::vector<uint64_t> masked(rows * words);
+    KeyCodec::MaskKeysBatch(cc.value().RowKey(0), rows, words, mask.data(),
+                            masked.data());
+    auto key_of = [&](size_t row) {
+      return std::vector<uint64_t>(masked.begin() + row * words,
+                                   masked.begin() + (row + 1) * words);
+    };
+    std::map<std::vector<uint64_t>, std::set<size_t>> reference;
+    for (size_t r = 0; r < rows; ++r) reference[key_of(r)].insert(r);
+
+    // Upsert in input order: same key <=> same block.
+    CellStore store = cc.value().MakeStore();
+    std::vector<char*> blocks(rows);
+    store.BatchUpsert(masked.data(), rows, blocks.data());
+    EXPECT_EQ(store.size(), reference.size());
+    std::map<std::vector<uint64_t>, char*> block_of;
+    for (size_t r = 0; r < rows; ++r) {
+      auto [it, inserted] = block_of.emplace(key_of(r), blocks[r]);
+      EXPECT_EQ(it->second, blocks[r]) << "row " << r;
+    }
+    EXPECT_EQ(block_of.size(), reference.size());
+
+    // Upsert a random permutation into a fresh store: the induced
+    // partition of row ids must be identical.
+    std::vector<size_t> perm(rows);
+    for (size_t r = 0; r < rows; ++r) perm[r] = r;
+    std::shuffle(perm.begin(), perm.end(), rng);
+    std::vector<uint64_t> shuffled(rows * words);
+    for (size_t i = 0; i < rows; ++i) {
+      std::copy(masked.begin() + perm[i] * words,
+                masked.begin() + (perm[i] + 1) * words,
+                shuffled.begin() + i * words);
+    }
+    CellStore store2 = cc.value().MakeStore();
+    std::vector<char*> blocks2(rows);
+    store2.BatchUpsert(shuffled.data(), rows, blocks2.data());
+    EXPECT_EQ(store2.size(), reference.size());
+    std::map<char*, std::set<size_t>> by_block;
+    for (size_t i = 0; i < rows; ++i) by_block[blocks2[i]].insert(perm[i]);
+    std::set<std::set<size_t>> partition;
+    for (auto& [block, members] : by_block) partition.insert(members);
+    std::set<std::set<size_t>> expected;
+    for (auto& [key, members] : reference) expected.insert(members);
+    EXPECT_EQ(partition, expected);
+
+    // And the batched store must agree with scalar FindOrInsert lookups.
+    CellStore scalar_store = cc.value().MakeStore();
+    for (size_t r = 0; r < rows; ++r) {
+      scalar_store.FindOrInsert(masked.data() + r * words);
+    }
+    EXPECT_EQ(scalar_store.size(), store.size());
+    EXPECT_EQ(scalar_store.stats().probes, store.stats().probes);
+    EXPECT_EQ(scalar_store.stats().max_probe, store.stats().max_probe);
+    for (auto& [key, members] : reference) {
+      EXPECT_NE(store.Find(key.data()), nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datacube

@@ -501,6 +501,60 @@ TEST(PartitionedCubeConcurrency, IngestQueryCompact) {
             static_cast<size_t>(kBatches * kRowsPerBatch));
 }
 
+/// The partition-parallel merged read fans sealed-delta folds across the
+/// shared pool, but its shard topology is a fixed constant — never derived
+/// from pool occupancy — so a merged read over a fixed delta set must be
+/// byte-identical (row order and float bits included) no matter how many
+/// reader threads race it or how the pool schedules the shard tasks. A
+/// serial reference read is taken first, then waves of 1/2/4/8 concurrent
+/// readers must all reproduce it exactly.
+TEST(PartitionedCubeConcurrency, MergedReadsDeterministicAcrossThreadCounts) {
+  RandomTableProfile profile;
+  profile.label = "merge_determinism";
+  profile.rows = 600;
+  profile.dims = 2;
+  profile.cardinality = 5;
+  profile.null_rate = 0.1;
+  const uint64_t seed = 13;
+  Table input = WithTsColumn(MakeRandomTable(seed, profile));
+  CubeSpec spec = MakeRandomSpec(seed, profile, /*include_holistic=*/false);
+
+  // Width 50 over ts in [0,1000) gives ~20 sealed windows, so the read
+  // fans across every merge shard.
+  Result<std::unique_ptr<PartitionedCube>> built =
+      PartitionedCube::Build(input, spec, PartOptions(50));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  PartitionedCube& cube = **built;
+  cube.CompactNow();  // seal the open deltas so the reads fold frozen ones
+
+  Result<Table> reference = cube.ToTable();
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  Result<CubeResult> baseline = ExecuteCube(input, spec);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  DiffReport diff = DiffResultTables(baseline->table, *reference, spec);
+  EXPECT_TRUE(diff.ok()) << diff.ToString();
+
+  for (int readers : {1, 2, 4, 8}) {
+    std::vector<Result<Table>> results(readers, Status::Internal("unset"));
+    std::vector<std::thread> threads;
+    threads.reserve(readers);
+    for (int t = 0; t < readers; ++t) {
+      threads.emplace_back([&cube, &results, t] {
+        results[t] = cube.ToTable();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int t = 0; t < readers; ++t) {
+      ASSERT_TRUE(results[t].ok())
+          << readers << " readers: " << results[t].status().ToString();
+      EXPECT_TRUE(results[t].value().EqualsExact(*reference))
+          << readers << " concurrent readers, reader " << t
+          << ": merged read diverged from the serial reference";
+    }
+  }
+}
+
 /// Retention racing ingest, reads, and compaction: counts may go down
 /// here (windows age out), so the invariant is no errors, no torn reads,
 /// and a final state equal to recomputing over exactly the surviving
